@@ -1,0 +1,59 @@
+//! Compilation-time benchmarks for the five strategies (the timing
+//! columns of Figure 9(c)/(f) and Figure 11(a)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::{MaxCut, QaoaParams};
+use qcompile::{compile, CompileOptions, QaoaSpec};
+use qhw::{Calibration, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec_for(n: usize, p_edge: f64, seed: u64) -> QaoaSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = qgraph::generators::connected_erdos_renyi(n, p_edge, 10_000, &mut rng).unwrap();
+    QaoaSpec::from_maxcut(&MaxCut::without_optimum(g), &QaoaParams::p1(0.9, 0.35), true)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let topo = Topology::ibmq_20_tokyo();
+    let mut cal_rng = StdRng::seed_from_u64(1);
+    let cal = Calibration::random_normal(&topo, 1e-2, 5e-3, &mut cal_rng);
+    let spec = spec_for(20, 0.4, 42);
+
+    let mut group = c.benchmark_group("fig11a_compile_time");
+    for (name, options) in [
+        ("naive", CompileOptions::naive()),
+        ("qaim", CompileOptions::qaim_only()),
+        ("ip", CompileOptions::ip()),
+        ("ic", CompileOptions::ic()),
+        ("vic", CompileOptions::vic()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| compile(&spec, &topo, Some(&cal), &options, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_problem_sizes(c: &mut Criterion) {
+    // Figure 8's size axis, timed: compilation scales smoothly with
+    // problem size (the scalability claim of §I).
+    let topo = Topology::grid(6, 6);
+    let mut group = c.benchmark_group("size_scaling_ic");
+    for n in [12usize, 20, 28, 36] {
+        let spec = spec_for(n, 0.4, 100 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| compile(spec, &topo, None, &CompileOptions::ic(), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_strategies, bench_problem_sizes
+}
+criterion_main!(benches);

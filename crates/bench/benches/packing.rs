@@ -1,0 +1,34 @@
+//! Figure 12(c): compilation time against the layer packing limit
+//! (IC+QAIM, 36-node instances on the 6×6 grid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::{MaxCut, QaoaParams};
+use qcompile::{compile, CompileOptions, QaoaSpec};
+use qhw::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_packing_limits(c: &mut Criterion) {
+    let topo = Topology::grid(6, 6);
+    let mut g_rng = StdRng::seed_from_u64(12);
+    let g = qgraph::generators::connected_erdos_renyi(36, 0.5, 10_000, &mut g_rng).unwrap();
+    let spec =
+        QaoaSpec::from_maxcut(&MaxCut::without_optimum(g), &QaoaParams::p1(0.9, 0.35), true);
+
+    let mut group = c.benchmark_group("fig12c_packing_limit");
+    for limit in [1usize, 3, 5, 7, 9, 11, 13, 15, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &limit| {
+            let options = CompileOptions::ic().with_packing_limit(limit);
+            let mut rng = StdRng::seed_from_u64(17);
+            b.iter(|| compile(&spec, &topo, None, &options, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_packing_limits
+}
+criterion_main!(benches);

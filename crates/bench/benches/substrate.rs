@@ -1,0 +1,83 @@
+//! Substrate micro-benchmarks: the backend router, the statevector
+//! simulator and the trajectory-noise sampler. These bound the cost of
+//! every experiment binary and catch performance regressions in the
+//! layers beneath the headline results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::{qaoa_circuit, MaxCut, QaoaParams};
+use qhw::{Calibration, Topology};
+use qroute::{route, Layout, RoutingMetric};
+use qsim::{NoiseModel, Sampler, StateVector, TrajectorySimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_router(c: &mut Criterion) {
+    let topo = Topology::ibmq_20_tokyo();
+    let metric = RoutingMetric::hops(&topo);
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = qgraph::generators::connected_erdos_renyi(20, 0.4, 10_000, &mut rng).unwrap();
+    let problem = MaxCut::without_optimum(g);
+    let circuit = {
+        let problem = &problem;
+        let mut c = qcircuit::Circuit::new(20);
+        for q in 0..20 {
+            c.h(q);
+        }
+        for e in problem.graph().edges() {
+            c.rzz(0.5, e.a(), e.b());
+        }
+        c
+    };
+    c.bench_function("route_20q_er04_tokyo", |b| {
+        b.iter(|| route(&circuit, &topo, Layout::trivial(20, 20), &metric))
+    });
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_qaoa");
+    for n in [10usize, 14, 18] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let g = qgraph::generators::connected_random_regular(n, 3, 10_000, &mut rng).unwrap();
+        let problem = MaxCut::without_optimum(g);
+        let circuit = qaoa_circuit(&problem, &QaoaParams::p1(0.5, 0.3), false);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| StateVector::from_circuit(circuit))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = qgraph::generators::connected_erdos_renyi(12, 0.5, 10_000, &mut rng).unwrap();
+    let problem = MaxCut::without_optimum(g);
+    let circuit = qaoa_circuit(&problem, &QaoaParams::p1(0.5, 0.3), true);
+    let state = StateVector::from_circuit(&circuit);
+    c.bench_function("sample_40960_shots_12q", |b| {
+        let sampler = Sampler::new(&state);
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| sampler.sample_counts(40_960, &mut rng))
+    });
+
+    let (_, cal) = Calibration::melbourne_2020_04_08();
+    let topo = Topology::ibmq_16_melbourne();
+    let metric = RoutingMetric::hops(&topo);
+    let routed = route(
+        &circuit,
+        &topo,
+        Layout::trivial(12, topo.num_qubits()),
+        &metric,
+    );
+    let sim = TrajectorySimulator::new(NoiseModel::new(cal));
+    c.bench_function("trajectory_sample_1024_shots_32_traj", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| sim.sample(&routed.circuit, 1024, 32, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_router, bench_statevector, bench_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §VI comparative analysis: IC(+QAIM) on an 8-qubit cyclic (ring)
+//! architecture with 8-node Erdős–Rényi graphs of exactly 8 edges — the
+//! workload the paper uses to compare against the temporal-planner
+//! compiler of Venturelli et al. \[46\].
+//!
+//! Usage: `disc_ring8 [instances]` (paper: 50).
+
+use bench::stats::{mean, row};
+use qcompile::{compile, CompileOptions, QaoaSpec};
+use qhw::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let topo = Topology::ring(8);
+
+    let mut depth_naive = Vec::new();
+    let mut depth_ic = Vec::new();
+    let mut gates_naive = Vec::new();
+    let mut gates_ic = Vec::new();
+    let mut times = Vec::new();
+    for i in 0..count {
+        let mut g_rng = StdRng::seed_from_u64(13_000 + i as u64);
+        let g = qgraph::generators::connected_gnm(8, 8, 10_000, &mut g_rng)
+            .expect("connected G(8, m=8) sample");
+        let problem = qaoa::MaxCut::without_optimum(g);
+        let spec = QaoaSpec::from_maxcut(&problem, &qaoa::QaoaParams::p1(0.9, 0.35), true);
+        let mut rng = StdRng::seed_from_u64(13_500 + i as u64);
+        let naive = compile(&spec, &topo, None, &CompileOptions::naive(), &mut rng);
+        let ic = compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng);
+        depth_naive.push(naive.depth() as f64);
+        depth_ic.push(ic.depth() as f64);
+        gates_naive.push(naive.gate_count() as f64);
+        gates_ic.push(ic.gate_count() as f64);
+        times.push(ic.elapsed().as_secs_f64());
+    }
+
+    println!("=== §VI: 8-qubit ring, 8-node/8-edge ER graphs ({count} instances) ===");
+    println!("{:<18} {:>10} {:>10} {:>12}", "method", "depth", "gates", "compile (s)");
+    println!("{}", row("naive", &[mean(&depth_naive), mean(&gates_naive), f64::NAN]));
+    println!("{}", row("ic(+qaim)", &[mean(&depth_ic), mean(&gates_ic), mean(&times)]));
+    println!(
+        "\n(paper: IC beats the temporal planner [46] by 8.5% depth / 13% gates on this set,\n with compilation far under the planner's 70 s per instance)"
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 9: IP (+QAIM) and IC (+QAIM) versus QAIM-only — depth,
+//! gate-count and compilation-time ratios on 20-node Erdős–Rényi and
+//! regular MaxCut-QAOA instances, ibmq_20_tokyo target.
+//!
+//! Usage: `fig09_ip_ic [instances-per-bar]` (paper: 50).
+
+use bench::stats::{ratio_of_means, row};
+use bench::workloads::{instances, Family, ER_PROBABILITIES, REGULAR_DEGREES};
+use qcompile::{compile, CompileOptions};
+use qhw::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let topo = Topology::ibmq_20_tokyo();
+    let n = 20;
+
+    let strategies = [
+        ("qaim", CompileOptions::qaim_only()),
+        ("ip", CompileOptions::ip()),
+        ("ic", CompileOptions::ic()),
+    ];
+
+    println!("=== Figure 9: IP/IC vs QAIM (n={n}, {count} instances/bar) ===");
+    for (title, families) in [
+        ("erdos-renyi", ER_PROBABILITIES.map(Family::ErdosRenyi).to_vec()),
+        ("regular", REGULAR_DEGREES.map(Family::Regular).to_vec()),
+    ] {
+        println!("\n-- {title} graphs --");
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "family", "ip/q D", "ic/q D", "ip/q G", "ic/q G", "ip/q T", "ic/q T"
+        );
+        for family in families {
+            let graphs = instances(family, n, count, 9001);
+            let mut depths = vec![Vec::new(); 3];
+            let mut gates = vec![Vec::new(); 3];
+            let mut times = vec![Vec::new(); 3];
+            for (gi, g) in graphs.into_iter().enumerate() {
+                let spec = bench::compilation_spec(g, true);
+                for (si, (_, options)) in strategies.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(9200 + gi as u64);
+                    let c = compile(&spec, &topo, None, options, &mut rng);
+                    depths[si].push(c.depth() as f64);
+                    gates[si].push(c.gate_count() as f64);
+                    times[si].push(c.elapsed().as_secs_f64());
+                }
+            }
+            println!(
+                "{}",
+                row(
+                    &family.to_string(),
+                    &[
+                        ratio_of_means(&depths[1], &depths[0]),
+                        ratio_of_means(&depths[2], &depths[0]),
+                        ratio_of_means(&gates[1], &gates[0]),
+                        ratio_of_means(&gates[2], &gates[0]),
+                        ratio_of_means(&times[1], &times[0]),
+                        ratio_of_means(&times[2], &times[0]),
+                    ],
+                )
+            );
+        }
+    }
+    println!("\n(paper shape: both IP and IC well below 1.0 on depth — strongest on dense graphs;\n IC below IP on gate-count; IP fastest to compile)");
+}

@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§V). See DESIGN.md for the experiment index.
+//!
+//! Each `fig*` binary in `src/bin/` prints the rows/series of one paper
+//! artifact; the Criterion benches in `benches/` cover the
+//! compilation-time claims. The helpers here keep workload generation and
+//! statistics consistent across all of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod workloads;
+
+use qaoa::{MaxCut, QaoaParams};
+use qcompile::QaoaSpec;
+
+/// Builds the p=1 QAOA-MaxCut spec the compilation experiments use.
+///
+/// Compilation quality is independent of the specific angles, so a fixed
+/// representative `(γ, β)` is used; the ARG experiments optimize their own
+/// parameters instead.
+pub fn compilation_spec(graph: qgraph::Graph, measure: bool) -> QaoaSpec {
+    let problem = MaxCut::without_optimum(graph);
+    QaoaSpec::from_maxcut(&problem, &QaoaParams::p1(0.9, 0.35), measure)
+}

@@ -1,0 +1,71 @@
+//! Small statistics helpers for the experiment binaries.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation; 0.0 for fewer than two points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Ratio of means `mean(num) / mean(den)` — the "ratio of the mean depth
+/// and gate-counts" the paper plots in Figures 7–9.
+///
+/// # Panics
+///
+/// Panics if the denominator mean is zero.
+pub fn ratio_of_means(num: &[f64], den: &[f64]) -> f64 {
+    let d = mean(den);
+    assert!(d != 0.0, "denominator mean is zero");
+    mean(num) / d
+}
+
+/// Renders one aligned table row: a label plus fixed-width numeric cells.
+pub fn row(label: &str, cells: &[f64]) -> String {
+    let mut out = format!("{label:<18}");
+    for c in cells {
+        out.push_str(&format!(" {c:>9.3}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios() {
+        assert!((ratio_of_means(&[1.0, 3.0], &[4.0, 4.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = ratio_of_means(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn row_formats() {
+        let r = row("qaim", &[0.5, 1.0]);
+        assert!(r.starts_with("qaim"));
+        assert!(r.contains("0.500"));
+        assert!(r.contains("1.000"));
+    }
+}

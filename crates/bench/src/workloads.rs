@@ -1,0 +1,98 @@
+//! Workload generators matching the paper's problem sets (§V-B):
+//! Erdős–Rényi random graphs with varied edge probabilities and random
+//! regular graphs with varied degrees, all connected, seeded for
+//! reproducibility.
+
+use qgraph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named family of problem graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Family {
+    /// `G(n, p)` with the given edge probability.
+    ErdosRenyi(f64),
+    /// Random `k`-regular with the given degree.
+    Regular(usize),
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::ErdosRenyi(p) => write!(f, "er(p={p})"),
+            Family::Regular(k) => write!(f, "reg(k={k})"),
+        }
+    }
+}
+
+/// Generates `count` connected problem graphs of `family` on `n` nodes.
+///
+/// Seeding is a pure function of `(family, n, base_seed, index)` so every
+/// figure reuses identical instances.
+///
+/// # Panics
+///
+/// Panics if the family parameters are unsatisfiable (e.g. `k >= n`).
+pub fn instances(family: Family, n: usize, count: usize, base_seed: u64) -> Vec<Graph> {
+    (0..count)
+        .map(|i| {
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .wrapping_add(match family {
+                    Family::ErdosRenyi(p) => (p * 1e6) as u64,
+                    Family::Regular(k) => 0xABCD_0000 + k as u64,
+                })
+                .wrapping_add((n as u64) << 32);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match family {
+                Family::ErdosRenyi(p) => {
+                    generators::connected_erdos_renyi(n, p, 10_000, &mut rng)
+                        .expect("connected ER sample within retry budget")
+                }
+                Family::Regular(k) => {
+                    generators::connected_random_regular(n, k, 10_000, &mut rng)
+                        .expect("connected regular sample within retry budget")
+                }
+            }
+        })
+        .collect()
+}
+
+/// The Figure 7 sweep: ER edge probabilities 0.1–0.6.
+pub const ER_PROBABILITIES: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+
+/// The Figure 7 sweep: regular degrees 3–8.
+pub const REGULAR_DEGREES: [usize; 6] = [3, 4, 5, 6, 7, 8];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_connected_and_sized() {
+        for g in instances(Family::ErdosRenyi(0.3), 12, 5, 7) {
+            assert_eq!(g.node_count(), 12);
+            assert!(g.is_connected());
+        }
+        for g in instances(Family::Regular(3), 14, 5, 7) {
+            assert!(g.nodes().all(|v| g.degree(v) == 3));
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn instances_are_reproducible() {
+        let a = instances(Family::Regular(4), 16, 3, 42);
+        let b = instances(Family::Regular(4), 16, 3, 42);
+        assert_eq!(a, b);
+        let c = instances(Family::Regular(4), 16, 3, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn families_display() {
+        assert_eq!(Family::ErdosRenyi(0.5).to_string(), "er(p=0.5)");
+        assert_eq!(Family::Regular(3).to_string(), "reg(k=3)");
+    }
+}

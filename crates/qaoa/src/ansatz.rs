@@ -1,0 +1,163 @@
+use qcircuit::Circuit;
+use qsim::StateVector;
+
+use crate::MaxCut;
+
+/// The `(γ, β)` parameters of a level-`p` QAOA ansatz.
+///
+/// Each level contributes one cost angle `γ` and one mixer angle `β`
+/// (§I: "each level adds additional two parameters (γ, β)").
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaoaParams {
+    levels: Vec<(f64, f64)>,
+}
+
+impl QaoaParams {
+    /// Builds parameters from `(γ_k, β_k)` pairs, one per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<(f64, f64)>) -> Self {
+        assert!(!levels.is_empty(), "QAOA needs at least one level");
+        QaoaParams { levels }
+    }
+
+    /// Single-level parameters.
+    pub fn p1(gamma: f64, beta: f64) -> Self {
+        QaoaParams::new(vec![(gamma, beta)])
+    }
+
+    /// The number of levels `p`.
+    pub fn p(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The `(γ, β)` pairs in level order.
+    pub fn levels(&self) -> &[(f64, f64)] {
+        &self.levels
+    }
+
+    /// Flattens to `[γ_1, β_1, γ_2, β_2, ...]` for generic optimizers.
+    pub fn to_flat(&self) -> Vec<f64> {
+        self.levels.iter().flat_map(|&(g, b)| [g, b]).collect()
+    }
+
+    /// Rebuilds from the flat `[γ_1, β_1, ...]` encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is empty or has odd length.
+    pub fn from_flat(flat: &[f64]) -> Self {
+        assert!(!flat.is_empty() && flat.len().is_multiple_of(2), "flat params must pair up");
+        QaoaParams::new(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+    }
+}
+
+/// Builds the logical QAOA-MaxCut circuit for `problem` with `params`
+/// (Figure 1(b)): Hadamards, then per level one `Rzz(-γ)` per problem edge
+/// (the commuting "CPHASE" cost layer, edges in canonical order) and one
+/// `Rx(2β)` per qubit. Appends measurements when `measure` is set.
+pub fn qaoa_circuit(problem: &MaxCut, params: &QaoaParams, measure: bool) -> Circuit {
+    let n = problem.num_vars();
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for &(gamma, beta) in params.levels() {
+        for e in problem.graph().edges() {
+            // e^{-iγ C_uv} = global phase · Rzz(-γ) for C_uv = (1 - Z_u Z_v)/2.
+            c.rzz(-gamma, e.a(), e.b());
+        }
+        for q in 0..n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    if measure {
+        c.measure_all();
+    }
+    c
+}
+
+/// The exact (noiseless) expectation `⟨γ,β|C|γ,β⟩` of the cut value,
+/// evaluated by statevector simulation.
+///
+/// # Panics
+///
+/// Panics if the problem exceeds the simulator's qubit limit.
+pub fn expectation(problem: &MaxCut, params: &QaoaParams) -> f64 {
+    let circuit = qaoa_circuit(problem, params, false);
+    let state = StateVector::from_circuit(&circuit);
+    state.expectation_diagonal(|bits| problem.cut_value(bits) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph::generators;
+
+    #[test]
+    fn params_round_trip_flat() {
+        let p = QaoaParams::new(vec![(0.1, 0.2), (0.3, 0.4)]);
+        assert_eq!(p.p(), 2);
+        let flat = p.to_flat();
+        assert_eq!(flat, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(QaoaParams::from_flat(&flat), p);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_params_panic() {
+        let _ = QaoaParams::new(vec![]);
+    }
+
+    #[test]
+    fn circuit_structure_matches_figure_1b() {
+        let problem = MaxCut::new(generators::complete(4));
+        let c = qaoa_circuit(&problem, &QaoaParams::p1(0.4, 0.3), true);
+        assert_eq!(c.count_gate("h"), 4);
+        assert_eq!(c.count_gate("rzz"), 6);
+        assert_eq!(c.count_gate("rx"), 4);
+        assert_eq!(c.count_gate("measure"), 4);
+    }
+
+    #[test]
+    fn multi_level_repeats_layers() {
+        let problem = MaxCut::new(generators::cycle(5));
+        let params = QaoaParams::new(vec![(0.1, 0.2), (0.3, 0.4), (0.5, 0.6)]);
+        let c = qaoa_circuit(&problem, &params, false);
+        assert_eq!(c.count_gate("rzz"), 3 * 5);
+        assert_eq!(c.count_gate("rx"), 3 * 5);
+    }
+
+    #[test]
+    fn zero_angles_give_uniform_superposition() {
+        // γ = β = 0 leaves |+...+>; expectation = E/2.
+        let problem = MaxCut::new(generators::complete(4));
+        let e = expectation(&problem, &QaoaParams::p1(0.0, 0.0));
+        assert!((e - 3.0).abs() < 1e-10, "got {e}");
+    }
+
+    #[test]
+    fn optimal_p1_on_single_edge() {
+        // For a single edge the p=1 optimum reaches cut expectation
+        // (1 + 1)/2... exactly: max over (γ, β) of 1/2 + 1/4 sin(4β) sin(γ)·2
+        // = 1 at γ = π/2, β = π/8.
+        let problem = MaxCut::new(generators::path(2));
+        let e = expectation(
+            &problem,
+            &QaoaParams::p1(std::f64::consts::FRAC_PI_2, std::f64::consts::PI / 8.0),
+        );
+        assert!((e - 1.0).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn expectation_is_symmetric_in_beta_period() {
+        // β and β + π give identical expectations (Rx(2β) has period 2π up
+        // to sign, and the cost is parity-symmetric).
+        let problem = MaxCut::new(generators::cycle(5));
+        let a = expectation(&problem, &QaoaParams::p1(0.7, 0.3));
+        let b = expectation(&problem, &QaoaParams::p1(0.7, 0.3 + std::f64::consts::PI));
+        assert!((a - b).abs() < 1e-9);
+    }
+}

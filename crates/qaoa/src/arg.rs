@@ -1,0 +1,125 @@
+//! Approximation ratios and the paper's Approximation Ratio Gap (ARG).
+//!
+//! §V-A: "We sample the output of the circuit (using a simulator ...) a
+//! finite number of times to calculate the approximation ratio of the
+//! given cost function (r0). Next, we run the circuit on the target
+//! hardware and calculate the approximation ratio (rh) using the same
+//! number of samples. We define the percentage difference between these
+//! approximation ratios {100·(r0 − rh)/r0} as the approximation ratio gap
+//! or ARG. A lower ARG value is desired."
+
+use qsim::Counts;
+
+use crate::MaxCut;
+
+/// An approximation ratio: mean sampled cost over the optimal cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproximationRatio(f64);
+
+impl ApproximationRatio {
+    /// Wraps a raw ratio value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not finite.
+    pub fn new(r: f64) -> Self {
+        assert!(r.is_finite(), "approximation ratio must be finite, got {r}");
+        ApproximationRatio(r)
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ApproximationRatio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// The approximation ratio of measurement counts against a MaxCut
+/// problem's optimum: `mean_cut(counts) / max_value`.
+///
+/// # Panics
+///
+/// Panics if the problem's optimum was not computed or is zero.
+pub fn approximation_ratio_from_counts(problem: &MaxCut, counts: &Counts) -> ApproximationRatio {
+    let max = problem.max_value();
+    assert!(max > 0.0, "degenerate problem with zero optimal cut");
+    ApproximationRatio::new(problem.mean_cut(counts) / max)
+}
+
+/// The ARG in percent: `100 · (r0 − rh) / r0`.
+///
+/// `r0` is the noiseless (simulator) ratio, `rh` the hardware (or noisy
+/// simulation) ratio. Lower is better; 0 means hardware matched the ideal.
+///
+/// # Panics
+///
+/// Panics if `r0` is zero (the ideal circuit never cuts anything — not a
+/// meaningful QAOA instance).
+pub fn approximation_ratio_gap(r0: ApproximationRatio, rh: ApproximationRatio) -> f64 {
+    assert!(r0.value() != 0.0, "ideal approximation ratio must be nonzero");
+    100.0 * (r0.value() - rh.value()) / r0.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph::generators;
+
+    #[test]
+    fn perfect_sampler_has_ratio_one() {
+        let problem = MaxCut::new(generators::path(2));
+        let counts = Counts::from([(0b01, 50), (0b10, 50)]);
+        let r = approximation_ratio_from_counts(&problem, &counts);
+        assert!((r.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_sampler_ratio_is_half_edges_over_max() {
+        // K4: uniform mean cut = E/2 = 3, max = 4 -> ratio 0.75.
+        let problem = MaxCut::new(generators::complete(4));
+        let counts: Counts = (0..16usize).map(|s| (s, 1u64)).collect();
+        let r = approximation_ratio_from_counts(&problem, &counts);
+        assert!((r.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arg_zero_when_hardware_matches_ideal() {
+        let r = ApproximationRatio::new(0.9);
+        assert_eq!(approximation_ratio_gap(r, r), 0.0);
+    }
+
+    #[test]
+    fn arg_grows_as_hardware_degrades() {
+        let r0 = ApproximationRatio::new(0.9);
+        let arg1 = approximation_ratio_gap(r0, ApproximationRatio::new(0.8));
+        let arg2 = approximation_ratio_gap(r0, ApproximationRatio::new(0.6));
+        assert!(arg2 > arg1);
+        assert!((arg1 - 100.0 * (0.1 / 0.9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arg_can_be_negative_when_hardware_lucky() {
+        // Finite sampling can make rh exceed r0; the metric is signed.
+        let arg = approximation_ratio_gap(
+            ApproximationRatio::new(0.8),
+            ApproximationRatio::new(0.85),
+        );
+        assert!(arg < 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_ratio_panics() {
+        let _ = ApproximationRatio::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_is_fixed_precision() {
+        assert_eq!(ApproximationRatio::new(0.75).to_string(), "0.7500");
+    }
+}

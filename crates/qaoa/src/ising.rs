@@ -1,0 +1,242 @@
+//! General Ising cost Hamiltonians — the paper's §VI "Applicability
+//! beyond QAOA-MaxCut".
+//!
+//! "The cost Hamiltonian of any arbitrary NP-hard problem can be
+//! formulated in the Ising format consisting of ZZ-interactions \[24\].
+//! Each of these ZZ-interactions can be implemented with a CPHASE gate
+//! similar to the QAOA-MaxCut problem." This module implements that
+//! generalization: a Hamiltonian
+//!
+//! ```text
+//! H(s) = Σ_{(u,v)} J_uv s_u s_v + Σ_u h_u s_u ,   s ∈ {−1, +1}^n
+//! ```
+//!
+//! with quadratic couplings `J` (compiled to the commuting ZZ "CPHASE"
+//! gates — now with per-gate angles `2γJ_uv`) and optional longitudinal
+//! fields `h` (compiled to single-qubit `Rz` gates, which are diagonal
+//! and commute with the whole cost layer, adding nothing to the routing
+//! problem).
+
+use qcircuit::Circuit;
+use qsim::StateVector;
+
+use crate::QaoaParams;
+
+/// A general Ising problem instance.
+///
+/// QAOA *minimizes* `H`; [`IsingProblem::from_maxcut`] shows the standard
+/// encoding where the MaxCut objective becomes `-H` up to a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsingProblem {
+    num_spins: usize,
+    couplings: Vec<(usize, usize, f64)>,
+    fields: Vec<f64>,
+}
+
+impl IsingProblem {
+    /// Builds an Ising problem from couplings `(u, v, J_uv)` and per-spin
+    /// fields (`fields.len() == num_spins`; pass zeros for no field).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range spins, duplicate operands in a coupling, a
+    /// non-finite coefficient, or a field vector of the wrong length.
+    pub fn new(num_spins: usize, couplings: Vec<(usize, usize, f64)>, fields: Vec<f64>) -> Self {
+        assert_eq!(fields.len(), num_spins, "one field per spin required");
+        for &(u, v, j) in &couplings {
+            assert!(u < num_spins && v < num_spins, "coupling ({u}, {v}) out of range");
+            assert_ne!(u, v, "self-coupling on spin {u}");
+            assert!(j.is_finite(), "non-finite coupling on ({u}, {v})");
+        }
+        assert!(fields.iter().all(|h| h.is_finite()), "non-finite field");
+        IsingProblem { num_spins, couplings, fields }
+    }
+
+    /// The Ising encoding of MaxCut: `J_uv = +1` per edge, no fields.
+    /// Minimizing `H` maximizes the cut (`cut = (E − H)/2` with
+    /// `E` = edge count).
+    pub fn from_maxcut(graph: &qgraph::Graph) -> Self {
+        let couplings = graph.edges().map(|e| (e.a(), e.b(), 1.0)).collect();
+        IsingProblem::new(graph.node_count(), couplings, vec![0.0; graph.node_count()])
+    }
+
+    /// Number of spins (logical qubits).
+    pub fn num_spins(&self) -> usize {
+        self.num_spins
+    }
+
+    /// The quadratic couplings.
+    pub fn couplings(&self) -> &[(usize, usize, f64)] {
+        &self.couplings
+    }
+
+    /// The longitudinal fields.
+    pub fn fields(&self) -> &[f64] {
+        &self.fields
+    }
+
+    /// The energy of the computational-basis state `bits` under the spin
+    /// convention `s_q = +1` for bit 0 and `s_q = −1` for bit 1 (matching
+    /// the Pauli-Z eigenvalues).
+    pub fn energy(&self, bits: usize) -> f64 {
+        let spin = |q: usize| if bits >> q & 1 == 0 { 1.0 } else { -1.0 };
+        let quad: f64 = self.couplings.iter().map(|&(u, v, j)| j * spin(u) * spin(v)).sum();
+        let lin: f64 = self.fields.iter().enumerate().map(|(q, &h)| h * spin(q)).sum();
+        quad + lin
+    }
+
+    /// The minimum energy over all spin configurations (exhaustive).
+    ///
+    /// # Panics
+    ///
+    /// Panics for more than 26 spins.
+    pub fn ground_energy(&self) -> f64 {
+        assert!(self.num_spins <= 26, "exhaustive search infeasible");
+        (0..(1usize << self.num_spins))
+            .map(|bits| self.energy(bits))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Builds the level-`p` QAOA circuit for this Hamiltonian: per level,
+    /// `Rzz(2γJ_uv)` per coupling and `Rz(2γh_u)` per nonzero field
+    /// (implementing `e^{-iγH}` up to global phase), then the standard
+    /// `Rx(2β)` mixer.
+    pub fn circuit(&self, params: &QaoaParams, measure: bool) -> Circuit {
+        let n = self.num_spins;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for &(gamma, beta) in params.levels() {
+            for &(u, v, j) in &self.couplings {
+                c.rzz(2.0 * gamma * j, u, v);
+            }
+            for (q, &h) in self.fields.iter().enumerate() {
+                if h != 0.0 {
+                    c.rz(2.0 * gamma * h, q);
+                }
+            }
+            for q in 0..n {
+                c.rx(2.0 * beta, q);
+            }
+        }
+        if measure {
+            c.measure_all();
+        }
+        c
+    }
+
+    /// The exact expectation `⟨γ,β|H|γ,β⟩` by statevector simulation.
+    pub fn expectation(&self, params: &QaoaParams) -> f64 {
+        let state = StateVector::from_circuit(&self.circuit(params, false));
+        state.expectation_diagonal(|bits| self.energy(bits))
+    }
+
+    /// Grid search + Nelder–Mead *minimization* of the energy expectation
+    /// at level `p`. Returns `(params, expectation)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `resolution < 2`.
+    pub fn optimize(&self, p: usize, resolution: usize) -> (QaoaParams, f64) {
+        assert!(p >= 1 && resolution >= 2, "need p >= 1 and resolution >= 2");
+        // Coarse grid over one level.
+        let mut best = ((0.5, 0.25), f64::INFINITY);
+        for i in 0..resolution {
+            let gamma = std::f64::consts::PI * (i as f64 + 0.5) / resolution as f64;
+            for jdx in 0..resolution {
+                let beta =
+                    std::f64::consts::FRAC_PI_2 * (jdx as f64 + 0.5) / resolution as f64;
+                let e = self.expectation(&QaoaParams::p1(gamma, beta));
+                if e < best.1 {
+                    best = ((gamma, beta), e);
+                }
+            }
+        }
+        let x0: Vec<f64> = (0..p).flat_map(|_| [best.0 .0, best.0 .1]).collect();
+        let (x, value) = crate::optimize::nelder_mead(
+            |flat| -self.expectation(&QaoaParams::from_flat(flat)),
+            &x0,
+            &crate::optimize::NelderMeadOptions::default(),
+        );
+        (QaoaParams::from_flat(&x), -value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph::generators;
+
+    #[test]
+    fn maxcut_encoding_matches_cut_values() {
+        let g = generators::complete(4);
+        let problem = IsingProblem::from_maxcut(&g);
+        let maxcut = crate::MaxCut::new(g);
+        let edges = 6.0;
+        for bits in 0..16usize {
+            let cut = maxcut.cut_value(bits) as f64;
+            // cut = (E - H) / 2
+            assert!((cut - (edges - problem.energy(bits)) / 2.0).abs() < 1e-12, "bits {bits}");
+        }
+        // Ground energy corresponds to the max cut.
+        assert!((problem.ground_energy() - (edges - 2.0 * maxcut.max_value())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fields_bias_the_ground_state() {
+        // Two uncoupled spins with fields +1 and -1: ground state has
+        // spin 0 down (bit 1) and spin 1 up (bit 0) -> bits = 0b01.
+        let problem = IsingProblem::new(2, vec![], vec![1.0, -1.0]);
+        assert_eq!(problem.ground_energy(), -2.0);
+        assert_eq!(problem.energy(0b01), -2.0);
+        assert_eq!(problem.energy(0b10), 2.0);
+    }
+
+    #[test]
+    fn circuit_contains_field_rotations() {
+        let problem = IsingProblem::new(3, vec![(0, 1, 0.5)], vec![0.7, 0.0, -0.2]);
+        let c = problem.circuit(&QaoaParams::p1(0.3, 0.2), false);
+        assert_eq!(c.count_gate("rzz"), 1);
+        assert_eq!(c.count_gate("rz"), 2); // zero field compiles away
+        assert_eq!(c.count_gate("rx"), 3);
+    }
+
+    #[test]
+    fn optimization_approaches_ground_energy() {
+        // Anti-ferromagnetic triangle with a symmetry-breaking field.
+        let problem = IsingProblem::new(
+            3,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)],
+            vec![0.4, 0.0, 0.0],
+        );
+        let ground = problem.ground_energy();
+        let (_, e1) = problem.optimize(1, 16);
+        let (_, e2) = problem.optimize(2, 16);
+        assert!(e1 < 0.0, "p=1 should beat the uniform state: {e1}");
+        assert!(e2 <= e1 + 1e-9, "p=2 ({e2}) must not be worse than p=1 ({e1})");
+        assert!(e2 > ground - 1e-9, "expectation cannot beat the ground energy");
+        let ratio = e2 / ground; // both negative
+        assert!(ratio > 0.7, "p=2 should be close to ground: {ratio}");
+    }
+
+    #[test]
+    fn weighted_couplings_affect_energy() {
+        let problem = IsingProblem::new(2, vec![(0, 1, -2.5)], vec![0.0, 0.0]);
+        assert_eq!(problem.energy(0b00), -2.5); // aligned spins favored
+        assert_eq!(problem.energy(0b01), 2.5);
+        assert_eq!(problem.ground_energy(), -2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_field_length_panics() {
+        let _ = IsingProblem::new(3, vec![], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_coupling_panics() {
+        let _ = IsingProblem::new(2, vec![(1, 1, 0.3)], vec![0.0, 0.0]);
+    }
+}

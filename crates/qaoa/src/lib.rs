@@ -1,0 +1,50 @@
+//! The QAOA layer: MaxCut cost Hamiltonians, the parameterized ansatz,
+//! classical parameter optimization and the paper's Approximation Ratio
+//! Gap (ARG) metric.
+//!
+//! # Conventions
+//!
+//! For a problem graph `G = (V, E)` the MaxCut cost of a bit assignment
+//! `x ∈ {0,1}^V` is the number of cut edges. The level-`p` QAOA ansatz is
+//!
+//! ```text
+//! |γ, β⟩ = U_B(β_p) U_C(γ_p) ... U_B(β_1) U_C(γ_1) H^{⊗n} |0⟩
+//! U_C(γ) = e^{-iγC}   (one Rzz(-γ) per edge, up to global phase)
+//! U_B(β) = e^{-iβΣX}  (one Rx(2β) per qubit)
+//! ```
+//!
+//! matching Farhi et al. and the closed-form p=1 expectation of Wang et
+//! al. (PRA 97, 022304) implemented in [`analytic`] — the paper's route to
+//! finding circuit parameters "analytically \[45\]".
+//!
+//! # Examples
+//!
+//! ```
+//! use qaoa::{MaxCut, QaoaParams};
+//!
+//! // Figure 1(a): the 4-node 3-regular graph. Its MaxCut value is 4.
+//! let g = qgraph::Graph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)])?;
+//! let problem = MaxCut::new(g);
+//! assert_eq!(problem.max_value(), 4.0);
+//!
+//! // Optimize p=1 parameters and check the approximation ratio is
+//! // meaningfully above random guessing (0.5).
+//! let (params, expectation) = qaoa::optimize::grid_then_nelder_mead(&problem, 1, 24);
+//! assert_eq!(params.p(), 1);
+//! assert!(expectation / problem.max_value() > 0.6);
+//! # Ok::<(), qgraph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+mod ansatz;
+pub mod ising;
+mod arg;
+mod maxcut;
+pub mod optimize;
+
+pub use ansatz::{qaoa_circuit, QaoaParams};
+pub use arg::{approximation_ratio_from_counts, approximation_ratio_gap, ApproximationRatio};
+pub use maxcut::MaxCut;

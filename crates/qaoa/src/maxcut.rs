@@ -1,0 +1,173 @@
+use qgraph::Graph;
+use qsim::Counts;
+
+/// A MaxCut problem instance over a problem graph.
+///
+/// MaxCut is the paper's benchmark problem: every edge of the problem
+/// graph becomes one commuting "CPHASE" (ZZ) gate in the QAOA cost layer.
+/// The cost of a bit assignment is the number of edges whose endpoints get
+/// different bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxCut {
+    graph: Graph,
+    max_value: u64,
+}
+
+impl MaxCut {
+    /// Wraps a problem graph, precomputing the optimal cut by exhaustive
+    /// search (`O(2^{n-1} · E)` — instant for the paper's n ≤ 36 *compiled*
+    /// sizes only when simulated sizes stay ≤ ~24, which they do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 30 nodes (exhaustive search would
+    /// be unreasonable); compilation-only workflows can use
+    /// [`MaxCut::without_optimum`].
+    pub fn new(graph: Graph) -> Self {
+        assert!(
+            graph.node_count() <= 30,
+            "exhaustive MaxCut on {} nodes is infeasible; use without_optimum",
+            graph.node_count()
+        );
+        let max_value = brute_force_max(&graph);
+        MaxCut { graph, max_value }
+    }
+
+    /// Wraps a problem graph without computing the optimum (methods that
+    /// need it will panic). For compilation-only experiments on large
+    /// graphs.
+    pub fn without_optimum(graph: Graph) -> Self {
+        MaxCut { graph, max_value: u64::MAX }
+    }
+
+    /// The problem graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of binary variables (graph nodes / logical qubits).
+    pub fn num_vars(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The cut value of assignment `bits` (bit `i` of the integer is the
+    /// side of node `i`).
+    pub fn cut_value(&self, bits: usize) -> u64 {
+        self.graph
+            .edges()
+            .filter(|e| ((bits >> e.a()) ^ (bits >> e.b())) & 1 == 1)
+            .count() as u64
+    }
+
+    /// The optimal (maximum) cut value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if constructed with [`MaxCut::without_optimum`].
+    pub fn max_value(&self) -> f64 {
+        assert_ne!(self.max_value, u64::MAX, "optimum was not computed");
+        self.max_value as f64
+    }
+
+    /// Mean cut value over measurement counts — the numerator of the
+    /// approximation ratio (§II "QAOA Optimization Flow").
+    ///
+    /// Returns 0.0 for empty counts.
+    pub fn mean_cut(&self, counts: &Counts) -> f64 {
+        let total: u64 = counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = counts
+            .iter()
+            .map(|(&state, &n)| self.cut_value(state) as f64 * n as f64)
+            .sum();
+        weighted / total as f64
+    }
+}
+
+fn brute_force_max(graph: &Graph) -> u64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let edges: Vec<(usize, usize)> = graph.edges().map(|e| (e.a(), e.b())).collect();
+    // Fix node 0's side: halves the search space by cut symmetry.
+    let mut best = 0u64;
+    for bits in 0..(1usize << (n - 1)) {
+        let assignment = bits << 1;
+        let cut = edges
+            .iter()
+            .filter(|&&(u, v)| ((assignment >> u) ^ (assignment >> v)) & 1 == 1)
+            .count() as u64;
+        best = best.max(cut);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph::generators;
+
+    #[test]
+    fn k4_maxcut_is_four() {
+        let problem = MaxCut::new(generators::complete(4));
+        assert_eq!(problem.max_value(), 4.0);
+        // The balanced assignment 0b0011 cuts 4 of the 6 edges.
+        assert_eq!(problem.cut_value(0b0011), 4);
+        assert_eq!(problem.cut_value(0b0000), 0);
+        assert_eq!(problem.cut_value(0b1111), 0);
+    }
+
+    #[test]
+    fn bipartite_graph_cuts_every_edge() {
+        // Path graphs are bipartite: optimum = edge count.
+        for n in [2, 5, 9] {
+            let problem = MaxCut::new(generators::path(n));
+            assert_eq!(problem.max_value(), (n - 1) as f64);
+        }
+        // Even cycles too; odd cycles lose one edge.
+        assert_eq!(MaxCut::new(generators::cycle(6)).max_value(), 6.0);
+        assert_eq!(MaxCut::new(generators::cycle(5)).max_value(), 4.0);
+    }
+
+    #[test]
+    fn complete_graph_optimum_formula() {
+        // MaxCut(K_n) = floor(n^2 / 4).
+        for n in [3, 4, 5, 6, 7] {
+            let problem = MaxCut::new(generators::complete(n));
+            assert_eq!(problem.max_value(), ((n * n) / 4) as f64, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn cut_symmetry() {
+        let problem = MaxCut::new(generators::cycle(5));
+        let full_mask = 0b11111;
+        for bits in 0..32usize {
+            assert_eq!(problem.cut_value(bits), problem.cut_value(bits ^ full_mask));
+        }
+    }
+
+    #[test]
+    fn mean_cut_over_counts() {
+        let problem = MaxCut::new(generators::path(3)); // edges (0,1),(1,2)
+        let counts = Counts::from([(0b010, 3), (0b000, 1)]); // cuts 2 and 0
+        assert!((problem.mean_cut(&counts) - 1.5).abs() < 1e-12);
+        assert_eq!(problem.mean_cut(&Counts::new()), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn without_optimum_panics_on_max_value() {
+        let problem = MaxCut::without_optimum(generators::path(3));
+        let _ = problem.max_value();
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_graph_panics() {
+        let _ = MaxCut::new(qgraph::Graph::new(31));
+    }
+}

@@ -1,0 +1,259 @@
+//! Translation into hardware basis gates.
+//!
+//! IBM machines of the paper's era expose the basis `{U1, U2, U3, CNOT}`
+//! (§II "Basis Gates and Coupling Constraints"). Every gate in the IR
+//! decomposes into this set; notably the paper's Figure 1(d) shows the
+//! commuting "CPHASE" cost gate lowering to `CNOT · RZ · CNOT`, and SWAP
+//! lowers to three CNOTs.
+//!
+//! Gate-count results in the paper are reported on the decomposed circuit,
+//! so the experiment harness always lowers before counting.
+
+use std::f64::consts::{FRAC_PI_2, PI};
+
+use crate::{Circuit, CircuitError, Gate, Instruction};
+
+/// The basis-gate family a circuit can be lowered to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BasisSet {
+    /// IBM's `{U1, U2, U3, CNOT}` basis used by all targets in the paper.
+    #[default]
+    Ibm,
+}
+
+/// Lowers every instruction of `c` into the chosen basis.
+///
+/// Measurements pass through unchanged. The output contains only `U1`,
+/// `U2`, `U3`, `Cnot` and `Measure` instructions for [`BasisSet::Ibm`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::NotInBasis`] if a gate has no known lowering
+/// (cannot currently happen for the shipped gate set; the error arm guards
+/// future gate additions).
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::basis::{to_basis, BasisSet};
+/// use qcircuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.rzz(0.7, 0, 1);
+/// let lowered = to_basis(&c, BasisSet::Ibm)?;
+/// assert_eq!(lowered.count_gate("cx"), 2);
+/// assert_eq!(lowered.count_gate("u1"), 1);
+/// # Ok::<(), qcircuit::CircuitError>(())
+/// ```
+pub fn to_basis(c: &Circuit, basis: BasisSet) -> Result<Circuit, CircuitError> {
+    let BasisSet::Ibm = basis;
+    let mut out = Circuit::new(c.num_qubits());
+    for instr in c.iter() {
+        lower_ibm(instr, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Appends the IBM-basis lowering of one instruction to `out`.
+fn lower_ibm(instr: &Instruction, out: &mut Circuit) -> Result<(), CircuitError> {
+    let q = instr.q0();
+    let push1 = |out: &mut Circuit, g: Gate, q: usize| {
+        out.push(Instruction::one(g, q)).expect("operand validated by caller circuit")
+    };
+    let push2 = |out: &mut Circuit, g: Gate, a: usize, b: usize| {
+        out.push(Instruction::two(g, a, b)).expect("operand validated by caller circuit")
+    };
+    // `Gate` is non_exhaustive: the catch-all arm guards variants added in
+    // future versions, and is unreachable for the current set.
+    #[allow(unreachable_patterns)]
+    match instr.gate() {
+        // Already basis gates.
+        Gate::U1(_) | Gate::U2(..) | Gate::U3(..) | Gate::Cnot | Gate::Measure => {
+            out.push(*instr).expect("operand validated by caller circuit");
+        }
+        Gate::Id => {} // identity compiles away
+        Gate::H => push1(out, Gate::U2(0.0, PI), q),
+        Gate::X => push1(out, Gate::U3(PI, 0.0, PI), q),
+        Gate::Y => push1(out, Gate::U3(PI, FRAC_PI_2, FRAC_PI_2), q),
+        Gate::Z => push1(out, Gate::U1(PI), q),
+        Gate::S => push1(out, Gate::U1(FRAC_PI_2), q),
+        Gate::Sdg => push1(out, Gate::U1(-FRAC_PI_2), q),
+        Gate::T => push1(out, Gate::U1(PI / 4.0), q),
+        Gate::Tdg => push1(out, Gate::U1(-PI / 4.0), q),
+        Gate::Rx(t) => push1(out, Gate::U3(t, -FRAC_PI_2, FRAC_PI_2), q),
+        Gate::Ry(t) => push1(out, Gate::U3(t, 0.0, 0.0), q),
+        Gate::Rz(t) => push1(out, Gate::U1(t), q),
+        Gate::Cz => {
+            // H on target, CNOT, H on target.
+            let (a, b) = (instr.q0(), instr.q1());
+            push1(out, Gate::U2(0.0, PI), b);
+            push2(out, Gate::Cnot, a, b);
+            push1(out, Gate::U2(0.0, PI), b);
+        }
+        Gate::Rzz(t) => {
+            // Figure 1(d): CNOT · RZ(θ) · CNOT.
+            let (a, b) = (instr.q0(), instr.q1());
+            push2(out, Gate::Cnot, a, b);
+            push1(out, Gate::U1(t), b);
+            push2(out, Gate::Cnot, a, b);
+        }
+        Gate::CPhase(l) => {
+            // CP(λ) = U1(λ/2)_a · U1(λ/2)_b · [CNOT · U1(-λ/2)_b · CNOT]
+            let (a, b) = (instr.q0(), instr.q1());
+            push1(out, Gate::U1(l / 2.0), a);
+            push2(out, Gate::Cnot, a, b);
+            push1(out, Gate::U1(-l / 2.0), b);
+            push2(out, Gate::Cnot, a, b);
+            push1(out, Gate::U1(l / 2.0), b);
+        }
+        Gate::Swap => {
+            let (a, b) = (instr.q0(), instr.q1());
+            push2(out, Gate::Cnot, a, b);
+            push2(out, Gate::Cnot, b, a);
+            push2(out, Gate::Cnot, a, b);
+        }
+        other => return Err(CircuitError::NotInBasis(other.name().to_owned())),
+    }
+    Ok(())
+}
+
+/// Whether `c` contains only gates of the given basis (plus measurements).
+pub fn is_in_basis(c: &Circuit, basis: BasisSet) -> bool {
+    let BasisSet::Ibm = basis;
+    c.iter().all(|i| {
+        matches!(
+            i.gate(),
+            Gate::U1(_) | Gate::U2(..) | Gate::U3(..) | Gate::Cnot | Gate::Measure
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::{equal_up_to_phase4, identity2, kron, matmul4, Matrix4};
+
+    /// Computes the 4x4 unitary of a 2-qubit circuit (qubit 0 = low bit),
+    /// ignoring measurements.
+    fn unitary_of(c: &Circuit) -> Matrix4 {
+        assert_eq!(c.num_qubits(), 2);
+        let mut u = crate::math::identity4();
+        for instr in c.iter().filter(|i| i.gate().is_unitary()) {
+            let m = if instr.gate().arity() == 1 {
+                if instr.q0() == 1 {
+                    kron(&instr.gate().matrix2(), &identity2())
+                } else {
+                    kron(&identity2(), &instr.gate().matrix2())
+                }
+            } else if instr.q0() == 1 {
+                instr.gate().matrix4()
+            } else {
+                // orient so first operand is high bit
+                let s = Gate::Swap.matrix4();
+                matmul4(&s, &matmul4(&instr.gate().matrix4(), &s))
+            };
+            u = matmul4(&m, &u);
+        }
+        u
+    }
+
+    fn check_equivalent(gate: Gate) {
+        let mut original = Circuit::new(2);
+        if gate.arity() == 1 {
+            original.push(Instruction::one(gate, 0)).unwrap();
+        } else {
+            original.push(Instruction::two(gate, 1, 0)).unwrap();
+        }
+        let lowered = to_basis(&original, BasisSet::Ibm).unwrap();
+        assert!(is_in_basis(&lowered, BasisSet::Ibm), "{gate} not fully lowered");
+        assert!(
+            equal_up_to_phase4(&unitary_of(&original), &unitary_of(&lowered), 1e-9),
+            "{gate} lowering is not unitarily equivalent"
+        );
+    }
+
+    #[test]
+    fn every_gate_lowers_equivalently() {
+        for gate in [
+            Gate::Id,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.37),
+            Gate::Ry(-0.9),
+            Gate::Rz(2.2),
+            Gate::U1(0.4),
+            Gate::U2(0.1, 0.2),
+            Gate::U3(0.5, 0.6, 0.7),
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::CPhase(1.234),
+            Gate::Rzz(-0.77),
+            Gate::Swap,
+        ] {
+            check_equivalent(gate);
+        }
+    }
+
+    #[test]
+    fn rzz_costs_two_cnots_and_one_u1() {
+        let mut c = Circuit::new(2);
+        c.rzz(0.5, 0, 1);
+        let l = to_basis(&c, BasisSet::Ibm).unwrap();
+        assert_eq!(l.count_gate("cx"), 2);
+        assert_eq!(l.count_gate("u1"), 1);
+        assert_eq!(l.gate_count(), 3);
+    }
+
+    #[test]
+    fn swap_costs_three_cnots() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let l = to_basis(&c, BasisSet::Ibm).unwrap();
+        assert_eq!(l.count_gate("cx"), 3);
+        assert_eq!(l.gate_count(), 3);
+    }
+
+    #[test]
+    fn identity_compiles_away() {
+        let mut c = Circuit::new(1);
+        c.push(Instruction::one(Gate::Id, 0)).unwrap();
+        let l = to_basis(&c, BasisSet::Ibm).unwrap();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn measurements_pass_through() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.measure_all();
+        let l = to_basis(&c, BasisSet::Ibm).unwrap();
+        assert_eq!(l.count_gate("measure"), 2);
+    }
+
+    #[test]
+    fn qaoa_circuit_gate_count_formula() {
+        // p=1 QAOA-MaxCut on a graph with E edges and n nodes lowers to
+        // n H (=U2) + E*(2 CNOT + 1 U1) + n RX (=U3).
+        let (n, edges) = (4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3)]);
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for (a, b) in edges {
+            c.rzz(0.3, a, b);
+        }
+        for q in 0..n {
+            c.rx(0.9, q);
+        }
+        let l = to_basis(&c, BasisSet::Ibm).unwrap();
+        assert_eq!(l.gate_count(), n + edges.len() * 3 + n);
+        assert_eq!(l.count_gate("cx"), 2 * edges.len());
+    }
+}

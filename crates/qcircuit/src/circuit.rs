@@ -1,0 +1,523 @@
+use std::fmt;
+
+use crate::{CircuitError, Gate};
+
+/// One gate application: a [`Gate`] plus its qubit operands.
+///
+/// For two-qubit gates the operand order is `(first, second)` where the
+/// first operand is the control for [`Gate::Cnot`] / [`Gate::CPhase`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    gate: Gate,
+    q0: u32,
+    q1: u32,
+}
+
+impl Instruction {
+    /// Creates a single-qubit instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate.arity() != 1`.
+    pub fn one(gate: Gate, q: usize) -> Self {
+        assert_eq!(gate.arity(), 1, "{} is not a single-qubit gate", gate.name());
+        Instruction { gate, q0: q as u32, q1: u32::MAX }
+    }
+
+    /// Creates a two-qubit instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate.arity() != 2` or `a == b`.
+    pub fn two(gate: Gate, a: usize, b: usize) -> Self {
+        assert_eq!(gate.arity(), 2, "{} is not a two-qubit gate", gate.name());
+        assert_ne!(a, b, "two-qubit gate on duplicate operand {a}");
+        Instruction { gate, q0: a as u32, q1: b as u32 }
+    }
+
+    /// The gate being applied.
+    pub fn gate(&self) -> Gate {
+        self.gate
+    }
+
+    /// The qubit operands as a vector (one or two entries).
+    pub fn qubit_vec(&self) -> Vec<usize> {
+        if self.gate.arity() == 1 {
+            vec![self.q0 as usize]
+        } else {
+            vec![self.q0 as usize, self.q1 as usize]
+        }
+    }
+
+    /// The first operand (target of 1q gates, control of CNOT).
+    pub fn q0(&self) -> usize {
+        self.q0 as usize
+    }
+
+    /// The second operand of a two-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics for single-qubit instructions.
+    pub fn q1(&self) -> usize {
+        assert_eq!(self.gate.arity(), 2, "q1() on single-qubit instruction");
+        self.q1 as usize
+    }
+
+    /// Whether the instruction acts on `q`.
+    pub fn acts_on(&self, q: usize) -> bool {
+        self.q0 as usize == q || (self.gate.arity() == 2 && self.q1 as usize == q)
+    }
+
+    /// Whether the instruction shares at least one qubit with `other`.
+    pub fn overlaps(&self, other: &Instruction) -> bool {
+        other.acts_on(self.q0 as usize)
+            || (self.gate.arity() == 2 && other.acts_on(self.q1 as usize))
+    }
+
+    /// Rewrites qubit indices through `map` (e.g. a logical→physical
+    /// layout), returning the remapped instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` returns identical indices for the two operands of a
+    /// two-qubit gate.
+    pub fn remap<F: Fn(usize) -> usize>(&self, map: F) -> Instruction {
+        if self.gate.arity() == 1 {
+            Instruction::one(self.gate, map(self.q0 as usize))
+        } else {
+            Instruction::two(self.gate, map(self.q0 as usize), map(self.q1 as usize))
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.gate.arity() == 1 {
+            write!(f, "{} q{}", self.gate, self.q0)
+        } else {
+            write!(f, "{} q{}, q{}", self.gate, self.q0, self.q1)
+        }
+    }
+}
+
+/// An ordered sequence of gate applications over `num_qubits` qubits.
+///
+/// The instruction order is program order; concurrency ("layers", the
+/// paper's time steps) is derived on demand by [`crate::layers`]. This
+/// mirrors how the paper's methodologies work: IP/IC/VIC choose the
+/// *sequence* of CPHASE gates handed to the backend, and the backend's
+/// layer partitioner extracts parallelism from that sequence.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.measure_all();
+/// assert_eq!(c.len(), 4);
+/// assert_eq!(c.count_gate("cx"), 1);
+/// assert_eq!(c.depth(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit { num_qubits, instructions: Vec::new() }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of instructions (including measurements).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the circuit contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The instructions in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Validates operands and appends an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfBounds`] for out-of-range operands.
+    pub fn push(&mut self, instr: Instruction) -> Result<(), CircuitError> {
+        for q in instr.qubit_vec() {
+            if q >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfBounds {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        self.instructions.push(instr);
+        Ok(())
+    }
+
+    fn push_one(&mut self, gate: Gate, q: usize) {
+        self.push(Instruction::one(gate, q))
+            .unwrap_or_else(|e| panic!("invalid gate operand: {e}"));
+    }
+
+    fn push_two(&mut self, gate: Gate, a: usize, b: usize) {
+        self.push(Instruction::two(gate, a, b))
+            .unwrap_or_else(|e| panic!("invalid gate operand: {e}"));
+    }
+
+    /// Appends a Hadamard gate.
+    ///
+    /// # Panics
+    ///
+    /// This and the other builder shorthands panic on out-of-range qubits;
+    /// use [`Circuit::push`] for fallible insertion.
+    pub fn h(&mut self, q: usize) {
+        self.push_one(Gate::H, q);
+    }
+
+    /// Appends a Pauli-X gate.
+    pub fn x(&mut self, q: usize) {
+        self.push_one(Gate::X, q);
+    }
+
+    /// Appends a Pauli-Y gate.
+    pub fn y(&mut self, q: usize) {
+        self.push_one(Gate::Y, q);
+    }
+
+    /// Appends a Pauli-Z gate.
+    pub fn z(&mut self, q: usize) {
+        self.push_one(Gate::Z, q);
+    }
+
+    /// Appends an `Rx(theta)` rotation.
+    pub fn rx(&mut self, theta: f64, q: usize) {
+        self.push_one(Gate::Rx(theta), q);
+    }
+
+    /// Appends an `Ry(theta)` rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) {
+        self.push_one(Gate::Ry(theta), q);
+    }
+
+    /// Appends an `Rz(theta)` rotation.
+    pub fn rz(&mut self, theta: f64, q: usize) {
+        self.push_one(Gate::Rz(theta), q);
+    }
+
+    /// Appends a `U1(lambda)` phase gate.
+    pub fn u1(&mut self, lambda: f64, q: usize) {
+        self.push_one(Gate::U1(lambda), q);
+    }
+
+    /// Appends a CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        self.push_two(Gate::Cnot, c, t);
+    }
+
+    /// Appends a controlled-Z gate.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.push_two(Gate::Cz, a, b);
+    }
+
+    /// Appends a controlled-phase gate `diag(1,1,1,e^{iλ})`.
+    pub fn cp(&mut self, lambda: f64, a: usize, b: usize) {
+        self.push_two(Gate::CPhase(lambda), a, b);
+    }
+
+    /// Appends the commuting ZZ-interaction (the paper's "CPHASE") gate.
+    pub fn rzz(&mut self, theta: f64, a: usize, b: usize) {
+        self.push_two(Gate::Rzz(theta), a, b);
+    }
+
+    /// Appends a SWAP gate.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.push_two(Gate::Swap, a, b);
+    }
+
+    /// Appends a measurement of qubit `q`.
+    pub fn measure(&mut self, q: usize) {
+        self.push_one(Gate::Measure, q);
+    }
+
+    /// Appends a measurement of every qubit.
+    pub fn measure_all(&mut self) {
+        for q in 0..self.num_qubits {
+            self.measure(q);
+        }
+    }
+
+    /// Appends all instructions of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SizeMismatch`] if qubit counts differ. Used
+    /// by IC/VIC to *stitch* compiled partial circuits (paper §IV-C).
+    pub fn append(&mut self, other: &Circuit) -> Result<(), CircuitError> {
+        if other.num_qubits != self.num_qubits {
+            return Err(CircuitError::SizeMismatch {
+                expected: self.num_qubits,
+                found: other.num_qubits,
+            });
+        }
+        self.instructions.extend_from_slice(&other.instructions);
+        Ok(())
+    }
+
+    /// The circuit depth: the number of concurrency layers (time steps)
+    /// when gates are scheduled as soon as possible in program order.
+    ///
+    /// Matches the paper's depth metric — the Figure 1(b) random circuit
+    /// has depth 9 and the Figure 1(c) reordered circuit depth 6, both
+    /// counting the final measurements.
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for instr in &self.instructions {
+            let level = instr
+                .qubit_vec()
+                .iter()
+                .map(|&q| frontier[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in instr.qubit_vec() {
+                frontier[q] = level;
+            }
+            depth = depth.max(level);
+        }
+        depth
+    }
+
+    /// Total number of instructions excluding measurements — the paper's
+    /// *gate-count* metric is reported on the basis-decomposed circuit.
+    pub fn gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.gate().is_unitary()).count()
+    }
+
+    /// The number of two-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.gate().arity() == 2).count()
+    }
+
+    /// The number of instructions whose gate mnemonic equals `name`.
+    pub fn count_gate(&self, name: &str) -> usize {
+        self.instructions.iter().filter(|i| i.gate().name() == name).count()
+    }
+
+    /// Maps every qubit index through `map`, e.g. to apply an initial
+    /// logical→physical layout.
+    pub fn remapped<F: Fn(usize) -> usize>(&self, num_qubits: usize, map: F) -> Circuit {
+        let mut out = Circuit::new(num_qubits);
+        for instr in &self.instructions {
+            out.push(instr.remap(&map))
+                .unwrap_or_else(|e| panic!("remap produced invalid instruction: {e}"));
+        }
+        out
+    }
+
+    /// The reverse circuit: inverses of the unitary gates in reverse order.
+    /// Measurements are dropped. Used by reverse-traversal mapping
+    /// refinement.
+    pub fn reversed(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for instr in self.instructions.iter().rev() {
+            if !instr.gate().is_unitary() {
+                continue;
+            }
+            let inv = instr.gate().inverse();
+            let rebuilt = if inv.arity() == 1 {
+                Instruction::one(inv, instr.q0())
+            } else {
+                Instruction::two(inv, instr.q0(), instr.q1())
+            };
+            out.push(rebuilt).expect("reversed instruction stays in range");
+        }
+        out
+    }
+
+    /// Iterates over instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} ops]:", self.num_qubits, self.len())?;
+        for instr in &self.instructions {
+            writeln!(f, "  {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut c = Circuit::new(2);
+        assert_eq!(
+            c.push(Instruction::one(Gate::H, 2)),
+            Err(CircuitError::QubitOutOfBounds { qubit: 2, num_qubits: 2 })
+        );
+        assert!(c.push(Instruction::two(Gate::Cnot, 0, 1)).is_ok());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_operand_panics() {
+        let _ = Instruction::two(Gate::Cnot, 1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let _ = Instruction::one(Gate::Cnot, 0);
+    }
+
+    #[test]
+    fn fig1_random_vs_reordered_depth() {
+        let gamma = 0.4;
+        let beta = 0.3;
+        // circ-1, Figure 1(b): a poorly ordered CPHASE sequence where every
+        // consecutive pair shares a qubit, forcing 6 sequential layers
+        // (0-based qubits).
+        let mut c1 = Circuit::new(4);
+        for q in 0..4 {
+            c1.h(q);
+        }
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3), (0, 3)] {
+            c1.rzz(gamma, a, b);
+        }
+        for q in 0..4 {
+            c1.rx(2.0 * beta, q);
+        }
+        c1.measure_all();
+        assert_eq!(c1.depth(), 9);
+
+        // circ-2, Figure 1(c): three dense layers.
+        let mut c2 = Circuit::new(4);
+        for q in 0..4 {
+            c2.h(q);
+        }
+        for (a, b) in [(0, 1), (2, 3), (0, 2), (1, 3), (0, 3), (1, 2)] {
+            c2.rzz(gamma, a, b);
+        }
+        for q in 0..4 {
+            c2.rx(2.0 * beta, q);
+        }
+        c2.measure_all();
+        assert_eq!(c2.depth(), 6);
+    }
+
+    #[test]
+    fn gate_counts_exclude_measurement() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.measure_all();
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.count_gate("measure"), 2);
+        assert_eq!(c.count_gate("h"), 1);
+    }
+
+    #[test]
+    fn append_checks_size() {
+        let mut a = Circuit::new(3);
+        let b = Circuit::new(2);
+        assert_eq!(a.append(&b), Err(CircuitError::SizeMismatch { expected: 3, found: 2 }));
+        let mut ok = Circuit::new(3);
+        ok.h(1);
+        a.append(&ok).unwrap();
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn remap_applies_layout() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let layout = [5usize, 2usize];
+        let mapped = c.remapped(6, |q| layout[q]);
+        assert_eq!(mapped.instructions()[0].q0(), 5);
+        assert_eq!(mapped.instructions()[0].q1(), 2);
+    }
+
+    #[test]
+    fn reversed_inverts_order_and_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.rz(0.5, 1);
+        c.cx(0, 1);
+        c.measure_all();
+        let r = c.reversed();
+        assert_eq!(r.len(), 3); // measurements dropped
+        assert_eq!(r.instructions()[0].gate(), Gate::Cnot);
+        assert_eq!(r.instructions()[1].gate(), Gate::Rz(-0.5));
+        assert_eq!(r.instructions()[2].gate(), Gate::H);
+    }
+
+    #[test]
+    fn depth_of_empty_and_parallel() {
+        assert_eq!(Circuit::new(4).depth(), 0);
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn instruction_overlap_and_acts_on() {
+        let a = Instruction::two(Gate::Cnot, 0, 1);
+        let b = Instruction::two(Gate::Cnot, 1, 2);
+        let c = Instruction::one(Gate::H, 3);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.acts_on(0) && a.acts_on(1) && !a.acts_on(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.rzz(0.25, 0, 1);
+        let s = c.to_string();
+        assert!(s.contains("h q0"));
+        assert!(s.contains("rzz(0.2500) q0, q1"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Gate commutation rules.
+//!
+//! The central observation the paper builds on: "The CPHASE operations in a
+//! QAOA circuit are commutative, i.e. the order of these CPHASE gates can
+//! be interchanged without affecting the output state" (§I). This module
+//! decides whether two instructions commute so passes can legally reorder
+//! them, using structural rules backed (in tests) by explicit matrix
+//! checks.
+
+use crate::math::{equal_up_to_phase4, identity2, kron, matmul4, Matrix4};
+use crate::{Gate, Instruction};
+
+/// Whether `a` and `b` commute as operators, by structural rules.
+///
+/// The rules are conservative (sound but not complete): a `true` result
+/// guarantees the instructions commute; a `false` result means reordering
+/// is not proven safe.
+///
+/// Rules, in order:
+/// 1. Instructions on disjoint qubits always commute.
+/// 2. Measurements never commute with overlapping operations.
+/// 3. Z-diagonal gates (Rz, U1, Z, S, T, CZ, CPhase, Rzz, ...) commute with
+///    each other on any qubit overlap — this covers the QAOA cost layer.
+/// 4. Rx rotations on the same single qubit commute with each other.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::{commute::commutes, Gate, Instruction};
+///
+/// let a = Instruction::two(Gate::Rzz(0.3), 0, 1);
+/// let b = Instruction::two(Gate::Rzz(0.8), 1, 2);
+/// assert!(commutes(&a, &b)); // shared qubit, both diagonal
+///
+/// let c = Instruction::one(Gate::Rx(0.3), 1);
+/// assert!(!commutes(&a, &c));
+/// ```
+pub fn commutes(a: &Instruction, b: &Instruction) -> bool {
+    if !a.overlaps(b) {
+        return true;
+    }
+    if !a.gate().is_unitary() || !b.gate().is_unitary() {
+        return false;
+    }
+    if a.gate().is_diagonal() && b.gate().is_diagonal() {
+        return true;
+    }
+    // Same-axis single-qubit rotations on the same qubit.
+    if a.gate().arity() == 1 && b.gate().arity() == 1 && a.q0() == b.q0() {
+        if let (Gate::Rx(_), Gate::Rx(_)) | (Gate::Ry(_), Gate::Ry(_)) =
+            (a.gate(), b.gate())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether every pair of instructions in `instrs` mutually commutes —
+/// e.g. a full QAOA cost layer.
+pub fn all_commute(instrs: &[Instruction]) -> bool {
+    for (i, a) in instrs.iter().enumerate() {
+        for b in &instrs[i + 1..] {
+            if !commutes(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Exact commutation check by multiplying the embedded matrices of two
+/// instructions whose combined support covers at most 2 qubits.
+///
+/// Used in tests to validate [`commutes`]; exposed for diagnostic tooling.
+/// Returns `None` when the pair's support spans more than two distinct
+/// qubits (embedding would need 8×8 matrices) or involves measurement.
+pub fn commutes_exact(a: &Instruction, b: &Instruction) -> Option<bool> {
+    if !a.gate().is_unitary() || !b.gate().is_unitary() {
+        return None;
+    }
+    let mut support: Vec<usize> = a.qubit_vec();
+    for q in b.qubit_vec() {
+        if !support.contains(&q) {
+            support.push(q);
+        }
+    }
+    if support.len() > 2 {
+        return None;
+    }
+    // Embed both into the 2-qubit space spanned by `support` (padded with
+    // an arbitrary extra qubit when the support is a single qubit).
+    if support.len() == 1 {
+        support.push(usize::MAX); // virtual padding qubit
+    }
+    let embed = |i: &Instruction| -> Matrix4 {
+        if i.gate().arity() == 1 {
+            if i.q0() == support[0] {
+                kron(&i.gate().matrix2(), &identity2())
+            } else {
+                kron(&identity2(), &i.gate().matrix2())
+            }
+        } else {
+            // Orient the 4x4 so that support[0] is the high bit.
+            if i.q0() == support[0] {
+                i.gate().matrix4()
+            } else {
+                swap_conjugate(&i.gate().matrix4())
+            }
+        }
+    };
+    let ma = embed(a);
+    let mb = embed(b);
+    Some(equal_up_to_phase4(&matmul4(&ma, &mb), &matmul4(&mb, &ma), 1e-9))
+}
+
+/// Conjugates a 4×4 matrix by SWAP, exchanging the roles of the two qubits.
+fn swap_conjugate(m: &Matrix4) -> Matrix4 {
+    let s = Gate::Swap.matrix4();
+    matmul4(&s, &matmul4(m, &s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_instructions_commute() {
+        let a = Instruction::two(Gate::Cnot, 0, 1);
+        let b = Instruction::two(Gate::Cnot, 2, 3);
+        assert!(commutes(&a, &b));
+    }
+
+    #[test]
+    fn qaoa_cost_layer_commutes() {
+        let layer = [
+            Instruction::two(Gate::Rzz(0.1), 0, 1),
+            Instruction::two(Gate::Rzz(0.2), 1, 2),
+            Instruction::two(Gate::Rzz(0.3), 0, 2),
+            Instruction::two(Gate::Rzz(0.4), 2, 3),
+        ];
+        assert!(all_commute(&layer));
+    }
+
+    #[test]
+    fn measurement_blocks_reordering() {
+        let m = Instruction::one(Gate::Measure, 0);
+        let g = Instruction::one(Gate::Rz(0.3), 0);
+        assert!(!commutes(&m, &g));
+        assert!(!commutes(&g, &m));
+        // ...but measurement on another qubit is fine.
+        let g2 = Instruction::one(Gate::Rz(0.3), 1);
+        assert!(commutes(&m, &g2));
+    }
+
+    #[test]
+    fn mixed_basis_does_not_commute() {
+        let rzz = Instruction::two(Gate::Rzz(0.1), 0, 1);
+        let rx = Instruction::one(Gate::Rx(0.4), 0);
+        let h = Instruction::one(Gate::H, 1);
+        assert!(!commutes(&rzz, &rx));
+        assert!(!commutes(&rzz, &h));
+    }
+
+    #[test]
+    fn same_axis_rotations_commute() {
+        let a = Instruction::one(Gate::Rx(0.2), 3);
+        let b = Instruction::one(Gate::Rx(1.0), 3);
+        assert!(commutes(&a, &b));
+        let c = Instruction::one(Gate::Ry(1.0), 3);
+        assert!(!commutes(&a, &c));
+    }
+
+    #[test]
+    fn structural_rules_are_sound_vs_exact() {
+        // For every pair over a small gate pool on 2 qubits: if the
+        // structural rule says "commutes", the exact check must agree.
+        let pool = [
+            Instruction::one(Gate::H, 0),
+            Instruction::one(Gate::Rz(0.3), 0),
+            Instruction::one(Gate::Rx(0.7), 1),
+            Instruction::one(Gate::T, 1),
+            Instruction::two(Gate::Rzz(0.5), 0, 1),
+            Instruction::two(Gate::CPhase(0.9), 0, 1),
+            Instruction::two(Gate::Cnot, 0, 1),
+            Instruction::two(Gate::Cnot, 1, 0),
+            Instruction::two(Gate::Swap, 0, 1),
+            Instruction::two(Gate::Cz, 0, 1),
+        ];
+        for a in &pool {
+            for b in &pool {
+                if commutes(a, b) {
+                    assert_eq!(
+                        commutes_exact(a, b),
+                        Some(true),
+                        "structural rule wrongly claims {a} and {b} commute"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_detects_cnot_asymmetry() {
+        let ab = Instruction::two(Gate::Cnot, 0, 1);
+        let ba = Instruction::two(Gate::Cnot, 1, 0);
+        assert_eq!(commutes_exact(&ab, &ba), Some(false));
+        // CNOTs sharing only the control commute...
+        let ab2 = Instruction::two(Gate::Cnot, 0, 1);
+        assert_eq!(commutes_exact(&ab, &ab2), Some(true));
+        // CZ is symmetric and diagonal: commutes with CPhase.
+        let cz = Instruction::two(Gate::Cz, 0, 1);
+        let cp = Instruction::two(Gate::CPhase(0.3), 1, 0);
+        assert_eq!(commutes_exact(&cz, &cp), Some(true));
+    }
+
+    #[test]
+    fn exact_gives_up_beyond_two_qubits() {
+        let a = Instruction::two(Gate::Rzz(0.1), 0, 1);
+        let b = Instruction::two(Gate::Rzz(0.1), 1, 2);
+        assert_eq!(commutes_exact(&a, &b), None);
+        // ...while the structural rule still resolves it.
+        assert!(commutes(&a, &b));
+    }
+}

@@ -1,0 +1,111 @@
+//! ASCII circuit drawing, one row per qubit and one column per
+//! concurrency layer — handy for debugging compilation passes and for the
+//! worked examples mirroring the paper's figures.
+
+use crate::layers::asap_layers;
+use crate::{Circuit, Gate};
+
+/// Renders the circuit as fixed-width ASCII art.
+///
+/// Each column is one ASAP layer. Two-qubit gates mark their first operand
+/// with `*` (control for CNOT/CP) and second with the gate mnemonic;
+/// idle wires show `-`.
+///
+/// # Examples
+///
+/// ```
+/// let mut c = qcircuit::Circuit::new(2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// let art = qcircuit::draw::draw(&c);
+/// assert!(art.lines().count() >= 2);
+/// ```
+pub fn draw(c: &Circuit) -> String {
+    let layers = asap_layers(c);
+    let n = c.num_qubits();
+    // cells[q][layer]
+    let mut cells: Vec<Vec<String>> = vec![vec![String::new(); layers.len()]; n];
+    for (li, layer) in layers.iter().enumerate() {
+        for instr in layer {
+            match instr.gate() {
+                Gate::Measure => cells[instr.q0()][li] = "M".to_owned(),
+                g if g.arity() == 1 => {
+                    cells[instr.q0()][li] = short_name(g);
+                }
+                g => {
+                    cells[instr.q0()][li] = format!("*{}", short_name(g));
+                    cells[instr.q1()][li] = short_name(g);
+                }
+            }
+        }
+    }
+    let widths: Vec<usize> = (0..layers.len())
+        .map(|li| cells.iter().map(|row| row[li].len()).max().unwrap_or(1).max(1))
+        .collect();
+    let mut out = String::new();
+    for (q, row) in cells.iter().enumerate() {
+        out.push_str(&format!("q{q:<3}|"));
+        for (li, cell) in row.iter().enumerate() {
+            let w = widths[li];
+            if cell.is_empty() {
+                out.push_str(&format!(" {:-<w$} ", ""));
+            } else {
+                out.push_str(&format!(" {cell:<w$} "));
+            }
+            out.push('|');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn short_name(g: Gate) -> String {
+    match g {
+        Gate::Rzz(_) => "ZZ".to_owned(),
+        Gate::CPhase(_) => "CP".to_owned(),
+        Gate::Cnot => "X".to_owned(),
+        Gate::Cz => "Z".to_owned(),
+        Gate::Swap => "SW".to_owned(),
+        other => other.name().to_uppercase(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drawing_has_one_row_per_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.rzz(0.4, 1, 2);
+        let art = draw(&c);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("*X"));
+        assert!(art.contains("*ZZ"));
+    }
+
+    #[test]
+    fn idle_wires_render_dashes() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let art = draw(&c);
+        let line_q1 = art.lines().nth(1).unwrap();
+        assert!(line_q1.contains('-'));
+    }
+
+    #[test]
+    fn empty_circuit_draws_bare_wires() {
+        let c = Circuit::new(2);
+        let art = draw(&c);
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn measurement_renders_m() {
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        assert!(draw(&c).contains('M'));
+    }
+}

@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for circuit construction and transformation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit index `>= num_qubits`.
+    QubitOutOfBounds {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit's qubit count.
+        num_qubits: usize,
+    },
+    /// A two-qubit gate was applied to the same qubit twice.
+    DuplicateOperand(usize),
+    /// Two circuits with mismatched qubit counts were combined.
+    SizeMismatch {
+        /// Qubit count of the receiving circuit.
+        expected: usize,
+        /// Qubit count of the appended circuit.
+        found: usize,
+    },
+    /// A gate has no decomposition into the requested basis.
+    NotInBasis(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfBounds { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of bounds for circuit with {num_qubits} qubits")
+            }
+            CircuitError::DuplicateOperand(q) => {
+                write!(f, "two-qubit gate applied twice to qubit {q}")
+            }
+            CircuitError::SizeMismatch { expected, found } => {
+                write!(f, "circuit size mismatch: expected {expected} qubits, found {found}")
+            }
+            CircuitError::NotInBasis(name) => {
+                write!(f, "gate {name} has no decomposition into the target basis")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}

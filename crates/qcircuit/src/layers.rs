@@ -1,0 +1,186 @@
+//! Concurrency-layer scheduling.
+//!
+//! The backend compiler the paper builds on (\[47\], \[48\]) "partitions the
+//! circuit in different layers where each layer consists of gates that can
+//! be executed concurrently in the hardware (gates operating on a different
+//! set of qubits)". This module implements that partition in the standard
+//! as-soon-as-possible (ASAP) form that respects program order: a gate is
+//! placed in the earliest layer after the last layer touching any of its
+//! qubits.
+//!
+//! The number of layers equals [`crate::Circuit::depth`].
+
+use crate::{Circuit, Instruction};
+
+/// Partitions the circuit into ASAP concurrency layers.
+///
+/// Each inner vector holds instructions that act on pairwise-disjoint
+/// qubits and can execute in the same time step; layers are ordered in
+/// time. Program order is respected: a gate never moves before a
+/// program-earlier gate that shares a qubit.
+///
+/// # Examples
+///
+/// ```
+/// use qcircuit::{layers::asap_layers, Circuit};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0);
+/// c.h(1);
+/// c.cx(0, 1);
+/// c.h(2);
+/// let layers = asap_layers(&c);
+/// assert_eq!(layers.len(), 2);
+/// assert_eq!(layers[0].len(), 3); // h q0, h q1, h q2
+/// assert_eq!(layers[1].len(), 1); // cx
+/// ```
+pub fn asap_layers(c: &Circuit) -> Vec<Vec<Instruction>> {
+    let mut frontier = vec![0usize; c.num_qubits()];
+    let mut layers: Vec<Vec<Instruction>> = Vec::new();
+    for instr in c.iter() {
+        let level = instr.qubit_vec().iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        if level == layers.len() {
+            layers.push(Vec::new());
+        }
+        layers[level].push(*instr);
+        for q in instr.qubit_vec() {
+            frontier[q] = level + 1;
+        }
+    }
+    layers
+}
+
+/// Groups only the *two-qubit* gates of `c` into ASAP layers, ignoring
+/// single-qubit gates and measurements.
+///
+/// The SWAP-insertion backends operate on two-qubit layers: coupling
+/// constraints only bind two-qubit gates, and single-qubit gates route
+/// trivially.
+pub fn two_qubit_layers(c: &Circuit) -> Vec<Vec<Instruction>> {
+    let mut frontier = vec![0usize; c.num_qubits()];
+    let mut layers: Vec<Vec<Instruction>> = Vec::new();
+    for instr in c.iter().filter(|i| i.gate().arity() == 2) {
+        let level = instr.qubit_vec().iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        if level == layers.len() {
+            layers.push(Vec::new());
+        }
+        layers[level].push(*instr);
+        for q in instr.qubit_vec() {
+            frontier[q] = level + 1;
+        }
+    }
+    layers
+}
+
+/// Rebuilds a circuit from explicit layers, preserving the layer order.
+///
+/// # Panics
+///
+/// Panics if any instruction references a qubit `>= num_qubits`.
+pub fn from_layers(num_qubits: usize, layers: &[Vec<Instruction>]) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for layer in layers {
+        for instr in layer {
+            c.push(*instr).unwrap_or_else(|e| panic!("invalid layered instruction: {e}"));
+        }
+    }
+    c
+}
+
+/// The average number of gates per layer — a parallelism figure of merit.
+/// Returns 0.0 for the empty circuit.
+pub fn mean_layer_occupancy(c: &Circuit) -> f64 {
+    let layers = asap_layers(c);
+    if layers.is_empty() {
+        return 0.0;
+    }
+    c.len() as f64 / layers.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gate;
+
+    fn qaoa_like(order: &[(usize, usize)]) -> Circuit {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        for &(a, b) in order {
+            c.rzz(0.5, a, b);
+        }
+        c
+    }
+
+    #[test]
+    fn layers_are_disjoint_in_qubits() {
+        let c = qaoa_like(&[(0, 1), (2, 3), (0, 2), (1, 3)]);
+        for layer in asap_layers(&c) {
+            let mut used = std::collections::HashSet::new();
+            for instr in &layer {
+                for q in instr.qubit_vec() {
+                    assert!(used.insert(q), "qubit {q} reused within a layer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_count_matches_depth() {
+        for order in [
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![(0, 1), (2, 3), (0, 2), (1, 3), (0, 3), (1, 2)],
+            vec![(0, 1), (0, 2), (0, 3)],
+        ] {
+            let c = qaoa_like(&order);
+            assert_eq!(asap_layers(&c).len(), c.depth());
+        }
+    }
+
+    #[test]
+    fn two_qubit_layers_ignore_singles() {
+        let c = qaoa_like(&[(0, 1), (2, 3), (1, 2)]);
+        let layers = two_qubit_layers(&c);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 2);
+        assert_eq!(layers[1].len(), 1);
+        assert!(layers
+            .iter()
+            .flatten()
+            .all(|i| matches!(i.gate(), Gate::Rzz(_))));
+    }
+
+    #[test]
+    fn from_layers_round_trips() {
+        let c = qaoa_like(&[(0, 1), (2, 3), (0, 3)]);
+        let layers = asap_layers(&c);
+        let rebuilt = from_layers(4, &layers);
+        assert_eq!(rebuilt.depth(), c.depth());
+        assert_eq!(rebuilt.len(), c.len());
+    }
+
+    #[test]
+    fn occupancy() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        assert!((mean_layer_occupancy(&c) - 4.0).abs() < 1e-12);
+        assert_eq!(mean_layer_occupancy(&Circuit::new(3)), 0.0);
+    }
+
+    #[test]
+    fn program_order_is_respected() {
+        // Two commuting RZZs sharing a qubit must stay in program order
+        // across layers (the scheduler is order-preserving; reordering is
+        // the *compiler passes'* job).
+        let mut c = Circuit::new(3);
+        c.rzz(0.1, 0, 1);
+        c.rzz(0.2, 1, 2);
+        let layers = asap_layers(&c);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0][0].gate(), Gate::Rzz(0.1));
+        assert_eq!(layers[1][0].gate(), Gate::Rzz(0.2));
+    }
+}

@@ -1,0 +1,290 @@
+//! Minimal complex arithmetic and gate matrices.
+//!
+//! The offline dependency set contains no complex-number crate, so this
+//! module provides the small amount of complex linear algebra the stack
+//! needs: a `Complex` scalar, 2×2 and 4×4 unitary matrices for every gate,
+//! and matrix products for equivalence checking.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity.
+pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+/// The multiplicative identity.
+pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+/// The imaginary unit.
+pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|^2` — the Born-rule probability weight.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// Whether `self` is within `tol` of `other` in both components.
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// A 2×2 complex matrix in row-major order — a single-qubit unitary.
+pub type Matrix2 = [[Complex; 2]; 2];
+
+/// A 4×4 complex matrix in row-major order — a two-qubit unitary with basis
+/// order `|q1 q0⟩ ∈ {00, 01, 10, 11}` (qubit 0 is the least-significant
+/// bit).
+pub type Matrix4 = [[Complex; 4]; 4];
+
+/// The 2×2 identity.
+pub fn identity2() -> Matrix2 {
+    [[ONE, ZERO], [ZERO, ONE]]
+}
+
+/// The 4×4 identity.
+pub fn identity4() -> Matrix4 {
+    let mut m = [[ZERO; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = ONE;
+    }
+    m
+}
+
+/// Product of two 2×2 matrices (`a * b`, i.e. `b` applied first).
+pub fn matmul2(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    let mut out = [[ZERO; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            for (k, bk) in b.iter().enumerate() {
+                out[i][j] += a[i][k] * bk[j];
+            }
+        }
+    }
+    out
+}
+
+/// Product of two 4×4 matrices (`a * b`, i.e. `b` applied first).
+pub fn matmul4(a: &Matrix4, b: &Matrix4) -> Matrix4 {
+    let mut out = [[ZERO; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            for (k, bk) in b.iter().enumerate() {
+                out[i][j] += a[i][k] * bk[j];
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker product `a ⊗ b` of two single-qubit matrices, where `a` acts
+/// on the more-significant qubit.
+pub fn kron(a: &Matrix2, b: &Matrix2) -> Matrix4 {
+    let mut out = [[ZERO; 4]; 4];
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                for l in 0..2 {
+                    out[2 * i + k][2 * j + l] = a[i][j] * b[k][l];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether two matrices are equal up to a global phase, within `tol`.
+///
+/// Finds the first entry of `a` with significant magnitude and uses the
+/// ratio against the matching entry of `b` as the candidate phase.
+pub fn equal_up_to_phase4(a: &Matrix4, b: &Matrix4, tol: f64) -> bool {
+    let mut phase: Option<Complex> = None;
+    for i in 0..4 {
+        for j in 0..4 {
+            if a[i][j].abs() > 1e-9 {
+                if b[i][j].abs() <= 1e-9 {
+                    return false;
+                }
+                let inv = 1.0 / a[i][j].norm_sqr();
+                phase = Some(b[i][j] * a[i][j].conj().scale(inv));
+                break;
+            }
+        }
+        if phase.is_some() {
+            break;
+        }
+    }
+    let Some(phase) = phase else {
+        // `a` is the zero matrix; equal iff `b` is too.
+        return b.iter().flatten().all(|z| z.abs() <= tol);
+    };
+    for i in 0..4 {
+        for j in 0..4 {
+            if !(a[i][j] * phase).approx_eq(b[i][j], tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn complex_field_axioms() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert_eq!(a + b, Complex::new(0.5, 5.0));
+        assert_eq!(a - b, Complex::new(1.5, -1.0));
+        assert_eq!(a * ONE, a);
+        assert_eq!(a * ZERO, ZERO);
+        // (1+2i)(-0.5+3i) = -0.5 + 3i - i + 6i^2 = -6.5 + 2i
+        assert_eq!(a * b, Complex::new(-6.5, 2.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn cis_and_conjugate() {
+        let z = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!(z.approx_eq(I, TOL));
+        assert!((z * z.conj()).approx_eq(ONE, TOL));
+        assert!((Complex::cis(0.3).abs() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn norm_sqr_is_modulus_squared() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+    }
+
+    #[test]
+    fn matrix_products() {
+        let x: Matrix2 = [[ZERO, ONE], [ONE, ZERO]];
+        let id = identity2();
+        assert_eq!(matmul2(&x, &x), id);
+        assert_eq!(matmul2(&x, &id), x);
+
+        let xx = kron(&x, &x);
+        assert_eq!(matmul4(&xx, &xx), identity4());
+    }
+
+    #[test]
+    fn kron_ordering() {
+        // Z ⊗ I flips sign on rows where the high qubit is 1.
+        let z: Matrix2 = [[ONE, ZERO], [ZERO, -ONE]];
+        let zi = kron(&z, &identity2());
+        assert_eq!(zi[0][0], ONE);
+        assert_eq!(zi[1][1], ONE);
+        assert_eq!(zi[2][2], -ONE);
+        assert_eq!(zi[3][3], -ONE);
+    }
+
+    #[test]
+    fn phase_equality() {
+        let a = identity4();
+        let mut b = identity4();
+        for row in b.iter_mut() {
+            for z in row.iter_mut() {
+                *z = *z * Complex::cis(0.7);
+            }
+        }
+        assert!(equal_up_to_phase4(&a, &b, 1e-9));
+        b[3][3] = b[3][3] * Complex::cis(0.1);
+        assert!(!equal_up_to_phase4(&a, &b, 1e-9));
+    }
+}

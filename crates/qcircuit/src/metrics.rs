@@ -1,0 +1,172 @@
+//! Extended circuit statistics beyond depth and gate count.
+//!
+//! The paper's headline metrics are depth, gate-count and success
+//! probability; these helpers expose the finer-grained quantities the
+//! analysis sections reason about — two-qubit structure (two-qubit gates
+//! dominate both error and latency), per-qubit load balance, and idle
+//! time (the decoherence exposure that makes depth matter, §II).
+
+use crate::layers::asap_layers;
+use crate::Circuit;
+
+/// A summary of a circuit's scheduling structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Total instructions (including measurements).
+    pub instructions: usize,
+    /// Unitary gate count (the paper's gate-count metric).
+    pub gates: usize,
+    /// Two-qubit gate count.
+    pub two_qubit_gates: usize,
+    /// ASAP depth (the paper's depth metric).
+    pub depth: usize,
+    /// Depth counting only layers that contain a two-qubit gate.
+    pub two_qubit_depth: usize,
+    /// Mean gates per layer.
+    pub mean_layer_occupancy: f64,
+    /// Total idle qubit-layer slots (decoherence exposure): the number of
+    /// (qubit, layer) pairs where a busy circuit leaves the qubit idle
+    /// between its first and last use.
+    pub idle_slots: usize,
+    /// Maximum number of operations on any single qubit.
+    pub max_qubit_load: usize,
+}
+
+/// Computes [`CircuitStats`] for a circuit.
+///
+/// # Examples
+///
+/// ```
+/// let mut c = qcircuit::Circuit::new(3);
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// let stats = qcircuit::metrics::stats(&c);
+/// assert_eq!(stats.depth, 3);
+/// assert_eq!(stats.two_qubit_depth, 2);
+/// assert_eq!(stats.max_qubit_load, 2);
+/// ```
+pub fn stats(c: &Circuit) -> CircuitStats {
+    let layers = asap_layers(c);
+    let n = c.num_qubits();
+    let depth = layers.len();
+    let two_qubit_depth = layers
+        .iter()
+        .filter(|l| l.iter().any(|i| i.gate().arity() == 2))
+        .count();
+
+    // Per-qubit first/last activity and load.
+    let mut first = vec![usize::MAX; n];
+    let mut last = vec![0usize; n];
+    let mut load = vec![0usize; n];
+    let mut busy = vec![vec![false; depth]; n];
+    for (li, layer) in layers.iter().enumerate() {
+        for instr in layer {
+            for q in instr.qubit_vec() {
+                first[q] = first[q].min(li);
+                last[q] = last[q].max(li);
+                load[q] += 1;
+                busy[q][li] = true;
+            }
+        }
+    }
+    let idle_slots = (0..n)
+        .filter(|&q| first[q] != usize::MAX)
+        .map(|q| {
+            (first[q]..=last[q]).filter(|&li| !busy[q][li]).count()
+        })
+        .sum();
+
+    CircuitStats {
+        instructions: c.len(),
+        gates: c.gate_count(),
+        two_qubit_gates: c.two_qubit_count(),
+        depth,
+        two_qubit_depth,
+        mean_layer_occupancy: if depth == 0 { 0.0 } else { c.len() as f64 / depth as f64 },
+        idle_slots,
+        max_qubit_load: load.into_iter().max().unwrap_or(0),
+    }
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} instr, {} gates ({} 2q), depth {} ({} 2q-layers), {:.2} gates/layer, {} idle slots, max load {}",
+            self.instructions,
+            self.gates,
+            self.two_qubit_gates,
+            self.depth,
+            self.two_qubit_depth,
+            self.mean_layer_occupancy,
+            self.idle_slots,
+            self.max_qubit_load
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_stats() {
+        let s = stats(&Circuit::new(3));
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.idle_slots, 0);
+        assert_eq!(s.mean_layer_occupancy, 0.0);
+        assert_eq!(s.max_qubit_load, 0);
+    }
+
+    #[test]
+    fn serial_chain_has_idle_slots() {
+        // q0 is busy at layers 0 and 2 but idle at layer 1.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1); // layer 0
+        c.cx(1, 2); // layer 1
+        c.cx(0, 1); // layer 2
+        let s = stats(&c);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.two_qubit_depth, 3);
+        assert_eq!(s.idle_slots, 1); // q0 idle at layer 1 (q1 always busy; q2's window is one layer)
+        assert_eq!(s.max_qubit_load, 3); // q1 in all three gates
+    }
+
+    #[test]
+    fn parallel_circuit_has_no_idle() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        c.cx(0, 1);
+        c.cx(2, 3);
+        let s = stats(&c);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.idle_slots, 0);
+        assert!((s.mean_layer_occupancy - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_depth_skips_single_qubit_layers() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        c.cx(0, 1);
+        c.rx(0.3, 0);
+        let s = stats(&c);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.two_qubit_depth, 1);
+        assert_eq!(s.two_qubit_gates, 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let text = stats(&c).to_string();
+        assert!(text.contains("1 instr"));
+        assert!(text.contains("depth 1"));
+    }
+}

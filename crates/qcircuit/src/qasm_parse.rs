@@ -1,0 +1,325 @@
+//! OpenQASM 2.0 import for the subset this crate exports.
+//!
+//! Enables round-tripping compiled circuits through external tooling
+//! (e.g. cross-checking depth and gate counts in qiskit and loading the
+//! result back). The parser handles the `qelib1.inc` gates the IR knows,
+//! single `qreg`/`creg` declarations, and `measure` statements.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Circuit, Gate, Instruction};
+
+/// Error type for OpenQASM parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseQasmError {
+    /// The program did not start with the expected `OPENQASM 2.0;` header.
+    MissingHeader,
+    /// No `qreg` declaration before the first gate.
+    MissingQreg,
+    /// A second `qreg` was declared (only one register is supported).
+    MultipleQreg,
+    /// An unrecognized statement or gate.
+    Unsupported(String),
+    /// A malformed statement (bad operand syntax, wrong arity, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseQasmError::MissingHeader => write!(f, "missing OPENQASM 2.0 header"),
+            ParseQasmError::MissingQreg => write!(f, "no qreg declared before first gate"),
+            ParseQasmError::MultipleQreg => write!(f, "multiple qreg declarations"),
+            ParseQasmError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
+            ParseQasmError::Malformed(s) => write!(f, "malformed statement: {s}"),
+        }
+    }
+}
+
+impl Error for ParseQasmError {}
+
+/// Parses an OpenQASM 2.0 program (the subset produced by
+/// [`crate::qasm::to_qasm`]) into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`ParseQasmError`] describing the first offending statement.
+///
+/// # Examples
+///
+/// ```
+/// let mut original = qcircuit::Circuit::new(2);
+/// original.h(0);
+/// original.rzz(0.5, 0, 1);
+/// original.measure_all();
+/// let text = qcircuit::qasm::to_qasm(&original);
+/// let parsed = qcircuit::qasm::parse(&text)?;
+/// assert_eq!(parsed, original);
+/// # Ok::<(), qcircuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    let mut saw_header = false;
+    for raw in text.split(';') {
+        let stmt = strip_comments(raw).trim().to_owned();
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt.starts_with("OPENQASM") {
+            saw_header = true;
+            continue;
+        }
+        if !saw_header {
+            return Err(ParseQasmError::MissingHeader);
+        }
+        if stmt.starts_with("include") || stmt.starts_with("creg") || stmt.starts_with("barrier")
+        {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            if circuit.is_some() {
+                return Err(ParseQasmError::MultipleQreg);
+            }
+            let n = parse_reg_size(rest).ok_or_else(|| ParseQasmError::Malformed(stmt.clone()))?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        let c = circuit.as_mut().ok_or(ParseQasmError::MissingQreg)?;
+        parse_statement(&stmt, c)?;
+    }
+    circuit.ok_or(ParseQasmError::MissingQreg)
+}
+
+fn strip_comments(s: &str) -> String {
+    s.lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn parse_reg_size(rest: &str) -> Option<usize> {
+    // e.g. " q[4]"
+    let open = rest.find('[')?;
+    let close = rest.find(']')?;
+    rest[open + 1..close].trim().parse().ok()
+}
+
+fn parse_statement(stmt: &str, circuit: &mut Circuit) -> Result<(), ParseQasmError> {
+    // measure q[i] -> c[i]
+    if let Some(rest) = stmt.strip_prefix("measure") {
+        let q = parse_operand(rest.split("->").next().unwrap_or(""))
+            .ok_or_else(|| ParseQasmError::Malformed(stmt.to_owned()))?;
+        circuit
+            .push(Instruction::one(Gate::Measure, q))
+            .map_err(|e| ParseQasmError::Malformed(format!("{stmt}: {e}")))?;
+        return Ok(());
+    }
+    // name(params)? operands
+    let (head, operands_text) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
+            stmt.split_at(pos)
+        }
+        _ => {
+            // parameterized gate: split after closing paren
+            let close = stmt
+                .find(')')
+                .ok_or_else(|| ParseQasmError::Malformed(stmt.to_owned()))?;
+            stmt.split_at(close + 1)
+        }
+    };
+    let (name, params) = match head.find('(') {
+        Some(open) => {
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| ParseQasmError::Malformed(stmt.to_owned()))?;
+            let params: Result<Vec<f64>, _> = head[open + 1..close]
+                .split(',')
+                .map(|p| parse_angle(p.trim()))
+                .collect();
+            (
+                head[..open].trim(),
+                params.map_err(|_| ParseQasmError::Malformed(stmt.to_owned()))?,
+            )
+        }
+        None => (head.trim(), Vec::new()),
+    };
+    let operands: Vec<usize> = operands_text
+        .split(',')
+        .map(parse_operand)
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| ParseQasmError::Malformed(stmt.to_owned()))?;
+
+    let p = |i: usize| -> f64 { params.get(i).copied().unwrap_or(0.0) };
+    let gate = match (name, params.len()) {
+        ("id", 0) => Gate::Id,
+        ("h", 0) => Gate::H,
+        ("x", 0) => Gate::X,
+        ("y", 0) => Gate::Y,
+        ("z", 0) => Gate::Z,
+        ("s", 0) => Gate::S,
+        ("sdg", 0) => Gate::Sdg,
+        ("t", 0) => Gate::T,
+        ("tdg", 0) => Gate::Tdg,
+        ("rx", 1) => Gate::Rx(p(0)),
+        ("ry", 1) => Gate::Ry(p(0)),
+        ("rz", 1) => Gate::Rz(p(0)),
+        ("u1", 1) => Gate::U1(p(0)),
+        ("u2", 2) => Gate::U2(p(0), p(1)),
+        ("u3", 3) => Gate::U3(p(0), p(1), p(2)),
+        ("cx" | "CX", 0) => Gate::Cnot,
+        ("cz", 0) => Gate::Cz,
+        ("cp" | "cu1", 1) => Gate::CPhase(p(0)),
+        ("rzz", 1) => Gate::Rzz(p(0)),
+        ("swap", 0) => Gate::Swap,
+        _ => return Err(ParseQasmError::Unsupported(stmt.to_owned())),
+    };
+    let instr = match (gate.arity(), operands.as_slice()) {
+        (1, [q]) => Instruction::one(gate, *q),
+        (2, [a, b]) => Instruction::two(gate, *a, *b),
+        _ => return Err(ParseQasmError::Malformed(stmt.to_owned())),
+    };
+    circuit
+        .push(instr)
+        .map_err(|e| ParseQasmError::Malformed(format!("{stmt}: {e}")))
+}
+
+/// Parses an angle literal, supporting plain floats and the `pi`-based
+/// forms qiskit emits (`pi`, `-pi/2`, `3*pi/4`, `2pi`).
+fn parse_angle(text: &str) -> Result<f64, ()> {
+    let t = text.trim();
+    if let Ok(v) = t.parse::<f64>() {
+        return Ok(v);
+    }
+    if !t.contains("pi") {
+        return Err(());
+    }
+    let (sign, t) = match t.strip_prefix('-') {
+        Some(rest) => (-1.0, rest.trim()),
+        None => (1.0, t),
+    };
+    let (numer_text, denom) = match t.split_once('/') {
+        Some((n, d)) => (n.trim(), d.trim().parse::<f64>().map_err(|_| ())?),
+        None => (t, 1.0),
+    };
+    let coeff = match numer_text.strip_suffix("pi") {
+        Some("") => 1.0,
+        Some(c) => {
+            let c = c.trim().trim_end_matches('*').trim();
+            if c.is_empty() {
+                1.0
+            } else {
+                c.parse::<f64>().map_err(|_| ())?
+            }
+        }
+        None => return Err(()),
+    };
+    Ok(sign * coeff * std::f64::consts::PI / denom)
+}
+
+fn parse_operand(text: &str) -> Option<usize> {
+    let t = text.trim();
+    let open = t.find('[')?;
+    let close = t.find(']')?;
+    t[open + 1..close].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm::to_qasm;
+
+    #[test]
+    fn round_trip_every_exported_gate() {
+        let mut c = Circuit::new(3);
+        c.push(Instruction::one(Gate::Id, 0)).unwrap();
+        c.h(0);
+        c.x(1);
+        c.y(2);
+        c.z(0);
+        c.push(Instruction::one(Gate::S, 1)).unwrap();
+        c.push(Instruction::one(Gate::Sdg, 1)).unwrap();
+        c.push(Instruction::one(Gate::T, 2)).unwrap();
+        c.push(Instruction::one(Gate::Tdg, 2)).unwrap();
+        c.rx(0.25, 0);
+        c.ry(-1.5, 1);
+        c.rz(3.25, 2);
+        c.u1(0.125, 0);
+        c.push(Instruction::one(Gate::U2(0.1, 0.2), 1)).unwrap();
+        c.push(Instruction::one(Gate::U3(0.1, 0.2, 0.3), 2)).unwrap();
+        c.cx(0, 1);
+        c.cz(1, 2);
+        c.cp(0.375, 0, 2);
+        c.rzz(-0.625, 1, 0);
+        c.swap(2, 0);
+        c.measure_all();
+        let parsed = parse(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let qasm = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\nu2(0,pi) q[0];\nrz(-pi/2) q[0];\nu1(3*pi/4) q[0];\nrx(2pi) q[0];\n";
+        let c = parse(qasm).unwrap();
+        assert_eq!(c.len(), 4);
+        let gates: Vec<Gate> = c.iter().map(|i| i.gate()).collect();
+        assert_eq!(gates[0], Gate::U2(0.0, std::f64::consts::PI));
+        assert_eq!(gates[1], Gate::Rz(-std::f64::consts::FRAC_PI_2));
+        assert_eq!(gates[2], Gate::U1(3.0 * std::f64::consts::FRAC_PI_4));
+        assert_eq!(gates[3], Gate::Rx(2.0 * std::f64::consts::PI));
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert_eq!(parse("qreg q[2];\nh q[0];"), Err(ParseQasmError::MissingHeader));
+    }
+
+    #[test]
+    fn gate_before_qreg_is_rejected() {
+        let qasm = "OPENQASM 2.0;\nh q[0];";
+        assert_eq!(parse(qasm), Err(ParseQasmError::MissingQreg));
+    }
+
+    #[test]
+    fn duplicate_qreg_is_rejected() {
+        let qasm = "OPENQASM 2.0;\nqreg q[2];\nqreg r[2];";
+        assert_eq!(parse(qasm), Err(ParseQasmError::MultipleQreg));
+    }
+
+    #[test]
+    fn unknown_gate_is_unsupported() {
+        let qasm = "OPENQASM 2.0;\nqreg q[2];\nccx q[0],q[1];";
+        assert!(matches!(parse(qasm), Err(ParseQasmError::Unsupported(_))));
+    }
+
+    #[test]
+    fn out_of_range_operand_is_malformed() {
+        let qasm = "OPENQASM 2.0;\nqreg q[2];\nh q[5];";
+        assert!(matches!(parse(qasm), Err(ParseQasmError::Malformed(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let qasm = "OPENQASM 2.0;\n// a comment\nqreg q[1];\n\nh q[0]; // trailing\n";
+        let c = parse(qasm).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn compiled_circuit_round_trips() {
+        // A routed, basis-lowered circuit survives export + import.
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            c.rzz(0.5, a, b);
+        }
+        c.swap(0, 1);
+        c.measure_all();
+        let lowered = crate::basis::to_basis(&c, crate::basis::BasisSet::Ibm).unwrap();
+        let parsed = parse(&to_qasm(&lowered)).unwrap();
+        assert_eq!(parsed, lowered);
+    }
+}

@@ -1,0 +1,292 @@
+//! Crosstalk-aware sequentialization (§VI "Crosstalk").
+//!
+//! The paper notes that excessive gate parallelization can increase
+//! crosstalk errors and points to Murali et al. (\[66\], ASPLOS'20): on real
+//! devices only a small subset of coupling pairs is highly crosstalk-prone
+//! (5 of 221 on IBM Poughkeepsie), so it suffices to *sequentialize* the
+//! parallel operations on exactly those pairs post-compilation. This
+//! module implements that post-pass.
+
+use std::collections::BTreeSet;
+
+use qcircuit::layers::{asap_layers, from_layers};
+use qcircuit::{Circuit, Instruction};
+use qgraph::Edge;
+
+/// A set of coupling pairs whose simultaneous operation is crosstalk-prone.
+///
+/// Pairs are *coupling edges* of the physical device; two two-qubit gates
+/// conflict when each executes on one edge of a listed conflicting edge
+/// pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrosstalkPairs {
+    conflicts: BTreeSet<(Edge, Edge)>,
+}
+
+impl CrosstalkPairs {
+    /// No known conflicts (the pass becomes the identity).
+    pub fn none() -> Self {
+        CrosstalkPairs::default()
+    }
+
+    /// Builds from explicit `((a, b), (c, d))` edge pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge pair shares a qubit: such gates can never run in
+    /// the same layer anyway, so listing them indicates a configuration
+    /// error.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = ((usize, usize), (usize, usize))>,
+    {
+        let mut conflicts = BTreeSet::new();
+        for ((a, b), (c, d)) in pairs {
+            let e1 = Edge::new(a, b);
+            let e2 = Edge::new(c, d);
+            assert!(
+                !(e1.contains(c) || e1.contains(d)),
+                "conflicting edges ({a},{b}) and ({c},{d}) share a qubit"
+            );
+            // store canonically ordered
+            let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+            conflicts.insert((lo, hi));
+        }
+        CrosstalkPairs { conflicts }
+    }
+
+    /// Whether simultaneous two-qubit gates on `e1` and `e2` conflict.
+    pub fn conflicts(&self, e1: Edge, e2: Edge) -> bool {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        self.conflicts.contains(&(lo, hi))
+    }
+
+    /// Number of registered conflicting pairs.
+    pub fn len(&self) -> usize {
+        self.conflicts.len()
+    }
+
+    /// Whether no conflicts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// An explicit gate schedule: instructions grouped into time steps.
+///
+/// A plain [`Circuit`] cannot express "hold this gate back" — its depth is
+/// recomputed by ASAP scheduling, which would re-parallelize deferred
+/// gates. The crosstalk pass therefore returns the schedule explicitly;
+/// this is also the natural input for pulse-level scheduling, which is
+/// where crosstalk constraints are ultimately enforced (\[66\]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    num_qubits: usize,
+    layers: Vec<Vec<Instruction>>,
+}
+
+impl Schedule {
+    /// Number of time steps.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The scheduled time steps.
+    pub fn layers(&self) -> &[Vec<Instruction>] {
+        &self.layers
+    }
+
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the schedule holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.layers.iter().all(Vec::is_empty)
+    }
+
+    /// Flattens back to a circuit (dropping the explicit hold-backs — the
+    /// gate order and semantics are preserved).
+    pub fn to_circuit(&self) -> Circuit {
+        from_layers(self.num_qubits, &self.layers)
+    }
+}
+
+/// Sequentializes crosstalk-prone parallel operations: whenever a
+/// concurrency layer contains two-qubit gates on a conflicting edge pair,
+/// the later gate is deferred to a fresh time step. All other parallelism
+/// is preserved; the gate sequence (and hence the semantics) is unchanged —
+/// only the schedule stretches.
+///
+/// Returns the adjusted schedule and the number of deferral events.
+pub fn sequentialize(circuit: &Circuit, pairs: &CrosstalkPairs) -> (Schedule, usize) {
+    if pairs.is_empty() {
+        return (
+            Schedule { num_qubits: circuit.num_qubits(), layers: asap_layers(circuit) },
+            0,
+        );
+    }
+    let mut deferred_count = 0usize;
+    let mut out_layers: Vec<Vec<Instruction>> = Vec::new();
+    let mut pending: Vec<Instruction> = Vec::new();
+    for layer in asap_layers(circuit) {
+        // Pre-pend any gates deferred from the previous layer, then the
+        // layer's own gates, keeping only a conflict-free prefix set.
+        let mut this: Vec<Instruction> = Vec::new();
+        let mut next_pending: Vec<Instruction> = Vec::new();
+        for instr in pending.into_iter().chain(layer) {
+            let conflict = instr.gate().arity() == 2
+                && this.iter().any(|placed| {
+                    placed.gate().arity() == 2
+                        && pairs.conflicts(
+                            Edge::new(instr.q0(), instr.q1()),
+                            Edge::new(placed.q0(), placed.q1()),
+                        )
+                });
+            // A deferred gate's qubits may also be busy in this layer.
+            let busy = instr
+                .qubit_vec()
+                .iter()
+                .any(|&q| this.iter().any(|placed| placed.acts_on(q)));
+            if conflict || busy {
+                deferred_count += 1;
+                next_pending.push(instr);
+            } else {
+                this.push(instr);
+            }
+        }
+        out_layers.push(this);
+        pending = next_pending;
+    }
+    // Flush remaining deferred gates, one conflict-free batch per layer.
+    while !pending.is_empty() {
+        let mut this: Vec<Instruction> = Vec::new();
+        let mut next_pending: Vec<Instruction> = Vec::new();
+        for instr in pending {
+            let conflict = instr.gate().arity() == 2
+                && this.iter().any(|placed| {
+                    placed.gate().arity() == 2
+                        && pairs.conflicts(
+                            Edge::new(instr.q0(), instr.q1()),
+                            Edge::new(placed.q0(), placed.q1()),
+                        )
+                });
+            let busy = instr
+                .qubit_vec()
+                .iter()
+                .any(|&q| this.iter().any(|placed| placed.acts_on(q)));
+            if conflict || busy {
+                next_pending.push(instr);
+            } else {
+                this.push(instr);
+            }
+        }
+        out_layers.push(this);
+        pending = next_pending;
+    }
+    out_layers.retain(|l| !l.is_empty());
+    (
+        Schedule { num_qubits: circuit.num_qubits(), layers: out_layers },
+        deferred_count,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two parallel CNOTs on conflicting edges get split across layers.
+    #[test]
+    fn conflicting_parallel_gates_are_split() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        assert_eq!(c.depth(), 1);
+        let pairs = CrosstalkPairs::from_pairs([((0, 1), (2, 3))]);
+        let (out, deferred) = sequentialize(&c, &pairs);
+        assert_eq!(deferred, 1);
+        assert_eq!(out.depth(), 2);
+        assert_eq!(out.len(), 2);
+        assert!(!out.is_empty());
+        assert_eq!(out.to_circuit().len(), 2);
+    }
+
+    /// Unlisted pairs keep their parallelism.
+    #[test]
+    fn non_conflicting_gates_stay_parallel() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        c.cx(4, 5);
+        let pairs = CrosstalkPairs::from_pairs([((0, 1), (2, 3))]);
+        let (out, deferred) = sequentialize(&c, &pairs);
+        assert_eq!(deferred, 1);
+        // (0,1) ∥ (4,5) in layer 1; (2,3) alone in layer 2.
+        assert_eq!(out.depth(), 2);
+    }
+
+    /// The empty conflict set is the identity pass.
+    #[test]
+    fn empty_pairs_is_identity() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.rzz(0.3, 1, 2);
+        let (out, deferred) = sequentialize(&c, &CrosstalkPairs::none());
+        assert_eq!(deferred, 0);
+        assert_eq!(out.to_circuit(), c);
+        assert_eq!(out.depth(), c.depth());
+    }
+
+    /// Gate multiset and per-qubit order are preserved (semantics intact).
+    #[test]
+    fn semantics_preserved() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.h(q);
+        }
+        c.rzz(0.1, 0, 1);
+        c.rzz(0.2, 2, 3);
+        c.rzz(0.3, 0, 2);
+        c.rx(0.9, 0);
+        let pairs = CrosstalkPairs::from_pairs([((0, 1), (2, 3))]);
+        let (out, _) = sequentialize(&c, &pairs);
+        assert_eq!(out.len(), c.len());
+        // Statevector equality (sequentialization never reorders
+        // overlapping gates).
+        let a = qsim::StateVector::from_circuit(&c);
+        let b = qsim::StateVector::from_circuit(&out.to_circuit());
+        assert!(a.fidelity(&b) > 1.0 - 1e-10);
+    }
+
+    /// Chains of conflicts serialize fully.
+    #[test]
+    fn pairwise_chain_serializes() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        c.cx(4, 5);
+        let pairs =
+            CrosstalkPairs::from_pairs([((0, 1), (2, 3)), ((2, 3), (4, 5)), ((0, 1), (4, 5))]);
+        let (out, deferred) = sequentialize(&c, &pairs);
+        assert_eq!(out.depth(), 3);
+        assert!(deferred >= 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shared_qubit_pair_panics() {
+        let _ = CrosstalkPairs::from_pairs([((0, 1), (1, 2))]);
+    }
+
+    #[test]
+    fn conflict_lookup_is_symmetric() {
+        let pairs = CrosstalkPairs::from_pairs([((0, 1), (2, 3))]);
+        assert!(pairs.conflicts(Edge::new(2, 3), Edge::new(0, 1)));
+        assert!(pairs.conflicts(Edge::new(1, 0), Edge::new(3, 2)));
+        assert!(!pairs.conflicts(Edge::new(0, 1), Edge::new(4, 5)));
+        assert_eq!(pairs.len(), 1);
+        assert!(!pairs.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Incremental Compilation (IC, §IV-C) and its variation-aware form
+//! (VIC, §IV-D).
+//!
+//! IC forms CPHASE layers *one at a time*: before each layer it re-sorts
+//! the remaining gates by the **current** physical distance of their
+//! operands (the logical→physical mapping drifts as the backend inserts
+//! SWAPs), greedily packs one layer, routes just that layer, and feeds the
+//! post-routing mapping into the next round. The compiled partial circuits
+//! are stitched into the final hardware-compliant circuit (Figure 5).
+//!
+//! VIC is IC with the reliability-weighted distance metric of Figure 6(d):
+//! unreliable couplings look longer, so the layer former defers gates that
+//! would execute on bad links and the router detours around them —
+//! maximizing the compiled circuit's success probability.
+
+use qcircuit::Circuit;
+use qhw::Topology;
+use qroute::{route, Layout, RoutingMetric};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{CphaseOp, QaoaSpec};
+
+/// Output of [`compile_incremental`].
+#[derive(Debug, Clone)]
+pub struct IncrementalResult {
+    /// The stitched hardware-compliant circuit.
+    pub circuit: Circuit,
+    /// Logical→physical mapping after all partial compilations.
+    pub final_layout: Layout,
+    /// Total SWAPs inserted across all partial circuits.
+    pub swap_count: usize,
+    /// Number of CPHASE layers formed (across all levels).
+    pub cphase_layers: usize,
+}
+
+/// Compiles a QAOA program incrementally (IC when `metric` is
+/// [`RoutingMetric::hops`], VIC when it is [`RoutingMetric::reliability`]).
+///
+/// `packing_limit` caps the gates per formed layer (§V-H); ties in the
+/// distance sort break randomly via `rng`, as in the paper.
+///
+/// # Panics
+///
+/// Panics if the program does not fit the topology or `packing_limit` is
+/// `Some(0)`.
+pub fn compile_incremental<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    initial_layout: Layout,
+    metric: &RoutingMetric,
+    packing_limit: Option<usize>,
+    rng: &mut R,
+) -> IncrementalResult {
+    compile_incremental_with(spec, topology, initial_layout, metric, packing_limit, true, rng)
+}
+
+/// [`compile_incremental`] with an ablation switch: when `resort` is
+/// false, the remaining-gate list is shuffled but **not** re-sorted by
+/// current distance before each layer, removing IC's exploitation of "the
+/// dynamic changes in logical-to-physical qubit mapping" (§IV-C). The
+/// `ablation_ic` binary quantifies what the re-sorting buys.
+///
+/// # Panics
+///
+/// Same as [`compile_incremental`].
+pub fn compile_incremental_with<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    initial_layout: Layout,
+    metric: &RoutingMetric,
+    packing_limit: Option<usize>,
+    resort: bool,
+    rng: &mut R,
+) -> IncrementalResult {
+    if let Some(limit) = packing_limit {
+        assert!(limit > 0, "packing limit must be positive");
+    }
+    let n_logical = spec.num_qubits();
+    let n_physical = topology.num_qubits();
+    let mut layout = initial_layout;
+    let mut out = Circuit::new(n_physical);
+    let mut swap_count = 0usize;
+    let mut cphase_layers = 0usize;
+
+    // Initial Hadamard wall.
+    for q in 0..n_logical {
+        out.h(layout.phys(q));
+    }
+
+    for (level, (ops, beta)) in spec.levels().iter().enumerate() {
+        let mut remaining: Vec<CphaseOp> = ops.clone();
+        while !remaining.is_empty() {
+            // Step 1: sort by current physical distance (ties random).
+            remaining.shuffle(rng);
+            if resort {
+                remaining.sort_by(|x, y| {
+                    let dx = metric.dist(layout.phys(x.a), layout.phys(x.b));
+                    let dy = metric.dist(layout.phys(y.a), layout.phys(y.b));
+                    dx.total_cmp(&dy)
+                });
+            }
+            // Greedily pack a single layer of qubit bins.
+            let mut occupied = vec![false; n_logical];
+            let mut layer = Vec::new();
+            let mut spill = Vec::new();
+            for op in remaining.drain(..) {
+                let fits = !occupied[op.a]
+                    && !occupied[op.b]
+                    && packing_limit.is_none_or(|lim| layer.len() < lim);
+                if fits {
+                    occupied[op.a] = true;
+                    occupied[op.b] = true;
+                    layer.push(op);
+                } else {
+                    spill.push(op);
+                }
+            }
+            remaining = spill;
+            cphase_layers += 1;
+            // Compile the partial circuit holding just this layer.
+            let mut partial = Circuit::new(n_logical);
+            for op in &layer {
+                partial.rzz(op.angle, op.a, op.b);
+            }
+            let routed = route(&partial, topology, layout, metric);
+            out.append(&routed.circuit).expect("same physical width");
+            layout = routed.final_layout;
+            swap_count += routed.swap_count;
+        }
+        // Field rotations (diagonal; commute with the cost layer) and the
+        // mixer wall for this level.
+        for &(q, angle) in spec.field_terms(level) {
+            out.rz(angle, layout.phys(q));
+        }
+        for q in 0..n_logical {
+            out.rx(2.0 * *beta, layout.phys(q));
+        }
+    }
+
+    if spec.measure() {
+        for q in 0..n_logical {
+            out.measure(layout.phys(q));
+        }
+    }
+
+    IncrementalResult { circuit: out, final_layout: layout, swap_count, cphase_layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhw::Calibration;
+    use qroute::satisfies_coupling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The Figure 3(c)/Example 3 program with the Example 1 mapping
+    /// {q0→7, q1→12, q2→13, q3→2, q4→8}.
+    fn fig5_setup() -> (QaoaSpec, Topology, Layout) {
+        let ops = [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 4), (3, 4)]
+            .into_iter()
+            .map(|(a, b)| CphaseOp::new(a, b, 0.4))
+            .collect();
+        let spec = QaoaSpec::new(5, vec![(ops, 0.3)], false);
+        let topo = Topology::ibmq_20_tokyo();
+        let layout = Layout::from_mapping(vec![7, 12, 13, 2, 8], 20);
+        (spec, topo, layout)
+    }
+
+    #[test]
+    fn fig5_layer_and_swap_budget() {
+        // Paper Example 3: 4 layers formed, 2 SWAPs added. Layer contents
+        // depend on random tie-breaks, so assert the structural facts: the
+        // layer count equals MOQ (q0 appears in 4 ops → at least 4 layers;
+        // greedy packing achieves it or comes within one), and the SWAP
+        // budget stays at the paper's level.
+        let (spec, topo, layout) = fig5_setup();
+        let metric = RoutingMetric::hops(&topo);
+        let mut best_layers = usize::MAX;
+        let mut best_swaps = usize::MAX;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = compile_incremental(&spec, &topo, layout.clone(), &metric, None, &mut rng);
+            assert!(satisfies_coupling(&r.circuit, &topo));
+            assert!(r.cphase_layers >= 4);
+            best_layers = best_layers.min(r.cphase_layers);
+            best_swaps = best_swaps.min(r.swap_count);
+        }
+        assert_eq!(best_layers, 4, "greedy should reach the MOQ bound");
+        assert!(best_swaps <= 2, "paper reports 2 SWAPs; got best {best_swaps}");
+    }
+
+    #[test]
+    fn incremental_result_is_equivalent_to_logical_circuit() {
+        let (spec, topo, layout) = fig5_setup();
+        let metric = RoutingMetric::hops(&topo);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = compile_incremental(&spec, &topo, layout.clone(), &metric, None, &mut rng);
+
+        // Reference: the same program compiled trivially (H wall, ops in
+        // spec order, mixer), simulated on logical qubits; compare via the
+        // embedding + inverse-permutation trick of qroute::verify. The
+        // circuits only use 8 physical qubits of tokyo in practice, but
+        // verification simulates all 20 — still fine (~1M amplitudes).
+        let mut logical = Circuit::new(5);
+        for q in 0..5 {
+            logical.h(q);
+        }
+        for op in &spec.levels()[0].0 {
+            logical.rzz(op.angle, op.a, op.b);
+        }
+        for q in 0..5 {
+            logical.rx(2.0 * spec.levels()[0].1, q);
+        }
+        assert!(qroute::routed_equivalent(
+            &logical,
+            &r.circuit,
+            &layout,
+            &r.final_layout
+        ));
+    }
+
+    #[test]
+    fn vic_prefers_reliable_couplings() {
+        // The paper's Figure 10 protocol: mean success probability over a
+        // set of problem instances, VIC vs IC, on melbourne with the real
+        // 2020-04-08 calibration. VIC must win on average.
+        let (topo, cal) = Calibration::melbourne_2020_04_08();
+        let ic_metric = RoutingMetric::hops(&topo);
+        let vic_metric = RoutingMetric::reliability(&topo, &cal);
+        let (mut sp_ic, mut sp_vic) = (0.0f64, 0.0f64);
+        let instances = 12;
+        for seed in 0..instances {
+            let mut g_rng = StdRng::seed_from_u64(500 + seed);
+            let g =
+                qgraph::generators::connected_erdos_renyi(12, 0.5, 1000, &mut g_rng).unwrap();
+            let problem = qaoa::MaxCut::without_optimum(g);
+            let spec = QaoaSpec::from_maxcut(&problem, &qaoa::QaoaParams::p1(0.4, 0.3), true);
+            let layout = crate::mapping::qaim(&spec, &topo);
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let ric =
+                compile_incremental(&spec, &topo, layout.clone(), &ic_metric, None, &mut rng);
+            let rvic =
+                compile_incremental(&spec, &topo, layout.clone(), &vic_metric, None, &mut rng);
+            sp_ic += qroute::success_probability(&ric.circuit, &cal);
+            sp_vic += qroute::success_probability(&rvic.circuit, &cal);
+        }
+        assert!(
+            sp_vic > sp_ic,
+            "mean VIC success probability {} should beat IC {}",
+            sp_vic / instances as f64,
+            sp_ic / instances as f64
+        );
+    }
+
+    #[test]
+    fn packing_limit_reduces_layer_occupancy() {
+        let (spec, topo, layout) = fig5_setup();
+        let metric = RoutingMetric::hops(&topo);
+        let mut rng = StdRng::seed_from_u64(1);
+        let limited =
+            compile_incremental(&spec, &topo, layout.clone(), &metric, Some(1), &mut rng);
+        // 7 ops, one per layer.
+        assert_eq!(limited.cphase_layers, 7);
+        assert!(satisfies_coupling(&limited.circuit, &topo));
+    }
+
+    #[test]
+    fn multi_level_compilation_stitches_all_levels() {
+        let problem = qaoa::MaxCut::new(qgraph::generators::cycle(5));
+        let params = qaoa::QaoaParams::new(vec![(0.3, 0.2), (0.5, 0.4)]);
+        let spec = QaoaSpec::from_maxcut(&problem, &params, true);
+        let topo = Topology::ibmq_16_melbourne();
+        let layout = crate::mapping::qaim(&spec, &topo);
+        let mut rng = StdRng::seed_from_u64(7);
+        let metric = RoutingMetric::hops(&topo);
+        let r = compile_incremental(&spec, &topo, layout, &metric, None, &mut rng);
+        assert_eq!(r.circuit.count_gate("rzz"), 10);
+        assert_eq!(r.circuit.count_gate("rx"), 10);
+        assert_eq!(r.circuit.count_gate("h"), 5);
+        assert_eq!(r.circuit.count_gate("measure"), 5);
+        assert!(satisfies_coupling(&r.circuit, &topo));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_packing_limit_panics() {
+        let (spec, topo, layout) = fig5_setup();
+        let metric = RoutingMetric::hops(&topo);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = compile_incremental(&spec, &topo, layout, &metric, Some(0), &mut rng);
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's contribution: four compilation methodologies for QAOA
+//! circuits, layered on a conventional backend compiler.
+//!
+//! | Methodology | Module | Paper section |
+//! |---|---|---|
+//! | QAIM — integrated qubit allocation & initial mapping | [`mapping`] | §IV-A |
+//! | IP — instruction parallelization (bin-packing) | [`ip`] | §IV-B |
+//! | IC — incremental compilation | [`ic`] | §IV-C |
+//! | VIC — variation-aware incremental compilation | [`ic`] (reliability metric) | §IV-D |
+//!
+//! Baselines: **NAIVE** (random initial mapping + random gate order) and
+//! **GreedyV** (heaviest-qubit-first placement, Murali et al. ASPLOS'19).
+//!
+//! The [`pipeline`] module wires everything into the Figure 2 workflow:
+//! problem → (mapping strategy) → (ordering / incremental compilation) →
+//! backend router → hardware-compliant circuit plus quality metrics.
+//!
+//! # Examples
+//!
+//! ```
+//! use qaoa::{MaxCut, QaoaParams};
+//! use qcompile::{compile, CompileOptions, Compilation, InitialMapping, QaoaSpec};
+//! use qhw::Topology;
+//! use rand::SeedableRng;
+//!
+//! let graph = qgraph::generators::cycle(6);
+//! let spec = QaoaSpec::from_maxcut(&MaxCut::new(graph), &QaoaParams::p1(0.5, 0.3), true);
+//! let topo = Topology::ibmq_20_tokyo();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!
+//! let options = CompileOptions::new(InitialMapping::Qaim, Compilation::IncrementalHops);
+//! let compiled = compile(&spec, &topo, None, &options, &mut rng);
+//! assert!(qroute::satisfies_coupling(compiled.physical(), &topo));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosstalk;
+pub mod ic;
+pub mod ip;
+pub mod mapping;
+pub mod pipeline;
+mod program;
+pub mod reverse;
+
+pub use pipeline::{compile, Compilation, CompileOptions, CompiledCircuit, InitialMapping};
+pub use program::{CphaseOp, ProgramProfile, QaoaSpec};

@@ -1,0 +1,418 @@
+//! The Figure 2 workflow: initial mapping → gate ordering / incremental
+//! compilation → backend routing → hardware-compliant circuit and quality
+//! metrics.
+
+use std::time::{Duration, Instant};
+
+use qcircuit::basis::{to_basis, BasisSet};
+use qcircuit::Circuit;
+use qhw::{Calibration, Topology};
+use qroute::{route, Layout, RoutingMetric};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{ic, ip, mapping, CphaseOp, QaoaSpec};
+
+/// The initial logical→physical mapping strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialMapping {
+    /// Random placement (the paper's NAIVE baseline).
+    Naive,
+    /// Heaviest-qubit-first placement (the GreedyV baseline of \[59\]).
+    GreedyV,
+    /// Densest-subgraph topology selection (the qiskit optimizer baseline
+    /// of §III).
+    Dense,
+    /// The paper's QAIM (§IV-A).
+    Qaim,
+}
+
+/// The gate-ordering / compilation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compilation {
+    /// Randomly ordered CPHASE sequence, compiled in one backend pass
+    /// (the NAIVE / QAIM-only configurations of §V).
+    RandomOrder,
+    /// Instruction Parallelization: bin-packed gate order, one backend
+    /// pass (§IV-B).
+    Ip,
+    /// Incremental Compilation with hop distances (§IV-C).
+    IncrementalHops,
+    /// Variation-aware Incremental Compilation with reliability-weighted
+    /// distances (§IV-D). Requires calibration data.
+    IncrementalReliability,
+}
+
+/// Options controlling one compilation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Initial-mapping strategy.
+    pub mapping: InitialMapping,
+    /// Compilation mode.
+    pub compilation: Compilation,
+    /// Maximum CPHASE gates per formed layer (§V-H); `None` packs fully.
+    pub packing_limit: Option<usize>,
+}
+
+impl CompileOptions {
+    /// Options with full layer packing.
+    pub fn new(mapping: InitialMapping, compilation: Compilation) -> Self {
+        CompileOptions { mapping, compilation, packing_limit: None }
+    }
+
+    /// The five named configurations evaluated in the paper (§V-F).
+    pub fn naive() -> Self {
+        CompileOptions::new(InitialMapping::Naive, Compilation::RandomOrder)
+    }
+
+    /// QAIM mapping with random gate order.
+    pub fn qaim_only() -> Self {
+        CompileOptions::new(InitialMapping::Qaim, Compilation::RandomOrder)
+    }
+
+    /// IP on top of QAIM.
+    pub fn ip() -> Self {
+        CompileOptions::new(InitialMapping::Qaim, Compilation::Ip)
+    }
+
+    /// IC on top of QAIM.
+    pub fn ic() -> Self {
+        CompileOptions::new(InitialMapping::Qaim, Compilation::IncrementalHops)
+    }
+
+    /// VIC on top of QAIM.
+    pub fn vic() -> Self {
+        CompileOptions::new(InitialMapping::Qaim, Compilation::IncrementalReliability)
+    }
+
+    /// Returns a copy with the given packing limit.
+    pub fn with_packing_limit(mut self, limit: usize) -> Self {
+        self.packing_limit = Some(limit);
+        self
+    }
+}
+
+/// A compiled QAOA circuit plus the quality metrics the paper reports.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    physical: Circuit,
+    basis: Circuit,
+    initial_layout: Layout,
+    final_layout: Layout,
+    swap_count: usize,
+    elapsed: Duration,
+}
+
+impl CompiledCircuit {
+    /// The hardware-compliant circuit in IR gates (Rzz/SWAP preserved).
+    pub fn physical(&self) -> &Circuit {
+        &self.physical
+    }
+
+    /// The circuit lowered to the IBM basis `{U1, U2, U3, CNOT}` — the
+    /// paper's depth/gate-count metrics are measured here.
+    pub fn basis_circuit(&self) -> &Circuit {
+        &self.basis
+    }
+
+    /// The initial logical→physical mapping used.
+    pub fn initial_layout(&self) -> &Layout {
+        &self.initial_layout
+    }
+
+    /// The mapping after all SWAP insertion.
+    pub fn final_layout(&self) -> &Layout {
+        &self.final_layout
+    }
+
+    /// Circuit depth of the basis-lowered circuit.
+    pub fn depth(&self) -> usize {
+        self.basis.depth()
+    }
+
+    /// Gate count (excluding measurements) of the basis-lowered circuit.
+    pub fn gate_count(&self) -> usize {
+        self.basis.gate_count()
+    }
+
+    /// CNOT count of the basis-lowered circuit.
+    pub fn cx_count(&self) -> usize {
+        self.basis.count_gate("cx")
+    }
+
+    /// Number of SWAPs the router inserted.
+    pub fn swap_count(&self) -> usize {
+        self.swap_count
+    }
+
+    /// Wall-clock compilation time.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Success probability of the basis circuit under `calibration` (§II).
+    pub fn success_probability(&self, calibration: &Calibration) -> f64 {
+        qroute::success_probability(&self.basis, calibration)
+    }
+}
+
+/// Compiles a QAOA program for `topology` under `options`.
+///
+/// `calibration` is required for [`Compilation::IncrementalReliability`]
+/// and otherwise unused.
+///
+/// # Panics
+///
+/// Panics if VIC is requested without calibration, the program does not
+/// fit the topology, or `options.packing_limit` is `Some(0)`.
+pub fn compile<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    calibration: Option<&Calibration>,
+    options: &CompileOptions,
+    rng: &mut R,
+) -> CompiledCircuit {
+    let start = Instant::now();
+    let initial_layout = match options.mapping {
+        InitialMapping::Naive => mapping::naive(spec, topology, rng),
+        InitialMapping::GreedyV => mapping::greedy_v(spec, topology),
+        InitialMapping::Dense => mapping::dense_layout(spec, topology),
+        InitialMapping::Qaim => mapping::qaim(spec, topology),
+    };
+
+    let (physical, final_layout, swap_count) = match options.compilation {
+        Compilation::RandomOrder | Compilation::Ip => {
+            let order_level = |ops: &[CphaseOp], rng: &mut R| -> Vec<CphaseOp> {
+                match options.compilation {
+                    Compilation::RandomOrder => {
+                        let mut shuffled = ops.to_vec();
+                        shuffled.shuffle(rng);
+                        // A packing limit under full-circuit compilation
+                        // only constrains IP's layer former; random order
+                        // ignores it, as in the paper.
+                        shuffled
+                    }
+                    _ => ip::flatten(&ip::pack_layers(
+                        spec.num_qubits(),
+                        ops,
+                        options.packing_limit,
+                        rng,
+                    )),
+                }
+            };
+            let logical = build_logical_circuit(spec, |ops| order_level(ops, rng));
+            let metric = RoutingMetric::hops(topology);
+            let routed = route(&logical, topology, initial_layout.clone(), &metric);
+            (routed.circuit, routed.final_layout, routed.swap_count)
+        }
+        Compilation::IncrementalHops => {
+            let metric = RoutingMetric::hops(topology);
+            let r = ic::compile_incremental(
+                spec,
+                topology,
+                initial_layout.clone(),
+                &metric,
+                options.packing_limit,
+                rng,
+            );
+            (r.circuit, r.final_layout, r.swap_count)
+        }
+        Compilation::IncrementalReliability => {
+            let cal = calibration
+                .expect("VIC (IncrementalReliability) requires calibration data");
+            let metric = RoutingMetric::reliability(topology, cal);
+            let r = ic::compile_incremental(
+                spec,
+                topology,
+                initial_layout.clone(),
+                &metric,
+                options.packing_limit,
+                rng,
+            );
+            (r.circuit, r.final_layout, r.swap_count)
+        }
+    };
+
+    let basis = to_basis(&physical, BasisSet::Ibm).expect("all IR gates lower to IBM basis");
+    CompiledCircuit {
+        physical,
+        basis,
+        initial_layout,
+        final_layout,
+        swap_count,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Builds the full logical circuit with each level's CPHASE list passed
+/// through `order`.
+fn build_logical_circuit<F>(spec: &QaoaSpec, mut order: F) -> Circuit
+where
+    F: FnMut(&[CphaseOp]) -> Vec<CphaseOp>,
+{
+    let n = spec.num_qubits();
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for (level, (ops, beta)) in spec.levels().iter().enumerate() {
+        for op in order(ops) {
+            c.rzz(op.angle, op.a, op.b);
+        }
+        for &(q, angle) in spec.field_terms(level) {
+            c.rz(angle, q);
+        }
+        for q in 0..n {
+            c.rx(2.0 * *beta, q);
+        }
+    }
+    if spec.measure() {
+        c.measure_all();
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qaoa::{MaxCut, QaoaParams};
+    use qroute::satisfies_coupling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec_20_node(seed: u64, p_edge: f64) -> QaoaSpec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = qgraph::generators::connected_erdos_renyi(16, p_edge, 1000, &mut rng).unwrap();
+        let problem = MaxCut::without_optimum(g);
+        QaoaSpec::from_maxcut(&problem, &QaoaParams::p1(0.5, 0.3), true)
+    }
+
+    #[test]
+    fn all_strategies_produce_compliant_circuits() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cal = Calibration::random_normal(&topo, 1e-2, 5e-3, &mut rng);
+        for options in [
+            CompileOptions::naive(),
+            CompileOptions::qaim_only(),
+            CompileOptions::ip(),
+            CompileOptions::ic(),
+            CompileOptions::vic(),
+        ] {
+            let compiled = compile(&spec, &topo, Some(&cal), &options, &mut rng);
+            assert!(
+                satisfies_coupling(compiled.physical(), &topo),
+                "{options:?} violates coupling"
+            );
+            assert!(qcircuit::basis::is_in_basis(
+                compiled.basis_circuit(),
+                BasisSet::Ibm
+            ));
+            assert!(compiled.depth() > 0);
+            assert!(compiled.gate_count() > 0);
+            assert!(compiled.cx_count() >= 2 * spec.total_cphase_count());
+        }
+    }
+
+    #[test]
+    fn qaim_reduces_swaps_versus_naive() {
+        // Mean over instances: QAIM must insert fewer SWAPs than NAIVE on
+        // sparse graphs (the Figure 7 effect).
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut naive_swaps, mut qaim_swaps) = (0usize, 0usize);
+        for seed in 0..10 {
+            let spec = spec_20_node(100 + seed, 0.15);
+            naive_swaps +=
+                compile(&spec, &topo, None, &CompileOptions::naive(), &mut rng).swap_count();
+            qaim_swaps +=
+                compile(&spec, &topo, None, &CompileOptions::qaim_only(), &mut rng).swap_count();
+        }
+        assert!(
+            qaim_swaps < naive_swaps,
+            "QAIM {qaim_swaps} should beat NAIVE {naive_swaps}"
+        );
+    }
+
+    #[test]
+    fn ip_reduces_depth_versus_random_order() {
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mut rand_depth, mut ip_depth) = (0usize, 0usize);
+        for seed in 0..8 {
+            let spec = spec_20_node(200 + seed, 0.4);
+            rand_depth +=
+                compile(&spec, &topo, None, &CompileOptions::qaim_only(), &mut rng).depth();
+            ip_depth += compile(&spec, &topo, None, &CompileOptions::ip(), &mut rng).depth();
+        }
+        assert!(
+            (ip_depth as f64) < 0.8 * rand_depth as f64,
+            "IP depth {ip_depth} should be well below random-order {rand_depth}"
+        );
+    }
+
+    #[test]
+    fn ic_reduces_gate_count_versus_ip() {
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut ip_gates, mut ic_gates) = (0usize, 0usize);
+        for seed in 0..8 {
+            let spec = spec_20_node(300 + seed, 0.4);
+            ip_gates += compile(&spec, &topo, None, &CompileOptions::ip(), &mut rng).gate_count();
+            ic_gates += compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng).gate_count();
+        }
+        assert!(
+            ic_gates < ip_gates,
+            "IC gates {ic_gates} should beat IP {ip_gates}"
+        );
+    }
+
+    #[test]
+    fn vic_beats_ic_on_success_probability() {
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(8);
+        let cal = Calibration::random_normal(&topo, 2e-2, 1.5e-2, &mut rng);
+        let (mut sp_ic, mut sp_vic) = (0.0f64, 0.0f64);
+        for seed in 0..16 {
+            let spec = spec_20_node(400 + seed, 0.3);
+            sp_ic += compile(&spec, &topo, Some(&cal), &CompileOptions::ic(), &mut rng)
+                .success_probability(&cal);
+            sp_vic += compile(&spec, &topo, Some(&cal), &CompileOptions::vic(), &mut rng)
+                .success_probability(&cal);
+        }
+        assert!(
+            sp_vic > sp_ic,
+            "VIC success {sp_vic} should beat IC {sp_ic}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn vic_without_calibration_panics() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = compile(&spec, &topo, None, &CompileOptions::vic(), &mut rng);
+    }
+
+    #[test]
+    fn elapsed_time_is_recorded() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let compiled = compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng);
+        assert!(compiled.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn packing_limit_flows_through_options() {
+        let spec = spec_20_node(1, 0.5);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let limited = CompileOptions::ic().with_packing_limit(2);
+        let c = compile(&spec, &topo, None, &limited, &mut rng);
+        assert!(satisfies_coupling(c.physical(), &topo));
+        assert_eq!(limited.packing_limit, Some(2));
+    }
+}

@@ -1,0 +1,322 @@
+use qaoa::{MaxCut, QaoaParams};
+use qgraph::Graph;
+
+/// One commuting cost-layer gate: the paper's "CPHASE" between logical
+/// qubits `a` and `b` with angle `angle` (implemented as
+/// [`qcircuit::Gate::Rzz`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CphaseOp {
+    /// First logical operand (the figure's control).
+    pub a: usize,
+    /// Second logical operand (the figure's target).
+    pub b: usize,
+    /// Rotation angle.
+    pub angle: f64,
+}
+
+impl CphaseOp {
+    /// Creates a cost gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: usize, b: usize, angle: f64) -> Self {
+        assert_ne!(a, b, "CPHASE on duplicate operand {a}");
+        CphaseOp { a, b, angle }
+    }
+}
+
+/// The compiler's view of a QAOA program: qubit count, one commuting
+/// CPHASE list plus mixer angle per level, and whether to measure.
+///
+/// The structure mirrors what the paper's methodologies actually permute:
+/// only the *order* of each level's CPHASE list is a degree of freedom;
+/// the surrounding Hadamard, mixer and measurement layers are fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaoaSpec {
+    num_qubits: usize,
+    levels: Vec<(Vec<CphaseOp>, f64)>,
+    /// Per-level longitudinal-field rotations `(qubit, angle)`: diagonal
+    /// single-qubit `Rz` gates that commute with the cost layer and need
+    /// no routing (general Ising problems, §VI).
+    fields: Vec<Vec<(usize, f64)>>,
+    measure: bool,
+}
+
+impl QaoaSpec {
+    /// Builds a spec from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or an operand is out of range.
+    pub fn new(num_qubits: usize, levels: Vec<(Vec<CphaseOp>, f64)>, measure: bool) -> Self {
+        assert!(!levels.is_empty(), "QAOA spec needs at least one level");
+        for (ops, _) in &levels {
+            for op in ops {
+                assert!(
+                    op.a < num_qubits && op.b < num_qubits,
+                    "operand out of range in ({}, {})",
+                    op.a,
+                    op.b
+                );
+            }
+        }
+        let fields = vec![Vec::new(); levels.len()];
+        QaoaSpec { num_qubits, levels, fields, measure }
+    }
+
+    /// Attaches per-level longitudinal-field rotations (see
+    /// [`QaoaSpec::field_terms`]); one list per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list count differs from the level count or a field
+    /// qubit is out of range.
+    pub fn with_fields(mut self, fields: Vec<Vec<(usize, f64)>>) -> Self {
+        assert_eq!(fields.len(), self.levels.len(), "one field list per level");
+        for level in &fields {
+            for &(q, _) in level {
+                assert!(q < self.num_qubits, "field qubit {q} out of range");
+            }
+        }
+        self.fields = fields;
+        self
+    }
+
+    /// Builds the spec of a general Ising instance (§VI): one weighted
+    /// CPHASE per coupling (`Rzz(2γJ)`) and one field rotation
+    /// (`Rz(2γh)`) per nonzero field, per level.
+    pub fn from_ising(
+        problem: &qaoa::ising::IsingProblem,
+        params: &qaoa::QaoaParams,
+        measure: bool,
+    ) -> Self {
+        let levels: Vec<(Vec<CphaseOp>, f64)> = params
+            .levels()
+            .iter()
+            .map(|&(gamma, beta)| {
+                let ops = problem
+                    .couplings()
+                    .iter()
+                    .map(|&(u, v, j)| CphaseOp::new(u, v, 2.0 * gamma * j))
+                    .collect();
+                (ops, beta)
+            })
+            .collect();
+        let fields = params
+            .levels()
+            .iter()
+            .map(|&(gamma, _)| {
+                problem
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &h)| h != 0.0)
+                    .map(|(q, &h)| (q, 2.0 * gamma * h))
+                    .collect()
+            })
+            .collect();
+        QaoaSpec::new(problem.num_spins(), levels, measure).with_fields(fields)
+    }
+
+    /// Builds the spec of a QAOA-MaxCut instance: one CPHASE per problem
+    /// edge per level, with the conventions of [`qaoa::qaoa_circuit`].
+    pub fn from_maxcut(problem: &MaxCut, params: &QaoaParams, measure: bool) -> Self {
+        let levels = params
+            .levels()
+            .iter()
+            .map(|&(gamma, beta)| {
+                let ops = problem
+                    .graph()
+                    .edges()
+                    .map(|e| CphaseOp::new(e.a(), e.b(), -gamma))
+                    .collect();
+                (ops, beta)
+            })
+            .collect();
+        QaoaSpec::new(problem.num_vars(), levels, measure)
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The levels: `(cost gate list, mixer angle β)` per level.
+    pub fn levels(&self) -> &[(Vec<CphaseOp>, f64)] {
+        &self.levels
+    }
+
+    /// The per-level field rotations `(qubit, angle)`.
+    pub fn field_terms(&self, level: usize) -> &[(usize, f64)] {
+        &self.fields[level]
+    }
+
+    /// Whether the compiled circuit ends with measurements.
+    pub fn measure(&self) -> bool {
+        self.measure
+    }
+
+    /// Total number of cost gates across all levels.
+    pub fn total_cphase_count(&self) -> usize {
+        self.levels.iter().map(|(ops, _)| ops.len()).sum()
+    }
+
+    /// The *logical interaction graph*: nodes are logical qubits, edges the
+    /// qubit pairs sharing a CPHASE in any level. QAIM's "logical
+    /// neighbors" come from here.
+    pub fn interaction_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_qubits);
+        for (ops, _) in &self.levels {
+            for op in ops {
+                g.add_edge(op.a, op.b).expect("operands validated at construction");
+            }
+        }
+        g
+    }
+
+    /// The program profile over all levels.
+    pub fn profile(&self) -> ProgramProfile {
+        let mut ops_per_qubit = vec![0usize; self.num_qubits];
+        for (ops, _) in &self.levels {
+            for op in ops {
+                ops_per_qubit[op.a] += 1;
+                ops_per_qubit[op.b] += 1;
+            }
+        }
+        ProgramProfile { ops_per_qubit }
+    }
+}
+
+/// The program profile of §IV-A: CPHASE operations per logical qubit
+/// (Figure 3(c)), shared by QAIM (placement order) and IP (gate ranking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramProfile {
+    ops_per_qubit: Vec<usize>,
+}
+
+impl ProgramProfile {
+    /// Builds a profile directly from a CPHASE list.
+    pub fn from_ops(num_qubits: usize, ops: &[CphaseOp]) -> Self {
+        let mut ops_per_qubit = vec![0usize; num_qubits];
+        for op in ops {
+            ops_per_qubit[op.a] += 1;
+            ops_per_qubit[op.b] += 1;
+        }
+        ProgramProfile { ops_per_qubit }
+    }
+
+    /// CPHASE count on logical qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn ops_on(&self, q: usize) -> usize {
+        self.ops_per_qubit[q]
+    }
+
+    /// Number of profiled logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.ops_per_qubit.len()
+    }
+
+    /// The paper's MOQ: maximum operations on any qubit — the lower bound
+    /// on (and initial allocation of) IP's layer count.
+    pub fn moq(&self) -> usize {
+        self.ops_per_qubit.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Logical qubits in descending-ops order (ascending index on ties) —
+    /// QAIM's placement order (§IV-A Step 1).
+    pub fn ranked_qubits(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.ops_per_qubit.len()).collect();
+        order.sort_by(|&x, &y| self.ops_per_qubit[y].cmp(&self.ops_per_qubit[x]).then(x.cmp(&y)));
+        order
+    }
+
+    /// The cumulative rank of a CPHASE op: ops on its first operand plus
+    /// ops on its second (Figure 4(c)).
+    pub fn op_rank(&self, op: &CphaseOp) -> usize {
+        self.ops_per_qubit[op.a] + self.ops_per_qubit[op.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_spec() -> QaoaSpec {
+        // Figure 4(a): CPHASE list {(1,5), (2,3), (1,4), (2,4)} (1-based in
+        // the paper; kept 1-based here on 6 logical qubits with qubit 0
+        // unused, so the figure's numbers read off directly).
+        let ops = vec![
+            CphaseOp::new(1, 5, 0.3),
+            CphaseOp::new(2, 3, 0.3),
+            CphaseOp::new(1, 4, 0.3),
+            CphaseOp::new(2, 4, 0.3),
+        ];
+        QaoaSpec::new(6, vec![(ops, 0.2)], false)
+    }
+
+    #[test]
+    fn profile_matches_figure_4b() {
+        let profile = toy_spec().profile();
+        assert_eq!(profile.ops_on(1), 2);
+        assert_eq!(profile.ops_on(2), 2);
+        assert_eq!(profile.ops_on(3), 1);
+        assert_eq!(profile.ops_on(4), 2);
+        assert_eq!(profile.ops_on(5), 1);
+        assert_eq!(profile.moq(), 2);
+    }
+
+    #[test]
+    fn op_ranks_match_figure_4c() {
+        let spec = toy_spec();
+        let profile = spec.profile();
+        let ops = &spec.levels()[0].0;
+        assert_eq!(profile.op_rank(&ops[0]), 3); // (1,5)
+        assert_eq!(profile.op_rank(&ops[1]), 3); // (2,3)
+        assert_eq!(profile.op_rank(&ops[2]), 4); // (1,4)
+        assert_eq!(profile.op_rank(&ops[3]), 4); // (2,4)
+    }
+
+    #[test]
+    fn ranked_qubits_descending_with_index_ties() {
+        let profile = toy_spec().profile();
+        assert_eq!(profile.ranked_qubits(), vec![1, 2, 4, 3, 5, 0]);
+    }
+
+    #[test]
+    fn from_maxcut_builds_one_op_per_edge() {
+        let problem = MaxCut::new(qgraph::generators::complete(4));
+        let spec = QaoaSpec::from_maxcut(&problem, &QaoaParams::p1(0.7, 0.2), true);
+        assert_eq!(spec.num_qubits(), 4);
+        assert_eq!(spec.total_cphase_count(), 6);
+        assert!(spec.measure());
+        assert_eq!(spec.levels()[0].1, 0.2);
+        assert!(spec.levels()[0].0.iter().all(|op| (op.angle + 0.7).abs() < 1e-12));
+        assert_eq!(spec.interaction_graph(), *problem.graph());
+    }
+
+    #[test]
+    fn multi_level_profile_accumulates() {
+        let problem = MaxCut::new(qgraph::generators::path(3));
+        let params = QaoaParams::new(vec![(0.1, 0.2), (0.3, 0.4)]);
+        let spec = QaoaSpec::from_maxcut(&problem, &params, false);
+        let profile = spec.profile();
+        assert_eq!(profile.ops_on(1), 4); // middle qubit: 2 edges x 2 levels
+        assert_eq!(profile.moq(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_operand_panics() {
+        let _ = QaoaSpec::new(2, vec![(vec![CphaseOp::new(0, 2, 0.1)], 0.0)], false);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_cphase_panics() {
+        let _ = CphaseOp::new(3, 3, 0.1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::Graph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Node labels are the node indices. The output is deterministic (edges in
+/// canonical order), so it is safe to use in golden tests.
+///
+/// # Examples
+///
+/// ```
+/// let g = qgraph::generators::path(3);
+/// let dot = qgraph::dot::to_dot(&g, "path3");
+/// assert!(dot.contains("0 -- 1;"));
+/// ```
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "graph {name} {{").expect("writing to String cannot fail");
+    for n in g.nodes() {
+        writeln!(out, "    {n};").expect("writing to String cannot fail");
+    }
+    for e in g.edges() {
+        writeln!(out, "    {} -- {};", e.a(), e.b()).expect("writing to String cannot fail");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the graph in DOT syntax with a per-edge label, e.g. gate error
+/// rates on a coupling graph.
+pub fn to_dot_labeled<F>(g: &Graph, name: &str, mut label: F) -> String
+where
+    F: FnMut(usize, usize) -> String,
+{
+    let mut out = String::new();
+    writeln!(out, "graph {name} {{").expect("writing to String cannot fail");
+    for n in g.nodes() {
+        writeln!(out, "    {n};").expect("writing to String cannot fail");
+    }
+    for e in g.edges() {
+        writeln!(out, "    {} -- {} [label=\"{}\"];", e.a(), e.b(), label(e.a(), e.b()))
+            .expect("writing to String cannot fail");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_is_deterministic_and_complete() {
+        let g = generators::cycle(3);
+        let dot = to_dot(&g, "c3");
+        assert_eq!(dot, "graph c3 {\n    0;\n    1;\n    2;\n    0 -- 1;\n    0 -- 2;\n    1 -- 2;\n}\n");
+    }
+
+    #[test]
+    fn labeled_dot_includes_labels() {
+        let g = generators::path(3);
+        let dot = to_dot_labeled(&g, "p", |u, v| format!("{u}.{v}"));
+        assert!(dot.contains("0 -- 1 [label=\"0.1\"];"));
+        assert!(dot.contains("1 -- 2 [label=\"1.2\"];"));
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type returned by graph construction and generation routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a node index `>= node_count`.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; simple graphs do not allow them.
+    SelfLoop(usize),
+    /// The requested random graph parameters are unsatisfiable,
+    /// e.g. a `k`-regular graph with `n * k` odd or `k >= n`.
+    InvalidParameters(String),
+    /// A randomized generator exhausted its retry budget without producing
+    /// a valid (e.g. simple and connected) graph.
+    GenerationFailed(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node index {node} out of bounds for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            GraphError::GenerationFailed(msg) => write!(f, "graph generation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,151 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use qgraph::shortest_path::{bfs_distances, floyd_warshall, floyd_warshall_weighted, shortest_path};
+use qgraph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a random simple graph as (node count, edge list).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let all_edges: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        proptest::sample::subsequence(all_edges.clone(), 0..=all_edges.len())
+            .prop_map(move |edges| Graph::from_edges(n, edges).expect("valid edges"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph(12)) {
+        let degree_total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn distance_matrix_is_metric(g in arb_graph(10)) {
+        let d = floyd_warshall(&g);
+        let n = g.node_count();
+        for u in 0..n {
+            prop_assert_eq!(d.get(u, u), Some(0));
+            for v in 0..n {
+                // symmetry
+                prop_assert_eq!(d.get(u, v), d.get(v, u));
+                // triangle inequality over finite entries
+                if let Some(duv) = d.get(u, v) {
+                    for w in 0..n {
+                        if let (Some(duw), Some(dwv)) = (d.get(u, w), d.get(w, v)) {
+                            prop_assert!(duv <= duw + dwv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_nodes_have_distance_one(g in arb_graph(10)) {
+        let d = floyd_warshall(&g);
+        for e in g.edges() {
+            prop_assert_eq!(d.get(e.a(), e.b()), Some(1));
+        }
+    }
+
+    #[test]
+    fn bfs_agrees_with_floyd_warshall(g in arb_graph(10)) {
+        let d = floyd_warshall(&g);
+        for s in g.nodes() {
+            let bfs = bfs_distances(&g, s);
+            for t in g.nodes() {
+                prop_assert_eq!(bfs[t], d.get(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_valid_and_tight(g in arb_graph(10)) {
+        let d = floyd_warshall(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                match shortest_path(&g, s, t) {
+                    Some(p) => {
+                        prop_assert_eq!(p.first(), Some(&s));
+                        prop_assert_eq!(p.last(), Some(&t));
+                        prop_assert_eq!(Some(p.len() - 1), d.get(s, t));
+                        for pair in p.windows(2) {
+                            prop_assert!(g.has_edge(pair[0], pair[1]));
+                        }
+                    }
+                    None => prop_assert_eq!(d.get(s, t), None),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_unit_weights_match_unit_distances(g in arb_graph(10)) {
+        let d = floyd_warshall(&g);
+        let w = floyd_warshall_weighted(&g, |_, _| 1.0);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(d.get(u, v).map(|x| x as f64), w.get(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_distances_bounded_by_unit_times_max_weight(g in arb_graph(9)) {
+        // With weights in [1, 2], weighted distance is within [d, 2d].
+        let d = floyd_warshall(&g);
+        let w = floyd_warshall_weighted(&g, |u, v| 1.0 + ((u + v) % 2) as f64);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if let (Some(hops), Some(wd)) = (d.get(u, v), w.get(u, v)) {
+                    prop_assert!(wd >= hops as f64 - 1e-12);
+                    prop_assert!(wd <= 2.0 * hops as f64 + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn er_respects_node_count(n in 2usize..20, p in 0.0f64..1.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, p, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn regular_generator_degrees(seed in 0u64..200, k in 2usize..6) {
+        let n = 12;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_regular(n, k, &mut rng).unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), k);
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph(12)) {
+        let comps = g.connected_components();
+        let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, g.nodes().collect::<Vec<_>>());
+        prop_assert_eq!(comps.len() == 1, g.is_connected() || g.node_count() == 0);
+    }
+
+    #[test]
+    fn ring_zero_is_self_and_rings_disjoint(g in arb_graph(10)) {
+        for n in g.nodes() {
+            let r0 = g.ring(n, 0);
+            prop_assert_eq!(r0.len(), 1);
+            prop_assert!(r0.contains(&n));
+            let r1 = g.ring(n, 1);
+            let r2 = g.ring(n, 2);
+            prop_assert!(r1.is_disjoint(&r2));
+            prop_assert_eq!(&r1, &g.first_neighbors(n));
+        }
+    }
+}

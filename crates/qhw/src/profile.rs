@@ -1,0 +1,159 @@
+use qgraph::Graph;
+
+/// The hardware profile of §IV-A: per-qubit *connectivity strength*.
+///
+/// The connectivity strength of a physical qubit is the number of its
+/// first neighbors plus its second neighbors (optionally extended to
+/// deeper rings for larger devices). Qubits with high strength sit in
+/// well-connected neighborhoods, so logical qubits mapped there "are less
+/// likely to move during compilation".
+///
+/// Profiling is done once per device and the result reused by every QAIM
+/// invocation, exactly as the paper prescribes.
+///
+/// # Examples
+///
+/// ```
+/// use qhw::Topology;
+///
+/// let profile = Topology::ibmq_20_tokyo().profile();
+/// // Qubits 7 and 12 are the strongest on Tokyo (strength 18).
+/// assert_eq!(profile.strongest(), 7);
+/// assert_eq!(profile.connectivity_strength(12), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardwareProfile {
+    strength: Vec<usize>,
+    ring_depth: usize,
+}
+
+impl HardwareProfile {
+    /// Profiles `graph`, summing ring sizes `1..=ring_depth`.
+    ///
+    /// `ring_depth = 2` reproduces the paper's first-plus-second-neighbor
+    /// definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_depth == 0`.
+    pub fn new(graph: &Graph, ring_depth: usize) -> Self {
+        assert!(ring_depth >= 1, "ring depth must be at least 1");
+        let strength = graph
+            .nodes()
+            .map(|q| (1..=ring_depth).map(|k| graph.ring(q, k).len()).sum())
+            .collect();
+        HardwareProfile { strength, ring_depth }
+    }
+
+    /// The connectivity strength of physical qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn connectivity_strength(&self, q: usize) -> usize {
+        self.strength[q]
+    }
+
+    /// The ring depth the profile was computed with.
+    pub fn ring_depth(&self) -> usize {
+        self.ring_depth
+    }
+
+    /// Number of profiled qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.strength.len()
+    }
+
+    /// The qubit with maximum connectivity strength (lowest index on
+    /// ties — this resolves the paper's "picked randomly" tie-break
+    /// deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty profile.
+    pub fn strongest(&self) -> usize {
+        self.strength
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(q, _)| q)
+            .expect("profile is non-empty")
+    }
+
+    /// Qubit indices sorted by descending strength (ascending index on
+    /// ties).
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.strength.len()).collect();
+        order.sort_by(|&a, &b| self.strength[b].cmp(&self.strength[a]).then(a.cmp(&b)));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn tokyo_profile_anchors_from_paper() {
+        let p = Topology::ibmq_20_tokyo().profile();
+        // §IV-A worked example: strength of qubit 0 is 7 (= 2 + 5).
+        assert_eq!(p.connectivity_strength(0), 7);
+        // Example 1: qubits 7 and 12 both have the maximal strength 18.
+        assert_eq!(p.connectivity_strength(7), 18);
+        assert_eq!(p.connectivity_strength(12), 18);
+        assert_eq!(p.strongest(), 7); // deterministic tie-break: lowest index
+        let max = (0..20).map(|q| p.connectivity_strength(q)).max().unwrap();
+        assert_eq!(max, 18);
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        let p = Topology::ibmq_20_tokyo().profile();
+        let r = p.ranked();
+        assert_eq!(r.len(), 20);
+        assert_eq!(r[0], 7);
+        assert_eq!(r[1], 12);
+        for w in r.windows(2) {
+            assert!(p.connectivity_strength(w[0]) >= p.connectivity_strength(w[1]));
+        }
+    }
+
+    #[test]
+    fn ring_depth_one_is_degree() {
+        let t = Topology::ring(6);
+        let p = t.profile_with_depth(1);
+        for q in 0..6 {
+            assert_eq!(p.connectivity_strength(q), 2);
+        }
+        assert_eq!(p.ring_depth(), 1);
+    }
+
+    #[test]
+    fn deeper_rings_grow_strength() {
+        let t = Topology::grid(6, 6);
+        let p2 = t.profile();
+        let p3 = t.profile_with_depth(3);
+        for q in 0..36 {
+            assert!(p3.connectivity_strength(q) >= p2.connectivity_strength(q));
+        }
+    }
+
+    #[test]
+    fn linear_profile_shape() {
+        // On a path, interior qubits have strength 4 (2 first + 2 second),
+        // the ends 2 (1 + 1), second-from-end 3 (2 + 1).
+        let p = Topology::linear(6).profile();
+        assert_eq!(p.connectivity_strength(0), 2);
+        assert_eq!(p.connectivity_strength(1), 3);
+        assert_eq!(p.connectivity_strength(2), 4);
+        assert_eq!(p.num_qubits(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ring_depth_panics() {
+        let t = Topology::linear(3);
+        let _ = HardwareProfile::new(t.graph(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+use qgraph::shortest_path::{
+    floyd_warshall, floyd_warshall_weighted, DistanceMatrix, WeightedDistanceMatrix,
+};
+use qgraph::{generators, Graph};
+
+use crate::{Calibration, HardwareProfile};
+
+/// A hardware target: a named qubit-coupling graph.
+///
+/// Two-qubit gates may only execute between coupled physical qubits; the
+/// transpiler inserts SWAPs to satisfy this constraint. The unit-distance
+/// matrix ([`Topology::distances`]) drives IC and the reliability-weighted
+/// matrix ([`Topology::weighted_distances`]) drives VIC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    name: String,
+    graph: Graph,
+}
+
+impl Topology {
+    /// Wraps an arbitrary coupling graph under a display name.
+    pub fn from_graph(name: impl Into<String>, graph: Graph) -> Self {
+        Topology { name: name.into(), graph }
+    }
+
+    /// The IBM 20-qubit *Tokyo* device (Figure 3(a)).
+    ///
+    /// A 5×4 grid (rows 0–4, 5–9, 10–14, 15–19) with nearest-neighbor links
+    /// plus diagonal couplings in alternating grid squares. Reproduces the
+    /// paper's profiling anchors: connectivity strength 7 for qubit 0 and
+    /// 18 (the maximum) for qubits 7 and 12.
+    pub fn ibmq_20_tokyo() -> Self {
+        let rows = [
+            (0, 1), (1, 2), (2, 3), (3, 4),
+            (5, 6), (6, 7), (7, 8), (8, 9),
+            (10, 11), (11, 12), (12, 13), (13, 14),
+            (15, 16), (16, 17), (17, 18), (18, 19),
+        ];
+        let cols = [
+            (0, 5), (5, 10), (10, 15),
+            (1, 6), (6, 11), (11, 16),
+            (2, 7), (7, 12), (12, 17),
+            (3, 8), (8, 13), (13, 18),
+            (4, 9), (9, 14), (14, 19),
+        ];
+        let diagonals = [
+            (1, 7), (2, 6),
+            (3, 9), (4, 8),
+            (5, 11), (6, 10),
+            (7, 13), (8, 12),
+            (11, 17), (12, 16),
+            (13, 19), (14, 18),
+        ];
+        let graph = Graph::from_edges(
+            20,
+            rows.into_iter().chain(cols).chain(diagonals),
+        )
+        .expect("static edge list is valid");
+        Topology { name: "ibmq_20_tokyo".to_owned(), graph }
+    }
+
+    /// The IBM 15-qubit *Melbourne* device (`ibmq_16_melbourne`,
+    /// Figure 10(a)).
+    ///
+    /// Two rows (0–6 on top, 14–8 on the bottom) joined by vertical rungs.
+    pub fn ibmq_16_melbourne() -> Self {
+        let edges = [
+            // top row
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6),
+            // bottom row
+            (14, 13), (13, 12), (12, 11), (11, 10), (10, 9), (9, 8),
+            // rungs
+            (0, 14), (1, 13), (2, 12), (3, 11), (4, 10), (5, 9), (6, 8),
+            // qubit 7 hangs off the bottom-right corner
+            (7, 8),
+        ];
+        let graph = Graph::from_edges(15, edges).expect("static edge list is valid");
+        Topology { name: "ibmq_16_melbourne".to_owned(), graph }
+    }
+
+    /// The hypothetical `rows × cols` grid device (the paper uses 6×6).
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        Topology {
+            name: format!("grid_{rows}x{cols}"),
+            graph: generators::grid(rows, cols),
+        }
+    }
+
+    /// A linear (path) architecture, like Figure 1(d)'s 4-qubit device.
+    pub fn linear(n: usize) -> Self {
+        Topology { name: format!("linear_{n}"), graph: generators::path(n) }
+    }
+
+    /// A ring (cyclic) architecture, used by the §VI comparison against the
+    /// temporal-planner baseline (8-qubit cyclic hardware).
+    pub fn ring(n: usize) -> Self {
+        Topology { name: format!("ring_{n}"), graph: generators::cycle(n) }
+    }
+
+    /// A fully connected architecture (no routing ever needed) — useful as
+    /// an experimental control.
+    pub fn fully_connected(n: usize) -> Self {
+        Topology { name: format!("full_{n}"), graph: generators::complete(n) }
+    }
+
+    /// A heavy-hexagon lattice of `rows × cols` unit cells — the coupling
+    /// family IBM adopted after the paper's devices (Falcon/Hummingbird
+    /// generations). Provided for forward-looking experiments on sparser
+    /// connectivity.
+    ///
+    /// The construction places a `(2·rows+1) × (2·cols+1)` grid and keeps
+    /// the heavy-hex subset: full horizontal rows on even grid rows, and
+    /// vertical bridge qubits on odd rows connecting every other column
+    /// (offset alternating per row pair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0 || cols == 0`.
+    pub fn heavy_hex(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "heavy-hex needs at least one cell");
+        let grid_cols = 2 * cols + 1;
+        let grid_rows = 2 * rows + 1;
+        // Index helper on the full grid; not all slots are used.
+        let slot = |r: usize, c: usize| r * grid_cols + c;
+        let mut used = vec![false; grid_rows * grid_cols];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for r in (0..grid_rows).step_by(2) {
+            for c in 0..grid_cols {
+                used[slot(r, c)] = true;
+                if c + 1 < grid_cols {
+                    edges.push((slot(r, c), slot(r, c + 1)));
+                }
+            }
+        }
+        for r in (1..grid_rows).step_by(2) {
+            // bridge column offset alternates every other row pair
+            let offset = if (r / 2) % 2 == 0 { 0 } else { 2 };
+            let mut c = offset;
+            while c < grid_cols {
+                used[slot(r, c)] = true;
+                edges.push((slot(r - 1, c), slot(r, c)));
+                edges.push((slot(r, c), slot(r + 1, c)));
+                c += 4;
+            }
+        }
+        // Compact the used slots to dense indices.
+        let mut dense = vec![usize::MAX; grid_rows * grid_cols];
+        let mut next = 0usize;
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                dense[i] = next;
+                next += 1;
+            }
+        }
+        let graph = Graph::from_edges(
+            next,
+            edges.into_iter().map(|(a, b)| (dense[a], dense[b])),
+        )
+        .expect("heavy-hex construction yields valid edges");
+        Topology { name: format!("heavy_hex_{rows}x{cols}"), graph }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The coupling graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether a two-qubit gate may execute directly between `a` and `b`.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        self.graph.has_edge(a, b)
+    }
+
+    /// All-pairs hop distances (computed fresh; callers cache).
+    pub fn distances(&self) -> DistanceMatrix {
+        floyd_warshall(&self.graph)
+    }
+
+    /// All-pairs reliability-weighted distances with edge weight
+    /// `1 / success_rate(u, v)` taken from `calibration` (Figure 6(d)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration covers fewer qubits than the topology.
+    pub fn weighted_distances(&self, calibration: &Calibration) -> WeightedDistanceMatrix {
+        floyd_warshall_weighted(&self.graph, |u, v| 1.0 / calibration.cnot_success(u, v))
+    }
+
+    /// The connectivity-strength profile of every physical qubit
+    /// (Figure 3(b)); computed with the default two-ring neighborhood.
+    pub fn profile(&self) -> HardwareProfile {
+        HardwareProfile::new(&self.graph, 2)
+    }
+
+    /// Connectivity-strength profile summing rings `1..=depth` — the paper
+    /// suggests including third/fourth neighbors for larger architectures.
+    pub fn profile_with_depth(&self, depth: usize) -> HardwareProfile {
+        HardwareProfile::new(&self.graph, depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokyo_shape() {
+        let t = Topology::ibmq_20_tokyo();
+        assert_eq!(t.num_qubits(), 20);
+        assert_eq!(t.graph().edge_count(), 43);
+        assert!(t.graph().is_connected());
+        // Paper §IV-A: qubit 0 has first neighbors {1, 5} and second
+        // neighbors {2, 6, 7, 10, 11}.
+        assert_eq!(t.graph().ring(0, 1), std::collections::BTreeSet::from([1, 5]));
+        assert_eq!(
+            t.graph().ring(0, 2),
+            std::collections::BTreeSet::from([2, 6, 7, 10, 11])
+        );
+    }
+
+    #[test]
+    fn melbourne_shape() {
+        let t = Topology::ibmq_16_melbourne();
+        assert_eq!(t.num_qubits(), 15);
+        assert_eq!(t.graph().edge_count(), 20);
+        assert!(t.graph().is_connected());
+        // Qubit 7 is the degree-1 pendant.
+        assert_eq!(t.graph().degree(7), 1);
+        assert!(t.are_coupled(7, 8));
+        assert!(t.are_coupled(0, 14));
+        assert!(!t.are_coupled(0, 8));
+    }
+
+    #[test]
+    fn grid_and_families() {
+        assert_eq!(Topology::grid(6, 6).num_qubits(), 36);
+        assert_eq!(Topology::linear(4).graph().edge_count(), 3);
+        assert_eq!(Topology::ring(8).graph().edge_count(), 8);
+        assert_eq!(Topology::fully_connected(5).graph().edge_count(), 10);
+        assert_eq!(Topology::grid(6, 6).name(), "grid_6x6");
+    }
+
+    #[test]
+    fn distances_are_cached_consistently() {
+        let t = Topology::ibmq_20_tokyo();
+        let d = t.distances();
+        assert_eq!(d.get(0, 0), Some(0));
+        // 0 and 19 sit at opposite corners.
+        assert!(d.get(0, 19).unwrap() >= 4);
+        for e in t.graph().edges() {
+            assert_eq!(d.get(e.a(), e.b()), Some(1));
+        }
+    }
+
+    #[test]
+    fn weighted_distances_use_calibration() {
+        let t = Topology::ring(4);
+        let cal = Calibration::uniform(&t, 0.02, 0.001, 0.02);
+        let w = t.weighted_distances(&cal);
+        // Every edge weight is 1/0.98; opposite corners are two hops.
+        let one = 1.0 / 0.98;
+        assert!((w.get(0, 1).unwrap() - one).abs() < 1e-12);
+        assert!((w.get(0, 2).unwrap() - 2.0 * one).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod heavy_hex_tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hex_is_connected_and_sparse() {
+        let t = Topology::heavy_hex(2, 2);
+        assert!(t.graph().is_connected());
+        // Heavy-hex max degree is 3.
+        assert!(t.graph().max_degree() <= 3, "max degree {}", t.graph().max_degree());
+        assert!(t.num_qubits() >= 15);
+    }
+
+    #[test]
+    fn heavy_hex_scales() {
+        let small = Topology::heavy_hex(1, 1);
+        let large = Topology::heavy_hex(3, 3);
+        assert!(large.num_qubits() > 2 * small.num_qubits());
+        assert!(large.graph().is_connected());
+        assert!(large.graph().max_degree() <= 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cells_panics() {
+        let _ = Topology::heavy_hex(0, 1);
+    }
+}

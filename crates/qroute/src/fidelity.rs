@@ -1,0 +1,113 @@
+//! The paper's success-probability metric (§II): the product of the
+//! success probabilities of every gate in the compiled circuit.
+
+use qcircuit::{Circuit, Gate};
+use qhw::Calibration;
+
+/// Estimated success probability of a *physical* circuit: the product of
+/// per-gate success rates `(1 - error)` from `calibration`, including
+/// readout success for measurements.
+///
+/// Two-qubit IR gates count with their decomposition cost — `Rzz`/`CPhase`
+/// and `Cz` as two CNOTs, `Swap` as three — so the estimate matches the
+/// basis-lowered circuit without having to lower first. Applying
+/// [`qcircuit::basis::to_basis`] before calling gives the same answer (up
+/// to the single-qubit gates the lowering introduces).
+///
+/// VIC exists to maximize exactly this quantity (Figure 10).
+///
+/// # Panics
+///
+/// Panics if the circuit applies a two-qubit gate across an uncalibrated
+/// pair (routed circuits never do).
+pub fn success_probability(circuit: &Circuit, calibration: &Calibration) -> f64 {
+    let mut p = 1.0;
+    for instr in circuit.iter() {
+        match instr.gate() {
+            Gate::Measure => p *= 1.0 - calibration.readout_error(instr.q0()),
+            Gate::Id => {}
+            g if g.arity() == 1 => p *= 1.0 - calibration.single_qubit_error(instr.q0()),
+            g => {
+                let cnot_success = calibration.cnot_success(instr.q0(), instr.q1());
+                let cnots = match g {
+                    Gate::Cnot => 1,
+                    Gate::Swap => 3,
+                    _ => 2, // Rzz, CPhase, Cz lower to two CNOTs
+                };
+                p *= cnot_success.powi(cnots);
+            }
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhw::Topology;
+
+    fn uniform(topology: &Topology, cnot_e: f64) -> Calibration {
+        Calibration::uniform(topology, cnot_e, 0.0, 0.0)
+    }
+
+    #[test]
+    fn empty_circuit_has_unit_success() {
+        let topo = Topology::linear(2);
+        let cal = uniform(&topo, 0.1);
+        assert_eq!(success_probability(&Circuit::new(2), &cal), 1.0);
+    }
+
+    #[test]
+    fn cnot_swap_and_rzz_weights() {
+        let topo = Topology::linear(2);
+        let cal = uniform(&topo, 0.1);
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        assert!((success_probability(&c, &cal) - 0.9).abs() < 1e-12);
+        let mut s = Circuit::new(2);
+        s.swap(0, 1);
+        assert!((success_probability(&s, &cal) - 0.9f64.powi(3)).abs() < 1e-12);
+        let mut z = Circuit::new(2);
+        z.rzz(0.3, 0, 1);
+        assert!((success_probability(&z, &cal) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_qubit_and_readout_count() {
+        let topo = Topology::linear(2);
+        let cal = Calibration::uniform(&topo, 0.1, 0.01, 0.05);
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.measure(0);
+        let want = 0.99 * 0.95;
+        assert!((success_probability(&c, &cal) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_decreases_with_gate_count() {
+        let topo = Topology::linear(3);
+        let cal = uniform(&topo, 0.02);
+        let mut short = Circuit::new(3);
+        short.cx(0, 1);
+        let mut long = short.clone();
+        long.cx(1, 2);
+        long.cx(0, 1);
+        assert!(success_probability(&long, &cal) < success_probability(&short, &cal));
+    }
+
+    #[test]
+    fn reliable_edge_beats_unreliable_edge() {
+        let topo = Topology::linear(3);
+        let cal = Calibration::from_cnot_errors(
+            &topo,
+            &[((0, 1), 0.01), ((1, 2), 0.2)],
+            0.0,
+            0.0,
+        );
+        let mut good = Circuit::new(3);
+        good.cx(0, 1);
+        let mut bad = Circuit::new(3);
+        bad.cx(1, 2);
+        assert!(success_probability(&good, &cal) > success_probability(&bad, &cal));
+    }
+}

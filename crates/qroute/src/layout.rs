@@ -1,0 +1,205 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A logical→physical qubit mapping.
+///
+/// Logical qubits are the `0..k` indices of the input circuit; physical
+/// qubits are the `0..n` nodes of the hardware coupling graph (`k <= n`).
+/// SWAP insertion permutes the mapping as it runs; the post-routing layout
+/// is what IC/VIC feed into the next incremental step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// `log_to_phys[l]` = physical position of logical qubit `l`.
+    log_to_phys: Vec<usize>,
+    /// `phys_to_log[p]` = logical qubit at physical `p`, if any.
+    phys_to_log: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// Builds a layout from an explicit assignment: `mapping[l]` is the
+    /// physical home of logical qubit `l`, over `num_physical` hardware
+    /// qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a physical index is out of range or assigned twice.
+    pub fn from_mapping(mapping: Vec<usize>, num_physical: usize) -> Self {
+        assert!(
+            mapping.len() <= num_physical,
+            "{} logical qubits cannot fit on {num_physical} physical qubits",
+            mapping.len()
+        );
+        let mut phys_to_log = vec![None; num_physical];
+        for (l, &p) in mapping.iter().enumerate() {
+            assert!(p < num_physical, "physical qubit {p} out of range");
+            assert!(
+                phys_to_log[p].is_none(),
+                "physical qubit {p} assigned to two logical qubits"
+            );
+            phys_to_log[p] = Some(l);
+        }
+        Layout { log_to_phys: mapping, phys_to_log }
+    }
+
+    /// The identity layout: logical `l` on physical `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_logical > num_physical`.
+    pub fn trivial(num_logical: usize, num_physical: usize) -> Self {
+        Layout::from_mapping((0..num_logical).collect(), num_physical)
+    }
+
+    /// A uniformly random layout — the paper's NAIVE initial mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_logical > num_physical`.
+    pub fn random<R: Rng + ?Sized>(
+        num_logical: usize,
+        num_physical: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(num_logical <= num_physical, "not enough physical qubits");
+        let mut phys: Vec<usize> = (0..num_physical).collect();
+        phys.shuffle(rng);
+        Layout::from_mapping(phys[..num_logical].to_vec(), num_physical)
+    }
+
+    /// Number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.log_to_phys.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_physical(&self) -> usize {
+        self.phys_to_log.len()
+    }
+
+    /// Physical home of logical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn phys(&self, l: usize) -> usize {
+        self.log_to_phys[l]
+    }
+
+    /// Logical occupant of physical qubit `p` (`None` if free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn logical_at(&self, p: usize) -> Option<usize> {
+        self.phys_to_log[p]
+    }
+
+    /// Applies a SWAP between physical qubits `a` and `b`, exchanging their
+    /// logical occupants (either may be empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        let la = self.phys_to_log[a];
+        let lb = self.phys_to_log[b];
+        self.phys_to_log[a] = lb;
+        self.phys_to_log[b] = la;
+        if let Some(l) = la {
+            self.log_to_phys[l] = b;
+        }
+        if let Some(l) = lb {
+            self.log_to_phys[l] = a;
+        }
+    }
+
+    /// The logical→physical assignment as a slice (`[l] -> p`).
+    pub fn as_mapping(&self) -> &[usize] {
+        &self.log_to_phys
+    }
+
+    /// Iterates over `(logical, physical)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.log_to_phys.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(3, 5);
+        assert_eq!(l.phys(0), 0);
+        assert_eq!(l.phys(2), 2);
+        assert_eq!(l.logical_at(2), Some(2));
+        assert_eq!(l.logical_at(4), None);
+        assert_eq!(l.num_logical(), 3);
+        assert_eq!(l.num_physical(), 5);
+    }
+
+    #[test]
+    fn from_mapping_round_trips() {
+        let l = Layout::from_mapping(vec![7, 12, 8], 20);
+        assert_eq!(l.phys(1), 12);
+        assert_eq!(l.logical_at(12), Some(1));
+        assert_eq!(l.logical_at(0), None);
+        assert_eq!(l.as_mapping(), &[7, 12, 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_assignment_panics() {
+        let _ = Layout::from_mapping(vec![1, 1], 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_assignment_panics() {
+        let _ = Layout::from_mapping(vec![5], 4);
+    }
+
+    #[test]
+    fn swap_physical_moves_occupants() {
+        let mut l = Layout::from_mapping(vec![0, 1], 3);
+        l.swap_physical(1, 2); // logical 1 moves to physical 2
+        assert_eq!(l.phys(1), 2);
+        assert_eq!(l.logical_at(1), None);
+        assert_eq!(l.logical_at(2), Some(1));
+        l.swap_physical(0, 2); // logical 0 <-> logical 1
+        assert_eq!(l.phys(0), 2);
+        assert_eq!(l.phys(1), 0);
+    }
+
+    #[test]
+    fn swap_with_empty_slot() {
+        let mut l = Layout::from_mapping(vec![0], 3);
+        l.swap_physical(0, 2);
+        assert_eq!(l.phys(0), 2);
+        assert_eq!(l.logical_at(0), None);
+    }
+
+    #[test]
+    fn random_layout_is_valid_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Layout::random(12, 20, &mut rng);
+        assert_eq!(a.num_logical(), 12);
+        // injective
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in a.iter() {
+            assert!(seen.insert(p));
+        }
+        let mut rng2 = StdRng::seed_from_u64(10);
+        assert_eq!(a, Layout::random(12, 20, &mut rng2));
+    }
+
+    #[test]
+    fn iter_yields_all_pairs() {
+        let l = Layout::from_mapping(vec![4, 2], 5);
+        let pairs: Vec<_> = l.iter().collect();
+        assert_eq!(pairs, vec![(0, 4), (1, 2)]);
+    }
+}

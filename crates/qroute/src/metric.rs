@@ -1,0 +1,178 @@
+use qgraph::shortest_path::{DistanceMatrix, WeightedDistanceMatrix};
+use qhw::{Calibration, Topology};
+
+/// The distance notion the router (and IC/VIC layer formation) uses.
+///
+/// * **Hops** — every coupling edge costs 1; distance is the shortest path
+///   length (Figure 6(c)). Used by NAIVE, QAIM, IP and IC.
+/// * **Reliability** — edge `(u, v)` costs `1 / cnot_success(u, v)`, so
+///   low-reliability links look longer and routing avoids them
+///   (Figure 6(d)). Used by VIC.
+///
+/// Both variants carry the hop-distance matrix: the router's SWAP-count
+/// potential is always measured in hops (each SWAP changes a hop distance
+/// by integral amounts, guaranteeing fast termination), while the
+/// reliability weights steer *which* equal-hop path is taken and which
+/// gates the incremental layer former prioritizes.
+#[derive(Debug, Clone)]
+pub struct RoutingMetric {
+    hops: DistanceMatrix,
+    weighted: Option<Weighted>,
+}
+
+#[derive(Debug, Clone)]
+struct Weighted {
+    distances: WeightedDistanceMatrix,
+    /// Dense per-edge weights for local SWAP-step costs.
+    edge_weight: Vec<f64>,
+    n: usize,
+}
+
+impl RoutingMetric {
+    /// Unit-distance metric over `topology`.
+    pub fn hops(topology: &Topology) -> Self {
+        RoutingMetric { hops: topology.distances(), weighted: None }
+    }
+
+    /// Reliability-weighted metric over `topology` with `calibration`.
+    pub fn reliability(topology: &Topology, calibration: &Calibration) -> Self {
+        let n = topology.num_qubits();
+        let mut edge_weight = vec![f64::INFINITY; n * n];
+        for e in topology.graph().edges() {
+            let w = 1.0 / calibration.cnot_success(e.a(), e.b());
+            edge_weight[e.a() * n + e.b()] = w;
+            edge_weight[e.b() * n + e.a()] = w;
+        }
+        RoutingMetric {
+            hops: topology.distances(),
+            weighted: Some(Weighted {
+                distances: topology.weighted_distances(calibration),
+                edge_weight,
+                n,
+            }),
+        }
+    }
+
+    /// The metric distance between physical qubits `a` and `b` (weighted
+    /// when variation-aware, hop count otherwise); `f64::INFINITY` when
+    /// disconnected.
+    pub fn dist(&self, a: usize, b: usize) -> f64 {
+        match &self.weighted {
+            Some(w) => w.distances.get(a, b).unwrap_or(f64::INFINITY),
+            None => self.hops.get(a, b).map_or(f64::INFINITY, |h| h as f64),
+        }
+    }
+
+    /// The hop distance between physical qubits `a` and `b`, regardless of
+    /// variation awareness. `usize::MAX` when disconnected.
+    pub fn hop_dist(&self, a: usize, b: usize) -> usize {
+        self.hops.get(a, b).unwrap_or(usize::MAX)
+    }
+
+    /// The cost of traversing the single coupling edge `(a, b)` (1 for
+    /// hops; `1 / success` for reliability). `f64::INFINITY` when `(a, b)`
+    /// is not an edge.
+    pub fn edge_cost(&self, a: usize, b: usize) -> f64 {
+        match &self.weighted {
+            Some(w) => w.edge_weight[a * w.n + b],
+            None => match self.hops.get(a, b) {
+                Some(1) => 1.0,
+                _ => f64::INFINITY,
+            },
+        }
+    }
+
+    /// The *routing cost* of SWAPping across the coupling edge `(a, b)`:
+    /// a hop-dominant composite for the variation-aware metric — each hop
+    /// costs a large constant plus the log-infidelity of the three CNOTs a
+    /// SWAP lowers to (`3 · (−ln success)`), so among all minimum-hop
+    /// paths the most reliable one wins. (Unrestricted reliability detours
+    /// — the VQM policy the paper cites — were measured to cost more
+    /// success probability in extra SWAPs than they recover on this
+    /// backend; see DESIGN.md.) Constant 1 for the hop metric.
+    /// `f64::INFINITY` when `(a, b)` is not an edge.
+    pub fn swap_cost(&self, a: usize, b: usize) -> f64 {
+        const HOP_COST: f64 = 1.0e6;
+        match &self.weighted {
+            Some(w) => {
+                let inv_s = w.edge_weight[a * w.n + b]; // 1 / success
+                if inv_s.is_finite() {
+                    HOP_COST + 3.0 * inv_s.ln()
+                } else {
+                    f64::INFINITY
+                }
+            }
+            None => match self.hops.get(a, b) {
+                Some(1) => 1.0,
+                _ => f64::INFINITY,
+            },
+        }
+    }
+
+    /// Whether this is the variation-aware metric.
+    pub fn is_variation_aware(&self) -> bool {
+        self.weighted.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_metric_matches_figure_6c() {
+        let topo = fig6_topology();
+        let m = RoutingMetric::hops(&topo);
+        for (v, want) in [(1, 1.0), (2, 2.0), (3, 3.0), (4, 2.0), (5, 1.0)] {
+            assert_eq!(m.dist(0, v), want);
+            assert_eq!(m.hop_dist(0, v), want as usize);
+        }
+        assert_eq!(m.edge_cost(0, 1), 1.0);
+        assert_eq!(m.edge_cost(0, 2), f64::INFINITY);
+    }
+
+    #[test]
+    fn reliability_metric_matches_figure_6d() {
+        let (topo, cal) = fig6_calibrated();
+        let m = RoutingMetric::reliability(&topo, &cal);
+        for (v, want) in [(1, 1.11), (2, 2.29), (3, 3.41), (4, 2.34), (5, 1.22)] {
+            assert!((m.dist(0, v) - want).abs() < 0.01, "d(0,{v}) = {}", m.dist(0, v));
+        }
+        // Hop distances remain available underneath.
+        assert_eq!(m.hop_dist(0, 3), 3);
+        assert!((m.edge_cost(0, 1) - 1.0 / 0.90).abs() < 1e-12);
+        assert!(m.is_variation_aware());
+        assert!(!RoutingMetric::hops(&topo).is_variation_aware());
+    }
+
+    /// The hypothetical 6-qubit device of Figure 6(a).
+    fn fig6_topology() -> Topology {
+        Topology::from_graph(
+            "fig6",
+            qgraph::Graph::from_edges(
+                6,
+                [(0, 1), (0, 5), (1, 2), (1, 4), (2, 3), (3, 4), (4, 5)],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn fig6_calibrated() -> (Topology, Calibration) {
+        let topo = fig6_topology();
+        let cal = Calibration::from_cnot_errors(
+            &topo,
+            &[
+                ((0, 1), 0.10),
+                ((0, 5), 0.18),
+                ((1, 2), 0.15),
+                ((1, 4), 0.19),
+                ((2, 3), 0.11),
+                ((3, 4), 0.12),
+                ((4, 5), 0.16),
+            ],
+            1e-3,
+            2e-2,
+        );
+        (topo, cal)
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the backend router.
+
+use proptest::prelude::*;
+use qcircuit::Circuit;
+use qhw::{Calibration, Topology};
+use qroute::sabre::{route_sabre, SabreOptions};
+use qroute::{route, satisfies_coupling, Layout, RoutingMetric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random QAOA-shaped logical circuit (H wall + Rzz edges +
+/// mixer) over `n` qubits.
+fn arb_qaoa_circuit(n: usize) -> impl Strategy<Value = Circuit> {
+    let all_edges: Vec<(usize, usize)> =
+        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+    proptest::sample::subsequence(all_edges.clone(), 0..=all_edges.len()).prop_map(
+        move |edges| {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                c.h(q);
+            }
+            for (a, b) in edges {
+                c.rzz(0.5, a, b);
+            }
+            for q in 0..n {
+                c.rx(0.7, q);
+            }
+            c.measure_all();
+            c
+        },
+    )
+}
+
+fn topologies() -> Vec<Topology> {
+    vec![
+        Topology::linear(9),
+        Topology::ring(9),
+        Topology::grid(3, 3),
+        Topology::ibmq_16_melbourne(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn routing_always_satisfies_coupling(
+        c in arb_qaoa_circuit(8),
+        topo_idx in 0usize..4,
+        seed in 0u64..100,
+    ) {
+        let topo = &topologies()[topo_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = Layout::random(8, topo.num_qubits(), &mut rng);
+        let metric = RoutingMetric::hops(topo);
+        let r = route(&c, topo, layout, &metric);
+        prop_assert!(satisfies_coupling(&r.circuit, topo));
+        // All non-SWAP gates survive routing with their multiplicity.
+        prop_assert_eq!(r.circuit.count_gate("rzz"), c.count_gate("rzz"));
+        prop_assert_eq!(r.circuit.count_gate("h"), c.count_gate("h"));
+        prop_assert_eq!(r.circuit.count_gate("measure"), c.count_gate("measure"));
+        prop_assert_eq!(r.circuit.count_gate("swap"), r.swap_count);
+    }
+
+    #[test]
+    fn final_layout_is_a_permutation(
+        c in arb_qaoa_circuit(8),
+        seed in 0u64..100,
+    ) {
+        let topo = Topology::ibmq_16_melbourne();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = Layout::random(8, topo.num_qubits(), &mut rng);
+        let metric = RoutingMetric::hops(&topo);
+        let r = route(&c, &topo, layout, &metric);
+        let mut seen = std::collections::HashSet::new();
+        for (l, p) in r.final_layout.iter() {
+            prop_assert!(l < 8);
+            prop_assert!(p < topo.num_qubits());
+            prop_assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn reliability_routing_matches_hop_routing_on_uniform_calibration(
+        c in arb_qaoa_circuit(7),
+    ) {
+        // With identical errors everywhere, the variation-aware metric
+        // must behave exactly like the hop metric.
+        let topo = Topology::grid(3, 3);
+        let cal = Calibration::uniform(&topo, 0.02, 1e-3, 1e-2);
+        let layout = Layout::trivial(7, 9);
+        let hop = route(&c, &topo, layout.clone(), &RoutingMetric::hops(&topo));
+        let rel = route(&c, &topo, layout, &RoutingMetric::reliability(&topo, &cal));
+        prop_assert_eq!(hop.swap_count, rel.swap_count);
+        prop_assert_eq!(hop.circuit, rel.circuit);
+    }
+
+    #[test]
+    fn sabre_router_is_also_compliant(c in arb_qaoa_circuit(8), seed in 0u64..50) {
+        let topo = Topology::grid(3, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = Layout::random(8, 9, &mut rng);
+        let metric = RoutingMetric::hops(&topo);
+        let r = route_sabre(&c, &topo, layout, &metric, &SabreOptions::default());
+        prop_assert!(satisfies_coupling(&r.circuit, &topo));
+        prop_assert_eq!(r.circuit.count_gate("rzz"), c.count_gate("rzz"));
+    }
+
+    #[test]
+    fn swap_count_zero_iff_no_swap_gates(c in arb_qaoa_circuit(6), seed in 0u64..50) {
+        let topo = Topology::ring(8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = Layout::random(6, 8, &mut rng);
+        let r = route(&c, &topo, layout, &RoutingMetric::hops(&topo));
+        prop_assert_eq!(r.swap_count == 0, r.circuit.count_gate("swap") == 0);
+    }
+}
+
+/// Equivalence check on small instances with a fixed set of seeds — kept
+/// out of the proptest loop because statevector verification is the
+/// expensive part.
+#[test]
+fn routing_preserves_semantics_small() {
+    let topo = Topology::grid(3, 3);
+    let metric = RoutingMetric::hops(&topo);
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = qgraph::generators::connected_erdos_renyi(6, 0.5, 1000, &mut rng).unwrap();
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        for e in g.edges() {
+            c.rzz(0.37, e.a(), e.b());
+        }
+        let layout = Layout::random(6, 9, &mut rng);
+        let r = route(&c, &topo, layout.clone(), &metric);
+        assert!(
+            qroute::routed_equivalent(&c, &r.circuit, &layout, &r.final_layout),
+            "seed {seed}"
+        );
+    }
+}

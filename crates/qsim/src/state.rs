@@ -1,0 +1,509 @@
+use qcircuit::math::{Complex, Matrix2, Matrix4, ONE, ZERO};
+use qcircuit::{Circuit, Gate, Instruction};
+
+/// A dense statevector over `n` qubits (qubit 0 is the least-significant
+/// bit of the basis index).
+///
+/// Practical up to ~22 qubits on a laptop; the paper's largest instances
+/// use 36 qubits for *compilation* but only 12–15 for *execution*, which
+/// fits comfortably.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 28` (the dense vector would not fit in
+    /// memory).
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 28, "statevector too large: {num_qubits} qubits");
+        let mut amps = vec![ZERO; 1usize << num_qubits];
+        amps[0] = ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Runs every unitary gate of `circuit` on a fresh `|0...0⟩` state.
+    /// Measurements are ignored (sampling is a separate step — see
+    /// [`crate::Sampler`]).
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut sv = StateVector::new(circuit.num_qubits());
+        sv.apply_circuit(circuit);
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes, indexed by basis state.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Applies every unitary gate of `circuit` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit acts on {} qubits but state has {}",
+            circuit.num_qubits(),
+            self.num_qubits
+        );
+        for instr in circuit.iter().filter(|i| i.gate().is_unitary()) {
+            self.apply(instr);
+        }
+    }
+
+    /// Applies one unitary instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurement instructions or out-of-range operands.
+    pub fn apply(&mut self, instr: &Instruction) {
+        assert!(instr.gate().is_unitary(), "cannot apply measurement as a unitary");
+        match instr.gate() {
+            // Fast paths for the gates QAOA circuits are made of.
+            Gate::Rzz(t) => self.apply_rzz(t, instr.q0(), instr.q1()),
+            Gate::CPhase(l) => self.apply_cphase(l, instr.q0(), instr.q1()),
+            Gate::Cz => self.apply_cphase(std::f64::consts::PI, instr.q0(), instr.q1()),
+            Gate::Cnot => self.apply_cnot(instr.q0(), instr.q1()),
+            Gate::Swap => self.apply_swap(instr.q0(), instr.q1()),
+            Gate::Rz(t) => self.apply_phase_pair(
+                Complex::cis(-t / 2.0),
+                Complex::cis(t / 2.0),
+                instr.q0(),
+            ),
+            Gate::U1(l) => self.apply_phase_pair(ONE, Complex::cis(l), instr.q0()),
+            Gate::Z => self.apply_phase_pair(ONE, -ONE, instr.q0()),
+            Gate::Id => {}
+            g if g.arity() == 1 => self.apply_1q(&g.matrix2(), instr.q0()),
+            g => self.apply_2q(&g.matrix4(), instr.q0(), instr.q1()),
+        }
+    }
+
+    /// Applies an arbitrary 2×2 unitary on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_1q(&mut self, m: &Matrix2, q: usize) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        for base in 0..self.amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let i0 = base;
+            let i1 = base | bit;
+            let a0 = self.amps[i0];
+            let a1 = self.amps[i1];
+            self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+            self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+
+    /// Applies an arbitrary 4×4 unitary on qubits `(a, b)` where `a` is the
+    /// more-significant matrix index (matching [`Gate::matrix4`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are out of range or equal.
+    pub fn apply_2q(&mut self, m: &Matrix4, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert_ne!(a, b, "two-qubit gate on duplicate operand");
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        for base in 0..self.amps.len() {
+            if base & (ba | bb) != 0 {
+                continue;
+            }
+            let idx = [base, base | bb, base | ba, base | ba | bb]; // 00,01,10,11
+            let olds = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+            for (r, &i) in idx.iter().enumerate() {
+                let mut acc = ZERO;
+                for (c, &old) in olds.iter().enumerate() {
+                    acc += m[r][c] * old;
+                }
+                self.amps[i] = acc;
+            }
+        }
+    }
+
+    fn apply_phase_pair(&mut self, on_zero: Complex, on_one: Complex, q: usize) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            *amp = *amp * if idx & bit == 0 { on_zero } else { on_one };
+        }
+    }
+
+    fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let same = Complex::cis(-theta / 2.0);
+        let diff = Complex::cis(theta / 2.0);
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            let parity = ((idx & ba != 0) as u8) ^ ((idx & bb != 0) as u8);
+            *amp = *amp * if parity == 0 { same } else { diff };
+        }
+    }
+
+    fn apply_cphase(&mut self, lambda: f64, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        let mask = (1usize << a) | (1usize << b);
+        let phase = Complex::cis(lambda);
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            if idx & mask == mask {
+                *amp = *amp * phase;
+            }
+        }
+    }
+
+    fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(
+            control < self.num_qubits && target < self.num_qubits,
+            "qubit out of range"
+        );
+        let bc = 1usize << control;
+        let bt = 1usize << target;
+        for base in 0..self.amps.len() {
+            // visit each control-set pair once, with target bit clear
+            if base & bc == 0 || base & bt != 0 {
+                continue;
+            }
+            self.amps.swap(base, base | bt);
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        for base in 0..self.amps.len() {
+            // swap |..a=1,b=0..> with |..a=0,b=1..>, visiting once
+            if base & ba != 0 && base & bb == 0 {
+                self.amps.swap(base, (base & !ba) | bb);
+            }
+        }
+    }
+
+    /// Born-rule probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The squared norm of the state (1.0 up to floating-point error for
+    /// any circuit of unitary gates).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Expectation value `⟨ψ| D |ψ⟩` of a diagonal observable given by
+    /// `value(basis_state)` — e.g. a MaxCut cost function.
+    pub fn expectation_diagonal<F: Fn(usize) -> f64>(&self, value: F) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(idx, a)| a.norm_sqr() * value(idx))
+            .sum()
+    }
+
+    /// Projectively measures qubit `q` in the computational basis,
+    /// collapsing the state and returning the observed bit.
+    ///
+    /// The Born-rule outcome is drawn from `rng`; afterwards the state is
+    /// renormalized with qubit `q` fixed to the outcome. Mid-circuit
+    /// measurement is not used by the QAOA pipeline (which defers all
+    /// measurement to sampling) but completes the simulator for general
+    /// workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or the state has zero norm.
+    pub fn measure_qubit<R: rand::Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let bit = 1usize << q;
+        let p_one: f64 = self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let norm = self.norm_sqr();
+        assert!(norm > 1e-12, "cannot measure a zero-norm state");
+        let outcome = rng.gen_bool((p_one / norm).clamp(0.0, 1.0));
+        let keep_mask_set = outcome;
+        let scale = 1.0
+            / if outcome { p_one } else { norm - p_one }
+                .max(f64::MIN_POSITIVE)
+                .sqrt();
+        for (idx, a) in self.amps.iter_mut().enumerate() {
+            if (idx & bit != 0) == keep_mask_set {
+                *a = a.scale(scale);
+            } else {
+                *a = ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// The fidelity `|⟨ψ|φ⟩|²` with another state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        let mut inner = ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            inner += a.conj() * *b;
+        }
+        inner.norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} != {b}");
+    }
+
+    #[test]
+    fn initial_state_is_all_zeros() {
+        let sv = StateVector::new(3);
+        let p = sv.probabilities();
+        assert_close(p[0], 1.0);
+        assert_close(p.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let sv = StateVector::from_circuit(&c);
+        assert_close(sv.probabilities()[0b10], 1.0);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let sv = StateVector::from_circuit(&c);
+        let p = sv.probabilities();
+        assert_close(p[0b000], 0.5);
+        assert_close(p[0b111], 0.5);
+        assert_close(sv.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn fast_paths_match_generic_matrices() {
+        // Apply each fast-path gate via `apply` and via the generic
+        // matrix application; states must agree.
+        let gates = [
+            Instruction::two(Gate::Rzz(0.73), 0, 2),
+            Instruction::two(Gate::CPhase(1.1), 2, 1),
+            Instruction::two(Gate::Cz, 1, 0),
+            Instruction::two(Gate::Cnot, 2, 0),
+            Instruction::two(Gate::Swap, 0, 1),
+            Instruction::one(Gate::Rz(0.41), 1),
+            Instruction::one(Gate::U1(-0.9), 2),
+            Instruction::one(Gate::Z, 0),
+        ];
+        // Prepare a non-trivial state first.
+        let mut prep = Circuit::new(3);
+        prep.h(0);
+        prep.h(1);
+        prep.h(2);
+        prep.rx(0.3, 0);
+        prep.ry(0.5, 1);
+        for instr in gates {
+            let mut fast = StateVector::from_circuit(&prep);
+            fast.apply(&instr);
+            let mut slow = StateVector::from_circuit(&prep);
+            if instr.gate().arity() == 1 {
+                slow.apply_1q(&instr.gate().matrix2(), instr.q0());
+            } else {
+                slow.apply_2q(&instr.gate().matrix4(), instr.q0(), instr.q1());
+            }
+            assert!(fast.fidelity(&slow) > 1.0 - 1e-10, "mismatch for {instr}");
+        }
+    }
+
+    #[test]
+    fn cnot_control_orientation() {
+        // control=1, target=0: |10> -> |11>
+        let mut c = Circuit::new(2);
+        c.x(1);
+        c.cx(1, 0);
+        let sv = StateVector::from_circuit(&c);
+        assert_close(sv.probabilities()[0b11], 1.0);
+        // control=0 (unset) leaves target alone
+        let mut c2 = Circuit::new(2);
+        c2.cx(1, 0);
+        let sv2 = StateVector::from_circuit(&c2);
+        assert_close(sv2.probabilities()[0b00], 1.0);
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.swap(0, 1);
+        let sv = StateVector::from_circuit(&c);
+        assert_close(sv.probabilities()[0b10], 1.0);
+    }
+
+    #[test]
+    fn rzz_phases_by_parity() {
+        // On |+>|+>, Rzz(π) followed by H⊗H maps to |11>.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        c.rzz(PI, 0, 1);
+        c.h(0);
+        c.h(1);
+        let sv = StateVector::from_circuit(&c);
+        assert_close(sv.probabilities()[0b11], 1.0);
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut c = Circuit::new(5);
+        for _ in 0..100 {
+            match rng.gen_range(0..5) {
+                0 => c.h(rng.gen_range(0..5)),
+                1 => c.rx(rng.gen_range(-3.0..3.0), rng.gen_range(0..5)),
+                2 => c.rz(rng.gen_range(-3.0..3.0), rng.gen_range(0..5)),
+                3 => {
+                    let a = rng.gen_range(0..5);
+                    let b = (a + rng.gen_range(1..5)) % 5;
+                    c.cx(a, b);
+                }
+                _ => {
+                    let a = rng.gen_range(0..5);
+                    let b = (a + rng.gen_range(1..5)) % 5;
+                    c.rzz(rng.gen_range(-3.0..3.0), a, b);
+                }
+            }
+        }
+        let sv = StateVector::from_circuit(&c);
+        assert_close(sv.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn expectation_of_diagonal() {
+        // |+>|0>: P(00)=P(01)=.5 ... value = number of set bits
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let sv = StateVector::from_circuit(&c);
+        let e = sv.expectation_diagonal(|idx| idx.count_ones() as f64);
+        assert_close(e, 0.5);
+    }
+
+    #[test]
+    fn measurements_are_ignored_by_from_circuit() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.measure_all();
+        let sv = StateVector::from_circuit(&c);
+        assert_close(sv.probabilities()[0], 0.5);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states() {
+        let mut a = Circuit::new(1);
+        a.x(0);
+        let sa = StateVector::from_circuit(&a);
+        let sb = StateVector::new(1);
+        assert_close(sa.fidelity(&sb), 0.0);
+        assert_close(sa.fidelity(&sa.clone()), 1.0);
+    }
+
+    #[test]
+    fn swap_equals_three_cnots() {
+        let mut prep = Circuit::new(2);
+        prep.h(0);
+        prep.rx(0.7, 1);
+        let mut c1 = prep.clone();
+        c1.swap(0, 1);
+        let mut c2 = prep.clone();
+        c2.cx(0, 1);
+        c2.cx(1, 0);
+        c2.cx(0, 1);
+        let s1 = StateVector::from_circuit(&c1);
+        let s2 = StateVector::from_circuit(&c2);
+        assert!(s1.fidelity(&s2) > 1.0 - 1e-10);
+    }
+}
+
+#[cfg(test)]
+mod measure_tests {
+    use super::*;
+    use qcircuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measuring_basis_state_is_deterministic() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let mut sv = StateVector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!sv.measure_qubit(0, &mut rng));
+        assert!(sv.measure_qubit(1, &mut rng));
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_measurement_correlates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut ones, trials) = (0, 200);
+        for _ in 0..trials {
+            let mut c = Circuit::new(2);
+            c.h(0);
+            c.cx(0, 1);
+            let mut sv = StateVector::from_circuit(&c);
+            let first = sv.measure_qubit(0, &mut rng);
+            let second = sv.measure_qubit(1, &mut rng);
+            assert_eq!(first, second, "Bell pair must correlate");
+            ones += u32::from(first);
+        }
+        let frac = f64::from(ones) / trials as f64;
+        assert!((frac - 0.5).abs() < 0.15, "outcome fraction {frac}");
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.h(1);
+        c.h(2);
+        let mut sv = StateVector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = sv.measure_qubit(1, &mut rng);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+        // Qubit 1 is now definite: all amplitude on one side.
+        let p = sv.probabilities();
+        let p_one: f64 = p.iter().enumerate().filter(|(i, _)| i & 2 != 0).map(|(_, x)| x).sum();
+        assert!(p_one < 1e-12 || (p_one - 1.0).abs() < 1e-12);
+    }
+}
