@@ -11,7 +11,11 @@ use rand::SeedableRng;
 fn spec_for(n: usize, p_edge: f64, seed: u64) -> QaoaSpec {
     let mut rng = StdRng::seed_from_u64(seed);
     let g = qgraph::generators::connected_erdos_renyi(n, p_edge, 10_000, &mut rng).unwrap();
-    QaoaSpec::from_maxcut(&MaxCut::without_optimum(g), &QaoaParams::p1(0.9, 0.35), true)
+    QaoaSpec::from_maxcut(
+        &MaxCut::without_optimum(g),
+        &QaoaParams::p1(0.9, 0.35),
+        true,
+    )
 }
 
 fn bench_strategies(c: &mut Criterion) {

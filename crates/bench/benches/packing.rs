@@ -12,8 +12,11 @@ fn bench_packing_limits(c: &mut Criterion) {
     let topo = Topology::grid(6, 6);
     let mut g_rng = StdRng::seed_from_u64(12);
     let g = qgraph::generators::connected_erdos_renyi(36, 0.5, 10_000, &mut g_rng).unwrap();
-    let spec =
-        QaoaSpec::from_maxcut(&MaxCut::without_optimum(g), &QaoaParams::p1(0.9, 0.35), true);
+    let spec = QaoaSpec::from_maxcut(
+        &MaxCut::without_optimum(g),
+        &QaoaParams::p1(0.9, 0.35),
+        true,
+    );
 
     let mut group = c.benchmark_group("fig12c_packing_limit");
     for limit in [1usize, 3, 5, 7, 9, 11, 13, 15, 18] {

@@ -16,14 +16,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
-    println!("=== IC re-sorting ablation ({} instances/family, {}) ===", count, topo.name());
+    println!(
+        "=== IC re-sorting ablation ({} instances/family, {}) ===",
+        count,
+        topo.name()
+    );
     for family in [Family::ErdosRenyi(0.4), Family::Regular(6)] {
         println!("\n-- {family}, 20 nodes --");
-        println!("{:<18} {:>10} {:>10} {:>10}", "variant", "swaps", "depth", "gates");
+        println!(
+            "{:<18} {:>10} {:>10} {:>10}",
+            "variant", "swaps", "depth", "gates"
+        );
         for (name, resort) in [("with re-sort", true), ("no re-sort", false)] {
             let mut swaps = Vec::new();
             let mut depths = Vec::new();
@@ -32,16 +42,17 @@ fn main() {
                 let spec = bench::compilation_spec(g, true);
                 let layout = qaim(&spec, &topo);
                 let mut rng = StdRng::seed_from_u64(22_100 + gi as u64);
-                let r = compile_incremental_with(
-                    &spec, &topo, layout, &metric, None, resort, &mut rng,
-                );
-                let basis =
-                    qcircuit::basis::to_basis(&r.circuit, Default::default()).unwrap();
+                let r =
+                    compile_incremental_with(&spec, &topo, layout, &metric, None, resort, &mut rng);
+                let basis = qcircuit::basis::to_basis(&r.circuit, Default::default()).unwrap();
                 swaps.push(r.swap_count as f64);
                 depths.push(basis.depth() as f64);
                 gates.push(basis.gate_count() as f64);
             }
-            println!("{}", row(name, &[mean(&swaps), mean(&depths), mean(&gates)]));
+            println!(
+                "{}",
+                row(name, &[mean(&swaps), mean(&depths), mean(&gates)])
+            );
         }
     }
     println!("\n(re-sorting should reduce SWAPs — the §IV-C claim that prioritizing gates\n whose qubits drifted together cuts qubit movement)");

@@ -15,7 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
@@ -27,10 +30,17 @@ fn main() {
         ("random", QaimVariant::Full), // replaced below by a random layout
     ];
 
-    println!("=== QAIM metric ablation ({} instances/family, {}) ===", count, topo.name());
+    println!(
+        "=== QAIM metric ablation ({} instances/family, {}) ===",
+        count,
+        topo.name()
+    );
     for family in [Family::ErdosRenyi(0.15), Family::Regular(3)] {
         println!("\n-- {family}, 16 nodes --");
-        println!("{:<18} {:>10} {:>10} {:>10}", "variant", "swaps", "depth", "gates");
+        println!(
+            "{:<18} {:>10} {:>10} {:>10}",
+            "variant", "swaps", "depth", "gates"
+        );
         for (vi, (name, variant)) in variants.iter().enumerate() {
             let mut swaps = Vec::new();
             let mut depths = Vec::new();
@@ -45,13 +55,15 @@ fn main() {
                 };
                 let logical = logical_circuit(&spec);
                 let r = route(&logical, &topo, layout, &metric);
-                let basis =
-                    qcircuit::basis::to_basis(&r.circuit, Default::default()).unwrap();
+                let basis = qcircuit::basis::to_basis(&r.circuit, Default::default()).unwrap();
                 swaps.push(r.swap_count as f64);
                 depths.push(basis.depth() as f64);
                 gates.push(basis.gate_count() as f64);
             }
-            println!("{}", row(name, &[mean(&swaps), mean(&depths), mean(&gates)]));
+            println!(
+                "{}",
+                row(name, &[mean(&swaps), mean(&depths), mean(&gates)])
+            );
         }
     }
     println!("\n(the full metric should dominate; no-strength typically costs the most swaps\n on sparse graphs, matching the §IV-A hardware-profiling rationale)");

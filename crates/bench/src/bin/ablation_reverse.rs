@@ -18,11 +18,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
-    println!("=== Reverse-traversal ablation ({count} 16-node ER(0.3) instances, {}) ===", topo.name());
+    println!(
+        "=== Reverse-traversal ablation ({count} 16-node ER(0.3) instances, {}) ===",
+        topo.name()
+    );
     println!("{:<26} {:>10} {:>14}", "mapping", "swaps", "map time (us)");
     let configs: [(&str, u8); 4] = [
         ("random", 0),

@@ -17,11 +17,17 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
-    println!("=== Router ablation ({count} 20-node ER(0.4) instances, {}) ===", topo.name());
+    println!(
+        "=== Router ablation ({count} 20-node ER(0.4) instances, {}) ===",
+        topo.name()
+    );
     println!(
         "{:<28} {:>10} {:>10} {:>10}",
         "config", "swaps", "depth", "gates"

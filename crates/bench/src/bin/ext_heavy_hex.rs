@@ -13,14 +13,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let topo = Topology::heavy_hex(2, 2);
     println!(
         "=== Extension: strategies on {} ({} qubits, {count} 14-node ER(0.3) instances) ===",
         topo.name(),
         topo.num_qubits()
     );
-    println!("{:<10} {:>10} {:>10} {:>10}", "method", "depth", "gates", "swaps");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "method", "depth", "gates", "swaps"
+    );
     let strategies = [
         ("NAIVE", CompileOptions::naive()),
         ("QAIM", CompileOptions::qaim_only()),
@@ -43,7 +49,10 @@ fn main() {
             gates.push(c.gate_count() as f64);
             swaps.push(c.swap_count() as f64);
         }
-        println!("{}", row(name, &[mean(&depths), mean(&gates), mean(&swaps)]));
+        println!(
+            "{}",
+            row(name, &[mean(&depths), mean(&gates), mean(&swaps)])
+        );
     }
     println!("\n(sparser couplings raise absolute costs; the NAIVE → QAIM → IP → IC ranking\n should persist)");
 }

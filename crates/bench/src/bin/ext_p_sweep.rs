@@ -20,7 +20,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let topo = Topology::ibmq_20_tokyo();
 
     println!("=== Extension: QAOA level sweep ({count} 12-node 3-regular instances) ===");
@@ -34,7 +37,9 @@ fn main() {
         let mut gates = Vec::new();
         let mut swaps = Vec::new();
         let mut times = Vec::new();
-        for (gi, g) in instances(Family::Regular(3), 12, count, 30_001).into_iter().enumerate()
+        for (gi, g) in instances(Family::Regular(3), 12, count, 30_001)
+            .into_iter()
+            .enumerate()
         {
             let problem = MaxCut::new(g);
             let (params, expectation) = qaoa::optimize::grid_then_nelder_mead(&problem, p, 16);

@@ -19,7 +19,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let (topo, cal_compile) = Calibration::melbourne_2020_04_08();
 
     println!(
@@ -42,15 +45,32 @@ fn main() {
             let mut d_rng = StdRng::seed_from_u64(33_500 + gi as u64 + (sigma * 100.0) as u64);
             let cal_execute = cal_compile.drifted(sigma, &mut d_rng);
             let mut rng = StdRng::seed_from_u64(33_100 + gi as u64);
-            let ic = compile(&spec, &topo, Some(&cal_compile), &CompileOptions::ic(), &mut rng);
-            let vic =
-                compile(&spec, &topo, Some(&cal_compile), &CompileOptions::vic(), &mut rng);
+            let ic = compile(
+                &spec,
+                &topo,
+                Some(&cal_compile),
+                &CompileOptions::ic(),
+                &mut rng,
+            );
+            let vic = compile(
+                &spec,
+                &topo,
+                Some(&cal_compile),
+                &CompileOptions::vic(),
+                &mut rng,
+            );
             // Evaluate under the *execution-day* calibration.
             sp_ic.push(ic.success_probability(&cal_execute));
             sp_vic.push(vic.success_probability(&cal_execute));
         }
         let (mi, mv) = (mean(&sp_ic), mean(&sp_vic));
-        println!("{:<14} {:>12.3e} {:>12.3e} {:>10.3}", sigma, mi, mv, mv / mi);
+        println!(
+            "{:<14} {:>12.3e} {:>12.3e} {:>10.3}",
+            sigma,
+            mi,
+            mv,
+            mv / mi
+        );
     }
     println!(
         "\n(VIC's edge should erode toward parity as drift grows — the [69]-style\n argument for recompiling against fresh calibration data)"

@@ -4,16 +4,22 @@
 //!
 //! Usage: `fig07_qaim [instances-per-bar]` (paper: 50; default 50).
 
+use bench::report::Report;
 use bench::stats::{mean, ratio_of_means, row};
 use bench::workloads::{instances, Family, ER_PROBABILITIES, REGULAR_DEGREES};
-use qcompile::{compile, CompileOptions, Compilation, InitialMapping};
-use qhw::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qcompile::{
+    compile_batch, default_workers, BatchJob, Compilation, CompileOptions, InitialMapping,
+};
+use qhw::{HardwareContext, Topology};
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     let topo = Topology::ibmq_20_tokyo();
+    let context = HardwareContext::new(topo.clone());
+    let workers = default_workers();
     let n = 20;
 
     let strategies = [
@@ -29,7 +35,11 @@ fn main() {
         ("qaim", CompileOptions::qaim_only()),
     ];
 
-    println!("=== Figure 7: initial mapping quality (n={n}, {count} instances/bar, {}) ===", topo.name());
+    println!(
+        "=== Figure 7: initial mapping quality (n={n}, {count} instances/bar, {}) ===",
+        topo.name()
+    );
+    let mut report = Report::new("fig07_qaim");
     for (title, families) in [
         (
             "erdos-renyi",
@@ -40,20 +50,45 @@ fn main() {
         println!("\n-- {title} graphs --");
         println!(
             "{:<18} {:>11} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-            "family", "naive depth", "greedy D", "dense D", "qaim D", "greedy G", "dense G", "qaim G"
+            "family",
+            "naive depth",
+            "greedy D",
+            "dense D",
+            "qaim D",
+            "greedy G",
+            "dense G",
+            "qaim G"
         );
         for family in families {
-            let graphs = instances(family, n, count, 7001);
+            // One batch per family: every (instance, strategy) pair is an
+            // independent job with the same per-instance seed the serial
+            // loop used, so results are unchanged — just parallel.
+            let jobs: Vec<BatchJob> = instances(family, n, count, 7001)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(gi, g)| {
+                    let spec = bench::compilation_spec(g, true);
+                    strategies
+                        .iter()
+                        .map(move |(_, options)| {
+                            BatchJob::new(spec.clone(), *options, 9000 + gi as u64)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let compiled = compile_batch(&context, &jobs, workers);
+
             let mut depths = vec![Vec::new(); strategies.len()];
             let mut gates = vec![Vec::new(); strategies.len()];
-            for (gi, g) in graphs.into_iter().enumerate() {
-                let spec = bench::compilation_spec(g, true);
-                for (si, (_, options)) in strategies.iter().enumerate() {
-                    let mut rng = StdRng::seed_from_u64(9000 + gi as u64);
-                    let c = compile(&spec, &topo, None, options, &mut rng);
-                    depths[si].push(c.depth() as f64);
-                    gates[si].push(c.gate_count() as f64);
-                }
+            for (ji, result) in compiled.into_iter().enumerate() {
+                let c = result.expect("figure workloads compile");
+                let si = ji % strategies.len();
+                depths[si].push(c.depth() as f64);
+                gates[si].push(c.gate_count() as f64);
+            }
+            for (si, (name, _)) in strategies.iter().enumerate() {
+                report.add(format!("{family}/{name}/depth"), &depths[si]);
+                report.add(format!("{family}/{name}/gates"), &gates[si]);
             }
             println!(
                 "{}",
@@ -73,4 +108,5 @@ fn main() {
         }
     }
     println!("\n(lower ratios are better; the paper reports QAIM winning clearly on sparse graphs\n and all approaches converging on dense graphs)");
+    report.save_and_announce();
 }

@@ -3,16 +3,22 @@
 //!
 //! Usage: `fig08_size_sweep [instances-per-point]` (paper: 20).
 
+use bench::report::Report;
 use bench::stats::{mean, ratio_of_means, row};
 use bench::workloads::{instances, Family};
-use qcompile::{compile, CompileOptions, Compilation, InitialMapping};
-use qhw::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qcompile::{
+    compile_batch, default_workers, BatchJob, Compilation, CompileOptions, InitialMapping,
+};
+use qhw::{HardwareContext, Topology};
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let topo = Topology::ibmq_20_tokyo();
+    let context = HardwareContext::new(topo);
+    let workers = default_workers();
 
     let strategies = [
         ("naive", CompileOptions::naive()),
@@ -32,18 +38,34 @@ fn main() {
         "{:<18} {:>11} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "nodes", "naive depth", "greedy D", "dense D", "qaim D", "greedy G", "dense G", "qaim G"
     );
+    let mut report = Report::new("fig08_size_sweep");
     for n in [12usize, 14, 16, 18, 20] {
-        let graphs = instances(Family::Regular(3), n, count, 8001);
+        let jobs: Vec<BatchJob> = instances(Family::Regular(3), n, count, 8001)
+            .into_iter()
+            .enumerate()
+            .flat_map(|(gi, g)| {
+                let spec = bench::compilation_spec(g, true);
+                strategies
+                    .iter()
+                    .map(move |(_, options)| {
+                        BatchJob::new(spec.clone(), *options, 8100 + gi as u64)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let compiled = compile_batch(&context, &jobs, workers);
+
         let mut depths = vec![Vec::new(); strategies.len()];
         let mut gates = vec![Vec::new(); strategies.len()];
-        for (gi, g) in graphs.into_iter().enumerate() {
-            let spec = bench::compilation_spec(g, true);
-            for (si, (_, options)) in strategies.iter().enumerate() {
-                let mut rng = StdRng::seed_from_u64(8100 + gi as u64);
-                let c = compile(&spec, &topo, None, options, &mut rng);
-                depths[si].push(c.depth() as f64);
-                gates[si].push(c.gate_count() as f64);
-            }
+        for (ji, result) in compiled.into_iter().enumerate() {
+            let c = result.expect("figure workloads compile");
+            let si = ji % strategies.len();
+            depths[si].push(c.depth() as f64);
+            gates[si].push(c.gate_count() as f64);
+        }
+        for (si, (name, _)) in strategies.iter().enumerate() {
+            report.add(format!("n={n}/{name}/depth"), &depths[si]);
+            report.add(format!("n={n}/{name}/gates"), &gates[si]);
         }
         println!(
             "{}",
@@ -62,4 +84,5 @@ fn main() {
         );
     }
     println!("\n(paper: both beat NAIVE most at the smallest sizes — 21.8% depth / 26.8% gates\n for QAIM at n=12 — converging as the device fills up)");
+    report.save_and_announce();
 }

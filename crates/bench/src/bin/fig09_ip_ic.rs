@@ -4,16 +4,20 @@
 //!
 //! Usage: `fig09_ip_ic [instances-per-bar]` (paper: 50).
 
+use bench::report::Report;
 use bench::stats::{ratio_of_means, row};
 use bench::workloads::{instances, Family, ER_PROBABILITIES, REGULAR_DEGREES};
-use qcompile::{compile, CompileOptions};
-use qhw::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use qcompile::{compile_batch, default_workers, BatchJob, CompileOptions};
+use qhw::{HardwareContext, Topology};
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     let topo = Topology::ibmq_20_tokyo();
+    let context = HardwareContext::new(topo);
+    let workers = default_workers();
     let n = 20;
 
     let strategies = [
@@ -23,8 +27,12 @@ fn main() {
     ];
 
     println!("=== Figure 9: IP/IC vs QAIM (n={n}, {count} instances/bar) ===");
+    let mut report = Report::new("fig09_ip_ic");
     for (title, families) in [
-        ("erdos-renyi", ER_PROBABILITIES.map(Family::ErdosRenyi).to_vec()),
+        (
+            "erdos-renyi",
+            ER_PROBABILITIES.map(Family::ErdosRenyi).to_vec(),
+        ),
         ("regular", REGULAR_DEGREES.map(Family::Regular).to_vec()),
     ] {
         println!("\n-- {title} graphs --");
@@ -33,19 +41,35 @@ fn main() {
             "family", "ip/q D", "ic/q D", "ip/q G", "ic/q G", "ip/q T", "ic/q T"
         );
         for family in families {
-            let graphs = instances(family, n, count, 9001);
-            let mut depths = vec![Vec::new(); 3];
-            let mut gates = vec![Vec::new(); 3];
-            let mut times = vec![Vec::new(); 3];
-            for (gi, g) in graphs.into_iter().enumerate() {
-                let spec = bench::compilation_spec(g, true);
-                for (si, (_, options)) in strategies.iter().enumerate() {
-                    let mut rng = StdRng::seed_from_u64(9200 + gi as u64);
-                    let c = compile(&spec, &topo, None, options, &mut rng);
-                    depths[si].push(c.depth() as f64);
-                    gates[si].push(c.gate_count() as f64);
-                    times[si].push(c.elapsed().as_secs_f64());
-                }
+            let jobs: Vec<BatchJob> = instances(family, n, count, 9001)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(gi, g)| {
+                    let spec = bench::compilation_spec(g, true);
+                    strategies
+                        .iter()
+                        .map(move |(_, options)| {
+                            BatchJob::new(spec.clone(), *options, 9200 + gi as u64)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let compiled = compile_batch(&context, &jobs, workers);
+
+            let mut depths = vec![Vec::new(); strategies.len()];
+            let mut gates = vec![Vec::new(); strategies.len()];
+            let mut times = vec![Vec::new(); strategies.len()];
+            for (ji, result) in compiled.into_iter().enumerate() {
+                let c = result.expect("figure workloads compile");
+                let si = ji % strategies.len();
+                depths[si].push(c.depth() as f64);
+                gates[si].push(c.gate_count() as f64);
+                times[si].push(c.elapsed().as_secs_f64());
+            }
+            for (si, (name, _)) in strategies.iter().enumerate() {
+                report.add(format!("{family}/{name}/depth"), &depths[si]);
+                report.add(format!("{family}/{name}/gates"), &gates[si]);
+                report.add(format!("{family}/{name}/time_s"), &times[si]);
             }
             println!(
                 "{}",
@@ -64,4 +88,5 @@ fn main() {
         }
     }
     println!("\n(paper shape: both IP and IC well below 1.0 on depth — strongest on dense graphs;\n IC below IP on gate-count; IP fastest to compile)");
+    report.save_and_announce();
 }

@@ -12,16 +12,25 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let (topo, cal) = Calibration::melbourne_2020_04_08();
 
-    println!("=== Figure 10: VIC vs IC success probability ({}, {count} instances/bar) ===", topo.name());
+    println!(
+        "=== Figure 10: VIC vs IC success probability ({}, {count} instances/bar) ===",
+        topo.name()
+    );
     for (title, family) in [
         ("erdos-renyi p=0.5", Family::ErdosRenyi(0.5)),
         ("regular k=6", Family::Regular(6)),
     ] {
         println!("\n-- {title} --");
-        println!("{:<18} {:>10} {:>10} {:>10}", "nodes", "SP(ic)", "SP(vic)", "vic/ic");
+        println!(
+            "{:<18} {:>10} {:>10} {:>10}",
+            "nodes", "SP(ic)", "SP(vic)", "vic/ic"
+        );
         for n in [13usize, 14, 15] {
             let graphs = instances(family, n, count, 10_001);
             let mut sp = [Vec::new(), Vec::new()];
@@ -39,7 +48,10 @@ fn main() {
             let (m_ic, m_vic) = (mean(&sp[0]), mean(&sp[1]));
             println!(
                 "{:<18} {:>10.3e} {:>10.3e} {:>10.3}",
-                n, m_ic, m_vic, m_vic / m_ic
+                n,
+                m_ic,
+                m_vic,
+                m_vic / m_ic
             );
         }
     }

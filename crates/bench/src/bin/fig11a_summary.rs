@@ -7,19 +7,26 @@
 //! Usage: `fig11a_summary [instances-per-family]` (paper: 600 total = 50
 //! per family across 12 families; default 10 per family = 120 total).
 
+use bench::report::Report;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family, ER_PROBABILITIES, REGULAR_DEGREES};
-use qcompile::{compile, CompileOptions};
-use qhw::{Calibration, Topology};
+use qcompile::{compile_batch, default_workers, BatchJob, CompileOptions};
+use qhw::{Calibration, HardwareContext, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let per_family: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let per_family: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let topo = Topology::ibmq_20_tokyo();
     let mut cal_rng = StdRng::seed_from_u64(1106);
     let cal = Calibration::random_normal(&topo, 1.0e-2, 0.5e-2, &mut cal_rng);
+    // One shared context for all 600 (instance, strategy) pairs: distance
+    // matrices and profiling are computed twice (hops + weighted), total.
+    let context = HardwareContext::with_calibration(topo, cal);
+    let workers = default_workers();
 
     let strategies = [
         ("NAIVE", CompileOptions::naive()),
@@ -37,28 +44,47 @@ fn main() {
     let total = families.len() * per_family;
     println!("=== Figure 11(a): strategy summary over {total} 20-node instances ===");
 
+    let jobs: Vec<BatchJob> = families
+        .iter()
+        .flat_map(|family| {
+            instances(*family, 20, per_family, 11_001)
+                .into_iter()
+                .enumerate()
+                .flat_map(|(gi, g)| {
+                    let spec = bench::compilation_spec(g, true);
+                    strategies
+                        .iter()
+                        .map(move |(_, options)| {
+                            BatchJob::new(spec.clone(), *options, 11_100 + gi as u64)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let compiled = compile_batch(&context, &jobs, workers);
+
     let mut depths = vec![Vec::new(); strategies.len()];
     let mut gates = vec![Vec::new(); strategies.len()];
     let mut times = vec![Vec::new(); strategies.len()];
-    for family in &families {
-        for (gi, g) in instances(*family, 20, per_family, 11_001).into_iter().enumerate() {
-            let spec = bench::compilation_spec(g, true);
-            for (si, (_, options)) in strategies.iter().enumerate() {
-                let mut rng = StdRng::seed_from_u64(11_100 + gi as u64);
-                let c = compile(&spec, &topo, Some(&cal), options, &mut rng);
-                depths[si].push(c.depth() as f64);
-                gates[si].push(c.gate_count() as f64);
-                times[si].push(c.elapsed().as_secs_f64());
-            }
-        }
+    for (ji, result) in compiled.into_iter().enumerate() {
+        let c = result.expect("figure workloads compile");
+        let si = ji % strategies.len();
+        depths[si].push(c.depth() as f64);
+        gates[si].push(c.gate_count() as f64);
+        times[si].push(c.elapsed().as_secs_f64());
     }
 
     println!(
         "{:<18} {:>10} {:>10} {:>10}",
         "method", "depth", "gates", "time"
     );
+    let mut report = Report::new("fig11a_summary");
     let base = (mean(&depths[0]), mean(&gates[0]), mean(&times[0]));
     for (si, (name, _)) in strategies.iter().enumerate() {
+        report.add(format!("{name}/depth"), &depths[si]);
+        report.add(format!("{name}/gates"), &gates[si]);
+        report.add(format!("{name}/time_s"), &times[si]);
         println!(
             "{}",
             row(
@@ -74,4 +100,5 @@ fn main() {
     println!(
         "\n(paper's Figure 11(a): NAIVE 1/1/1, QAIM 0.95/0.94/~1, IP 0.54/0.92/0.55,\n IC 0.47/0.77/0.85, VIC 0.48/0.77/0.86)"
     );
+    report.save_and_announce();
 }

@@ -20,11 +20,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let per_family: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
-    let shots: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8192);
-    let trajectories: u32 =
-        std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let per_family: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let shots: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
+    let trajectories: u32 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let (topo, cal) = Calibration::melbourne_2020_04_08();
     let sim = TrajectorySimulator::new(NoiseModel::new(cal.clone()));
 
@@ -48,7 +55,10 @@ fn main() {
     ] {
         println!("\n-- {title} --");
         let mut args = vec![Vec::new(); strategies.len()];
-        for (gi, g) in instances(family, 12, per_family, 11_201).into_iter().enumerate() {
+        for (gi, g) in instances(family, 12, per_family, 11_201)
+            .into_iter()
+            .enumerate()
+        {
             let problem = MaxCut::new(g);
             let (params, _) = qaoa::optimize::grid_then_nelder_mead(&problem, 1, 24);
             let spec = QaoaSpec::from_maxcut(&problem, &params, true);
@@ -66,8 +76,7 @@ fn main() {
                 // circuit, costs evaluated on logical bits via the final
                 // layout.
                 let mut h_rng = StdRng::seed_from_u64(42_000 + gi as u64);
-                let counts =
-                    sim.sample(compiled.physical(), shots, trajectories, &mut h_rng);
+                let counts = sim.sample(compiled.physical(), shots, trajectories, &mut h_rng);
                 let logical_counts: qsim::Counts = counts
                     .iter()
                     .map(|(&phys_state, &k)| {

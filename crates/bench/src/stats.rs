@@ -1,5 +1,8 @@
 //! Small statistics helpers for the experiment binaries.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 /// Arithmetic mean; 0.0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -27,6 +30,76 @@ pub fn ratio_of_means(num: &[f64], den: &[f64]) -> f64 {
     let d = mean(den);
     assert!(d != 0.0, "denominator mean is zero");
     mean(num) / d
+}
+
+/// Median; 0.0 for an empty slice. Even-length slices average the two
+/// middle elements.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// A seeded percentile-bootstrap 95% confidence interval for the mean:
+/// `resamples` resampled means, interval between the 2.5th and 97.5th
+/// percentiles. Deterministic for a given `(xs, resamples, seed)`.
+///
+/// Degenerate inputs collapse to a zero-width interval: `(0, 0)` for an
+/// empty slice, `(x, x)` for a single sample.
+pub fn bootstrap_ci95(xs: &[f64], resamples: usize, seed: u64) -> (f64, f64) {
+    match xs {
+        [] => return (0.0, 0.0),
+        [x] => return (*x, *x),
+        _ => {}
+    }
+    assert!(resamples >= 2, "need at least two resamples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let total: f64 = (0..xs.len()).map(|_| xs[rng.gen_range(0..xs.len())]).sum();
+            total / xs.len() as f64
+        })
+        .collect();
+    means.sort_by(f64::total_cmp);
+    let lo = means[(resamples as f64 * 0.025) as usize];
+    let hi = means[((resamples as f64 * 0.975) as usize).min(resamples - 1)];
+    (lo, hi)
+}
+
+/// The distribution summary the figure binaries emit as JSON: sample
+/// count, mean, median and a 95% bootstrap CI for the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// Lower end of the 95% bootstrap CI for the mean.
+    pub ci_lo: f64,
+    /// Upper end of the 95% bootstrap CI for the mean.
+    pub ci_hi: f64,
+}
+
+/// Summarizes `xs` with a 1000-resample bootstrap seeded by `seed`.
+pub fn summarize(xs: &[f64], seed: u64) -> Summary {
+    let (ci_lo, ci_hi) = bootstrap_ci95(xs, 1000, seed);
+    Summary {
+        n: xs.len(),
+        mean: mean(xs),
+        median: median(xs),
+        ci_lo,
+        ci_hi,
+    }
 }
 
 /// Renders one aligned table row: a label plus fixed-width numeric cells.
@@ -59,6 +132,38 @@ mod tests {
     #[should_panic]
     fn zero_denominator_panics() {
         let _ = ratio_of_means(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn median_handles_parity_and_edges() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_brackets_the_mean() {
+        let xs: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let a = bootstrap_ci95(&xs, 1000, 42);
+        let b = bootstrap_ci95(&xs, 1000, 42);
+        assert_eq!(a, b, "same seed, same interval");
+        let (lo, hi) = a;
+        let m = mean(&xs);
+        assert!(lo <= m && m <= hi, "CI [{lo}, {hi}] must bracket {m}");
+        assert!(hi - lo < 2.0 * std_dev(&xs), "CI should be tighter than ±σ");
+        assert_eq!(bootstrap_ci95(&[], 100, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_ci95(&[3.5], 100, 1), (3.5, 3.5));
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = summarize(&xs, 7);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
     }
 
     #[test]

@@ -46,14 +46,10 @@ pub fn instances(family: Family, n: usize, count: usize, base_seed: u64) -> Vec<
                 .wrapping_add((n as u64) << 32);
             let mut rng = StdRng::seed_from_u64(seed);
             match family {
-                Family::ErdosRenyi(p) => {
-                    generators::connected_erdos_renyi(n, p, 10_000, &mut rng)
-                        .expect("connected ER sample within retry budget")
-                }
-                Family::Regular(k) => {
-                    generators::connected_random_regular(n, k, 10_000, &mut rng)
-                        .expect("connected regular sample within retry budget")
-                }
+                Family::ErdosRenyi(p) => generators::connected_erdos_renyi(n, p, 10_000, &mut rng)
+                    .expect("connected ER sample within retry budget"),
+                Family::Regular(k) => generators::connected_random_regular(n, k, 10_000, &mut rng)
+                    .expect("connected regular sample within retry budget"),
             }
         })
         .collect()

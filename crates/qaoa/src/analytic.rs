@@ -136,7 +136,11 @@ mod tests {
         assert!(e > problem.graph().edge_count() as f64 / 2.0);
         assert!(gamma > 0.0 && beta > 0.0);
         // Known p=1 bound for 3-regular graphs: ratio >= 0.6924.
-        assert!(e / problem.max_value() > 0.65, "ratio {}", e / problem.max_value());
+        assert!(
+            e / problem.max_value() > 0.65,
+            "ratio {}",
+            e / problem.max_value()
+        );
     }
 
     #[test]
@@ -146,12 +150,7 @@ mod tests {
         let (gamma, beta) = (0.8, 0.4);
         let per_edge = edge_expectation_p1(&problem, 0, 1, gamma, beta);
         let d = 1; // every node has degree 2 -> d = 1
-        let want = 0.5
-            + 0.25
-                * (4.0 * beta).sin()
-                * gamma.sin()
-                * 2.0
-                * gamma.cos().powi(d);
+        let want = 0.5 + 0.25 * (4.0 * beta).sin() * gamma.sin() * 2.0 * gamma.cos().powi(d);
         assert!((per_edge - want).abs() < 1e-12);
     }
 

@@ -49,7 +49,10 @@ impl QaoaParams {
     ///
     /// Panics if `flat` is empty or has odd length.
     pub fn from_flat(flat: &[f64]) -> Self {
-        assert!(!flat.is_empty() && flat.len().is_multiple_of(2), "flat params must pair up");
+        assert!(
+            !flat.is_empty() && flat.len().is_multiple_of(2),
+            "flat params must pair up"
+        );
         QaoaParams::new(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
     }
 }

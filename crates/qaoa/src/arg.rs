@@ -61,7 +61,10 @@ pub fn approximation_ratio_from_counts(problem: &MaxCut, counts: &Counts) -> App
 /// Panics if `r0` is zero (the ideal circuit never cuts anything — not a
 /// meaningful QAOA instance).
 pub fn approximation_ratio_gap(r0: ApproximationRatio, rh: ApproximationRatio) -> f64 {
-    assert!(r0.value() != 0.0, "ideal approximation ratio must be nonzero");
+    assert!(
+        r0.value() != 0.0,
+        "ideal approximation ratio must be nonzero"
+    );
     100.0 * (r0.value() - rh.value()) / r0.value()
 }
 
@@ -105,10 +108,8 @@ mod tests {
     #[test]
     fn arg_can_be_negative_when_hardware_lucky() {
         // Finite sampling can make rh exceed r0; the metric is signed.
-        let arg = approximation_ratio_gap(
-            ApproximationRatio::new(0.8),
-            ApproximationRatio::new(0.85),
-        );
+        let arg =
+            approximation_ratio_gap(ApproximationRatio::new(0.8), ApproximationRatio::new(0.85));
         assert!(arg < 0.0);
     }
 

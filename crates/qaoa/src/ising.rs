@@ -44,12 +44,19 @@ impl IsingProblem {
     pub fn new(num_spins: usize, couplings: Vec<(usize, usize, f64)>, fields: Vec<f64>) -> Self {
         assert_eq!(fields.len(), num_spins, "one field per spin required");
         for &(u, v, j) in &couplings {
-            assert!(u < num_spins && v < num_spins, "coupling ({u}, {v}) out of range");
+            assert!(
+                u < num_spins && v < num_spins,
+                "coupling ({u}, {v}) out of range"
+            );
             assert_ne!(u, v, "self-coupling on spin {u}");
             assert!(j.is_finite(), "non-finite coupling on ({u}, {v})");
         }
         assert!(fields.iter().all(|h| h.is_finite()), "non-finite field");
-        IsingProblem { num_spins, couplings, fields }
+        IsingProblem {
+            num_spins,
+            couplings,
+            fields,
+        }
     }
 
     /// The Ising encoding of MaxCut: `J_uv = +1` per edge, no fields.
@@ -80,8 +87,17 @@ impl IsingProblem {
     /// the Pauli-Z eigenvalues).
     pub fn energy(&self, bits: usize) -> f64 {
         let spin = |q: usize| if bits >> q & 1 == 0 { 1.0 } else { -1.0 };
-        let quad: f64 = self.couplings.iter().map(|&(u, v, j)| j * spin(u) * spin(v)).sum();
-        let lin: f64 = self.fields.iter().enumerate().map(|(q, &h)| h * spin(q)).sum();
+        let quad: f64 = self
+            .couplings
+            .iter()
+            .map(|&(u, v, j)| j * spin(u) * spin(v))
+            .sum();
+        let lin: f64 = self
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(q, &h)| h * spin(q))
+            .sum();
         quad + lin
     }
 
@@ -145,8 +161,7 @@ impl IsingProblem {
         for i in 0..resolution {
             let gamma = std::f64::consts::PI * (i as f64 + 0.5) / resolution as f64;
             for jdx in 0..resolution {
-                let beta =
-                    std::f64::consts::FRAC_PI_2 * (jdx as f64 + 0.5) / resolution as f64;
+                let beta = std::f64::consts::FRAC_PI_2 * (jdx as f64 + 0.5) / resolution as f64;
                 let e = self.expectation(&QaoaParams::p1(gamma, beta));
                 if e < best.1 {
                     best = ((gamma, beta), e);
@@ -177,7 +192,10 @@ mod tests {
         for bits in 0..16usize {
             let cut = maxcut.cut_value(bits) as f64;
             // cut = (E - H) / 2
-            assert!((cut - (edges - problem.energy(bits)) / 2.0).abs() < 1e-12, "bits {bits}");
+            assert!(
+                (cut - (edges - problem.energy(bits)) / 2.0).abs() < 1e-12,
+                "bits {bits}"
+            );
         }
         // Ground energy corresponds to the max cut.
         assert!((problem.ground_energy() - (edges - 2.0 * maxcut.max_value())).abs() < 1e-12);
@@ -214,8 +232,14 @@ mod tests {
         let (_, e1) = problem.optimize(1, 16);
         let (_, e2) = problem.optimize(2, 16);
         assert!(e1 < 0.0, "p=1 should beat the uniform state: {e1}");
-        assert!(e2 <= e1 + 1e-9, "p=2 ({e2}) must not be worse than p=1 ({e1})");
-        assert!(e2 > ground - 1e-9, "expectation cannot beat the ground energy");
+        assert!(
+            e2 <= e1 + 1e-9,
+            "p=2 ({e2}) must not be worse than p=1 ({e1})"
+        );
+        assert!(
+            e2 > ground - 1e-9,
+            "expectation cannot beat the ground energy"
+        );
         let ratio = e2 / ground; // both negative
         assert!(ratio > 0.7, "p=2 should be close to ground: {ratio}");
     }

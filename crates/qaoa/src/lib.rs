@@ -40,8 +40,8 @@
 
 pub mod analytic;
 mod ansatz;
-pub mod ising;
 mod arg;
+pub mod ising;
 mod maxcut;
 pub mod optimize;
 

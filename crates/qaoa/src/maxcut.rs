@@ -37,7 +37,10 @@ impl MaxCut {
     /// need it will panic). For compilation-only experiments on large
     /// graphs.
     pub fn without_optimum(graph: Graph) -> Self {
-        MaxCut { graph, max_value: u64::MAX }
+        MaxCut {
+            graph,
+            max_value: u64::MAX,
+        }
     }
 
     /// The problem graph.

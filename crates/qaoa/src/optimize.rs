@@ -24,7 +24,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        NelderMeadOptions { max_evals: 2000, tolerance: 1e-6, initial_step: 0.1 }
+        NelderMeadOptions {
+            max_evals: 2000,
+            tolerance: 1e-6,
+            initial_step: 0.1,
+        }
     }
 }
 
@@ -183,7 +187,10 @@ mod tests {
             // interior mutability via closure capture not possible with FnMut? it is
             x[0].sin()
         };
-        let opts = NelderMeadOptions { max_evals: 25, ..Default::default() };
+        let opts = NelderMeadOptions {
+            max_evals: 25,
+            ..Default::default()
+        };
         // count via wrapper
         let counted = |x: &[f64]| {
             count += 1;

@@ -59,10 +59,12 @@ pub fn to_basis(c: &Circuit, basis: BasisSet) -> Result<Circuit, CircuitError> {
 fn lower_ibm(instr: &Instruction, out: &mut Circuit) -> Result<(), CircuitError> {
     let q = instr.q0();
     let push1 = |out: &mut Circuit, g: Gate, q: usize| {
-        out.push(Instruction::one(g, q)).expect("operand validated by caller circuit")
+        out.push(Instruction::one(g, q))
+            .expect("operand validated by caller circuit")
     };
     let push2 = |out: &mut Circuit, g: Gate, a: usize, b: usize| {
-        out.push(Instruction::two(g, a, b)).expect("operand validated by caller circuit")
+        out.push(Instruction::two(g, a, b))
+            .expect("operand validated by caller circuit")
     };
     // `Gate` is non_exhaustive: the catch-all arm guards variants added in
     // future versions, and is unreachable for the current set.
@@ -70,7 +72,8 @@ fn lower_ibm(instr: &Instruction, out: &mut Circuit) -> Result<(), CircuitError>
     match instr.gate() {
         // Already basis gates.
         Gate::U1(_) | Gate::U2(..) | Gate::U3(..) | Gate::Cnot | Gate::Measure => {
-            out.push(*instr).expect("operand validated by caller circuit");
+            out.push(*instr)
+                .expect("operand validated by caller circuit");
         }
         Gate::Id => {} // identity compiles away
         Gate::H => push1(out, Gate::U2(0.0, PI), q),
@@ -166,7 +169,10 @@ mod tests {
             original.push(Instruction::two(gate, 1, 0)).unwrap();
         }
         let lowered = to_basis(&original, BasisSet::Ibm).unwrap();
-        assert!(is_in_basis(&lowered, BasisSet::Ibm), "{gate} not fully lowered");
+        assert!(
+            is_in_basis(&lowered, BasisSet::Ibm),
+            "{gate} not fully lowered"
+        );
         assert!(
             equal_up_to_phase4(&unitary_of(&original), &unitary_of(&lowered), 1e-9),
             "{gate} lowering is not unitarily equivalent"

@@ -20,8 +20,17 @@ impl Instruction {
     ///
     /// Panics if `gate.arity() != 1`.
     pub fn one(gate: Gate, q: usize) -> Self {
-        assert_eq!(gate.arity(), 1, "{} is not a single-qubit gate", gate.name());
-        Instruction { gate, q0: q as u32, q1: u32::MAX }
+        assert_eq!(
+            gate.arity(),
+            1,
+            "{} is not a single-qubit gate",
+            gate.name()
+        );
+        Instruction {
+            gate,
+            q0: q as u32,
+            q1: u32::MAX,
+        }
     }
 
     /// Creates a two-qubit instruction.
@@ -32,7 +41,11 @@ impl Instruction {
     pub fn two(gate: Gate, a: usize, b: usize) -> Self {
         assert_eq!(gate.arity(), 2, "{} is not a two-qubit gate", gate.name());
         assert_ne!(a, b, "two-qubit gate on duplicate operand {a}");
-        Instruction { gate, q0: a as u32, q1: b as u32 }
+        Instruction {
+            gate,
+            q0: a as u32,
+            q1: b as u32,
+        }
     }
 
     /// The gate being applied.
@@ -131,7 +144,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, instructions: Vec::new() }
+        Circuit {
+            num_qubits,
+            instructions: Vec::new(),
+        }
     }
 
     /// The number of qubits.
@@ -309,17 +325,26 @@ impl Circuit {
     /// Total number of instructions excluding measurements — the paper's
     /// *gate-count* metric is reported on the basis-decomposed circuit.
     pub fn gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate().is_unitary()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate().is_unitary())
+            .count()
     }
 
     /// The number of two-qubit gates.
     pub fn two_qubit_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate().arity() == 2).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate().arity() == 2)
+            .count()
     }
 
     /// The number of instructions whose gate mnemonic equals `name`.
     pub fn count_gate(&self, name: &str) -> usize {
-        self.instructions.iter().filter(|i| i.gate().name() == name).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate().name() == name)
+            .count()
     }
 
     /// Maps every qubit index through `map`, e.g. to apply an initial
@@ -348,7 +373,8 @@ impl Circuit {
             } else {
                 Instruction::two(inv, instr.q0(), instr.q1())
             };
-            out.push(rebuilt).expect("reversed instruction stays in range");
+            out.push(rebuilt)
+                .expect("reversed instruction stays in range");
         }
         out
     }
@@ -369,7 +395,12 @@ impl<'a> IntoIterator for &'a Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} ops]:", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} ops]:",
+            self.num_qubits,
+            self.len()
+        )?;
         for instr in &self.instructions {
             writeln!(f, "  {instr}")?;
         }
@@ -386,7 +417,10 @@ mod tests {
         let mut c = Circuit::new(2);
         assert_eq!(
             c.push(Instruction::one(Gate::H, 2)),
-            Err(CircuitError::QubitOutOfBounds { qubit: 2, num_qubits: 2 })
+            Err(CircuitError::QubitOutOfBounds {
+                qubit: 2,
+                num_qubits: 2
+            })
         );
         assert!(c.push(Instruction::two(Gate::Cnot, 0, 1)).is_ok());
         assert_eq!(c.len(), 1);
@@ -455,7 +489,13 @@ mod tests {
     fn append_checks_size() {
         let mut a = Circuit::new(3);
         let b = Circuit::new(2);
-        assert_eq!(a.append(&b), Err(CircuitError::SizeMismatch { expected: 3, found: 2 }));
+        assert_eq!(
+            a.append(&b),
+            Err(CircuitError::SizeMismatch {
+                expected: 3,
+                found: 2
+            })
+        );
         let mut ok = Circuit::new(3);
         ok.h(1);
         a.append(&ok).unwrap();

@@ -47,9 +47,7 @@ pub fn commutes(a: &Instruction, b: &Instruction) -> bool {
     }
     // Same-axis single-qubit rotations on the same qubit.
     if a.gate().arity() == 1 && b.gate().arity() == 1 && a.q0() == b.q0() {
-        if let (Gate::Rx(_), Gate::Rx(_)) | (Gate::Ry(_), Gate::Ry(_)) =
-            (a.gate(), b.gate())
-        {
+        if let (Gate::Rx(_), Gate::Rx(_)) | (Gate::Ry(_), Gate::Ry(_)) = (a.gate(), b.gate()) {
             return true;
         }
     }
@@ -111,7 +109,11 @@ pub fn commutes_exact(a: &Instruction, b: &Instruction) -> Option<bool> {
     };
     let ma = embed(a);
     let mb = embed(b);
-    Some(equal_up_to_phase4(&matmul4(&ma, &mb), &matmul4(&mb, &ma), 1e-9))
+    Some(equal_up_to_phase4(
+        &matmul4(&ma, &mb),
+        &matmul4(&mb, &ma),
+        1e-9,
+    ))
 }
 
 /// Conjugates a 4×4 matrix by SWAP, exchanging the roles of the two qubits.

@@ -40,7 +40,14 @@ pub fn draw(c: &Circuit) -> String {
         }
     }
     let widths: Vec<usize> = (0..layers.len())
-        .map(|li| cells.iter().map(|row| row[li].len()).max().unwrap_or(1).max(1))
+        .map(|li| {
+            cells
+                .iter()
+                .map(|row| row[li].len())
+                .max()
+                .unwrap_or(1)
+                .max(1)
+        })
         .collect();
     let mut out = String::new();
     for (q, row) in cells.iter().enumerate() {

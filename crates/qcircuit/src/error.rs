@@ -29,13 +29,19 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfBounds { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of bounds for circuit with {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit {qubit} out of bounds for circuit with {num_qubits} qubits"
+                )
             }
             CircuitError::DuplicateOperand(q) => {
                 write!(f, "two-qubit gate applied twice to qubit {q}")
             }
             CircuitError::SizeMismatch { expected, found } => {
-                write!(f, "circuit size mismatch: expected {expected} qubits, found {found}")
+                write!(
+                    f,
+                    "circuit size mismatch: expected {expected} qubits, found {found}"
+                )
             }
             CircuitError::NotInBasis(name) => {
                 write!(f, "gate {name} has no decomposition into the target basis")

@@ -146,7 +146,11 @@ impl Gate {
     /// The gate's rotation/phase parameters, in declaration order.
     pub fn params(&self) -> Vec<f64> {
         match *self {
-            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::U1(t) | Gate::CPhase(t)
+            Gate::Rx(t)
+            | Gate::Ry(t)
+            | Gate::Rz(t)
+            | Gate::U1(t)
+            | Gate::CPhase(t)
             | Gate::Rzz(t) => vec![t],
             Gate::U2(p, l) => vec![p, l],
             Gate::U3(t, p, l) => vec![t, p, l],
@@ -328,8 +332,13 @@ mod tests {
         Gate::U3(1.0, 0.2, 0.3),
     ];
 
-    const ALL_2Q: &[Gate] =
-        &[Gate::Cnot, Gate::Cz, Gate::CPhase(0.73), Gate::Rzz(-1.1), Gate::Swap];
+    const ALL_2Q: &[Gate] = &[
+        Gate::Cnot,
+        Gate::Cz,
+        Gate::CPhase(0.73),
+        Gate::Rzz(-1.1),
+        Gate::Swap,
+    ];
 
     fn is_unitary2(m: &Matrix2) -> bool {
         let mut dagger = [[ZERO; 2]; 2];
@@ -399,7 +408,10 @@ mod tests {
         assert!(equal_up_to_phase4(&a, &b, 1e-9));
         // Rx(θ) == U3(θ, -π/2, π/2)
         let a = kron(&Gate::Rx(0.77).matrix2(), &identity2());
-        let b = kron(&Gate::U3(0.77, -FRAC_PI_2, FRAC_PI_2).matrix2(), &identity2());
+        let b = kron(
+            &Gate::U3(0.77, -FRAC_PI_2, FRAC_PI_2).matrix2(),
+            &identity2(),
+        );
         assert!(equal_up_to_phase4(&a, &b, 1e-9));
     }
 
@@ -410,16 +422,27 @@ mod tests {
         let cnot = Gate::Cnot.matrix4();
         let rz_target = kron(&identity2(), &Gate::Rz(theta).matrix2());
         let composed = matmul4(&cnot, &matmul4(&rz_target, &cnot));
-        assert!(equal_up_to_phase4(&composed, &Gate::Rzz(theta).matrix4(), 1e-9));
+        assert!(equal_up_to_phase4(
+            &composed,
+            &Gate::Rzz(theta).matrix4(),
+            1e-9
+        ));
     }
 
     #[test]
     fn cphase_from_rzz_and_u1() {
         // CP(λ) = e^{iλ/4} · U1(λ/2)⊗U1(λ/2) · Rzz(-λ/2)
         let lam = 1.3;
-        let u1s = kron(&Gate::U1(lam / 2.0).matrix2(), &Gate::U1(lam / 2.0).matrix2());
+        let u1s = kron(
+            &Gate::U1(lam / 2.0).matrix2(),
+            &Gate::U1(lam / 2.0).matrix2(),
+        );
         let composed = matmul4(&u1s, &Gate::Rzz(-lam / 2.0).matrix4());
-        assert!(equal_up_to_phase4(&composed, &Gate::CPhase(lam).matrix4(), 1e-9));
+        assert!(equal_up_to_phase4(
+            &composed,
+            &Gate::CPhase(lam).matrix4(),
+            1e-9
+        ));
     }
 
     #[test]
@@ -443,7 +466,10 @@ mod tests {
     fn display_includes_parameters() {
         assert_eq!(Gate::H.to_string(), "h");
         assert_eq!(Gate::Rzz(0.5).to_string(), "rzz(0.5000)");
-        assert_eq!(Gate::U3(1.0, 2.0, 3.0).to_string(), "u3(1.0000, 2.0000, 3.0000)");
+        assert_eq!(
+            Gate::U3(1.0, 2.0, 3.0).to_string(),
+            "u3(1.0000, 2.0000, 3.0000)"
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub fn asap_layers(c: &Circuit) -> Vec<Vec<Instruction>> {
     let mut frontier = vec![0usize; c.num_qubits()];
     let mut layers: Vec<Vec<Instruction>> = Vec::new();
     for instr in c.iter() {
-        let level = instr.qubit_vec().iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        let level = instr
+            .qubit_vec()
+            .iter()
+            .map(|&q| frontier[q])
+            .max()
+            .unwrap_or(0);
         if level == layers.len() {
             layers.push(Vec::new());
         }
@@ -60,7 +65,12 @@ pub fn two_qubit_layers(c: &Circuit) -> Vec<Vec<Instruction>> {
     let mut frontier = vec![0usize; c.num_qubits()];
     let mut layers: Vec<Vec<Instruction>> = Vec::new();
     for instr in c.iter().filter(|i| i.gate().arity() == 2) {
-        let level = instr.qubit_vec().iter().map(|&q| frontier[q]).max().unwrap_or(0);
+        let level = instr
+            .qubit_vec()
+            .iter()
+            .map(|&q| frontier[q])
+            .max()
+            .unwrap_or(0);
         if level == layers.len() {
             layers.push(Vec::new());
         }
@@ -81,7 +91,8 @@ pub fn from_layers(num_qubits: usize, layers: &[Vec<Instruction>]) -> Circuit {
     let mut c = Circuit::new(num_qubits);
     for layer in layers {
         for instr in layer {
-            c.push(*instr).unwrap_or_else(|e| panic!("invalid layered instruction: {e}"));
+            c.push(*instr)
+                .unwrap_or_else(|e| panic!("invalid layered instruction: {e}"));
         }
     }
     c

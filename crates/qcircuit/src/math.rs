@@ -36,12 +36,18 @@ impl Complex {
 
     /// `e^{iθ} = cos θ + i sin θ`.
     pub fn cis(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|^2` — the Born-rule probability weight.
@@ -56,7 +62,10 @@ impl Complex {
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Whether `self` is within `tol` of `other` in both components.
@@ -68,7 +77,10 @@ impl Complex {
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -82,14 +94,20 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

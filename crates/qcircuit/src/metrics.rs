@@ -72,9 +72,7 @@ pub fn stats(c: &Circuit) -> CircuitStats {
     }
     let idle_slots = (0..n)
         .filter(|&q| first[q] != usize::MAX)
-        .map(|q| {
-            (first[q]..=last[q]).filter(|&li| !busy[q][li]).count()
-        })
+        .map(|q| (first[q]..=last[q]).filter(|&li| !busy[q][li]).count())
         .sum();
 
     CircuitStats {
@@ -83,7 +81,11 @@ pub fn stats(c: &Circuit) -> CircuitStats {
         two_qubit_gates: c.two_qubit_count(),
         depth,
         two_qubit_depth,
-        mean_layer_occupancy: if depth == 0 { 0.0 } else { c.len() as f64 / depth as f64 },
+        mean_layer_occupancy: if depth == 0 {
+            0.0
+        } else {
+            c.len() as f64 / depth as f64
+        },
         idle_slots,
         max_qubit_load: load.into_iter().max().unwrap_or(0),
     }

@@ -74,8 +74,7 @@ pub fn parse(text: &str) -> Result<Circuit, ParseQasmError> {
         if !saw_header {
             return Err(ParseQasmError::MissingHeader);
         }
-        if stmt.starts_with("include") || stmt.starts_with("creg") || stmt.starts_with("barrier")
-        {
+        if stmt.starts_with("include") || stmt.starts_with("creg") || stmt.starts_with("barrier") {
             continue;
         }
         if let Some(rest) = stmt.strip_prefix("qreg") {
@@ -118,9 +117,7 @@ fn parse_statement(stmt: &str, circuit: &mut Circuit) -> Result<(), ParseQasmErr
     }
     // name(params)? operands
     let (head, operands_text) = match stmt.find(|c: char| c.is_whitespace()) {
-        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
-            stmt.split_at(pos)
-        }
+        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => stmt.split_at(pos),
         _ => {
             // parameterized gate: split after closing paren
             let close = stmt
@@ -247,7 +244,8 @@ mod tests {
         c.rz(3.25, 2);
         c.u1(0.125, 0);
         c.push(Instruction::one(Gate::U2(0.1, 0.2), 1)).unwrap();
-        c.push(Instruction::one(Gate::U3(0.1, 0.2, 0.3), 2)).unwrap();
+        c.push(Instruction::one(Gate::U3(0.1, 0.2, 0.3), 2))
+            .unwrap();
         c.cx(0, 1);
         c.cz(1, 2);
         c.cp(0.375, 0, 2);
@@ -272,7 +270,10 @@ mod tests {
 
     #[test]
     fn missing_header_is_rejected() {
-        assert_eq!(parse("qreg q[2];\nh q[0];"), Err(ParseQasmError::MissingHeader));
+        assert_eq!(
+            parse("qreg q[2];\nh q[0];"),
+            Err(ParseQasmError::MissingHeader)
+        );
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Multi-threaded batch compilation over one shared [`HardwareContext`].
+//!
+//! The paper's experiments compile hundreds of (instance, configuration)
+//! pairs against a single device; [`compile_batch`] fans that out across
+//! worker threads while keeping results **bit-for-bit identical** to a
+//! serial loop: each job carries its own RNG seed, so its random stream
+//! is independent of scheduling, and results are returned in job order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use qhw::HardwareContext;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::CompileError;
+use crate::pipeline::{try_compile_with_context, CompileOptions, CompiledCircuit};
+use crate::QaoaSpec;
+
+/// One unit of batch work: a program, a configuration and the seed of the
+/// RNG stream the compilation consumes.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// The QAOA program to compile.
+    pub spec: QaoaSpec,
+    /// The configuration to compile it under.
+    pub options: CompileOptions,
+    /// Seed for this job's private `StdRng`. Determinism contract: a job
+    /// always sees `StdRng::seed_from_u64(seed)`, regardless of which
+    /// worker runs it or in what order.
+    pub seed: u64,
+}
+
+impl BatchJob {
+    /// A job compiling `spec` under `options` with RNG stream `seed`.
+    pub fn new(spec: QaoaSpec, options: CompileOptions, seed: u64) -> Self {
+        BatchJob {
+            spec,
+            options,
+            seed,
+        }
+    }
+}
+
+/// A sensible worker count for this machine (available parallelism,
+/// falling back to 1 when it cannot be queried).
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Compiles every job against the shared `context` on `workers` threads.
+///
+/// Results are in job order, and each is exactly what a serial
+/// [`try_compile_with_context`] call with `StdRng::seed_from_u64(job.seed)`
+/// produces — worker count and scheduling cannot change any output (the
+/// `batch_determinism` property test pins this). Failures are returned
+/// per-job; one bad job does not poison the batch.
+pub fn compile_batch(
+    context: &HardwareContext,
+    jobs: &[BatchJob],
+    workers: usize,
+) -> Vec<Result<CompiledCircuit, CompileError>> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    if workers == 1 {
+        // Serial fast path: no threads, no channel. Identical results by
+        // construction — each job's RNG is freshly seeded either way.
+        return jobs
+            .iter()
+            .map(|job| {
+                let mut rng = StdRng::seed_from_u64(job.seed);
+                try_compile_with_context(&job.spec, context, &job.options, &mut rng)
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let mut rng = StdRng::seed_from_u64(job.seed);
+                let result = try_compile_with_context(&job.spec, context, &job.options, &mut rng);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<Result<CompiledCircuit, CompileError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    for (i, result) in rx {
+        slots[i] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job sends exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CphaseOp;
+    use qhw::Topology;
+
+    fn ring_spec(n: usize) -> QaoaSpec {
+        let ops = (0..n).map(|i| CphaseOp::new(i, (i + 1) % n, 0.4)).collect();
+        QaoaSpec::new(n, vec![(ops, 0.3)], true)
+    }
+
+    #[test]
+    fn batch_matches_serial_and_preserves_job_order() {
+        let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+        let jobs: Vec<BatchJob> = (0..6)
+            .map(|i| {
+                let options = if i % 2 == 0 {
+                    CompileOptions::ic()
+                } else {
+                    CompileOptions::qaim_only()
+                };
+                BatchJob::new(ring_spec(6 + i), options, 1000 + i as u64)
+            })
+            .collect();
+        let parallel = compile_batch(&context, &jobs, 4);
+        for (job, got) in jobs.iter().zip(&parallel) {
+            let mut rng = StdRng::seed_from_u64(job.seed);
+            let want =
+                try_compile_with_context(&job.spec, &context, &job.options, &mut rng).unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.physical(), want.physical());
+            assert_eq!(got.basis_circuit(), want.basis_circuit());
+            assert_eq!(got.final_layout(), want.final_layout());
+            assert_eq!(got.swap_count(), want.swap_count());
+            // Job order: result widths track the per-job program sizes.
+            assert_eq!(got.initial_layout().num_logical(), job.spec.num_qubits());
+        }
+    }
+
+    #[test]
+    fn failures_stay_per_job() {
+        let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+        let jobs = vec![
+            BatchJob::new(ring_spec(6), CompileOptions::ic(), 1),
+            // VIC without calibration in the context: this job fails …
+            BatchJob::new(ring_spec(6), CompileOptions::vic(), 2),
+            // … but its neighbors still compile.
+            BatchJob::new(ring_spec(7), CompileOptions::naive(), 3),
+        ];
+        let results = compile_batch(&context, &jobs, 2);
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &CompileError::MissingCalibration
+        );
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn degenerate_worker_counts_are_clamped() {
+        let context = HardwareContext::new(Topology::ibmq_16_melbourne());
+        let jobs = vec![BatchJob::new(ring_spec(5), CompileOptions::ic(), 9)];
+        // Zero workers clamps to one; huge counts clamp to the job count.
+        assert!(compile_batch(&context, &jobs, 0)[0].is_ok());
+        assert!(compile_batch(&context, &jobs, 64)[0].is_ok());
+        assert!(compile_batch(&context, &[], 4).is_empty());
+    }
+}

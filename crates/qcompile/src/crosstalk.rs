@@ -123,7 +123,10 @@ impl Schedule {
 pub fn sequentialize(circuit: &Circuit, pairs: &CrosstalkPairs) -> (Schedule, usize) {
     if pairs.is_empty() {
         return (
-            Schedule { num_qubits: circuit.num_qubits(), layers: asap_layers(circuit) },
+            Schedule {
+                num_qubits: circuit.num_qubits(),
+                layers: asap_layers(circuit),
+            },
             0,
         );
     }
@@ -187,7 +190,10 @@ pub fn sequentialize(circuit: &Circuit, pairs: &CrosstalkPairs) -> (Schedule, us
     }
     out_layers.retain(|l| !l.is_empty());
     (
-        Schedule { num_qubits: circuit.num_qubits(), layers: out_layers },
+        Schedule {
+            num_qubits: circuit.num_qubits(),
+            layers: out_layers,
+        },
         deferred_count,
     )
 }

@@ -1,0 +1,112 @@
+//! Structured compilation failures.
+
+use std::fmt;
+
+use qroute::RouteError;
+
+/// Why the pipeline could not produce a [`crate::CompiledCircuit`].
+///
+/// The fallible entry points ([`crate::try_compile`],
+/// [`crate::try_compile_with_context`], [`crate::compile_batch`]) return
+/// these instead of panicking, so failures cross thread and API boundaries
+/// as values. The legacy [`crate::compile`] wrapper converts them back
+/// into panics with the same messages the pre-refactor asserts produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program needs more logical qubits than the topology provides.
+    ProgramTooLarge {
+        /// Logical qubits the program uses.
+        logical: usize,
+        /// Physical qubits the topology provides.
+        physical: usize,
+    },
+    /// VIC (reliability-weighted incremental compilation) was requested
+    /// but the hardware context carries no calibration data.
+    MissingCalibration,
+    /// `packing_limit` was `Some(0)`, which would make layer formation
+    /// diverge.
+    ZeroPackingLimit,
+    /// Two physical qubits the mapper must relate are disconnected in the
+    /// coupling graph.
+    Disconnected {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// The backend router failed.
+    Routing(RouteError),
+    /// The routed circuit could not be lowered to the target basis.
+    BasisLowering(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::ProgramTooLarge { logical, physical } => write!(
+                f,
+                "{logical} logical qubits cannot fit on {physical} physical qubits"
+            ),
+            CompileError::MissingCalibration => {
+                write!(f, "VIC (IncrementalReliability) requires calibration data")
+            }
+            CompileError::ZeroPackingLimit => write!(f, "packing limit must be positive"),
+            CompileError::Disconnected { a, b } => {
+                write!(f, "physical qubits {a} and {b} are disconnected")
+            }
+            CompileError::Routing(e) => write!(f, "routing failed: {e}"),
+            CompileError::BasisLowering(msg) => write!(f, "basis lowering failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Routing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RouteError> for CompileError {
+    fn from(e: RouteError) -> Self {
+        CompileError::Routing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_panic_messages() {
+        assert_eq!(
+            CompileError::ProgramTooLarge {
+                logical: 21,
+                physical: 20
+            }
+            .to_string(),
+            "21 logical qubits cannot fit on 20 physical qubits"
+        );
+        assert_eq!(
+            CompileError::MissingCalibration.to_string(),
+            "VIC (IncrementalReliability) requires calibration data"
+        );
+        assert_eq!(
+            CompileError::ZeroPackingLimit.to_string(),
+            "packing limit must be positive"
+        );
+    }
+
+    #[test]
+    fn route_errors_convert_and_chain() {
+        let e: CompileError = RouteError::LayoutTooSmall {
+            covers: 3,
+            needed: 5,
+        }
+        .into();
+        assert!(matches!(e, CompileError::Routing(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -15,10 +15,11 @@
 
 use qcircuit::Circuit;
 use qhw::Topology;
-use qroute::{route, Layout, RoutingMetric};
+use qroute::{try_route, Layout, RoutingMetric};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::error::CompileError;
 use crate::{CphaseOp, QaoaSpec};
 
 /// Output of [`compile_incremental`].
@@ -52,7 +53,15 @@ pub fn compile_incremental<R: Rng + ?Sized>(
     packing_limit: Option<usize>,
     rng: &mut R,
 ) -> IncrementalResult {
-    compile_incremental_with(spec, topology, initial_layout, metric, packing_limit, true, rng)
+    compile_incremental_with(
+        spec,
+        topology,
+        initial_layout,
+        metric,
+        packing_limit,
+        true,
+        rng,
+    )
 }
 
 /// [`compile_incremental`] with an ablation switch: when `resort` is
@@ -73,8 +82,34 @@ pub fn compile_incremental_with<R: Rng + ?Sized>(
     resort: bool,
     rng: &mut R,
 ) -> IncrementalResult {
-    if let Some(limit) = packing_limit {
-        assert!(limit > 0, "packing limit must be positive");
+    match try_compile_incremental_with(
+        spec,
+        topology,
+        initial_layout,
+        metric,
+        packing_limit,
+        resort,
+        rng,
+    ) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`compile_incremental_with`]: returns a structured
+/// [`CompileError`] instead of panicking, so incremental compilation can
+/// cross thread and API boundaries (the batch driver relies on this).
+pub fn try_compile_incremental_with<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    initial_layout: Layout,
+    metric: &RoutingMetric,
+    packing_limit: Option<usize>,
+    resort: bool,
+    rng: &mut R,
+) -> Result<IncrementalResult, CompileError> {
+    if packing_limit == Some(0) {
+        return Err(CompileError::ZeroPackingLimit);
     }
     let n_logical = spec.num_qubits();
     let n_physical = topology.num_qubits();
@@ -123,7 +158,7 @@ pub fn compile_incremental_with<R: Rng + ?Sized>(
             for op in &layer {
                 partial.rzz(op.angle, op.a, op.b);
             }
-            let routed = route(&partial, topology, layout, metric);
+            let routed = try_route(&partial, topology, layout, metric)?;
             out.append(&routed.circuit).expect("same physical width");
             layout = routed.final_layout;
             swap_count += routed.swap_count;
@@ -144,7 +179,12 @@ pub fn compile_incremental_with<R: Rng + ?Sized>(
         }
     }
 
-    IncrementalResult { circuit: out, final_layout: layout, swap_count, cphase_layers }
+    Ok(IncrementalResult {
+        circuit: out,
+        final_layout: layout,
+        swap_count,
+        cphase_layers,
+    })
 }
 
 #[cfg(test)]
@@ -188,7 +228,10 @@ mod tests {
             best_swaps = best_swaps.min(r.swap_count);
         }
         assert_eq!(best_layers, 4, "greedy should reach the MOQ bound");
-        assert!(best_swaps <= 2, "paper reports 2 SWAPs; got best {best_swaps}");
+        assert!(
+            best_swaps <= 2,
+            "paper reports 2 SWAPs; got best {best_swaps}"
+        );
     }
 
     #[test]
@@ -233,14 +276,12 @@ mod tests {
         let instances = 12;
         for seed in 0..instances {
             let mut g_rng = StdRng::seed_from_u64(500 + seed);
-            let g =
-                qgraph::generators::connected_erdos_renyi(12, 0.5, 1000, &mut g_rng).unwrap();
+            let g = qgraph::generators::connected_erdos_renyi(12, 0.5, 1000, &mut g_rng).unwrap();
             let problem = qaoa::MaxCut::without_optimum(g);
             let spec = QaoaSpec::from_maxcut(&problem, &qaoa::QaoaParams::p1(0.4, 0.3), true);
             let layout = crate::mapping::qaim(&spec, &topo);
             let mut rng = StdRng::seed_from_u64(900 + seed);
-            let ric =
-                compile_incremental(&spec, &topo, layout.clone(), &ic_metric, None, &mut rng);
+            let ric = compile_incremental(&spec, &topo, layout.clone(), &ic_metric, None, &mut rng);
             let rvic =
                 compile_incremental(&spec, &topo, layout.clone(), &vic_metric, None, &mut rng);
             sp_ic += qroute::success_probability(&ric.circuit, &cal);
@@ -259,8 +300,7 @@ mod tests {
         let (spec, topo, layout) = fig5_setup();
         let metric = RoutingMetric::hops(&topo);
         let mut rng = StdRng::seed_from_u64(1);
-        let limited =
-            compile_incremental(&spec, &topo, layout.clone(), &metric, Some(1), &mut rng);
+        let limited = compile_incremental(&spec, &topo, layout.clone(), &metric, Some(1), &mut rng);
         // 7 ops, one per layer.
         assert_eq!(limited.cphase_layers, 7);
         assert!(satisfies_coupling(&limited.circuit, &topo));

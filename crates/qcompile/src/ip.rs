@@ -104,8 +104,10 @@ mod tests {
     }
 
     fn layer_pairs(layer: &[CphaseOp]) -> Vec<(usize, usize)> {
-        let mut v: Vec<(usize, usize)> =
-            layer.iter().map(|op| (op.a.min(op.b), op.a.max(op.b))).collect();
+        let mut v: Vec<(usize, usize)> = layer
+            .iter()
+            .map(|op| (op.a.min(op.b), op.a.max(op.b)))
+            .collect();
         v.sort_unstable();
         v
     }
@@ -135,8 +137,10 @@ mod tests {
     fn layers_have_disjoint_qubits() {
         let mut r = rng();
         let g = qgraph::generators::connected_erdos_renyi(12, 0.5, 100, &mut r).unwrap();
-        let ops: Vec<CphaseOp> =
-            g.edges().map(|e| CphaseOp::new(e.a(), e.b(), 0.2)).collect();
+        let ops: Vec<CphaseOp> = g
+            .edges()
+            .map(|e| CphaseOp::new(e.a(), e.b(), 0.2))
+            .collect();
         for layer in pack_layers(12, &ops, None, &mut r) {
             let mut used = std::collections::HashSet::new();
             for op in &layer {
@@ -150,8 +154,10 @@ mod tests {
     fn all_ops_preserved() {
         let mut r = rng();
         let g = qgraph::generators::connected_random_regular(14, 5, 100, &mut r).unwrap();
-        let ops: Vec<CphaseOp> =
-            g.edges().map(|e| CphaseOp::new(e.a(), e.b(), 0.2)).collect();
+        let ops: Vec<CphaseOp> = g
+            .edges()
+            .map(|e| CphaseOp::new(e.a(), e.b(), 0.2))
+            .collect();
         let layers = pack_layers(14, &ops, None, &mut r);
         let flat = flatten(&layers);
         assert_eq!(flat.len(), ops.len());
@@ -169,8 +175,10 @@ mod tests {
         let mut r = rng();
         for k in [3usize, 5, 8] {
             let g = qgraph::generators::connected_random_regular(16, k, 100, &mut r).unwrap();
-            let ops: Vec<CphaseOp> =
-                g.edges().map(|e| CphaseOp::new(e.a(), e.b(), 0.2)).collect();
+            let ops: Vec<CphaseOp> = g
+                .edges()
+                .map(|e| CphaseOp::new(e.a(), e.b(), 0.2))
+                .collect();
             let layers = pack_layers(16, &ops, None, &mut r);
             // Every node has k ops, so MOQ = k; packing cannot beat it.
             assert!(layers.len() >= k, "k={k}: {} layers", layers.len());
@@ -195,8 +203,10 @@ mod tests {
     fn packing_limit_caps_layer_size() {
         let mut r = rng();
         let g = qgraph::generators::connected_erdos_renyi(16, 0.5, 100, &mut r).unwrap();
-        let ops: Vec<CphaseOp> =
-            g.edges().map(|e| CphaseOp::new(e.a(), e.b(), 0.2)).collect();
+        let ops: Vec<CphaseOp> = g
+            .edges()
+            .map(|e| CphaseOp::new(e.a(), e.b(), 0.2))
+            .collect();
         for limit in [1usize, 2, 3, 5] {
             let layers = pack_layers(16, &ops, Some(limit), &mut r);
             assert!(layers.iter().all(|l| l.len() <= limit), "limit {limit}");

@@ -14,6 +14,11 @@
 //! The [`pipeline`] module wires everything into the Figure 2 workflow:
 //! problem → (mapping strategy) → (ordering / incremental compilation) →
 //! backend router → hardware-compliant circuit plus quality metrics.
+//! Stages are trait-based [`passes`] over a shared [`qhw::HardwareContext`]
+//! (distance matrices and profiles computed once per target), each run
+//! records a per-pass [`PassTrace`], fallible entry points return
+//! [`CompileError`] instead of panicking, and [`compile_batch`] fans jobs
+//! out across threads with bit-for-bit deterministic results.
 //!
 //! # Examples
 //!
@@ -36,13 +41,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod crosstalk;
+mod error;
 pub mod ic;
 pub mod ip;
 pub mod mapping;
+pub mod passes;
 pub mod pipeline;
 mod program;
 pub mod reverse;
+mod trace;
 
-pub use pipeline::{compile, Compilation, CompileOptions, CompiledCircuit, InitialMapping};
+pub use batch::{compile_batch, default_workers, BatchJob};
+pub use error::CompileError;
+pub use pipeline::{
+    compile, try_compile, try_compile_with_context, Compilation, CompileOptions, CompiledCircuit,
+    InitialMapping,
+};
 pub use program::{CphaseOp, ProgramProfile, QaoaSpec};
+pub use trace::{PassRecord, PassTrace};

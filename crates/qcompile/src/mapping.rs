@@ -2,11 +2,23 @@
 //! baseline (Murali et al., ASPLOS'19) and the NAIVE random mapping.
 
 use qgraph::shortest_path::DistanceMatrix;
-use qhw::Topology;
+use qhw::{HardwareContext, HardwareProfile, Topology};
 use qroute::Layout;
 use rand::Rng;
 
+use crate::error::CompileError;
 use crate::QaoaSpec;
+
+/// Checks the program fits the topology.
+pub(crate) fn check_fits(spec: &QaoaSpec, topology: &Topology) -> Result<(), CompileError> {
+    let logical = spec.num_qubits();
+    let physical = topology.num_qubits();
+    if logical > physical {
+        Err(CompileError::ProgramTooLarge { logical, physical })
+    } else {
+        Ok(())
+    }
+}
 
 /// Ablation variants of the QAIM decision metric (§IV-A).
 ///
@@ -54,23 +66,63 @@ pub fn qaim(spec: &QaoaSpec, topology: &Topology) -> Layout {
 
 /// QAIM with an ablated decision metric — see [`QaimVariant`].
 ///
+/// Recomputes the hardware profile and distance matrix on every call;
+/// prefer [`try_qaim_with_context`] when a [`HardwareContext`] is
+/// available.
+///
 /// # Panics
 ///
 /// Same as [`qaim`].
 pub fn qaim_variant(spec: &QaoaSpec, topology: &Topology, variant: QaimVariant) -> Layout {
-    let n_logical = spec.num_qubits();
-    let n_physical = topology.num_qubits();
-    assert!(
-        n_logical <= n_physical,
-        "{n_logical} logical qubits cannot fit on {n_physical} physical qubits"
-    );
     let profile = match variant {
         QaimVariant::DegreeStrength => topology.profile_with_depth(1),
         _ => topology.profile(),
     };
+    let distances = topology.distances();
+    match qaim_core(spec, topology, &profile, &distances, variant) {
+        Ok(layout) => layout,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// QAIM fed from `context`'s cached connectivity profile and distance
+/// matrix — no Floyd–Warshall or profiling recomputation (except for
+/// [`QaimVariant::DegreeStrength`], whose depth-1 profile is not cached).
+pub fn try_qaim_with_context(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    variant: QaimVariant,
+) -> Result<Layout, CompileError> {
+    let shallow;
+    let profile = match variant {
+        QaimVariant::DegreeStrength => {
+            shallow = context.topology().profile_with_depth(1);
+            &shallow
+        }
+        _ => context.profile(),
+    };
+    qaim_core(
+        spec,
+        context.topology(),
+        profile,
+        context.distances(),
+        variant,
+    )
+}
+
+/// The QAIM placement loop over explicit hardware facts.
+fn qaim_core(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    profile: &HardwareProfile,
+    distances: &DistanceMatrix,
+    variant: QaimVariant,
+) -> Result<Layout, CompileError> {
+    check_fits(spec, topology)?;
+    let n_logical = spec.num_qubits();
+    let n_physical = topology.num_qubits();
     let program = spec.profile();
     let interactions = spec.interaction_graph();
-    let distances = topology.distances();
 
     let mut assignment = vec![usize::MAX; n_logical];
     let mut allocated = vec![false; n_physical];
@@ -109,12 +161,12 @@ pub fn qaim_variant(spec: &QaoaSpec, topology: &Topology, variant: QaimVariant) 
             if candidates.is_empty() {
                 candidates = (0..n_physical).filter(|&p| !allocated[p]).collect();
             }
-            best_by_cost(&candidates, &placed_neighbors, &profile, &distances, variant)
+            best_by_cost(&candidates, &placed_neighbors, profile, distances, variant)?
         };
         assignment[logical] = choice;
         allocated[choice] = true;
     }
-    Layout::from_mapping(assignment, n_physical)
+    Ok(Layout::from_mapping(assignment, n_physical))
 }
 
 /// Picks the candidate maximizing `strength / cumulative distance`,
@@ -122,30 +174,37 @@ pub fn qaim_variant(spec: &QaoaSpec, topology: &Topology, variant: QaimVariant) 
 fn best_by_cost(
     candidates: &[usize],
     placed: &[usize],
-    profile: &qhw::HardwareProfile,
+    profile: &HardwareProfile,
     distances: &DistanceMatrix,
     variant: QaimVariant,
-) -> usize {
-    let cost = |p: usize| -> f64 {
-        let cum: usize = placed
-            .iter()
-            .map(|&q| {
-                distances
-                    .get(p, q)
-                    .unwrap_or_else(|| panic!("physical qubits {p} and {q} are disconnected"))
-            })
-            .sum();
+) -> Result<usize, CompileError> {
+    let mut best: Option<(f64, usize)> = None;
+    for &p in candidates {
+        let mut cum = 0usize;
+        for &q in placed {
+            cum += distances
+                .get(p, q)
+                .ok_or(CompileError::Disconnected { a: p, b: q })?;
+        }
         let strength = profile.connectivity_strength(p) as f64;
-        match variant {
+        let cost = match variant {
             QaimVariant::NoDistance => strength,
             QaimVariant::NoStrength => 1.0 / cum.max(1) as f64,
             _ => strength / cum.max(1) as f64,
+        };
+        let better = match best {
+            None => true,
+            Some((best_cost, best_p)) => match cost.total_cmp(&best_cost) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => p < best_p,
+                std::cmp::Ordering::Less => false,
+            },
+        };
+        if better {
+            best = Some((cost, p));
         }
-    };
-    *candidates
-        .iter()
-        .max_by(|&&x, &&y| cost(x).total_cmp(&cost(y)).then(y.cmp(&x)))
-        .expect("candidate list is non-empty")
+    }
+    Ok(best.expect("candidate list is non-empty").1)
 }
 
 /// The GreedyV baseline (\[59\], Murali et al.): program qubits in
@@ -307,7 +366,10 @@ mod tests {
             qaim_mean < random_mean,
             "QAIM mean distance {qaim_mean} should beat random {random_mean}"
         );
-        assert!(qaim_mean <= 1.2, "QAIM should make almost all pairs adjacent: {qaim_mean}");
+        assert!(
+            qaim_mean <= 1.2,
+            "QAIM should make almost all pairs adjacent: {qaim_mean}"
+        );
     }
 
     #[test]
@@ -410,8 +472,7 @@ mod dense_tests {
     fn dense_subgraph_beats_random_on_internal_edges() {
         let topo = Topology::ibmq_20_tokyo();
         let layout = dense_layout(&spec(10), &topo);
-        let chosen: std::collections::HashSet<usize> =
-            layout.iter().map(|(_, p)| p).collect();
+        let chosen: std::collections::HashSet<usize> = layout.iter().map(|(_, p)| p).collect();
         let internal = topo
             .graph()
             .edges()

@@ -1,0 +1,296 @@
+//! Trait-based compilation passes over a shared [`CompileContext`].
+//!
+//! The pipeline used to be one enum-dispatch monolith; it is now three
+//! orthogonal stages selected from [`crate::CompileOptions`]:
+//!
+//! 1. a [`MappingPass`] producing the initial logical→physical
+//!    [`Layout`],
+//! 2. an optional [`OrderingPass`] reordering each level's CPHASE list
+//!    (full-circuit routing only), and
+//! 3. a [`RoutingStage`] — one backend pass over the whole circuit, or
+//!    the paper's incremental layer-by-layer compilation.
+//!
+//! Every pass reads hardware facts through the context's
+//! [`qhw::HardwareContext`], so distance matrices and connectivity
+//! profiles are computed once per target and shared by reference.
+
+use qroute::Layout;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use crate::error::CompileError;
+use crate::mapping::{self, QaimVariant};
+use crate::pipeline::{Compilation, CompileOptions, InitialMapping};
+use crate::{ip, CphaseOp, QaoaSpec};
+
+/// Everything a pass may read: the program, the hardware context with its
+/// cached matrices, and the run's options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileContext<'a> {
+    /// The QAOA program being compiled.
+    pub spec: &'a QaoaSpec,
+    /// The target hardware with cached distance matrices and profile.
+    pub hw: &'a qhw::HardwareContext,
+    /// Options for this run.
+    pub options: &'a CompileOptions,
+}
+
+/// An initial logical→physical mapping strategy.
+pub trait MappingPass: Sync {
+    /// The pass name used in [`crate::PassTrace`] records.
+    fn name(&self) -> &'static str;
+    /// Produces the initial layout.
+    fn run(&self, cx: &CompileContext<'_>, rng: &mut dyn RngCore) -> Result<Layout, CompileError>;
+}
+
+/// A gate-ordering strategy applied to each level's CPHASE list before
+/// full-circuit routing.
+pub trait OrderingPass: Sync {
+    /// The pass name used in [`crate::PassTrace`] records.
+    fn name(&self) -> &'static str;
+    /// Returns `ops` in execution order.
+    fn order_level(
+        &self,
+        cx: &CompileContext<'_>,
+        ops: &[CphaseOp],
+        rng: &mut dyn RngCore,
+    ) -> Vec<CphaseOp>;
+}
+
+/// How the ordered program reaches hardware compliance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingStage {
+    /// One backend routing pass over the fully built logical circuit.
+    Full,
+    /// Incremental compilation: form a layer, route it, re-profile
+    /// (§IV-C/§IV-D).
+    Incremental {
+        /// Use the reliability-weighted metric (VIC) instead of hops (IC).
+        variation_aware: bool,
+    },
+}
+
+/// Random placement (the paper's NAIVE baseline).
+struct NaiveMapping;
+
+impl MappingPass for NaiveMapping {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+    fn run(&self, cx: &CompileContext<'_>, rng: &mut dyn RngCore) -> Result<Layout, CompileError> {
+        mapping::check_fits(cx.spec, cx.hw.topology())?;
+        Ok(mapping::naive(cx.spec, cx.hw.topology(), rng))
+    }
+}
+
+/// Heaviest-qubit-first placement (the GreedyV baseline of \[59\]).
+struct GreedyVMapping;
+
+impl MappingPass for GreedyVMapping {
+    fn name(&self) -> &'static str {
+        "greedy-v"
+    }
+    fn run(&self, cx: &CompileContext<'_>, _rng: &mut dyn RngCore) -> Result<Layout, CompileError> {
+        mapping::check_fits(cx.spec, cx.hw.topology())?;
+        Ok(mapping::greedy_v(cx.spec, cx.hw.topology()))
+    }
+}
+
+/// Densest-subgraph topology selection (the qiskit optimizer baseline).
+struct DenseMapping;
+
+impl MappingPass for DenseMapping {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+    fn run(&self, cx: &CompileContext<'_>, _rng: &mut dyn RngCore) -> Result<Layout, CompileError> {
+        mapping::check_fits(cx.spec, cx.hw.topology())?;
+        Ok(mapping::dense_layout(cx.spec, cx.hw.topology()))
+    }
+}
+
+/// The paper's QAIM (§IV-A), fed from the context's cached profile and
+/// distance matrix.
+struct QaimMapping;
+
+impl MappingPass for QaimMapping {
+    fn name(&self) -> &'static str {
+        "qaim"
+    }
+    fn run(&self, cx: &CompileContext<'_>, _rng: &mut dyn RngCore) -> Result<Layout, CompileError> {
+        mapping::try_qaim_with_context(cx.spec, cx.hw, QaimVariant::Full)
+    }
+}
+
+/// Randomly shuffled CPHASE order (NAIVE / QAIM-only configurations).
+struct RandomOrdering;
+
+impl OrderingPass for RandomOrdering {
+    fn name(&self) -> &'static str {
+        "random-order"
+    }
+    fn order_level(
+        &self,
+        _cx: &CompileContext<'_>,
+        ops: &[CphaseOp],
+        rng: &mut dyn RngCore,
+    ) -> Vec<CphaseOp> {
+        let mut shuffled = ops.to_vec();
+        shuffled.shuffle(rng);
+        // A packing limit under full-circuit compilation only constrains
+        // IP's layer former; random order ignores it, as in the paper.
+        shuffled
+    }
+}
+
+/// Instruction Parallelization: bin-packed gate order (§IV-B).
+struct IpOrdering;
+
+impl OrderingPass for IpOrdering {
+    fn name(&self) -> &'static str {
+        "ip-pack"
+    }
+    fn order_level(
+        &self,
+        cx: &CompileContext<'_>,
+        ops: &[CphaseOp],
+        rng: &mut dyn RngCore,
+    ) -> Vec<CphaseOp> {
+        ip::flatten(&ip::pack_layers(
+            cx.spec.num_qubits(),
+            ops,
+            cx.options.packing_limit,
+            rng,
+        ))
+    }
+}
+
+impl InitialMapping {
+    /// The pass implementing this strategy.
+    pub fn pass(self) -> &'static dyn MappingPass {
+        match self {
+            InitialMapping::Naive => &NaiveMapping,
+            InitialMapping::GreedyV => &GreedyVMapping,
+            InitialMapping::Dense => &DenseMapping,
+            InitialMapping::Qaim => &QaimMapping,
+        }
+    }
+}
+
+impl Compilation {
+    /// The ordering pass this mode uses, `None` for incremental modes
+    /// (which interleave ordering with routing).
+    pub fn ordering_pass(self) -> Option<&'static dyn OrderingPass> {
+        match self {
+            Compilation::RandomOrder => Some(&RandomOrdering),
+            Compilation::Ip => Some(&IpOrdering),
+            Compilation::IncrementalHops | Compilation::IncrementalReliability => None,
+        }
+    }
+
+    /// How this mode reaches hardware compliance.
+    pub fn routing_stage(self) -> RoutingStage {
+        match self {
+            Compilation::RandomOrder | Compilation::Ip => RoutingStage::Full,
+            Compilation::IncrementalHops => RoutingStage::Incremental {
+                variation_aware: false,
+            },
+            Compilation::IncrementalReliability => RoutingStage::Incremental {
+                variation_aware: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qhw::{HardwareContext, Topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_spec() -> QaoaSpec {
+        let ops = [(0, 1), (1, 2), (2, 3)]
+            .into_iter()
+            .map(|(a, b)| CphaseOp::new(a, b, 0.4))
+            .collect();
+        QaoaSpec::new(4, vec![(ops, 0.3)], false)
+    }
+
+    #[test]
+    fn every_mapping_strategy_resolves_to_a_named_pass() {
+        let spec = small_spec();
+        let hw = HardwareContext::new(Topology::ibmq_20_tokyo());
+        let options = CompileOptions::naive();
+        let cx = CompileContext {
+            spec: &spec,
+            hw: &hw,
+            options: &options,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for (strategy, name) in [
+            (InitialMapping::Naive, "naive"),
+            (InitialMapping::GreedyV, "greedy-v"),
+            (InitialMapping::Dense, "dense"),
+            (InitialMapping::Qaim, "qaim"),
+        ] {
+            let pass = strategy.pass();
+            assert_eq!(pass.name(), name);
+            let layout = pass.run(&cx, &mut rng).expect("small program fits");
+            assert_eq!(layout.num_logical(), 4);
+        }
+    }
+
+    #[test]
+    fn mapping_passes_reject_oversized_programs() {
+        let ops = vec![CphaseOp::new(0, 1, 0.1)];
+        let spec = QaoaSpec::new(5, vec![(ops, 0.0)], false);
+        let hw = HardwareContext::new(Topology::linear(3));
+        let options = CompileOptions::naive();
+        let cx = CompileContext {
+            spec: &spec,
+            hw: &hw,
+            options: &options,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for strategy in [
+            InitialMapping::Naive,
+            InitialMapping::GreedyV,
+            InitialMapping::Dense,
+            InitialMapping::Qaim,
+        ] {
+            let err = strategy.pass().run(&cx, &mut rng).unwrap_err();
+            assert_eq!(
+                err,
+                CompileError::ProgramTooLarge {
+                    logical: 5,
+                    physical: 3
+                },
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_stages_match_modes() {
+        assert_eq!(Compilation::RandomOrder.routing_stage(), RoutingStage::Full);
+        assert_eq!(Compilation::Ip.routing_stage(), RoutingStage::Full);
+        assert_eq!(
+            Compilation::IncrementalHops.routing_stage(),
+            RoutingStage::Incremental {
+                variation_aware: false
+            }
+        );
+        assert_eq!(
+            Compilation::IncrementalReliability.routing_stage(),
+            RoutingStage::Incremental {
+                variation_aware: true
+            }
+        );
+        assert!(Compilation::IncrementalHops.ordering_pass().is_none());
+        assert_eq!(
+            Compilation::Ip.ordering_pass().map(|p| p.name()),
+            Some("ip-pack")
+        );
+    }
+}

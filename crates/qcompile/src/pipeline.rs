@@ -1,17 +1,28 @@
 //! The Figure 2 workflow: initial mapping → gate ordering / incremental
 //! compilation → backend routing → hardware-compliant circuit and quality
 //! metrics.
+//!
+//! The pipeline is organized around a [`HardwareContext`]: distance
+//! matrices and the connectivity profile are computed once per target and
+//! shared (by `Arc`) with every pass that needs them. The stages
+//! themselves are trait objects selected from [`CompileOptions`] — see
+//! [`crate::passes`]. Each run records a [`PassTrace`] of per-pass
+//! wall-clock time and swap/depth deltas, and the fallible entry points
+//! return [`CompileError`] values instead of panicking.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use qcircuit::basis::{to_basis, BasisSet};
 use qcircuit::Circuit;
-use qhw::{Calibration, Topology};
-use qroute::{route, Layout, RoutingMetric};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use qhw::{Calibration, HardwareContext, Topology};
+use qroute::{try_route, Layout, RoutingMetric};
+use rand::{Rng, RngCore};
 
-use crate::{ic, ip, mapping, CphaseOp, QaoaSpec};
+use crate::error::CompileError;
+use crate::passes::{CompileContext, RoutingStage};
+use crate::trace::PassTrace;
+use crate::{ic, CphaseOp, QaoaSpec};
 
 /// The initial logical→physical mapping strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +68,11 @@ pub struct CompileOptions {
 impl CompileOptions {
     /// Options with full layer packing.
     pub fn new(mapping: InitialMapping, compilation: Compilation) -> Self {
-        CompileOptions { mapping, compilation, packing_limit: None }
+        CompileOptions {
+            mapping,
+            compilation,
+            packing_limit: None,
+        }
     }
 
     /// The five named configurations evaluated in the paper (§V-F).
@@ -92,6 +107,33 @@ impl CompileOptions {
     }
 }
 
+/// The NAIVE baseline configuration, as in the paper's comparisons.
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::naive()
+    }
+}
+
+/// The paper's configuration names: `NAIVE`, `QAIM`, `IP`, `IC`, `VIC`
+/// (§V-F), with a `(limit=n)` suffix when a packing limit is set. Other
+/// mapping/compilation combinations print both components.
+impl fmt::Display for CompileOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.mapping, self.compilation) {
+            (InitialMapping::Naive, Compilation::RandomOrder) => write!(f, "NAIVE")?,
+            (InitialMapping::Qaim, Compilation::RandomOrder) => write!(f, "QAIM")?,
+            (InitialMapping::Qaim, Compilation::Ip) => write!(f, "IP")?,
+            (InitialMapping::Qaim, Compilation::IncrementalHops) => write!(f, "IC")?,
+            (InitialMapping::Qaim, Compilation::IncrementalReliability) => write!(f, "VIC")?,
+            (m, c) => write!(f, "{m:?}+{c:?}")?,
+        }
+        if let Some(limit) = self.packing_limit {
+            write!(f, "(limit={limit})")?;
+        }
+        Ok(())
+    }
+}
+
 /// A compiled QAOA circuit plus the quality metrics the paper reports.
 #[derive(Debug, Clone)]
 pub struct CompiledCircuit {
@@ -100,7 +142,7 @@ pub struct CompiledCircuit {
     initial_layout: Layout,
     final_layout: Layout,
     swap_count: usize,
-    elapsed: Duration,
+    trace: PassTrace,
 }
 
 impl CompiledCircuit {
@@ -145,9 +187,14 @@ impl CompiledCircuit {
         self.swap_count
     }
 
-    /// Wall-clock compilation time.
+    /// Total wall-clock compilation time (the sum over all passes).
     pub fn elapsed(&self) -> Duration {
-        self.elapsed
+        self.trace.total_elapsed()
+    }
+
+    /// Per-pass wall-clock time and swap/depth deltas for this run.
+    pub fn trace(&self) -> &PassTrace {
+        &self.trace
     }
 
     /// Success probability of the basis circuit under `calibration` (§II).
@@ -161,10 +208,15 @@ impl CompiledCircuit {
 /// `calibration` is required for [`Compilation::IncrementalReliability`]
 /// and otherwise unused.
 ///
+/// Builds a fresh [`HardwareContext`] per call; amortize that cost with
+/// [`try_compile_with_context`] (or [`crate::compile_batch`]) when
+/// compiling many programs for one target.
+///
 /// # Panics
 ///
 /// Panics if VIC is requested without calibration, the program does not
-/// fit the topology, or `options.packing_limit` is `Some(0)`.
+/// fit the topology, or `options.packing_limit` is `Some(0)`. Use
+/// [`try_compile`] to receive these as [`CompileError`] values instead.
 pub fn compile<R: Rng + ?Sized>(
     spec: &QaoaSpec,
     topology: &Topology,
@@ -172,76 +224,114 @@ pub fn compile<R: Rng + ?Sized>(
     options: &CompileOptions,
     rng: &mut R,
 ) -> CompiledCircuit {
-    let start = Instant::now();
-    let initial_layout = match options.mapping {
-        InitialMapping::Naive => mapping::naive(spec, topology, rng),
-        InitialMapping::GreedyV => mapping::greedy_v(spec, topology),
-        InitialMapping::Dense => mapping::dense_layout(spec, topology),
-        InitialMapping::Qaim => mapping::qaim(spec, topology),
-    };
+    match try_compile(spec, topology, calibration, options, rng) {
+        Ok(compiled) => compiled,
+        Err(e) => panic!("{e}"),
+    }
+}
 
-    let (physical, final_layout, swap_count) = match options.compilation {
-        Compilation::RandomOrder | Compilation::Ip => {
-            let order_level = |ops: &[CphaseOp], rng: &mut R| -> Vec<CphaseOp> {
-                match options.compilation {
-                    Compilation::RandomOrder => {
-                        let mut shuffled = ops.to_vec();
-                        shuffled.shuffle(rng);
-                        // A packing limit under full-circuit compilation
-                        // only constrains IP's layer former; random order
-                        // ignores it, as in the paper.
-                        shuffled
-                    }
-                    _ => ip::flatten(&ip::pack_layers(
-                        spec.num_qubits(),
-                        ops,
-                        options.packing_limit,
-                        rng,
-                    )),
-                }
-            };
-            let logical = build_logical_circuit(spec, |ops| order_level(ops, rng));
-            let metric = RoutingMetric::hops(topology);
-            let routed = route(&logical, topology, initial_layout.clone(), &metric);
+/// Fallible form of [`compile`]: structured errors instead of panics.
+pub fn try_compile<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    calibration: Option<&Calibration>,
+    options: &CompileOptions,
+    rng: &mut R,
+) -> Result<CompiledCircuit, CompileError> {
+    let context = HardwareContext::from_parts(topology.clone(), calibration.cloned());
+    try_compile_with_context(spec, &context, options, rng)
+}
+
+/// Compiles against a prebuilt [`HardwareContext`], sharing its cached
+/// distance matrices and connectivity profile across every pass — no
+/// Floyd–Warshall or profiling recomputation happens during the run.
+///
+/// This is the core entry point; [`compile`]/[`try_compile`] wrap it, and
+/// [`crate::compile_batch`] fans it out across worker threads.
+pub fn try_compile_with_context<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    options: &CompileOptions,
+    rng: &mut R,
+) -> Result<CompiledCircuit, CompileError> {
+    // Erase the caller's RNG type once so trait-object passes can share it.
+    let mut reborrow: &mut R = rng;
+    let rng: &mut dyn RngCore = &mut reborrow;
+    let cx = CompileContext {
+        spec,
+        hw: context,
+        options,
+    };
+    let mut trace = PassTrace::new();
+
+    let t = Instant::now();
+    let mapping_pass = options.mapping.pass();
+    let initial_layout = mapping_pass.run(&cx, rng)?;
+    trace.push(mapping_pass.name(), t.elapsed(), 0, None);
+
+    let (physical, final_layout, swap_count) = match options.compilation.routing_stage() {
+        RoutingStage::Full => {
+            let ordering = options
+                .compilation
+                .ordering_pass()
+                .expect("full-circuit routing always pairs with an ordering pass");
+            let t = Instant::now();
+            let logical = build_logical_circuit(spec, |ops| ordering.order_level(&cx, ops, rng));
+            trace.push(ordering.name(), t.elapsed(), 0, None);
+
+            let t = Instant::now();
+            let metric = RoutingMetric::from_context(context, false)
+                .expect("the hop metric never needs calibration");
+            let routed = try_route(
+                &logical,
+                context.topology(),
+                initial_layout.clone(),
+                &metric,
+            )?;
+            trace.push(
+                "route",
+                t.elapsed(),
+                routed.swap_count,
+                Some(routed.circuit.depth()),
+            );
             (routed.circuit, routed.final_layout, routed.swap_count)
         }
-        Compilation::IncrementalHops => {
-            let metric = RoutingMetric::hops(topology);
-            let r = ic::compile_incremental(
+        RoutingStage::Incremental { variation_aware } => {
+            let t = Instant::now();
+            let metric = RoutingMetric::from_context(context, variation_aware)
+                .ok_or(CompileError::MissingCalibration)?;
+            let r = ic::try_compile_incremental_with(
                 spec,
-                topology,
+                context.topology(),
                 initial_layout.clone(),
                 &metric,
                 options.packing_limit,
+                true,
                 rng,
-            );
-            (r.circuit, r.final_layout, r.swap_count)
-        }
-        Compilation::IncrementalReliability => {
-            let cal = calibration
-                .expect("VIC (IncrementalReliability) requires calibration data");
-            let metric = RoutingMetric::reliability(topology, cal);
-            let r = ic::compile_incremental(
-                spec,
-                topology,
-                initial_layout.clone(),
-                &metric,
-                options.packing_limit,
-                rng,
-            );
+            )?;
+            let name = if variation_aware {
+                "incremental-reliability"
+            } else {
+                "incremental-hops"
+            };
+            trace.push(name, t.elapsed(), r.swap_count, Some(r.circuit.depth()));
             (r.circuit, r.final_layout, r.swap_count)
         }
     };
 
-    let basis = to_basis(&physical, BasisSet::Ibm).expect("all IR gates lower to IBM basis");
-    CompiledCircuit {
+    let t = Instant::now();
+    let basis = to_basis(&physical, BasisSet::Ibm)
+        .map_err(|e| CompileError::BasisLowering(e.to_string()))?;
+    trace.push("lower-to-basis", t.elapsed(), 0, Some(basis.depth()));
+
+    Ok(CompiledCircuit {
         physical,
         basis,
         initial_layout,
         final_layout,
         swap_count,
-        elapsed: start.elapsed(),
-    }
+        trace,
+    })
 }
 
 /// Builds the full logical circuit with each level's CPHASE list passed
@@ -303,7 +393,7 @@ mod tests {
             let compiled = compile(&spec, &topo, Some(&cal), &options, &mut rng);
             assert!(
                 satisfies_coupling(compiled.physical(), &topo),
-                "{options:?} violates coupling"
+                "{options} violates coupling"
             );
             assert!(qcircuit::basis::is_in_basis(
                 compiled.basis_circuit(),
@@ -397,12 +487,114 @@ mod tests {
     }
 
     #[test]
+    fn vic_without_calibration_errors_structurally() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = try_compile(&spec, &topo, None, &CompileOptions::vic(), &mut rng).unwrap_err();
+        assert_eq!(err, CompileError::MissingCalibration);
+        let context = HardwareContext::new(topo);
+        let err = try_compile_with_context(&spec, &context, &CompileOptions::vic(), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, CompileError::MissingCalibration);
+    }
+
+    #[test]
+    fn zero_packing_limit_errors_structurally() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let options = CompileOptions::ic().with_packing_limit(0);
+        let err = try_compile(&spec, &topo, None, &options, &mut rng).unwrap_err();
+        assert_eq!(err, CompileError::ZeroPackingLimit);
+    }
+
+    #[test]
     fn elapsed_time_is_recorded() {
         let spec = spec_20_node(1, 0.3);
         let topo = Topology::ibmq_20_tokyo();
         let mut rng = StdRng::seed_from_u64(2);
         let compiled = compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng);
         assert!(compiled.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn pass_trace_names_every_stage() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut rng = StdRng::seed_from_u64(2);
+
+        let ic = compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng);
+        let names: Vec<&str> = ic.trace().records().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["qaim", "incremental-hops", "lower-to-basis"]);
+        // The swap delta is attributed to the routing pass, and the trace
+        // total matches the circuit's headline swap count.
+        assert_eq!(ic.trace().swaps_added(), ic.swap_count());
+        assert_eq!(
+            ic.trace().find("incremental-hops").unwrap().swaps_added,
+            ic.swap_count()
+        );
+        assert_eq!(
+            ic.trace().find("lower-to-basis").unwrap().depth_after,
+            Some(ic.depth())
+        );
+
+        let ip = compile(&spec, &topo, None, &CompileOptions::ip(), &mut rng);
+        let names: Vec<&str> = ip.trace().records().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["qaim", "ip-pack", "route", "lower-to-basis"]);
+
+        let naive = compile(&spec, &topo, None, &CompileOptions::naive(), &mut rng);
+        let names: Vec<&str> = naive.trace().records().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["naive", "random-order", "route", "lower-to-basis"]);
+    }
+
+    #[test]
+    fn context_compile_matches_topology_compile() {
+        // Same seed, same program: the context-sharing entry point must be
+        // stream- and output-identical to the per-call path.
+        let spec = spec_20_node(3, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let mut cal_rng = StdRng::seed_from_u64(4);
+        let cal = Calibration::random_normal(&topo, 2e-2, 1.5e-2, &mut cal_rng);
+        let context = HardwareContext::with_calibration(topo.clone(), cal.clone());
+        for options in [
+            CompileOptions::naive(),
+            CompileOptions::ip(),
+            CompileOptions::ic(),
+            CompileOptions::vic(),
+        ] {
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let a = compile(&spec, &topo, Some(&cal), &options, &mut rng_a);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let b = try_compile_with_context(&spec, &context, &options, &mut rng_b).unwrap();
+            assert_eq!(a.physical(), b.physical(), "{options}");
+            assert_eq!(a.basis_circuit(), b.basis_circuit());
+            assert_eq!(a.initial_layout(), b.initial_layout());
+            assert_eq!(a.final_layout(), b.final_layout());
+            assert_eq!(a.swap_count(), b.swap_count());
+        }
+    }
+
+    #[test]
+    fn default_options_are_the_naive_baseline() {
+        assert_eq!(CompileOptions::default(), CompileOptions::naive());
+    }
+
+    #[test]
+    fn display_uses_paper_configuration_names() {
+        assert_eq!(CompileOptions::naive().to_string(), "NAIVE");
+        assert_eq!(CompileOptions::qaim_only().to_string(), "QAIM");
+        assert_eq!(CompileOptions::ip().to_string(), "IP");
+        assert_eq!(CompileOptions::ic().to_string(), "IC");
+        assert_eq!(CompileOptions::vic().to_string(), "VIC");
+        assert_eq!(
+            CompileOptions::ic().with_packing_limit(9).to_string(),
+            "IC(limit=9)"
+        );
+        assert_eq!(
+            CompileOptions::new(InitialMapping::GreedyV, Compilation::Ip).to_string(),
+            "GreedyV+Ip"
+        );
     }
 
     #[test]

@@ -62,7 +62,12 @@ impl QaoaSpec {
             }
         }
         let fields = vec![Vec::new(); levels.len()];
-        QaoaSpec { num_qubits, levels, fields, measure }
+        QaoaSpec {
+            num_qubits,
+            levels,
+            fields,
+            measure,
+        }
     }
 
     /// Attaches per-level longitudinal-field rotations (see
@@ -169,7 +174,8 @@ impl QaoaSpec {
         let mut g = Graph::new(self.num_qubits);
         for (ops, _) in &self.levels {
             for op in ops {
-                g.add_edge(op.a, op.b).expect("operands validated at construction");
+                g.add_edge(op.a, op.b)
+                    .expect("operands validated at construction");
             }
         }
         g
@@ -230,7 +236,11 @@ impl ProgramProfile {
     /// QAIM's placement order (§IV-A Step 1).
     pub fn ranked_qubits(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.ops_per_qubit.len()).collect();
-        order.sort_by(|&x, &y| self.ops_per_qubit[y].cmp(&self.ops_per_qubit[x]).then(x.cmp(&y)));
+        order.sort_by(|&x, &y| {
+            self.ops_per_qubit[y]
+                .cmp(&self.ops_per_qubit[x])
+                .then(x.cmp(&y))
+        });
         order
     }
 
@@ -294,7 +304,10 @@ mod tests {
         assert_eq!(spec.total_cphase_count(), 6);
         assert!(spec.measure());
         assert_eq!(spec.levels()[0].1, 0.2);
-        assert!(spec.levels()[0].0.iter().all(|op| (op.angle + 0.7).abs() < 1e-12));
+        assert!(spec.levels()[0]
+            .0
+            .iter()
+            .all(|op| (op.angle + 0.7).abs() < 1e-12));
         assert_eq!(spec.interaction_graph(), *problem.graph());
     }
 

@@ -75,7 +75,10 @@ mod tests {
     fn dense_spec(seed: u64) -> QaoaSpec {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = qgraph::generators::connected_erdos_renyi(12, 0.4, 1000, &mut rng).unwrap();
-        let ops = g.edges().map(|e| CphaseOp::new(e.a(), e.b(), 0.5)).collect();
+        let ops = g
+            .edges()
+            .map(|e| CphaseOp::new(e.a(), e.b(), 0.5))
+            .collect();
         QaoaSpec::new(12, vec![(ops, 0.3)], false)
     }
 

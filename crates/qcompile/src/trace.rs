@@ -1,0 +1,87 @@
+//! Per-pass instrumentation of a compilation run.
+
+use std::time::Duration;
+
+/// One pass's contribution to a compilation run.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// The pass name (`"qaim"`, `"random-order"`, `"route"`, …).
+    pub name: &'static str,
+    /// Wall-clock time the pass took.
+    pub elapsed: Duration,
+    /// SWAPs the pass inserted (0 for non-routing passes).
+    pub swaps_added: usize,
+    /// Circuit depth after the pass, when the pass produces a circuit.
+    pub depth_after: Option<usize>,
+}
+
+/// The ordered list of [`PassRecord`]s a compilation run produced.
+///
+/// Replaces the old single `elapsed` field on
+/// [`crate::CompiledCircuit`]: the total wall-clock time is still
+/// available ([`PassTrace::total_elapsed`]), but per-pass timing and
+/// swap/depth deltas are now attributable to the pass that caused them.
+#[derive(Debug, Clone, Default)]
+pub struct PassTrace {
+    records: Vec<PassRecord>,
+}
+
+impl PassTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PassTrace::default()
+    }
+
+    /// Appends a record for pass `name`.
+    pub fn push(
+        &mut self,
+        name: &'static str,
+        elapsed: Duration,
+        swaps_added: usize,
+        depth_after: Option<usize>,
+    ) {
+        self.records.push(PassRecord {
+            name,
+            elapsed,
+            swaps_added,
+            depth_after,
+        });
+    }
+
+    /// The recorded passes, in execution order.
+    pub fn records(&self) -> &[PassRecord] {
+        &self.records
+    }
+
+    /// Total wall-clock time across all passes.
+    pub fn total_elapsed(&self) -> Duration {
+        self.records.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Total SWAPs inserted across all passes.
+    pub fn swaps_added(&self) -> usize {
+        self.records.iter().map(|r| r.swaps_added).sum()
+    }
+
+    /// The first record named `name`, if any.
+    pub fn find(&self, name: &str) -> Option<&PassRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_records() {
+        let mut t = PassTrace::new();
+        t.push("a", Duration::from_millis(2), 0, None);
+        t.push("b", Duration::from_millis(3), 5, Some(40));
+        assert_eq!(t.total_elapsed(), Duration::from_millis(5));
+        assert_eq!(t.swaps_added(), 5);
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.find("b").unwrap().depth_after, Some(40));
+        assert!(t.find("c").is_none());
+    }
+}

@@ -32,7 +32,11 @@ fn compiled_ising_circuit_is_equivalent() {
     let logical = problem.circuit(&params, false);
     let spec = QaoaSpec::from_ising(&problem, &params, false);
     let topo = Topology::ring(9);
-    for options in [CompileOptions::qaim_only(), CompileOptions::ip(), CompileOptions::ic()] {
+    for options in [
+        CompileOptions::qaim_only(),
+        CompileOptions::ip(),
+        CompileOptions::ic(),
+    ] {
         let mut rng = StdRng::seed_from_u64(5);
         let compiled = compile(&spec, &topo, None, &options, &mut rng);
         assert!(satisfies_coupling(compiled.physical(), &topo));
@@ -85,10 +89,13 @@ fn field_and_coupling_gates_are_preserved() {
 /// concentrates probability on low-energy configurations.
 #[test]
 fn compiled_ising_sampling_finds_low_energy_states() {
-    let problem = random_ising(11, 8);
+    let problem = random_ising(17, 8);
     let (params, expectation) = problem.optimize(1, 16);
     let ground = problem.ground_energy();
-    assert!(expectation < 0.9 * problem.energy(0), "optimizer made progress");
+    assert!(
+        expectation < 0.9 * problem.energy(0),
+        "optimizer made progress"
+    );
 
     let spec = QaoaSpec::from_ising(&problem, &params, true);
     let topo = Topology::ibmq_16_melbourne();

@@ -12,15 +12,19 @@ use rand::SeedableRng;
 /// Strategy: a CPHASE list over `n` logical qubits (a random subset of
 /// edges of the complete graph).
 fn arb_ops(n: usize) -> impl Strategy<Value = Vec<CphaseOp>> {
-    let all: Vec<(usize, usize)> =
-        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
-    proptest::sample::subsequence(all.clone(), 0..=all.len())
-        .prop_map(|edges| edges.into_iter().map(|(a, b)| CphaseOp::new(a, b, 0.4)).collect())
+    let all: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    proptest::sample::subsequence(all.clone(), 0..=all.len()).prop_map(|edges| {
+        edges
+            .into_iter()
+            .map(|(a, b)| CphaseOp::new(a, b, 0.4))
+            .collect()
+    })
 }
 
 fn canonical(ops: &[CphaseOp]) -> Vec<(usize, usize)> {
-    let mut v: Vec<(usize, usize)> =
-        ops.iter().map(|o| (o.a.min(o.b), o.a.max(o.b))).collect();
+    let mut v: Vec<(usize, usize)> = ops.iter().map(|o| (o.a.min(o.b), o.a.max(o.b))).collect();
     v.sort_unstable();
     v
 }

@@ -41,8 +41,14 @@ where
         writeln!(out, "    {n};").expect("writing to String cannot fail");
     }
     for e in g.edges() {
-        writeln!(out, "    {} -- {} [label=\"{}\"];", e.a(), e.b(), label(e.a(), e.b()))
-            .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "    {} -- {} [label=\"{}\"];",
+            e.a(),
+            e.b(),
+            label(e.a(), e.b())
+        )
+        .expect("writing to String cannot fail");
     }
     out.push_str("}\n");
     out
@@ -57,7 +63,10 @@ mod tests {
     fn dot_is_deterministic_and_complete() {
         let g = generators::cycle(3);
         let dot = to_dot(&g, "c3");
-        assert_eq!(dot, "graph c3 {\n    0;\n    1;\n    2;\n    0 -- 1;\n    0 -- 2;\n    1 -- 2;\n}\n");
+        assert_eq!(
+            dot,
+            "graph c3 {\n    0;\n    1;\n    2;\n    0 -- 1;\n    0 -- 2;\n    1 -- 2;\n}\n"
+        );
     }
 
     #[test]

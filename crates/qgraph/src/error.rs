@@ -26,7 +26,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node index {node} out of bounds for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node index {node} out of bounds for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
             GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),

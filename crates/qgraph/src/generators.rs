@@ -98,7 +98,11 @@ pub fn connected_erdos_renyi<R: Rng + ?Sized>(
 /// assert!(g.nodes().all(|v| g.degree(v) == 3));
 /// # Ok::<(), qgraph::GraphError>(())
 /// ```
-pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if k >= n {
         return Err(GraphError::InvalidParameters(format!(
             "regular degree k={k} must be < n={n}"
@@ -127,7 +131,10 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Resul
         let mut g = Graph::new(n);
         while !stubs.is_empty() {
             let u = stubs[0];
-            let Some(pos) = stubs.iter().skip(1).position(|&v| v != u && !g.has_edge(u, v))
+            let Some(pos) = stubs
+                .iter()
+                .skip(1)
+                .position(|&v| v != u && !g.has_edge(u, v))
             else {
                 continue 'restart;
             };
@@ -192,8 +199,9 @@ pub fn connected_gnm<R: Rng + ?Sized>(
             "{edges} edges cannot connect {n} nodes"
         )));
     }
-    let mut all: Vec<(usize, usize)> =
-        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+    let mut all: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
     for _ in 0..max_attempts {
         all.shuffle(rng);
         let g = Graph::from_edges(n, all.iter().take(edges).copied())?;
@@ -286,7 +294,10 @@ mod tests {
             .sum();
         let mean = total as f64 / trials as f64;
         let expected = p * (n * (n - 1) / 2) as f64;
-        assert!((mean - expected).abs() < 10.0, "mean {mean} too far from {expected}");
+        assert!(
+            (mean - expected).abs() < 10.0,
+            "mean {mean} too far from {expected}"
+        );
     }
 
     #[test]
@@ -316,8 +327,14 @@ mod tests {
     #[test]
     fn regular_rejects_invalid_parameters() {
         let mut r = rng(5);
-        assert!(matches!(random_regular(5, 3, &mut r), Err(GraphError::InvalidParameters(_))));
-        assert!(matches!(random_regular(4, 4, &mut r), Err(GraphError::InvalidParameters(_))));
+        assert!(matches!(
+            random_regular(5, 3, &mut r),
+            Err(GraphError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            random_regular(4, 4, &mut r),
+            Err(GraphError::InvalidParameters(_))
+        ));
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl Edge {
     /// Panics if `u == v` (self-loops are not representable).
     pub fn new(u: usize, v: usize) -> Self {
         assert_ne!(u, v, "self-loop edge ({u}, {v})");
-        Edge { a: u.min(v), b: u.max(v) }
+        Edge {
+            a: u.min(v),
+            b: u.max(v),
+        }
     }
 
     /// The smaller endpoint.
@@ -87,7 +90,10 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `node_count` nodes and no edges.
     pub fn new(node_count: usize) -> Self {
-        Graph { adjacency: vec![BTreeSet::new(); node_count], edges: BTreeSet::new() }
+        Graph {
+            adjacency: vec![BTreeSet::new(); node_count],
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -131,10 +137,16 @@ impl Graph {
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
         let n = self.node_count();
         if u >= n {
-            return Err(GraphError::NodeOutOfBounds { node: u, node_count: n });
+            return Err(GraphError::NodeOutOfBounds {
+                node: u,
+                node_count: n,
+            });
         }
         if v >= n {
-            return Err(GraphError::NodeOutOfBounds { node: v, node_count: n });
+            return Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop(u));
@@ -301,7 +313,8 @@ impl Graph {
             for v in self.neighbors(u) {
                 if let Some(j) = index_of(v) {
                     if i < j {
-                        sub.add_edge(i, j).expect("indices in range by construction");
+                        sub.add_edge(i, j)
+                            .expect("indices in range by construction");
                     }
                 }
             }
@@ -311,7 +324,10 @@ impl Graph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|n| self.degree(n)).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|n| self.degree(n))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of degrees of all nodes, i.e. `2 * edge_count`.
@@ -364,9 +380,18 @@ mod tests {
         let mut g = Graph::new(2);
         assert_eq!(
             g.add_edge(0, 2),
-            Err(GraphError::NodeOutOfBounds { node: 2, node_count: 2 })
+            Err(GraphError::NodeOutOfBounds {
+                node: 2,
+                node_count: 2
+            })
         );
-        assert_eq!(g.add_edge(5, 0), Err(GraphError::NodeOutOfBounds { node: 5, node_count: 2 }));
+        assert_eq!(
+            g.add_edge(5, 0),
+            Err(GraphError::NodeOutOfBounds {
+                node: 5,
+                node_count: 2
+            })
+        );
     }
 
     #[test]

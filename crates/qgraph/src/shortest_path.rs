@@ -13,7 +13,26 @@
 //! Floyd–Warshall matrix is "measured once ... and accessed from memory
 //! during QAIM") and reused by every compilation pass.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::Graph;
+
+/// Process-wide count of all-pairs shortest-path computations (both
+/// [`floyd_warshall`] and [`floyd_warshall_weighted`]).
+///
+/// The APSP matrices are `O(n^3)` to build and are meant to be computed
+/// once per hardware target and shared (e.g. via `qhw::HardwareContext`).
+/// This counter is the observability hook that lets tests *prove* the
+/// caching discipline holds: snapshot [`apsp_invocations`] around a batch
+/// of compilations and assert the delta.
+static APSP_INVOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of Floyd–Warshall runs (unit or weighted) since process
+/// start. Monotonically increasing; compare two snapshots to count the
+/// runs a region of code triggered.
+pub fn apsp_invocations() -> usize {
+    APSP_INVOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Dense all-pairs hop-distance matrix produced by [`floyd_warshall`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +61,11 @@ impl DistanceMatrix {
     /// The largest finite pairwise distance (graph diameter), or `None` for
     /// graphs with fewer than two mutually reachable nodes.
     pub fn diameter(&self) -> Option<usize> {
-        self.dist.iter().copied().filter(|&d| d != usize::MAX && d > 0).max()
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != usize::MAX && d > 0)
+            .max()
     }
 }
 
@@ -85,6 +108,7 @@ impl WeightedDistanceMatrix {
 /// assert_eq!(d.get(2, 2), Some(0));
 /// ```
 pub fn floyd_warshall(g: &Graph) -> DistanceMatrix {
+    APSP_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let n = g.node_count();
     let mut dist = vec![usize::MAX; n * n];
     for u in 0..n {
@@ -129,6 +153,7 @@ pub fn floyd_warshall_weighted<F>(g: &Graph, mut weight: F) -> WeightedDistanceM
 where
     F: FnMut(usize, usize) -> f64,
 {
+    APSP_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n * n];
     for u in 0..n {
@@ -239,11 +264,8 @@ mod tests {
         // Hypothetical 6-qubit ring of Figure 6(a) with the success rates of
         // Figure 6(b): edges (0,1)=0.90 (0,5)=0.82 (1,2)=0.85 (1,4)=0.81
         // (2,3)=0.89 (3,4)=0.88 (4,5)=0.84.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (0, 5), (1, 2), (1, 4), (2, 3), (3, 4), (4, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (0, 5), (1, 2), (1, 4), (2, 3), (3, 4), (4, 5)]).unwrap();
         let rate = |u: usize, v: usize| -> f64 {
             match (u.min(v), u.max(v)) {
                 (0, 1) => 0.90,

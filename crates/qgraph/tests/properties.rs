@@ -1,7 +1,9 @@
 //! Property-based tests for the graph substrate.
 
 use proptest::prelude::*;
-use qgraph::shortest_path::{bfs_distances, floyd_warshall, floyd_warshall_weighted, shortest_path};
+use qgraph::shortest_path::{
+    bfs_distances, floyd_warshall, floyd_warshall_weighted, shortest_path,
+};
 use qgraph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -9,8 +11,9 @@ use rand::SeedableRng;
 /// Strategy producing a random simple graph as (node count, edge list).
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2..=max_n).prop_flat_map(|n| {
-        let all_edges: Vec<(usize, usize)> =
-            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        let all_edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
         proptest::sample::subsequence(all_edges.clone(), 0..=all_edges.len())
             .prop_map(move |edges| Graph::from_edges(n, edges).expect("valid edges"))
     })

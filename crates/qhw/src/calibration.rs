@@ -107,7 +107,11 @@ impl Calibration {
         let n = topology.num_qubits();
         let single: Vec<f64> = (0..n).map(|_| clamp(sample() / 10.0)).collect();
         let readout: Vec<f64> = (0..n).map(|_| clamp(sample() * 2.0)).collect();
-        Calibration { cnot_error, single_qubit_error: single, readout_error: readout }
+        Calibration {
+            cnot_error,
+            single_qubit_error: single,
+            readout_error: readout,
+        }
     }
 
     /// The `ibmq_16_melbourne` CNOT error rates reported in Figure 10(a)
@@ -167,7 +171,11 @@ impl Calibration {
                 .iter()
                 .map(|(&edge, &e)| (edge, lognormal(e)))
                 .collect(),
-            single_qubit_error: self.single_qubit_error.iter().map(|&e| lognormal(e)).collect(),
+            single_qubit_error: self
+                .single_qubit_error
+                .iter()
+                .map(|&e| lognormal(e))
+                .collect(),
             readout_error: self.readout_error.iter().map(|&e| lognormal(e)).collect(),
         }
     }
@@ -350,10 +358,8 @@ mod drift_tests {
             assert!((MIN_ERROR..=MAX_ERROR).contains(&d));
         }
         // Drift changes values but not wildly in expectation.
-        let mean_orig: f64 =
-            cal.cnot_errors().map(|(_, e)| e).sum::<f64>() / 20.0;
-        let mean_drift: f64 =
-            drifted.cnot_errors().map(|(_, e)| e).sum::<f64>() / 20.0;
+        let mean_orig: f64 = cal.cnot_errors().map(|(_, e)| e).sum::<f64>() / 20.0;
+        let mean_drift: f64 = drifted.cnot_errors().map(|(_, e)| e).sum::<f64>() / 20.0;
         assert!((mean_drift / mean_orig) > 0.5 && (mean_drift / mean_orig) < 2.5);
     }
 

@@ -1,0 +1,191 @@
+//! The shared, immutable hardware context threaded through the compile
+//! stack.
+//!
+//! The paper notes the Floyd–Warshall distance matrix is "measured once
+//! ... and accessed from memory during QAIM". [`HardwareContext`] is that
+//! discipline made structural: it bundles a [`Topology`], its optional
+//! [`Calibration`], and every derived artifact the mapping, layer-forming
+//! and routing passes consume — the unit-hop distance matrix, the
+//! reliability-weighted distance matrix (when calibrated) and the
+//! connectivity-strength profile — each computed exactly once at
+//! construction and shared from then on (the matrices behind [`Arc`], so
+//! metrics and parallel batch workers clone pointers, not `O(n^2)` data).
+
+use std::sync::Arc;
+
+use qgraph::shortest_path::{DistanceMatrix, WeightedDistanceMatrix};
+
+use crate::{Calibration, HardwareProfile, Topology};
+
+/// Immutable bundle of a hardware target and its derived compile-time
+/// artifacts, built once per `(topology, calibration)` pair.
+///
+/// Construction runs Floyd–Warshall once for the hop-distance matrix and
+/// (when calibrated) once more for the reliability-weighted matrix —
+/// `qgraph::shortest_path::apsp_invocations` observes exactly these runs,
+/// and every later consumer reads the cached matrices.
+///
+/// # Examples
+///
+/// ```
+/// use qhw::{HardwareContext, Topology};
+///
+/// let ctx = HardwareContext::new(Topology::ibmq_20_tokyo());
+/// assert_eq!(ctx.distances().get(0, 0), Some(0));
+/// assert_eq!(ctx.profile().connectivity_strength(0), 7);
+/// assert!(ctx.weighted_distances().is_none()); // no calibration supplied
+/// ```
+#[derive(Debug, Clone)]
+pub struct HardwareContext {
+    topology: Topology,
+    calibration: Option<Calibration>,
+    distances: Arc<DistanceMatrix>,
+    weighted: Option<Arc<WeightedDistanceMatrix>>,
+    profile: HardwareProfile,
+}
+
+impl HardwareContext {
+    /// Builds the context for an uncalibrated target: hop distances and
+    /// the connectivity profile are computed here; no weighted matrix.
+    pub fn new(topology: Topology) -> Self {
+        let distances = Arc::new(topology.distances());
+        let profile = topology.profile();
+        HardwareContext {
+            topology,
+            calibration: None,
+            distances,
+            weighted: None,
+            profile,
+        }
+    }
+
+    /// Builds the context for a calibrated target: additionally computes
+    /// the reliability-weighted distance matrix of Figure 6(d).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` covers fewer qubits than `topology`.
+    pub fn with_calibration(topology: Topology, calibration: Calibration) -> Self {
+        let distances = Arc::new(topology.distances());
+        let weighted = Arc::new(topology.weighted_distances(&calibration));
+        let profile = topology.profile();
+        HardwareContext {
+            topology,
+            calibration: Some(calibration),
+            distances,
+            weighted: Some(weighted),
+            profile,
+        }
+    }
+
+    /// Builds from an optional calibration — the shape pipeline code sees.
+    pub fn from_parts(topology: Topology, calibration: Option<Calibration>) -> Self {
+        match calibration {
+            Some(cal) => HardwareContext::with_calibration(topology, cal),
+            None => HardwareContext::new(topology),
+        }
+    }
+
+    /// The hardware target.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The calibration data, when this context was built with any.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
+    }
+
+    /// The cached all-pairs hop-distance matrix (Figure 6(c)).
+    pub fn distances(&self) -> &Arc<DistanceMatrix> {
+        &self.distances
+    }
+
+    /// The cached reliability-weighted distance matrix (Figure 6(d));
+    /// `None` without calibration.
+    pub fn weighted_distances(&self) -> Option<&Arc<WeightedDistanceMatrix>> {
+        self.weighted.as_ref()
+    }
+
+    /// The cached connectivity-strength profile (Figure 3(b)).
+    pub fn profile(&self) -> &HardwareProfile {
+        &self.profile
+    }
+
+    /// Number of physical qubits (shorthand for
+    /// `self.topology().num_qubits()`).
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_qubits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgraph::shortest_path::apsp_invocations;
+
+    #[test]
+    fn uncalibrated_context_caches_hops_and_profile() {
+        let topo = Topology::ibmq_20_tokyo();
+        let ctx = HardwareContext::new(topo.clone());
+        assert_eq!(*ctx.distances().as_ref(), topo.distances());
+        assert!(ctx.weighted_distances().is_none());
+        assert!(ctx.calibration().is_none());
+        assert_eq!(ctx.num_qubits(), 20);
+        assert_eq!(
+            ctx.profile().connectivity_strength(7),
+            topo.profile().connectivity_strength(7)
+        );
+    }
+
+    #[test]
+    fn calibrated_context_caches_weighted_matrix() {
+        let (topo, cal) = Calibration::melbourne_2020_04_08();
+        let ctx = HardwareContext::with_calibration(topo.clone(), cal.clone());
+        let fresh = topo.weighted_distances(&cal);
+        let cached = ctx.weighted_distances().expect("calibrated context");
+        for u in 0..topo.num_qubits() {
+            for v in 0..topo.num_qubits() {
+                assert_eq!(cached.get(u, v), fresh.get(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn construction_runs_apsp_a_bounded_number_of_times() {
+        // Uncalibrated: exactly one Floyd–Warshall run; calibrated: two.
+        // (The counter is process-global, so this test measures deltas and
+        // relies on nothing else racing it — `cargo test` runs the other
+        // tests in this binary concurrently, hence the dedicated deltas
+        // around tight regions with freshly built inputs.)
+        let topo = Topology::linear(5);
+        let before = apsp_invocations();
+        let ctx = HardwareContext::new(topo);
+        let mid = apsp_invocations();
+        assert!(mid - before >= 1);
+        // Consuming the cached artifacts must not trigger recomputation.
+        let _ = ctx.distances().get(0, 4);
+        let _ = ctx.profile().connectivity_strength(0);
+        let _d2 = Arc::clone(ctx.distances());
+        assert_eq!(apsp_invocations(), mid);
+    }
+
+    #[test]
+    fn clone_shares_matrices() {
+        let ctx = HardwareContext::new(Topology::grid(4, 4));
+        let before = apsp_invocations();
+        let clone = ctx.clone();
+        assert_eq!(apsp_invocations(), before);
+        assert!(Arc::ptr_eq(ctx.distances(), clone.distances()));
+    }
+
+    #[test]
+    fn from_parts_matches_dedicated_constructors() {
+        let topo = Topology::ring(6);
+        let cal = Calibration::uniform(&topo, 0.02, 0.001, 0.02);
+        let a = HardwareContext::from_parts(topo.clone(), Some(cal));
+        assert!(a.weighted_distances().is_some());
+        let b = HardwareContext::from_parts(topo, None);
+        assert!(b.weighted_distances().is_none());
+    }
+}

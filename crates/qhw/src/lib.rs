@@ -30,9 +30,11 @@
 #![warn(missing_docs)]
 
 mod calibration;
+mod context;
 mod profile;
 mod topology;
 
 pub use calibration::Calibration;
+pub use context::HardwareContext;
 pub use profile::HardwareProfile;
 pub use topology::Topology;

@@ -42,7 +42,10 @@ impl HardwareProfile {
             .nodes()
             .map(|q| (1..=ring_depth).map(|k| graph.ring(q, k).len()).sum())
             .collect();
-        HardwareProfile { strength, ring_depth }
+        HardwareProfile {
+            strength,
+            ring_depth,
+        }
     }
 
     /// The connectivity strength of physical qubit `q`.

@@ -20,7 +20,10 @@ pub struct Topology {
 impl Topology {
     /// Wraps an arbitrary coupling graph under a display name.
     pub fn from_graph(name: impl Into<String>, graph: Graph) -> Self {
-        Topology { name: name.into(), graph }
+        Topology {
+            name: name.into(),
+            graph,
+        }
     }
 
     /// The IBM 20-qubit *Tokyo* device (Figure 3(a)).
@@ -31,32 +34,60 @@ impl Topology {
     /// 18 (the maximum) for qubits 7 and 12.
     pub fn ibmq_20_tokyo() -> Self {
         let rows = [
-            (0, 1), (1, 2), (2, 3), (3, 4),
-            (5, 6), (6, 7), (7, 8), (8, 9),
-            (10, 11), (11, 12), (12, 13), (13, 14),
-            (15, 16), (16, 17), (17, 18), (18, 19),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (10, 11),
+            (11, 12),
+            (12, 13),
+            (13, 14),
+            (15, 16),
+            (16, 17),
+            (17, 18),
+            (18, 19),
         ];
         let cols = [
-            (0, 5), (5, 10), (10, 15),
-            (1, 6), (6, 11), (11, 16),
-            (2, 7), (7, 12), (12, 17),
-            (3, 8), (8, 13), (13, 18),
-            (4, 9), (9, 14), (14, 19),
+            (0, 5),
+            (5, 10),
+            (10, 15),
+            (1, 6),
+            (6, 11),
+            (11, 16),
+            (2, 7),
+            (7, 12),
+            (12, 17),
+            (3, 8),
+            (8, 13),
+            (13, 18),
+            (4, 9),
+            (9, 14),
+            (14, 19),
         ];
         let diagonals = [
-            (1, 7), (2, 6),
-            (3, 9), (4, 8),
-            (5, 11), (6, 10),
-            (7, 13), (8, 12),
-            (11, 17), (12, 16),
-            (13, 19), (14, 18),
+            (1, 7),
+            (2, 6),
+            (3, 9),
+            (4, 8),
+            (5, 11),
+            (6, 10),
+            (7, 13),
+            (8, 12),
+            (11, 17),
+            (12, 16),
+            (13, 19),
+            (14, 18),
         ];
-        let graph = Graph::from_edges(
-            20,
-            rows.into_iter().chain(cols).chain(diagonals),
-        )
-        .expect("static edge list is valid");
-        Topology { name: "ibmq_20_tokyo".to_owned(), graph }
+        let graph = Graph::from_edges(20, rows.into_iter().chain(cols).chain(diagonals))
+            .expect("static edge list is valid");
+        Topology {
+            name: "ibmq_20_tokyo".to_owned(),
+            graph,
+        }
     }
 
     /// The IBM 15-qubit *Melbourne* device (`ibmq_16_melbourne`,
@@ -66,16 +97,35 @@ impl Topology {
     pub fn ibmq_16_melbourne() -> Self {
         let edges = [
             // top row
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
             // bottom row
-            (14, 13), (13, 12), (12, 11), (11, 10), (10, 9), (9, 8),
+            (14, 13),
+            (13, 12),
+            (12, 11),
+            (11, 10),
+            (10, 9),
+            (9, 8),
             // rungs
-            (0, 14), (1, 13), (2, 12), (3, 11), (4, 10), (5, 9), (6, 8),
+            (0, 14),
+            (1, 13),
+            (2, 12),
+            (3, 11),
+            (4, 10),
+            (5, 9),
+            (6, 8),
             // qubit 7 hangs off the bottom-right corner
             (7, 8),
         ];
         let graph = Graph::from_edges(15, edges).expect("static edge list is valid");
-        Topology { name: "ibmq_16_melbourne".to_owned(), graph }
+        Topology {
+            name: "ibmq_16_melbourne".to_owned(),
+            graph,
+        }
     }
 
     /// The hypothetical `rows × cols` grid device (the paper uses 6×6).
@@ -88,19 +138,28 @@ impl Topology {
 
     /// A linear (path) architecture, like Figure 1(d)'s 4-qubit device.
     pub fn linear(n: usize) -> Self {
-        Topology { name: format!("linear_{n}"), graph: generators::path(n) }
+        Topology {
+            name: format!("linear_{n}"),
+            graph: generators::path(n),
+        }
     }
 
     /// A ring (cyclic) architecture, used by the §VI comparison against the
     /// temporal-planner baseline (8-qubit cyclic hardware).
     pub fn ring(n: usize) -> Self {
-        Topology { name: format!("ring_{n}"), graph: generators::cycle(n) }
+        Topology {
+            name: format!("ring_{n}"),
+            graph: generators::cycle(n),
+        }
     }
 
     /// A fully connected architecture (no routing ever needed) — useful as
     /// an experimental control.
     pub fn fully_connected(n: usize) -> Self {
-        Topology { name: format!("full_{n}"), graph: generators::complete(n) }
+        Topology {
+            name: format!("full_{n}"),
+            graph: generators::complete(n),
+        }
     }
 
     /// A heavy-hexagon lattice of `rows × cols` unit cells — the coupling
@@ -152,12 +211,12 @@ impl Topology {
                 next += 1;
             }
         }
-        let graph = Graph::from_edges(
-            next,
-            edges.into_iter().map(|(a, b)| (dense[a], dense[b])),
-        )
-        .expect("heavy-hex construction yields valid edges");
-        Topology { name: format!("heavy_hex_{rows}x{cols}"), graph }
+        let graph = Graph::from_edges(next, edges.into_iter().map(|(a, b)| (dense[a], dense[b])))
+            .expect("heavy-hex construction yields valid edges");
+        Topology {
+            name: format!("heavy_hex_{rows}x{cols}"),
+            graph,
+        }
     }
 
     /// The display name.
@@ -220,7 +279,10 @@ mod tests {
         assert!(t.graph().is_connected());
         // Paper §IV-A: qubit 0 has first neighbors {1, 5} and second
         // neighbors {2, 6, 7, 10, 11}.
-        assert_eq!(t.graph().ring(0, 1), std::collections::BTreeSet::from([1, 5]));
+        assert_eq!(
+            t.graph().ring(0, 1),
+            std::collections::BTreeSet::from([1, 5])
+        );
         assert_eq!(
             t.graph().ring(0, 2),
             std::collections::BTreeSet::from([2, 6, 7, 10, 11])
@@ -282,7 +344,11 @@ mod heavy_hex_tests {
         let t = Topology::heavy_hex(2, 2);
         assert!(t.graph().is_connected());
         // Heavy-hex max degree is 3.
-        assert!(t.graph().max_degree() <= 3, "max degree {}", t.graph().max_degree());
+        assert!(
+            t.graph().max_degree() <= 3,
+            "max degree {}",
+            t.graph().max_degree()
+        );
         assert!(t.num_qubits() >= 15);
     }
 

@@ -1,0 +1,77 @@
+//! Structured routing failures.
+
+use std::fmt;
+
+/// Why routing could not produce a hardware-compliant circuit.
+///
+/// [`crate::try_route`] returns these instead of panicking, so callers
+/// (the `qcompile` pipeline, batch drivers) can surface failures as values
+/// across thread and API boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The circuit uses more qubits than the topology provides.
+    CircuitTooLarge {
+        /// Qubits the circuit needs.
+        needed: usize,
+        /// Qubits the topology provides.
+        available: usize,
+        /// The topology's display name.
+        topology: String,
+    },
+    /// The layout covers fewer logical qubits than the circuit uses.
+    LayoutTooSmall {
+        /// Logical qubits the layout covers.
+        covers: usize,
+        /// Logical qubits the circuit needs.
+        needed: usize,
+    },
+    /// The layout and topology disagree on the physical qubit count.
+    LayoutMismatch {
+        /// Physical qubits in the layout.
+        layout_physical: usize,
+        /// Physical qubits in the topology.
+        topology_physical: usize,
+    },
+    /// Two physical qubits that must interact are disconnected in the
+    /// coupling graph.
+    Disconnected {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// The topology's display name.
+        topology: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::CircuitTooLarge {
+                needed,
+                available,
+                topology,
+            } => write!(
+                f,
+                "circuit has {needed} qubits but topology {topology} only {available}"
+            ),
+            RouteError::LayoutTooSmall { covers, needed } => write!(
+                f,
+                "layout covers {covers} logical qubits, circuit needs {needed}"
+            ),
+            RouteError::LayoutMismatch {
+                layout_physical,
+                topology_physical,
+            } => write!(
+                f,
+                "layout has {layout_physical} physical qubits, topology {topology_physical}"
+            ),
+            RouteError::Disconnected { a, b, topology } => write!(
+                f,
+                "physical qubits {a} and {b} are disconnected on {topology}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}

@@ -98,12 +98,7 @@ mod tests {
     #[test]
     fn reliable_edge_beats_unreliable_edge() {
         let topo = Topology::linear(3);
-        let cal = Calibration::from_cnot_errors(
-            &topo,
-            &[((0, 1), 0.01), ((1, 2), 0.2)],
-            0.0,
-            0.0,
-        );
+        let cal = Calibration::from_cnot_errors(&topo, &[((0, 1), 0.01), ((1, 2), 0.2)], 0.0, 0.0);
         let mut good = Circuit::new(3);
         good.cx(0, 1);
         let mut bad = Circuit::new(3);

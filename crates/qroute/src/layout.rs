@@ -38,7 +38,10 @@ impl Layout {
             );
             phys_to_log[p] = Some(l);
         }
-        Layout { log_to_phys: mapping, phys_to_log }
+        Layout {
+            log_to_phys: mapping,
+            phys_to_log,
+        }
     }
 
     /// The identity layout: logical `l` on physical `l`.
@@ -55,11 +58,7 @@ impl Layout {
     /// # Panics
     ///
     /// Panics if `num_logical > num_physical`.
-    pub fn random<R: Rng + ?Sized>(
-        num_logical: usize,
-        num_physical: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random<R: Rng + ?Sized>(num_logical: usize, num_physical: usize, rng: &mut R) -> Self {
         assert!(num_logical <= num_physical, "not enough physical qubits");
         let mut phys: Vec<usize> = (0..num_physical).collect();
         phys.shuffle(rng);

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod fidelity;
 mod layout;
 mod metric;
@@ -40,8 +41,9 @@ mod router;
 pub mod sabre;
 mod verify;
 
+pub use error::RouteError;
 pub use fidelity::success_probability;
 pub use layout::Layout;
 pub use metric::RoutingMetric;
-pub use router::{route, RouteResult};
+pub use router::{route, try_route, RouteResult};
 pub use verify::{routed_equivalent, satisfies_coupling};

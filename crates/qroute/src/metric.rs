@@ -1,5 +1,7 @@
+use std::sync::Arc;
+
 use qgraph::shortest_path::{DistanceMatrix, WeightedDistanceMatrix};
-use qhw::{Calibration, Topology};
+use qhw::{Calibration, HardwareContext, Topology};
 
 /// The distance notion the router (and IC/VIC layer formation) uses.
 ///
@@ -14,43 +16,88 @@ use qhw::{Calibration, Topology};
 /// by integral amounts, guaranteeing fast termination), while the
 /// reliability weights steer *which* equal-hop path is taken and which
 /// gates the incremental layer former prioritizes.
+///
+/// The distance matrices are held behind [`Arc`]: building a metric from a
+/// [`HardwareContext`] ([`RoutingMetric::from_context`]) shares the
+/// context's cached matrices instead of re-running Floyd–Warshall, and
+/// cloning a metric clones pointers, not `O(n^2)` data.
 #[derive(Debug, Clone)]
 pub struct RoutingMetric {
-    hops: DistanceMatrix,
+    hops: Arc<DistanceMatrix>,
     weighted: Option<Weighted>,
 }
 
 #[derive(Debug, Clone)]
 struct Weighted {
-    distances: WeightedDistanceMatrix,
+    distances: Arc<WeightedDistanceMatrix>,
     /// Dense per-edge weights for local SWAP-step costs.
-    edge_weight: Vec<f64>,
+    edge_weight: Arc<Vec<f64>>,
     n: usize,
+}
+
+/// Builds the dense `1 / success` per-edge weight table VIC's local SWAP
+/// costs read.
+fn edge_weights(topology: &Topology, calibration: &Calibration) -> Vec<f64> {
+    let n = topology.num_qubits();
+    let mut edge_weight = vec![f64::INFINITY; n * n];
+    for e in topology.graph().edges() {
+        let w = 1.0 / calibration.cnot_success(e.a(), e.b());
+        edge_weight[e.a() * n + e.b()] = w;
+        edge_weight[e.b() * n + e.a()] = w;
+    }
+    edge_weight
 }
 
 impl RoutingMetric {
     /// Unit-distance metric over `topology`.
+    ///
+    /// Runs Floyd–Warshall afresh; prefer [`RoutingMetric::from_context`]
+    /// when a [`HardwareContext`] is available.
     pub fn hops(topology: &Topology) -> Self {
-        RoutingMetric { hops: topology.distances(), weighted: None }
+        RoutingMetric {
+            hops: Arc::new(topology.distances()),
+            weighted: None,
+        }
     }
 
     /// Reliability-weighted metric over `topology` with `calibration`.
+    ///
+    /// Runs Floyd–Warshall afresh (twice); prefer
+    /// [`RoutingMetric::from_context`] when a [`HardwareContext`] is
+    /// available.
     pub fn reliability(topology: &Topology, calibration: &Calibration) -> Self {
         let n = topology.num_qubits();
-        let mut edge_weight = vec![f64::INFINITY; n * n];
-        for e in topology.graph().edges() {
-            let w = 1.0 / calibration.cnot_success(e.a(), e.b());
-            edge_weight[e.a() * n + e.b()] = w;
-            edge_weight[e.b() * n + e.a()] = w;
-        }
         RoutingMetric {
-            hops: topology.distances(),
+            hops: Arc::new(topology.distances()),
             weighted: Some(Weighted {
-                distances: topology.weighted_distances(calibration),
-                edge_weight,
+                distances: Arc::new(topology.weighted_distances(calibration)),
+                edge_weight: Arc::new(edge_weights(topology, calibration)),
                 n,
             }),
         }
+    }
+
+    /// A metric sharing `context`'s cached distance matrices — no
+    /// shortest-path recomputation.
+    ///
+    /// With `variation_aware` set, the context must carry calibration
+    /// data (and therefore a weighted matrix); returns `None` otherwise.
+    pub fn from_context(context: &HardwareContext, variation_aware: bool) -> Option<Self> {
+        let weighted = if variation_aware {
+            let distances = Arc::clone(context.weighted_distances()?);
+            let calibration = context.calibration()?;
+            Some(Weighted {
+                distances,
+                edge_weight: Arc::new(edge_weights(context.topology(), calibration)),
+                n: context.num_qubits(),
+            })
+        } else {
+            None
+        };
+        Some(RoutingMetric {
+            hops: Arc::clone(context.distances()),
+            weighted,
+        })
     }
 
     /// The metric distance between physical qubits `a` and `b` (weighted
@@ -118,6 +165,7 @@ impl RoutingMetric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qgraph::shortest_path::apsp_invocations;
 
     #[test]
     fn hops_metric_matches_figure_6c() {
@@ -136,7 +184,11 @@ mod tests {
         let (topo, cal) = fig6_calibrated();
         let m = RoutingMetric::reliability(&topo, &cal);
         for (v, want) in [(1, 1.11), (2, 2.29), (3, 3.41), (4, 2.34), (5, 1.22)] {
-            assert!((m.dist(0, v) - want).abs() < 0.01, "d(0,{v}) = {}", m.dist(0, v));
+            assert!(
+                (m.dist(0, v) - want).abs() < 0.01,
+                "d(0,{v}) = {}",
+                m.dist(0, v)
+            );
         }
         // Hop distances remain available underneath.
         assert_eq!(m.hop_dist(0, 3), 3);
@@ -145,15 +197,45 @@ mod tests {
         assert!(!RoutingMetric::hops(&topo).is_variation_aware());
     }
 
+    #[test]
+    fn from_context_matches_direct_construction() {
+        let (topo, cal) = fig6_calibrated();
+        let ctx = HardwareContext::with_calibration(topo.clone(), cal.clone());
+        let direct = RoutingMetric::reliability(&topo, &cal);
+        let shared = RoutingMetric::from_context(&ctx, true).expect("calibrated context");
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(direct.dist(u, v), shared.dist(u, v));
+                assert_eq!(direct.hop_dist(u, v), shared.hop_dist(u, v));
+                assert_eq!(direct.edge_cost(u, v), shared.edge_cost(u, v));
+            }
+        }
+        let hops = RoutingMetric::from_context(&ctx, false).expect("hops always available");
+        assert!(!hops.is_variation_aware());
+    }
+
+    #[test]
+    fn from_context_recomputes_nothing() {
+        let ctx = HardwareContext::with_calibration(fig6_calibrated().0, fig6_calibrated().1);
+        let before = apsp_invocations();
+        let _hops = RoutingMetric::from_context(&ctx, false).unwrap();
+        let _vic = RoutingMetric::from_context(&ctx, true).unwrap();
+        assert_eq!(apsp_invocations(), before);
+    }
+
+    #[test]
+    fn from_context_requires_calibration_for_variation_awareness() {
+        let ctx = HardwareContext::new(fig6_topology());
+        assert!(RoutingMetric::from_context(&ctx, true).is_none());
+        assert!(RoutingMetric::from_context(&ctx, false).is_some());
+    }
+
     /// The hypothetical 6-qubit device of Figure 6(a).
     fn fig6_topology() -> Topology {
         Topology::from_graph(
             "fig6",
-            qgraph::Graph::from_edges(
-                6,
-                [(0, 1), (0, 5), (1, 2), (1, 4), (2, 3), (3, 4), (4, 5)],
-            )
-            .unwrap(),
+            qgraph::Graph::from_edges(6, [(0, 1), (0, 5), (1, 2), (1, 4), (2, 3), (3, 4), (4, 5)])
+                .unwrap(),
         )
     }
 

@@ -2,7 +2,7 @@ use qcircuit::layers::asap_layers;
 use qcircuit::{Circuit, Instruction};
 use qhw::Topology;
 
-use crate::{Layout, RoutingMetric};
+use crate::{Layout, RouteError, RoutingMetric};
 
 /// The output of [`route`]: a hardware-compliant physical circuit plus the
 /// mapping state after the inserted SWAPs.
@@ -37,31 +37,55 @@ pub struct RouteResult {
 ///
 /// Panics if the circuit needs more qubits than the topology provides, the
 /// layout is smaller than the circuit, or the coupling graph leaves some
-/// required pair disconnected.
+/// required pair disconnected. Use [`try_route`] to receive these as
+/// [`RouteError`] values instead.
 pub fn route(
     circuit: &Circuit,
     topology: &Topology,
     initial_layout: Layout,
     metric: &RoutingMetric,
 ) -> RouteResult {
-    assert!(
-        circuit.num_qubits() <= topology.num_qubits(),
-        "circuit has {} qubits but topology {} only {}",
-        circuit.num_qubits(),
-        topology.name(),
-        topology.num_qubits()
-    );
-    assert!(
-        initial_layout.num_logical() >= circuit.num_qubits(),
-        "layout covers {} logical qubits, circuit needs {}",
-        initial_layout.num_logical(),
-        circuit.num_qubits()
-    );
-    assert_eq!(
-        initial_layout.num_physical(),
-        topology.num_qubits(),
-        "layout and topology disagree on physical qubit count"
-    );
+    match try_route(circuit, topology, initial_layout, metric) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`route`] returning structural failures as [`RouteError`] values
+/// instead of panicking — the form the `qcompile` pipeline and batch
+/// drivers consume.
+///
+/// # Errors
+///
+/// Returns [`RouteError::CircuitTooLarge`], [`RouteError::LayoutTooSmall`]
+/// or [`RouteError::LayoutMismatch`] when the inputs disagree on qubit
+/// counts, and [`RouteError::Disconnected`] when the coupling graph leaves
+/// a required pair unreachable.
+pub fn try_route(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial_layout: Layout,
+    metric: &RoutingMetric,
+) -> Result<RouteResult, RouteError> {
+    if circuit.num_qubits() > topology.num_qubits() {
+        return Err(RouteError::CircuitTooLarge {
+            needed: circuit.num_qubits(),
+            available: topology.num_qubits(),
+            topology: topology.name().to_owned(),
+        });
+    }
+    if initial_layout.num_logical() < circuit.num_qubits() {
+        return Err(RouteError::LayoutTooSmall {
+            covers: initial_layout.num_logical(),
+            needed: circuit.num_qubits(),
+        });
+    }
+    if initial_layout.num_physical() != topology.num_qubits() {
+        return Err(RouteError::LayoutMismatch {
+            layout_physical: initial_layout.num_physical(),
+            topology_physical: topology.num_qubits(),
+        });
+    }
 
     let mut layout = initial_layout;
     let mut out = Circuit::new(topology.num_qubits());
@@ -77,10 +101,14 @@ pub fn route(
                 two_qubit.push(instr);
             }
         }
-        swap_count += route_layer(&two_qubit, topology, metric, &mut layout, &mut out);
+        swap_count += route_layer(&two_qubit, topology, metric, &mut layout, &mut out)?;
     }
 
-    RouteResult { circuit: out, final_layout: layout, swap_count }
+    Ok(RouteResult {
+        circuit: out,
+        final_layout: layout,
+        swap_count,
+    })
 }
 
 /// Routes one layer of two-qubit gates (disjoint qubits), emitting both
@@ -107,10 +135,10 @@ fn route_layer(
     metric: &RoutingMetric,
     layout: &mut Layout,
     out: &mut Circuit,
-) -> usize {
+) -> Result<usize, RouteError> {
     let mut swap_count = 0usize;
     if layer.is_empty() {
-        return 0;
+        return Ok(0);
     }
     let n = topology.num_qubits();
     // Plateau moves are forced swaps that the next improving step can
@@ -137,7 +165,7 @@ fn route_layer(
                 let pb = layout.phys(gate.q1());
                 emit(out, Instruction::two(gate.gate(), pa, pb));
             }
-            return swap_count;
+            return Ok(swap_count);
         }
         // Best candidate swap by potential descent. Deltas are computed
         // incrementally: only gates touching the swapped pair change.
@@ -214,13 +242,17 @@ fn route_layer(
                     .iter()
                     .max_by(|x, y| metric.dist(x.0, x.1).total_cmp(&metric.dist(y.0, y.1)))
                     .expect("unsat is non-empty");
-                let path = cheapest_path(topology, metric, pa, pb, None).unwrap_or_else(|| {
-                    panic!(
-                        "physical qubits {pa} and {pb} are disconnected on {}",
-                        topology.name()
-                    )
-                });
-                emit(out, Instruction::two(qcircuit::Gate::Swap, path[0], path[1]));
+                let path = cheapest_path(topology, metric, pa, pb, None).ok_or_else(|| {
+                    RouteError::Disconnected {
+                        a: pa,
+                        b: pb,
+                        topology: topology.name().to_owned(),
+                    }
+                })?;
+                emit(
+                    out,
+                    Instruction::two(qcircuit::Gate::Swap, path[0], path[1]),
+                );
                 layout.swap_physical(path[0], path[1]);
                 swap_count += 1;
             }
@@ -241,18 +273,21 @@ fn route_layer(
                 true
             }
         });
-        let Some(gate) = remaining.first().copied() else { break };
+        let Some(gate) = remaining.first().copied() else {
+            break;
+        };
         let pa = layout.phys(gate.q0());
         let pb = layout.phys(gate.q1());
-        let path = cheapest_path(topology, metric, pa, pb, None).unwrap_or_else(|| {
-            panic!(
-                "physical qubits {pa} and {pb} are disconnected on {}",
-                topology.name()
-            )
-        });
+        let path = cheapest_path(topology, metric, pa, pb, None).ok_or_else(|| {
+            RouteError::Disconnected {
+                a: pa,
+                b: pb,
+                topology: topology.name().to_owned(),
+            }
+        })?;
         swap_count += walk_path(&path, layout, out);
     }
-    swap_count
+    Ok(swap_count)
 }
 
 /// Walks the occupant of `path\[0\]` along `path`, stopping one hop short of
@@ -283,9 +318,8 @@ fn cheapest_path(
     frozen: Option<&[bool]>,
 ) -> Option<Vec<usize>> {
     let n = topology.num_qubits();
-    let blocked = |p: usize| -> bool {
-        p != from && p != to && frozen.map(|f| f[p]).unwrap_or(false)
-    };
+    let blocked =
+        |p: usize| -> bool { p != from && p != to && frozen.map(|f| f[p]).unwrap_or(false) };
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![usize::MAX; n];
     let mut visited = vec![false; n];
@@ -344,7 +378,12 @@ mod tests {
         let mut c = Circuit::new(3);
         c.cx(0, 1);
         c.cx(1, 2);
-        let r = route(&c, &topo, Layout::trivial(3, 3), &RoutingMetric::hops(&topo));
+        let r = route(
+            &c,
+            &topo,
+            Layout::trivial(3, 3),
+            &RoutingMetric::hops(&topo),
+        );
         assert_eq!(r.swap_count, 0);
         assert_eq!(r.circuit.two_qubit_count(), 2);
     }
@@ -354,7 +393,12 @@ mod tests {
         let topo = Topology::linear(4);
         let mut c = Circuit::new(4);
         c.cx(0, 3); // distance 3 -> 2 swaps
-        let r = route(&c, &topo, Layout::trivial(4, 4), &RoutingMetric::hops(&topo));
+        let r = route(
+            &c,
+            &topo,
+            Layout::trivial(4, 4),
+            &RoutingMetric::hops(&topo),
+        );
         assert_eq!(r.swap_count, 2);
         assert!(satisfies_coupling(&r.circuit, &topo));
     }
@@ -410,7 +454,12 @@ mod tests {
         for e in g.edges() {
             c.rzz(0.2, e.a(), e.b());
         }
-        let r = route(&c, &topo, Layout::random(20, 20, &mut rng), &RoutingMetric::hops(&topo));
+        let r = route(
+            &c,
+            &topo,
+            Layout::random(20, 20, &mut rng),
+            &RoutingMetric::hops(&topo),
+        );
         assert!(satisfies_coupling(&r.circuit, &topo));
         assert_eq!(r.circuit.count_gate("rzz"), g.edge_count());
     }
@@ -423,7 +472,12 @@ mod tests {
         let topo = Topology::from_graph("square", g);
         let cal = Calibration::from_cnot_errors(
             &topo,
-            &[((0, 1), 0.40), ((1, 2), 0.40), ((2, 3), 0.01), ((3, 0), 0.01)],
+            &[
+                ((0, 1), 0.40),
+                ((1, 2), 0.40),
+                ((2, 3), 0.01),
+                ((3, 0), 0.01),
+            ],
             1e-3,
             1e-2,
         );
@@ -435,7 +489,10 @@ mod tests {
         // The SWAP must go through qubit 3, not 1.
         let first = r.circuit.instructions()[0];
         assert_eq!(first.gate(), Gate::Swap);
-        assert!(first.acts_on(3), "expected SWAP via reliable qubit 3: {first}");
+        assert!(
+            first.acts_on(3),
+            "expected SWAP via reliable qubit 3: {first}"
+        );
 
         // The hop metric breaks the tie toward the lowest-index move.
         let hops = RoutingMetric::hops(&topo);
@@ -458,7 +515,9 @@ mod tests {
             .logical_at(if l0 > 0 { l0 - 1 } else { l0 + 1 })
             .unwrap();
         let mut part2 = Circuit::new(4);
-        part2.push(Instruction::two(Gate::Cnot, 0, neighbor_logical)).unwrap();
+        part2
+            .push(Instruction::two(Gate::Cnot, 0, neighbor_logical))
+            .unwrap();
         let r2 = route(&part2, &topo, r1.final_layout.clone(), &metric);
         assert_eq!(r2.swap_count, 0);
     }
@@ -468,7 +527,12 @@ mod tests {
     fn oversized_circuit_panics() {
         let topo = Topology::linear(2);
         let c = Circuit::new(3);
-        let _ = route(&c, &topo, Layout::trivial(2, 2), &RoutingMetric::hops(&topo));
+        let _ = route(
+            &c,
+            &topo,
+            Layout::trivial(2, 2),
+            &RoutingMetric::hops(&topo),
+        );
     }
 
     #[test]
@@ -497,8 +561,16 @@ mod tests {
         // The paper's backend inserts 4 vs 3 SWAPs for these orders; the
         // absolute numbers are backend-specific, but both orders must
         // compile within a small SWAP budget and stay compliant.
-        assert!(r123.swap_count <= 5, "order 1|2|3 used {} swaps", r123.swap_count);
-        assert!(r132.swap_count <= 5, "order 1|3|2 used {} swaps", r132.swap_count);
+        assert!(
+            r123.swap_count <= 5,
+            "order 1|2|3 used {} swaps",
+            r123.swap_count
+        );
+        assert!(
+            r132.swap_count <= 5,
+            "order 1|3|2 used {} swaps",
+            r132.swap_count
+        );
         assert!(satisfies_coupling(&r123.circuit, &topo));
         assert!(satisfies_coupling(&r132.circuit, &topo));
     }

@@ -27,7 +27,10 @@ pub struct SabreOptions {
 
 impl Default for SabreOptions {
     fn default() -> Self {
-        SabreOptions { extended_size: 20, extended_weight: 0.5 }
+        SabreOptions {
+            extended_size: 20,
+            extended_weight: 0.5,
+        }
     }
 }
 
@@ -92,14 +95,15 @@ pub fn route_sabre(
         loop {
             let mut executed_this_round = false;
             for q in 0..n_logical {
-                let Some(&idx) = per_qubit[q].front() else { continue };
+                let Some(&idx) = per_qubit[q].front() else {
+                    continue;
+                };
                 if executed[idx] || !ready(idx, &per_qubit) {
                     continue;
                 }
                 let instr = &instrs[idx];
                 let executable = instr.gate().arity() == 1
-                    || topology
-                        .are_coupled(layout.phys(instr.q0()), layout.phys(instr.q1()));
+                    || topology.are_coupled(layout.phys(instr.q0()), layout.phys(instr.q1()));
                 if executable {
                     out.push(instr.remap(|l| layout.phys(l)))
                         .expect("router emits in-range instructions");
@@ -157,12 +161,7 @@ pub fn route_sabre(
             };
             let dist_sum = |set: &[&Instruction]| -> f64 {
                 set.iter()
-                    .map(|i| {
-                        metric.dist(
-                            reloc(layout.phys(i.q0())),
-                            reloc(layout.phys(i.q1())),
-                        )
-                    })
+                    .map(|i| metric.dist(reloc(layout.phys(i.q0())), reloc(layout.phys(i.q1()))))
                     .sum()
             };
             dist_sum(&front) / front.len() as f64
@@ -179,8 +178,7 @@ pub fn route_sabre(
                     let s = score(&layout, endpoint, w);
                     let better = match best {
                         Some((bs, be, bw)) => {
-                            s < bs - 1e-12
-                                || ((s - bs).abs() <= 1e-12 && (endpoint, w) < (be, bw))
+                            s < bs - 1e-12 || ((s - bs).abs() <= 1e-12 && (endpoint, w) < (be, bw))
                         }
                         None => true,
                     };
@@ -226,12 +224,17 @@ pub fn route_sabre(
             stagnation = 0;
             continue;
         }
-        out.push(Instruction::two(qcircuit::Gate::Swap, e, w)).expect("in-range");
+        out.push(Instruction::two(qcircuit::Gate::Swap, e, w))
+            .expect("in-range");
         layout.swap_physical(e, w);
         swap_count += 1;
     }
 
-    RouteResult { circuit: out, final_layout: layout, swap_count }
+    RouteResult {
+        circuit: out,
+        final_layout: layout,
+        swap_count,
+    }
 }
 
 #[cfg(test)]
@@ -310,7 +313,10 @@ mod tests {
         let topo = Topology::grid(3, 3);
         let c = qaoa_circuit(9, &[(0, 8), (1, 7), (2, 6)]);
         let metric = RoutingMetric::hops(&topo);
-        let opts = SabreOptions { extended_size: 0, extended_weight: 0.0 };
+        let opts = SabreOptions {
+            extended_size: 0,
+            extended_weight: 0.0,
+        };
         let r = route_sabre(&c, &topo, Layout::trivial(9, 9), &metric, &opts);
         assert!(satisfies_coupling(&r.circuit, &topo));
     }

@@ -11,24 +11,23 @@ use rand::SeedableRng;
 /// Strategy: a random QAOA-shaped logical circuit (H wall + Rzz edges +
 /// mixer) over `n` qubits.
 fn arb_qaoa_circuit(n: usize) -> impl Strategy<Value = Circuit> {
-    let all_edges: Vec<(usize, usize)> =
-        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
-    proptest::sample::subsequence(all_edges.clone(), 0..=all_edges.len()).prop_map(
-        move |edges| {
-            let mut c = Circuit::new(n);
-            for q in 0..n {
-                c.h(q);
-            }
-            for (a, b) in edges {
-                c.rzz(0.5, a, b);
-            }
-            for q in 0..n {
-                c.rx(0.7, q);
-            }
-            c.measure_all();
-            c
-        },
-    )
+    let all_edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    proptest::sample::subsequence(all_edges.clone(), 0..=all_edges.len()).prop_map(move |edges| {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for (a, b) in edges {
+            c.rzz(0.5, a, b);
+        }
+        for q in 0..n {
+            c.rx(0.7, q);
+        }
+        c.measure_all();
+        c
+    })
 }
 
 fn topologies() -> Vec<Topology> {

@@ -29,7 +29,10 @@ impl DensityMatrix {
     ///
     /// Panics for more than 13 qubits (the matrix would exceed ~1 GiB).
     pub fn new(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 13, "density matrix too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 13,
+            "density matrix too large: {num_qubits} qubits"
+        );
         let dim = 1usize << num_qubits;
         let mut rho = vec![ZERO; dim * dim];
         rho[0] = ONE;
@@ -68,7 +71,9 @@ impl DensityMatrix {
     /// Computational-basis outcome probabilities (the diagonal).
     pub fn probabilities(&self) -> Vec<f64> {
         let dim = self.dim();
-        (0..dim).map(|i| self.rho[i * dim + i].re.max(0.0)).collect()
+        (0..dim)
+            .map(|i| self.rho[i * dim + i].re.max(0.0))
+            .collect()
     }
 
     /// Applies a unitary single-qubit gate: `ρ ← U ρ U†`.
@@ -89,7 +94,10 @@ impl DensityMatrix {
             }
         }
         // Right multiply U† on columns.
-        let dag = [[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]];
+        let dag = [
+            [m[0][0].conj(), m[1][0].conj()],
+            [m[0][1].conj(), m[1][1].conj()],
+        ];
         for r in 0..dim {
             for c in 0..dim {
                 if c & bit != 0 {
@@ -331,7 +339,7 @@ mod tests {
         let sim = TrajectorySimulator::new(model);
         let mut rng = StdRng::seed_from_u64(12);
         let runs = 4000;
-        let mut mean = vec![0.0f64; 8];
+        let mut mean = [0.0f64; 8];
         for _ in 0..runs {
             let sv = sim.run_trajectory(&c, &mut rng);
             for (m, p) in mean.iter_mut().zip(sv.probabilities()) {

@@ -35,7 +35,10 @@ impl NoiseModel {
     /// Builds a noise model from device calibration with the default idle
     /// (decoherence) error of 0.1% per layer per qubit.
     pub fn new(calibration: Calibration) -> Self {
-        NoiseModel { calibration, idle_error_per_layer: 1e-3 }
+        NoiseModel {
+            calibration,
+            idle_error_per_layer: 1e-3,
+        }
     }
 
     /// Sets the per-layer idle depolarization probability.
@@ -44,7 +47,10 @@ impl NoiseModel {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn with_idle_error(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "idle error must be a probability, got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "idle error must be a probability, got {p}"
+        );
         self.idle_error_per_layer = p;
         self
     }
@@ -238,8 +244,7 @@ mod tests {
         // long idle stretches must degrade more than a compact one.
         let topo = Topology::linear(4);
         let cal = Calibration::uniform(&topo, 1e-6, 1e-6, 1e-6);
-        let sim =
-            TrajectorySimulator::new(NoiseModel::new(cal).with_idle_error(0.05));
+        let sim = TrajectorySimulator::new(NoiseModel::new(cal).with_idle_error(0.05));
         let mut shallow = Circuit::new(4);
         for q in 0..4 {
             shallow.h(q); // depth 1, nobody idle
@@ -263,7 +268,9 @@ mod tests {
         let mut fid_shallow = 0.0;
         let mut fid_deep = 0.0;
         for _ in 0..runs {
-            fid_shallow += sim.run_trajectory(&shallow, &mut rng).fidelity(&ideal_shallow);
+            fid_shallow += sim
+                .run_trajectory(&shallow, &mut rng)
+                .fidelity(&ideal_shallow);
             fid_deep += sim.run_trajectory(&deep, &mut rng).fidelity(&ideal_deep);
         }
         assert!(
@@ -294,7 +301,10 @@ mod tests {
         };
         let f2 = fidelity_after(1);
         let f20 = fidelity_after(10);
-        assert!(f20 < f2, "more gates must mean lower fidelity: {f20} vs {f2}");
+        assert!(
+            f20 < f2,
+            "more gates must mean lower fidelity: {f20} vs {f2}"
+        );
         // Rough success-probability prediction: 0.95^2 vs 0.95^20.
         assert!(f2 > 0.8 && f20 < 0.55, "f2={f2}, f20={f20}");
     }

@@ -21,7 +21,10 @@ impl StateVector {
     /// Panics if `num_qubits > 28` (the dense vector would not fit in
     /// memory).
     pub fn new(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 28, "statevector too large: {num_qubits} qubits");
+        assert!(
+            num_qubits <= 28,
+            "statevector too large: {num_qubits} qubits"
+        );
         let mut amps = vec![ZERO; 1usize << num_qubits];
         amps[0] = ONE;
         StateVector { num_qubits, amps }
@@ -69,7 +72,10 @@ impl StateVector {
     ///
     /// Panics on measurement instructions or out-of-range operands.
     pub fn apply(&mut self, instr: &Instruction) {
-        assert!(instr.gate().is_unitary(), "cannot apply measurement as a unitary");
+        assert!(
+            instr.gate().is_unitary(),
+            "cannot apply measurement as a unitary"
+        );
         match instr.gate() {
             // Fast paths for the gates QAOA circuits are made of.
             Gate::Rzz(t) => self.apply_rzz(t, instr.q0(), instr.q1()),
@@ -77,11 +83,9 @@ impl StateVector {
             Gate::Cz => self.apply_cphase(std::f64::consts::PI, instr.q0(), instr.q1()),
             Gate::Cnot => self.apply_cnot(instr.q0(), instr.q1()),
             Gate::Swap => self.apply_swap(instr.q0(), instr.q1()),
-            Gate::Rz(t) => self.apply_phase_pair(
-                Complex::cis(-t / 2.0),
-                Complex::cis(t / 2.0),
-                instr.q0(),
-            ),
+            Gate::Rz(t) => {
+                self.apply_phase_pair(Complex::cis(-t / 2.0), Complex::cis(t / 2.0), instr.q0())
+            }
             Gate::U1(l) => self.apply_phase_pair(ONE, Complex::cis(l), instr.q0()),
             Gate::Z => self.apply_phase_pair(ONE, -ONE, instr.q0()),
             Gate::Id => {}
@@ -118,7 +122,10 @@ impl StateVector {
     ///
     /// Panics if operands are out of range or equal.
     pub fn apply_2q(&mut self, m: &Matrix4, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(a, b, "two-qubit gate on duplicate operand");
         let ba = 1usize << a;
         let bb = 1usize << b;
@@ -127,7 +134,12 @@ impl StateVector {
                 continue;
             }
             let idx = [base, base | bb, base | ba, base | ba | bb]; // 00,01,10,11
-            let olds = [self.amps[idx[0]], self.amps[idx[1]], self.amps[idx[2]], self.amps[idx[3]]];
+            let olds = [
+                self.amps[idx[0]],
+                self.amps[idx[1]],
+                self.amps[idx[2]],
+                self.amps[idx[3]],
+            ];
             for (r, &i) in idx.iter().enumerate() {
                 let mut acc = ZERO;
                 for (c, &old) in olds.iter().enumerate() {
@@ -147,7 +159,10 @@ impl StateVector {
     }
 
     fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
         let ba = 1usize << a;
         let bb = 1usize << b;
         let same = Complex::cis(-theta / 2.0);
@@ -159,7 +174,10 @@ impl StateVector {
     }
 
     fn apply_cphase(&mut self, lambda: f64, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
         let mask = (1usize << a) | (1usize << b);
         let phase = Complex::cis(lambda);
         for (idx, amp) in self.amps.iter_mut().enumerate() {
@@ -186,7 +204,10 @@ impl StateVector {
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "qubit out of range"
+        );
         let ba = 1usize << a;
         let bb = 1usize << b;
         for base in 0..self.amps.len() {
@@ -503,7 +524,12 @@ mod measure_tests {
         assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
         // Qubit 1 is now definite: all amplitude on one side.
         let p = sv.probabilities();
-        let p_one: f64 = p.iter().enumerate().filter(|(i, _)| i & 2 != 0).map(|(_, x)| x).sum();
+        let p_one: f64 = p
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & 2 != 0)
+            .map(|(_, x)| x)
+            .sum();
         assert!(p_one < 1e-12 || (p_one - 1.0).abs() < 1e-12);
     }
 }

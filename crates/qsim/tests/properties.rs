@@ -14,10 +14,16 @@ fn arb_unitary_instruction(n: usize) -> impl Strategy<Value = Instruction> {
         (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Ry(t), q)),
         (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rz(t), q)),
         (0..n, 1..n).prop_map(move |(a, d)| Instruction::two(Gate::Cnot, a, (a + d) % n)),
-        (0..n, 1..n, angle.clone())
-            .prop_map(move |(a, d, t)| Instruction::two(Gate::Rzz(t), a, (a + d) % n)),
-        (0..n, 1..n, angle)
-            .prop_map(move |(a, d, t)| Instruction::two(Gate::CPhase(t), a, (a + d) % n)),
+        (0..n, 1..n, angle.clone()).prop_map(move |(a, d, t)| Instruction::two(
+            Gate::Rzz(t),
+            a,
+            (a + d) % n
+        )),
+        (0..n, 1..n, angle).prop_map(move |(a, d, t)| Instruction::two(
+            Gate::CPhase(t),
+            a,
+            (a + d) % n
+        )),
         (0..n, 1..n).prop_map(move |(a, d)| Instruction::two(Gate::Swap, a, (a + d) % n)),
     ]
 }

@@ -13,8 +13,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let nodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
-    let shots: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let shots: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
 
     let mut rng = StdRng::seed_from_u64(77);
     let graph = qgraph::generators::connected_erdos_renyi(nodes, 0.5, 10_000, &mut rng)?;

@@ -73,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.1,
         width = n
     );
-    assert!(best.1 <= ground + 1e-9 || best.1 - ground < 2.0, "sampling found a good state");
+    assert!(
+        best.1 <= ground + 1e-9 || best.1 - ground < 2.0,
+        "sampling found a good state"
+    );
     Ok(())
 }

@@ -11,8 +11,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let nodes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let degree: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let degree: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
 
     let mut rng = StdRng::seed_from_u64(2026);
     let graph = qgraph::generators::connected_random_regular(nodes, degree, 10_000, &mut rng)?;

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         topo.name()
     );
 
-    println!("\n{:<15} {:>7} {:>7} {:>7} {:>12}", "packing limit", "depth", "gates", "swaps", "time");
+    println!(
+        "\n{:<15} {:>7} {:>7} {:>7} {:>12}",
+        "packing limit", "depth", "gates", "swaps", "time"
+    );
     for limit in [1usize, 2, 3, 5, 7, 9, 11, 13, 15, 18] {
         let options = CompileOptions::ic().with_packing_limit(limit);
         let mut c_rng = StdRng::seed_from_u64(17);

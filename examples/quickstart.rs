@@ -17,25 +17,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 1(a): the 4-node 3-regular graph (complete graph K4).
     let graph = qgraph::Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])?;
     let problem = MaxCut::new(graph);
-    println!("MaxCut optimum of the Figure 1(a) graph: {}", problem.max_value());
+    println!(
+        "MaxCut optimum of the Figure 1(a) graph: {}",
+        problem.max_value()
+    );
 
     // Find good p=1 parameters analytically + by simplex refinement.
     let (params, expectation) = qaoa::optimize::grid_then_nelder_mead(&problem, 1, 24);
     let (gamma, beta) = params.levels()[0];
     println!("optimized p=1 parameters: gamma={gamma:.3}, beta={beta:.3}");
-    println!("expectation {expectation:.3} -> approximation ratio {:.3}\n",
-        expectation / problem.max_value());
+    println!(
+        "expectation {expectation:.3} -> approximation ratio {:.3}\n",
+        expectation / problem.max_value()
+    );
 
     // The logical circuit (Figure 1(b)).
     let logical = qaoa::qaoa_circuit(&problem, &params, true);
-    println!("logical circuit (depth {}):\n{}", logical.depth(), qcircuit::draw::draw(&logical));
+    println!(
+        "logical circuit (depth {}):\n{}",
+        logical.depth(),
+        qcircuit::draw::draw(&logical)
+    );
 
     // Compile for the linearly coupled 4-qubit device of Figure 1(d).
     let device = Topology::linear(4);
     let spec = QaoaSpec::from_maxcut(&problem, &params, true);
     let mut rng = StdRng::seed_from_u64(1);
     for (name, options) in [
-        ("NAIVE (random mapping + random order)", CompileOptions::naive()),
+        (
+            "NAIVE (random mapping + random order)",
+            CompileOptions::naive(),
+        ),
         ("IC (+QAIM)", CompileOptions::ic()),
     ] {
         let compiled = compile(&spec, &device, None, &options, &mut rng);

@@ -29,8 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (best, worst) = (cal.best_coupling().unwrap(), cal.worst_coupling().unwrap());
     println!(
         "best coupling ({}, {}) at {:.2}% error; worst ({}, {}) at {:.2}%\n",
-        best.0.a(), best.0.b(), 100.0 * best.1,
-        worst.0.a(), worst.0.b(), 100.0 * worst.1,
+        best.0.a(),
+        best.0.b(),
+        100.0 * best.1,
+        worst.0.a(),
+        worst.0.b(),
+        100.0 * worst.1,
     );
 
     let mut rng = StdRng::seed_from_u64(42);
@@ -48,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let ic = compile(&spec, &topo, Some(&cal), &CompileOptions::ic(), &mut rng);
         let vic = compile(&spec, &topo, Some(&cal), &CompileOptions::vic(), &mut rng);
-        let (sp_ic, sp_vic) =
-            (ic.success_probability(&cal), vic.success_probability(&cal));
+        let (sp_ic, sp_vic) = (ic.success_probability(&cal), vic.success_probability(&cal));
         sp_ic_total += sp_ic;
         sp_vic_total += sp_vic;
         println!(

@@ -29,7 +29,7 @@
 use std::io::Write as _;
 
 use qaoa::{MaxCut, QaoaParams};
-use qcompile::{compile, CompileOptions, Compilation, InitialMapping, QaoaSpec};
+use qcompile::{compile, Compilation, CompileOptions, InitialMapping, QaoaSpec};
 use qhw::{Calibration, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,15 +64,11 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--edges" => args.edges = Some(value("--edges")?),
             "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
-            "--degree" => {
-                args.degree = value("--degree")?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--degree" => args.degree = value("--degree")?.parse().map_err(|e| format!("{e}"))?,
             "--device" => args.device = value("--device")?,
             "--strategy" => args.strategy = value("--strategy")?,
             "--packing" => {
@@ -96,8 +92,7 @@ fn parse_args() -> Result<Args, String> {
 fn load_graph(args: &Args, rng: &mut StdRng) -> Result<qgraph::Graph, String> {
     match &args.edges {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let mut edges = Vec::new();
             let mut max_node = 0usize;
             for (lineno, line) in text.lines().enumerate() {
@@ -118,13 +113,8 @@ fn load_graph(args: &Args, rng: &mut StdRng) -> Result<qgraph::Graph, String> {
             }
             qgraph::Graph::from_edges(max_node + 1, edges).map_err(|e| format!("{e}"))
         }
-        None => qgraph::generators::connected_random_regular(
-            args.nodes,
-            args.degree,
-            10_000,
-            rng,
-        )
-        .map_err(|e| format!("{e}")),
+        None => qgraph::generators::connected_random_regular(args.nodes, args.degree, 10_000, rng)
+            .map_err(|e| format!("{e}")),
     }
 }
 
@@ -192,8 +182,7 @@ fn run() -> Result<(), String> {
             return Err("--optimize needs <= 24 nodes (exact simulation)".into());
         }
         let problem = MaxCut::new(graph.clone());
-        let (params, expectation) =
-            qaoa::optimize::grid_then_nelder_mead(&problem, args.p, 24);
+        let (params, expectation) = qaoa::optimize::grid_then_nelder_mead(&problem, args.p, 24);
         eprintln!(
             "optimized parameters: {:?} (expectation {:.3}, ratio {:.3})",
             params.levels(),

@@ -3,7 +3,7 @@
 //! the qualitative claim — who wins, and roughly where.
 
 use qaoa::{MaxCut, QaoaParams};
-use qcompile::{compile, CompileOptions, Compilation, InitialMapping, QaoaSpec};
+use qcompile::{compile, Compilation, CompileOptions, InitialMapping, QaoaSpec};
 use qhw::{Calibration, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,13 +11,21 @@ use rand::SeedableRng;
 fn er_spec(n: usize, p: f64, seed: u64) -> QaoaSpec {
     let mut rng = StdRng::seed_from_u64(seed);
     let g = qgraph::generators::connected_erdos_renyi(n, p, 10_000, &mut rng).unwrap();
-    QaoaSpec::from_maxcut(&MaxCut::without_optimum(g), &QaoaParams::p1(0.9, 0.35), true)
+    QaoaSpec::from_maxcut(
+        &MaxCut::without_optimum(g),
+        &QaoaParams::p1(0.9, 0.35),
+        true,
+    )
 }
 
 fn regular_spec(n: usize, k: usize, seed: u64) -> QaoaSpec {
     let mut rng = StdRng::seed_from_u64(seed);
     let g = qgraph::generators::connected_random_regular(n, k, 10_000, &mut rng).unwrap();
-    QaoaSpec::from_maxcut(&MaxCut::without_optimum(g), &QaoaParams::p1(0.9, 0.35), true)
+    QaoaSpec::from_maxcut(
+        &MaxCut::without_optimum(g),
+        &QaoaParams::p1(0.9, 0.35),
+        true,
+    )
 }
 
 /// Figure 7 shape: on sparse 20-node graphs QAIM beats NAIVE clearly on
@@ -89,11 +97,23 @@ fn fig9_parallelization_and_incremental_wins() {
         gip += ip.gate_count();
         gic += ic.gate_count();
     }
-    assert!((dip as f64) < 0.9 * dq as f64, "IP depth {dip} vs QAIM {dq}");
-    assert!((dic as f64) < 0.8 * dq as f64, "IC depth {dic} vs QAIM {dq}");
+    assert!(
+        (dip as f64) < 0.9 * dq as f64,
+        "IP depth {dip} vs QAIM {dq}"
+    );
+    assert!(
+        (dic as f64) < 0.8 * dq as f64,
+        "IC depth {dic} vs QAIM {dq}"
+    );
     assert!(dic < dip, "IC depth {dic} vs IP {dip}");
-    assert!((gic as f64) < 0.95 * gip as f64, "IC gates {gic} vs IP {gip}");
-    assert!((gip as f64) < 1.05 * gq as f64, "IP gates {gip} near QAIM {gq}");
+    assert!(
+        (gic as f64) < 0.95 * gip as f64,
+        "IC gates {gic} vs IP {gip}"
+    );
+    assert!(
+        (gip as f64) < 1.05 * gq as f64,
+        "IP gates {gip} near QAIM {gq}"
+    );
 }
 
 /// Figure 10 shape: VIC's mean success probability beats IC's on melbourne
@@ -102,15 +122,20 @@ fn fig9_parallelization_and_incremental_wins() {
 fn fig10_vic_success_probability() {
     let (topo, cal) = Calibration::melbourne_2020_04_08();
     let mut rng = StdRng::seed_from_u64(100);
+    // Per-instance VIC-vs-IC outcomes are noisy (the advantage is a mean
+    // effect, Figure 10), so a healthy instance count keeps this stable.
     let (mut sp_ic, mut sp_vic) = (0.0f64, 0.0f64);
-    for i in 0..12 {
+    for i in 0..48 {
         let spec = er_spec(12, 0.5, 10_200 + i);
         sp_ic += compile(&spec, &topo, Some(&cal), &CompileOptions::ic(), &mut rng)
             .success_probability(&cal);
         sp_vic += compile(&spec, &topo, Some(&cal), &CompileOptions::vic(), &mut rng)
             .success_probability(&cal);
     }
-    assert!(sp_vic > sp_ic, "VIC mean SP {sp_vic} should beat IC {sp_ic}");
+    assert!(
+        sp_vic > sp_ic,
+        "VIC mean SP {sp_vic} should beat IC {sp_ic}"
+    );
 }
 
 /// Figure 12 shape: with IC on the 6x6 grid, a tiny packing limit hurts
@@ -173,8 +198,11 @@ fn ring8_comparison_workload() {
     for i in 0..10 {
         let mut g_rng = StdRng::seed_from_u64(14_100 + i);
         let g = qgraph::generators::connected_gnm(8, 8, 10_000, &mut g_rng).unwrap();
-        let spec =
-            QaoaSpec::from_maxcut(&MaxCut::without_optimum(g), &QaoaParams::p1(0.9, 0.35), true);
+        let spec = QaoaSpec::from_maxcut(
+            &MaxCut::without_optimum(g),
+            &QaoaParams::p1(0.9, 0.35),
+            true,
+        );
         let start = std::time::Instant::now();
         dn += compile(&spec, &topo, None, &CompileOptions::naive(), &mut rng).depth();
         dic += compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng).depth();

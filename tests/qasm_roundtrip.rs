@@ -10,7 +10,11 @@ use rand::SeedableRng;
 #[test]
 fn compiled_circuits_survive_qasm_round_trip() {
     let mut rng = StdRng::seed_from_u64(4);
-    for strategy in [CompileOptions::naive(), CompileOptions::ip(), CompileOptions::ic()] {
+    for strategy in [
+        CompileOptions::naive(),
+        CompileOptions::ip(),
+        CompileOptions::ic(),
+    ] {
         let mut g_rng = StdRng::seed_from_u64(17);
         let g = qgraph::generators::connected_erdos_renyi(10, 0.4, 1000, &mut g_rng).unwrap();
         let problem = MaxCut::without_optimum(g);
@@ -37,8 +41,7 @@ fn qasm_round_trip_preserves_semantics() {
     let topo = Topology::ring(8);
     let compiled = compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng);
 
-    let parsed =
-        qcircuit::qasm::parse(&qcircuit::qasm::to_qasm(compiled.basis_circuit())).unwrap();
+    let parsed = qcircuit::qasm::parse(&qcircuit::qasm::to_qasm(compiled.basis_circuit())).unwrap();
     let a = qsim::StateVector::from_circuit(compiled.basis_circuit());
     let b = qsim::StateVector::from_circuit(&parsed);
     assert!(a.fidelity(&b) > 1.0 - 1e-9);
