@@ -1,0 +1,258 @@
+//! Simulation-kernel classification of the gate set.
+//!
+//! Dense statevector/density simulators spend almost all their time
+//! streaming amplitudes through per-gate update rules. For the gates QAOA
+//! circuits are made of, the generic 2×2/4×4 matrix application is gross
+//! overkill: the cost layer is *diagonal* (pure phase multiplication), the
+//! mixer is a structured 2×2, and the routing gates (CNOT/SWAP) are index
+//! permutations. [`Gate::kernel`] classifies every gate into the cheapest
+//! update rule that implements it exactly, so a simulator can dispatch once
+//! per instruction instead of pattern-matching gate-by-gate — and so the
+//! classification is testable against [`Gate::matrix2`]/[`Gate::matrix4`]
+//! in one place.
+
+use crate::math::{Complex, Matrix2, Matrix4, ONE};
+use crate::Gate;
+
+/// The cheapest exact update rule for a gate, from a simulator's point of
+/// view.
+///
+/// Conventions match the matrix accessors: for two-qubit kernels the
+/// **first operand is the more-significant index**, so a diagonal entry for
+/// basis bits `(a, b)` of operands `(q0, q1)` lives at `phases[a << 1 | b]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// No-op (`Id`).
+    Identity,
+    /// Single-qubit diagonal `diag(z0, z1)`: each amplitude is multiplied
+    /// by `z0` or `z1` according to its basis bit. Z, S(dg), T(dg), RZ, U1.
+    Phase1 {
+        /// Phase applied where the qubit's bit is 0.
+        z0: Complex,
+        /// Phase applied where the qubit's bit is 1.
+        z1: Complex,
+    },
+    /// Single-qubit anti-diagonal: the amplitude pair is swapped with
+    /// phases, `a0' = z0·a1`, `a1' = z1·a0`. X is `(1, 1)`, Y is `(-i, i)`.
+    Flip1 {
+        /// Factor on the incoming `|1⟩` amplitude.
+        z0: Complex,
+        /// Factor on the incoming `|0⟩` amplitude.
+        z1: Complex,
+    },
+    /// Two-qubit diagonal `diag(phases)` indexed by `(bit_q0 << 1) | bit_q1`.
+    /// RZZ, CPHASE, CZ.
+    Phase2 {
+        /// The four diagonal entries.
+        phases: [Complex; 4],
+    },
+    /// CNOT: swap the target pair where the control bit is set.
+    ControlledFlip,
+    /// SWAP: exchange the two operand bits of every basis index.
+    Swap,
+    /// Genuinely dense single-qubit unitary (H, RX, RY, U2, U3).
+    Dense1(Matrix2),
+    /// Genuinely dense two-qubit unitary (none in the current gate set;
+    /// kept so new gates degrade gracefully instead of panicking).
+    Dense2(Matrix4),
+    /// Computational-basis measurement — not a unitary update at all.
+    Measure,
+}
+
+impl Kernel {
+    /// Whether the kernel is a pure diagonal phase multiplication
+    /// ([`Kernel::Identity`], [`Kernel::Phase1`] or [`Kernel::Phase2`]) —
+    /// the class a simulator can fuse into a single amplitude pass.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Kernel::Identity | Kernel::Phase1 { .. } | Kernel::Phase2 { .. }
+        )
+    }
+}
+
+impl Gate {
+    /// Classifies the gate into its cheapest exact simulation kernel.
+    ///
+    /// The mapping is total: every gate (including [`Gate::Measure`])
+    /// returns a kernel, and the `kernel_matches_matrices` test pins each
+    /// unitary kernel against the corresponding dense matrix.
+    pub fn kernel(&self) -> Kernel {
+        match *self {
+            Gate::Id => Kernel::Identity,
+            Gate::Z => Kernel::Phase1 { z0: ONE, z1: -ONE },
+            Gate::S => Kernel::Phase1 {
+                z0: ONE,
+                z1: crate::math::I,
+            },
+            Gate::Sdg => Kernel::Phase1 {
+                z0: ONE,
+                z1: -crate::math::I,
+            },
+            Gate::T => Kernel::Phase1 {
+                z0: ONE,
+                z1: Complex::cis(std::f64::consts::FRAC_PI_4),
+            },
+            Gate::Tdg => Kernel::Phase1 {
+                z0: ONE,
+                z1: Complex::cis(-std::f64::consts::FRAC_PI_4),
+            },
+            Gate::Rz(t) => Kernel::Phase1 {
+                z0: Complex::cis(-t / 2.0),
+                z1: Complex::cis(t / 2.0),
+            },
+            Gate::U1(l) => Kernel::Phase1 {
+                z0: ONE,
+                z1: Complex::cis(l),
+            },
+            Gate::X => Kernel::Flip1 { z0: ONE, z1: ONE },
+            Gate::Y => Kernel::Flip1 {
+                z0: -crate::math::I,
+                z1: crate::math::I,
+            },
+            Gate::Cz => Kernel::Phase2 {
+                phases: [ONE, ONE, ONE, -ONE],
+            },
+            Gate::CPhase(l) => Kernel::Phase2 {
+                phases: [ONE, ONE, ONE, Complex::cis(l)],
+            },
+            Gate::Rzz(t) => {
+                let same = Complex::cis(-t / 2.0);
+                let diff = Complex::cis(t / 2.0);
+                Kernel::Phase2 {
+                    phases: [same, diff, diff, same],
+                }
+            }
+            Gate::Cnot => Kernel::ControlledFlip,
+            Gate::Swap => Kernel::Swap,
+            Gate::Measure => Kernel::Measure,
+            g if g.arity() == 1 => Kernel::Dense1(g.matrix2()),
+            g => Kernel::Dense2(g.matrix4()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::{matmul2, ZERO};
+
+    /// Reconstructs the dense 2×2 matrix a single-qubit kernel implements.
+    fn kernel_matrix2(k: &Kernel) -> Matrix2 {
+        match *k {
+            Kernel::Identity => crate::math::identity2(),
+            Kernel::Phase1 { z0, z1 } => [[z0, ZERO], [ZERO, z1]],
+            Kernel::Flip1 { z0, z1 } => [[ZERO, z0], [z1, ZERO]],
+            Kernel::Dense1(m) => m,
+            _ => panic!("not a 1q kernel"),
+        }
+    }
+
+    #[test]
+    fn kernel_matches_matrices() {
+        let one_q = [
+            Gate::Id,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(0.7),
+            Gate::Ry(-1.2),
+            Gate::Rz(0.35),
+            Gate::U1(2.1),
+            Gate::U2(0.4, -0.6),
+            Gate::U3(1.0, 0.2, -0.9),
+        ];
+        for g in one_q {
+            let want = g.matrix2();
+            let got = kernel_matrix2(&g.kernel());
+            for r in 0..2 {
+                for c in 0..2 {
+                    assert!(
+                        got[r][c].approx_eq(want[r][c], 1e-12),
+                        "{g} entry ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_kernels_match_matrix4() {
+        for g in [Gate::Cz, Gate::CPhase(0.8), Gate::Rzz(-1.3)] {
+            let want = g.matrix4();
+            match g.kernel() {
+                Kernel::Phase2 { phases } => {
+                    for (i, p) in phases.iter().enumerate() {
+                        assert!(p.approx_eq(want[i][i], 1e-12), "{g} diag {i}");
+                        for (j, w) in want[i].iter().enumerate() {
+                            if j != i {
+                                assert_eq!(*w, ZERO, "{g} must be diagonal");
+                            }
+                        }
+                    }
+                }
+                k => panic!("{g} should classify as Phase2, got {k:?}"),
+            }
+        }
+        assert_eq!(Gate::Cnot.kernel(), Kernel::ControlledFlip);
+        assert_eq!(Gate::Swap.kernel(), Kernel::Swap);
+    }
+
+    #[test]
+    fn diagonal_classification_agrees_with_gate_predicate() {
+        let gates = [
+            Gate::Id,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::T,
+            Gate::Rx(0.3),
+            Gate::Rz(0.3),
+            Gate::U1(0.3),
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::CPhase(0.3),
+            Gate::Rzz(0.3),
+            Gate::Swap,
+        ];
+        for g in gates {
+            assert_eq!(
+                g.kernel().is_diagonal(),
+                g.is_diagonal(),
+                "kernel/diagonal mismatch for {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_kernels_compose_like_matrices() {
+        // X·Y as kernels equals the matrix product (up to the kernels'
+        // exact phase bookkeeping).
+        let x = kernel_matrix2(&Gate::X.kernel());
+        let y = kernel_matrix2(&Gate::Y.kernel());
+        let want = matmul2(&Gate::X.matrix2(), &Gate::Y.matrix2());
+        let got = matmul2(&x, &y);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(got[r][c].approx_eq(want[r][c], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn powu_matches_repeated_multiplication() {
+        let z = Complex::cis(0.37);
+        let mut acc = ONE;
+        for n in 0..20u32 {
+            assert!(z.powu(n).approx_eq(acc, 1e-12), "power {n}");
+            acc *= z;
+        }
+    }
+}

@@ -50,6 +50,7 @@ mod gate;
 pub mod basis;
 pub mod commute;
 pub mod draw;
+pub mod kernel;
 pub mod layers;
 pub mod math;
 pub mod metrics;

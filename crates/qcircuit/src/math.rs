@@ -5,7 +5,7 @@
 //! needs: a `Complex` scalar, 2×2 and 4×4 unitary matrices for every gate,
 //! and matrix products for equivalence checking.
 
-use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
 
 /// A complex number with `f64` components.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -72,6 +72,21 @@ impl Complex {
     pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
         (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
     }
+
+    /// Integer power by binary exponentiation (`z⁰ = 1`). Used for the
+    /// phase-power tables the simulation kernels build per fused block.
+    pub fn powu(self, mut n: u32) -> Self {
+        let mut base = self;
+        let mut acc = ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
 }
 
 impl Add for Complex {
@@ -118,6 +133,12 @@ impl Mul for Complex {
             re: self.re * rhs.re - self.im * rhs.im,
             im: self.re * rhs.im + self.im * rhs.re,
         }
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
     }
 }
 
@@ -298,11 +319,11 @@ mod tests {
         let mut b = identity4();
         for row in b.iter_mut() {
             for z in row.iter_mut() {
-                *z = *z * Complex::cis(0.7);
+                *z *= Complex::cis(0.7);
             }
         }
         assert!(equal_up_to_phase4(&a, &b, 1e-9));
-        b[3][3] = b[3][3] * Complex::cis(0.1);
+        b[3][3] *= Complex::cis(0.1);
         assert!(!equal_up_to_phase4(&a, &b, 1e-9));
     }
 }

@@ -8,11 +8,35 @@
 //! for validating trajectory convergence (see the cross-validation test
 //! below). Cost is `O(4^n)` memory and `O(4^n)` per gate, practical up to
 //! ~10 qubits — enough for the paper's smallest ARG instances.
+//!
+//! # Closed-form channels
+//!
+//! The uniform Pauli channels are applied *allocation-free* by exploiting
+//! the Pauli-twirl identity `Σ_P P A P = d·Tr(A)·I` (sum over the full
+//! `d²`-element Pauli group of a `d`-dimensional subsystem):
+//!
+//! * one qubit — elements off-diagonal in qubit `q` scale by `1 − 4p/3`;
+//!   diagonal-in-`q` element pairs mix as
+//!   `ρ'(r,c) = (1 − 2p/3)·ρ(r,c) + (2p/3)·ρ(r⊕b, c⊕b)`;
+//! * two qubits — per operand-subsystem 4×4 block `A`,
+//!   `A' = (1 − 16p/15)·A + (4p/15)·Tr(A)·I₄`.
+//!
+//! The old branch-per-Pauli evaluation (3 resp. 15 full-matrix clones and
+//! two-sided conjugations each) survives only as the reference
+//! implementation the equivalence tests compare against. Diagonal gates
+//! likewise skip the two-sided matrix product: `U = diag(d)` conjugates as
+//! `ρ(r,c) ← d(r)·ρ(r,c)·conj(d(c))` in one pass, and `X`/`CNOT`/`SWAP`
+//! conjugate by their index involution.
 
+use qcircuit::kernel::Kernel;
 use qcircuit::math::{Complex, Matrix2, ONE, ZERO};
 use qcircuit::{Circuit, Gate, Instruction};
 
-use crate::NoiseModel;
+use crate::{par, NoiseModel, SimError, SimOptions};
+
+/// Hard cap on the dense density-matrix width: a 13-qubit matrix is
+/// `4^13` complex entries, ~1 GiB.
+pub const MAX_QUBITS: usize = 13;
 
 /// A dense density matrix over `n` qubits, row-major `ρ[r * dim + c]`
 /// with the same bit convention as [`crate::StateVector`].
@@ -28,15 +52,34 @@ impl DensityMatrix {
     /// # Panics
     ///
     /// Panics for more than 13 qubits (the matrix would exceed ~1 GiB).
+    /// Use [`DensityMatrix::try_new`] to get an error instead.
     pub fn new(num_qubits: usize) -> Self {
-        assert!(
-            num_qubits <= 13,
-            "density matrix too large: {num_qubits} qubits"
-        );
+        match Self::try_new(num_qubits) {
+            Ok(dm) => dm,
+            Err(e) => panic!("density matrix too large: {e}"),
+        }
+    }
+
+    /// The pure state `|0...0⟩⟨0...0|`, or [`SimError::RegisterTooLarge`]
+    /// when the register exceeds [`MAX_QUBITS`].
+    pub fn try_new(num_qubits: usize) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::RegisterTooLarge {
+                qubits: num_qubits,
+                limit: MAX_QUBITS,
+                representation: "density matrix",
+            });
+        }
         let dim = 1usize << num_qubits;
         let mut rho = vec![ZERO; dim * dim];
         rho[0] = ONE;
-        DensityMatrix { num_qubits, rho }
+        Ok(DensityMatrix { num_qubits, rho })
+    }
+
+    /// Resets to `|0...0⟩⟨0...0|` in place, reusing the allocation.
+    pub fn reset(&mut self) {
+        self.rho.fill(ZERO);
+        self.rho[0] = ONE;
     }
 
     /// Number of qubits.
@@ -76,6 +119,14 @@ impl DensityMatrix {
             .collect()
     }
 
+    /// Writes the outcome probabilities into `out`, reusing its
+    /// allocation.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        let dim = self.dim();
+        out.clear();
+        out.extend((0..dim).map(|i| self.rho[i * dim + i].re.max(0.0)));
+    }
+
     /// Applies a unitary single-qubit gate: `ρ ← U ρ U†`.
     fn apply_1q(&mut self, m: &Matrix2, q: usize) {
         let dim = self.dim();
@@ -113,118 +164,251 @@ impl DensityMatrix {
         }
     }
 
-    /// Applies a unitary instruction (two-qubit gates via their CNOT/phase
-    /// structure using the generic 1q path plus permutations would be
-    /// intricate; instead both sides are applied with explicit index
-    /// arithmetic mirroring [`crate::StateVector::apply_2q`]).
-    fn apply_unitary(&mut self, instr: &Instruction) {
-        match instr.gate() {
-            g if g.arity() == 1 => self.apply_1q(&g.matrix2(), instr.q0()),
-            g => {
-                let m = g.matrix4();
-                let dim = self.dim();
-                let ba = 1usize << instr.q0();
-                let bb = 1usize << instr.q1();
-                // Left multiply.
-                for c in 0..dim {
-                    for base in 0..dim {
-                        if base & (ba | bb) != 0 {
-                            continue;
-                        }
-                        let idx = [base, base | bb, base | ba, base | ba | bb];
-                        let olds = idx.map(|r| self.rho[r * dim + c]);
-                        for (ri, &r) in idx.iter().enumerate() {
-                            let mut acc = ZERO;
-                            for (ci, &old) in olds.iter().enumerate() {
-                                acc += m[ri][ci] * old;
-                            }
-                            self.rho[r * dim + c] = acc;
-                        }
-                    }
+    /// Applies a generic two-qubit unitary with explicit index arithmetic
+    /// mirroring [`crate::StateVector::apply_2q`] on both sides.
+    fn apply_2q_generic(&mut self, instr: &Instruction) {
+        let m = instr.gate().matrix4();
+        let dim = self.dim();
+        let ba = 1usize << instr.q0();
+        let bb = 1usize << instr.q1();
+        // Left multiply.
+        for c in 0..dim {
+            for base in 0..dim {
+                if base & (ba | bb) != 0 {
+                    continue;
                 }
-                // Right multiply by U†.
-                for r in 0..dim {
-                    for base in 0..dim {
-                        if base & (ba | bb) != 0 {
-                            continue;
-                        }
-                        let idx = [base, base | bb, base | ba, base | ba | bb];
-                        let olds = idx.map(|c| self.rho[r * dim + c]);
-                        for (ci, &c) in idx.iter().enumerate() {
-                            let mut acc = ZERO;
-                            for (ki, &old) in olds.iter().enumerate() {
-                                // (ρ U†)_{rc} = Σ_k ρ_{rk} conj(U_{ck})
-                                acc += old * m[ci][ki].conj();
-                            }
-                            self.rho[r * dim + c] = acc;
-                        }
+                let idx = [base, base | bb, base | ba, base | ba | bb];
+                let olds = idx.map(|r| self.rho[r * dim + c]);
+                for (ri, &r) in idx.iter().enumerate() {
+                    let mut acc = ZERO;
+                    for (ci, &old) in olds.iter().enumerate() {
+                        acc += m[ri][ci] * old;
                     }
+                    self.rho[r * dim + c] = acc;
+                }
+            }
+        }
+        // Right multiply by U†.
+        for r in 0..dim {
+            for base in 0..dim {
+                if base & (ba | bb) != 0 {
+                    continue;
+                }
+                let idx = [base, base | bb, base | ba, base | ba | bb];
+                let olds = idx.map(|c| self.rho[r * dim + c]);
+                for (ci, &c) in idx.iter().enumerate() {
+                    let mut acc = ZERO;
+                    for (ki, &old) in olds.iter().enumerate() {
+                        // (ρ U†)_{rc} = Σ_k ρ_{rk} conj(U_{ck})
+                        acc += old * m[ci][ki].conj();
+                    }
+                    self.rho[r * dim + c] = acc;
                 }
             }
         }
     }
 
-    /// Applies the uniform Pauli error channel on one qubit with total
-    /// error probability `p`: `ρ ← (1-p)ρ + p/3 (XρX + YρY + ZρZ)`.
-    fn apply_pauli_channel_1q(&mut self, q: usize, p: f64) {
+    /// Conjugates by a diagonal unitary `U = diag(d)`:
+    /// `ρ(r,c) ← d(r)·ρ(r,c)·conj(d(c))` — a single pass instead of two
+    /// matrix products.
+    fn conjugate_diagonal<D>(&mut self, d: D, threads: usize)
+    where
+        D: Fn(usize) -> Complex + Sync,
+    {
+        let dim = self.dim();
+        par::chunked(&mut self.rho, dim, threads, |offset, chunk| {
+            let row0 = offset / dim;
+            for (lr, row) in chunk.chunks_exact_mut(dim).enumerate() {
+                let dr = d(row0 + lr);
+                for (c, z) in row.iter_mut().enumerate() {
+                    *z = dr * *z * d(c).conj();
+                }
+            }
+        });
+    }
+
+    /// Conjugates by a self-inverse basis permutation `U|i⟩ = |π(i)⟩`:
+    /// `ρ'(r,c) = ρ(π(r), π(c))` — pure index swaps (CNOT, SWAP, X).
+    ///
+    /// `row_align` is the power-of-two row-block size containing every
+    /// `r ↔ π(r)` pair (`2 · highest permuted bit`).
+    fn conjugate_involution<P>(&mut self, pi: P, row_align: usize, threads: usize)
+    where
+        P: Fn(usize) -> usize + Sync,
+    {
+        let dim = self.dim();
+        par::chunked(&mut self.rho, row_align * dim, threads, |offset, chunk| {
+            let row0 = offset / dim;
+            let rows = chunk.len() / dim;
+            for lr in 0..rows {
+                let r = row0 + lr;
+                let pr = pi(r);
+                for c in 0..dim {
+                    let pc = pi(c);
+                    if (r, c) < (pr, pc) {
+                        chunk.swap(lr * dim + c, (pr - row0) * dim + pc);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Conjugates by a single-qubit anti-diagonal `a0' = z0·a1, a1' = z1·a0`
+    /// (X, Y): `ρ'(r,c) = u(r)·ρ(r⊕b, c⊕b)·conj(u(c))` where `u(i)` is the
+    /// factor the flip applies landing on `i`.
+    fn conjugate_flip1(&mut self, bit: usize, z0: Complex, z1: Complex, threads: usize) {
+        let dim = self.dim();
+        let u = move |i: usize| if i & bit == 0 { z0 } else { z1 };
+        par::chunked(&mut self.rho, 2 * bit * dim, threads, |offset, chunk| {
+            let row0 = offset / dim;
+            let rows = chunk.len() / dim;
+            for lr in 0..rows {
+                let r = row0 + lr;
+                if r & bit != 0 {
+                    continue;
+                }
+                let pr = r | bit;
+                for c in 0..dim {
+                    let pc = c ^ bit;
+                    let i = lr * dim + c;
+                    let j = (pr - row0) * dim + pc;
+                    let (a, b) = (chunk[i], chunk[j]);
+                    chunk[i] = u(r) * b * u(c).conj();
+                    chunk[j] = u(pr) * a * u(pc).conj();
+                }
+            }
+        });
+    }
+
+    /// Applies a unitary instruction through the cheapest conjugation rule:
+    /// diagonal gates multiply phases in one pass, CNOT/SWAP/X permute
+    /// indices, everything else falls back to the two-sided matrix product.
+    fn apply_unitary(&mut self, instr: &Instruction, threads: usize) {
+        let b0 = 1usize << instr.q0();
+        match instr.gate().kernel() {
+            Kernel::Identity => {}
+            Kernel::Phase1 { z0, z1 } => {
+                self.conjugate_diagonal(move |i| if i & b0 == 0 { z0 } else { z1 }, threads);
+            }
+            Kernel::Phase2 { phases } => {
+                let b1 = 1usize << instr.q1();
+                self.conjugate_diagonal(
+                    move |i| phases[(usize::from(i & b0 != 0) << 1) | usize::from(i & b1 != 0)],
+                    threads,
+                );
+            }
+            Kernel::Flip1 { z0, z1 } => self.conjugate_flip1(b0, z0, z1, threads),
+            Kernel::ControlledFlip => {
+                let bt = 1usize << instr.q1();
+                self.conjugate_involution(
+                    move |i| if i & b0 != 0 { i ^ bt } else { i },
+                    2 * b0.max(bt),
+                    threads,
+                );
+            }
+            Kernel::Swap => {
+                let b1 = 1usize << instr.q1();
+                self.conjugate_involution(
+                    move |i| {
+                        let (x, y) = (i & b0 != 0, i & b1 != 0);
+                        if x != y {
+                            i ^ (b0 | b1)
+                        } else {
+                            i
+                        }
+                    },
+                    2 * b0.max(b1),
+                    threads,
+                );
+            }
+            Kernel::Dense1(m) => self.apply_1q(&m, instr.q0()),
+            Kernel::Dense2(_) => self.apply_2q_generic(instr),
+            Kernel::Measure => panic!("cannot apply measurement as a unitary"),
+        }
+    }
+
+    /// The uniform Pauli channel on one qubit with total error probability
+    /// `p`: `ρ ← (1-p)ρ + p/3 (XρX + YρY + ZρZ)`, in closed form: elements
+    /// off-diagonal in qubit `q` scale by `1 − 4p/3`; diagonal-in-`q`
+    /// pairs mix with weight `2p/3`.
+    fn apply_pauli_channel_1q(&mut self, q: usize, p: f64, threads: usize) {
         if p <= 0.0 {
             return;
         }
-        let mut mixed = self.clone();
-        mixed.scale(0.0);
-        for gate in [Gate::X, Gate::Y, Gate::Z] {
-            let mut branch = self.clone();
-            branch.apply_1q(&gate.matrix2(), q);
-            mixed.add_scaled(&branch, p / 3.0);
-        }
-        self.scale(1.0 - p);
-        self.add_scaled_in_place(&mixed);
+        let dim = self.dim();
+        let bit = 1usize << q;
+        let off_scale = 1.0 - 4.0 * p / 3.0;
+        let keep = 1.0 - 2.0 * p / 3.0;
+        let mix = 2.0 * p / 3.0;
+        par::chunked(&mut self.rho, 2 * bit * dim, threads, |offset, chunk| {
+            let row0 = offset / dim;
+            let rows = chunk.len() / dim;
+            for lr in 0..rows {
+                let r = row0 + lr;
+                let rb = r & bit != 0;
+                for c in 0..dim {
+                    let i = lr * dim + c;
+                    if rb != (c & bit != 0) {
+                        chunk[i] = chunk[i].scale(off_scale);
+                    } else if !rb {
+                        // Representative of the pair {(r,c), (r|b, c|b)}.
+                        let j = (r | bit) - row0;
+                        let j = j * dim + (c | bit);
+                        let (a, b) = (chunk[i], chunk[j]);
+                        chunk[i] = a.scale(keep) + b.scale(mix);
+                        chunk[j] = b.scale(keep) + a.scale(mix);
+                    }
+                }
+            }
+        });
     }
 
     /// The uniform two-qubit Pauli channel (15 non-identity Paulis, each
-    /// with weight `p/15`), matching the trajectory injector.
-    fn apply_pauli_channel_2q(&mut self, a: usize, b: usize, p: f64) {
+    /// with weight `p/15`), matching the trajectory injector. Closed form
+    /// per operand-subsystem 4×4 block `A`:
+    /// `A' = (1 − 16p/15)·A + (4p/15)·Tr(A)·I₄`.
+    fn apply_pauli_channel_2q(&mut self, a: usize, b: usize, p: f64, threads: usize) {
         if p <= 0.0 {
             return;
         }
-        let paulis = [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
-        let mut mixed = self.clone();
-        mixed.scale(0.0);
-        for (i, pa) in paulis.iter().enumerate() {
-            for (j, pb) in paulis.iter().enumerate() {
-                if i == 0 && j == 0 {
+        let dim = self.dim();
+        let ba = 1usize << a;
+        let bb = 1usize << b;
+        let mask = ba | bb;
+        let sub = [0, bb, ba, ba | bb];
+        let scale = 1.0 - 16.0 * p / 15.0;
+        let mix = 4.0 * p / 15.0;
+        let row_align = 2 * ba.max(bb);
+        par::chunked(&mut self.rho, row_align * dim, threads, |offset, chunk| {
+            let row0 = offset / dim;
+            let rows = chunk.len() / dim;
+            for lr in 0..rows {
+                let r = row0 + lr;
+                if r & mask != 0 {
                     continue;
                 }
-                let mut branch = self.clone();
-                if let Some(g) = pa {
-                    branch.apply_1q(&g.matrix2(), a);
+                for cc in 0..dim {
+                    if cc & mask != 0 {
+                        continue;
+                    }
+                    let mut tr = ZERO;
+                    for &j in &sub {
+                        tr += chunk[((r | j) - row0) * dim + (cc | j)];
+                    }
+                    let add = tr.scale(mix);
+                    for &j in &sub {
+                        let row_base = ((r | j) - row0) * dim;
+                        for &k in &sub {
+                            let i = row_base + (cc | k);
+                            chunk[i] = chunk[i].scale(scale);
+                            if j == k {
+                                chunk[i] += add;
+                            }
+                        }
+                    }
                 }
-                if let Some(g) = pb {
-                    branch.apply_1q(&g.matrix2(), b);
-                }
-                mixed.add_scaled(&branch, p / 15.0);
             }
-        }
-        self.scale(1.0 - p);
-        self.add_scaled_in_place(&mixed);
-    }
-
-    fn scale(&mut self, s: f64) {
-        for z in &mut self.rho {
-            *z = z.scale(s);
-        }
-    }
-
-    fn add_scaled(&mut self, other: &DensityMatrix, s: f64) {
-        for (z, o) in self.rho.iter_mut().zip(&other.rho) {
-            *z += o.scale(s);
-        }
-    }
-
-    fn add_scaled_in_place(&mut self, other: &DensityMatrix) {
-        for (z, o) in self.rho.iter_mut().zip(&other.rho) {
-            *z += *o;
-        }
+        });
     }
 }
 
@@ -237,26 +421,43 @@ impl DensityMatrix {
 /// Panics if the circuit exceeds the density-matrix size limit or applies
 /// a two-qubit gate across an uncalibrated pair.
 pub fn evolve_with_noise(circuit: &Circuit, model: &NoiseModel) -> DensityMatrix {
+    evolve_with_noise_with(circuit, model, &SimOptions::default())
+}
+
+/// [`evolve_with_noise`] with explicit engine options. The density matrix
+/// over `n` qubits has `4^n` entries, so the serial crossover compares
+/// `2n` against `opts.crossover_qubits`.
+///
+/// # Panics
+///
+/// Same conditions as [`evolve_with_noise`].
+pub fn evolve_with_noise_with(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    opts: &SimOptions,
+) -> DensityMatrix {
     let n = circuit.num_qubits();
+    let threads = opts.effective_threads(2 * n);
     let mut rho = DensityMatrix::new(n);
+    let mut busy = vec![false; n];
     for layer in qcircuit::layers::asap_layers(circuit) {
-        let mut busy = vec![false; n];
+        busy.fill(false);
         for instr in &layer {
             for q in instr.qubit_vec() {
                 busy[q] = true;
             }
             if instr.gate().is_unitary() {
-                rho.apply_unitary(instr);
+                rho.apply_unitary(instr, threads);
             }
             match instr.gate() {
                 Gate::Measure | Gate::Id => {}
                 g if g.arity() == 2 => {
                     let p = model.calibration().cnot_error(instr.q0(), instr.q1());
-                    rho.apply_pauli_channel_2q(instr.q0(), instr.q1(), p);
+                    rho.apply_pauli_channel_2q(instr.q0(), instr.q1(), p, threads);
                 }
                 _ => {
                     let p = model.calibration().single_qubit_error(instr.q0());
-                    rho.apply_pauli_channel_1q(instr.q0(), p);
+                    rho.apply_pauli_channel_1q(instr.q0(), p, threads);
                 }
             }
         }
@@ -264,7 +465,7 @@ pub fn evolve_with_noise(circuit: &Circuit, model: &NoiseModel) -> DensityMatrix
         if p_idle > 0.0 {
             for (q, is_busy) in busy.iter().enumerate() {
                 if !is_busy {
-                    rho.apply_pauli_channel_1q(q, p_idle);
+                    rho.apply_pauli_channel_1q(q, p_idle, threads);
                 }
             }
         }
@@ -282,6 +483,158 @@ mod tests {
 
     fn assert_close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    /// The pre-closed-form channel: explicit `(1-p)ρ + Σ_P (p/k) PρP`
+    /// with one full-matrix clone per Pauli branch. Kept as the reference
+    /// the closed-form fast paths are verified against.
+    fn reference_pauli_channel(rho: &DensityMatrix, qubits: &[usize], p: f64) -> DensityMatrix {
+        let paulis = [None, Some(Gate::X), Some(Gate::Y), Some(Gate::Z)];
+        let combos: Vec<Vec<(usize, Gate)>> = match qubits {
+            [q] => paulis
+                .iter()
+                .skip(1)
+                .map(|g| vec![(*q, g.unwrap())])
+                .collect(),
+            [a, b] => {
+                let mut out = Vec::new();
+                for (i, pa) in paulis.iter().enumerate() {
+                    for (j, pb) in paulis.iter().enumerate() {
+                        if i == 0 && j == 0 {
+                            continue;
+                        }
+                        let mut combo = Vec::new();
+                        if let Some(g) = pa {
+                            combo.push((*a, *g));
+                        }
+                        if let Some(g) = pb {
+                            combo.push((*b, *g));
+                        }
+                        out.push(combo);
+                    }
+                }
+                out
+            }
+            _ => panic!("reference channel supports 1 or 2 qubits"),
+        };
+        let weight = p / combos.len() as f64;
+        let mut mixed = rho.clone();
+        for z in &mut mixed.rho {
+            *z = z.scale(1.0 - p);
+        }
+        for combo in combos {
+            let mut branch = rho.clone();
+            for (q, g) in combo {
+                branch.apply_1q(&g.matrix2(), q);
+            }
+            for (z, o) in mixed.rho.iter_mut().zip(&branch.rho) {
+                *z += o.scale(weight);
+            }
+        }
+        mixed
+    }
+
+    fn nontrivial_state(n: usize) -> DensityMatrix {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        c.rx(0.4, 0);
+        c.rzz(0.9, 0, n - 1);
+        c.cx(0, 1);
+        c.ry(1.1, n - 1);
+        let mut rho = DensityMatrix::new(n);
+        for instr in c.iter() {
+            rho.apply_unitary(instr, 1);
+        }
+        rho
+    }
+
+    #[test]
+    fn closed_form_1q_channel_matches_reference() {
+        for q in 0..3 {
+            let mut rho = nontrivial_state(3);
+            let want = reference_pauli_channel(&rho, &[q], 0.13);
+            rho.apply_pauli_channel_1q(q, 0.13, 1);
+            for (got, exp) in rho.rho.iter().zip(&want.rho) {
+                assert!(got.approx_eq(*exp, 1e-12), "qubit {q}: {got:?} vs {exp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_2q_channel_matches_reference() {
+        for (a, b) in [(0, 1), (2, 0), (1, 2)] {
+            let mut rho = nontrivial_state(3);
+            let want = reference_pauli_channel(&rho, &[a, b], 0.21);
+            rho.apply_pauli_channel_2q(a, b, 0.21, 1);
+            for (got, exp) in rho.rho.iter().zip(&want.rho) {
+                assert!(
+                    got.approx_eq(*exp, 1e-12),
+                    "pair ({a},{b}): {got:?} vs {exp:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation_fast_paths_match_generic_product() {
+        let gates = [
+            Instruction::one(Gate::Rz(0.7), 1),
+            Instruction::one(Gate::U1(-0.4), 0),
+            Instruction::one(Gate::Z, 2),
+            Instruction::one(Gate::X, 1),
+            Instruction::one(Gate::Y, 0),
+            Instruction::two(Gate::Rzz(0.6), 0, 2),
+            Instruction::two(Gate::CPhase(1.2), 2, 1),
+            Instruction::two(Gate::Cz, 0, 1),
+            Instruction::two(Gate::Cnot, 2, 0),
+            Instruction::two(Gate::Swap, 1, 2),
+        ];
+        for instr in gates {
+            let mut fast = nontrivial_state(3);
+            fast.apply_unitary(&instr, 1);
+            let mut slow = nontrivial_state(3);
+            if instr.gate().arity() == 1 {
+                slow.apply_1q(&instr.gate().matrix2(), instr.q0());
+            } else {
+                slow.apply_2q_generic(&instr);
+            }
+            for (got, exp) in fast.rho.iter().zip(&slow.rho) {
+                assert!(got.approx_eq(*exp, 1e-12), "mismatch for {instr}");
+            }
+        }
+    }
+
+    #[test]
+    fn channels_agree_across_thread_counts() {
+        let mut serial = nontrivial_state(3);
+        let mut threaded = nontrivial_state(3);
+        serial.apply_pauli_channel_2q(0, 2, 0.15, 1);
+        serial.apply_pauli_channel_1q(1, 0.07, 1);
+        threaded.apply_pauli_channel_2q(0, 2, 0.15, 4);
+        threaded.apply_pauli_channel_1q(1, 0.07, 4);
+        assert_eq!(serial, threaded, "threaded channels must be bit-identical");
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_registers() {
+        let err = DensityMatrix::try_new(MAX_QUBITS + 1).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RegisterTooLarge {
+                qubits: MAX_QUBITS + 1,
+                limit: MAX_QUBITS,
+                representation: "density matrix",
+            }
+        );
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut rho = nontrivial_state(3);
+        rho.reset();
+        assert_eq!(rho, DensityMatrix::new(3));
     }
 
     #[test]

@@ -35,10 +35,16 @@
 #![warn(missing_docs)]
 
 pub mod density;
+mod error;
+mod kernels;
 mod noise;
+mod options;
+mod par;
 mod sampler;
 mod state;
 
+pub use error::SimError;
 pub use noise::{NoiseModel, TrajectorySimulator};
+pub use options::{default_threads, SimOptions};
 pub use sampler::{counts_to_distribution, Counts, Sampler};
-pub use state::StateVector;
+pub use state::{StateVector, MAX_QUBITS};

@@ -8,8 +8,9 @@ use qcircuit::layers::asap_layers;
 use qcircuit::{Circuit, Gate, Instruction};
 use qhw::Calibration;
 
+use crate::kernels::FusedApplier;
 use crate::sampler::{apply_readout_error, Counts, Sampler};
-use crate::StateVector;
+use crate::{SimOptions, StateVector};
 
 /// Error parameters for trajectory simulation of a *physical* circuit
 /// (i.e. one whose qubit indices are hardware qubits so calibration data
@@ -85,17 +86,30 @@ impl NoiseModel {
 #[derive(Debug, Clone)]
 pub struct TrajectorySimulator {
     model: NoiseModel,
+    options: SimOptions,
 }
 
 impl TrajectorySimulator {
-    /// Creates a simulator over `model`.
+    /// Creates a simulator over `model` with default engine options.
     pub fn new(model: NoiseModel) -> Self {
-        TrajectorySimulator { model }
+        Self::with_options(model, SimOptions::default())
+    }
+
+    /// Creates a simulator over `model` with explicit engine options
+    /// (thread count, diagonal fusion) for the underlying statevector
+    /// updates.
+    pub fn with_options(model: NoiseModel, options: SimOptions) -> Self {
+        TrajectorySimulator { model, options }
     }
 
     /// The noise model in use.
     pub fn model(&self) -> &NoiseModel {
         &self.model
+    }
+
+    /// The engine options in use.
+    pub fn options(&self) -> &SimOptions {
+        &self.options
     }
 
     /// Runs one noisy trajectory of `circuit`, returning the (pure) final
@@ -107,37 +121,75 @@ impl TrajectorySimulator {
     /// applies a two-qubit gate across an uncalibrated (uncoupled) pair —
     /// routed circuits never do.
     pub fn run_trajectory<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> StateVector {
-        let n = circuit.num_qubits();
-        let mut sv = StateVector::new(n);
-        for layer in asap_layers(circuit) {
-            let mut busy = vec![false; n];
-            for instr in &layer {
+        let mut sv = StateVector::new(circuit.num_qubits());
+        self.run_trajectory_into(circuit, rng, &mut sv);
+        sv
+    }
+
+    /// [`TrajectorySimulator::run_trajectory`] into a caller-provided
+    /// state, reusing its allocation across trajectories. The state is
+    /// reset to `|0...0⟩` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sv` has fewer qubits than the circuit, plus the
+    /// conditions of [`TrajectorySimulator::run_trajectory`].
+    pub fn run_trajectory_into<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+        sv: &mut StateVector,
+    ) {
+        let mut busy = vec![false; circuit.num_qubits()];
+        self.run_layers(&asap_layers(circuit), &mut busy, sv, rng);
+    }
+
+    /// The trajectory inner loop over precomputed concurrency layers, with
+    /// all buffers (state, busy flags) owned by the caller so repeated
+    /// trajectories allocate nothing.
+    fn run_layers<R: Rng + ?Sized>(
+        &self,
+        layers: &[Vec<Instruction>],
+        busy: &mut [bool],
+        sv: &mut StateVector,
+        rng: &mut R,
+    ) {
+        sv.reset();
+        let mut fused = FusedApplier::new(&self.options, sv.num_qubits());
+        for layer in layers {
+            busy.fill(false);
+            for instr in layer {
                 for q in instr.qubit_vec() {
                     busy[q] = true;
                 }
                 if instr.gate().is_unitary() {
-                    sv.apply(instr);
+                    fused.apply(sv.amps_mut(), instr);
                 }
                 let p_err = self.model.gate_error(instr);
                 if p_err > 0.0 && rng.gen_bool(p_err) {
-                    inject_pauli(&mut sv, instr, rng);
+                    fused.flush(sv.amps_mut());
+                    inject_pauli(sv, instr, rng);
                 }
             }
             let p_idle = self.model.idle_error_per_layer;
             if p_idle > 0.0 {
-                for (q, is_busy) in busy.iter().enumerate() {
-                    if !is_busy && rng.gen_bool(p_idle) {
-                        apply_random_pauli(&mut sv, q, rng);
+                for (q, &b) in busy.iter().enumerate() {
+                    if !b && rng.gen_bool(p_idle) {
+                        fused.flush(sv.amps_mut());
+                        apply_random_pauli(sv, q, rng);
                     }
                 }
             }
         }
-        sv
+        fused.flush(sv.amps_mut());
     }
 
     /// Samples `shots` noisy measurement outcomes using `trajectories`
     /// independent trajectories (shots are split evenly; the remainder goes
     /// to the first trajectories). Readout error is applied to every shot.
+    ///
+    /// One statevector, one sampler table and one layer schedule are reused
+    /// across all trajectories — per-trajectory work allocates nothing.
     ///
     /// # Panics
     ///
@@ -154,18 +206,51 @@ impl TrajectorySimulator {
         let n = circuit.num_qubits();
         let base = shots / u64::from(trajectories);
         let remainder = shots % u64::from(trajectories);
+        let layers = asap_layers(circuit);
+        let mut busy = vec![false; n];
+        let mut sv = StateVector::new(n);
+        let mut sampler = Sampler::new(&sv);
         let mut counts = Counts::new();
         for t in 0..u64::from(trajectories) {
             let this_shots = base + u64::from(t < remainder);
             if this_shots == 0 {
                 continue;
             }
-            let sv = self.run_trajectory(circuit, rng);
-            for (state, k) in Sampler::new(&sv).sample_counts(this_shots, rng) {
-                *counts.entry(state).or_insert(0) += k;
+            self.run_layers(&layers, &mut busy, &mut sv, rng);
+            sampler.rebuild(&sv);
+            for _ in 0..this_shots {
+                *counts.entry(sampler.sample(rng)).or_insert(0) += 1;
             }
         }
         apply_readout_error(&counts, n, |q| self.model.calibration.readout_error(q), rng)
+    }
+
+    /// Mean trajectory fidelity `E[|⟨ψ_traj|ideal⟩|²]` over `trajectories`
+    /// runs — the measured counterpart of the estimated success
+    /// probability (ESP) reported by the compilation metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajectories == 0`, the qubit counts differ, or on the
+    /// conditions of [`TrajectorySimulator::run_trajectory`].
+    pub fn mean_fidelity<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        ideal: &StateVector,
+        trajectories: u32,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(trajectories > 0, "at least one trajectory is required");
+        let n = circuit.num_qubits();
+        let layers = asap_layers(circuit);
+        let mut busy = vec![false; n];
+        let mut sv = StateVector::new(n);
+        let mut total = 0.0;
+        for _ in 0..trajectories {
+            self.run_layers(&layers, &mut busy, &mut sv, rng);
+            total += sv.fidelity(ideal);
+        }
+        total / f64::from(trajectories)
     }
 }
 

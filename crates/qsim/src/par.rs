@@ -1,0 +1,126 @@
+//! Chunked fork-join over amplitude buffers via `std::thread::scope` —
+//! the same no-dependency pattern as `qcompile::batch`, shaped for dense
+//! array passes instead of job queues.
+//!
+//! Determinism contract: every closure passed here must compute each
+//! element's new value only from (a) the element's *global* index and (b)
+//! pre-update values living in the same chunk. Under that contract the
+//! split into chunks cannot reassociate a single floating-point operation,
+//! so N-thread results are **bit-for-bit identical** to serial — the
+//! `kernel_equivalence` property tests pin this (to 1e-12, though equality
+//! is exact).
+
+use std::thread;
+
+/// Runs `f(global_offset, chunk)` over contiguous chunks of `data`, one
+/// scoped thread per chunk. Chunk sizes are multiples of `align` (a power
+/// of two dividing `data.len()`), so a kernel whose update rule couples
+/// indices only within aligned `align`-blocks never sees a partner split
+/// across threads.
+///
+/// Degenerate cases (`threads <= 1`, or too little data to split) run `f`
+/// inline on the whole slice.
+pub(crate) fn chunked<T, F>(data: &mut [T], align: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert!(align.is_power_of_two());
+    debug_assert_eq!(data.len() % align.min(data.len().max(1)), 0);
+    let len = data.len();
+    if threads <= 1 || len <= align {
+        f(0, data);
+        return;
+    }
+    let chunk = len.div_ceil(threads).next_multiple_of(align);
+    if chunk >= len {
+        f(0, data);
+        return;
+    }
+    thread::scope(|scope| {
+        for (i, sub) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i * chunk, sub));
+        }
+    });
+}
+
+/// Lockstep variant for a pair of equal-length halves (the two sides of a
+/// `split_at_mut` on a qubit's bit): runs `f(offset_in_half, lo_chunk,
+/// hi_chunk)` over matching chunks. Used when a single-qubit gate acts on
+/// the register's top bit, where [`chunked`] would degenerate to one
+/// chunk.
+pub(crate) fn zipped<T, F>(lo: &mut [T], hi: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T], &mut [T]) + Sync,
+{
+    debug_assert_eq!(lo.len(), hi.len());
+    let len = lo.len();
+    if threads <= 1 || len < 2 {
+        f(0, lo, hi);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    thread::scope(|scope| {
+        for (i, (ls, hs)) in lo.chunks_mut(chunk).zip(hi.chunks_mut(chunk)).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i * chunk, ls, hs));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_covers_every_index_once() {
+        let mut data = vec![0u32; 1 << 10];
+        chunked(&mut data, 8, 4, |offset, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x += (offset + i) as u32 + 1;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i as u32 + 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_respects_alignment() {
+        let mut data = vec![0usize; 1 << 8];
+        let align = 32;
+        chunked(&mut data, align, 3, |offset, chunk| {
+            assert_eq!(offset % align, 0);
+            assert_eq!(chunk.len() % align, 0);
+        });
+    }
+
+    #[test]
+    fn chunked_serial_fallbacks() {
+        let mut data = vec![1u8; 16];
+        chunked(&mut data, 16, 8, |offset, chunk| {
+            assert_eq!(offset, 0);
+            assert_eq!(chunk.len(), 16);
+        });
+        let mut empty: Vec<u8> = Vec::new();
+        chunked(&mut empty, 1, 4, |_, chunk| assert!(chunk.is_empty()));
+    }
+
+    #[test]
+    fn zipped_pairs_match_offsets() {
+        let mut lo = vec![0usize; 100];
+        let mut hi = vec![0usize; 100];
+        zipped(&mut lo, &mut hi, 7, |offset, ls, hs| {
+            for (i, (l, h)) in ls.iter_mut().zip(hs.iter_mut()).enumerate() {
+                *l = offset + i;
+                *h = offset + i + 1000;
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(lo[i], i);
+            assert_eq!(hi[i], i + 1000);
+        }
+    }
+}

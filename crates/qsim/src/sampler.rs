@@ -45,13 +45,23 @@ pub struct Sampler {
 impl Sampler {
     /// Builds a sampler over the Born-rule distribution of `state`.
     pub fn new(state: &StateVector) -> Self {
-        let mut cumulative = Vec::with_capacity(state.amplitudes().len());
+        let mut sampler = Sampler {
+            cumulative: Vec::with_capacity(state.amplitudes().len()),
+        };
+        sampler.rebuild(state);
+        sampler
+    }
+
+    /// Rebuilds the sampler over a new state, reusing the table
+    /// allocation — the resampling counterpart of [`Sampler::new`] for
+    /// trajectory loops.
+    pub fn rebuild(&mut self, state: &StateVector) {
+        state.probabilities_into(&mut self.cumulative);
         let mut acc = 0.0;
-        for p in state.probabilities() {
-            acc += p;
-            cumulative.push(acc);
+        for c in &mut self.cumulative {
+            acc += *c;
+            *c = acc;
         }
-        Sampler { cumulative }
     }
 
     /// Draws one basis state.

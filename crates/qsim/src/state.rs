@@ -1,12 +1,26 @@
+use crate::kernels::{FusedApplier, Op};
+use crate::{SimError, SimOptions};
 use qcircuit::math::{Complex, Matrix2, Matrix4, ONE, ZERO};
-use qcircuit::{Circuit, Gate, Instruction};
+use qcircuit::{Circuit, Instruction};
+
+/// Hard cap on the dense statevector width: `2^28` amplitudes is 4 GiB,
+/// the largest register the representation supports at all.
+pub const MAX_QUBITS: usize = 28;
 
 /// A dense statevector over `n` qubits (qubit 0 is the least-significant
 /// bit of the basis index).
 ///
-/// Practical up to ~22 qubits on a laptop; the paper's largest instances
-/// use 36 qubits for *compilation* but only 12–15 for *execution*, which
-/// fits comfortably.
+/// The hard limit is [`MAX_QUBITS`] (28) qubits; ~22 qubits is the
+/// practical ceiling on a laptop. The paper's largest instances use 36
+/// qubits for *compilation* but only 12–15 for *execution*, which fits
+/// comfortably.
+///
+/// Gates are applied through specialized in-place kernels (see
+/// `kernels.rs`): diagonal gates are phase multiplications, `CNOT`/`SWAP`
+/// are index swaps, the QAOA mixers use structured real rotations, and
+/// consecutive diagonal gates fuse into a single amplitude pass. All of
+/// this is tunable through [`SimOptions`] via the `*_with` entry points;
+/// the plain entry points use [`SimOptions::default`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateVector {
     num_qubits: usize,
@@ -19,23 +33,46 @@ impl StateVector {
     /// # Panics
     ///
     /// Panics if `num_qubits > 28` (the dense vector would not fit in
-    /// memory).
+    /// memory). Use [`StateVector::try_new`] to get an error instead.
     pub fn new(num_qubits: usize) -> Self {
-        assert!(
-            num_qubits <= 28,
-            "statevector too large: {num_qubits} qubits"
-        );
+        match Self::try_new(num_qubits) {
+            Ok(sv) => sv,
+            Err(e) => panic!("statevector too large: {e}"),
+        }
+    }
+
+    /// The all-zeros state, or [`SimError::RegisterTooLarge`] when the
+    /// register exceeds [`MAX_QUBITS`].
+    pub fn try_new(num_qubits: usize) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::RegisterTooLarge {
+                qubits: num_qubits,
+                limit: MAX_QUBITS,
+                representation: "statevector",
+            });
+        }
         let mut amps = vec![ZERO; 1usize << num_qubits];
         amps[0] = ONE;
-        StateVector { num_qubits, amps }
+        Ok(StateVector { num_qubits, amps })
+    }
+
+    /// Resets to `|0...0⟩` in place, reusing the allocation.
+    pub fn reset(&mut self) {
+        self.amps.fill(ZERO);
+        self.amps[0] = ONE;
     }
 
     /// Runs every unitary gate of `circuit` on a fresh `|0...0⟩` state.
     /// Measurements are ignored (sampling is a separate step — see
     /// [`crate::Sampler`]).
     pub fn from_circuit(circuit: &Circuit) -> Self {
+        Self::from_circuit_with(circuit, &SimOptions::default())
+    }
+
+    /// [`StateVector::from_circuit`] with explicit engine options.
+    pub fn from_circuit_with(circuit: &Circuit, opts: &SimOptions) -> Self {
         let mut sv = StateVector::new(circuit.num_qubits());
-        sv.apply_circuit(circuit);
+        sv.apply_circuit_with(circuit, opts);
         sv
     }
 
@@ -55,15 +92,39 @@ impl StateVector {
     ///
     /// Panics if the circuit has more qubits than the state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        self.apply_circuit_with(circuit, &SimOptions::default());
+    }
+
+    /// [`StateVector::apply_circuit`] with explicit engine options:
+    /// consecutive diagonal gates are fused into single passes (when
+    /// `opts.fused_diagonals`) and every pass is chunked over
+    /// `opts.effective_threads(n)` scoped workers.
+    ///
+    /// Results are bit-for-bit identical for every thread count, and agree
+    /// with gate-by-gate application to ~1e-15 per amplitude when fusion
+    /// reassociates phase products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    pub fn apply_circuit_with(&mut self, circuit: &Circuit, opts: &SimOptions) {
         assert!(
             circuit.num_qubits() <= self.num_qubits,
             "circuit acts on {} qubits but state has {}",
             circuit.num_qubits(),
             self.num_qubits
         );
+        let mut fused = FusedApplier::new(opts, self.num_qubits);
         for instr in circuit.iter().filter(|i| i.gate().is_unitary()) {
-            self.apply(instr);
+            fused.apply(&mut self.amps, instr);
         }
+        fused.flush(&mut self.amps);
+    }
+
+    /// Raw mutable amplitude access for the crate-internal streaming
+    /// appliers (trajectory simulation).
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
     }
 
     /// Applies one unitary instruction.
@@ -72,25 +133,34 @@ impl StateVector {
     ///
     /// Panics on measurement instructions or out-of-range operands.
     pub fn apply(&mut self, instr: &Instruction) {
+        self.apply_with(instr, &SimOptions::default());
+    }
+
+    /// [`StateVector::apply`] with explicit engine options.
+    ///
+    /// # Panics
+    ///
+    /// Panics on measurement instructions or out-of-range operands.
+    pub fn apply_with(&mut self, instr: &Instruction, opts: &SimOptions) {
         assert!(
             instr.gate().is_unitary(),
             "cannot apply measurement as a unitary"
         );
-        match instr.gate() {
-            // Fast paths for the gates QAOA circuits are made of.
-            Gate::Rzz(t) => self.apply_rzz(t, instr.q0(), instr.q1()),
-            Gate::CPhase(l) => self.apply_cphase(l, instr.q0(), instr.q1()),
-            Gate::Cz => self.apply_cphase(std::f64::consts::PI, instr.q0(), instr.q1()),
-            Gate::Cnot => self.apply_cnot(instr.q0(), instr.q1()),
-            Gate::Swap => self.apply_swap(instr.q0(), instr.q1()),
-            Gate::Rz(t) => {
-                self.apply_phase_pair(Complex::cis(-t / 2.0), Complex::cis(t / 2.0), instr.q0())
-            }
-            Gate::U1(l) => self.apply_phase_pair(ONE, Complex::cis(l), instr.q0()),
-            Gate::Z => self.apply_phase_pair(ONE, -ONE, instr.q0()),
-            Gate::Id => {}
-            g if g.arity() == 1 => self.apply_1q(&g.matrix2(), instr.q0()),
-            g => self.apply_2q(&g.matrix4(), instr.q0(), instr.q1()),
+        self.assert_operands(instr);
+        let threads = opts.effective_threads(self.num_qubits);
+        Op::from_instruction(instr).apply(&mut self.amps, threads);
+    }
+
+    fn assert_operands(&self, instr: &Instruction) {
+        let arity = instr.gate().arity();
+        assert!(instr.q0() < self.num_qubits, "qubit out of range");
+        if arity == 2 {
+            assert!(instr.q1() < self.num_qubits, "qubit out of range");
+            assert_ne!(
+                instr.q0(),
+                instr.q1(),
+                "two-qubit gate on duplicate operand"
+            );
         }
     }
 
@@ -101,22 +171,11 @@ impl StateVector {
     /// Panics if `q` is out of range.
     pub fn apply_1q(&mut self, m: &Matrix2, q: usize) {
         assert!(q < self.num_qubits, "qubit {q} out of range");
-        let bit = 1usize << q;
-        for base in 0..self.amps.len() {
-            if base & bit != 0 {
-                continue;
-            }
-            let i0 = base;
-            let i1 = base | bit;
-            let a0 = self.amps[i0];
-            let a1 = self.amps[i1];
-            self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
-            self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
-        }
+        Op::Dense1 { bit: 1 << q, m: *m }.apply(&mut self.amps, 1);
     }
 
     /// Applies an arbitrary 4×4 unitary on qubits `(a, b)` where `a` is the
-    /// more-significant matrix index (matching [`Gate::matrix4`]).
+    /// more-significant matrix index (matching `Gate::matrix4`).
     ///
     /// # Panics
     ///
@@ -127,100 +186,25 @@ impl StateVector {
             "qubit out of range"
         );
         assert_ne!(a, b, "two-qubit gate on duplicate operand");
-        let ba = 1usize << a;
-        let bb = 1usize << b;
-        for base in 0..self.amps.len() {
-            if base & (ba | bb) != 0 {
-                continue;
-            }
-            let idx = [base, base | bb, base | ba, base | ba | bb]; // 00,01,10,11
-            let olds = [
-                self.amps[idx[0]],
-                self.amps[idx[1]],
-                self.amps[idx[2]],
-                self.amps[idx[3]],
-            ];
-            for (r, &i) in idx.iter().enumerate() {
-                let mut acc = ZERO;
-                for (c, &old) in olds.iter().enumerate() {
-                    acc += m[r][c] * old;
-                }
-                self.amps[i] = acc;
-            }
+        Op::Dense2 {
+            ba: 1 << a,
+            bb: 1 << b,
+            m: *m,
         }
-    }
-
-    fn apply_phase_pair(&mut self, on_zero: Complex, on_one: Complex, q: usize) {
-        assert!(q < self.num_qubits, "qubit {q} out of range");
-        let bit = 1usize << q;
-        for (idx, amp) in self.amps.iter_mut().enumerate() {
-            *amp = *amp * if idx & bit == 0 { on_zero } else { on_one };
-        }
-    }
-
-    fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
-        assert!(
-            a < self.num_qubits && b < self.num_qubits,
-            "qubit out of range"
-        );
-        let ba = 1usize << a;
-        let bb = 1usize << b;
-        let same = Complex::cis(-theta / 2.0);
-        let diff = Complex::cis(theta / 2.0);
-        for (idx, amp) in self.amps.iter_mut().enumerate() {
-            let parity = ((idx & ba != 0) as u8) ^ ((idx & bb != 0) as u8);
-            *amp = *amp * if parity == 0 { same } else { diff };
-        }
-    }
-
-    fn apply_cphase(&mut self, lambda: f64, a: usize, b: usize) {
-        assert!(
-            a < self.num_qubits && b < self.num_qubits,
-            "qubit out of range"
-        );
-        let mask = (1usize << a) | (1usize << b);
-        let phase = Complex::cis(lambda);
-        for (idx, amp) in self.amps.iter_mut().enumerate() {
-            if idx & mask == mask {
-                *amp = *amp * phase;
-            }
-        }
-    }
-
-    fn apply_cnot(&mut self, control: usize, target: usize) {
-        assert!(
-            control < self.num_qubits && target < self.num_qubits,
-            "qubit out of range"
-        );
-        let bc = 1usize << control;
-        let bt = 1usize << target;
-        for base in 0..self.amps.len() {
-            // visit each control-set pair once, with target bit clear
-            if base & bc == 0 || base & bt != 0 {
-                continue;
-            }
-            self.amps.swap(base, base | bt);
-        }
-    }
-
-    fn apply_swap(&mut self, a: usize, b: usize) {
-        assert!(
-            a < self.num_qubits && b < self.num_qubits,
-            "qubit out of range"
-        );
-        let ba = 1usize << a;
-        let bb = 1usize << b;
-        for base in 0..self.amps.len() {
-            // swap |..a=1,b=0..> with |..a=0,b=1..>, visiting once
-            if base & ba != 0 && base & bb == 0 {
-                self.amps.swap(base, (base & !ba) | bb);
-            }
-        }
+        .apply(&mut self.amps, 1);
     }
 
     /// Born-rule probabilities for every basis state.
     pub fn probabilities(&self) -> Vec<f64> {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Writes the Born-rule probabilities into `out`, reusing its
+    /// allocation (cleared first). The allocation-free counterpart of
+    /// [`StateVector::probabilities`] for resampling loops.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.amps.iter().map(|a| a.norm_sqr()));
     }
 
     /// The squared norm of the state (1.0 up to floating-point error for
@@ -297,6 +281,7 @@ impl StateVector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qcircuit::Gate;
     use std::f64::consts::PI;
 
     fn assert_close(a: f64, b: f64) {
@@ -309,6 +294,48 @@ mod tests {
         let p = sv.probabilities();
         assert_close(p[0], 1.0);
         assert_close(p.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_registers() {
+        let err = StateVector::try_new(MAX_QUBITS + 1).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::RegisterTooLarge {
+                qubits: MAX_QUBITS + 1,
+                limit: MAX_QUBITS,
+                representation: "statevector",
+            }
+        );
+        assert!(StateVector::try_new(3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "statevector too large")]
+    fn new_panics_on_oversized_register() {
+        let _ = StateVector::new(MAX_QUBITS + 1);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        let mut sv = StateVector::from_circuit(&c);
+        sv.reset();
+        assert_eq!(sv, StateVector::new(3));
+    }
+
+    #[test]
+    fn probabilities_into_matches_probabilities() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.rzz(0.4, 0, 2);
+        c.rx(0.9, 1);
+        let sv = StateVector::from_circuit(&c);
+        let mut buf = vec![99.0; 2]; // wrong size and content on purpose
+        sv.probabilities_into(&mut buf);
+        assert_eq!(buf, sv.probabilities());
     }
 
     #[test]
@@ -345,6 +372,10 @@ mod tests {
             Instruction::one(Gate::Rz(0.41), 1),
             Instruction::one(Gate::U1(-0.9), 2),
             Instruction::one(Gate::Z, 0),
+            Instruction::one(Gate::H, 2),
+            Instruction::one(Gate::Rx(0.77), 0),
+            Instruction::one(Gate::Ry(-1.3), 1),
+            Instruction::one(Gate::Y, 2),
         ];
         // Prepare a non-trivial state first.
         let mut prep = Circuit::new(3);
@@ -428,6 +459,56 @@ mod tests {
         }
         let sv = StateVector::from_circuit(&c);
         assert_close(sv.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn fused_and_unfused_agree() {
+        // A QAOA-shaped circuit with an interleaved CPhase/Cz mix so the
+        // accumulator sees every diagonal class at once.
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)] {
+            c.rzz(0.8, a, b);
+        }
+        c.cp(0.3, 1, 4);
+        c.cz(2, 5);
+        c.rz(0.7, 3);
+        c.rzz(-0.2, 0, 5);
+        for q in 0..6 {
+            c.rx(0.6, q);
+        }
+        let fused = StateVector::from_circuit_with(&c, &SimOptions::default());
+        let unfused =
+            StateVector::from_circuit_with(&c, &SimOptions::default().with_fused_diagonals(false));
+        for (a, b) in fused.amplitudes().iter().zip(unfused.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.h(q);
+        }
+        for (a, b) in [(0, 7), (1, 6), (2, 5), (3, 4), (0, 4)] {
+            c.rzz(0.9, a, b);
+        }
+        c.cx(7, 0);
+        c.swap(3, 7);
+        for q in 0..8 {
+            c.rx(0.7, q);
+        }
+        let serial = StateVector::from_circuit_with(&c, &SimOptions::serial());
+        let threaded = StateVector::from_circuit_with(
+            &c,
+            &SimOptions::default()
+                .with_threads(4)
+                .with_crossover_qubits(0),
+        );
+        assert_eq!(serial, threaded, "threaded result must be bit-identical");
     }
 
     #[test]
