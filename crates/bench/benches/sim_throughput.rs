@@ -1,161 +1,21 @@
-//! Simulation-engine throughput: the statevector and noisy-density hot
-//! paths every fidelity number in the paper flows through.
+//! Thin harness over [`bench::simbench`]: full mode emits
+//! `BENCH_sim.json` (labels matching the committed
+//! `results/BENCH_sim_baseline.json`); `SIM_BENCH_QUICK=1` or argv
+//! `quick`/`--quick` selects the CI smoke configuration, which writes
+//! `BENCH_sim_quick.json` for the `regress` gate.
 //!
-//! Unlike the Criterion micro-benches this harness owns its `main` so it
-//! can emit a machine-readable `BENCH_sim.json` (via [`bench::report`])
-//! whose labels match the committed `results/BENCH_sim_baseline.json` —
-//! the speedup of the kernel engine over the pre-rewrite simulator is
-//! auditable in-repo by dividing the two files' means.
-//!
-//! Workloads:
-//! * `sv_20q_p2` — noiseless statevector of a 20-qubit, p=2 QAOA circuit
-//!   on a 3-regular graph (the paper's largest execution regime).
-//! * `density_fig10_8q` — exact density-matrix evolution of a VIC-compiled
-//!   Erdős–Rényi instance under the calibrated Pauli-channel noise model:
-//!   the Fig. 10 success-probability workload at density-matrix scale.
-//! * `trajectory_12q` — trajectory-noise sampling of an IC-compiled
-//!   12-node instance on melbourne (the Fig. 11b "hardware" path).
-//!
-//! `cargo bench -p bench --bench sim_throughput` (full) or with
-//! `SIM_BENCH_QUICK=1` / argv `quick` for the CI smoke configuration.
+//! `cargo bench -p bench --bench sim_throughput [-- quick]`
 
-use std::time::Instant;
-
-use bench::report::Report;
-use bench::stats::{mean, std_dev};
-use bench::workloads::{instances, Family};
-use qaoa::{qaoa_circuit, MaxCut, QaoaParams};
-use qcircuit::Circuit;
-use qcompile::{compile, CompileOptions};
-use qhw::{Calibration, Topology};
-use qsim::{NoiseModel, StateVector, TrajectorySimulator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct Config {
-    figure: &'static str,
-    sv_nodes: usize,
-    sv_levels: usize,
-    sv_samples: usize,
-    density_nodes: usize,
-    density_samples: usize,
-    traj_nodes: usize,
-    traj_samples: usize,
-}
-
-const FULL: Config = Config {
-    figure: "sim",
-    sv_nodes: 20,
-    sv_levels: 2,
-    sv_samples: 5,
-    density_nodes: 8,
-    density_samples: 3,
-    traj_nodes: 12,
-    traj_samples: 5,
-};
-
-/// CI smoke sizes: same code paths, seconds of wall clock.
-const QUICK: Config = Config {
-    figure: "sim",
-    sv_nodes: 14,
-    sv_levels: 2,
-    sv_samples: 3,
-    density_nodes: 6,
-    density_samples: 2,
-    traj_nodes: 10,
-    traj_samples: 3,
-};
-
-/// The p-level QAOA statevector workload circuit.
-fn sv_circuit(nodes: usize, levels: usize) -> Circuit {
-    let mut rng = StdRng::seed_from_u64(nodes as u64);
-    let g = qgraph::generators::connected_random_regular(nodes, 3, 10_000, &mut rng)
-        .expect("regular graph");
-    let problem = MaxCut::without_optimum(g);
-    let params = QaoaParams::new((0..levels).map(|k| (0.9 / (k + 1) as f64, 0.35)).collect());
-    qaoa_circuit(&problem, &params, false)
-}
-
-/// A VIC-compiled physical circuit plus noise model on a linear device —
-/// the Fig. 10 success-probability workload shrunk to density-matrix size.
-fn density_workload(nodes: usize) -> (Circuit, NoiseModel) {
-    let topo = Topology::linear(nodes);
-    let cal = Calibration::uniform(&topo, 0.02, 0.002, 0.02);
-    let g = instances(Family::ErdosRenyi(0.5), nodes, 1, 10_001).remove(0);
-    let spec = bench::compilation_spec(g, false);
-    let mut rng = StdRng::seed_from_u64(77);
-    let compiled = compile(&spec, &topo, Some(&cal), &CompileOptions::vic(), &mut rng);
-    let model = NoiseModel::new(cal).with_idle_error(1e-3);
-    (compiled.physical().clone(), model)
-}
-
-/// An IC-compiled instance on melbourne for the trajectory sampler.
-fn trajectory_workload(nodes: usize) -> (Circuit, TrajectorySimulator) {
-    let (topo, cal) = Calibration::melbourne_2020_04_08();
-    let g = instances(Family::ErdosRenyi(0.5), nodes, 1, 11_201).remove(0);
-    let spec = bench::compilation_spec(g, true);
-    let mut rng = StdRng::seed_from_u64(78);
-    let compiled = compile(&spec, &topo, Some(&cal), &CompileOptions::ic(), &mut rng);
-    let sim = TrajectorySimulator::new(NoiseModel::new(cal));
-    (compiled.physical().clone(), sim)
-}
-
-/// Times `samples` runs of `f` (after one warmup), returning per-run ms.
-fn time_ms<O>(samples: usize, mut f: impl FnMut() -> O) -> Vec<f64> {
-    std::hint::black_box(f());
-    (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            std::hint::black_box(f());
-            t.elapsed().as_secs_f64() * 1e3
-        })
-        .collect()
-}
-
-fn print_series(label: &str, ms: &[f64]) {
-    println!(
-        "{label:<28} {:>10.2} ms  ±{:>8.2}  (n={})",
-        mean(ms),
-        std_dev(ms),
-        ms.len()
-    );
-}
+use bench::simbench;
 
 fn main() {
     let quick = std::env::var_os("SIM_BENCH_QUICK").is_some()
         || std::env::args().any(|a| a == "quick" || a == "--quick");
-    let cfg = if quick { QUICK } else { FULL };
-    let mut report = Report::new(cfg.figure);
-    println!(
-        "=== sim_throughput ({} mode) ===",
-        if quick { "quick" } else { "full" }
-    );
-
-    // Statevector: n-qubit, p-level QAOA.
-    let circuit = sv_circuit(cfg.sv_nodes, cfg.sv_levels);
-    let label = format!("sv_{}q_p{}/ms", cfg.sv_nodes, cfg.sv_levels);
-    let ms = time_ms(cfg.sv_samples, || StateVector::from_circuit(&circuit));
-    print_series(&label, &ms);
-    report.add(label, &ms);
-
-    // Noisy density evolution of the compiled fig10-style instance.
-    let (physical, model) = density_workload(cfg.density_nodes);
-    let label = format!("density_fig10_{}q/ms", cfg.density_nodes);
-    let ms = time_ms(cfg.density_samples, || {
-        qsim::density::evolve_with_noise(&physical, &model)
-    });
-    print_series(&label, &ms);
-    report.add(label, &ms);
-
-    // Trajectory-noise sampling of the compiled fig11b-style instance.
-    let (physical, sim) = trajectory_workload(cfg.traj_nodes);
-    let label = format!("trajectory_{}q/ms", cfg.traj_nodes);
-    let ms = time_ms(cfg.traj_samples, || {
-        let mut rng = StdRng::seed_from_u64(5);
-        sim.sample(&physical, 1024, 16, &mut rng)
-    });
-    print_series(&label, &ms);
-    report.add(label, &ms);
-
+    let cfg = if quick {
+        &simbench::QUICK
+    } else {
+        &simbench::FULL
+    };
+    let report = simbench::run(cfg);
     report.save_and_announce();
 }

@@ -1,0 +1,50 @@
+//! `baseline` — intentionally regenerate the committed CI baselines.
+//!
+//! Usage:
+//!
+//! ```text
+//! baseline [sim|sim_quick|compile_quality]...   (default: sim_quick compile_quality)
+//! ```
+//!
+//! Each named report is re-run and written into the bench output
+//! directory ([`bench::report::out_dir`]: `$BENCH_OUT_DIR`, else
+//! `results/` when present). Run from the repo root and commit the
+//! rewritten `results/BENCH_*.json` files together with the change that
+//! legitimately moved the numbers — that commit is the audit trail the
+//! CI `bench-regress` gate diffs against.
+
+use std::process::ExitCode;
+
+fn regenerate(which: &str) -> Result<(), String> {
+    let report = match which {
+        "sim" => bench::simbench::run(&bench::simbench::FULL),
+        "sim_quick" => bench::simbench::run(&bench::simbench::QUICK),
+        "compile_quality" => bench::quality::run(),
+        other => {
+            return Err(format!(
+                "unknown baseline '{other}' (expected sim, sim_quick or compile_quality)"
+            ))
+        }
+    };
+    let path = report.save().map_err(|e| format!("cannot write: {e}"))?;
+    println!("[wrote {}]\n", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut names: Vec<String> = std::env::args().skip(1).collect();
+    if names.iter().any(|a| a.starts_with("--")) {
+        eprintln!("usage: baseline [sim|sim_quick|compile_quality]...");
+        return ExitCode::from(2);
+    }
+    if names.is_empty() {
+        names = vec!["sim_quick".to_owned(), "compile_quality".to_owned()];
+    }
+    for name in &names {
+        if let Err(e) = regenerate(name) {
+            eprintln!("baseline: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -2,8 +2,10 @@
 //! 20-node Erdős–Rényi (edge prob 0.1–0.6) and regular (3–8 edges/node)
 //! MaxCut-QAOA instances, ibmq_20_tokyo target.
 //!
-//! Usage: `fig07_qaim [instances-per-bar]` (paper: 50; default 50).
+//! Usage: `fig07_qaim [instances-per-bar] [--manifest <path>]`
+//! (paper: 50 instances/bar; default 50).
 
+use bench::cli::Cli;
 use bench::report::Report;
 use bench::stats::{mean, ratio_of_means, row};
 use bench::workloads::{instances, Family, ER_PROBABILITIES, REGULAR_DEGREES};
@@ -13,10 +15,8 @@ use qcompile::{
 use qhw::{HardwareContext, Topology};
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let cli = Cli::parse("fig07_qaim");
+    let count = cli.pos_usize(0, 50);
     let topo = Topology::ibmq_20_tokyo();
     let context = HardwareContext::new(topo.clone());
     let workers = default_workers();
@@ -109,4 +109,5 @@ fn main() {
     }
     println!("\n(lower ratios are better; the paper reports QAIM winning clearly on sparse graphs\n and all approaches converging on dense graphs)");
     report.save_and_announce();
+    cli.write_manifest();
 }

@@ -1,8 +1,10 @@
 //! Figure 8: NAIVE vs GreedyV vs QAIM depth / gate-count ratios for
 //! 3-regular graphs with problem sizes 12–20, ibmq_20_tokyo target.
 //!
-//! Usage: `fig08_size_sweep [instances-per-point]` (paper: 20).
+//! Usage: `fig08_size_sweep [instances-per-point] [--manifest <path>]`
+//! (paper: 20 instances/point).
 
+use bench::cli::Cli;
 use bench::report::Report;
 use bench::stats::{mean, ratio_of_means, row};
 use bench::workloads::{instances, Family};
@@ -12,10 +14,8 @@ use qcompile::{
 use qhw::{HardwareContext, Topology};
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let cli = Cli::parse("fig08_size_sweep");
+    let count = cli.pos_usize(0, 20);
     let topo = Topology::ibmq_20_tokyo();
     let context = HardwareContext::new(topo);
     let workers = default_workers();
@@ -85,4 +85,5 @@ fn main() {
     }
     println!("\n(paper: both beat NAIVE most at the smallest sizes — 21.8% depth / 26.8% gates\n for QAIM at n=12 — converging as the device fills up)");
     report.save_and_announce();
+    cli.write_manifest();
 }

@@ -2,8 +2,10 @@
 //! gate-count and compilation-time ratios on 20-node Erdős–Rényi and
 //! regular MaxCut-QAOA instances, ibmq_20_tokyo target.
 //!
-//! Usage: `fig09_ip_ic [instances-per-bar]` (paper: 50).
+//! Usage: `fig09_ip_ic [instances-per-bar] [--manifest <path>]`
+//! (paper: 50 instances/bar).
 
+use bench::cli::Cli;
 use bench::report::Report;
 use bench::stats::{ratio_of_means, row};
 use bench::workloads::{instances, Family, ER_PROBABILITIES, REGULAR_DEGREES};
@@ -11,10 +13,8 @@ use qcompile::{compile_batch, default_workers, BatchJob, CompileOptions};
 use qhw::{HardwareContext, Topology};
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let cli = Cli::parse("fig09_ip_ic");
+    let count = cli.pos_usize(0, 50);
     let topo = Topology::ibmq_20_tokyo();
     let context = HardwareContext::new(topo);
     let workers = default_workers();
@@ -89,4 +89,5 @@ fn main() {
     }
     println!("\n(paper shape: both IP and IC well below 1.0 on depth — strongest on dense graphs;\n IC below IP on gate-count; IP fastest to compile)");
     report.save_and_announce();
+    cli.write_manifest();
 }

@@ -2,7 +2,8 @@
 //! probability on ibmq_16_melbourne with the 2020-04-08 calibration —
 //! Erdős–Rényi (p=0.5) and 6-regular graphs, 13–15 nodes.
 //!
-//! Usage: `fig10_vic [instances-per-bar] [trajectories]` (paper: 20).
+//! Usage: `fig10_vic [instances-per-bar] [trajectories] [--manifest <path>]`
+//! (paper: 20 instances/bar).
 //!
 //! With `trajectories > 0` the table adds *measured* mean fidelities
 //! next to the calibration-predicted ESP: each compiled circuit is run
@@ -11,6 +12,7 @@
 //! (override the worker count with `SIM_THREADS`). The default of 0
 //! trajectories keeps the original ESP-only output and cost.
 
+use bench::cli::Cli;
 use bench::stats::mean;
 use bench::workloads::{instances, Family};
 use qcompile::{compile, CompileOptions};
@@ -20,14 +22,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
-    let trajectories: u32 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
+    let cli = Cli::parse("fig10_vic");
+    let count = cli.pos_usize(0, 20);
+    let trajectories = cli.pos_u32(1, 0);
     let (topo, cal) = Calibration::melbourne_2020_04_08();
     let options = match std::env::var("SIM_THREADS") {
         Ok(t) => SimOptions::default().with_threads(t.parse().expect("SIM_THREADS: integer")),
@@ -91,4 +88,5 @@ fn main() {
         }
     }
     println!("\n(paper: VIC improves mean success probability by ~80% on ER graphs and ~45%\n on regular graphs, with the gap widening at larger sizes)");
+    cli.write_manifest();
 }

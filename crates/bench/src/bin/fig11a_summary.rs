@@ -4,9 +4,11 @@
 //! ibmq_20_tokyo. VIC uses CNOT errors drawn from N(1.0e-2, 0.5e-2) as in
 //! §V-F.
 //!
-//! Usage: `fig11a_summary [instances-per-family]` (paper: 600 total = 50
-//! per family across 12 families; default 10 per family = 120 total).
+//! Usage: `fig11a_summary [instances-per-family] [--manifest <path>]`
+//! (paper: 600 total = 50 per family across 12 families; default 10 per
+//! family = 120 total).
 
+use bench::cli::Cli;
 use bench::report::Report;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family, ER_PROBABILITIES, REGULAR_DEGREES};
@@ -16,10 +18,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let per_family: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let cli = Cli::parse("fig11a_summary");
+    let per_family = cli.pos_usize(0, 10);
     let topo = Topology::ibmq_20_tokyo();
     let mut cal_rng = StdRng::seed_from_u64(1106);
     let cal = Calibration::random_normal(&topo, 1.0e-2, 0.5e-2, &mut cal_rng);
@@ -101,4 +101,5 @@ fn main() {
         "\n(paper's Figure 11(a): NAIVE 1/1/1, QAIM 0.95/0.94/~1, IP 0.54/0.92/0.55,\n IC 0.47/0.77/0.85, VIC 0.48/0.77/0.86)"
     );
     report.save_and_announce();
+    cli.write_manifest();
 }

@@ -7,9 +7,11 @@
 //! compile with each strategy, sample 40960 shots noiselessly (r0) and
 //! under noise (rh), report ARG = 100·(r0−rh)/r0 averaged per strategy.
 //!
-//! Usage: `fig11b_arg [instances-per-family] [shots] [trajectories]`
-//! (paper: 20 instances/family, 40960 shots; defaults 5 / 8192 / 64).
+//! Usage: `fig11b_arg [instances-per-family] [shots] [trajectories]
+//! [--manifest <path>]` (paper: 20 instances/family, 40960 shots;
+//! defaults 5 / 8192 / 64).
 
+use bench::cli::Cli;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family};
 use qaoa::{approximation_ratio_from_counts, approximation_ratio_gap, qaoa_circuit, MaxCut};
@@ -20,18 +22,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let per_family: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
-    let shots: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8192);
-    let trajectories: u32 = std::env::args()
-        .nth(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let cli = Cli::parse("fig11b_arg");
+    let per_family = cli.pos_usize(0, 5);
+    let shots = cli.pos_u64(1, 8192);
+    let trajectories = cli.pos_u32(2, 64);
     let (topo, cal) = Calibration::melbourne_2020_04_08();
     let sim = TrajectorySimulator::new(NoiseModel::new(cal.clone()));
 
@@ -103,4 +97,5 @@ fn main() {
         }
     }
     println!("\n(paper: ARG improves QAIM → IP → IC → VIC; IC ≈8.5% below IP, VIC ≈7.4% below IC)");
+    cli.write_manifest();
 }

@@ -2,8 +2,10 @@
 //! compilation time — IC(+QAIM) on a 36-qubit 6×6 grid, 36-node
 //! Erdős–Rényi (p=0.5) and 15-regular graphs.
 //!
-//! Usage: `fig12_packing [instances-per-point]` (paper: 20; default 5).
+//! Usage: `fig12_packing [instances-per-point] [--manifest <path>]`
+//! (paper: 20 instances/point; default 5).
 
+use bench::cli::Cli;
 use bench::report::Report;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family};
@@ -13,10 +15,8 @@ use qhw::{HardwareContext, Topology};
 const LIMITS: [usize; 9] = [1, 3, 5, 7, 9, 11, 13, 15, 18];
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let cli = Cli::parse("fig12_packing");
+    let count = cli.pos_usize(0, 5);
     let topo = Topology::grid(6, 6);
     let context = HardwareContext::new(topo.clone());
     let workers = default_workers();
@@ -80,4 +80,5 @@ fn main() {
     }
     println!("\n(paper shape: depth falls with packing limit then degrades past ~11;\n gate count rises with limit; compile time falls monotonically)");
     report.save_and_announce();
+    cli.write_manifest();
 }

@@ -1,0 +1,112 @@
+//! `regress` — the CI regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! regress <baseline.json> <current.json> [--tolerance 0.15] [--report <path>]
+//! ```
+//!
+//! Both arguments may be bench reports (`BENCH_*.json`) or qtrace run
+//! manifests; see [`bench::regress`] for the comparison rule. Exit
+//! status: 0 when no gating series regressed, 1 on a regression, 2 on
+//! usage/parse errors (including two artifacts with no common series —
+//! a vacuous gate is treated as broken, not passing).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::regress::{diff, parse_artifact};
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance: f64,
+    report: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: regress <baseline.json> <current.json> [--tolerance 0.15] [--report <path>]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut tolerance = 0.15;
+    let mut report = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                tolerance = v;
+            }
+            "--report" => {
+                let Some(p) = iter.next() else { usage() };
+                report = Some(PathBuf::from(p));
+            }
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(PathBuf::from(arg)),
+        }
+    }
+    if positional.len() != 2 || !(0.0..10.0).contains(&tolerance) {
+        usage();
+    }
+    let current = positional.pop().expect("len checked");
+    let baseline = positional.pop().expect("len checked");
+    Args {
+        baseline,
+        current,
+        tolerance,
+        report,
+    }
+}
+
+fn load(path: &PathBuf) -> bench::regress::SeriesSet {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("regress: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    match parse_artifact(&text) {
+        Ok(set) => set,
+        Err(e) => {
+            eprintln!("regress: {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+    let report = match diff(&baseline, &current, args.tolerance) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("regress: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("[wrote {}]", path.display());
+    }
+    if report.has_regression() {
+        println!(
+            "RESULT: REGRESSION detected (tolerance {:.0}%)",
+            args.tolerance * 100.0
+        );
+        ExitCode::from(1)
+    } else {
+        println!("RESULT: ok");
+        ExitCode::SUCCESS
+    }
+}

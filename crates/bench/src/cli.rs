@@ -1,0 +1,159 @@
+//! Shared command-line handling for the figure binaries.
+//!
+//! Every `fig*` driver historically took bare positional arguments
+//! (instance counts, shot counts). This module keeps that contract and
+//! adds the telemetry flag all drivers share:
+//!
+//! * `--manifest <path>` (or `--manifest=<path>`) — enable the global
+//!   [`qtrace`] recorder for the run and write the drained run manifest
+//!   to `<path>` when the driver finishes.
+//!
+//! Positional arguments keep their old positions regardless of where the
+//! flag appears.
+
+use std::path::{Path, PathBuf};
+
+/// Parsed driver arguments: positionals plus the shared telemetry flag.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    figure: String,
+    positional: Vec<String>,
+    manifest: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()` for the driver named `figure` (the name
+    /// stamped into the manifest). Enables the global `qtrace` recorder
+    /// when `--manifest` is present.
+    ///
+    /// Exits with status 2 on a malformed flag (missing value or unknown
+    /// `--` option), printing the usage hint to stderr.
+    pub fn parse(figure: &str) -> Cli {
+        match Cli::from_args(figure, std::env::args().skip(1).collect()) {
+            Ok(cli) => {
+                if cli.manifest.is_some() {
+                    qtrace::enable();
+                }
+                cli
+            }
+            Err(message) => {
+                eprintln!("{figure}: {message}");
+                eprintln!("usage: {figure} [positional args…] [--manifest <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Flag-parsing core, separated from process concerns for testing.
+    pub fn from_args(figure: &str, args: Vec<String>) -> Result<Cli, String> {
+        let mut positional = Vec::new();
+        let mut manifest = None;
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--manifest" {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| "--manifest requires a path".to_owned())?;
+                manifest = Some(PathBuf::from(path));
+            } else if let Some(path) = arg.strip_prefix("--manifest=") {
+                manifest = Some(PathBuf::from(path));
+            } else if arg.starts_with("--") {
+                return Err(format!("unknown option '{arg}'"));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Cli {
+            figure: figure.to_owned(),
+            positional,
+            manifest,
+        })
+    }
+
+    /// The `idx`-th positional argument parsed as `usize`, or `default`
+    /// when absent or unparsable (the drivers' historical behavior).
+    pub fn pos_usize(&self, idx: usize, default: usize) -> usize {
+        self.positional
+            .get(idx)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Like [`Cli::pos_usize`] for `u32` arguments (trajectory counts).
+    pub fn pos_u32(&self, idx: usize, default: u32) -> u32 {
+        self.positional
+            .get(idx)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Like [`Cli::pos_usize`] for `u64` arguments (shot counts).
+    pub fn pos_u64(&self, idx: usize, default: u64) -> u64 {
+        self.positional
+            .get(idx)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Where the run manifest will be written, if requested.
+    pub fn manifest_path(&self) -> Option<&Path> {
+        self.manifest.as_deref()
+    }
+
+    /// Drains the global recorder into a manifest named after the driver
+    /// and writes it to the `--manifest` path. No-op without the flag.
+    /// Call this last, after all instrumented work.
+    pub fn write_manifest(&self) {
+        let Some(path) = self.manifest.as_deref() else {
+            return;
+        };
+        let manifest = qtrace::take(&self.figure);
+        match manifest.save(path) {
+            Ok(()) => println!("[wrote manifest {}]", path.display()),
+            Err(e) => {
+                eprintln!("[could not write manifest {}: {e}]", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_survive_flag_interleaving() {
+        let cli = Cli::from_args("fig", args(&["12", "--manifest", "m.json", "34"])).unwrap();
+        assert_eq!(cli.pos_usize(0, 0), 12);
+        assert_eq!(cli.pos_usize(1, 0), 34);
+        assert_eq!(cli.pos_usize(2, 77), 77, "absent positional falls back");
+        assert_eq!(cli.manifest_path(), Some(Path::new("m.json")));
+    }
+
+    #[test]
+    fn equals_form_and_absence() {
+        let cli = Cli::from_args("fig", args(&["--manifest=out/x.json"])).unwrap();
+        assert_eq!(cli.manifest_path(), Some(Path::new("out/x.json")));
+        let cli = Cli::from_args("fig", args(&["5"])).unwrap();
+        assert_eq!(cli.manifest_path(), None);
+        assert_eq!(cli.pos_u32(0, 1), 5);
+        assert_eq!(cli.pos_u64(0, 1), 5);
+    }
+
+    #[test]
+    fn malformed_flags_error() {
+        assert!(Cli::from_args("fig", args(&["--manifest"])).is_err());
+        assert!(Cli::from_args("fig", args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn unparsable_positionals_fall_back() {
+        let cli = Cli::from_args("fig", args(&["abc"])).unwrap();
+        assert_eq!(cli.pos_usize(0, 9), 9);
+    }
+}

@@ -9,7 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod quality;
+pub mod regress;
 pub mod report;
+pub mod simbench;
 pub mod stats;
 pub mod workloads;
 

@@ -1,0 +1,88 @@
+//! A deterministic compile-quality report for the CI regression gate.
+//!
+//! Timing benches flap on shared CI runners; compilation *quality* does
+//! not. For a fixed workload, topology and seed, the compiler is fully
+//! deterministic, so the depth / gate-count / SWAP-count medians below
+//! are exact and their bootstrap CIs degenerate — any shift beyond the
+//! `regress` tolerance is a real behavior change, not noise. This is the
+//! stable half of the CI gate (`results/BENCH_compile_quality.json`);
+//! the quick throughput bench is the timing half.
+//!
+//! The workload is intentionally small (seconds of wall clock): a few
+//! Erdős–Rényi and regular instances on ibmq_20_tokyo compiled with each
+//! of the paper's strategies.
+
+use crate::report::Report;
+use crate::workloads::{instances, Family};
+use qcompile::{compile_batch, default_workers, BatchJob, CompileOptions};
+use qhw::{Calibration, HardwareContext, Topology};
+
+/// Instances per (family, strategy) cell. Small by design; the medians
+/// are deterministic regardless.
+const COUNT: usize = 4;
+/// Graph size: the paper's 20-node regime on the 20-qubit tokyo target.
+const NODES: usize = 20;
+
+/// Compiles the fixed workload and returns the `compile_quality` report:
+/// one `{family}/{strategy}/{depth,gates,swaps}` series per cell.
+pub fn run() -> Report {
+    let topo = Topology::ibmq_20_tokyo();
+    // Uniform calibration: the noise-aware strategies (IC/VIC) need one,
+    // and a constant profile keeps the report machine-independent.
+    let cal = Calibration::uniform(&topo, 0.02, 0.002, 0.02);
+    let context = HardwareContext::with_calibration(topo, cal);
+    let workers = default_workers();
+    let strategies = [
+        ("naive", CompileOptions::naive()),
+        ("qaim", CompileOptions::qaim_only()),
+        ("ic", CompileOptions::ic()),
+        ("vic", CompileOptions::vic()),
+    ];
+    let families = [Family::ErdosRenyi(0.3), Family::Regular(4)];
+
+    let mut report = Report::new("compile_quality");
+    println!("=== compile_quality (n={NODES}, {COUNT} instances/cell) ===");
+    println!(
+        "{:<24} {:>8} {:>8} {:>8}",
+        "family/strategy", "depth", "gates", "swaps"
+    );
+    for family in families {
+        let jobs: Vec<BatchJob> = instances(family, NODES, COUNT, 7001)
+            .into_iter()
+            .enumerate()
+            .flat_map(|(gi, g)| {
+                let spec = crate::compilation_spec(g, true);
+                strategies
+                    .iter()
+                    .map(move |(_, options)| {
+                        BatchJob::new(spec.clone(), *options, 9000 + gi as u64)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let compiled = compile_batch(&context, &jobs, workers);
+
+        let mut cells = vec![(Vec::new(), Vec::new(), Vec::new()); strategies.len()];
+        for (ji, result) in compiled.into_iter().enumerate() {
+            let c = result.expect("quality workloads compile");
+            let cell = &mut cells[ji % strategies.len()];
+            cell.0.push(c.depth() as f64);
+            cell.1.push(c.gate_count() as f64);
+            cell.2.push(c.swap_count() as f64);
+        }
+        for (si, (name, _)) in strategies.iter().enumerate() {
+            let (depths, gates, swaps) = &cells[si];
+            println!(
+                "{:<24} {:>8.1} {:>8.1} {:>8.1}",
+                format!("{family}/{name}"),
+                crate::stats::mean(depths),
+                crate::stats::mean(gates),
+                crate::stats::mean(swaps),
+            );
+            report.add(format!("{family}/{name}/depth"), depths);
+            report.add(format!("{family}/{name}/gates"), gates);
+            report.add(format!("{family}/{name}/swaps"), swaps);
+        }
+    }
+    report
+}

@@ -62,13 +62,10 @@ impl Report {
         out
     }
 
-    /// Writes `BENCH_<figure>.json` into `$BENCH_OUT_DIR` (falling back
-    /// to the current directory) and returns the path.
+    /// Writes `BENCH_<figure>.json` into [`out_dir`] and returns the
+    /// path.
     pub fn save(&self) -> std::io::Result<PathBuf> {
-        let dir = std::env::var_os("BENCH_OUT_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."));
-        let path = dir.join(format!("BENCH_{}.json", self.figure));
+        let path = out_dir().join(format!("BENCH_{}.json", self.figure));
         let mut f = std::fs::File::create(&path)?;
         f.write_all(self.to_json().as_bytes())?;
         Ok(path)
@@ -85,8 +82,26 @@ impl Report {
     }
 }
 
+/// Where bench artifacts land: `$BENCH_OUT_DIR` when set; otherwise the
+/// repo's `results/` directory when it exists (so driver output sits next
+/// to the committed baselines); otherwise the current directory.
+///
+/// Every producer (`fig*` drivers, `sim_throughput`, the `baseline` bin)
+/// resolves its output through this single rule.
+pub fn out_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("BENCH_OUT_DIR") {
+        return PathBuf::from(dir);
+    }
+    let results = PathBuf::from("results");
+    if results.is_dir() {
+        results
+    } else {
+        PathBuf::from(".")
+    }
+}
+
 /// Minimal JSON string escaping: quotes, backslashes and control bytes.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

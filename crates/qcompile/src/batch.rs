@@ -62,6 +62,13 @@ pub fn compile_batch(
     workers: usize,
 ) -> Vec<Result<CompiledCircuit, CompileError>> {
     let workers = workers.max(1).min(jobs.len().max(1));
+    let q = qtrace::global();
+    // Records on drop, covering both the serial and threaded exits.
+    let _batch_span = q.span("qcompile/batch");
+    if q.is_enabled() {
+        q.add("qcompile/batch/jobs", jobs.len() as u64);
+        q.gauge_max("qcompile/batch/workers", workers as u64);
+    }
     if workers == 1 {
         // Serial fast path: no threads, no channel. Identical results by
         // construction — each job's RNG is freshly seeded either way.

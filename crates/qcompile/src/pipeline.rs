@@ -11,7 +11,7 @@
 //! return [`CompileError`] values instead of panicking.
 
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use qcircuit::basis::{to_basis, BasisSet};
 use qcircuit::Circuit;
@@ -262,12 +262,17 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
         hw: context,
         options,
     };
+    // Every pass runs under a qtrace span; `PassTrace` is the per-run
+    // view over the same measurements (the span guard hands its elapsed
+    // time back even when the global recorder is disabled), while the
+    // recorder aggregates across runs into the run manifest.
+    let run = qtrace::global().span("qcompile/compile");
     let mut trace = PassTrace::new();
 
-    let t = Instant::now();
     let mapping_pass = options.mapping.pass();
+    let pass = run.child(mapping_pass.name());
     let initial_layout = mapping_pass.run(&cx, rng)?;
-    trace.push(mapping_pass.name(), t.elapsed(), 0, None);
+    trace.push(mapping_pass.name(), pass.finish(), 0, None);
 
     let (physical, final_layout, swap_count) = match options.compilation.routing_stage() {
         RoutingStage::Full => {
@@ -275,11 +280,11 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
                 .compilation
                 .ordering_pass()
                 .expect("full-circuit routing always pairs with an ordering pass");
-            let t = Instant::now();
+            let pass = run.child(ordering.name());
             let logical = build_logical_circuit(spec, |ops| ordering.order_level(&cx, ops, rng));
-            trace.push(ordering.name(), t.elapsed(), 0, None);
+            trace.push(ordering.name(), pass.finish(), 0, None);
 
-            let t = Instant::now();
+            let pass = run.child("route");
             let metric = RoutingMetric::from_context(context, false)
                 .expect("the hop metric never needs calibration");
             let routed = try_route(
@@ -290,14 +295,19 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
             )?;
             trace.push(
                 "route",
-                t.elapsed(),
+                pass.finish(),
                 routed.swap_count,
                 Some(routed.circuit.depth()),
             );
             (routed.circuit, routed.final_layout, routed.swap_count)
         }
         RoutingStage::Incremental { variation_aware } => {
-            let t = Instant::now();
+            let name = if variation_aware {
+                "incremental-reliability"
+            } else {
+                "incremental-hops"
+            };
+            let pass = run.child(name);
             let metric = RoutingMetric::from_context(context, variation_aware)
                 .ok_or(CompileError::MissingCalibration)?;
             let r = ic::try_compile_incremental_with(
@@ -309,20 +319,24 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
                 true,
                 rng,
             )?;
-            let name = if variation_aware {
-                "incremental-reliability"
-            } else {
-                "incremental-hops"
-            };
-            trace.push(name, t.elapsed(), r.swap_count, Some(r.circuit.depth()));
+            trace.push(name, pass.finish(), r.swap_count, Some(r.circuit.depth()));
             (r.circuit, r.final_layout, r.swap_count)
         }
     };
 
-    let t = Instant::now();
+    let pass = run.child("lower-to-basis");
     let basis = to_basis(&physical, BasisSet::Ibm)
         .map_err(|e| CompileError::BasisLowering(e.to_string()))?;
-    trace.push("lower-to-basis", t.elapsed(), 0, Some(basis.depth()));
+    trace.push("lower-to-basis", pass.finish(), 0, Some(basis.depth()));
+
+    let q = qtrace::global();
+    if q.is_enabled() {
+        q.add("qcompile/runs", 1);
+        q.add("qcompile/swaps", swap_count as u64);
+        q.gauge_max("qcompile/basis_depth", basis.depth() as u64);
+        q.observe("qcompile/run_swaps", swap_count as u64);
+    }
+    run.finish();
 
     Ok(CompiledCircuit {
         physical,

@@ -1,4 +1,11 @@
 //! Per-pass instrumentation of a compilation run.
+//!
+//! Since the `qtrace` integration, the pipeline measures every pass with
+//! a [`qtrace`] span (path `qcompile/compile/<pass>`); [`PassTrace`] is
+//! the **per-run view** over those same measurements — the span guard
+//! returns its elapsed time, which the pipeline folds in here together
+//! with the swap/depth deltas — while the global `qtrace` recorder
+//! aggregates across runs into the machine-readable run manifest.
 
 use std::time::Duration;
 

@@ -91,6 +91,8 @@ pub fn try_route(
     let mut out = Circuit::new(topology.num_qubits());
     let mut swap_count = 0usize;
 
+    let q = qtrace::global();
+    let span = q.span("qroute/route");
     for layer in asap_layers(circuit) {
         // Single-qubit work never constrains routing: emit it first.
         let mut two_qubit: Vec<&Instruction> = Vec::new();
@@ -101,8 +103,18 @@ pub fn try_route(
                 two_qubit.push(instr);
             }
         }
-        swap_count += route_layer(&two_qubit, topology, metric, &mut layout, &mut out)?;
+        let layer_swaps = route_layer(&two_qubit, topology, metric, &mut layout, &mut out)?;
+        if !two_qubit.is_empty() && q.is_enabled() {
+            q.add("qroute/layers", 1);
+            q.observe("qroute/layer_swaps", layer_swaps as u64);
+        }
+        swap_count += layer_swaps;
     }
+    if q.is_enabled() {
+        q.add("qroute/swaps", swap_count as u64);
+        q.gauge_max("qroute/routed_depth", out.depth() as u64);
+    }
+    span.finish();
 
     Ok(RouteResult {
         circuit: out,

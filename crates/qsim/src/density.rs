@@ -73,6 +73,7 @@ impl DensityMatrix {
         let dim = 1usize << num_qubits;
         let mut rho = vec![ZERO; dim * dim];
         rho[0] = ONE;
+        qtrace::global().gauge_max("qsim/peak_live_amplitudes", rho.len() as u64);
         Ok(DensityMatrix { num_qubits, rho })
     }
 

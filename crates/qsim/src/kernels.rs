@@ -96,6 +96,9 @@ impl FusedApplier {
 
     pub(crate) fn apply(&mut self, amps: &mut [Complex], instr: &Instruction) {
         let op = Op::from_instruction(instr);
+        if qtrace::enabled() {
+            qtrace::global().add(op.dispatch_counter(), 1);
+        }
         if !self.fuse {
             op.apply(amps, self.threads);
             return;
@@ -216,6 +219,25 @@ impl Op {
                 },
                 Kernel::Measure => panic!("cannot lower a measurement to a unitary kernel"),
             },
+        }
+    }
+
+    /// The manifest counter this op's dispatches accumulate under, one
+    /// per update rule — the "kernel dispatch counts" section of the run
+    /// manifest.
+    pub(crate) fn dispatch_counter(&self) -> &'static str {
+        match self {
+            Op::Identity => "qsim/dispatch/identity",
+            Op::Phase1 { .. } => "qsim/dispatch/phase1",
+            Op::Phase2 { .. } => "qsim/dispatch/phase2",
+            Op::Flip1 { .. } => "qsim/dispatch/flip1",
+            Op::Cnot { .. } => "qsim/dispatch/cnot",
+            Op::Swap { .. } => "qsim/dispatch/swap",
+            Op::Hadamard { .. } => "qsim/dispatch/hadamard",
+            Op::RotX { .. } => "qsim/dispatch/rotx",
+            Op::RotY { .. } => "qsim/dispatch/roty",
+            Op::Dense1 { .. } => "qsim/dispatch/dense1",
+            Op::Dense2 { .. } => "qsim/dispatch/dense2",
         }
     }
 
@@ -466,6 +488,9 @@ impl WallAccumulator {
         if self.ops.is_empty() {
             return;
         }
+        if qtrace::enabled() {
+            qtrace::global().observe("qsim/fused_wall_run_len", self.ops.len() as u64);
+        }
         let block = WALL_BLOCK.min(amps.len());
         let is_low = |op: &Op| 2 * op.operand_bit().expect("wall ops are single-qubit") <= block;
         let n_low = self.ops.iter().filter(|op| is_low(op)).count();
@@ -563,6 +588,12 @@ impl DiagAccumulator {
     pub(crate) fn flush(&mut self, amps: &mut [Complex], threads: usize) {
         if self.is_empty() {
             return;
+        }
+        if qtrace::enabled() {
+            qtrace::global().observe(
+                "qsim/fused_diag_run_len",
+                (self.one_q.len() + self.two_q.len()) as u64,
+            );
         }
         let one_q = std::mem::take(&mut self.one_q);
         let two_q = std::mem::take(&mut self.two_q);

@@ -29,20 +29,40 @@ where
     debug_assert_eq!(data.len() % align.min(data.len().max(1)), 0);
     let len = data.len();
     if threads <= 1 || len <= align {
+        serial_dispatch();
         f(0, data);
         return;
     }
     let chunk = len.div_ceil(threads).next_multiple_of(align);
     if chunk >= len {
+        serial_dispatch();
         f(0, data);
         return;
     }
+    parallel_dispatch(len.div_ceil(chunk));
     thread::scope(|scope| {
         for (i, sub) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
             scope.spawn(move || f(i * chunk, sub));
         }
     });
+}
+
+/// Telemetry for a pass that ran inline (thread-utilization view of the
+/// manifest: parallel vs serial dispatch counts plus peak fan-out).
+fn serial_dispatch() {
+    if qtrace::enabled() {
+        qtrace::global().add("qsim/par/serial_dispatches", 1);
+    }
+}
+
+/// Telemetry for a pass split across `chunks` scoped threads.
+fn parallel_dispatch(chunks: usize) {
+    if qtrace::enabled() {
+        let q = qtrace::global();
+        q.add("qsim/par/parallel_dispatches", 1);
+        q.gauge_max("qsim/par/peak_threads", chunks as u64);
+    }
 }
 
 /// Lockstep variant for a pair of equal-length halves (the two sides of a
@@ -58,10 +78,12 @@ where
     debug_assert_eq!(lo.len(), hi.len());
     let len = lo.len();
     if threads <= 1 || len < 2 {
+        serial_dispatch();
         f(0, lo, hi);
         return;
     }
     let chunk = len.div_ceil(threads);
+    parallel_dispatch(len.div_ceil(chunk));
     thread::scope(|scope| {
         for (i, (ls, hs)) in lo.chunks_mut(chunk).zip(hi.chunks_mut(chunk)).enumerate() {
             let f = &f;

@@ -53,6 +53,7 @@ impl StateVector {
         }
         let mut amps = vec![ZERO; 1usize << num_qubits];
         amps[0] = ONE;
+        qtrace::global().gauge_max("qsim/peak_live_amplitudes", amps.len() as u64);
         Ok(StateVector { num_qubits, amps })
     }
 

@@ -1,0 +1,380 @@
+//! Zero-dependency run telemetry for the QAOA compilation stack.
+//!
+//! The crate provides four primitives, all recorded into a thread-safe
+//! [`Recorder`]:
+//!
+//! * **Spans** — scoped wall-clock timers with parent/child nesting.
+//!   Nesting is encoded in the span *path* (`"qcompile/compile/route"`);
+//!   a child created with [`Span::child`] extends its parent's path.
+//!   Stats aggregate per path: call count, total, min and max nanoseconds.
+//! * **Counters** — monotonically increasing `u64` sums (SWAPs inserted,
+//!   kernel dispatches, routed layers).
+//! * **Gauges** — high-water marks (`max` of every observation): peak
+//!   live amplitudes, worker threads used.
+//! * **Histograms** — log2-bucketed distributions of `u64` observations
+//!   (fused-run lengths, per-layer SWAP counts).
+//!
+//! Draining a recorder yields a [`Manifest`] — a canonical,
+//! deterministically ordered JSON document (see [`manifest`]) that the
+//! `bench` crate writes next to figure tables (`--manifest <path>`) and
+//! that the `regress` binary diffs against committed baselines in CI.
+//!
+//! # The global recorder
+//!
+//! Deep call sites (simulator kernels, the router's layer loop) cannot
+//! thread a `&Recorder` through their signatures without polluting every
+//! public API, so the crate exposes a process-global recorder behind
+//! [`global`]. It starts **disabled**: every hot-path hook first checks
+//! [`enabled`] (one relaxed atomic load) and records nothing until a
+//! driver opts in with [`enable`]. Spans still *measure* while disabled —
+//! [`Span::finish`] always returns the elapsed wall time, so callers like
+//! `qcompile`'s `PassTrace` get their per-run timings for free — they
+//! just skip the shared-state write.
+//!
+//! ```
+//! qtrace::enable();
+//! {
+//!     let run = qtrace::global().span("demo/run");
+//!     let step = run.child("step");
+//!     qtrace::global().add("demo/widgets", 3);
+//!     qtrace::global().observe("demo/sizes", 17);
+//!     step.finish();
+//! } // `run` records on drop
+//! let manifest = qtrace::take("demo");
+//! assert_eq!(manifest.counters["demo/widgets"], 3);
+//! assert!(manifest.spans.contains_key("demo/run/step"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
+
+pub use manifest::{Histogram, Manifest, ManifestError, SpanStat};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Thread-safe telemetry sink: spans, counters, gauges and histograms.
+///
+/// All mutating methods take `&self`; the shared state lives behind a
+/// `Mutex` (locked once per event — events are per-gate/per-pass, never
+/// per-amplitude, so contention is negligible). When the recorder is
+/// disabled every recording method is a no-op after one atomic load.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    state: Mutex<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Recorder {
+    /// A new, disabled recorder with no recorded data.
+    pub const fn new() -> Recorder {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            state: Mutex::new(State {
+                spans: BTreeMap::new(),
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns recording off. Already-recorded data is kept.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Starts a root span at `path`. The span measures wall time from now
+    /// until [`Span::finish`] (or drop) and records into this recorder —
+    /// unless the recorder was disabled at creation, in which case it
+    /// only measures.
+    pub fn span(&self, path: &str) -> Span<'_> {
+        Span {
+            rec: self,
+            path: self.is_enabled().then(|| path.to_owned()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records one completed span occurrence at `path` directly.
+    pub fn record_span(&self, path: &str, elapsed: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut state = self.state.lock().expect("recorder lock");
+        state.spans.entry_or_default(path).merge(ns);
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("recorder lock");
+        let slot = state.counters.entry_or_default(name);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Raises gauge `name` to `value` if `value` exceeds its current max.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("recorder lock");
+        let slot = state.gauges.entry_or_default(name);
+        *slot = (*slot).max(value);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("recorder lock");
+        state.histograms.entry_or_default(name).record(value);
+    }
+
+    /// Drains everything recorded so far into a [`Manifest`] named
+    /// `name`, leaving the recorder empty (but keeping its enabled state).
+    pub fn take_manifest(&self, name: &str) -> Manifest {
+        let state = std::mem::take(&mut *self.state.lock().expect("recorder lock"));
+        Manifest {
+            name: name.to_owned(),
+            created_unix_ms: unix_ms(),
+            spans: state.spans,
+            counters: state.counters,
+            gauges: state.gauges,
+            histograms: state.histograms,
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+/// `BTreeMap::entry(..).or_default()` without allocating a `String` key
+/// when the entry already exists — recording hits existing keys almost
+/// always.
+trait EntryOrDefault<V: Default> {
+    fn entry_or_default(&mut self, key: &str) -> &mut V;
+}
+
+impl<V: Default> EntryOrDefault<V> for BTreeMap<String, V> {
+    fn entry_or_default(&mut self, key: &str) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key.to_owned(), V::default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+}
+
+/// A scoped wall-clock timer. Created by [`Recorder::span`] /
+/// [`Span::child`]; records its elapsed time into the recorder when
+/// finished or dropped (if the recorder was enabled at creation).
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; finish() or let it drop at scope end"]
+pub struct Span<'a> {
+    rec: &'a Recorder,
+    /// Full span path; `None` when the recorder was disabled at creation
+    /// (the span then only measures).
+    path: Option<String>,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a child span whose path is `self.path + "/" + name`.
+    ///
+    /// The child borrows nothing from the parent besides the recorder, so
+    /// parent and child may finish in any order; the *path* is what
+    /// encodes nesting.
+    pub fn child(&self, name: &str) -> Span<'a> {
+        Span {
+            rec: self.rec,
+            path: self.path.as_ref().map(|p| format!("{p}/{name}")),
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall time since the span started, without finishing it.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stops the span, records it, and returns the measured wall time
+    /// (measured even when the recorder is disabled).
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.record(elapsed);
+        elapsed
+    }
+
+    fn record(&mut self, elapsed: Duration) {
+        if let Some(path) = self.path.take() {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            let mut state = self.rec.state.lock().expect("recorder lock");
+            state.spans.entry_or_default(&path).merge(ns);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.record(self.start.elapsed());
+    }
+}
+
+static GLOBAL: Recorder = Recorder::new();
+
+/// The process-global recorder. Starts disabled; see the crate docs.
+pub fn global() -> &'static Recorder {
+    &GLOBAL
+}
+
+/// Whether the global recorder is recording.
+pub fn enabled() -> bool {
+    GLOBAL.is_enabled()
+}
+
+/// Enables the global recorder.
+pub fn enable() {
+    GLOBAL.enable();
+}
+
+/// Disables the global recorder (recorded data is kept until [`take`]).
+pub fn disable() {
+    GLOBAL.disable();
+}
+
+/// Drains the global recorder into a [`Manifest`] named `name`.
+pub fn take(name: &str) -> Manifest {
+    GLOBAL.take_manifest(name)
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock predates it).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_measures_but_records_nothing() {
+        let rec = Recorder::new();
+        let span = rec.span("a/b");
+        let d = span.finish();
+        assert!(d >= Duration::ZERO);
+        rec.add("c", 5);
+        rec.gauge_max("g", 5);
+        rec.observe("h", 5);
+        rec.enable();
+        let m = rec.take_manifest("t");
+        assert!(m.spans.is_empty());
+        assert!(m.counters.is_empty());
+        assert!(m.gauges.is_empty());
+        assert!(m.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_aggregate_by_path_and_nest_via_child() {
+        let rec = Recorder::new();
+        rec.enable();
+        {
+            let root = rec.span("run");
+            root.child("pass").finish();
+            root.child("pass").finish();
+            let pass = root.child("pass");
+            pass.child("inner").finish();
+            pass.finish();
+        }
+        let m = rec.take_manifest("t");
+        assert_eq!(m.spans["run"].count, 1);
+        assert_eq!(m.spans["run/pass"].count, 3);
+        assert_eq!(m.spans["run/pass/inner"].count, 1);
+        let s = &m.spans["run/pass"];
+        assert!(s.min_ns <= s.max_ns && s.total_ns >= s.max_ns);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.add("swaps", 3);
+        rec.add("swaps", 4);
+        rec.gauge_max("peak", 10);
+        rec.gauge_max("peak", 7);
+        rec.observe("lens", 0);
+        rec.observe("lens", 1);
+        rec.observe("lens", 5);
+        let m = rec.take_manifest("t");
+        assert_eq!(m.counters["swaps"], 7);
+        assert_eq!(m.gauges["peak"], 10);
+        let h = &m.histograms["lens"];
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6);
+        // 0 and 1 share the first bucket; 5 lands in [4, 8).
+        assert_eq!(h.buckets(), vec![(0, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn take_drains_the_recorder() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.add("x", 1);
+        assert_eq!(rec.take_manifest("a").counters.len(), 1);
+        assert!(rec.take_manifest("b").counters.is_empty());
+        assert!(rec.is_enabled(), "draining keeps the enabled state");
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let rec = Recorder::new();
+        rec.enable();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        rec.add("n", 1);
+                        rec.observe("v", 2);
+                    }
+                    rec.span("worker").finish();
+                });
+            }
+        });
+        let m = rec.take_manifest("t");
+        assert_eq!(m.counters["n"], 400);
+        assert_eq!(m.histograms["v"].count(), 400);
+        assert_eq!(m.spans["worker"].count, 4);
+    }
+}

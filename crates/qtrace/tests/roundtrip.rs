@@ -1,0 +1,73 @@
+//! Round-trip and determinism properties of the manifest format, driven
+//! through the public `Recorder` API exactly the way instrumented crates
+//! use it.
+
+use std::time::Duration;
+
+use qtrace::{Manifest, Recorder};
+
+/// Simulates one "run" of an instrumented stack against `rec`.
+fn record_run(rec: &Recorder) {
+    let compile = rec.span("qcompile/compile");
+    for pass in ["qaim", "route", "lower-to-basis"] {
+        let p = compile.child(pass);
+        rec.add("qroute/swaps", 7);
+        rec.observe("qroute/layer_swaps", 3);
+        p.finish();
+    }
+    rec.gauge_max("qsim/peak_live_amplitudes", 1 << 14);
+    rec.record_span("qsim/apply_circuit", Duration::from_micros(250));
+    drop(compile);
+}
+
+#[test]
+fn recorder_to_json_round_trips() {
+    let rec = Recorder::new();
+    rec.enable();
+    record_run(&rec);
+    let manifest = rec.take_manifest("roundtrip");
+
+    let json = manifest.to_json();
+    let parsed = Manifest::from_json(&json).expect("canonical output parses");
+    assert_eq!(parsed, manifest, "serialize → parse is the identity");
+    assert_eq!(parsed.to_json(), json, "re-serialization is byte-identical");
+
+    // Spot-check the recorded content made it through.
+    assert_eq!(parsed.counters["qroute/swaps"], 21);
+    assert_eq!(parsed.spans["qcompile/compile"].count, 1);
+    assert_eq!(parsed.spans["qcompile/compile/route"].count, 1);
+    assert_eq!(parsed.gauges["qsim/peak_live_amplitudes"], 1 << 14);
+    assert_eq!(parsed.histograms["qroute/layer_swaps"].count(), 3);
+}
+
+#[test]
+fn identical_runs_are_byte_identical_modulo_wall_time() {
+    let take = || {
+        let rec = Recorder::new();
+        rec.enable();
+        record_run(&rec);
+        rec.take_manifest("determinism")
+    };
+    let (a, b) = (take(), take());
+    assert_eq!(
+        a.normalized().to_json(),
+        b.normalized().to_json(),
+        "identical runs must serialize identically once wall time is stripped"
+    );
+}
+
+#[test]
+fn manifest_files_round_trip_on_disk() {
+    let rec = Recorder::new();
+    rec.enable();
+    record_run(&rec);
+    let manifest = rec.take_manifest("disk");
+
+    let dir = std::env::temp_dir().join("qtrace_roundtrip_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("manifest.json");
+    manifest.save(&path).unwrap();
+    let loaded = Manifest::load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(loaded, manifest);
+}
