@@ -38,6 +38,34 @@ pub enum CompileError {
     Routing(RouteError),
     /// The routed circuit could not be lowered to the target basis.
     BasisLowering(String),
+    /// The coupling graph is not a single connected component, so some
+    /// qubit pairs can never be routed. Surfaced up front instead of the
+    /// unreachable-distance artifacts the mapper/router would hit later.
+    DisconnectedTopology {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// Calibration data is present but failed validation (NaN or
+    /// out-of-range rates, missing/unknown couplings), so VIC's
+    /// reliability weights cannot be trusted.
+    UnusableCalibration(qhw::CalibrationError),
+    /// A pass exceeded its configured time or swap budget
+    /// ([`crate::Resilience`]).
+    BudgetExceeded {
+        /// The pass that blew the budget.
+        pass: &'static str,
+    },
+    /// A fallback-produced circuit failed post-routing verification
+    /// (coupling compliance or functional equivalence) and no further
+    /// degradation rung was available.
+    Verification {
+        /// Which check failed (`"coupling"` or `"equivalence"`).
+        stage: &'static str,
+    },
+    /// A compilation panicked; the panic was caught at the batch
+    /// boundary and converted into this structured error so one poisoned
+    /// job cannot abort its batch.
+    Internal(String),
 }
 
 impl fmt::Display for CompileError {
@@ -56,7 +84,38 @@ impl fmt::Display for CompileError {
             }
             CompileError::Routing(e) => write!(f, "routing failed: {e}"),
             CompileError::BasisLowering(msg) => write!(f, "basis lowering failed: {msg}"),
+            CompileError::DisconnectedTopology { components } => write!(
+                f,
+                "coupling graph has {components} connected components; routing needs one"
+            ),
+            CompileError::UnusableCalibration(e) => {
+                write!(f, "calibration data is unusable: {e}")
+            }
+            CompileError::BudgetExceeded { pass } => {
+                write!(f, "pass '{pass}' exceeded its compile budget")
+            }
+            CompileError::Verification { stage } => {
+                write!(f, "fallback circuit failed {stage} verification")
+            }
+            CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
         }
+    }
+}
+
+impl CompileError {
+    /// Whether the degradation ladder may retry this failure on a less
+    /// demanding configuration. Input contract violations
+    /// ([`CompileError::ProgramTooLarge`], [`CompileError::ZeroPackingLimit`])
+    /// and structurally unroutable targets
+    /// ([`CompileError::DisconnectedTopology`]) fail every rung the same
+    /// way, so falling back would only waste the budget.
+    pub fn recoverable(&self) -> bool {
+        !matches!(
+            self,
+            CompileError::ProgramTooLarge { .. }
+                | CompileError::ZeroPackingLimit
+                | CompileError::DisconnectedTopology { .. }
+        )
     }
 }
 
@@ -64,6 +123,7 @@ impl std::error::Error for CompileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompileError::Routing(e) => Some(e),
+            CompileError::UnusableCalibration(e) => Some(e),
             _ => None,
         }
     }
@@ -97,6 +157,36 @@ mod tests {
             CompileError::ZeroPackingLimit.to_string(),
             "packing limit must be positive"
         );
+    }
+
+    #[test]
+    fn resilience_variants_display_and_classify() {
+        assert_eq!(
+            CompileError::DisconnectedTopology { components: 3 }.to_string(),
+            "coupling graph has 3 connected components; routing needs one"
+        );
+        assert_eq!(
+            CompileError::BudgetExceeded { pass: "route" }.to_string(),
+            "pass 'route' exceeded its compile budget"
+        );
+        let cal = CompileError::UnusableCalibration(qhw::CalibrationError::NonFiniteCnotRate {
+            u: 1,
+            v: 2,
+        });
+        assert!(cal.to_string().contains("not finite"));
+        assert!(std::error::Error::source(&cal).is_some());
+        // Recoverability drives the ladder.
+        assert!(cal.recoverable());
+        assert!(CompileError::MissingCalibration.recoverable());
+        assert!(CompileError::BudgetExceeded { pass: "qaim" }.recoverable());
+        assert!(CompileError::Internal("boom".into()).recoverable());
+        assert!(!CompileError::DisconnectedTopology { components: 2 }.recoverable());
+        assert!(!CompileError::ZeroPackingLimit.recoverable());
+        assert!(!CompileError::ProgramTooLarge {
+            logical: 9,
+            physical: 5
+        }
+        .recoverable());
     }
 
     #[test]

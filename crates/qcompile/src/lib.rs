@@ -57,7 +57,7 @@ pub use batch::{compile_batch, default_workers, BatchJob};
 pub use error::CompileError;
 pub use pipeline::{
     compile, try_compile, try_compile_with_context, Compilation, CompileOptions, CompiledCircuit,
-    InitialMapping,
+    InitialMapping, Resilience, FULL_VERIFY_MAX_QUBITS,
 };
 pub use program::{CphaseOp, ProgramProfile, QaoaSpec};
-pub use trace::{PassRecord, PassTrace};
+pub use trace::{FallbackReason, FallbackRecord, PassRecord, PassTrace};

@@ -21,8 +21,14 @@ use rand::{Rng, RngCore};
 
 use crate::error::CompileError;
 use crate::passes::{CompileContext, RoutingStage};
-use crate::trace::PassTrace;
+use crate::trace::{FallbackReason, FallbackRecord, PassTrace};
 use crate::{ic, CphaseOp, QaoaSpec};
+
+/// Largest device for which fallback verification runs the full
+/// state-vector equivalence check ([`qroute::routed_equivalent`]); larger
+/// targets are verified for coupling compliance only (the equivalence
+/// check simulates `2^n` amplitudes).
+pub const FULL_VERIFY_MAX_QUBITS: usize = 16;
 
 /// The initial logical→physical mapping strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +60,37 @@ pub enum Compilation {
     IncrementalReliability,
 }
 
+/// Resilience policy for one compilation run: the graceful-degradation
+/// ladder, per-pass budgets, and the batch retry allowance.
+///
+/// With `fallback` set, a run that cannot complete on its requested
+/// configuration steps down the ladder **VIC → IC → NAIVE** (reliability
+/// metric → hop metric → random mapping/order) instead of erroring:
+/// unusable or missing calibration, recoverable compile failures, and
+/// budget exhaustion each cost one rung. Every fallback-produced circuit
+/// is re-verified (coupling compliance always; full state-vector
+/// equivalence up to [`FULL_VERIFY_MAX_QUBITS`]) before being returned,
+/// and every step is recorded in the run's [`PassTrace`] and as
+/// `qcompile/fallbacks*` qtrace counters.
+///
+/// The default policy is inert — no fallback, no budgets, no retries —
+/// so existing behavior is unchanged unless opted into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resilience {
+    /// Degrade down the VIC → IC → NAIVE ladder instead of erroring.
+    pub fallback: bool,
+    /// Per-pass wall-clock budget; a pass finishing beyond it triggers a
+    /// fallback (or [`CompileError::BudgetExceeded`] without `fallback`).
+    /// The ladder's final rung is exempt: best effort beats no circuit.
+    pub pass_budget: Option<Duration>,
+    /// Maximum SWAPs a run may insert before the same treatment.
+    pub swap_budget: Option<usize>,
+    /// Extra attempts [`crate::compile_batch`] may make for a failing
+    /// job; retries force `fallback` on and reseed the job's RNG stream
+    /// deterministically.
+    pub max_retries: u8,
+}
+
 /// Options controlling one compilation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileOptions {
@@ -63,6 +100,8 @@ pub struct CompileOptions {
     pub compilation: Compilation,
     /// Maximum CPHASE gates per formed layer (§V-H); `None` packs fully.
     pub packing_limit: Option<usize>,
+    /// Fault-tolerance policy: degradation ladder, budgets, retries.
+    pub resilience: Resilience,
 }
 
 impl CompileOptions {
@@ -72,6 +111,7 @@ impl CompileOptions {
             mapping,
             compilation,
             packing_limit: None,
+            resilience: Resilience::default(),
         }
     }
 
@@ -105,6 +145,38 @@ impl CompileOptions {
         self.packing_limit = Some(limit);
         self
     }
+
+    /// Returns a copy with the graceful-degradation ladder enabled.
+    pub fn with_fallback(mut self) -> Self {
+        self.resilience.fallback = true;
+        self
+    }
+
+    /// Returns a copy with a per-pass wall-clock budget.
+    pub fn with_pass_budget(mut self, budget: Duration) -> Self {
+        self.resilience.pass_budget = Some(budget);
+        self
+    }
+
+    /// Returns a copy with a per-run SWAP budget.
+    pub fn with_swap_budget(mut self, budget: usize) -> Self {
+        self.resilience.swap_budget = Some(budget);
+        self
+    }
+
+    /// Returns a copy allowing up to `retries` batch retries.
+    pub fn with_retries(mut self, retries: u8) -> Self {
+        self.resilience.max_retries = retries;
+        self
+    }
+
+    /// The paper configuration name without resilience decorations, used
+    /// for fallback records (`"VIC"`, `"IC"`, `"NAIVE"`, …).
+    fn config_name(&self) -> String {
+        let mut plain = *self;
+        plain.resilience = Resilience::default();
+        plain.to_string()
+    }
 }
 
 /// The NAIVE baseline configuration, as in the paper's comparisons.
@@ -129,6 +201,9 @@ impl fmt::Display for CompileOptions {
         }
         if let Some(limit) = self.packing_limit {
             write!(f, "(limit={limit})")?;
+        }
+        if self.resilience.fallback {
+            write!(f, "+fallback")?;
         }
         Ok(())
     }
@@ -247,7 +322,11 @@ pub fn try_compile<R: Rng + ?Sized>(
 /// Floyd–Warshall or profiling recomputation happens during the run.
 ///
 /// This is the core entry point; [`compile`]/[`try_compile`] wrap it, and
-/// [`crate::compile_batch`] fans it out across worker threads.
+/// [`crate::compile_batch`] fans it out across worker threads. When
+/// `options.resilience.fallback` is set, failures degrade down the
+/// VIC → IC → NAIVE ladder (see [`Resilience`]) instead of erroring; a
+/// disconnected coupling graph is reported up front as
+/// [`CompileError::DisconnectedTopology`] on every configuration.
 pub fn try_compile_with_context<R: Rng + ?Sized>(
     spec: &QaoaSpec,
     context: &HardwareContext,
@@ -257,6 +336,160 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
     // Erase the caller's RNG type once so trait-object passes can share it.
     let mut reborrow: &mut R = rng;
     let rng: &mut dyn RngCore = &mut reborrow;
+    compile_with_ladder(spec, context, options, rng)
+}
+
+/// The degradation rungs for `options`, starting with `options` itself:
+/// VIC steps down to IC then NAIVE; IC/IP step down to NAIVE; NAIVE has
+/// nowhere lower to go.
+fn degradation_rungs(options: &CompileOptions) -> Vec<CompileOptions> {
+    let mut rungs = vec![*options];
+    let naive = {
+        let mut naive = CompileOptions::naive();
+        naive.resilience = options.resilience;
+        naive
+    };
+    match options.compilation {
+        Compilation::IncrementalReliability => {
+            let mut ic = *options;
+            ic.compilation = Compilation::IncrementalHops;
+            rungs.push(ic);
+            rungs.push(naive);
+        }
+        Compilation::IncrementalHops | Compilation::Ip => rungs.push(naive),
+        Compilation::RandomOrder => {
+            if options.mapping != InitialMapping::Naive {
+                rungs.push(naive);
+            }
+        }
+    }
+    rungs
+}
+
+/// Maps a rung failure to the ladder-step reason recorded in traces and
+/// telemetry.
+fn fallback_reason(error: &CompileError) -> FallbackReason {
+    match error {
+        CompileError::MissingCalibration => FallbackReason::MissingCalibration,
+        CompileError::UnusableCalibration(_) => FallbackReason::UnusableCalibration,
+        CompileError::BudgetExceeded { pass: "swaps" } => FallbackReason::SwapBudget,
+        CompileError::BudgetExceeded { .. } => FallbackReason::PassBudget,
+        CompileError::Verification { .. } => FallbackReason::VerificationFailed,
+        _ => FallbackReason::CompileFailed,
+    }
+}
+
+/// Post-routing verification of a fallback-produced circuit: coupling
+/// compliance always, full state-vector equivalence on devices up to
+/// [`FULL_VERIFY_MAX_QUBITS`] qubits.
+fn verify_fallback(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    compiled: CompiledCircuit,
+) -> Result<CompiledCircuit, CompileError> {
+    if !qroute::satisfies_coupling(compiled.physical(), context.topology()) {
+        return Err(CompileError::Verification { stage: "coupling" });
+    }
+    if context.num_qubits() <= FULL_VERIFY_MAX_QUBITS {
+        // CPHASEs commute, so the spec-order logical circuit is a valid
+        // equivalence reference for every gate ordering a rung chose.
+        let logical = build_logical_circuit(spec, |ops| ops.to_vec());
+        if !qroute::routed_equivalent(
+            &logical,
+            compiled.physical(),
+            compiled.initial_layout(),
+            compiled.final_layout(),
+        ) {
+            return Err(CompileError::Verification {
+                stage: "equivalence",
+            });
+        }
+    }
+    Ok(compiled)
+}
+
+/// Runs the degradation ladder: try each rung in turn, verifying any
+/// fallback product, until a circuit is produced or the ladder (or the
+/// recoverability of the failure) is exhausted.
+fn compile_with_ladder(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    options: &CompileOptions,
+    rng: &mut dyn RngCore,
+) -> Result<CompiledCircuit, CompileError> {
+    if !context.is_connected() {
+        return Err(CompileError::DisconnectedTopology {
+            components: context.component_count(),
+        });
+    }
+    let rungs = degradation_rungs(options);
+    let allow = options.resilience.fallback;
+    let mut steps: Vec<FallbackRecord> = Vec::new();
+    let mut rung = 0usize;
+    loop {
+        let opts = &rungs[rung];
+        let last = rung + 1 == rungs.len();
+        // Budgets are enforced wherever a lower rung remains; the final
+        // rung of an enabled ladder is best-effort (a late circuit beats
+        // no circuit). Without the ladder, budgets are hard errors.
+        let enforce_budgets = !(allow && last);
+        let attempt = compile_once(spec, context, opts, rng, enforce_budgets).and_then(|c| {
+            if rung > 0 {
+                verify_fallback(spec, context, c)
+            } else {
+                Ok(c)
+            }
+        });
+        match attempt {
+            Ok(mut compiled) => {
+                if !steps.is_empty() {
+                    compiled.trace.adopt_fallbacks(steps);
+                }
+                return Ok(compiled);
+            }
+            Err(e) => {
+                if !allow || last || !e.recoverable() {
+                    return Err(e);
+                }
+                let reason = fallback_reason(&e);
+                let q = qtrace::global();
+                if q.is_enabled() {
+                    q.add("qcompile/fallbacks", 1);
+                    q.add(&format!("qcompile/fallbacks/{}", reason.slug()), 1);
+                }
+                steps.push(FallbackRecord {
+                    from: rungs[rung].config_name(),
+                    to: rungs[rung + 1].config_name(),
+                    reason,
+                });
+                rung += 1;
+            }
+        }
+    }
+}
+
+/// Checks a finished pass against the per-pass budget.
+fn check_pass_budget(
+    options: &CompileOptions,
+    enforce: bool,
+    pass: &'static str,
+    elapsed: Duration,
+) -> Result<(), CompileError> {
+    match options.resilience.pass_budget {
+        Some(budget) if enforce && elapsed > budget => Err(CompileError::BudgetExceeded { pass }),
+        _ => Ok(()),
+    }
+}
+
+/// One compilation attempt on exactly the given configuration — no
+/// ladder, no verification; budget checks when `enforce_budgets`.
+fn compile_once(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    options: &CompileOptions,
+    rng: &mut dyn RngCore,
+    enforce_budgets: bool,
+) -> Result<CompiledCircuit, CompileError> {
     let cx = CompileContext {
         spec,
         hw: context,
@@ -272,7 +505,9 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
     let mapping_pass = options.mapping.pass();
     let pass = run.child(mapping_pass.name());
     let initial_layout = mapping_pass.run(&cx, rng)?;
-    trace.push(mapping_pass.name(), pass.finish(), 0, None);
+    let elapsed = pass.finish();
+    trace.push(mapping_pass.name(), elapsed, 0, None);
+    check_pass_budget(options, enforce_budgets, mapping_pass.name(), elapsed)?;
 
     let (physical, final_layout, swap_count) = match options.compilation.routing_stage() {
         RoutingStage::Full => {
@@ -282,7 +517,9 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
                 .expect("full-circuit routing always pairs with an ordering pass");
             let pass = run.child(ordering.name());
             let logical = build_logical_circuit(spec, |ops| ordering.order_level(&cx, ops, rng));
-            trace.push(ordering.name(), pass.finish(), 0, None);
+            let elapsed = pass.finish();
+            trace.push(ordering.name(), elapsed, 0, None);
+            check_pass_budget(options, enforce_budgets, ordering.name(), elapsed)?;
 
             let pass = run.child("route");
             let metric = RoutingMetric::from_context(context, false)
@@ -293,12 +530,14 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
                 initial_layout.clone(),
                 &metric,
             )?;
+            let elapsed = pass.finish();
             trace.push(
                 "route",
-                pass.finish(),
+                elapsed,
                 routed.swap_count,
                 Some(routed.circuit.depth()),
             );
+            check_pass_budget(options, enforce_budgets, "route", elapsed)?;
             (routed.circuit, routed.final_layout, routed.swap_count)
         }
         RoutingStage::Incremental { variation_aware } => {
@@ -308,8 +547,15 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
                 "incremental-hops"
             };
             let pass = run.child(name);
-            let metric = RoutingMetric::from_context(context, variation_aware)
-                .ok_or(CompileError::MissingCalibration)?;
+            // A quarantined calibration table reads as "uncalibrated" to
+            // the metric; report *why* so the ladder (and the caller) can
+            // tell a corrupt table from an absent one.
+            let metric = RoutingMetric::from_context(context, variation_aware).ok_or_else(
+                || match context.calibration_issue() {
+                    Some(issue) => CompileError::UnusableCalibration(*issue),
+                    None => CompileError::MissingCalibration,
+                },
+            )?;
             let r = ic::try_compile_incremental_with(
                 spec,
                 context.topology(),
@@ -319,10 +565,20 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
                 true,
                 rng,
             )?;
-            trace.push(name, pass.finish(), r.swap_count, Some(r.circuit.depth()));
+            let elapsed = pass.finish();
+            trace.push(name, elapsed, r.swap_count, Some(r.circuit.depth()));
+            check_pass_budget(options, enforce_budgets, name, elapsed)?;
             (r.circuit, r.final_layout, r.swap_count)
         }
     };
+
+    if enforce_budgets {
+        if let Some(budget) = options.resilience.swap_budget {
+            if swap_count > budget {
+                return Err(CompileError::BudgetExceeded { pass: "swaps" });
+            }
+        }
+    }
 
     let pass = run.child("lower-to-basis");
     let basis = to_basis(&physical, BasisSet::Ibm)
@@ -609,6 +865,151 @@ mod tests {
             CompileOptions::new(InitialMapping::GreedyV, Compilation::Ip).to_string(),
             "GreedyV+Ip"
         );
+    }
+
+    #[test]
+    fn ladder_degrades_vic_on_corrupt_calibration() {
+        use qhw::fault::{FaultInjector, FaultKind};
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let good = Calibration::uniform(&topo, 0.02, 0.001, 0.02);
+        let bad = FaultInjector::new(11).corrupt_calibration(&topo, &good, FaultKind::NanRate);
+        let context = HardwareContext::with_calibration(topo.clone(), bad);
+
+        // Without the ladder the corruption is a structured hard error.
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = try_compile_with_context(&spec, &context, &CompileOptions::vic(), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::UnusableCalibration(_)));
+
+        // With it, VIC steps down to IC and still delivers a verified
+        // circuit, with the step on the record.
+        let mut rng = StdRng::seed_from_u64(2);
+        let options = CompileOptions::vic().with_fallback();
+        let compiled = try_compile_with_context(&spec, &context, &options, &mut rng).unwrap();
+        assert!(satisfies_coupling(compiled.physical(), &topo));
+        assert!(compiled.trace().degraded());
+        let steps = compiled.trace().fallbacks();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].from, "VIC");
+        assert_eq!(steps[0].to, "IC");
+        assert_eq!(steps[0].reason, crate::FallbackReason::UnusableCalibration);
+        // The IC rung compiled, so the pass trace is IC-shaped.
+        assert!(compiled.trace().find("incremental-hops").is_some());
+    }
+
+    #[test]
+    fn ladder_degrades_vic_on_missing_calibration() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let context = HardwareContext::new(topo);
+        let mut rng = StdRng::seed_from_u64(2);
+        let options = CompileOptions::vic().with_fallback();
+        let compiled = try_compile_with_context(&spec, &context, &options, &mut rng).unwrap();
+        let steps = compiled.trace().fallbacks();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].reason, crate::FallbackReason::MissingCalibration);
+    }
+
+    #[test]
+    fn disconnected_topology_is_fatal_even_with_fallback() {
+        use qhw::fault::{FaultInjector, FaultKind};
+        let spec = spec_20_node(1, 0.3);
+        let split = FaultInjector::new(3)
+            .degrade_topology(&Topology::ibmq_20_tokyo(), FaultKind::SplitComponent);
+        let context = HardwareContext::new(split);
+        assert!(!context.is_connected());
+        for options in [
+            CompileOptions::naive(),
+            CompileOptions::ic().with_fallback(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let err = try_compile_with_context(&spec, &context, &options, &mut rng).unwrap_err();
+            match err {
+                CompileError::DisconnectedTopology { components } => assert!(components >= 2),
+                other => panic!("expected DisconnectedTopology, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_best_effort_naive() {
+        let spec = spec_20_node(1, 0.3);
+        let topo = Topology::ibmq_20_tokyo();
+        let context = HardwareContext::new(topo.clone());
+
+        // A zero pass budget is deterministically exceeded (passes take
+        // nonzero time); without fallback it is a hard error...
+        let strict = CompileOptions::ic().with_pass_budget(Duration::ZERO);
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = try_compile_with_context(&spec, &context, &strict, &mut rng).unwrap_err();
+        assert!(matches!(err, CompileError::BudgetExceeded { .. }));
+
+        // ...with fallback the final rung is budget-exempt, so the run
+        // still delivers a verified circuit and records the step.
+        let mut rng = StdRng::seed_from_u64(2);
+        let resilient = strict.with_fallback();
+        let compiled = try_compile_with_context(&spec, &context, &resilient, &mut rng).unwrap();
+        assert!(satisfies_coupling(compiled.physical(), &topo));
+        assert!(compiled.trace().degraded());
+        assert_eq!(
+            compiled.trace().fallbacks()[0].reason,
+            crate::FallbackReason::PassBudget
+        );
+
+        // A zero swap budget behaves the same way via the swap reason.
+        let mut rng = StdRng::seed_from_u64(2);
+        let swap_capped = CompileOptions::ic().with_swap_budget(0).with_fallback();
+        let compiled = try_compile_with_context(&spec, &context, &swap_capped, &mut rng).unwrap();
+        if compiled.trace().degraded() {
+            assert_eq!(
+                compiled.trace().fallbacks()[0].reason,
+                crate::FallbackReason::SwapBudget
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_steps_are_counted_in_qtrace() {
+        let spec = spec_20_node(1, 0.3);
+        let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+        let options = CompileOptions::vic().with_fallback();
+        let q = qtrace::global();
+        q.enable();
+        let mut rng = StdRng::seed_from_u64(2);
+        let compiled = try_compile_with_context(&spec, &context, &options, &mut rng).unwrap();
+        q.disable();
+        let manifest = q.take_manifest("pipeline-fallback-counters");
+        assert!(compiled.trace().degraded());
+        // The recorder is process-global and other tests may have recorded
+        // concurrently, so assert presence/lower bounds only.
+        assert!(
+            manifest
+                .counters
+                .get("qcompile/fallbacks")
+                .copied()
+                .unwrap_or(0)
+                >= 1
+        );
+        assert!(manifest
+            .counters
+            .contains_key("qcompile/fallbacks/missing-calibration"));
+    }
+
+    #[test]
+    fn fallback_display_suffix_and_builders() {
+        let o = CompileOptions::vic()
+            .with_fallback()
+            .with_pass_budget(Duration::from_millis(50))
+            .with_swap_budget(400)
+            .with_retries(2);
+        assert_eq!(o.to_string(), "VIC+fallback");
+        assert_eq!(o.resilience.pass_budget, Some(Duration::from_millis(50)));
+        assert_eq!(o.resilience.swap_budget, Some(400));
+        assert_eq!(o.resilience.max_retries, 2);
+        assert_eq!(o.config_name(), "VIC");
+        // The default policy is inert so existing behavior is untouched.
+        assert_eq!(Resilience::default(), CompileOptions::ic().resilience);
     }
 
     #[test]

@@ -7,7 +7,58 @@
 //! with the swap/depth deltas — while the global `qtrace` recorder
 //! aggregates across runs into the machine-readable run manifest.
 
+use std::fmt;
 use std::time::Duration;
+
+/// Why the degradation ladder stepped down one rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The requested mode needs calibration and none was supplied.
+    MissingCalibration,
+    /// Calibration was supplied but failed validation.
+    UnusableCalibration,
+    /// A pass exceeded its time budget.
+    PassBudget,
+    /// The run exceeded its swap budget.
+    SwapBudget,
+    /// The rung's compilation failed with a recoverable error.
+    CompileFailed,
+    /// The rung produced a circuit that failed post-routing
+    /// verification.
+    VerificationFailed,
+}
+
+impl FallbackReason {
+    /// A stable kebab-case slug, used as the qtrace counter suffix
+    /// (`qcompile/fallbacks/<slug>`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            FallbackReason::MissingCalibration => "missing-calibration",
+            FallbackReason::UnusableCalibration => "unusable-calibration",
+            FallbackReason::PassBudget => "pass-budget",
+            FallbackReason::SwapBudget => "swap-budget",
+            FallbackReason::CompileFailed => "compile-failed",
+            FallbackReason::VerificationFailed => "verification-failed",
+        }
+    }
+}
+
+impl fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One degradation-ladder step taken during a run (e.g. VIC → IC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackRecord {
+    /// Configuration name the run stepped down from (`"VIC"`, `"IC"`, …).
+    pub from: String,
+    /// Configuration name it stepped down to.
+    pub to: String,
+    /// Why the step was taken.
+    pub reason: FallbackReason,
+}
 
 /// One pass's contribution to a compilation run.
 #[derive(Debug, Clone)]
@@ -31,6 +82,7 @@ pub struct PassRecord {
 #[derive(Debug, Clone, Default)]
 pub struct PassTrace {
     records: Vec<PassRecord>,
+    fallbacks: Vec<FallbackRecord>,
 }
 
 impl PassTrace {
@@ -74,6 +126,39 @@ impl PassTrace {
     pub fn find(&self, name: &str) -> Option<&PassRecord> {
         self.records.iter().find(|r| r.name == name)
     }
+
+    /// Records one degradation-ladder step.
+    pub fn push_fallback(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        reason: FallbackReason,
+    ) {
+        self.fallbacks.push(FallbackRecord {
+            from: from.into(),
+            to: to.into(),
+            reason,
+        });
+    }
+
+    /// Prepends `steps` to this trace's fallback history — used when the
+    /// ladder's final rung produces the trace but earlier rungs already
+    /// recorded their steps.
+    pub fn adopt_fallbacks(&mut self, mut steps: Vec<FallbackRecord>) {
+        steps.append(&mut self.fallbacks);
+        self.fallbacks = steps;
+    }
+
+    /// The degradation-ladder steps this run took, in order; empty for a
+    /// run that compiled on its requested configuration.
+    pub fn fallbacks(&self) -> &[FallbackRecord] {
+        &self.fallbacks
+    }
+
+    /// Whether the run fell back at least once.
+    pub fn degraded(&self) -> bool {
+        !self.fallbacks.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +175,27 @@ mod tests {
         assert_eq!(t.records().len(), 2);
         assert_eq!(t.find("b").unwrap().depth_after, Some(40));
         assert!(t.find("c").is_none());
+    }
+
+    #[test]
+    fn fallback_history_is_ordered_and_adoptable() {
+        let mut t = PassTrace::new();
+        assert!(!t.degraded());
+        t.push_fallback("IC", "NAIVE", FallbackReason::SwapBudget);
+        let earlier = vec![FallbackRecord {
+            from: "VIC".into(),
+            to: "IC".into(),
+            reason: FallbackReason::UnusableCalibration,
+        }];
+        t.adopt_fallbacks(earlier);
+        assert!(t.degraded());
+        let steps: Vec<(&str, &str)> = t
+            .fallbacks()
+            .iter()
+            .map(|f| (f.from.as_str(), f.to.as_str()))
+            .collect();
+        assert_eq!(steps, [("VIC", "IC"), ("IC", "NAIVE")]);
+        assert_eq!(t.fallbacks()[0].reason.slug(), "unusable-calibration");
+        assert_eq!(FallbackReason::PassBudget.to_string(), "pass-budget");
     }
 }

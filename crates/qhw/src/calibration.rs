@@ -1,4 +1,5 @@
 use std::collections::BTreeMap;
+use std::fmt;
 
 use qgraph::Edge;
 use rand::Rng;
@@ -27,47 +28,239 @@ pub const MIN_ERROR: f64 = 1e-6;
 /// Largest representable error rate after clamping.
 pub const MAX_ERROR: f64 = 0.5;
 
+/// Clamps a rate into `[MIN_ERROR, MAX_ERROR]`, mapping every non-finite
+/// input (NaN, ±∞) to the pessimistic `MAX_ERROR`.
+///
+/// `f64::clamp` forwards NaN unchanged, which used to let a NaN error rate
+/// poison the `1 / success` reliability weights downstream; an unknown rate
+/// is instead treated as a maximally unreliable link.
 fn clamp(e: f64) -> f64 {
-    e.clamp(MIN_ERROR, MAX_ERROR)
+    if e.is_finite() {
+        e.clamp(MIN_ERROR, MAX_ERROR)
+    } else {
+        MAX_ERROR
+    }
 }
+
+/// Why a calibration table is unusable for a given [`Topology`].
+///
+/// Produced by [`Calibration::try_from_cnot_errors`] (structural problems
+/// in the input table) and [`Calibration::validate`] (any corruption in an
+/// already-built table, e.g. one deserialized from an external source or
+/// injected by [`crate::fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// An entry names a qubit pair that is not a coupling of the topology.
+    NotACoupling {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A coupling of the topology has no CNOT error entry.
+    MissingCoupling {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A CNOT error rate is NaN or infinite.
+    NonFiniteCnotRate {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A CNOT error rate lies outside `[MIN_ERROR, MAX_ERROR]` — e.g. a
+    /// dead link reported with error rate 1.0, whose success rate of zero
+    /// would make the `1 / success` edge weight infinite.
+    CnotRateOutOfRange {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A single-qubit or readout rate is NaN, infinite or out of range.
+    QubitRateOutOfRange {
+        /// The physical qubit.
+        q: usize,
+    },
+    /// The table covers a different number of qubits than the topology.
+    WrongQubitCount {
+        /// Qubits the calibration covers.
+        calibrated: usize,
+        /// Qubits the topology has.
+        physical: usize,
+    },
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::NotACoupling { u, v } => {
+                write!(f, "({u}, {v}) is not a coupling of the topology")
+            }
+            CalibrationError::MissingCoupling { u, v } => {
+                write!(f, "missing CNOT error for coupling ({u}, {v})")
+            }
+            CalibrationError::NonFiniteCnotRate { u, v } => {
+                write!(f, "CNOT error rate on ({u}, {v}) is not finite")
+            }
+            CalibrationError::CnotRateOutOfRange { u, v } => write!(
+                f,
+                "CNOT error rate on ({u}, {v}) is outside [{MIN_ERROR}, {MAX_ERROR}]"
+            ),
+            CalibrationError::QubitRateOutOfRange { q } => {
+                write!(f, "single-qubit/readout rate on qubit {q} is invalid")
+            }
+            CalibrationError::WrongQubitCount {
+                calibrated,
+                physical,
+            } => write!(
+                f,
+                "calibration covers {calibrated} qubits but the topology has {physical}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
 
 impl Calibration {
     /// Builds calibration data from explicit per-edge CNOT errors plus
     /// uniform single-qubit and readout errors.
     ///
+    /// Thin panicking wrapper around
+    /// [`Calibration::try_from_cnot_errors`]; prefer the fallible form
+    /// when the error table comes from an external source (a calibration
+    /// service, a file) rather than from code you control.
+    ///
     /// # Panics
     ///
     /// Panics if an edge in `cnot_errors` is not a coupling of `topology`,
-    /// or if any coupling lacks an entry.
+    /// if any coupling lacks an entry, or if any rate is non-finite.
     pub fn from_cnot_errors(
         topology: &Topology,
         cnot_errors: &[((usize, usize), f64)],
         single_qubit_error: f64,
         readout_error: f64,
     ) -> Self {
+        match Calibration::try_from_cnot_errors(
+            topology,
+            cnot_errors,
+            single_qubit_error,
+            readout_error,
+        ) {
+            Ok(cal) => cal,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`Calibration::from_cnot_errors`]: a structured
+    /// [`CalibrationError`] instead of a panic for unknown or missing
+    /// couplings and non-finite rates. Finite rates are clamped into
+    /// `[MIN_ERROR, MAX_ERROR]` as the panicking constructor always did.
+    pub fn try_from_cnot_errors(
+        topology: &Topology,
+        cnot_errors: &[((usize, usize), f64)],
+        single_qubit_error: f64,
+        readout_error: f64,
+    ) -> Result<Self, CalibrationError> {
         let mut map = BTreeMap::new();
         for &((u, v), e) in cnot_errors {
-            assert!(
-                topology.are_coupled(u, v),
-                "({u}, {v}) is not a coupling of {}",
-                topology.name()
-            );
+            if !topology.are_coupled(u, v) {
+                return Err(CalibrationError::NotACoupling { u, v });
+            }
+            if !e.is_finite() {
+                return Err(CalibrationError::NonFiniteCnotRate { u, v });
+            }
             map.insert(Edge::new(u, v), clamp(e));
         }
         for edge in topology.graph().edges() {
-            assert!(
-                map.contains_key(&edge),
-                "missing CNOT error for coupling ({}, {})",
-                edge.a(),
-                edge.b()
-            );
+            if !map.contains_key(&edge) {
+                return Err(CalibrationError::MissingCoupling {
+                    u: edge.a(),
+                    v: edge.b(),
+                });
+            }
+        }
+        if !single_qubit_error.is_finite() || !readout_error.is_finite() {
+            return Err(CalibrationError::QubitRateOutOfRange { q: 0 });
         }
         let n = topology.num_qubits();
-        Calibration {
+        Ok(Calibration {
             cnot_error: map,
             single_qubit_error: vec![clamp(single_qubit_error); n],
             readout_error: vec![clamp(readout_error); n],
+        })
+    }
+
+    /// Builds a calibration from raw, **unsanitized** parts — rates are
+    /// stored verbatim, including NaN, infinities and out-of-range values.
+    ///
+    /// This is the [`crate::fault`] injector's backdoor for modeling
+    /// corrupted calibration feeds; everything downstream must survive
+    /// such a table via [`Calibration::validate`].
+    pub(crate) fn from_raw_parts(
+        cnot_error: BTreeMap<Edge, f64>,
+        single_qubit_error: Vec<f64>,
+        readout_error: Vec<f64>,
+    ) -> Self {
+        Calibration {
+            cnot_error,
+            single_qubit_error,
+            readout_error,
         }
+    }
+
+    /// Checks this table is usable for `topology`: every coupling is
+    /// calibrated (and nothing else is), and every rate is finite and
+    /// inside `[MIN_ERROR, MAX_ERROR]`.
+    ///
+    /// Tables built by this module's constructors always validate; a table
+    /// from an external feed (or the [`crate::fault`] injector) may not.
+    /// The compile stack calls this before trusting `1 / success`
+    /// reliability weights.
+    pub fn validate(&self, topology: &Topology) -> Result<(), CalibrationError> {
+        let n = topology.num_qubits();
+        if self.single_qubit_error.len() != n || self.readout_error.len() != n {
+            return Err(CalibrationError::WrongQubitCount {
+                calibrated: self.num_qubits(),
+                physical: n,
+            });
+        }
+        for (&edge, &e) in &self.cnot_error {
+            let (u, v) = (edge.a(), edge.b());
+            if !topology.are_coupled(u, v) {
+                return Err(CalibrationError::NotACoupling { u, v });
+            }
+            if !e.is_finite() {
+                return Err(CalibrationError::NonFiniteCnotRate { u, v });
+            }
+            if !(MIN_ERROR..=MAX_ERROR).contains(&e) {
+                return Err(CalibrationError::CnotRateOutOfRange { u, v });
+            }
+        }
+        for edge in topology.graph().edges() {
+            if !self.cnot_error.contains_key(&edge) {
+                return Err(CalibrationError::MissingCoupling {
+                    u: edge.a(),
+                    v: edge.b(),
+                });
+            }
+        }
+        for q in 0..n {
+            let s = self.single_qubit_error[q];
+            let r = self.readout_error[q];
+            if !s.is_finite()
+                || !r.is_finite()
+                || !(0.0..=1.0).contains(&s)
+                || !(0.0..=1.0).contains(&r)
+            {
+                return Err(CalibrationError::QubitRateOutOfRange { q });
+            }
+        }
+        Ok(())
     }
 
     /// Uniform calibration: every coupling shares `cnot_error`, every qubit
@@ -338,6 +531,96 @@ mod tests {
     fn missing_coupling_entry_panics() {
         let t = Topology::linear(3);
         let _ = Calibration::from_cnot_errors(&t, &[((0, 1), 0.01)], 0.001, 0.02);
+    }
+
+    #[test]
+    fn clamp_maps_non_finite_rates_to_max_error() {
+        // `f64::clamp` forwards NaN; ours must not (NaN would otherwise
+        // poison every `1 / success` reliability weight downstream).
+        assert_eq!(clamp(f64::NAN), MAX_ERROR);
+        assert_eq!(clamp(f64::INFINITY), MAX_ERROR);
+        assert_eq!(clamp(f64::NEG_INFINITY), MAX_ERROR);
+        assert_eq!(clamp(0.25), 0.25);
+        assert_eq!(clamp(-3.0), MIN_ERROR);
+        assert_eq!(clamp(7.0), MAX_ERROR);
+        // Constructors that sanitize inherit the mapping.
+        let t = Topology::linear(2);
+        let c = Calibration::uniform(&t, f64::NAN, f64::INFINITY, f64::NAN);
+        assert!(c.validate(&t).is_ok());
+        assert_eq!(c.cnot_error(0, 1), MAX_ERROR);
+        assert_eq!(c.single_qubit_error(0), MAX_ERROR);
+    }
+
+    #[test]
+    fn try_from_cnot_errors_reports_structured_errors() {
+        let t = Topology::linear(3);
+        // Unknown coupling.
+        let err = Calibration::try_from_cnot_errors(
+            &t,
+            &[((0, 1), 0.01), ((1, 2), 0.01), ((0, 2), 0.01)],
+            0.001,
+            0.02,
+        )
+        .unwrap_err();
+        assert_eq!(err, CalibrationError::NotACoupling { u: 0, v: 2 });
+        // Missing coupling.
+        let err =
+            Calibration::try_from_cnot_errors(&t, &[((0, 1), 0.01)], 0.001, 0.02).unwrap_err();
+        assert_eq!(err, CalibrationError::MissingCoupling { u: 1, v: 2 });
+        // Non-finite rate.
+        let err = Calibration::try_from_cnot_errors(
+            &t,
+            &[((0, 1), f64::NAN), ((1, 2), 0.01)],
+            0.001,
+            0.02,
+        )
+        .unwrap_err();
+        assert_eq!(err, CalibrationError::NonFiniteCnotRate { u: 0, v: 1 });
+        // A good table round-trips and matches the panicking constructor.
+        let table = [((0, 1), 0.01), ((1, 2), 0.03)];
+        let a = Calibration::try_from_cnot_errors(&t, &table, 0.001, 0.02).unwrap();
+        let b = Calibration::from_cnot_errors(&t, &table, 0.001, 0.02);
+        assert_eq!(a, b);
+        assert!(a.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_raw_corruption() {
+        let t = Topology::linear(3);
+        let good = Calibration::uniform(&t, 0.02, 0.001, 0.02);
+        assert!(good.validate(&t).is_ok());
+        // Wrong device entirely.
+        assert_eq!(
+            good.validate(&Topology::linear(4)).unwrap_err(),
+            CalibrationError::WrongQubitCount {
+                calibrated: 3,
+                physical: 4
+            }
+        );
+        // Raw NaN smuggled in.
+        let mut map: BTreeMap<Edge, f64> = good.cnot_errors().collect();
+        map.insert(Edge::new(0, 1), f64::NAN);
+        let bad = Calibration::from_raw_parts(map, vec![0.001; 3], vec![0.02; 3]);
+        assert_eq!(
+            bad.validate(&t).unwrap_err(),
+            CalibrationError::NonFiniteCnotRate { u: 0, v: 1 }
+        );
+        // Dead link: error rate 1.0 ⇒ success 0 ⇒ infinite edge weight.
+        let mut map: BTreeMap<Edge, f64> = good.cnot_errors().collect();
+        map.insert(Edge::new(1, 2), 1.0);
+        let dead = Calibration::from_raw_parts(map, vec![0.001; 3], vec![0.02; 3]);
+        assert_eq!(
+            dead.validate(&t).unwrap_err(),
+            CalibrationError::CnotRateOutOfRange { u: 1, v: 2 }
+        );
+        // Missing edge entry.
+        let mut map: BTreeMap<Edge, f64> = good.cnot_errors().collect();
+        map.remove(&Edge::new(1, 2));
+        let sparse = Calibration::from_raw_parts(map, vec![0.001; 3], vec![0.02; 3]);
+        assert_eq!(
+            sparse.validate(&t).unwrap_err(),
+            CalibrationError::MissingCoupling { u: 1, v: 2 }
+        );
     }
 }
 

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use qgraph::shortest_path::{DistanceMatrix, WeightedDistanceMatrix};
 
-use crate::{Calibration, HardwareProfile, Topology};
+use crate::{Calibration, CalibrationError, HardwareProfile, Topology};
 
 /// Immutable bundle of a hardware target and its derived compile-time
 /// artifacts, built once per `(topology, calibration)` pair.
@@ -39,9 +39,11 @@ use crate::{Calibration, HardwareProfile, Topology};
 pub struct HardwareContext {
     topology: Topology,
     calibration: Option<Calibration>,
+    calibration_issue: Option<CalibrationError>,
     distances: Arc<DistanceMatrix>,
     weighted: Option<Arc<WeightedDistanceMatrix>>,
     profile: HardwareProfile,
+    components: usize,
 }
 
 impl HardwareContext {
@@ -50,31 +52,47 @@ impl HardwareContext {
     pub fn new(topology: Topology) -> Self {
         let distances = Arc::new(topology.distances());
         let profile = topology.profile();
+        let components = topology.graph().connected_components().len();
         HardwareContext {
             topology,
             calibration: None,
+            calibration_issue: None,
             distances,
             weighted: None,
             profile,
+            components,
         }
     }
 
     /// Builds the context for a calibrated target: additionally computes
     /// the reliability-weighted distance matrix of Figure 6(d).
     ///
-    /// # Panics
-    ///
-    /// Panics if `calibration` covers fewer qubits than `topology`.
+    /// The calibration is validated against the topology first. An
+    /// unusable table (NaN/out-of-range rates, missing or unknown
+    /// couplings — see [`Calibration::validate`]) is **kept but
+    /// quarantined**: no weighted matrix is built (so variation-aware
+    /// consumers see the target as uncalibrated) and the verdict is
+    /// available from [`HardwareContext::calibration_issue`]. This is
+    /// what lets the compile pipeline degrade VIC → IC instead of
+    /// poisoning reliability weights or panicking.
     pub fn with_calibration(topology: Topology, calibration: Calibration) -> Self {
         let distances = Arc::new(topology.distances());
-        let weighted = Arc::new(topology.weighted_distances(&calibration));
         let profile = topology.profile();
+        let components = topology.graph().connected_components().len();
+        let calibration_issue = calibration.validate(&topology).err();
+        let weighted = if calibration_issue.is_none() {
+            Some(Arc::new(topology.weighted_distances(&calibration)))
+        } else {
+            None
+        };
         HardwareContext {
             topology,
             calibration: Some(calibration),
+            calibration_issue,
             distances,
-            weighted: Some(weighted),
+            weighted,
             profile,
+            components,
         }
     }
 
@@ -91,9 +109,38 @@ impl HardwareContext {
         &self.topology
     }
 
-    /// The calibration data, when this context was built with any.
+    /// The calibration data, when this context was built with any — even
+    /// an unusable table (check [`HardwareContext::calibration_issue`]).
     pub fn calibration(&self) -> Option<&Calibration> {
         self.calibration.as_ref()
+    }
+
+    /// Why the supplied calibration is unusable, if it failed
+    /// [`Calibration::validate`] at construction.
+    pub fn calibration_issue(&self) -> Option<&CalibrationError> {
+        self.calibration_issue.as_ref()
+    }
+
+    /// The calibration data only when it validated against the topology;
+    /// reliability-weighted consumers should read through this.
+    pub fn usable_calibration(&self) -> Option<&Calibration> {
+        if self.calibration_issue.is_none() {
+            self.calibration.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Whether the coupling graph is a single connected component
+    /// (cached at construction).
+    pub fn is_connected(&self) -> bool {
+        self.components <= 1
+    }
+
+    /// Number of connected components of the coupling graph (cached at
+    /// construction).
+    pub fn component_count(&self) -> usize {
+        self.components
     }
 
     /// The cached all-pairs hop-distance matrix (Figure 6(c)).
@@ -177,6 +224,46 @@ mod tests {
         let clone = ctx.clone();
         assert_eq!(apsp_invocations(), before);
         assert!(Arc::ptr_eq(ctx.distances(), clone.distances()));
+    }
+
+    #[test]
+    fn corrupt_calibration_is_quarantined_not_fatal() {
+        use crate::fault::{FaultInjector, FaultKind};
+        let topo = Topology::ibmq_16_melbourne();
+        let good = Calibration::uniform(&topo, 0.02, 0.001, 0.02);
+        for kind in [
+            FaultKind::NanRate,
+            FaultKind::DeadLink,
+            FaultKind::MissingEntry,
+        ] {
+            let bad = FaultInjector::new(5).corrupt_calibration(&topo, &good, kind);
+            // Previously this construction panicked (missing entry) or
+            // poisoned the weighted matrix (NaN); now it quarantines.
+            let ctx = HardwareContext::with_calibration(topo.clone(), bad);
+            assert!(ctx.calibration().is_some(), "{}", kind.label());
+            assert!(ctx.usable_calibration().is_none());
+            assert!(ctx.calibration_issue().is_some());
+            assert!(ctx.weighted_distances().is_none());
+        }
+        // A valid table keeps full service.
+        let ctx = HardwareContext::with_calibration(topo, good);
+        assert!(ctx.calibration_issue().is_none());
+        assert!(ctx.usable_calibration().is_some());
+        assert!(ctx.weighted_distances().is_some());
+    }
+
+    #[test]
+    fn connectivity_is_cached_and_exposed() {
+        let connected = HardwareContext::new(Topology::ring(6));
+        assert!(connected.is_connected());
+        assert_eq!(connected.component_count(), 1);
+
+        let mut inj = crate::fault::FaultInjector::new(2);
+        let split =
+            inj.degrade_topology(&Topology::ring(6), crate::fault::FaultKind::SplitComponent);
+        let ctx = HardwareContext::new(split);
+        assert!(!ctx.is_connected());
+        assert!(ctx.component_count() >= 2);
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Deterministic fault injection for chaos-testing the compile stack.
+//!
+//! A production compile service consumes calibration feeds and topology
+//! descriptions it does not control: a NaN error rate, a dead link, a
+//! missing table entry or a decommissioned coupling must surface as a
+//! degraded-but-verified compilation or a structured error — never a
+//! panic. This module manufactures exactly those inputs, reproducibly
+//! from a `u64` seed, so the `chaos` test campaign and the CI `chaos`
+//! gate replay identical fault sequences on every run.
+//!
+//! Two injection surfaces:
+//!
+//! * [`FaultInjector::corrupt_calibration`] — returns a copy of a
+//!   calibration with one fault class applied (NaN/∞/negative/oversized
+//!   rates, dead links, missing entries, heavy drift). Corrupted tables
+//!   intentionally bypass the sanitizing constructors; they model data
+//!   as it arrives off the wire, and [`Calibration::validate`] is the
+//!   stack's defense.
+//! * [`FaultInjector::degrade_topology`] — returns a copy of a topology
+//!   with couplings dropped, a qubit isolated, or the device split into
+//!   disconnected components.
+//!
+//! Every injection is recorded as an [`InjectedFault`] for assertions
+//! and reporting.
+
+use std::collections::BTreeMap;
+
+use qgraph::Edge;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Calibration, Topology, MAX_ERROR};
+
+/// A class of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A CNOT error rate becomes NaN (a feed gap propagated as `0/0`).
+    NanRate,
+    /// A CNOT error rate becomes `+∞`.
+    InfiniteRate,
+    /// A CNOT error rate becomes negative.
+    NegativeRate,
+    /// A CNOT error rate far above [`MAX_ERROR`] (but finite).
+    OversizedRate,
+    /// A link reports error rate `1.0`: success 0, so the `1 / success`
+    /// reliability weight would be infinite.
+    DeadLink,
+    /// A coupling's table entry disappears entirely.
+    MissingEntry,
+    /// Heavy log-normal drift — the table stays *valid* but stale and
+    /// badly skewed (the §VII day-to-day variation, amplified).
+    HeavyDrift,
+    /// One coupling is removed from the topology (still connected or
+    /// not, depending on the edge).
+    DroppedCoupling,
+    /// Every coupling of one qubit is removed, disconnecting it.
+    IsolatedQubit,
+    /// The device is cut into two components along a node bipartition.
+    SplitComponent,
+}
+
+impl FaultKind {
+    /// The calibration-corruption classes, in campaign order.
+    pub const CALIBRATION: [FaultKind; 7] = [
+        FaultKind::NanRate,
+        FaultKind::InfiniteRate,
+        FaultKind::NegativeRate,
+        FaultKind::OversizedRate,
+        FaultKind::DeadLink,
+        FaultKind::MissingEntry,
+        FaultKind::HeavyDrift,
+    ];
+
+    /// The topology-degradation classes, in campaign order.
+    pub const TOPOLOGY: [FaultKind; 3] = [
+        FaultKind::DroppedCoupling,
+        FaultKind::IsolatedQubit,
+        FaultKind::SplitComponent,
+    ];
+
+    /// A short stable label for reports and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::NanRate => "nan-rate",
+            FaultKind::InfiniteRate => "infinite-rate",
+            FaultKind::NegativeRate => "negative-rate",
+            FaultKind::OversizedRate => "oversized-rate",
+            FaultKind::DeadLink => "dead-link",
+            FaultKind::MissingEntry => "missing-entry",
+            FaultKind::HeavyDrift => "heavy-drift",
+            FaultKind::DroppedCoupling => "dropped-coupling",
+            FaultKind::IsolatedQubit => "isolated-qubit",
+            FaultKind::SplitComponent => "split-component",
+        }
+    }
+}
+
+/// One recorded injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The coupling it hit, for per-edge faults.
+    pub edge: Option<(usize, usize)>,
+    /// The qubit it hit, for per-qubit faults.
+    pub qubit: Option<usize>,
+}
+
+/// A seeded source of corrupted calibrations and degraded topologies.
+///
+/// Identical seeds produce identical fault sequences, independent of
+/// platform or thread schedule — the chaos campaign's reproducibility
+/// rests on this.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultInjector {
+    /// An injector replaying the fault stream of `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+            log: Vec::new(),
+        }
+    }
+
+    /// Every fault injected so far, in order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    fn pick_edge(&mut self, topology: &Topology) -> Option<Edge> {
+        let edges: Vec<Edge> = topology.graph().edges().collect();
+        edges.choose(&mut self.rng).copied()
+    }
+
+    /// Returns a copy of `calibration` with one `kind` fault applied to a
+    /// randomly chosen coupling of `topology` (the whole table for
+    /// [`FaultKind::HeavyDrift`]).
+    ///
+    /// The result deliberately violates the invariants the sanitizing
+    /// constructors maintain; run [`Calibration::validate`] to observe
+    /// the corruption. [`FaultKind::HeavyDrift`] is the exception: it
+    /// yields a *valid* but badly degraded table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not one of [`FaultKind::CALIBRATION`].
+    pub fn corrupt_calibration(
+        &mut self,
+        topology: &Topology,
+        calibration: &Calibration,
+        kind: FaultKind,
+    ) -> Calibration {
+        let mut map: BTreeMap<Edge, f64> = calibration.cnot_errors().collect();
+        let n = calibration.num_qubits();
+        let single: Vec<f64> = (0..n).map(|q| calibration.single_qubit_error(q)).collect();
+        let readout: Vec<f64> = (0..n).map(|q| calibration.readout_error(q)).collect();
+        let edge = self.pick_edge(topology);
+        let hit = edge.map(|e| (e.a(), e.b()));
+        match kind {
+            FaultKind::NanRate => {
+                if let Some(e) = edge {
+                    map.insert(e, f64::NAN);
+                }
+            }
+            FaultKind::InfiniteRate => {
+                if let Some(e) = edge {
+                    map.insert(e, f64::INFINITY);
+                }
+            }
+            FaultKind::NegativeRate => {
+                if let Some(e) = edge {
+                    map.insert(e, -0.3);
+                }
+            }
+            FaultKind::OversizedRate => {
+                if let Some(e) = edge {
+                    map.insert(e, 40.0);
+                }
+            }
+            FaultKind::DeadLink => {
+                if let Some(e) = edge {
+                    map.insert(e, 1.0);
+                }
+            }
+            FaultKind::MissingEntry => {
+                if let Some(e) = edge {
+                    map.remove(&e);
+                }
+            }
+            FaultKind::HeavyDrift => {
+                // Valid-but-degraded: multiply every rate by a log-normal
+                // factor with a large sigma, clamped into range by going
+                // through the sanitizing constructor path (min with
+                // MAX_ERROR keeps the table valid).
+                let sigma = 1.2;
+                let mut lognormal = |e: f64| -> f64 {
+                    let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = self.rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    (e * (sigma * z).exp()).clamp(crate::MIN_ERROR, MAX_ERROR)
+                };
+                for v in map.values_mut() {
+                    *v = lognormal(*v);
+                }
+            }
+            other => panic!("{} is not a calibration fault", other.label()),
+        }
+        self.log.push(InjectedFault {
+            kind,
+            edge: if kind == FaultKind::HeavyDrift {
+                None
+            } else {
+                hit
+            },
+            qubit: None,
+        });
+        Calibration::from_raw_parts(map, single, readout)
+    }
+
+    /// Returns a copy of `topology` with one `kind` degradation applied.
+    ///
+    /// The result may be disconnected ([`FaultKind::IsolatedQubit`] and
+    /// [`FaultKind::SplitComponent`] guarantee it on devices with ≥ 2
+    /// qubits); the compile stack must answer with a structured
+    /// `DisconnectedTopology` error rather than unreachable-distance
+    /// artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not one of [`FaultKind::TOPOLOGY`].
+    pub fn degrade_topology(&mut self, topology: &Topology, kind: FaultKind) -> Topology {
+        let n = topology.num_qubits();
+        let mut graph = topology.graph().clone();
+        let mut fault = InjectedFault {
+            kind,
+            edge: None,
+            qubit: None,
+        };
+        match kind {
+            FaultKind::DroppedCoupling => {
+                if let Some(e) = self.pick_edge(topology) {
+                    graph.remove_edge(e.a(), e.b());
+                    fault.edge = Some((e.a(), e.b()));
+                }
+            }
+            FaultKind::IsolatedQubit => {
+                if n > 0 {
+                    let q = self.rng.gen_range(0..n);
+                    let neighbors: Vec<usize> = graph.neighbors(q).collect();
+                    for v in neighbors {
+                        graph.remove_edge(q, v);
+                    }
+                    fault.qubit = Some(q);
+                }
+            }
+            FaultKind::SplitComponent => {
+                // Cut along a random bipartition point: drop every edge
+                // crossing {0..k} × {k..n}.
+                if n >= 2 {
+                    let k = self.rng.gen_range(1..n);
+                    let crossing: Vec<Edge> = graph
+                        .edges()
+                        .filter(|e| (e.a() < k) != (e.b() < k))
+                        .collect();
+                    for e in crossing {
+                        graph.remove_edge(e.a(), e.b());
+                    }
+                    fault.qubit = Some(k);
+                }
+            }
+            other => panic!("{} is not a topology fault", other.label()),
+        }
+        self.log.push(fault);
+        Topology::from_graph(format!("{}+{}", topology.name(), kind.label()), graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CalibrationError;
+
+    fn base() -> (Topology, Calibration) {
+        let topo = Topology::ibmq_16_melbourne();
+        let cal = Calibration::uniform(&topo, 0.02, 0.001, 0.02);
+        (topo, cal)
+    }
+
+    #[test]
+    fn injection_is_reproducible_from_the_seed() {
+        let (topo, cal) = base();
+        for kind in FaultKind::CALIBRATION {
+            let a = FaultInjector::new(7).corrupt_calibration(&topo, &cal, kind);
+            let b = FaultInjector::new(7).corrupt_calibration(&topo, &cal, kind);
+            // NaN != NaN, so compare via the validation verdict + the
+            // non-NaN entries.
+            assert_eq!(
+                a.validate(&topo).is_ok(),
+                b.validate(&topo).is_ok(),
+                "{}",
+                kind.label()
+            );
+            let pairs_a: Vec<(Edge, bool)> =
+                a.cnot_errors().map(|(e, r)| (e, r.is_nan())).collect();
+            let pairs_b: Vec<(Edge, bool)> =
+                b.cnot_errors().map(|(e, r)| (e, r.is_nan())).collect();
+            assert_eq!(pairs_a, pairs_b);
+        }
+        for kind in FaultKind::TOPOLOGY {
+            let a = FaultInjector::new(9).degrade_topology(&topo, kind);
+            let b = FaultInjector::new(9).degrade_topology(&topo, kind);
+            assert_eq!(a, b, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn corruption_classes_fail_validation_as_expected() {
+        let (topo, cal) = base();
+        for kind in FaultKind::CALIBRATION {
+            let mut inj = FaultInjector::new(11);
+            let bad = inj.corrupt_calibration(&topo, &cal, kind);
+            let verdict = bad.validate(&topo);
+            match kind {
+                FaultKind::HeavyDrift => assert!(verdict.is_ok(), "drift stays valid"),
+                FaultKind::NanRate | FaultKind::InfiniteRate => assert!(matches!(
+                    verdict,
+                    Err(CalibrationError::NonFiniteCnotRate { .. })
+                )),
+                FaultKind::NegativeRate | FaultKind::OversizedRate | FaultKind::DeadLink => {
+                    assert!(matches!(
+                        verdict,
+                        Err(CalibrationError::CnotRateOutOfRange { .. })
+                    ))
+                }
+                FaultKind::MissingEntry => assert!(matches!(
+                    verdict,
+                    Err(CalibrationError::MissingCoupling { .. })
+                )),
+                _ => unreachable!(),
+            }
+            assert_eq!(inj.log().len(), 1);
+            assert_eq!(inj.log()[0].kind, kind);
+        }
+    }
+
+    #[test]
+    fn topology_degradations_disconnect_when_promised() {
+        let (topo, _) = base();
+        let mut inj = FaultInjector::new(3);
+        let iso = inj.degrade_topology(&topo, FaultKind::IsolatedQubit);
+        assert!(!iso.graph().is_connected());
+        assert_eq!(iso.num_qubits(), topo.num_qubits());
+        let split = inj.degrade_topology(&topo, FaultKind::SplitComponent);
+        assert!(!split.graph().is_connected());
+        assert!(split.graph().edge_count() < topo.graph().edge_count());
+        let dropped = inj.degrade_topology(&topo, FaultKind::DroppedCoupling);
+        assert_eq!(dropped.graph().edge_count(), topo.graph().edge_count() - 1);
+        assert!(dropped.name().contains("dropped-coupling"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn topology_fault_on_calibration_surface_panics() {
+        let (topo, cal) = base();
+        let _ = FaultInjector::new(0).corrupt_calibration(&topo, &cal, FaultKind::DroppedCoupling);
+    }
+}

@@ -31,10 +31,11 @@
 
 mod calibration;
 mod context;
+pub mod fault;
 mod profile;
 mod topology;
 
-pub use calibration::Calibration;
+pub use calibration::{Calibration, CalibrationError, MAX_ERROR, MIN_ERROR};
 pub use context::HardwareContext;
 pub use profile::HardwareProfile;
 pub use topology::Topology;
