@@ -4,8 +4,9 @@
 //! much of IC's win comes from tracking the dynamic mapping versus from
 //! mere incremental routing.
 //!
-//! Usage: `ablation_ic [instances-per-family]` (default 20).
+//! Usage: `ablation_ic [instances-per-family] [--manifest <path>] [--trace <path>]` (default 20).
 
+use bench::cli::Cli;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family};
 use qcompile::ic::compile_incremental_with;
@@ -16,10 +17,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let cli = Cli::parse("ablation_ic");
+    let count = cli.pos_usize(0, 20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
@@ -56,4 +55,5 @@ fn main() {
         }
     }
     println!("\n(re-sorting should reduce SWAPs — the §IV-C claim that prioritizing gates\n whose qubits drifted together cuts qubit movement)");
+    cli.write_manifest();
 }

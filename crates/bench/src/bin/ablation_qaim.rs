@@ -3,8 +3,9 @@
 //! dropping one ingredient each (degree-only strength, no-distance,
 //! no-strength) — the design choices DESIGN.md calls out from §IV-A.
 //!
-//! Usage: `ablation_qaim [instances-per-family]` (default 20).
+//! Usage: `ablation_qaim [instances-per-family] [--manifest <path>] [--trace <path>]` (default 20).
 
+use bench::cli::Cli;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family};
 use qcompile::mapping::{qaim_variant, QaimVariant};
@@ -15,10 +16,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let cli = Cli::parse("ablation_qaim");
+    let count = cli.pos_usize(0, 20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
@@ -67,6 +66,7 @@ fn main() {
         }
     }
     println!("\n(the full metric should dominate; no-strength typically costs the most swaps\n on sparse graphs, matching the §IV-A hardware-profiling rationale)");
+    cli.write_manifest();
 }
 
 fn logical_circuit(spec: &QaoaSpec) -> qcircuit::Circuit {

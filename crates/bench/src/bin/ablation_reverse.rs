@@ -4,8 +4,9 @@
 //! both quality (SWAPs of a subsequent compilation) and the extra
 //! compilation work.
 //!
-//! Usage: `ablation_reverse [instances]` (default 20).
+//! Usage: `ablation_reverse [instances] [--manifest <path>] [--trace <path>]` (default 20).
 
+use bench::cli::Cli;
 use std::time::Instant;
 
 use bench::stats::{mean, row};
@@ -18,10 +19,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let cli = Cli::parse("ablation_reverse");
+    let count = cli.pos_usize(0, 20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
@@ -80,4 +79,5 @@ fn main() {
         println!("{}", row(name, &[mean(&swaps), mean(&times)]));
     }
     println!("\n(the [57] refinement improves random starts a lot; QAIM reaches comparable\n quality in a single pass — the paper's scalability argument)");
+    cli.write_manifest();
 }

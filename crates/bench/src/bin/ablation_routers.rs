@@ -4,8 +4,9 @@
 //! rankings survive a different backend — the paper's claim that its
 //! techniques "can be integrated into any conventional compiler".
 //!
-//! Usage: `ablation_routers [instances]` (default 20).
+//! Usage: `ablation_routers [instances] [--manifest <path>] [--trace <path>]` (default 20).
 
+use bench::cli::Cli;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family};
 use qcompile::{ip, mapping};
@@ -17,10 +18,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let cli = Cli::parse("ablation_routers");
+    let count = cli.pos_usize(0, 20);
     let topo = Topology::ibmq_20_tokyo();
     let metric = RoutingMetric::hops(&topo);
 
@@ -85,4 +84,5 @@ fn main() {
         println!("{}", row(name, &[mean(swaps), mean(depths), mean(gates)]));
     }
     println!("\n(IP's ordering should help both routers; absolute numbers differ by backend)");
+    cli.write_manifest();
 }

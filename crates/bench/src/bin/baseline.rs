@@ -33,6 +33,15 @@ fn regenerate(which: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let mut names: Vec<String> = std::env::args().skip(1).collect();
+    if names.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: baseline [sim|sim_quick|compile_quality]...\n\
+             \n\
+             Regenerates the named committed CI baselines (default: sim_quick\n\
+             compile_quality) into the bench output directory."
+        );
+        return ExitCode::SUCCESS;
+    }
     if names.iter().any(|a| a.starts_with("--")) {
         eprintln!("usage: baseline [sim|sim_quick|compile_quality]...");
         return ExitCode::from(2);

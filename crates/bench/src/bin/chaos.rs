@@ -9,7 +9,8 @@
 //! budgets), so the run manifest — including the `qcompile/fallbacks*`
 //! counters the gate regresses — is identical on every run and runner.
 //!
-//! Usage: `chaos [seeds-per-class] [--manifest <path>]` (default 7 seeds
+//! Usage: `chaos [seeds-per-class] [--manifest <path>] [--trace <path>]`
+//! (shared driver flags; `--help` prints them). (default 7 seeds
 //! per fault class — a 217-scenario campaign; the committed
 //! `results/chaos.manifest.json` baseline was produced with the default).
 

@@ -3,8 +3,9 @@
 //! workload the paper uses to compare against the temporal-planner
 //! compiler of Venturelli et al. \[46\].
 //!
-//! Usage: `disc_ring8 [instances]` (paper: 50).
+//! Usage: `disc_ring8 [instances] [--manifest <path>] [--trace <path>]` (paper: 50).
 
+use bench::cli::Cli;
 use bench::stats::{mean, row};
 use qcompile::{compile, CompileOptions, QaoaSpec};
 use qhw::Topology;
@@ -12,10 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let cli = Cli::parse("disc_ring8");
+    let count = cli.pos_usize(0, 50);
     let topo = Topology::ring(8);
 
     let mut depth_naive = Vec::new();
@@ -58,4 +57,5 @@ fn main() {
     println!(
         "\n(paper: IC beats the temporal planner [46] by 8.5% depth / 13% gates on this set,\n with compilation far under the planner's 70 s per instance)"
     );
+    cli.write_manifest();
 }

@@ -3,8 +3,9 @@
 //! amplifies the value of good initial mapping and incremental
 //! compilation — this binary checks the strategy ranking carries over.
 //!
-//! Usage: `ext_heavy_hex [instances]` (default 10).
+//! Usage: `ext_heavy_hex [instances] [--manifest <path>] [--trace <path>]` (default 10).
 
+use bench::cli::Cli;
 use bench::stats::{mean, row};
 use bench::workloads::{instances, Family};
 use qcompile::{compile, CompileOptions};
@@ -13,10 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let cli = Cli::parse("ext_heavy_hex");
+    let count = cli.pos_usize(0, 10);
     let topo = Topology::heavy_hex(2, 2);
     println!(
         "=== Extension: strategies on {} ({} qubits, {count} 14-node ER(0.3) instances) ===",
@@ -55,4 +54,5 @@ fn main() {
         );
     }
     println!("\n(sparser couplings raise absolute costs; the NAIVE → QAIM → IP → IC ranking\n should persist)");
+    cli.write_manifest();
 }

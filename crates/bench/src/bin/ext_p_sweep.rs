@@ -9,8 +9,9 @@
 //! 2. the compiled circuit cost versus p under IC(+QAIM) on
 //!    ibmq_20_tokyo.
 //!
-//! Usage: `ext_p_sweep [instances]` (default 3).
+//! Usage: `ext_p_sweep [instances] [--manifest <path>] [--trace <path>]` (default 3).
 
+use bench::cli::Cli;
 use bench::stats::mean;
 use bench::workloads::{instances, Family};
 use qaoa::MaxCut;
@@ -20,10 +21,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let cli = Cli::parse("ext_p_sweep");
+    let count = cli.pos_usize(0, 3);
     let topo = Topology::ibmq_20_tokyo();
 
     println!("=== Extension: QAOA level sweep ({count} 12-node 3-regular instances) ===");
@@ -63,4 +62,5 @@ fn main() {
         );
     }
     println!("\n(expectation ratio rises monotonically with p; compiled cost grows ~linearly)");
+    cli.write_manifest();
 }

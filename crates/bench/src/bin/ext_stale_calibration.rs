@@ -9,8 +9,9 @@
 //! success probability under today's (drifted) calibration, for several
 //! drift magnitudes.
 //!
-//! Usage: `ext_stale_calibration [instances]` (default 12).
+//! Usage: `ext_stale_calibration [instances] [--manifest <path>] [--trace <path>]` (default 12).
 
+use bench::cli::Cli;
 use bench::stats::mean;
 use bench::workloads::{instances, Family};
 use qcompile::{compile, CompileOptions};
@@ -19,10 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let count: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let cli = Cli::parse("ext_stale_calibration");
+    let count = cli.pos_usize(0, 12);
     let (topo, cal_compile) = Calibration::melbourne_2020_04_08();
 
     println!(
@@ -75,4 +74,5 @@ fn main() {
     println!(
         "\n(VIC's edge should erode toward parity as drift grows — the [69]-style\n argument for recompiling against fresh calibration data)"
     );
+    cli.write_manifest();
 }

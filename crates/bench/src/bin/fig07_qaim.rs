@@ -2,7 +2,7 @@
 //! 20-node Erdős–Rényi (edge prob 0.1–0.6) and regular (3–8 edges/node)
 //! MaxCut-QAOA instances, ibmq_20_tokyo target.
 //!
-//! Usage: `fig07_qaim [instances-per-bar] [--manifest <path>]`
+//! Usage: `fig07_qaim [instances-per-bar] [--manifest <path>] [--trace <path>]`
 //! (paper: 50 instances/bar; default 50).
 
 use bench::cli::Cli;

@@ -1,7 +1,7 @@
 //! Figure 8: NAIVE vs GreedyV vs QAIM depth / gate-count ratios for
 //! 3-regular graphs with problem sizes 12–20, ibmq_20_tokyo target.
 //!
-//! Usage: `fig08_size_sweep [instances-per-point] [--manifest <path>]`
+//! Usage: `fig08_size_sweep [instances-per-point] [--manifest <path>] [--trace <path>]`
 //! (paper: 20 instances/point).
 
 use bench::cli::Cli;

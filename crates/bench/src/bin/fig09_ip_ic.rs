@@ -2,7 +2,7 @@
 //! gate-count and compilation-time ratios on 20-node Erdős–Rényi and
 //! regular MaxCut-QAOA instances, ibmq_20_tokyo target.
 //!
-//! Usage: `fig09_ip_ic [instances-per-bar] [--manifest <path>]`
+//! Usage: `fig09_ip_ic [instances-per-bar] [--manifest <path>] [--trace <path>]`
 //! (paper: 50 instances/bar).
 
 use bench::cli::Cli;

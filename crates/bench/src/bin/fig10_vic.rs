@@ -2,7 +2,7 @@
 //! probability on ibmq_16_melbourne with the 2020-04-08 calibration —
 //! Erdős–Rényi (p=0.5) and 6-regular graphs, 13–15 nodes.
 //!
-//! Usage: `fig10_vic [instances-per-bar] [trajectories] [--manifest <path>]`
+//! Usage: `fig10_vic [instances-per-bar] [trajectories] [--manifest <path>] [--trace <path>]`
 //! (paper: 20 instances/bar).
 //!
 //! With `trajectories > 0` the table adds *measured* mean fidelities

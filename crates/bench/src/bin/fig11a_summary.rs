@@ -4,7 +4,7 @@
 //! ibmq_20_tokyo. VIC uses CNOT errors drawn from N(1.0e-2, 0.5e-2) as in
 //! §V-F.
 //!
-//! Usage: `fig11a_summary [instances-per-family] [--manifest <path>]`
+//! Usage: `fig11a_summary [instances-per-family] [--manifest <path>] [--trace <path>]`
 //! (paper: 600 total = 50 per family across 12 families; default 10 per
 //! family = 120 total).
 

@@ -8,8 +8,8 @@
 //! under noise (rh), report ARG = 100·(r0−rh)/r0 averaged per strategy.
 //!
 //! Usage: `fig11b_arg [instances-per-family] [shots] [trajectories]
-//! [--manifest <path>]` (paper: 20 instances/family, 40960 shots;
-//! defaults 5 / 8192 / 64).
+//! [--manifest <path>] [--trace <path>]` (paper: 20 instances/family,
+//! 40960 shots; defaults 5 / 8192 / 64).
 
 use bench::cli::Cli;
 use bench::stats::{mean, row};

@@ -2,7 +2,7 @@
 //! compilation time — IC(+QAIM) on a 36-qubit 6×6 grid, 36-node
 //! Erdős–Rényi (p=0.5) and 15-regular graphs.
 //!
-//! Usage: `fig12_packing [instances-per-point] [--manifest <path>]`
+//! Usage: `fig12_packing [instances-per-point] [--manifest <path>] [--trace <path>]`
 //! (paper: 20 instances/point; default 5).
 
 use bench::cli::Cli;

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! regress <baseline.json> <current.json> [--tolerance 0.15] [--report <path>]
+//! regress <baseline.json> <current.json> [--tolerance 0.15] [--report <path>] [--gate-spans]
 //! ```
 //!
 //! Both arguments may be bench reports (`BENCH_*.json`) or qtrace run
@@ -15,17 +15,29 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::regress::{diff, parse_artifact};
+use bench::regress::{diff, gate_spans, parse_artifact};
 
 struct Args {
     baseline: PathBuf,
     current: PathBuf,
     tolerance: f64,
     report: Option<PathBuf>,
+    gate_spans: bool,
+}
+
+fn usage_text() -> String {
+    "usage: regress <baseline.json> <current.json> [--tolerance 0.15] [--report <path>] [--gate-spans]\n\
+     \n\
+     options:\n\
+     \x20 --tolerance <frac>  relative tolerance before a shift counts (default 0.15)\n\
+     \x20 --report <path>     also write the comparison as JSON to <path>\n\
+     \x20 --gate-spans        let span wall-time series (mean/p50/p90/p99) fail the gate\n\
+     \x20 -h, --help          print this help and exit"
+        .to_owned()
 }
 
 fn usage() -> ! {
-    eprintln!("usage: regress <baseline.json> <current.json> [--tolerance 0.15] [--report <path>]");
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
@@ -33,9 +45,14 @@ fn parse_args() -> Args {
     let mut positional = Vec::new();
     let mut tolerance = 0.15;
     let mut report = None;
+    let mut gate_spans = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
             "--tolerance" => {
                 let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
                     usage();
@@ -46,6 +63,7 @@ fn parse_args() -> Args {
                 let Some(p) = iter.next() else { usage() };
                 report = Some(PathBuf::from(p));
             }
+            "--gate-spans" => gate_spans = true,
             _ if arg.starts_with("--") => usage(),
             _ => positional.push(PathBuf::from(arg)),
         }
@@ -60,6 +78,7 @@ fn parse_args() -> Args {
         current,
         tolerance,
         report,
+        gate_spans,
     }
 }
 
@@ -82,8 +101,12 @@ fn load(path: &PathBuf) -> bench::regress::SeriesSet {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let baseline = load(&args.baseline);
-    let current = load(&args.current);
+    let mut baseline = load(&args.baseline);
+    let mut current = load(&args.current);
+    if args.gate_spans {
+        gate_spans(&mut baseline);
+        gate_spans(&mut current);
+    }
     let report = match diff(&baseline, &current, args.tolerance) {
         Ok(report) => report,
         Err(e) => {

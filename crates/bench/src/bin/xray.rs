@@ -1,0 +1,100 @@
+//! `xray` — render a telemetry artifact as a text flamegraph, hot-path
+//! table and counter report.
+//!
+//! Usage:
+//!
+//! ```text
+//! xray <artifact.json> [--top 10] [--baseline <artifact.json>]
+//! ```
+//!
+//! The artifact may be a qtrace run manifest (`--manifest` output) or a
+//! Chrome Trace Format export (`--trace` output); the kind is sniffed
+//! from the top-level keys. With `--baseline`, counters are shown as
+//! deltas against the other artifact. Exit status: 0 on success, 2 on
+//! usage/parse errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::xray::{parse_input, render, XrayInput};
+
+struct Args {
+    artifact: PathBuf,
+    top: usize,
+    baseline: Option<PathBuf>,
+}
+
+fn usage_text() -> String {
+    "usage: xray <artifact.json> [--top 10] [--baseline <artifact.json>]\n\
+     \n\
+     options:\n\
+     \x20 --top <n>              how many hot paths to list (default 10)\n\
+     \x20 --baseline <artifact>  show counters as deltas against this artifact\n\
+     \x20 -h, --help             print this help and exit"
+        .to_owned()
+}
+
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut top = 10;
+    let mut baseline = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
+            "--top" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                top = v;
+            }
+            "--baseline" => {
+                let Some(p) = iter.next() else { usage() };
+                baseline = Some(PathBuf::from(p));
+            }
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(PathBuf::from(arg)),
+        }
+    }
+    if positional.len() != 1 || top == 0 {
+        usage();
+    }
+    Args {
+        artifact: positional.pop().expect("len checked"),
+        top,
+        baseline,
+    }
+}
+
+fn load(path: &PathBuf) -> XrayInput {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xray: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    match parse_input(&text) {
+        Ok(input) => input,
+        Err(e) => {
+            eprintln!("xray: {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let input = load(&args.artifact);
+    let baseline = args.baseline.as_ref().map(load);
+    print!("{}", render(&input, args.top, baseline.as_ref()));
+    ExitCode::SUCCESS
+}

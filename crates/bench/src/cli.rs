@@ -2,72 +2,113 @@
 //!
 //! Every `fig*` driver historically took bare positional arguments
 //! (instance counts, shot counts). This module keeps that contract and
-//! adds the telemetry flag all drivers share:
+//! adds the telemetry flags all drivers share:
 //!
 //! * `--manifest <path>` (or `--manifest=<path>`) — enable the global
 //!   [`qtrace`] recorder for the run and write the drained run manifest
 //!   to `<path>` when the driver finishes.
+//! * `--trace <path>` (or `--trace=<path>`) — additionally capture the
+//!   event timeline and export it as Chrome Trace Format JSON, loadable
+//!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! * `--help` / `-h` — print the unified usage string and exit 0.
 //!
 //! Positional arguments keep their old positions regardless of where the
-//! flag appears.
+//! flags appear. Both output flags drain the recorder exactly once, so a
+//! run may request the manifest, the trace, or both.
 
 use std::path::{Path, PathBuf};
 
-/// Parsed driver arguments: positionals plus the shared telemetry flag.
+/// Parsed driver arguments: positionals plus the shared telemetry flags.
 #[derive(Debug, Clone)]
 pub struct Cli {
     figure: String,
     positional: Vec<String>,
     manifest: Option<PathBuf>,
+    trace: Option<PathBuf>,
+}
+
+/// The unified usage string every driver prints (`--help` on stdout,
+/// malformed-flag errors on stderr).
+pub fn usage(figure: &str) -> String {
+    format!(
+        "usage: {figure} [positional args…] [--manifest <path>] [--trace <path>]\n\
+         \n\
+         options:\n\
+         \x20 --manifest <path>  enable telemetry; write the qtrace run manifest to <path>\n\
+         \x20 --trace <path>     also capture the event timeline; write Chrome Trace Format\n\
+         \x20                    JSON to <path> (open in Perfetto or chrome://tracing)\n\
+         \x20 -h, --help         print this help and exit"
+    )
 }
 
 impl Cli {
     /// Parses `std::env::args()` for the driver named `figure` (the name
     /// stamped into the manifest). Enables the global `qtrace` recorder
-    /// when `--manifest` is present.
+    /// when `--manifest` or `--trace` is present; `--trace` additionally
+    /// turns on event capture.
     ///
-    /// Exits with status 2 on a malformed flag (missing value or unknown
-    /// `--` option), printing the usage hint to stderr.
+    /// Prints the usage string and exits 0 on `--help`/`-h`. Exits with
+    /// status 2 on a malformed flag (missing value or unknown `--`
+    /// option), printing the usage hint to stderr.
     pub fn parse(figure: &str) -> Cli {
         match Cli::from_args(figure, std::env::args().skip(1).collect()) {
-            Ok(cli) => {
-                if cli.manifest.is_some() {
+            Ok(None) => {
+                println!("{}", usage(figure));
+                std::process::exit(0);
+            }
+            Ok(Some(cli)) => {
+                if cli.manifest.is_some() || cli.trace.is_some() {
                     qtrace::enable();
+                }
+                if cli.trace.is_some() {
+                    qtrace::global().capture_events(true);
                 }
                 cli
             }
             Err(message) => {
                 eprintln!("{figure}: {message}");
-                eprintln!("usage: {figure} [positional args…] [--manifest <path>]");
+                eprintln!("{}", usage(figure));
                 std::process::exit(2);
             }
         }
     }
 
     /// Flag-parsing core, separated from process concerns for testing.
-    pub fn from_args(figure: &str, args: Vec<String>) -> Result<Cli, String> {
+    /// `Ok(None)` means `--help` was requested.
+    pub fn from_args(figure: &str, args: Vec<String>) -> Result<Option<Cli>, String> {
         let mut positional = Vec::new();
         let mut manifest = None;
+        let mut trace = None;
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
-            if arg == "--manifest" {
+            if arg == "--help" || arg == "-h" {
+                return Ok(None);
+            } else if arg == "--manifest" {
                 let path = iter
                     .next()
                     .ok_or_else(|| "--manifest requires a path".to_owned())?;
                 manifest = Some(PathBuf::from(path));
             } else if let Some(path) = arg.strip_prefix("--manifest=") {
                 manifest = Some(PathBuf::from(path));
+            } else if arg == "--trace" {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| "--trace requires a path".to_owned())?;
+                trace = Some(PathBuf::from(path));
+            } else if let Some(path) = arg.strip_prefix("--trace=") {
+                trace = Some(PathBuf::from(path));
             } else if arg.starts_with("--") {
                 return Err(format!("unknown option '{arg}'"));
             } else {
                 positional.push(arg);
             }
         }
-        Ok(Cli {
+        Ok(Some(Cli {
             figure: figure.to_owned(),
             positional,
             manifest,
-        })
+            trace,
+        }))
     }
 
     /// The `idx`-th positional argument parsed as `usize`, or `default`
@@ -100,19 +141,38 @@ impl Cli {
         self.manifest.as_deref()
     }
 
+    /// Where the Chrome Trace Format export will be written, if requested.
+    pub fn trace_path(&self) -> Option<&Path> {
+        self.trace.as_deref()
+    }
+
     /// Drains the global recorder into a manifest named after the driver
-    /// and writes it to the `--manifest` path. No-op without the flag.
-    /// Call this last, after all instrumented work.
+    /// and writes the requested artifacts: the manifest to `--manifest`
+    /// and the Chrome Trace Format export to `--trace`. The recorder is
+    /// drained exactly once; both files come from the same manifest.
+    /// No-op without either flag. Call this last, after all instrumented
+    /// work.
     pub fn write_manifest(&self) {
-        let Some(path) = self.manifest.as_deref() else {
+        if self.manifest.is_none() && self.trace.is_none() {
             return;
-        };
+        }
         let manifest = qtrace::take(&self.figure);
-        match manifest.save(path) {
-            Ok(()) => println!("[wrote manifest {}]", path.display()),
-            Err(e) => {
-                eprintln!("[could not write manifest {}: {e}]", path.display());
-                std::process::exit(1);
+        if let Some(path) = self.manifest.as_deref() {
+            match manifest.save(path) {
+                Ok(()) => println!("[wrote manifest {}]", path.display()),
+                Err(e) => {
+                    eprintln!("[could not write manifest {}: {e}]", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = self.trace.as_deref() {
+            match qtrace::export::save_chrome_trace(&manifest, path) {
+                Ok(()) => println!("[wrote trace {}]", path.display()),
+                Err(e) => {
+                    eprintln!("[could not write trace {}: {e}]", path.display());
+                    std::process::exit(1);
+                }
             }
         }
     }
@@ -126,9 +186,15 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn parse(figure: &str, list: &[&str]) -> Cli {
+        Cli::from_args(figure, args(list))
+            .expect("well-formed args")
+            .expect("not a help request")
+    }
+
     #[test]
     fn positionals_survive_flag_interleaving() {
-        let cli = Cli::from_args("fig", args(&["12", "--manifest", "m.json", "34"])).unwrap();
+        let cli = parse("fig", &["12", "--manifest", "m.json", "34"]);
         assert_eq!(cli.pos_usize(0, 0), 12);
         assert_eq!(cli.pos_usize(1, 0), 34);
         assert_eq!(cli.pos_usize(2, 77), 77, "absent positional falls back");
@@ -137,23 +203,53 @@ mod tests {
 
     #[test]
     fn equals_form_and_absence() {
-        let cli = Cli::from_args("fig", args(&["--manifest=out/x.json"])).unwrap();
+        let cli = parse("fig", &["--manifest=out/x.json"]);
         assert_eq!(cli.manifest_path(), Some(Path::new("out/x.json")));
-        let cli = Cli::from_args("fig", args(&["5"])).unwrap();
+        let cli = parse("fig", &["5"]);
         assert_eq!(cli.manifest_path(), None);
+        assert_eq!(cli.trace_path(), None);
         assert_eq!(cli.pos_u32(0, 1), 5);
         assert_eq!(cli.pos_u64(0, 1), 5);
     }
 
     #[test]
+    fn trace_flag_both_forms() {
+        let cli = parse("fig", &["--trace", "t.json", "7"]);
+        assert_eq!(cli.trace_path(), Some(Path::new("t.json")));
+        assert_eq!(cli.pos_usize(0, 0), 7);
+        let cli = parse("fig", &["--trace=out/t.json", "--manifest=m.json"]);
+        assert_eq!(cli.trace_path(), Some(Path::new("out/t.json")));
+        assert_eq!(cli.manifest_path(), Some(Path::new("m.json")));
+    }
+
+    #[test]
+    fn help_is_recognized_in_any_position() {
+        assert!(Cli::from_args("fig", args(&["--help"])).unwrap().is_none());
+        assert!(Cli::from_args("fig", args(&["-h"])).unwrap().is_none());
+        assert!(Cli::from_args("fig", args(&["3", "--help", "4"]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let text = usage("fig09_ip_ic");
+        assert!(text.starts_with("usage: fig09_ip_ic"));
+        for needle in ["--manifest", "--trace", "--help"] {
+            assert!(text.contains(needle), "usage lacks {needle}");
+        }
+    }
+
+    #[test]
     fn malformed_flags_error() {
         assert!(Cli::from_args("fig", args(&["--manifest"])).is_err());
+        assert!(Cli::from_args("fig", args(&["--trace"])).is_err());
         assert!(Cli::from_args("fig", args(&["--bogus"])).is_err());
     }
 
     #[test]
     fn unparsable_positionals_fall_back() {
-        let cli = Cli::from_args("fig", args(&["abc"])).unwrap();
+        let cli = parse("fig", &["abc"]);
         assert_eq!(cli.pos_usize(0, 9), 9);
     }
 }

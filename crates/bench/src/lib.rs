@@ -16,6 +16,7 @@ pub mod report;
 pub mod simbench;
 pub mod stats;
 pub mod workloads;
+pub mod xray;
 
 use qaoa::{MaxCut, QaoaParams};
 use qcompile::QaoaSpec;

@@ -8,8 +8,11 @@
 //! * **qtrace run manifests** (a `"qtrace_version"` field) — counters,
 //!   gauges and histogram means gate with degenerate CIs (they are
 //!   deterministic for a fixed workload and thread configuration), while
-//!   span wall times are reported but never gate (CI runner timing noise
-//!   would make them flap).
+//!   span wall times — mean and the p50/p90/p99 tail quantiles — are
+//!   reported but do not gate by default (CI runner timing noise would
+//!   make them flap). [`gate_spans`] opts them in for runners with
+//!   controlled timing (the `regress` binary exposes it as
+//!   `--gate-spans`).
 //!
 //! The verdict rule is deliberately conservative: a series is
 //! **Regressed** only when the current median exceeds the baseline median
@@ -278,10 +281,26 @@ pub fn manifest_series(manifest: &qtrace::Manifest) -> SeriesSet {
     for (path, stat) in &manifest.spans {
         put(format!("span/{path}/count"), stat.count as f64, true);
         put(format!("span/{path}/mean_ns"), stat.mean_ns(), false);
+        put(format!("span/{path}/p50_ns"), stat.p50_ns as f64, false);
+        put(format!("span/{path}/p90_ns"), stat.p90_ns as f64, false);
+        put(format!("span/{path}/p99_ns"), stat.p99_ns as f64, false);
     }
     SeriesSet {
         name: manifest.name.clone(),
         series,
+    }
+}
+
+/// Opts span wall-time series (`span/…/mean_ns`, `span/…/p50_ns` and
+/// friends) into gating. Off by default because span times are wall
+/// clock and flap on shared CI runners; turn this on when the runner's
+/// timing is controlled enough that tail-latency regressions should
+/// fail the gate.
+pub fn gate_spans(set: &mut SeriesSet) {
+    for series in set.series.values_mut() {
+        if series.label.starts_with("span/") && series.label.ends_with("_ns") {
+            series.gating = true;
+        }
     }
 }
 
@@ -450,6 +469,46 @@ mod tests {
         let bad = parse_artifact(&rec.take_manifest("run").to_json()).unwrap();
         let d = diff(&base, &bad, 0.15).unwrap();
         assert!(d.has_regression(), "{}", d.render());
+    }
+
+    #[test]
+    fn quantiles_are_reported_and_gate_only_on_request() {
+        let slow_tail = |tail_us: u64| {
+            let rec = qtrace::Recorder::new();
+            rec.enable();
+            for _ in 0..95 {
+                rec.record_span("route", std::time::Duration::from_micros(10));
+            }
+            // Five-sample tail so the nearest-rank p99 (99th of 100)
+            // lands inside it.
+            for _ in 0..5 {
+                rec.record_span("route", std::time::Duration::from_micros(tail_us));
+            }
+            parse_artifact(&rec.take_manifest("run").to_json()).unwrap()
+        };
+        let base = slow_tail(12);
+        let cur = slow_tail(5000);
+
+        // Default: the p99 blow-up shows up as a row but does not gate.
+        let d = diff(&base, &cur, 0.15).unwrap();
+        assert!(!d.has_regression(), "{}", d.render());
+        let p99 = d.rows.iter().find(|r| r.label == "span/route/p99_ns");
+        let p99 = p99.expect("p99 series present");
+        assert!(!p99.gating);
+        assert_eq!(p99.verdict, Verdict::Regressed);
+
+        // Opted in, the same comparison fails the gate.
+        let mut base = base;
+        let mut cur = cur;
+        gate_spans(&mut base);
+        gate_spans(&mut cur);
+        let d = diff(&base, &cur, 0.15).unwrap();
+        assert!(d.has_regression(), "{}", d.render());
+        // The count series was already gating and must stay so.
+        assert!(d
+            .rows
+            .iter()
+            .any(|r| r.label == "span/route/count" && r.gating));
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Post-mortem analysis of telemetry artifacts: text flamegraph, hot-path
+//! table and counter deltas.
+//!
+//! Backs the `xray` binary. Accepts either artifact the harness emits —
+//! a qtrace run manifest (`"qtrace_version"`) or a Chrome Trace Format
+//! export (`"traceEvents"`, written by `--trace`) — and renders:
+//!
+//! * a **flamegraph**: span paths are `/`-separated hierarchies, so they
+//!   aggregate into a tree; each node shows a bar scaled to the hottest
+//!   root, its total wall time and its share;
+//! * the **top-N hot paths** by total wall time, with count, mean and
+//!   the p50/p90/p99 tail quantiles when the artifact carries them;
+//! * **counters** — absolute values, or deltas against a `--baseline`
+//!   artifact. In a Chrome trace, instant events stand in for counters
+//!   (each occurrence counts 1).
+
+use std::collections::BTreeMap;
+
+use qtrace::json::Json;
+use qtrace::Manifest;
+
+/// Aggregated wall time for one span path.
+#[derive(Debug, Clone, Default)]
+pub struct PathStat {
+    /// Completed occurrences.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Median occurrence, nanoseconds (0 when the artifact lacks it).
+    pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// One parsed artifact, reduced to what `xray` renders.
+#[derive(Debug, Clone)]
+pub struct XrayInput {
+    /// Run/figure name stamped in the artifact.
+    pub name: String,
+    /// Span wall time per path.
+    pub spans: BTreeMap<String, PathStat>,
+    /// Counters (manifest) or instant-event occurrences (Chrome trace).
+    pub counters: BTreeMap<String, i64>,
+}
+
+/// Parses an artifact, sniffing the kind from its top-level keys.
+pub fn parse_input(text: &str) -> Result<XrayInput, String> {
+    let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if json.get("qtrace_version").is_some() {
+        let manifest = Manifest::from_json(text).map_err(|e| format!("bad manifest: {e}"))?;
+        Ok(from_manifest(&manifest))
+    } else if json.get("traceEvents").is_some() {
+        from_chrome_trace(&json)
+    } else {
+        Err("unrecognized artifact: expected a qtrace manifest \
+             (\"qtrace_version\") or a Chrome trace (\"traceEvents\")"
+            .to_owned())
+    }
+}
+
+/// Reduces a run manifest to xray's view.
+pub fn from_manifest(manifest: &Manifest) -> XrayInput {
+    let mut spans = BTreeMap::new();
+    for (path, stat) in &manifest.spans {
+        spans.insert(
+            path.clone(),
+            PathStat {
+                count: stat.count,
+                total_ns: stat.total_ns,
+                p50_ns: stat.p50_ns,
+                p90_ns: stat.p90_ns,
+                p99_ns: stat.p99_ns,
+            },
+        );
+    }
+    let counters = manifest
+        .counters
+        .iter()
+        .map(|(name, value)| (name.clone(), *value as i64))
+        .collect();
+    XrayInput {
+        name: manifest.name.clone(),
+        spans,
+        counters,
+    }
+}
+
+/// Rebuilds per-path durations from a Chrome trace by pairing `B`/`E`
+/// events on a per-thread stack (the inverse of `qtrace::export`).
+/// Instant events (`i`) become counter occurrences. Unbalanced events
+/// (an `E` with no open `B`, or `B`s left open at the end) are dropped —
+/// the exporter only writes balanced pairs, but a hand-edited file
+/// should degrade, not error.
+pub fn from_chrome_trace(json: &Json) -> Result<XrayInput, String> {
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("\"traceEvents\" is not an array")?;
+    let mut name = String::from("trace");
+    let mut spans: BTreeMap<String, PathStat> = BTreeMap::new();
+    let mut counters: BTreeMap<String, i64> = BTreeMap::new();
+    // Open-span stack per tid: (path, begin ts in µs).
+    let mut open: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        let ev_name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+        match ph {
+            "M" if ev_name == "process_name" => {
+                if let Some(n) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    name = n.to_owned();
+                }
+            }
+            "M" => {}
+            "B" => {
+                let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+                let ts = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+                open.entry(tid).or_default().push((ev_name.to_owned(), ts));
+            }
+            "E" => {
+                let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0);
+                let ts = ev.get("ts").and_then(Json::as_f64).unwrap_or(0.0);
+                if let Some((path, begin)) = open.entry(tid).or_default().pop() {
+                    let stat = spans.entry(path).or_default();
+                    stat.count += 1;
+                    stat.total_ns += ((ts - begin).max(0.0) * 1000.0).round() as u64;
+                }
+            }
+            "i" => *counters.entry(ev_name.to_owned()).or_insert(0) += 1,
+            _ => {}
+        }
+    }
+    Ok(XrayInput {
+        name,
+        spans,
+        counters,
+    })
+}
+
+/// A node of the path hierarchy: wall time attributed to exactly this
+/// path (`self_ns`) plus everything under it.
+#[derive(Debug, Default)]
+struct Node {
+    self_ns: u64,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn total_ns(&self) -> u64 {
+        self.self_ns + self.children.values().map(Node::total_ns).sum::<u64>()
+    }
+
+    fn insert(&mut self, segments: &[&str], total_ns: u64) {
+        match segments.split_first() {
+            None => self.self_ns += total_ns,
+            Some((head, rest)) => self
+                .children
+                .entry((*head).to_owned())
+                .or_default()
+                .insert(rest, total_ns),
+        }
+    }
+}
+
+fn build_tree(spans: &BTreeMap<String, PathStat>) -> Node {
+    let mut root = Node::default();
+    for (path, stat) in spans {
+        let segments: Vec<&str> = path.split('/').collect();
+        root.insert(&segments, stat.total_ns);
+    }
+    root
+}
+
+const BAR_WIDTH: usize = 30;
+
+fn render_node(out: &mut String, name: &str, node: &Node, depth: usize, scale_ns: u64) {
+    let total = node.total_ns();
+    let bar_len = if scale_ns == 0 {
+        0
+    } else {
+        ((total as f64 / scale_ns as f64) * BAR_WIDTH as f64).round() as usize
+    };
+    let bar = "#".repeat(bar_len.min(BAR_WIDTH));
+    let label = format!("{}{}", "  ".repeat(depth), name);
+    out.push_str(&format!(
+        "{label:<40} {bar:<BAR_WIDTH$} {:>12}  {:>6.1}%\n",
+        fmt_ns(total),
+        if scale_ns == 0 {
+            0.0
+        } else {
+            100.0 * total as f64 / scale_ns as f64
+        },
+    ));
+    let mut children: Vec<(&String, &Node)> = node.children.iter().collect();
+    children.sort_by(|a, b| b.1.total_ns().cmp(&a.1.total_ns()).then(a.0.cmp(b.0)));
+    for (child_name, child) in children {
+        render_node(out, child_name, child, depth + 1, scale_ns);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the full report: flamegraph, top-`top` hot paths, counters
+/// (as deltas when `baseline` is given).
+pub fn render(input: &XrayInput, top: usize, baseline: Option<&XrayInput>) -> String {
+    let mut out = format!("xray: {}\n", input.name);
+
+    out.push_str("\nflamegraph (wall time by span path)\n");
+    if input.spans.is_empty() {
+        out.push_str("  (no spans in artifact)\n");
+    } else {
+        let root = build_tree(&input.spans);
+        let scale = root
+            .children
+            .values()
+            .map(Node::total_ns)
+            .max()
+            .unwrap_or(0);
+        let mut roots: Vec<(&String, &Node)> = root.children.iter().collect();
+        roots.sort_by(|a, b| b.1.total_ns().cmp(&a.1.total_ns()).then(a.0.cmp(b.0)));
+        for (name, node) in roots {
+            render_node(&mut out, name, node, 0, scale);
+        }
+    }
+
+    out.push_str(&format!("\ntop {top} hot paths (by total wall time)\n"));
+    let mut hot: Vec<(&String, &PathStat)> = input.spans.iter().collect();
+    hot.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    if hot.is_empty() {
+        out.push_str("  (no spans in artifact)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "path", "count", "total", "mean", "p50", "p90", "p99"
+        ));
+        for (path, stat) in hot.into_iter().take(top) {
+            let mean = stat.total_ns.checked_div(stat.count).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<40} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                path,
+                stat.count,
+                fmt_ns(stat.total_ns),
+                fmt_ns(mean),
+                fmt_ns(stat.p50_ns),
+                fmt_ns(stat.p90_ns),
+                fmt_ns(stat.p99_ns),
+            ));
+        }
+    }
+
+    match baseline {
+        None => {
+            out.push_str("\ncounters\n");
+            if input.counters.is_empty() {
+                out.push_str("  (no counters in artifact)\n");
+            }
+            for (name, value) in &input.counters {
+                out.push_str(&format!("{name:<40} {value:>12}\n"));
+            }
+        }
+        Some(base) => {
+            out.push_str(&format!("\ncounter deltas (vs {})\n", base.name));
+            let mut names: Vec<&String> =
+                input.counters.keys().chain(base.counters.keys()).collect();
+            names.sort();
+            names.dedup();
+            if names.is_empty() {
+                out.push_str("  (no counters in either artifact)\n");
+            }
+            for name in names {
+                let cur = input.counters.get(name).copied().unwrap_or(0);
+                let was = base.counters.get(name).copied().unwrap_or(0);
+                let delta = cur - was;
+                out.push_str(&format!(
+                    "{name:<40} {cur:>12} ({}{delta})\n",
+                    if delta >= 0 { "+" } else { "" }
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_manifest() -> Manifest {
+        let rec = qtrace::Recorder::new();
+        rec.enable();
+        rec.add("qcompile/swaps", 12);
+        rec.record_span("qcompile/route", Duration::from_micros(300));
+        rec.record_span("qcompile/route", Duration::from_micros(500));
+        rec.record_span("qcompile/map", Duration::from_micros(200));
+        rec.record_span("qsim/apply", Duration::from_micros(900));
+        rec.take_manifest("fig09_ip_ic")
+    }
+
+    #[test]
+    fn manifest_renders_flamegraph_and_hot_paths() {
+        let input = parse_input(&sample_manifest().to_json()).unwrap();
+        let text = render(&input, 10, None);
+        assert!(text.contains("xray: fig09_ip_ic"));
+        assert!(text.contains("qcompile"));
+        // Child rows are indented under their root segment.
+        assert!(text.contains("  route"));
+        assert!(text.contains("qcompile/route"));
+        assert!(text.contains('#'), "bars rendered");
+        assert!(text.contains("qcompile/swaps"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trip_recovers_spans() {
+        let rec = qtrace::Recorder::new();
+        rec.enable();
+        rec.capture_events(true);
+        {
+            let outer = rec.span("qcompile/full");
+            let inner = outer.child("route");
+            std::thread::sleep(Duration::from_millis(2));
+            drop(inner);
+            drop(outer);
+        }
+        rec.instant("qcompile/fallback");
+        let manifest = rec.take_manifest("roundtrip");
+        let trace = qtrace::export::chrome_trace(&manifest);
+
+        let input = parse_input(&trace).unwrap();
+        assert_eq!(input.name, "roundtrip");
+        assert_eq!(input.spans.len(), 2, "{:?}", input.spans);
+        let outer = &input.spans["qcompile/full"];
+        let inner = &input.spans["qcompile/full/route"];
+        assert_eq!(outer.count, 1);
+        assert!(inner.total_ns >= 2_000_000);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert_eq!(input.counters.get("qcompile/fallback"), Some(&1));
+
+        let text = render(&input, 5, None);
+        assert!(text.contains("full"));
+    }
+
+    #[test]
+    fn counter_deltas_against_baseline() {
+        let base = from_manifest(&sample_manifest());
+        let rec = qtrace::Recorder::new();
+        rec.enable();
+        rec.add("qcompile/swaps", 20);
+        rec.add("qcompile/fallbacks", 2);
+        let cur = from_manifest(&rec.take_manifest("fig09_ip_ic"));
+        let text = render(&cur, 5, Some(&base));
+        assert!(text.contains("counter deltas"));
+        assert!(text.contains("(+8)"), "{text}");
+        assert!(text.contains("(+2)"), "{text}");
+    }
+
+    #[test]
+    fn unrecognized_artifact_errors() {
+        assert!(parse_input("{\"nope\": 1}").is_err());
+        assert!(parse_input("not json").is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Every bench binary must answer `--help` by printing a usage string to
+//! stdout and exiting 0 — the contract the CI and README lean on.
+
+use std::process::Command;
+
+/// `(name, CARGO_BIN_EXE path)` for every binary in this crate. The
+/// paths are baked in at compile time, so adding a binary without
+/// registering it here is a compile error in this list — update it.
+const BINARIES: &[(&str, &str)] = &[
+    ("ablation_ic", env!("CARGO_BIN_EXE_ablation_ic")),
+    ("ablation_qaim", env!("CARGO_BIN_EXE_ablation_qaim")),
+    ("ablation_reverse", env!("CARGO_BIN_EXE_ablation_reverse")),
+    ("ablation_routers", env!("CARGO_BIN_EXE_ablation_routers")),
+    ("baseline", env!("CARGO_BIN_EXE_baseline")),
+    ("chaos", env!("CARGO_BIN_EXE_chaos")),
+    ("disc_ring8", env!("CARGO_BIN_EXE_disc_ring8")),
+    ("ext_heavy_hex", env!("CARGO_BIN_EXE_ext_heavy_hex")),
+    ("ext_p_sweep", env!("CARGO_BIN_EXE_ext_p_sweep")),
+    (
+        "ext_stale_calibration",
+        env!("CARGO_BIN_EXE_ext_stale_calibration"),
+    ),
+    ("fig07_qaim", env!("CARGO_BIN_EXE_fig07_qaim")),
+    ("fig08_size_sweep", env!("CARGO_BIN_EXE_fig08_size_sweep")),
+    ("fig09_ip_ic", env!("CARGO_BIN_EXE_fig09_ip_ic")),
+    ("fig10_vic", env!("CARGO_BIN_EXE_fig10_vic")),
+    ("fig11a_summary", env!("CARGO_BIN_EXE_fig11a_summary")),
+    ("fig11b_arg", env!("CARGO_BIN_EXE_fig11b_arg")),
+    ("fig12_packing", env!("CARGO_BIN_EXE_fig12_packing")),
+    ("regress", env!("CARGO_BIN_EXE_regress")),
+    ("xray", env!("CARGO_BIN_EXE_xray")),
+];
+
+#[test]
+fn every_binary_answers_help_with_exit_zero() {
+    for (name, exe) in BINARIES {
+        let out = Command::new(exe)
+            .arg("--help")
+            .output()
+            .unwrap_or_else(|e| panic!("{name}: failed to spawn: {e}"));
+        assert!(
+            out.status.success(),
+            "{name} --help exited {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("usage:"),
+            "{name} --help printed no usage string:\n{stdout}"
+        );
+        assert!(
+            stdout.contains(name),
+            "{name} --help does not name the binary:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn short_help_flag_works_too() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig09_ip_ic"))
+        .arg("-h")
+        .output()
+        .expect("spawn fig09_ip_ic");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

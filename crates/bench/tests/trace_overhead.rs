@@ -1,0 +1,111 @@
+//! Tracing overhead guard: with the recorder enabled *and* the event
+//! timeline captured, the fig09 quick workload must cost less than 5%
+//! extra wall time over a run with telemetry fully disabled.
+//!
+//! Ignored by default because it is a timing assertion; CI runs it
+//! explicitly (`cargo test --release -p bench --test trace_overhead -- --ignored`)
+//! on a quiet runner. Off/on rounds are interleaved so slow clock or
+//! thermal drift hits both configurations equally, and the min-of-N
+//! estimator keeps the run least disturbed by the machine. A bounded
+//! retry absorbs one-off scheduler noise; a real overhead regression
+//! fails every attempt.
+
+use std::time::{Duration, Instant};
+
+use qcompile::{compile_batch, BatchJob, CompileOptions};
+use qhw::{HardwareContext, Topology};
+
+const ROUNDS: usize = 7;
+const ATTEMPTS: usize = 3;
+const BUDGET: f64 = 1.05;
+
+fn quick_workload() -> Vec<BatchJob> {
+    let graphs = bench::workloads::instances(bench::workloads::Family::ErdosRenyi(0.4), 20, 8, 77);
+    graphs
+        .into_iter()
+        .enumerate()
+        .flat_map(|(gi, g)| {
+            let spec = bench::compilation_spec(g, true);
+            [
+                CompileOptions::qaim_only(),
+                CompileOptions::ip(),
+                CompileOptions::ic(),
+            ]
+            .into_iter()
+            .map(move |options| BatchJob::new(spec.clone(), options, 500 + gi as u64))
+            .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn run_once(context: &HardwareContext, jobs: &[BatchJob]) -> Duration {
+    let start = Instant::now();
+    let results = compile_batch(context, jobs, 2);
+    assert!(results.iter().all(Result::is_ok));
+    start.elapsed()
+}
+
+/// One paired measurement: alternate disabled/enabled rounds and keep
+/// the minimum wall time seen for each configuration. Each enabled
+/// round drains afterwards (outside the timed region), matching real
+/// `--trace` usage where one run is drained into one manifest — without
+/// the drain, rings accumulate events across rounds and the growing
+/// heap footprint taxes the later rounds unrealistically.
+fn measure_ratio(
+    context: &HardwareContext,
+    jobs: &[BatchJob],
+) -> (Duration, Duration, qtrace::Manifest) {
+    let q = qtrace::global();
+    let mut off = Duration::MAX;
+    let mut on = Duration::MAX;
+    let mut manifest = qtrace::Manifest::empty("trace_overhead");
+    for _ in 0..ROUNDS {
+        q.disable();
+        off = off.min(run_once(context, jobs));
+        q.enable();
+        q.capture_events(true);
+        on = on.min(run_once(context, jobs));
+        manifest = qtrace::take("trace_overhead");
+    }
+    q.disable();
+    (off, on, manifest)
+}
+
+#[test]
+#[ignore = "timing assertion; run explicitly on a quiet machine/CI step"]
+fn enabled_tracing_costs_less_than_five_percent() {
+    let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+    let jobs = quick_workload();
+
+    // Warm-up: fault in lazy state (distance matrices, allocator pools).
+    let _ = run_once(&context, &jobs);
+    let _ = run_once(&context, &jobs);
+
+    let mut best_ratio = f64::MAX;
+    let mut manifest = qtrace::Manifest::empty("warmup");
+    for attempt in 0..ATTEMPTS {
+        let (off, on, m) = measure_ratio(&context, &jobs);
+        manifest = m;
+        let ratio = on.as_secs_f64() / off.as_secs_f64();
+        best_ratio = best_ratio.min(ratio);
+        eprintln!(
+            "attempt {}: off={off:?} on={on:?} overhead={:+.2}%",
+            attempt + 1,
+            (ratio - 1.0) * 100.0
+        );
+        if best_ratio < BUDGET {
+            break;
+        }
+    }
+
+    assert!(
+        !manifest.spans.is_empty() && !manifest.events.is_empty(),
+        "instrumentation must actually have recorded something"
+    );
+
+    assert!(
+        best_ratio < BUDGET,
+        "tracing overhead {:.2}% exceeds the 5% budget in all {ATTEMPTS} attempts",
+        (best_ratio - 1.0) * 100.0
+    );
+}

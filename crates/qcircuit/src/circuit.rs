@@ -304,18 +304,21 @@ impl Circuit {
     /// has depth 9 and the Figure 1(c) reordered circuit depth 6, both
     /// counting the final measurements.
     pub fn depth(&self) -> usize {
+        // Hot in telemetry and explain paths: track operands via
+        // q0/q1/arity directly instead of allocating `qubit_vec` twice
+        // per instruction.
         let mut frontier = vec![0usize; self.num_qubits];
         let mut depth = 0;
         for instr in &self.instructions {
-            let level = instr
-                .qubit_vec()
-                .iter()
-                .map(|&q| frontier[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
-            for q in instr.qubit_vec() {
-                frontier[q] = level;
+            let q0 = instr.q0();
+            let level = if instr.gate().arity() == 1 {
+                frontier[q0] + 1
+            } else {
+                frontier[q0].max(frontier[instr.q1()]) + 1
+            };
+            frontier[q0] = level;
+            if instr.gate().arity() != 1 {
+                frontier[instr.q1()] = level;
             }
             depth = depth.max(level);
         }

@@ -33,6 +33,23 @@ pub struct IncrementalResult {
     pub swap_count: usize,
     /// Number of CPHASE layers formed (across all levels).
     pub cphase_layers: usize,
+    /// One record per formed CPHASE layer, in formation order — the raw
+    /// material for the compile explain report.
+    pub layers: Vec<LayerRecord>,
+}
+
+/// What one incrementally formed CPHASE layer contained and cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerRecord {
+    /// QAOA level (0-based) the layer belongs to.
+    pub level: usize,
+    /// The layer's CPHASE gates as `(logical_a, logical_b)` pairs, in
+    /// packing order.
+    pub gates: Vec<(usize, usize)>,
+    /// SWAPs the backend inserted to route this layer.
+    pub swaps: usize,
+    /// Depth of the routed partial circuit for this layer.
+    pub routed_depth: usize,
 }
 
 /// Compiles a QAOA program incrementally (IC when `metric` is
@@ -117,6 +134,9 @@ pub fn try_compile_incremental_with<R: Rng + ?Sized>(
     let mut out = Circuit::new(n_physical);
     let mut swap_count = 0usize;
     let mut cphase_layers = 0usize;
+    let mut layers: Vec<LayerRecord> = Vec::new();
+    let mut layer_marks: Vec<u64> = Vec::new();
+    let q = qtrace::global();
 
     // Initial Hadamard wall.
     for q in 0..n_logical {
@@ -159,6 +179,17 @@ pub fn try_compile_incremental_with<R: Rng + ?Sized>(
                 partial.rzz(op.angle, op.a, op.b);
             }
             let routed = try_route(&partial, topology, layout, metric)?;
+            // Timeline marker per packed layer; timestamps buffer locally
+            // and flush in one batch after the level loop.
+            if q.events_enabled() {
+                layer_marks.push(qtrace::event::now_ns());
+            }
+            layers.push(LayerRecord {
+                level,
+                gates: layer.iter().map(|op| (op.a, op.b)).collect(),
+                swaps: routed.swap_count,
+                routed_depth: routed.circuit.depth(),
+            });
             out.append(&routed.circuit).expect("same physical width");
             layout = routed.final_layout;
             swap_count += routed.swap_count;
@@ -178,12 +209,14 @@ pub fn try_compile_incremental_with<R: Rng + ?Sized>(
             out.measure(layout.phys(q));
         }
     }
+    q.instants_at("qcompile/ic/layer", &layer_marks);
 
     Ok(IncrementalResult {
         circuit: out,
         final_layout: layout,
         swap_count,
         cphase_layers,
+        layers,
     })
 }
 

@@ -44,6 +44,7 @@
 mod batch;
 pub mod crosstalk;
 mod error;
+pub mod explain;
 pub mod ic;
 pub mod ip;
 pub mod mapping;
@@ -55,6 +56,7 @@ mod trace;
 
 pub use batch::{compile_batch, default_workers, BatchJob};
 pub use error::CompileError;
+pub use explain::{Explain, ExplainLayer, ExplainPass, EXPLAIN_VERSION};
 pub use pipeline::{
     compile, try_compile, try_compile_with_context, Compilation, CompileOptions, CompiledCircuit,
     InitialMapping, Resilience, FULL_VERIFY_MAX_QUBITS,

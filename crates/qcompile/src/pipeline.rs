@@ -20,6 +20,7 @@ use qroute::{try_route, Layout, RoutingMetric};
 use rand::{Rng, RngCore};
 
 use crate::error::CompileError;
+use crate::explain::{Explain, ExplainLayer};
 use crate::passes::{CompileContext, RoutingStage};
 use crate::trace::{FallbackReason, FallbackRecord, PassTrace};
 use crate::{ic, CphaseOp, QaoaSpec};
@@ -218,6 +219,7 @@ pub struct CompiledCircuit {
     final_layout: Layout,
     swap_count: usize,
     trace: PassTrace,
+    explain: Explain,
 }
 
 impl CompiledCircuit {
@@ -270,6 +272,14 @@ impl CompiledCircuit {
     /// Per-pass wall-clock time and swap/depth deltas for this run.
     pub fn trace(&self) -> &PassTrace {
         &self.trace
+    }
+
+    /// The structured explain report for this run: initial layout,
+    /// per-layer membership and SWAP cost, fallback narrative. Contains
+    /// no wall-clock data, so its JSON/text renderings are
+    /// byte-reproducible for a fixed seed.
+    pub fn explain(&self) -> &Explain {
+        &self.explain
     }
 
     /// Success probability of the basis circuit under `calibration` (§II).
@@ -444,6 +454,9 @@ fn compile_with_ladder(
             Ok(mut compiled) => {
                 if !steps.is_empty() {
                     compiled.trace.adopt_fallbacks(steps);
+                    // Keep the explain artifact's narrative in sync with
+                    // the authoritative fallback history on the trace.
+                    compiled.explain.fallbacks = compiled.trace.fallbacks().to_vec();
                 }
                 return Ok(compiled);
             }
@@ -509,7 +522,7 @@ fn compile_once(
     trace.push(mapping_pass.name(), elapsed, 0, None);
     check_pass_budget(options, enforce_budgets, mapping_pass.name(), elapsed)?;
 
-    let (physical, final_layout, swap_count) = match options.compilation.routing_stage() {
+    let (physical, final_layout, swap_count, layers) = match options.compilation.routing_stage() {
         RoutingStage::Full => {
             let ordering = options
                 .compilation
@@ -538,7 +551,25 @@ fn compile_once(
                 Some(routed.circuit.depth()),
             );
             check_pass_budget(options, enforce_budgets, "route", elapsed)?;
-            (routed.circuit, routed.final_layout, routed.swap_count)
+            // ASAP layers of the full circuit may span QAOA levels and
+            // interleave with mixer walls, so level and per-layer depth
+            // are not attributable here.
+            let layers = routed
+                .layer_stats
+                .iter()
+                .map(|l| ExplainLayer {
+                    level: None,
+                    gates: l.gates.clone(),
+                    swaps: l.swaps,
+                    routed_depth: None,
+                })
+                .collect();
+            (
+                routed.circuit,
+                routed.final_layout,
+                routed.swap_count,
+                layers,
+            )
         }
         RoutingStage::Incremental { variation_aware } => {
             let name = if variation_aware {
@@ -568,7 +599,17 @@ fn compile_once(
             let elapsed = pass.finish();
             trace.push(name, elapsed, r.swap_count, Some(r.circuit.depth()));
             check_pass_budget(options, enforce_budgets, name, elapsed)?;
-            (r.circuit, r.final_layout, r.swap_count)
+            let layers = r
+                .layers
+                .iter()
+                .map(|l| ExplainLayer {
+                    level: Some(l.level),
+                    gates: l.gates.clone(),
+                    swaps: l.swaps,
+                    routed_depth: Some(l.routed_depth),
+                })
+                .collect();
+            (r.circuit, r.final_layout, r.swap_count, layers)
         }
     };
 
@@ -583,16 +624,34 @@ fn compile_once(
     let pass = run.child("lower-to-basis");
     let basis = to_basis(&physical, BasisSet::Ibm)
         .map_err(|e| CompileError::BasisLowering(e.to_string()))?;
-    trace.push("lower-to-basis", pass.finish(), 0, Some(basis.depth()));
+    // Depth is an O(gates) walk; compute it once for the pass trace, the
+    // telemetry gauge and the explain report.
+    let basis_depth = basis.depth();
+    trace.push("lower-to-basis", pass.finish(), 0, Some(basis_depth));
 
     let q = qtrace::global();
     if q.is_enabled() {
         q.add("qcompile/runs", 1);
         q.add("qcompile/swaps", swap_count as u64);
-        q.gauge_max("qcompile/basis_depth", basis.depth() as u64);
+        q.gauge_max("qcompile/basis_depth", basis_depth as u64);
         q.observe("qcompile/run_swaps", swap_count as u64);
     }
     run.finish();
+
+    let layout_vec = |layout: &Layout| (0..spec.num_qubits()).map(|q| layout.phys(q)).collect();
+    let explain = Explain::from_parts(
+        options.config_name(),
+        spec.num_qubits(),
+        context.num_qubits(),
+        layout_vec(&initial_layout),
+        layout_vec(&final_layout),
+        &trace,
+        layers,
+        swap_count,
+        basis_depth,
+        basis.gate_count(),
+        basis.count_gate("cx"),
+    );
 
     Ok(CompiledCircuit {
         physical,
@@ -601,6 +660,7 @@ fn compile_once(
         final_layout,
         swap_count,
         trace,
+        explain,
     })
 }
 

@@ -1,0 +1,74 @@
+//! The explain report must be byte-reproducible: same spec, options and
+//! seed → identical JSON and text, across repeated runs and across batch
+//! worker counts. The report deliberately carries no wall-clock fields,
+//! so this is an exact-equality check, not a tolerance one.
+
+use qcompile::{
+    compile_batch, try_compile_with_context, BatchJob, CompileOptions, CphaseOp, QaoaSpec,
+};
+use qhw::{HardwareContext, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ring_spec(n: usize) -> QaoaSpec {
+    let ops = (0..n).map(|i| CphaseOp::new(i, (i + 1) % n, 0.4)).collect();
+    QaoaSpec::new(n, vec![(ops, 0.3)], true)
+}
+
+#[test]
+fn explain_is_byte_identical_across_runs() {
+    let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+    for options in [
+        CompileOptions::qaim_only(),
+        CompileOptions::ip(),
+        CompileOptions::ic(),
+    ] {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(4242);
+            let compiled =
+                try_compile_with_context(&ring_spec(8), &context, &options, &mut rng).unwrap();
+            (
+                compiled.explain().to_json(),
+                compiled.explain().render_text(),
+            )
+        };
+        let (json_a, text_a) = run();
+        let (json_b, text_b) = run();
+        assert_eq!(json_a, json_b, "explain JSON must be reproducible");
+        assert_eq!(text_a, text_b, "explain text must be reproducible");
+    }
+}
+
+#[test]
+fn explain_is_independent_of_batch_worker_count() {
+    let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+    let jobs: Vec<BatchJob> = (0..6)
+        .map(|i| {
+            let options = if i % 2 == 0 {
+                CompileOptions::ic()
+            } else {
+                CompileOptions::ip()
+            };
+            BatchJob::new(ring_spec(6 + i), options, 9000 + i as u64)
+        })
+        .collect();
+    let serial = compile_batch(&context, &jobs, 1);
+    let parallel = compile_batch(&context, &jobs, 4);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let s = s.as_ref().unwrap().explain().to_json();
+        let p = p.as_ref().unwrap().explain().to_json();
+        assert_eq!(s, p, "job {i}: worker count changed the explain report");
+    }
+}
+
+#[test]
+fn explain_json_has_no_wall_clock_fields() {
+    let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+    let mut rng = StdRng::seed_from_u64(7);
+    let compiled =
+        try_compile_with_context(&ring_spec(8), &context, &CompileOptions::ic(), &mut rng).unwrap();
+    let json = compiled.explain().to_json();
+    for needle in ["_ns", "_ms", "elapsed"] {
+        assert!(!json.contains(needle), "wall clock leaked: {needle}");
+    }
+}

@@ -15,6 +15,21 @@ pub struct RouteResult {
     pub final_layout: Layout,
     /// Number of SWAP gates inserted.
     pub swap_count: usize,
+    /// Per-ASAP-layer routing stats, one entry per layer that contained
+    /// at least one two-qubit gate, in execution order. The compile
+    /// explain report attributes SWAP cost to individual layers with
+    /// these.
+    pub layer_stats: Vec<RouteLayerStat>,
+}
+
+/// Routing stats for one ASAP concurrency layer of two-qubit gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteLayerStat {
+    /// The layer's two-qubit gates as `(logical_a, logical_b)` pairs, in
+    /// emission order.
+    pub gates: Vec<(usize, usize)>,
+    /// SWAPs inserted to make this layer executable.
+    pub swaps: usize,
 }
 
 /// Routes a logical circuit onto `topology`, inserting SWAPs so every
@@ -90,6 +105,8 @@ pub fn try_route(
     let mut layout = initial_layout;
     let mut out = Circuit::new(topology.num_qubits());
     let mut swap_count = 0usize;
+    let mut layer_stats: Vec<RouteLayerStat> = Vec::new();
+    let mut layer_marks: Vec<u64> = Vec::new();
 
     let q = qtrace::global();
     let span = q.span("qroute/route");
@@ -104,15 +121,30 @@ pub fn try_route(
             }
         }
         let layer_swaps = route_layer(&two_qubit, topology, metric, &mut layout, &mut out)?;
-        if !two_qubit.is_empty() && q.is_enabled() {
-            q.add("qroute/layers", 1);
-            q.observe("qroute/layer_swaps", layer_swaps as u64);
+        if !two_qubit.is_empty() {
+            // One timeline marker per routed layer lets a trace show
+            // where inside a route call the SWAP cost accrued. Only the
+            // timestamp is captured here; the events flush in one batch
+            // below so the loop stays off the recorder lock.
+            if q.events_enabled() {
+                layer_marks.push(qtrace::event::now_ns());
+            }
+            layer_stats.push(RouteLayerStat {
+                gates: two_qubit.iter().map(|i| (i.q0(), i.q1())).collect(),
+                swaps: layer_swaps,
+            });
         }
         swap_count += layer_swaps;
     }
     if q.is_enabled() {
+        // Per-layer numbers flush in one batch — taking the recorder lock
+        // inside the layer loop shows up in the tracing-overhead budget.
+        q.add("qroute/layers", layer_stats.len() as u64);
+        let layer_swaps: Vec<u64> = layer_stats.iter().map(|l| l.swaps as u64).collect();
+        q.observe_many("qroute/layer_swaps", &layer_swaps);
         q.add("qroute/swaps", swap_count as u64);
         q.gauge_max("qroute/routed_depth", out.depth() as u64);
+        q.instants_at("qroute/layer", &layer_marks);
     }
     span.finish();
 
@@ -120,6 +152,7 @@ pub fn try_route(
         circuit: out,
         final_layout: layout,
         swap_count,
+        layer_stats,
     })
 }
 

@@ -234,6 +234,9 @@ pub fn route_sabre(
         circuit: out,
         final_layout: layout,
         swap_count,
+        // SABRE resolves gates one at a time off a dependency front, so
+        // there are no layer boundaries to attribute SWAPs to.
+        layer_stats: Vec::new(),
     }
 }
 

@@ -97,7 +97,11 @@ impl FusedApplier {
     pub(crate) fn apply(&mut self, amps: &mut [Complex], instr: &Instruction) {
         let op = Op::from_instruction(instr);
         if qtrace::enabled() {
-            qtrace::global().add(op.dispatch_counter(), 1);
+            let q = qtrace::global();
+            q.add(op.dispatch_counter(), 1);
+            // Timeline marker per kernel dispatch (second opt-in: only
+            // recorded when event capture is also on).
+            q.instant(op.dispatch_counter());
         }
         if !self.fuse {
             op.apply(amps, self.threads);

@@ -1,0 +1,200 @@
+//! Event timelines: bounded, lock-cheap rings of span begin/end and
+//! instant events.
+//!
+//! Aggregate span statistics (see [`crate::SpanStat`]) answer "how much
+//! time did path X take in total" but cannot localize a regression below
+//! a path boundary: *which* routing layer blew up, *when* the fallback
+//! ladder stepped down, how compile and simulation phases interleave
+//! across batch workers. Event capture answers those questions by
+//! recording a timestamped [`Event`] for every span begin/end and for
+//! explicit instants, tagged with a small per-thread ordinal.
+//!
+//! # Design
+//!
+//! * **Sharded rings.** Events are pushed into one of
+//!   [`EVENT_SHARDS`] rings selected by the calling thread's ordinal, so
+//!   two threads almost never contend on the same lock (a lock is still
+//!   taken — uncontended `Mutex` acquisition is a few nanoseconds — which
+//!   keeps the implementation safe-code-only).
+//! * **Bounded.** Each ring stops accepting events at the configured
+//!   capacity and counts what it dropped; a runaway workload degrades the
+//!   trace, never the process. Drops surface as the
+//!   `qtrace/dropped_events` counter in the drained manifest.
+//! * **Opt-in twice.** Event capture is off unless the recorder is
+//!   enabled *and* [`crate::Recorder::capture_events`] was turned on —
+//!   aggregate-only users (the `--manifest` flag) pay one extra relaxed
+//!   atomic load and nothing else.
+//!
+//! Timestamps are nanoseconds of monotonic time since a process-global
+//! epoch (first use), so events from different threads order correctly.
+//! [`crate::Manifest::normalized`] rebases them to zero and sorts events
+//! deterministically, keeping manifest-determinism comparisons exact.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Number of event rings a [`crate::Recorder`] shards threads across.
+pub const EVENT_SHARDS: usize = 16;
+
+/// Default per-shard event capacity (events beyond it are dropped and
+/// counted).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1 << 16;
+
+/// What kind of timeline event was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A span started (Chrome Trace Format phase `B`).
+    Begin,
+    /// A span finished (phase `E`).
+    End,
+    /// A point-in-time marker (phase `i`).
+    Instant,
+}
+
+impl EventKind {
+    /// The Chrome Trace Format phase letter, also used in the manifest
+    /// serialization.
+    pub fn code(self) -> &'static str {
+        match self {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+        }
+    }
+
+    /// Parses a phase letter back into a kind.
+    pub fn from_code(code: &str) -> Option<EventKind> {
+        match code {
+            "B" => Some(EventKind::Begin),
+            "E" => Some(EventKind::End),
+            "i" => Some(EventKind::Instant),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One timeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span path (for begin/end) or marker name (for instants). Shared
+    /// (`Arc<str>`) so a span's begin and end events clone a refcount
+    /// instead of re-allocating the path on the hot path.
+    pub path: Arc<str>,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Small per-thread ordinal (assigned on a thread's first event;
+    /// stable for the thread's lifetime, not across runs).
+    pub tid: u64,
+    /// Nanoseconds of monotonic time since the process trace epoch.
+    pub ts_ns: u64,
+}
+
+/// One bounded shard of the event ring.
+#[derive(Debug)]
+pub(crate) struct EventRing {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub(crate) const fn new() -> EventRing {
+        EventRing {
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Pushes an event, dropping (and counting) beyond `capacity`.
+    pub(crate) fn push(&mut self, event: Event, capacity: usize) {
+        if self.events.len() < capacity {
+            self.events.push(event);
+        } else {
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    /// Drains the shard, returning `(events, dropped)` and resetting both.
+    pub(crate) fn drain(&mut self) -> (Vec<Event>, u64) {
+        let dropped = std::mem::take(&mut self.dropped);
+        (std::mem::take(&mut self.events), dropped)
+    }
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (established on first use).
+pub fn now_ns() -> u64 {
+    ns_since(Instant::now())
+}
+
+/// Nanoseconds between the process trace epoch and a previously captured
+/// `Instant`. Lets callers that already hold an `Instant` (a span's start
+/// time) stamp an event without a second clock read.
+pub fn ns_since(at: Instant) -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(at.saturating_duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+}
+
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's small stable ordinal (first-event assignment order).
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|id| *id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [EventKind::Begin, EventKind::End, EventKind::Instant] {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+            assert_eq!(kind.to_string(), kind.code());
+        }
+        assert_eq!(EventKind::from_code("X"), None);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut ring = EventRing::new();
+        let ev = |i: u64| Event {
+            path: "p".into(),
+            kind: EventKind::Instant,
+            tid: 0,
+            ts_ns: i,
+        };
+        for i in 0..5 {
+            ring.push(ev(i), 3);
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(dropped, 2);
+        // Draining resets the ring.
+        let (events, dropped) = ring.drain();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_ordinal_is_stable() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        assert_eq!(thread_ordinal(), thread_ordinal());
+        let other = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(other, thread_ordinal());
+    }
+}

@@ -1,31 +1,41 @@
 //! The run manifest: a canonical, deterministically ordered JSON
 //! snapshot of everything a [`Recorder`](crate::Recorder) observed.
 //!
-//! # Schema (`qtrace_version` 1)
+//! # Schema (`qtrace_version` 2)
 //!
 //! ```json
 //! {
-//!   "qtrace_version": 1,
+//!   "qtrace_version": 2,
 //!   "name": "fig07_qaim",
 //!   "created_unix_ms": 1754468000000,
 //!   "spans": [
 //!     {"path": "qcompile/compile", "count": 400,
-//!      "total_ns": 81234567, "min_ns": 90123, "max_ns": 412345}
+//!      "total_ns": 81234567, "min_ns": 90123, "max_ns": 412345,
+//!      "p50_ns": 180000, "p90_ns": 310000, "p99_ns": 405000}
 //!   ],
 //!   "counters": [{"name": "qroute/swaps", "value": 1234}],
 //!   "gauges": [{"name": "qsim/peak_live_amplitudes", "max": 1048576}],
 //!   "histograms": [
 //!     {"name": "qsim/fused_diag_run_len", "count": 10, "sum": 55,
 //!      "buckets": [[0, 3], [2, 4], [4, 3]]}
+//!   ],
+//!   "events": [
+//!     {"path": "qcompile/compile", "ph": "B", "tid": 0, "ts_ns": 120}
 //!   ]
 //! }
 //! ```
 //!
-//! Every section is sorted by key and always present, so two manifests
-//! from identical runs differ only in the wall-time fields
-//! (`created_unix_ms` and the span `total_ns`/`min_ns`/`max_ns`) —
-//! [`Manifest::normalized`] zeroes exactly those, giving a byte-exact
-//! determinism comparison. Histogram buckets are log2: the pair
+//! Version 2 added the span quantile fields (`p50_ns`/`p90_ns`/`p99_ns`)
+//! and the optional `events` section (timeline events, omitted when no
+//! events were captured); [`Manifest::from_json`] still reads version-1
+//! documents, defaulting both to empty/zero.
+//!
+//! Every aggregate section is sorted by key and always present, so two
+//! manifests from identical runs differ only in the wall-time fields
+//! (`created_unix_ms`, the span timing fields, and event
+//! timestamps/thread ids) — [`Manifest::normalized`] zeroes exactly
+//! those (re-sorting events by path once timestamps are gone), giving a
+//! byte-exact determinism comparison. Histogram buckets are log2: the pair
 //! `[lo, count]` counts observations in `[lo, 2·lo)` (`[0, 2)` for the
 //! first bucket).
 
@@ -34,10 +44,14 @@ use std::fmt;
 use std::io::Write;
 use std::path::Path;
 
+use crate::event::{Event, EventKind};
 use crate::json::Json;
 
 /// Current manifest schema version.
-pub const QTRACE_VERSION: u64 = 1;
+pub const QTRACE_VERSION: u64 = 2;
+
+/// Oldest manifest schema version [`Manifest::from_json`] still reads.
+pub const QTRACE_VERSION_MIN: u64 = 1;
 
 /// Aggregate statistics for one span path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +64,13 @@ pub struct SpanStat {
     pub min_ns: u64,
     /// Longest occurrence, nanoseconds.
     pub max_ns: u64,
+    /// Median occurrence, nanoseconds (nearest-rank over the recorder's
+    /// bounded reservoir; 0 when unknown, e.g. a version-1 manifest).
+    pub p50_ns: u64,
+    /// 90th-percentile occurrence, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile occurrence, nanoseconds.
+    pub p99_ns: u64,
 }
 
 impl Default for SpanStat {
@@ -59,6 +80,9 @@ impl Default for SpanStat {
             total_ns: 0,
             min_ns: u64::MAX,
             max_ns: 0,
+            p50_ns: 0,
+            p90_ns: 0,
+            p99_ns: 0,
         }
     }
 }
@@ -130,6 +154,16 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
     }
 
+    /// Folds another histogram into this one (bucket-wise sum). Used when
+    /// merging per-thread recorder shards at drain time.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -196,7 +230,8 @@ impl fmt::Display for ManifestError {
             ManifestError::Version(v) => {
                 write!(
                     f,
-                    "unsupported qtrace_version {v} (supported: {QTRACE_VERSION})"
+                    "unsupported qtrace_version {v} \
+                     (supported: {QTRACE_VERSION_MIN}..={QTRACE_VERSION})"
                 )
             }
         }
@@ -221,6 +256,10 @@ pub struct Manifest {
     pub gauges: BTreeMap<String, u64>,
     /// Histograms keyed by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Captured timeline events in timestamp order; empty unless the
+    /// recorder had [`capture_events`](crate::Recorder::capture_events)
+    /// turned on.
+    pub events: Vec<Event>,
 }
 
 impl Manifest {
@@ -233,13 +272,16 @@ impl Manifest {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            events: Vec::new(),
         }
     }
 
-    /// A copy with every wall-time field zeroed (`created_unix_ms` and
-    /// the span `total_ns`/`min_ns`/`max_ns`). Two identical runs produce
-    /// byte-identical `normalized().to_json()` output regardless of
-    /// machine speed.
+    /// A copy with every wall-time field zeroed: `created_unix_ms`, the
+    /// span `total_ns`/`min_ns`/`max_ns`/`p50_ns`/`p90_ns`/`p99_ns`, and
+    /// event `ts_ns`/`tid` (events are then re-sorted by path and kind,
+    /// since their timestamp order is scheduling-dependent). Two
+    /// identical runs produce byte-identical `normalized().to_json()`
+    /// output regardless of machine speed or thread interleaving.
     pub fn normalized(&self) -> Manifest {
         let mut m = self.clone();
         m.created_unix_ms = 0;
@@ -247,7 +289,16 @@ impl Manifest {
             stat.total_ns = 0;
             stat.min_ns = 0;
             stat.max_ns = 0;
+            stat.p50_ns = 0;
+            stat.p90_ns = 0;
+            stat.p99_ns = 0;
         }
+        for ev in &mut m.events {
+            ev.ts_ns = 0;
+            ev.tid = 0;
+        }
+        m.events
+            .sort_by(|a, b| (&a.path, a.kind).cmp(&(&b.path, b.kind)));
         m
     }
 
@@ -263,12 +314,16 @@ impl Manifest {
         ));
         section(&mut out, "spans", self.spans.iter(), |(path, s)| {
             format!(
-                "{{\"path\": \"{}\", \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                "{{\"path\": \"{}\", \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
                 escape(path),
                 s.count,
                 s.total_ns,
                 if s.count == 0 { 0 } else { s.min_ns },
                 s.max_ns,
+                s.p50_ns,
+                s.p90_ns,
+                s.p99_ns,
             )
         });
         out.push_str(",\n");
@@ -299,6 +354,18 @@ impl Manifest {
                 )
             },
         );
+        if !self.events.is_empty() {
+            out.push_str(",\n");
+            section(&mut out, "events", self.events.iter(), |ev| {
+                format!(
+                    "{{\"path\": \"{}\", \"ph\": \"{}\", \"tid\": {}, \"ts_ns\": {}}}",
+                    escape(&ev.path),
+                    ev.kind.code(),
+                    ev.tid,
+                    ev.ts_ns,
+                )
+            });
+        }
         out.push_str("\n}\n");
         out
     }
@@ -308,7 +375,7 @@ impl Manifest {
     pub fn from_json(input: &str) -> Result<Manifest, ManifestError> {
         let doc = Json::parse(input).map_err(ManifestError::Json)?;
         let version = field_u64(&doc, "qtrace_version")?;
-        if version != QTRACE_VERSION {
+        if !(QTRACE_VERSION_MIN..=QTRACE_VERSION).contains(&version) {
             return Err(ManifestError::Version(version));
         }
         let name = doc
@@ -335,6 +402,10 @@ impl Manifest {
                     entry_u64(entry, "min_ns")?
                 },
                 max_ns: entry_u64(entry, "max_ns")?,
+                // Quantiles arrived in version 2; absent means unknown.
+                p50_ns: entry_u64_or(entry, "p50_ns", 0),
+                p90_ns: entry_u64_or(entry, "p90_ns", 0),
+                p99_ns: entry_u64_or(entry, "p99_ns", 0),
             };
             manifest.spans.insert(path, stat);
         }
@@ -372,6 +443,21 @@ impl Manifest {
                 Histogram::from_parts(&pairs, entry_u64(entry, "count")?, entry_u64(entry, "sum")?)
                     .map_err(ManifestError::Schema)?;
             manifest.histograms.insert(name, h);
+        }
+        // The events section is optional (absent in version 1 and in
+        // version-2 manifests with no captured events).
+        if doc.get("events").is_some() {
+            for entry in section_entries(&doc, "events")? {
+                let code = entry_str(entry, "ph")?;
+                let kind = EventKind::from_code(code)
+                    .ok_or_else(|| schema(format!("unknown event phase '{code}'")))?;
+                manifest.events.push(Event {
+                    path: entry_str(entry, "path")?.into(),
+                    kind,
+                    tid: entry_u64(entry, "tid")?,
+                    ts_ns: entry_u64(entry, "ts_ns")?,
+                });
+            }
         }
         Ok(manifest)
     }
@@ -441,8 +527,14 @@ fn entry_u64(entry: &Json, key: &str) -> Result<u64, ManifestError> {
         .ok_or_else(|| schema(format!("entry missing integer field '{key}'")))
 }
 
+/// Like [`entry_u64`] but tolerates a missing field (later-version
+/// additions read from older documents).
+fn entry_u64_or(entry: &Json, key: &str, default: u64) -> u64 {
+    entry.get(key).and_then(Json::as_u64).unwrap_or(default)
+}
+
 /// Minimal JSON string escaping: quotes, backslashes and control bytes.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -473,6 +565,18 @@ mod tests {
         h.record(3);
         h.record(300);
         m.histograms.insert("lens".into(), h);
+        m.events.push(Event {
+            path: "a/b".into(),
+            kind: EventKind::Begin,
+            tid: 1,
+            ts_ns: 120,
+        });
+        m.events.push(Event {
+            path: "a/b".into(),
+            kind: EventKind::End,
+            tid: 1,
+            ts_ns: 420,
+        });
         m
     }
 
@@ -523,11 +627,54 @@ mod tests {
         a.created_unix_ms = 1;
         b.created_unix_ms = 2;
         a.spans.get_mut("a/b").unwrap().total_ns = 999;
+        a.spans.get_mut("a/b").unwrap().p99_ns = 999;
+        // Different interleaving: other thread, other timestamps,
+        // other arrival order — same multiset of (path, kind).
+        b.events.reverse();
+        for (i, ev) in b.events.iter_mut().enumerate() {
+            ev.tid = 7;
+            ev.ts_ns = 1000 + i as u64;
+        }
         assert_ne!(a.to_json(), b.to_json());
         assert_eq!(a.normalized().to_json(), b.normalized().to_json());
         // Non-time differences survive normalization.
         b.counters.insert("swaps".into(), 43);
         assert_ne!(a.normalized().to_json(), b.normalized().to_json());
+        // And so does a genuinely different event set.
+        let mut c = sample();
+        c.events.pop();
+        assert_ne!(sample().normalized().to_json(), c.normalized().to_json());
+    }
+
+    #[test]
+    fn reads_version_1_documents() {
+        let v1 = r#"{
+  "qtrace_version": 1,
+  "name": "old",
+  "created_unix_ms": 5,
+  "spans": [
+    {"path": "a", "count": 2, "total_ns": 20, "min_ns": 5, "max_ns": 15}
+  ],
+  "counters": [],
+  "gauges": [],
+  "histograms": []
+}"#;
+        let m = Manifest::from_json(v1).unwrap();
+        assert_eq!(m.name, "old");
+        let s = &m.spans["a"];
+        assert_eq!((s.count, s.total_ns, s.min_ns, s.max_ns), (2, 20, 5, 15));
+        assert_eq!((s.p50_ns, s.p90_ns, s.p99_ns), (0, 0, 0));
+        assert!(m.events.is_empty());
+        // Re-serializing upgrades to the current version.
+        assert!(m.to_json().contains("\"qtrace_version\": 2"));
+    }
+
+    #[test]
+    fn events_section_is_omitted_when_empty() {
+        let mut m = sample();
+        m.events.clear();
+        assert!(!m.to_json().contains("\"events\""));
+        assert_eq!(Manifest::from_json(&m.to_json()).unwrap(), m);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Concurrent-writer stress for the event timeline: many threads record
+//! spans at once, and (a) no event is lost or invented — the drained
+//! count plus the drop counter conserves the number pushed — and (b) the
+//! normalized manifest is byte-identical across runs, regardless of
+//! scheduling and thread-ordinal assignment.
+
+use std::time::Duration;
+
+use qtrace::Recorder;
+
+const THREADS: usize = 8;
+const SPANS_PER_THREAD: usize = 200;
+
+fn stress_run() -> qtrace::Manifest {
+    let rec = Recorder::new();
+    rec.enable();
+    rec.capture_events(true);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rec = &rec;
+            scope.spawn(move || {
+                for i in 0..SPANS_PER_THREAD {
+                    // Path depends only on the spawn index and iteration,
+                    // never on the OS thread identity, so the normalized
+                    // event set is identical across runs.
+                    let span = rec.span(&format!("stress/worker{t}"));
+                    if i % 16 == 0 {
+                        rec.instant(&format!("stress/worker{t}/tick"));
+                    }
+                    span.finish();
+                }
+            });
+        }
+    });
+    rec.take_manifest("events_stress")
+}
+
+#[test]
+fn event_count_is_conserved_under_contention() {
+    let manifest = stress_run();
+    let begins_and_ends = 2 * THREADS * SPANS_PER_THREAD;
+    let instants = THREADS * SPANS_PER_THREAD.div_ceil(16);
+    let pushed = begins_and_ends + instants;
+    let dropped = manifest
+        .counters
+        .get("qtrace/dropped_events")
+        .copied()
+        .unwrap_or(0) as usize;
+    assert_eq!(
+        manifest.events.len() + dropped,
+        pushed,
+        "events drained + dropped must equal events pushed"
+    );
+    // The default ring capacity comfortably holds this workload.
+    assert_eq!(dropped, 0, "no drops expected at default capacity");
+    // Span aggregation saw every completion too.
+    let total_spans: u64 = manifest.spans.values().map(|s| s.count).sum();
+    assert_eq!(total_spans as usize, THREADS * SPANS_PER_THREAD);
+}
+
+#[test]
+fn normalized_manifests_are_byte_identical_across_runs() {
+    let a = stress_run().normalized().to_json();
+    let b = stress_run().normalized().to_json();
+    assert_eq!(a, b, "normalization must erase scheduling nondeterminism");
+}
+
+#[test]
+fn bounded_capacity_counts_every_drop() {
+    let rec = Recorder::new();
+    rec.enable();
+    rec.capture_events(true);
+    rec.set_event_capacity(8);
+    let pushed = 50 * THREADS;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rec = &rec;
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    rec.instant(&format!("drop/worker{t}"));
+                    std::hint::black_box(Duration::ZERO);
+                }
+            });
+        }
+    });
+    let manifest = rec.take_manifest("bounded");
+    let dropped = manifest
+        .counters
+        .get("qtrace/dropped_events")
+        .copied()
+        .unwrap_or(0) as usize;
+    assert!(dropped > 0, "tiny capacity must overflow");
+    assert_eq!(manifest.events.len() + dropped, pushed);
+}

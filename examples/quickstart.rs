@@ -3,9 +3,15 @@
 //! Builds the QAOA-MaxCut circuit of the 4-node 3-regular graph of
 //! Figure 1(a), compiles it for the 4-qubit linear device of Figure 1(d)
 //! with the NAIVE baseline and with IC(+QAIM), and prints both circuits
-//! with their quality metrics.
+//! with their quality metrics. Tracing is enabled throughout: the run
+//! ends with the compile *explain report* for the IC run and the span
+//! timings the qtrace recorder collected along the way.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--explain <path>` to also write the explain report as
+//! deterministic JSON (the same artifact CI uploads from the
+//! bench-regress job).
 
 use qaoa::MaxCut;
 use qcompile::{compile, CompileOptions, QaoaSpec};
@@ -14,6 +20,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record span timings and timeline events for everything below.
+    qtrace::enable();
+    qtrace::global().capture_events(true);
+    let explain_path = std::env::args()
+        .skip(1)
+        .skip_while(|a| a != "--explain")
+        .nth(1)
+        .map(std::path::PathBuf::from);
+
     // Figure 1(a): the 4-node 3-regular graph (complete graph K4).
     let graph = qgraph::Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])?;
     let problem = MaxCut::new(graph);
@@ -43,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Topology::linear(4);
     let spec = QaoaSpec::from_maxcut(&problem, &params, true);
     let mut rng = StdRng::seed_from_u64(1);
+    let mut ic_explain = None;
     for (name, options) in [
         (
             "NAIVE (random mapping + random order)",
@@ -62,6 +78,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(qroute::satisfies_coupling(compiled.physical(), &device));
         println!("{}", qcircuit::draw::draw(compiled.physical()));
+        ic_explain = Some(compiled.explain().clone());
     }
+
+    // Where did the depth and SWAP cost come from? The explain report
+    // breaks the (last, i.e. IC) compile down pass by pass and layer by
+    // layer; for a fixed seed it is byte-identical across runs.
+    let explain = ic_explain.expect("compiled at least one circuit");
+    println!("--- explain (IC run) ---\n{}", explain.render_text());
+    if let Some(path) = explain_path {
+        explain.save_json(&path)?;
+        println!("[wrote explain report {}]", path.display());
+    }
+
+    // And what did it cost? Drain the recorder and show the span stats.
+    let manifest = qtrace::take("quickstart");
+    println!("--- qtrace spans ---");
+    for (span_path, stat) in &manifest.spans {
+        println!(
+            "{span_path}: {}x total {}ns p50 {}ns p99 {}ns",
+            stat.count, stat.total_ns, stat.p50_ns, stat.p99_ns
+        );
+    }
+    println!(
+        "({} timeline events captured; use --trace on the fig drivers to export Perfetto traces)",
+        manifest.events.len()
+    );
     Ok(())
 }
