@@ -80,7 +80,7 @@ fn logical_circuit(spec: &QaoaSpec) -> qcircuit::Circuit {
             c.rzz(op.angle, op.a, op.b);
         }
         for q in 0..n {
-            c.rx(2.0 * beta, q);
+            c.rx(beta.scaled(2.0), q);
         }
     }
     c.measure_all();

@@ -69,7 +69,7 @@ fn main() {
                         c.rzz(op.angle, op.a, op.b);
                     }
                     for q in 0..n {
-                        c.rx(2.0 * beta, q);
+                        c.rx(beta.scaled(2.0), q);
                     }
                 }
                 c

@@ -66,7 +66,7 @@ fn main() {
                 c.rzz(op.angle, op.a, op.b);
             }
             for q in 0..spec.num_qubits() {
-                c.rx(2.0 * beta, q);
+                c.rx(beta.scaled(2.0), q);
             }
             c.measure_all();
             let r = if ri < 2 {

@@ -1,4 +1,4 @@
-use qcircuit::Circuit;
+use qcircuit::{Angle, Circuit, ParamId, ParamTable, ParamValues};
 use qsim::StateVector;
 
 use crate::MaxCut;
@@ -55,6 +55,68 @@ impl QaoaParams {
         );
         QaoaParams::new(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
     }
+
+    /// The flat encoding as binding values for a parametric ansatz built
+    /// by [`qaoa_circuit_parametric`] (or a parametric `QaoaSpec`): the
+    /// value of `ParamId(2k)` is `γ_k` and of `ParamId(2k + 1)` is `β_k`.
+    pub fn to_values(&self) -> ParamValues {
+        ParamValues::new(self.to_flat())
+    }
+}
+
+/// The shared parameter table of a level-`p` parametric QAOA ansatz:
+/// `gamma0, beta0, gamma1, beta1, …` — `2p` entries, level `k`'s cost
+/// parameter at `ParamId(2k)` and mixer parameter at `ParamId(2k + 1)`,
+/// matching the flat `[γ_1, β_1, …]` layout of [`QaoaParams::to_flat`].
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn qaoa_param_table(p: usize) -> ParamTable {
+    assert!(p > 0, "QAOA needs at least one level");
+    let mut table = ParamTable::new();
+    for k in 0..p {
+        table.declare(format!("gamma{k}"));
+        table.declare(format!("beta{k}"));
+    }
+    table
+}
+
+/// Builds the *parametric* logical QAOA-MaxCut circuit at level `p`: the
+/// Figure 1(b) structure with symbolic angles — per level `k`, one
+/// `Rzz(-γ_k)` per problem edge and one `Rx(2β_k)` per qubit, where
+/// `γ_k`/`β_k` are the `2p` shared parameters of [`qaoa_param_table`].
+///
+/// This is the compile-once half of the compile-once/rebind-many flow:
+/// the circuit's structure never changes across parameter points, so one
+/// build (or one compilation) serves every optimizer iteration; bind with
+/// [`QaoaParams::to_values`] (see [`qcircuit::Circuit::bind`]).
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn qaoa_circuit_parametric(problem: &MaxCut, p: usize, measure: bool) -> Circuit {
+    let n = problem.num_vars();
+    let mut c = Circuit::new(n);
+    c.set_param_table(qaoa_param_table(p));
+    for q in 0..n {
+        c.h(q);
+    }
+    for k in 0..p {
+        let gamma = Angle::sym(ParamId(2 * k as u32));
+        let beta = Angle::sym(ParamId(2 * k as u32 + 1));
+        for e in problem.graph().edges() {
+            // e^{-iγ C_uv} = global phase · Rzz(-γ) for C_uv = (1 - Z_u Z_v)/2.
+            c.rzz(gamma.scaled(-1.0), e.a(), e.b());
+        }
+        for q in 0..n {
+            c.rx(beta.scaled(2.0), q);
+        }
+    }
+    if measure {
+        c.measure_all();
+    }
+    c
 }
 
 /// Builds the logical QAOA-MaxCut circuit for `problem` with `params`
@@ -62,24 +124,11 @@ impl QaoaParams {
 /// (the commuting "CPHASE" cost layer, edges in canonical order) and one
 /// `Rx(2β)` per qubit. Appends measurements when `measure` is set.
 pub fn qaoa_circuit(problem: &MaxCut, params: &QaoaParams, measure: bool) -> Circuit {
-    let n = problem.num_vars();
-    let mut c = Circuit::new(n);
-    for q in 0..n {
-        c.h(q);
-    }
-    for &(gamma, beta) in params.levels() {
-        for e in problem.graph().edges() {
-            // e^{-iγ C_uv} = global phase · Rzz(-γ) for C_uv = (1 - Z_u Z_v)/2.
-            c.rzz(-gamma, e.a(), e.b());
-        }
-        for q in 0..n {
-            c.rx(2.0 * beta, q);
-        }
-    }
-    if measure {
-        c.measure_all();
-    }
-    c
+    // One structural builder serves both forms: the bound circuit is the
+    // parametric template with the values substituted, by construction.
+    qaoa_circuit_parametric(problem, params.p(), measure)
+        .bind(&params.to_values())
+        .expect("table and values come from the same QaoaParams")
 }
 
 /// The exact (noiseless) expectation `⟨γ,β|C|γ,β⟩` of the cut value,
@@ -112,6 +161,28 @@ mod tests {
     #[should_panic]
     fn empty_params_panic() {
         let _ = QaoaParams::new(vec![]);
+    }
+
+    #[test]
+    fn parametric_circuit_binds_to_the_bound_form() {
+        let problem = MaxCut::new(generators::complete(4));
+        let params = QaoaParams::new(vec![(0.4, 0.3), (0.9, 0.1)]);
+        let template = qaoa_circuit_parametric(&problem, 2, true);
+        assert!(template.is_parametric());
+        assert_eq!(template.num_params(), 4);
+        assert_eq!(
+            template.bind(&params.to_values()).unwrap(),
+            qaoa_circuit(&problem, &params, true)
+        );
+    }
+
+    #[test]
+    fn param_table_names_follow_flat_order() {
+        let table = qaoa_param_table(2);
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.name(qcircuit::ParamId(0)), Some("gamma0"));
+        assert_eq!(table.name(qcircuit::ParamId(1)), Some("beta0"));
+        assert_eq!(table.name(qcircuit::ParamId(3)), Some("beta1"));
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! and commute with the whole cost layer, adding nothing to the routing
 //! problem).
 
-use qcircuit::Circuit;
+use qcircuit::{Angle, Circuit, ParamId, ParamValues};
 use qsim::StateVector;
 
+use crate::ansatz::qaoa_param_table;
 use crate::QaoaParams;
 
 /// A general Ising problem instance.
@@ -118,22 +119,42 @@ impl IsingProblem {
     /// (implementing `e^{-iγH}` up to global phase), then the standard
     /// `Rx(2β)` mixer.
     pub fn circuit(&self, params: &QaoaParams, measure: bool) -> Circuit {
+        // The bound circuit is the parametric template with the values
+        // substituted, by construction.
+        self.circuit_parametric(params.p(), measure)
+            .bind(&params.to_values())
+            .expect("table and values come from the same QaoaParams")
+    }
+
+    /// The *parametric* level-`p` QAOA circuit for this Hamiltonian: per
+    /// level `k`, `Rzz(2J_uv·γ_k)` per coupling, `Rz(2h_u·γ_k)` per
+    /// nonzero field and the `Rx(2β_k)` mixer, over the `2p` shared
+    /// parameters of [`qaoa_param_table`]. Build once, then bind per
+    /// `(γ, β)` point with [`QaoaParams::to_values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn circuit_parametric(&self, p: usize, measure: bool) -> Circuit {
         let n = self.num_spins;
         let mut c = Circuit::new(n);
+        c.set_param_table(qaoa_param_table(p));
         for q in 0..n {
             c.h(q);
         }
-        for &(gamma, beta) in params.levels() {
+        for k in 0..p {
+            let gamma = Angle::sym(ParamId(2 * k as u32));
+            let beta = Angle::sym(ParamId(2 * k as u32 + 1));
             for &(u, v, j) in &self.couplings {
-                c.rzz(2.0 * gamma * j, u, v);
+                c.rzz(gamma.scaled(2.0 * j), u, v);
             }
             for (q, &h) in self.fields.iter().enumerate() {
                 if h != 0.0 {
-                    c.rz(2.0 * gamma * h, q);
+                    c.rz(gamma.scaled(2.0 * h), q);
                 }
             }
             for q in 0..n {
-                c.rx(2.0 * beta, q);
+                c.rx(beta.scaled(2.0), q);
             }
         }
         if measure {
@@ -156,21 +177,30 @@ impl IsingProblem {
     /// Panics if `p == 0` or `resolution < 2`.
     pub fn optimize(&self, p: usize, resolution: usize) -> (QaoaParams, f64) {
         assert!(p >= 1 && resolution >= 2, "need p >= 1 and resolution >= 2");
+        // Compile-once/rebind-many: one parametric template per ansatz
+        // depth; every objective evaluation only binds fresh values.
+        let energy = |ansatz: &Circuit, flat: &[f64]| -> f64 {
+            let state = StateVector::bind_and_simulate(ansatz, &ParamValues::from(flat))
+                .expect("grid/simplex points always cover the ansatz parameters");
+            state.expectation_diagonal(|bits| self.energy(bits))
+        };
         // Coarse grid over one level.
+        let p1_ansatz = self.circuit_parametric(1, false);
         let mut best = ((0.5, 0.25), f64::INFINITY);
         for i in 0..resolution {
             let gamma = std::f64::consts::PI * (i as f64 + 0.5) / resolution as f64;
             for jdx in 0..resolution {
                 let beta = std::f64::consts::FRAC_PI_2 * (jdx as f64 + 0.5) / resolution as f64;
-                let e = self.expectation(&QaoaParams::p1(gamma, beta));
+                let e = energy(&p1_ansatz, &[gamma, beta]);
                 if e < best.1 {
                     best = ((gamma, beta), e);
                 }
             }
         }
         let x0: Vec<f64> = (0..p).flat_map(|_| [best.0 .0, best.0 .1]).collect();
+        let ansatz = self.circuit_parametric(p, false);
         let (x, value) = crate::optimize::nelder_mead(
-            |flat| -self.expectation(&QaoaParams::from_flat(flat)),
+            |flat| -energy(&ansatz, flat),
             &x0,
             &crate::optimize::NelderMeadOptions::default(),
         );
@@ -218,6 +248,19 @@ mod tests {
         assert_eq!(c.count_gate("rzz"), 1);
         assert_eq!(c.count_gate("rz"), 2); // zero field compiles away
         assert_eq!(c.count_gate("rx"), 3);
+    }
+
+    #[test]
+    fn parametric_circuit_binds_to_the_bound_form() {
+        let problem = IsingProblem::new(3, vec![(0, 1, 0.5), (1, 2, -0.7)], vec![0.7, 0.0, -0.2]);
+        let params = QaoaParams::new(vec![(0.3, 0.2), (0.8, 0.6)]);
+        let template = problem.circuit_parametric(2, true);
+        assert!(template.is_parametric());
+        assert_eq!(template.num_params(), 4);
+        assert_eq!(
+            template.bind(&params.to_values()).unwrap(),
+            problem.circuit(&params, true)
+        );
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub mod ising;
 mod maxcut;
 pub mod optimize;
 
-pub use ansatz::{qaoa_circuit, QaoaParams};
+pub use ansatz::{
+    expectation, qaoa_circuit, qaoa_circuit_parametric, qaoa_param_table, QaoaParams,
+};
 pub use arg::{approximation_ratio_from_counts, approximation_ratio_gap, ApproximationRatio};
 pub use maxcut::MaxCut;

@@ -6,8 +6,11 @@
 //! search. Only the *parameter values* matter downstream — every
 //! compilation strategy is evaluated with the same optimized circuit.
 
+use qcircuit::ParamValues;
+use qsim::StateVector;
+
 use crate::analytic;
-use crate::ansatz::{expectation, QaoaParams};
+use crate::ansatz::{qaoa_circuit_parametric, QaoaParams};
 use crate::MaxCut;
 
 /// Configuration for [`nelder_mead`].
@@ -138,6 +141,12 @@ where
 /// For `p > 1` the grid-searched p=1 point is tiled across levels as the
 /// starting guess.
 ///
+/// The hybrid loop is compile-once/rebind-many: the parametric ansatz is
+/// built **once** before the simplex starts, and every objective
+/// evaluation only binds fresh `(γ, β)` values into it
+/// ([`StateVector::bind_and_simulate`]) — no per-iteration circuit
+/// construction.
+///
 /// # Panics
 ///
 /// Panics if `p == 0` or the problem exceeds the simulator's limits.
@@ -149,8 +158,13 @@ pub fn grid_then_nelder_mead(
     assert!(p >= 1, "p must be at least 1");
     let ((g0, b0), _) = analytic::grid_search_p1(problem, grid_resolution);
     let x0: Vec<f64> = (0..p).flat_map(|_| [g0, b0]).collect();
+    let ansatz = qaoa_circuit_parametric(problem, p, false);
     let (x, value) = nelder_mead(
-        |flat| expectation(problem, &QaoaParams::from_flat(flat)),
+        |flat| {
+            let state = StateVector::bind_and_simulate(&ansatz, &ParamValues::from(flat))
+                .expect("simplex points always cover the 2p ansatz parameters");
+            state.expectation_diagonal(|bits| problem.cut_value(bits) as f64)
+        },
         &x0,
         &NelderMeadOptions::default(),
     );

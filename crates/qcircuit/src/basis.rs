@@ -11,6 +11,7 @@
 
 use std::f64::consts::{FRAC_PI_2, PI};
 
+use crate::param::Angle;
 use crate::{Circuit, CircuitError, Gate, Instruction};
 
 /// The basis-gate family a circuit can be lowered to.
@@ -26,6 +27,9 @@ pub enum BasisSet {
 ///
 /// Measurements pass through unchanged. The output contains only `U1`,
 /// `U2`, `U3`, `Cnot` and `Measure` instructions for [`BasisSet::Ibm`].
+/// Every lowering rule is *affine* in the gate angle, so parametric
+/// circuits lower symbolically: `to_basis` commutes with `bind`, the
+/// property the compile-once/rebind-many artifact relies on.
 ///
 /// # Errors
 ///
@@ -49,6 +53,7 @@ pub enum BasisSet {
 pub fn to_basis(c: &Circuit, basis: BasisSet) -> Result<Circuit, CircuitError> {
     let BasisSet::Ibm = basis;
     let mut out = Circuit::new(c.num_qubits());
+    out.set_param_table(c.param_table().clone());
     for instr in c.iter() {
         lower_ibm(instr, &mut out)?;
     }
@@ -76,23 +81,39 @@ fn lower_ibm(instr: &Instruction, out: &mut Circuit) -> Result<(), CircuitError>
                 .expect("operand validated by caller circuit");
         }
         Gate::Id => {} // identity compiles away
-        Gate::H => push1(out, Gate::U2(0.0, PI), q),
-        Gate::X => push1(out, Gate::U3(PI, 0.0, PI), q),
-        Gate::Y => push1(out, Gate::U3(PI, FRAC_PI_2, FRAC_PI_2), q),
-        Gate::Z => push1(out, Gate::U1(PI), q),
-        Gate::S => push1(out, Gate::U1(FRAC_PI_2), q),
-        Gate::Sdg => push1(out, Gate::U1(-FRAC_PI_2), q),
-        Gate::T => push1(out, Gate::U1(PI / 4.0), q),
-        Gate::Tdg => push1(out, Gate::U1(-PI / 4.0), q),
-        Gate::Rx(t) => push1(out, Gate::U3(t, -FRAC_PI_2, FRAC_PI_2), q),
-        Gate::Ry(t) => push1(out, Gate::U3(t, 0.0, 0.0), q),
+        Gate::H => push1(out, Gate::U2(Angle::Const(0.0), Angle::Const(PI)), q),
+        Gate::X => push1(
+            out,
+            Gate::U3(Angle::Const(PI), Angle::Const(0.0), Angle::Const(PI)),
+            q,
+        ),
+        Gate::Y => push1(
+            out,
+            Gate::U3(
+                Angle::Const(PI),
+                Angle::Const(FRAC_PI_2),
+                Angle::Const(FRAC_PI_2),
+            ),
+            q,
+        ),
+        Gate::Z => push1(out, Gate::U1(Angle::Const(PI)), q),
+        Gate::S => push1(out, Gate::U1(Angle::Const(FRAC_PI_2)), q),
+        Gate::Sdg => push1(out, Gate::U1(Angle::Const(-FRAC_PI_2)), q),
+        Gate::T => push1(out, Gate::U1(Angle::Const(PI / 4.0)), q),
+        Gate::Tdg => push1(out, Gate::U1(Angle::Const(-PI / 4.0)), q),
+        Gate::Rx(t) => push1(
+            out,
+            Gate::U3(t, Angle::Const(-FRAC_PI_2), Angle::Const(FRAC_PI_2)),
+            q,
+        ),
+        Gate::Ry(t) => push1(out, Gate::U3(t, Angle::Const(0.0), Angle::Const(0.0)), q),
         Gate::Rz(t) => push1(out, Gate::U1(t), q),
         Gate::Cz => {
             // H on target, CNOT, H on target.
             let (a, b) = (instr.q0(), instr.q1());
-            push1(out, Gate::U2(0.0, PI), b);
+            push1(out, Gate::U2(Angle::Const(0.0), Angle::Const(PI)), b);
             push2(out, Gate::Cnot, a, b);
-            push1(out, Gate::U2(0.0, PI), b);
+            push1(out, Gate::U2(Angle::Const(0.0), Angle::Const(PI)), b);
         }
         Gate::Rzz(t) => {
             // Figure 1(d): CNOT · RZ(θ) · CNOT.
@@ -104,11 +125,11 @@ fn lower_ibm(instr: &Instruction, out: &mut Circuit) -> Result<(), CircuitError>
         Gate::CPhase(l) => {
             // CP(λ) = U1(λ/2)_a · U1(λ/2)_b · [CNOT · U1(-λ/2)_b · CNOT]
             let (a, b) = (instr.q0(), instr.q1());
-            push1(out, Gate::U1(l / 2.0), a);
+            push1(out, Gate::U1(l.scaled(0.5)), a);
             push2(out, Gate::Cnot, a, b);
-            push1(out, Gate::U1(-l / 2.0), b);
+            push1(out, Gate::U1(l.scaled(-0.5)), b);
             push2(out, Gate::Cnot, a, b);
-            push1(out, Gate::U1(l / 2.0), b);
+            push1(out, Gate::U1(l.scaled(0.5)), b);
         }
         Gate::Swap => {
             let (a, b) = (instr.q0(), instr.q1());
@@ -181,6 +202,7 @@ mod tests {
 
     #[test]
     fn every_gate_lowers_equivalently() {
+        let a = Angle::Const;
         for gate in [
             Gate::Id,
             Gate::H,
@@ -191,20 +213,45 @@ mod tests {
             Gate::Sdg,
             Gate::T,
             Gate::Tdg,
-            Gate::Rx(0.37),
-            Gate::Ry(-0.9),
-            Gate::Rz(2.2),
-            Gate::U1(0.4),
-            Gate::U2(0.1, 0.2),
-            Gate::U3(0.5, 0.6, 0.7),
+            Gate::Rx(a(0.37)),
+            Gate::Ry(a(-0.9)),
+            Gate::Rz(a(2.2)),
+            Gate::U1(a(0.4)),
+            Gate::U2(a(0.1), a(0.2)),
+            Gate::U3(a(0.5), a(0.6), a(0.7)),
             Gate::Cnot,
             Gate::Cz,
-            Gate::CPhase(1.234),
-            Gate::Rzz(-0.77),
+            Gate::CPhase(a(1.234)),
+            Gate::Rzz(a(-0.77)),
             Gate::Swap,
         ] {
             check_equivalent(gate);
         }
+    }
+
+    #[test]
+    fn lowering_commutes_with_binding() {
+        // to_basis(bind(c)) == bind(to_basis(c)): the affine lowering rules
+        // keep symbolic angles symbolic, and substitution distributes.
+        let mut c = Circuit::new(3);
+        let gamma = c.declare_param("gamma");
+        let beta = c.declare_param("beta");
+        for q in 0..3 {
+            c.h(q);
+        }
+        c.rzz(Angle::sym(gamma).neg(), 0, 1);
+        c.cp(Angle::sym(gamma).scaled(2.0), 1, 2);
+        for q in 0..3 {
+            c.rx(Angle::sym(beta).scaled(2.0), q);
+        }
+        let lowered = to_basis(&c, BasisSet::Ibm).unwrap();
+        assert!(lowered.is_parametric());
+        assert_eq!(lowered.num_params(), 2);
+
+        let values = crate::ParamValues::new(vec![0.45, -0.2]);
+        let bind_then_lower = to_basis(&c.bind(&values).unwrap(), BasisSet::Ibm).unwrap();
+        let lower_then_bind = lowered.bind(&values).unwrap();
+        assert_eq!(bind_then_lower, lower_then_bind);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::param::{Angle, ParamId, ParamTable, ParamValues};
 use crate::{CircuitError, Gate};
 
 /// One gate application: a [`Gate`] plus its qubit operands.
@@ -139,6 +140,7 @@ impl fmt::Display for Instruction {
 pub struct Circuit {
     num_qubits: usize,
     instructions: Vec<Instruction>,
+    params: ParamTable,
 }
 
 impl Circuit {
@@ -147,7 +149,71 @@ impl Circuit {
         Circuit {
             num_qubits,
             instructions: Vec::new(),
+            params: ParamTable::new(),
         }
+    }
+
+    /// Declares a named circuit parameter, returning its id for use in
+    /// symbolic [`Angle`]s.
+    pub fn declare_param(&mut self, name: impl Into<String>) -> ParamId {
+        self.params.declare(name)
+    }
+
+    /// The circuit's declared parameters.
+    pub fn param_table(&self) -> &ParamTable {
+        &self.params
+    }
+
+    /// Replaces the circuit's parameter table (used by builders that emit
+    /// instructions referencing an externally constructed table).
+    pub fn set_param_table(&mut self, params: ParamTable) {
+        self.params = params;
+    }
+
+    /// The number of declared parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether any instruction carries a symbolic (unbound) angle.
+    pub fn is_parametric(&self) -> bool {
+        self.instructions.iter().any(|i| i.gate().is_parametric())
+    }
+
+    /// Substitutes parameter values into every symbolic angle, producing a
+    /// fully bound circuit (empty parameter table).
+    ///
+    /// This is the whole of "rebinding": a per-gate angle substitution with
+    /// no mapping, ordering or routing work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ParamCountMismatch`] if the circuit declares
+    /// parameters and `values` has a different length, and
+    /// [`CircuitError::UnboundParameter`] if an instruction references a
+    /// parameter `values` does not cover.
+    pub fn bind(&self, values: &ParamValues) -> Result<Circuit, CircuitError> {
+        if !self.params.is_empty() && values.len() != self.params.len() {
+            return Err(CircuitError::ParamCountMismatch {
+                expected: self.params.len(),
+                found: values.len(),
+            });
+        }
+        // Bulk-copy the instruction stream and rewrite only the symbolic
+        // gates in place: binding is on the optimizer's per-iteration hot
+        // path, and most instructions (H, CNOT, SWAP, measure) carry no
+        // angle at all.
+        let mut out = Circuit {
+            num_qubits: self.num_qubits,
+            instructions: self.instructions.clone(),
+            params: ParamTable::new(),
+        };
+        for instr in &mut out.instructions {
+            if instr.gate.is_parametric() {
+                instr.gate = instr.gate.bound(values)?;
+            }
+        }
+        Ok(out)
     }
 
     /// The number of qubits.
@@ -223,24 +289,24 @@ impl Circuit {
         self.push_one(Gate::Z, q);
     }
 
-    /// Appends an `Rx(theta)` rotation.
-    pub fn rx(&mut self, theta: f64, q: usize) {
-        self.push_one(Gate::Rx(theta), q);
+    /// Appends an `Rx(theta)` rotation (concrete or symbolic angle).
+    pub fn rx(&mut self, theta: impl Into<Angle>, q: usize) {
+        self.push_one(Gate::Rx(theta.into()), q);
     }
 
     /// Appends an `Ry(theta)` rotation.
-    pub fn ry(&mut self, theta: f64, q: usize) {
-        self.push_one(Gate::Ry(theta), q);
+    pub fn ry(&mut self, theta: impl Into<Angle>, q: usize) {
+        self.push_one(Gate::Ry(theta.into()), q);
     }
 
     /// Appends an `Rz(theta)` rotation.
-    pub fn rz(&mut self, theta: f64, q: usize) {
-        self.push_one(Gate::Rz(theta), q);
+    pub fn rz(&mut self, theta: impl Into<Angle>, q: usize) {
+        self.push_one(Gate::Rz(theta.into()), q);
     }
 
     /// Appends a `U1(lambda)` phase gate.
-    pub fn u1(&mut self, lambda: f64, q: usize) {
-        self.push_one(Gate::U1(lambda), q);
+    pub fn u1(&mut self, lambda: impl Into<Angle>, q: usize) {
+        self.push_one(Gate::U1(lambda.into()), q);
     }
 
     /// Appends a CNOT with control `c` and target `t`.
@@ -254,13 +320,13 @@ impl Circuit {
     }
 
     /// Appends a controlled-phase gate `diag(1,1,1,e^{iλ})`.
-    pub fn cp(&mut self, lambda: f64, a: usize, b: usize) {
-        self.push_two(Gate::CPhase(lambda), a, b);
+    pub fn cp(&mut self, lambda: impl Into<Angle>, a: usize, b: usize) {
+        self.push_two(Gate::CPhase(lambda.into()), a, b);
     }
 
     /// Appends the commuting ZZ-interaction (the paper's "CPHASE") gate.
-    pub fn rzz(&mut self, theta: f64, a: usize, b: usize) {
-        self.push_two(Gate::Rzz(theta), a, b);
+    pub fn rzz(&mut self, theta: impl Into<Angle>, a: usize, b: usize) {
+        self.push_two(Gate::Rzz(theta.into()), a, b);
     }
 
     /// Appends a SWAP gate.
@@ -284,7 +350,9 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::SizeMismatch`] if qubit counts differ. Used
+    /// Returns [`CircuitError::SizeMismatch`] if qubit counts differ and
+    /// [`CircuitError::ParamTableMismatch`] if both circuits declare
+    /// conflicting parameter tables (an empty side adopts the other). Used
     /// by IC/VIC to *stitch* compiled partial circuits (paper §IV-C).
     pub fn append(&mut self, other: &Circuit) -> Result<(), CircuitError> {
         if other.num_qubits != self.num_qubits {
@@ -293,6 +361,7 @@ impl Circuit {
                 found: other.num_qubits,
             });
         }
+        self.params.merge(&other.params)?;
         self.instructions.extend_from_slice(&other.instructions);
         Ok(())
     }
@@ -354,6 +423,7 @@ impl Circuit {
     /// logical→physical layout.
     pub fn remapped<F: Fn(usize) -> usize>(&self, num_qubits: usize, map: F) -> Circuit {
         let mut out = Circuit::new(num_qubits);
+        out.params = self.params.clone();
         for instr in &self.instructions {
             out.push(instr.remap(&map))
                 .unwrap_or_else(|e| panic!("remap produced invalid instruction: {e}"));
@@ -366,6 +436,7 @@ impl Circuit {
     /// refinement.
     pub fn reversed(&self) -> Circuit {
         let mut out = Circuit::new(self.num_qubits);
+        out.params = self.params.clone();
         for instr in self.instructions.iter().rev() {
             if !instr.gate().is_unitary() {
                 continue;
@@ -525,8 +596,95 @@ mod tests {
         let r = c.reversed();
         assert_eq!(r.len(), 3); // measurements dropped
         assert_eq!(r.instructions()[0].gate(), Gate::Cnot);
-        assert_eq!(r.instructions()[1].gate(), Gate::Rz(-0.5));
+        assert_eq!(r.instructions()[1].gate(), Gate::Rz(Angle::Const(-0.5)));
         assert_eq!(r.instructions()[2].gate(), Gate::H);
+    }
+
+    #[test]
+    fn bind_substitutes_and_clears_params() {
+        let mut c = Circuit::new(2);
+        let gamma = c.declare_param("gamma");
+        let beta = c.declare_param("beta");
+        c.h(0);
+        c.rzz(Angle::sym(gamma).neg(), 0, 1);
+        c.rx(Angle::sym(beta).scaled(2.0), 0);
+        assert!(c.is_parametric());
+        assert_eq!(c.num_params(), 2);
+
+        let bound = c.bind(&ParamValues::new(vec![0.4, 0.3])).unwrap();
+        assert!(!bound.is_parametric());
+        assert_eq!(bound.num_params(), 0);
+        assert_eq!(
+            bound.instructions()[1].gate(),
+            Gate::Rzz(Angle::Const(-0.4))
+        );
+        assert_eq!(bound.instructions()[2].gate(), Gate::Rx(Angle::Const(0.6)));
+        // binding preserves structure: depth and operands are unchanged
+        assert_eq!(bound.depth(), c.depth());
+        assert_eq!(bound.len(), c.len());
+    }
+
+    #[test]
+    fn bind_validates_value_count() {
+        let mut c = Circuit::new(1);
+        let p = c.declare_param("theta");
+        c.rx(Angle::sym(p), 0);
+        assert_eq!(
+            c.bind(&ParamValues::new(vec![0.1, 0.2])),
+            Err(CircuitError::ParamCountMismatch {
+                expected: 1,
+                found: 2
+            })
+        );
+        // undeclared-but-referenced parameter surfaces as UnboundParameter
+        let mut loose = Circuit::new(1);
+        loose.rx(Angle::sym(ParamId(5)), 0);
+        assert_eq!(
+            loose.bind(&ParamValues::new(vec![])),
+            Err(CircuitError::UnboundParameter {
+                param: 5,
+                provided: 0
+            })
+        );
+    }
+
+    #[test]
+    fn append_merges_param_tables() {
+        let mut parametric = Circuit::new(2);
+        let p = parametric.declare_param("gamma");
+        parametric.rzz(Angle::sym(p), 0, 1);
+
+        // empty table adopts the appended circuit's table
+        let mut host = Circuit::new(2);
+        host.h(0);
+        host.append(&parametric).unwrap();
+        assert_eq!(host.num_params(), 1);
+
+        // conflicting non-empty tables refuse to merge
+        let mut other = Circuit::new(2);
+        other.declare_param("a");
+        other.declare_param("b");
+        assert!(matches!(
+            other.append(&parametric),
+            Err(CircuitError::ParamTableMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn remapped_and_reversed_preserve_params() {
+        let mut c = Circuit::new(2);
+        let p = c.declare_param("gamma");
+        c.rzz(Angle::sym(p), 0, 1);
+        assert_eq!(c.remapped(3, |q| q + 1).num_params(), 1);
+        let r = c.reversed();
+        assert_eq!(r.num_params(), 1);
+        assert_eq!(
+            r.instructions()[0].gate(),
+            Gate::Rzz(Angle::Sym {
+                param: p,
+                scale: -1.0
+            })
+        );
     }
 
     #[test]

@@ -28,11 +28,11 @@ use crate::{Gate, Instruction};
 /// ```
 /// use qcircuit::{commute::commutes, Gate, Instruction};
 ///
-/// let a = Instruction::two(Gate::Rzz(0.3), 0, 1);
-/// let b = Instruction::two(Gate::Rzz(0.8), 1, 2);
+/// let a = Instruction::two(Gate::Rzz((0.3).into()), 0, 1);
+/// let b = Instruction::two(Gate::Rzz((0.8).into()), 1, 2);
 /// assert!(commutes(&a, &b)); // shared qubit, both diagonal
 ///
-/// let c = Instruction::one(Gate::Rx(0.3), 1);
+/// let c = Instruction::one(Gate::Rx((0.3).into()), 1);
 /// assert!(!commutes(&a, &c));
 /// ```
 pub fn commutes(a: &Instruction, b: &Instruction) -> bool {
@@ -72,9 +72,14 @@ pub fn all_commute(instrs: &[Instruction]) -> bool {
 ///
 /// Used in tests to validate [`commutes`]; exposed for diagnostic tooling.
 /// Returns `None` when the pair's support spans more than two distinct
-/// qubits (embedding would need 8×8 matrices) or involves measurement.
+/// qubits (embedding would need 8×8 matrices), involves measurement, or
+/// carries symbolic angles (no concrete matrices exist before binding —
+/// use the structural [`commutes`], which is angle-independent).
 pub fn commutes_exact(a: &Instruction, b: &Instruction) -> Option<bool> {
     if !a.gate().is_unitary() || !b.gate().is_unitary() {
+        return None;
+    }
+    if a.gate().is_parametric() || b.gate().is_parametric() {
         return None;
     }
     let mut support: Vec<usize> = a.qubit_vec();
@@ -125,6 +130,23 @@ fn swap_conjugate(m: &Matrix4) -> Matrix4 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::{Angle, ParamId};
+
+    #[test]
+    fn symbolic_cost_gates_commute_structurally() {
+        // Rzz/CPhase commute regardless of binding: the structural rule
+        // sees only diagonality, never the angle.
+        let g = Angle::sym(ParamId(0));
+        let a = Instruction::two(Gate::Rzz(g.neg()), 0, 1);
+        let b = Instruction::two(Gate::CPhase(g.scaled(2.0)), 1, 2);
+        assert!(commutes(&a, &b));
+        let rx = Instruction::one(Gate::Rx(Angle::sym(ParamId(1))), 1);
+        assert!(!commutes(&a, &rx));
+        // The exact check declines symbolic pairs instead of panicking.
+        assert_eq!(commutes_exact(&a, &b), None);
+        let concrete = Instruction::two(Gate::Rzz((0.4).into()), 0, 1);
+        assert!(commutes_exact(&concrete, &concrete).unwrap());
+    }
 
     #[test]
     fn disjoint_instructions_commute() {
@@ -136,10 +158,10 @@ mod tests {
     #[test]
     fn qaoa_cost_layer_commutes() {
         let layer = [
-            Instruction::two(Gate::Rzz(0.1), 0, 1),
-            Instruction::two(Gate::Rzz(0.2), 1, 2),
-            Instruction::two(Gate::Rzz(0.3), 0, 2),
-            Instruction::two(Gate::Rzz(0.4), 2, 3),
+            Instruction::two(Gate::Rzz((0.1).into()), 0, 1),
+            Instruction::two(Gate::Rzz((0.2).into()), 1, 2),
+            Instruction::two(Gate::Rzz((0.3).into()), 0, 2),
+            Instruction::two(Gate::Rzz((0.4).into()), 2, 3),
         ];
         assert!(all_commute(&layer));
     }
@@ -147,18 +169,18 @@ mod tests {
     #[test]
     fn measurement_blocks_reordering() {
         let m = Instruction::one(Gate::Measure, 0);
-        let g = Instruction::one(Gate::Rz(0.3), 0);
+        let g = Instruction::one(Gate::Rz((0.3).into()), 0);
         assert!(!commutes(&m, &g));
         assert!(!commutes(&g, &m));
         // ...but measurement on another qubit is fine.
-        let g2 = Instruction::one(Gate::Rz(0.3), 1);
+        let g2 = Instruction::one(Gate::Rz((0.3).into()), 1);
         assert!(commutes(&m, &g2));
     }
 
     #[test]
     fn mixed_basis_does_not_commute() {
-        let rzz = Instruction::two(Gate::Rzz(0.1), 0, 1);
-        let rx = Instruction::one(Gate::Rx(0.4), 0);
+        let rzz = Instruction::two(Gate::Rzz((0.1).into()), 0, 1);
+        let rx = Instruction::one(Gate::Rx((0.4).into()), 0);
         let h = Instruction::one(Gate::H, 1);
         assert!(!commutes(&rzz, &rx));
         assert!(!commutes(&rzz, &h));
@@ -166,10 +188,10 @@ mod tests {
 
     #[test]
     fn same_axis_rotations_commute() {
-        let a = Instruction::one(Gate::Rx(0.2), 3);
-        let b = Instruction::one(Gate::Rx(1.0), 3);
+        let a = Instruction::one(Gate::Rx((0.2).into()), 3);
+        let b = Instruction::one(Gate::Rx((1.0).into()), 3);
         assert!(commutes(&a, &b));
-        let c = Instruction::one(Gate::Ry(1.0), 3);
+        let c = Instruction::one(Gate::Ry((1.0).into()), 3);
         assert!(!commutes(&a, &c));
     }
 
@@ -179,11 +201,11 @@ mod tests {
         // structural rule says "commutes", the exact check must agree.
         let pool = [
             Instruction::one(Gate::H, 0),
-            Instruction::one(Gate::Rz(0.3), 0),
-            Instruction::one(Gate::Rx(0.7), 1),
+            Instruction::one(Gate::Rz((0.3).into()), 0),
+            Instruction::one(Gate::Rx((0.7).into()), 1),
             Instruction::one(Gate::T, 1),
-            Instruction::two(Gate::Rzz(0.5), 0, 1),
-            Instruction::two(Gate::CPhase(0.9), 0, 1),
+            Instruction::two(Gate::Rzz((0.5).into()), 0, 1),
+            Instruction::two(Gate::CPhase((0.9).into()), 0, 1),
             Instruction::two(Gate::Cnot, 0, 1),
             Instruction::two(Gate::Cnot, 1, 0),
             Instruction::two(Gate::Swap, 0, 1),
@@ -212,14 +234,14 @@ mod tests {
         assert_eq!(commutes_exact(&ab, &ab2), Some(true));
         // CZ is symmetric and diagonal: commutes with CPhase.
         let cz = Instruction::two(Gate::Cz, 0, 1);
-        let cp = Instruction::two(Gate::CPhase(0.3), 1, 0);
+        let cp = Instruction::two(Gate::CPhase((0.3).into()), 1, 0);
         assert_eq!(commutes_exact(&cz, &cp), Some(true));
     }
 
     #[test]
     fn exact_gives_up_beyond_two_qubits() {
-        let a = Instruction::two(Gate::Rzz(0.1), 0, 1);
-        let b = Instruction::two(Gate::Rzz(0.1), 1, 2);
+        let a = Instruction::two(Gate::Rzz((0.1).into()), 0, 1);
+        let b = Instruction::two(Gate::Rzz((0.1).into()), 1, 2);
         assert_eq!(commutes_exact(&a, &b), None);
         // ...while the structural rule still resolves it.
         assert!(commutes(&a, &b));

@@ -23,6 +23,34 @@ pub enum CircuitError {
     },
     /// A gate has no decomposition into the requested basis.
     NotInBasis(String),
+    /// A symbolic angle referenced a parameter not covered by the supplied
+    /// values.
+    UnboundParameter {
+        /// The referenced parameter id.
+        param: u32,
+        /// How many values were supplied.
+        provided: usize,
+    },
+    /// `bind` was called with the wrong number of parameter values.
+    ParamCountMismatch {
+        /// The circuit's declared parameter count.
+        expected: usize,
+        /// The number of values supplied.
+        found: usize,
+    },
+    /// Two circuits with conflicting parameter tables were combined.
+    ParamTableMismatch {
+        /// Parameter count of the receiving circuit.
+        expected: usize,
+        /// Parameter count of the appended circuit.
+        found: usize,
+    },
+    /// A numeric export (e.g. QASM) encountered a symbolic angle; bind the
+    /// circuit first.
+    SymbolicAngle {
+        /// Mnemonic of the offending gate.
+        gate: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -45,6 +73,30 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::NotInBasis(name) => {
                 write!(f, "gate {name} has no decomposition into the target basis")
+            }
+            CircuitError::UnboundParameter { param, provided } => {
+                write!(
+                    f,
+                    "parameter p{param} is unbound ({provided} values provided)"
+                )
+            }
+            CircuitError::ParamCountMismatch { expected, found } => {
+                write!(
+                    f,
+                    "parameter count mismatch: circuit declares {expected}, got {found} values"
+                )
+            }
+            CircuitError::ParamTableMismatch { expected, found } => {
+                write!(
+                    f,
+                    "conflicting parameter tables: {expected} vs {found} declared parameters"
+                )
+            }
+            CircuitError::SymbolicAngle { gate } => {
+                write!(
+                    f,
+                    "gate {gate} has a symbolic angle; bind the circuit before exporting"
+                )
             }
         }
     }

@@ -2,6 +2,8 @@ use std::f64::consts::{FRAC_PI_2, PI};
 use std::fmt;
 
 use crate::math::{self, Complex, Matrix2, Matrix4, ONE, ZERO};
+use crate::param::{Angle, ParamValues};
+use crate::CircuitError;
 
 /// A quantum gate (or measurement) from the compiler's gate set.
 ///
@@ -10,8 +12,11 @@ use crate::math::{self, Complex, Matrix2, Matrix4, ONE, ZERO};
 /// (`U1`, `U2`, `U3`, `CNOT`) the transpiler lowers to, and common Pauli /
 /// phase gates used by the noise model and tests.
 ///
-/// Angles are radians. `Rzz(θ)` is `exp(-i θ/2 Z⊗Z)` — the gate the paper
-/// calls CPHASE in its QAOA cost layers (see the crate docs).
+/// Angles are [`Angle`] values: concrete radians, or symbolic uses of a
+/// circuit parameter (see [`crate::param`]). Numeric accessors
+/// ([`Gate::matrix2`], [`Gate::matrix4`], [`Gate::kernel`]) require bound
+/// angles. `Rzz(θ)` is `exp(-i θ/2 Z⊗Z)` — the gate the paper calls CPHASE
+/// in its QAOA cost layers (see the crate docs).
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Gate {
@@ -34,27 +39,27 @@ pub enum Gate {
     /// Inverse T gate.
     Tdg,
     /// Rotation about X: `exp(-i θ/2 X)`.
-    Rx(f64),
+    Rx(Angle),
     /// Rotation about Y: `exp(-i θ/2 Y)`.
-    Ry(f64),
+    Ry(Angle),
     /// Rotation about Z: `exp(-i θ/2 Z)`.
-    Rz(f64),
+    Rz(Angle),
     /// IBM virtual-Z basis gate: `diag(1, e^{iλ})` (equals `Rz(λ)` up to
     /// global phase).
-    U1(f64),
+    U1(Angle),
     /// IBM basis gate `U2(φ, λ)` — a single √X-duration pulse.
-    U2(f64, f64),
+    U2(Angle, Angle),
     /// IBM basis gate `U3(θ, φ, λ)` — the general single-qubit unitary.
-    U3(f64, f64, f64),
+    U3(Angle, Angle, Angle),
     /// Controlled-NOT (control is the first operand).
     Cnot,
     /// Controlled-Z.
     Cz,
     /// Controlled-phase `diag(1, 1, 1, e^{iλ})`.
-    CPhase(f64),
+    CPhase(Angle),
     /// ZZ interaction `exp(-i θ/2 Z⊗Z)` — the paper's commuting "CPHASE"
     /// cost gate.
-    Rzz(f64),
+    Rzz(Angle),
     /// SWAP gate.
     Swap,
     /// Computational-basis measurement of one qubit.
@@ -121,6 +126,8 @@ impl Gate {
     ///
     /// Diagonal gates all commute with one another — the property the
     /// paper's IP/IC/VIC methodologies exploit for the QAOA cost layer.
+    /// The classification is structural: it holds for symbolic angles too
+    /// (Rzz/CPhase commute regardless of binding).
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
@@ -144,7 +151,7 @@ impl Gate {
     }
 
     /// The gate's rotation/phase parameters, in declaration order.
-    pub fn params(&self) -> Vec<f64> {
+    pub fn params(&self) -> Vec<Angle> {
         match *self {
             Gate::Rx(t)
             | Gate::Ry(t)
@@ -158,11 +165,50 @@ impl Gate {
         }
     }
 
+    /// Whether any angle of the gate is symbolic (unbound).
+    ///
+    /// Allocation-free (unlike [`Gate::params`]): rebind hot paths call
+    /// this once per instruction.
+    pub fn is_parametric(&self) -> bool {
+        match *self {
+            Gate::Rx(t)
+            | Gate::Ry(t)
+            | Gate::Rz(t)
+            | Gate::U1(t)
+            | Gate::CPhase(t)
+            | Gate::Rzz(t) => t.is_sym(),
+            Gate::U2(p, l) => p.is_sym() || l.is_sym(),
+            Gate::U3(t, p, l) => t.is_sym() || p.is_sym() || l.is_sym(),
+            _ => false,
+        }
+    }
+
+    /// The gate with every symbolic angle substituted from `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnboundParameter`] if a referenced parameter
+    /// is not covered by `values`.
+    pub fn bound(&self, values: &ParamValues) -> Result<Gate, CircuitError> {
+        Ok(match *self {
+            Gate::Rx(t) => Gate::Rx(t.bind(values)?),
+            Gate::Ry(t) => Gate::Ry(t.bind(values)?),
+            Gate::Rz(t) => Gate::Rz(t.bind(values)?),
+            Gate::U1(t) => Gate::U1(t.bind(values)?),
+            Gate::U2(p, l) => Gate::U2(p.bind(values)?, l.bind(values)?),
+            Gate::U3(t, p, l) => Gate::U3(t.bind(values)?, p.bind(values)?, l.bind(values)?),
+            Gate::CPhase(t) => Gate::CPhase(t.bind(values)?),
+            Gate::Rzz(t) => Gate::Rzz(t.bind(values)?),
+            g => g,
+        })
+    }
+
     /// The 2×2 unitary of a single-qubit gate.
     ///
     /// # Panics
     ///
-    /// Panics for two-qubit gates and for [`Gate::Measure`].
+    /// Panics for two-qubit gates, for [`Gate::Measure`], and for
+    /// parametric gates (bind first).
     pub fn matrix2(&self) -> Matrix2 {
         let half = |t: f64| t / 2.0;
         match *self {
@@ -179,6 +225,7 @@ impl Gate {
             Gate::T => [[ONE, ZERO], [ZERO, Complex::cis(PI / 4.0)]],
             Gate::Tdg => [[ONE, ZERO], [ZERO, Complex::cis(-PI / 4.0)]],
             Gate::Rx(t) => {
+                let t = t.value();
                 let (c, s) = (half(t).cos(), half(t).sin());
                 [
                     [Complex::real(c), Complex::new(0.0, -s)],
@@ -186,18 +233,23 @@ impl Gate {
                 ]
             }
             Gate::Ry(t) => {
+                let t = t.value();
                 let (c, s) = (half(t).cos(), half(t).sin());
                 [
                     [Complex::real(c), Complex::real(-s)],
                     [Complex::real(s), Complex::real(c)],
                 ]
             }
-            Gate::Rz(t) => [
-                [Complex::cis(-half(t)), ZERO],
-                [ZERO, Complex::cis(half(t))],
-            ],
-            Gate::U1(l) => [[ONE, ZERO], [ZERO, Complex::cis(l)]],
+            Gate::Rz(t) => {
+                let t = t.value();
+                [
+                    [Complex::cis(-half(t)), ZERO],
+                    [ZERO, Complex::cis(half(t))],
+                ]
+            }
+            Gate::U1(l) => [[ONE, ZERO], [ZERO, Complex::cis(l.value())]],
             Gate::U2(phi, lam) => {
+                let (phi, lam) = (phi.value(), lam.value());
                 let s = 1.0 / 2.0_f64.sqrt();
                 [
                     [Complex::real(s), Complex::cis(lam).scale(-s)],
@@ -205,6 +257,7 @@ impl Gate {
                 ]
             }
             Gate::U3(t, phi, lam) => {
+                let (t, phi, lam) = (t.value(), phi.value(), lam.value());
                 let (c, s) = (half(t).cos(), half(t).sin());
                 [
                     [Complex::real(c), Complex::cis(lam).scale(-s)],
@@ -221,7 +274,7 @@ impl Gate {
     ///
     /// # Panics
     ///
-    /// Panics for single-qubit gates.
+    /// Panics for single-qubit gates and for parametric gates (bind first).
     pub fn matrix4(&self) -> Matrix4 {
         match *self {
             Gate::Cnot => {
@@ -240,10 +293,11 @@ impl Gate {
             }
             Gate::CPhase(l) => {
                 let mut m = math::identity4();
-                m[3][3] = Complex::cis(l);
+                m[3][3] = Complex::cis(l.value());
                 m
             }
             Gate::Rzz(t) => {
+                let t = t.value();
                 let minus = Complex::cis(-t / 2.0);
                 let plus = Complex::cis(t / 2.0);
                 let mut m = [[ZERO; 4]; 4];
@@ -265,7 +319,8 @@ impl Gate {
         }
     }
 
-    /// The hermitian conjugate (inverse) of a unitary gate.
+    /// The hermitian conjugate (inverse) of a unitary gate. Symbolic angles
+    /// invert symbolically (negated scale).
     ///
     /// # Panics
     ///
@@ -281,16 +336,16 @@ impl Gate {
             Gate::Sdg => Gate::S,
             Gate::T => Gate::Tdg,
             Gate::Tdg => Gate::T,
-            Gate::Rx(t) => Gate::Rx(-t),
-            Gate::Ry(t) => Gate::Ry(-t),
-            Gate::Rz(t) => Gate::Rz(-t),
-            Gate::U1(l) => Gate::U1(-l),
-            Gate::U2(phi, lam) => Gate::U3(-FRAC_PI_2, -lam, -phi),
-            Gate::U3(t, phi, lam) => Gate::U3(-t, -lam, -phi),
+            Gate::Rx(t) => Gate::Rx(t.neg()),
+            Gate::Ry(t) => Gate::Ry(t.neg()),
+            Gate::Rz(t) => Gate::Rz(t.neg()),
+            Gate::U1(l) => Gate::U1(l.neg()),
+            Gate::U2(phi, lam) => Gate::U3(Angle::Const(-FRAC_PI_2), lam.neg(), phi.neg()),
+            Gate::U3(t, phi, lam) => Gate::U3(t.neg(), lam.neg(), phi.neg()),
             Gate::Cnot => Gate::Cnot,
             Gate::Cz => Gate::Cz,
-            Gate::CPhase(l) => Gate::CPhase(-l),
-            Gate::Rzz(t) => Gate::Rzz(-t),
+            Gate::CPhase(l) => Gate::CPhase(l.neg()),
+            Gate::Rzz(t) => Gate::Rzz(t.neg()),
             Gate::Swap => Gate::Swap,
             Gate::Measure => panic!("measurement has no inverse"),
         }
@@ -313,32 +368,41 @@ impl fmt::Display for Gate {
 mod tests {
     use super::*;
     use crate::math::{equal_up_to_phase4, identity2, identity4, kron, matmul2, matmul4};
+    use crate::param::ParamId;
 
-    const ALL_1Q: &[Gate] = &[
-        Gate::Id,
-        Gate::H,
-        Gate::X,
-        Gate::Y,
-        Gate::Z,
-        Gate::S,
-        Gate::Sdg,
-        Gate::T,
-        Gate::Tdg,
-        Gate::Rx(0.37),
-        Gate::Ry(1.2),
-        Gate::Rz(-0.8),
-        Gate::U1(0.55),
-        Gate::U2(0.4, -0.9),
-        Gate::U3(1.0, 0.2, 0.3),
-    ];
+    fn a(v: f64) -> Angle {
+        Angle::Const(v)
+    }
 
-    const ALL_2Q: &[Gate] = &[
-        Gate::Cnot,
-        Gate::Cz,
-        Gate::CPhase(0.73),
-        Gate::Rzz(-1.1),
-        Gate::Swap,
-    ];
+    fn all_1q() -> Vec<Gate> {
+        vec![
+            Gate::Id,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Rx(a(0.37)),
+            Gate::Ry(a(1.2)),
+            Gate::Rz(a(-0.8)),
+            Gate::U1(a(0.55)),
+            Gate::U2(a(0.4), a(-0.9)),
+            Gate::U3(a(1.0), a(0.2), a(0.3)),
+        ]
+    }
+
+    fn all_2q() -> Vec<Gate> {
+        vec![
+            Gate::Cnot,
+            Gate::Cz,
+            Gate::CPhase(a(0.73)),
+            Gate::Rzz(a(-1.1)),
+            Gate::Swap,
+        ]
+    }
 
     fn is_unitary2(m: &Matrix2) -> bool {
         let mut dagger = [[ZERO; 2]; 2];
@@ -366,7 +430,7 @@ mod tests {
 
     #[test]
     fn all_single_qubit_matrices_are_unitary() {
-        for g in ALL_1Q {
+        for g in all_1q() {
             assert!(is_unitary2(&g.matrix2()), "{g} not unitary");
             assert_eq!(g.arity(), 1);
         }
@@ -374,7 +438,7 @@ mod tests {
 
     #[test]
     fn all_two_qubit_matrices_are_unitary() {
-        for g in ALL_2Q {
+        for g in all_2q() {
             assert!(is_unitary4(&g.matrix4()), "{g} not unitary");
             assert_eq!(g.arity(), 2);
         }
@@ -382,7 +446,7 @@ mod tests {
 
     #[test]
     fn inverses_cancel() {
-        for g in ALL_1Q {
+        for g in all_1q() {
             let prod = matmul2(&g.inverse().matrix2(), &g.matrix2());
             let a4 = kron(&prod, &identity2());
             assert!(
@@ -390,7 +454,7 @@ mod tests {
                 "{g} inverse does not cancel"
             );
         }
-        for g in ALL_2Q {
+        for g in all_2q() {
             let prod = matmul4(&g.inverse().matrix4(), &g.matrix4());
             assert!(equal_up_to_phase4(&prod, &identity4(), 1e-9), "{g} inverse");
         }
@@ -399,20 +463,20 @@ mod tests {
     #[test]
     fn u_gates_match_rotation_gates_up_to_phase() {
         // U1(λ) == Rz(λ) up to phase
-        let a = kron(&Gate::U1(0.9).matrix2(), &identity2());
-        let b = kron(&Gate::Rz(0.9).matrix2(), &identity2());
-        assert!(equal_up_to_phase4(&a, &b, 1e-9));
+        let u = kron(&Gate::U1(a(0.9)).matrix2(), &identity2());
+        let r = kron(&Gate::Rz(a(0.9)).matrix2(), &identity2());
+        assert!(equal_up_to_phase4(&u, &r, 1e-9));
         // H == U2(0, π)
-        let a = kron(&Gate::H.matrix2(), &identity2());
-        let b = kron(&Gate::U2(0.0, PI).matrix2(), &identity2());
-        assert!(equal_up_to_phase4(&a, &b, 1e-9));
+        let u = kron(&Gate::H.matrix2(), &identity2());
+        let r = kron(&Gate::U2(a(0.0), a(PI)).matrix2(), &identity2());
+        assert!(equal_up_to_phase4(&u, &r, 1e-9));
         // Rx(θ) == U3(θ, -π/2, π/2)
-        let a = kron(&Gate::Rx(0.77).matrix2(), &identity2());
-        let b = kron(
-            &Gate::U3(0.77, -FRAC_PI_2, FRAC_PI_2).matrix2(),
+        let u = kron(&Gate::Rx(a(0.77)).matrix2(), &identity2());
+        let r = kron(
+            &Gate::U3(a(0.77), a(-FRAC_PI_2), a(FRAC_PI_2)).matrix2(),
             &identity2(),
         );
-        assert!(equal_up_to_phase4(&a, &b, 1e-9));
+        assert!(equal_up_to_phase4(&u, &r, 1e-9));
     }
 
     #[test]
@@ -420,11 +484,11 @@ mod tests {
         // Figure 1(d): CPHASE(γ) = CNOT · RZ(γ)_target · CNOT.
         let theta = 0.61;
         let cnot = Gate::Cnot.matrix4();
-        let rz_target = kron(&identity2(), &Gate::Rz(theta).matrix2());
+        let rz_target = kron(&identity2(), &Gate::Rz(a(theta)).matrix2());
         let composed = matmul4(&cnot, &matmul4(&rz_target, &cnot));
         assert!(equal_up_to_phase4(
             &composed,
-            &Gate::Rzz(theta).matrix4(),
+            &Gate::Rzz(a(theta)).matrix4(),
             1e-9
         ));
     }
@@ -434,42 +498,73 @@ mod tests {
         // CP(λ) = e^{iλ/4} · U1(λ/2)⊗U1(λ/2) · Rzz(-λ/2)
         let lam = 1.3;
         let u1s = kron(
-            &Gate::U1(lam / 2.0).matrix2(),
-            &Gate::U1(lam / 2.0).matrix2(),
+            &Gate::U1(a(lam / 2.0)).matrix2(),
+            &Gate::U1(a(lam / 2.0)).matrix2(),
         );
-        let composed = matmul4(&u1s, &Gate::Rzz(-lam / 2.0).matrix4());
+        let composed = matmul4(&u1s, &Gate::Rzz(a(-lam / 2.0)).matrix4());
         assert!(equal_up_to_phase4(
             &composed,
-            &Gate::CPhase(lam).matrix4(),
+            &Gate::CPhase(a(lam)).matrix4(),
             1e-9
         ));
     }
 
     #[test]
     fn diagonal_classification() {
-        assert!(Gate::Rzz(0.3).is_diagonal());
-        assert!(Gate::CPhase(0.3).is_diagonal());
-        assert!(Gate::Rz(0.3).is_diagonal());
-        assert!(!Gate::Rx(0.3).is_diagonal());
+        assert!(Gate::Rzz(a(0.3)).is_diagonal());
+        assert!(Gate::CPhase(a(0.3)).is_diagonal());
+        assert!(Gate::Rz(a(0.3)).is_diagonal());
+        assert!(!Gate::Rx(a(0.3)).is_diagonal());
         assert!(!Gate::Cnot.is_diagonal());
         assert!(!Gate::H.is_diagonal());
+        // classification is structural: symbolic angles classify identically
+        assert!(Gate::Rzz(Angle::sym(ParamId(0))).is_diagonal());
+        assert!(Gate::CPhase(Angle::sym(ParamId(0))).is_diagonal());
     }
 
     #[test]
     fn symmetric_classification() {
-        assert!(Gate::Rzz(0.2).is_symmetric());
+        assert!(Gate::Rzz(a(0.2)).is_symmetric());
         assert!(Gate::Swap.is_symmetric());
         assert!(!Gate::Cnot.is_symmetric());
+        assert!(Gate::Rzz(Angle::sym(ParamId(1))).is_symmetric());
     }
 
     #[test]
     fn display_includes_parameters() {
         assert_eq!(Gate::H.to_string(), "h");
-        assert_eq!(Gate::Rzz(0.5).to_string(), "rzz(0.5000)");
+        assert_eq!(Gate::Rzz(a(0.5)).to_string(), "rzz(0.5000)");
         assert_eq!(
-            Gate::U3(1.0, 2.0, 3.0).to_string(),
+            Gate::U3(a(1.0), a(2.0), a(3.0)).to_string(),
             "u3(1.0000, 2.0000, 3.0000)"
         );
+        assert_eq!(Gate::Rzz(Angle::sym(ParamId(0))).to_string(), "rzz(p0)");
+        assert_eq!(
+            Gate::Rx(Angle::sym(ParamId(1)).scaled(2.0)).to_string(),
+            "rx(2.0000*p1)"
+        );
+    }
+
+    #[test]
+    fn parametric_queries_and_binding() {
+        let g = Gate::Rzz(Angle::sym(ParamId(0)).neg());
+        assert!(g.is_parametric());
+        assert!(!Gate::Rzz(a(0.4)).is_parametric());
+        assert!(!Gate::Cnot.is_parametric());
+        let vals = ParamValues::new(vec![0.4]);
+        assert_eq!(g.bound(&vals).unwrap(), Gate::Rzz(a(-0.4)));
+        // symbolic inverse stays symbolic with negated scale
+        assert_eq!(
+            g.inverse().bound(&vals).unwrap(),
+            Gate::Rzz(a(0.4)),
+            "inverse of bound == bound of inverse"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "symbolic")]
+    fn matrix_of_parametric_gate_panics() {
+        let _ = Gate::Rzz(Angle::sym(ParamId(0))).matrix4();
     }
 
     #[test]

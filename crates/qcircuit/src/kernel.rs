@@ -77,6 +77,11 @@ impl Gate {
     /// The mapping is total: every gate (including [`Gate::Measure`])
     /// returns a kernel, and the `kernel_matches_matrices` test pins each
     /// unitary kernel against the corresponding dense matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics for parametric (unbound) gates — kernels are concrete
+    /// amplitude updates; bind the circuit first.
     pub fn kernel(&self) -> Kernel {
         match *self {
             Gate::Id => Kernel::Identity,
@@ -97,13 +102,16 @@ impl Gate {
                 z0: ONE,
                 z1: Complex::cis(-std::f64::consts::FRAC_PI_4),
             },
-            Gate::Rz(t) => Kernel::Phase1 {
-                z0: Complex::cis(-t / 2.0),
-                z1: Complex::cis(t / 2.0),
-            },
+            Gate::Rz(t) => {
+                let t = t.value();
+                Kernel::Phase1 {
+                    z0: Complex::cis(-t / 2.0),
+                    z1: Complex::cis(t / 2.0),
+                }
+            }
             Gate::U1(l) => Kernel::Phase1 {
                 z0: ONE,
-                z1: Complex::cis(l),
+                z1: Complex::cis(l.value()),
             },
             Gate::X => Kernel::Flip1 { z0: ONE, z1: ONE },
             Gate::Y => Kernel::Flip1 {
@@ -114,9 +122,10 @@ impl Gate {
                 phases: [ONE, ONE, ONE, -ONE],
             },
             Gate::CPhase(l) => Kernel::Phase2 {
-                phases: [ONE, ONE, ONE, Complex::cis(l)],
+                phases: [ONE, ONE, ONE, Complex::cis(l.value())],
             },
             Gate::Rzz(t) => {
+                let t = t.value();
                 let same = Complex::cis(-t / 2.0);
                 let diff = Complex::cis(t / 2.0);
                 Kernel::Phase2 {
@@ -160,12 +169,12 @@ mod tests {
             Gate::Sdg,
             Gate::T,
             Gate::Tdg,
-            Gate::Rx(0.7),
-            Gate::Ry(-1.2),
-            Gate::Rz(0.35),
-            Gate::U1(2.1),
-            Gate::U2(0.4, -0.6),
-            Gate::U3(1.0, 0.2, -0.9),
+            Gate::Rx((0.7).into()),
+            Gate::Ry((-1.2).into()),
+            Gate::Rz((0.35).into()),
+            Gate::U1((2.1).into()),
+            Gate::U2((0.4).into(), (-0.6).into()),
+            Gate::U3((1.0).into(), (0.2).into(), (-0.9).into()),
         ];
         for g in one_q {
             let want = g.matrix2();
@@ -183,7 +192,11 @@ mod tests {
 
     #[test]
     fn two_qubit_kernels_match_matrix4() {
-        for g in [Gate::Cz, Gate::CPhase(0.8), Gate::Rzz(-1.3)] {
+        for g in [
+            Gate::Cz,
+            Gate::CPhase((0.8).into()),
+            Gate::Rzz((-1.3).into()),
+        ] {
             let want = g.matrix4();
             match g.kernel() {
                 Kernel::Phase2 { phases } => {
@@ -213,13 +226,13 @@ mod tests {
             Gate::Z,
             Gate::S,
             Gate::T,
-            Gate::Rx(0.3),
-            Gate::Rz(0.3),
-            Gate::U1(0.3),
+            Gate::Rx((0.3).into()),
+            Gate::Rz((0.3).into()),
+            Gate::U1((0.3).into()),
             Gate::Cnot,
             Gate::Cz,
-            Gate::CPhase(0.3),
-            Gate::Rzz(0.3),
+            Gate::CPhase((0.3).into()),
+            Gate::Rzz((0.3).into()),
             Gate::Swap,
         ];
         for g in gates {

@@ -191,7 +191,7 @@ mod tests {
         c.rzz(0.2, 1, 2);
         let layers = asap_layers(&c);
         assert_eq!(layers.len(), 2);
-        assert_eq!(layers[0][0].gate(), Gate::Rzz(0.1));
-        assert_eq!(layers[1][0].gate(), Gate::Rzz(0.2));
+        assert_eq!(layers[0][0].gate(), Gate::Rzz((0.1).into()));
+        assert_eq!(layers[1][0].gate(), Gate::Rzz((0.2).into()));
     }
 }

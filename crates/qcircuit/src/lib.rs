@@ -54,9 +54,11 @@ pub mod kernel;
 pub mod layers;
 pub mod math;
 pub mod metrics;
+pub mod param;
 pub mod qasm;
 mod qasm_parse;
 
 pub use circuit::{Circuit, Instruction};
 pub use error::CircuitError;
 pub use gate::Gate;
+pub use param::{Angle, ParamId, ParamTable, ParamValues};

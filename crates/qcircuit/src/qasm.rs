@@ -3,18 +3,28 @@
 //! Lets compiled circuits be inspected with external tooling (e.g. loaded
 //! back into qiskit to cross-check depth and gate counts against the
 //! paper's backend).
+//!
+//! QASM 2 has no notion of symbolic parameters, so export is defined only
+//! for fully bound circuits: [`to_qasm`] returns
+//! [`CircuitError::SymbolicAngle`] when it encounters an unbound angle
+//! instead of emitting garbage text.
 
 use std::fmt::Write as _;
 
 pub use crate::qasm_parse::{parse, ParseQasmError};
 
-use crate::{Circuit, Gate};
+use crate::{Circuit, CircuitError, Gate};
 
-/// Serializes the circuit as an OpenQASM 2.0 program.
+/// Serializes a fully bound circuit as an OpenQASM 2.0 program.
 ///
 /// All gates in the shipped gate set are expressible: IR gates map to
 /// `qelib1.inc` gates of the same name, and measurements write into a
 /// classical register `c` of matching size.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SymbolicAngle`] if any instruction still carries
+/// a symbolic angle — bind the circuit (see [`Circuit::bind`]) first.
 ///
 /// # Examples
 ///
@@ -23,11 +33,12 @@ use crate::{Circuit, Gate};
 /// c.h(0);
 /// c.cx(0, 1);
 /// c.measure_all();
-/// let qasm = qcircuit::qasm::to_qasm(&c);
+/// let qasm = qcircuit::qasm::to_qasm(&c)?;
 /// assert!(qasm.contains("cx q[0],q[1];"));
 /// assert!(qasm.contains("measure q[1] -> c[1];"));
+/// # Ok::<(), qcircuit::CircuitError>(())
 /// ```
-pub fn to_qasm(c: &Circuit) -> String {
+pub fn to_qasm(c: &Circuit) -> Result<String, CircuitError> {
     let mut out = String::new();
     out.push_str("OPENQASM 2.0;\n");
     out.push_str("include \"qelib1.inc\";\n");
@@ -36,6 +47,9 @@ pub fn to_qasm(c: &Circuit) -> String {
     let _ = writeln!(out, "creg c[{n}];");
     for instr in c.iter() {
         let gate = instr.gate();
+        if gate.is_parametric() {
+            return Err(CircuitError::SymbolicAngle { gate: gate.name() });
+        }
         match gate {
             Gate::Measure => {
                 let _ = writeln!(out, "measure q[{0}] -> c[{0}];", instr.q0());
@@ -56,17 +70,18 @@ pub fn to_qasm(c: &Circuit) -> String {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Angle, ParamValues};
 
     #[test]
     fn header_and_registers() {
         let c = Circuit::new(3);
-        let q = to_qasm(&c);
+        let q = to_qasm(&c).unwrap();
         assert!(q.starts_with("OPENQASM 2.0;\n"));
         assert!(q.contains("qreg q[3];"));
         assert!(q.contains("creg c[3];"));
@@ -77,7 +92,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.rzz(0.123456789012345, 0, 1);
         c.u1(-2.5, 1);
-        let q = to_qasm(&c);
+        let q = to_qasm(&c).unwrap();
         assert!(q.contains("rzz(0.123456789012345) q[0],q[1];"));
         assert!(q.contains("u1(-2.5) q[1];"));
     }
@@ -91,7 +106,7 @@ mod tests {
         c.rx(0.25, 0);
         c.rx(0.25, 1);
         c.measure_all();
-        let q = to_qasm(&c);
+        let q = to_qasm(&c).unwrap();
         let body: Vec<&str> = q.lines().skip(4).collect();
         assert_eq!(
             body,
@@ -105,5 +120,41 @@ mod tests {
                 "measure q[1] -> c[1];",
             ]
         );
+    }
+
+    #[test]
+    fn symbolic_angle_is_a_structured_error() {
+        let mut c = Circuit::new(2);
+        let gamma = c.declare_param("gamma");
+        c.h(0);
+        c.rzz(Angle::sym(gamma).neg(), 0, 1);
+        assert_eq!(
+            to_qasm(&c),
+            Err(CircuitError::SymbolicAngle { gate: "rzz" })
+        );
+    }
+
+    #[test]
+    fn bound_circuit_round_trips_through_parser() {
+        // bind -> export -> parse -> export again must be a fixed point
+        let mut c = Circuit::new(3);
+        let gamma = c.declare_param("gamma");
+        let beta = c.declare_param("beta");
+        for q in 0..3 {
+            c.h(q);
+        }
+        c.rzz(Angle::sym(gamma).neg(), 0, 1);
+        c.rzz(Angle::sym(gamma).neg(), 1, 2);
+        for q in 0..3 {
+            c.rx(Angle::sym(beta).scaled(2.0), q);
+        }
+        c.measure_all();
+
+        let bound = c.bind(&ParamValues::new(vec![0.4, 0.3])).unwrap();
+        let qasm = to_qasm(&bound).unwrap();
+        let reparsed = parse(&qasm).unwrap();
+        assert_eq!(reparsed.num_qubits(), bound.num_qubits());
+        assert_eq!(reparsed.len(), bound.len());
+        assert_eq!(to_qasm(&reparsed).unwrap(), qasm);
     }
 }

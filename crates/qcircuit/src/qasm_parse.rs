@@ -54,7 +54,7 @@ impl Error for ParseQasmError {}
 /// original.h(0);
 /// original.rzz(0.5, 0, 1);
 /// original.measure_all();
-/// let text = qcircuit::qasm::to_qasm(&original);
+/// let text = qcircuit::qasm::to_qasm(&original).unwrap();
 /// let parsed = qcircuit::qasm::parse(&text)?;
 /// assert_eq!(parsed, original);
 /// # Ok::<(), qcircuit::qasm::ParseQasmError>(())
@@ -159,16 +159,16 @@ fn parse_statement(stmt: &str, circuit: &mut Circuit) -> Result<(), ParseQasmErr
         ("sdg", 0) => Gate::Sdg,
         ("t", 0) => Gate::T,
         ("tdg", 0) => Gate::Tdg,
-        ("rx", 1) => Gate::Rx(p(0)),
-        ("ry", 1) => Gate::Ry(p(0)),
-        ("rz", 1) => Gate::Rz(p(0)),
-        ("u1", 1) => Gate::U1(p(0)),
-        ("u2", 2) => Gate::U2(p(0), p(1)),
-        ("u3", 3) => Gate::U3(p(0), p(1), p(2)),
+        ("rx", 1) => Gate::Rx((p(0)).into()),
+        ("ry", 1) => Gate::Ry((p(0)).into()),
+        ("rz", 1) => Gate::Rz((p(0)).into()),
+        ("u1", 1) => Gate::U1((p(0)).into()),
+        ("u2", 2) => Gate::U2((p(0)).into(), (p(1)).into()),
+        ("u3", 3) => Gate::U3((p(0)).into(), (p(1)).into(), (p(2)).into()),
         ("cx" | "CX", 0) => Gate::Cnot,
         ("cz", 0) => Gate::Cz,
-        ("cp" | "cu1", 1) => Gate::CPhase(p(0)),
-        ("rzz", 1) => Gate::Rzz(p(0)),
+        ("cp" | "cu1", 1) => Gate::CPhase((p(0)).into()),
+        ("rzz", 1) => Gate::Rzz((p(0)).into()),
         ("swap", 0) => Gate::Swap,
         _ => return Err(ParseQasmError::Unsupported(stmt.to_owned())),
     };
@@ -243,16 +243,20 @@ mod tests {
         c.ry(-1.5, 1);
         c.rz(3.25, 2);
         c.u1(0.125, 0);
-        c.push(Instruction::one(Gate::U2(0.1, 0.2), 1)).unwrap();
-        c.push(Instruction::one(Gate::U3(0.1, 0.2, 0.3), 2))
+        c.push(Instruction::one(Gate::U2((0.1).into(), (0.2).into()), 1))
             .unwrap();
+        c.push(Instruction::one(
+            Gate::U3((0.1).into(), (0.2).into(), (0.3).into()),
+            2,
+        ))
+        .unwrap();
         c.cx(0, 1);
         c.cz(1, 2);
         c.cp(0.375, 0, 2);
         c.rzz(-0.625, 1, 0);
         c.swap(2, 0);
         c.measure_all();
-        let parsed = parse(&to_qasm(&c)).unwrap();
+        let parsed = parse(&to_qasm(&c).unwrap()).unwrap();
         assert_eq!(parsed, c);
     }
 
@@ -262,10 +266,16 @@ mod tests {
         let c = parse(qasm).unwrap();
         assert_eq!(c.len(), 4);
         let gates: Vec<Gate> = c.iter().map(|i| i.gate()).collect();
-        assert_eq!(gates[0], Gate::U2(0.0, std::f64::consts::PI));
-        assert_eq!(gates[1], Gate::Rz(-std::f64::consts::FRAC_PI_2));
-        assert_eq!(gates[2], Gate::U1(3.0 * std::f64::consts::FRAC_PI_4));
-        assert_eq!(gates[3], Gate::Rx(2.0 * std::f64::consts::PI));
+        assert_eq!(
+            gates[0],
+            Gate::U2((0.0).into(), (std::f64::consts::PI).into())
+        );
+        assert_eq!(gates[1], Gate::Rz((-std::f64::consts::FRAC_PI_2).into()));
+        assert_eq!(
+            gates[2],
+            Gate::U1((3.0 * std::f64::consts::FRAC_PI_4).into())
+        );
+        assert_eq!(gates[3], Gate::Rx((2.0 * std::f64::consts::PI).into()));
     }
 
     #[test]
@@ -320,7 +330,7 @@ mod tests {
         c.swap(0, 1);
         c.measure_all();
         let lowered = crate::basis::to_basis(&c, crate::basis::BasisSet::Ibm).unwrap();
-        let parsed = parse(&to_qasm(&lowered)).unwrap();
+        let parsed = parse(&to_qasm(&lowered).unwrap()).unwrap();
         assert_eq!(parsed, lowered);
     }
 }

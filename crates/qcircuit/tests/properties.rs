@@ -12,12 +12,12 @@ fn arb_instruction(n: usize) -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (0..n).prop_map(|q| Instruction::one(Gate::H, q)),
         (0..n).prop_map(|q| Instruction::one(Gate::X, q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rx(t), q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rz(t), q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::U1(t), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rx(t.into()), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rz(t.into()), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::U1(t.into()), q)),
         two_qubit(n, None),
-        (angle.clone()).prop_flat_map(move |t| two_qubit(n, Some(Gate::Rzz(t)))),
-        (angle).prop_flat_map(move |t| two_qubit(n, Some(Gate::CPhase(t)))),
+        (angle.clone()).prop_flat_map(move |t| two_qubit(n, Some(Gate::Rzz(t.into())))),
+        (angle).prop_flat_map(move |t| two_qubit(n, Some(Gate::CPhase(t.into())))),
         two_qubit(n, Some(Gate::Swap)),
     ]
 }
@@ -90,7 +90,7 @@ proptest! {
 
     #[test]
     fn qasm_round_trips(c in arb_circuit(5, 30)) {
-        let text = qasm::to_qasm(&c);
+        let text = qasm::to_qasm(&c).unwrap();
         let parsed = qasm::parse(&text).unwrap();
         prop_assert_eq!(parsed, c);
     }

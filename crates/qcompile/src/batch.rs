@@ -237,7 +237,7 @@ mod tests {
         let self_loop = CphaseOp {
             a: 2,
             b: 2,
-            angle: 0.4,
+            angle: (0.4).into(),
         };
         let poison = QaoaSpec::new(4, vec![(vec![self_loop], 0.3)], true);
         let jobs = vec![

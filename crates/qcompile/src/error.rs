@@ -62,6 +62,15 @@ pub enum CompileError {
         /// Which check failed (`"coupling"` or `"equivalence"`).
         stage: &'static str,
     },
+    /// Binding a [`crate::CompiledArtifact`] failed: the supplied values
+    /// do not cover the template's symbolic parameters.
+    UnboundParameters {
+        /// Parameters the template requires (declared count, or the
+        /// 1-based index of the first uncovered parameter).
+        expected: usize,
+        /// Values supplied.
+        found: usize,
+    },
     /// A compilation panicked; the panic was caught at the batch
     /// boundary and converted into this structured error so one poisoned
     /// job cannot abort its batch.
@@ -97,6 +106,10 @@ impl fmt::Display for CompileError {
             CompileError::Verification { stage } => {
                 write!(f, "fallback circuit failed {stage} verification")
             }
+            CompileError::UnboundParameters { expected, found } => write!(
+                f,
+                "parameter values do not cover the compiled template: need {expected}, got {found}"
+            ),
             CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
         }
     }

@@ -132,6 +132,10 @@ pub fn try_compile_incremental_with<R: Rng + ?Sized>(
     let n_physical = topology.num_qubits();
     let mut layout = initial_layout;
     let mut out = Circuit::new(n_physical);
+    // The stitched circuit inherits the spec's parameter table; the
+    // routed partial circuits carry none (their tables are empty), so
+    // appending them below merges cleanly.
+    out.set_param_table(spec.param_table().clone());
     let mut swap_count = 0usize;
     let mut cphase_layers = 0usize;
     let mut layers: Vec<LayerRecord> = Vec::new();
@@ -200,7 +204,7 @@ pub fn try_compile_incremental_with<R: Rng + ?Sized>(
             out.rz(angle, layout.phys(q));
         }
         for q in 0..n_logical {
-            out.rx(2.0 * *beta, layout.phys(q));
+            out.rx(beta.scaled(2.0), layout.phys(q));
         }
     }
 
@@ -287,7 +291,7 @@ mod tests {
             logical.rzz(op.angle, op.a, op.b);
         }
         for q in 0..5 {
-            logical.rx(2.0 * spec.levels()[0].1, q);
+            logical.rx(spec.levels()[0].1.scaled(2.0), q);
         }
         assert!(qroute::routed_equivalent(
             &logical,

@@ -11,10 +11,11 @@
 //! return [`CompileError`] values instead of panicking.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use qcircuit::basis::{to_basis, BasisSet};
-use qcircuit::Circuit;
+use qcircuit::{Circuit, CircuitError, ParamValues};
 use qhw::{Calibration, HardwareContext, Topology};
 use qroute::{try_route, Layout, RoutingMetric};
 use rand::{Rng, RngCore};
@@ -23,7 +24,7 @@ use crate::error::CompileError;
 use crate::explain::{Explain, ExplainLayer};
 use crate::passes::{CompileContext, RoutingStage};
 use crate::trace::{FallbackReason, FallbackRecord, PassTrace};
-use crate::{ic, CphaseOp, QaoaSpec};
+use crate::{ic, CompiledArtifact, CphaseOp, QaoaSpec};
 
 /// Largest device for which fallback verification runs the full
 /// state-vector equivalence check ([`qroute::routed_equivalent`]); larger
@@ -218,8 +219,13 @@ pub struct CompiledCircuit {
     initial_layout: Layout,
     final_layout: Layout,
     swap_count: usize,
-    trace: PassTrace,
-    explain: Explain,
+    // Instructions carrying symbolic angles across both circuits,
+    // counted once at construction so per-iteration rebinds never scan.
+    parametric_gates: usize,
+    // Arc-shared so rebinding an artifact carries the (immutable)
+    // compile-time metadata at refcount cost instead of a deep clone.
+    trace: Arc<PassTrace>,
+    explain: Arc<Explain>,
 }
 
 impl CompiledCircuit {
@@ -286,6 +292,60 @@ impl CompiledCircuit {
     pub fn success_probability(&self, calibration: &Calibration) -> f64 {
         qroute::success_probability(&self.basis, calibration)
     }
+
+    /// Whether the compiled circuits still carry symbolic angles.
+    pub fn is_parametric(&self) -> bool {
+        self.physical.is_parametric()
+    }
+
+    /// Instructions carrying symbolic angles across the physical and
+    /// basis circuits — exactly what one [`CompiledCircuit::bind`] call
+    /// substitutes (and reports as `qcompile/rebind_gates`). Zero for a
+    /// bound circuit.
+    pub fn parametric_gate_count(&self) -> usize {
+        self.parametric_gates
+    }
+
+    /// Substitutes `values` into every symbolic angle of the physical and
+    /// basis circuits, carrying layouts, SWAP count, pass trace and the
+    /// explain report over **verbatim** — no mapping, ordering or routing
+    /// work happens here, which is the whole point of compiling a
+    /// parametric spec once. Counted as one `qcompile/rebind` (plus the
+    /// substituted gate count under `qcompile/rebind_gates`) in qtrace.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::UnboundParameters`] when `values` does not cover
+    /// the circuits' parameters.
+    pub fn bind(&self, values: &ParamValues) -> Result<CompiledCircuit, CompileError> {
+        let map_err = |e: CircuitError| match e {
+            CircuitError::ParamCountMismatch { expected, found } => {
+                CompileError::UnboundParameters { expected, found }
+            }
+            CircuitError::UnboundParameter { param, provided } => CompileError::UnboundParameters {
+                expected: param as usize + 1,
+                found: provided,
+            },
+            other => CompileError::Internal(other.to_string()),
+        };
+        let physical = self.physical.bind(values).map_err(map_err)?;
+        let basis = self.basis.bind(values).map_err(map_err)?;
+        let q = qtrace::global();
+        if q.is_enabled() {
+            q.add("qcompile/rebind", 1);
+            q.add("qcompile/rebind_gates", self.parametric_gates as u64);
+        }
+        Ok(CompiledCircuit {
+            physical,
+            basis,
+            initial_layout: self.initial_layout.clone(),
+            final_layout: self.final_layout.clone(),
+            swap_count: self.swap_count,
+            parametric_gates: 0,
+            trace: Arc::clone(&self.trace),
+            explain: Arc::clone(&self.explain),
+        })
+    }
 }
 
 /// Compiles a QAOA program for `topology` under `options`.
@@ -349,6 +409,50 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
     compile_with_ladder(spec, context, options, rng)
 }
 
+/// Compiles a (typically parametric) QAOA program into a reusable
+/// [`CompiledArtifact`]: compile once, then [`CompiledArtifact::bind`]
+/// per parameter point with zero mapping/ordering/routing work.
+///
+/// # Panics
+///
+/// Same conditions as [`compile`]; use [`try_compile_artifact`] for
+/// structured errors.
+pub fn compile_artifact<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    calibration: Option<&Calibration>,
+    options: &CompileOptions,
+    rng: &mut R,
+) -> CompiledArtifact {
+    match try_compile_artifact(spec, topology, calibration, options, rng) {
+        Ok(artifact) => artifact,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`compile_artifact`].
+pub fn try_compile_artifact<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    topology: &Topology,
+    calibration: Option<&Calibration>,
+    options: &CompileOptions,
+    rng: &mut R,
+) -> Result<CompiledArtifact, CompileError> {
+    let context = HardwareContext::from_parts(topology.clone(), calibration.cloned());
+    try_compile_artifact_with_context(spec, &context, options, rng)
+}
+
+/// [`try_compile_artifact`] against a prebuilt [`HardwareContext`].
+pub fn try_compile_artifact_with_context<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    options: &CompileOptions,
+    rng: &mut R,
+) -> Result<CompiledArtifact, CompileError> {
+    let template = try_compile_with_context(spec, context, options, rng)?;
+    Ok(CompiledArtifact::new(template, spec.num_params()))
+}
+
 /// The degradation rungs for `options`, starting with `options` itself:
 /// VIC steps down to IC then NAIVE; IC/IP step down to NAIVE; NAIVE has
 /// nowhere lower to go.
@@ -400,7 +504,10 @@ fn verify_fallback(
     if !qroute::satisfies_coupling(compiled.physical(), context.topology()) {
         return Err(CompileError::Verification { stage: "coupling" });
     }
-    if context.num_qubits() <= FULL_VERIFY_MAX_QUBITS {
+    // Symbolic angles have no amplitudes to compare; parametric specs are
+    // verified for coupling compliance only (the equivalence of a rebind
+    // follows from the bound-vs-parametric tests in `param_equiv`).
+    if context.num_qubits() <= FULL_VERIFY_MAX_QUBITS && !spec.is_parametric() {
         // CPHASEs commute, so the spec-order logical circuit is a valid
         // equivalence reference for every gate ordering a rung chose.
         let logical = build_logical_circuit(spec, |ops| ops.to_vec());
@@ -453,10 +560,11 @@ fn compile_with_ladder(
         match attempt {
             Ok(mut compiled) => {
                 if !steps.is_empty() {
-                    compiled.trace.adopt_fallbacks(steps);
+                    Arc::make_mut(&mut compiled.trace).adopt_fallbacks(steps);
                     // Keep the explain artifact's narrative in sync with
                     // the authoritative fallback history on the trace.
-                    compiled.explain.fallbacks = compiled.trace.fallbacks().to_vec();
+                    Arc::make_mut(&mut compiled.explain).fallbacks =
+                        compiled.trace.fallbacks().to_vec();
                 }
                 return Ok(compiled);
             }
@@ -653,14 +761,20 @@ fn compile_once(
         basis.count_gate("cx"),
     );
 
+    let parametric_gates = physical
+        .iter()
+        .chain(basis.iter())
+        .filter(|i| i.gate().is_parametric())
+        .count();
     Ok(CompiledCircuit {
         physical,
         basis,
         initial_layout,
         final_layout,
         swap_count,
-        trace,
-        explain,
+        parametric_gates,
+        trace: Arc::new(trace),
+        explain: Arc::new(explain),
     })
 }
 
@@ -672,6 +786,7 @@ where
 {
     let n = spec.num_qubits();
     let mut c = Circuit::new(n);
+    c.set_param_table(spec.param_table().clone());
     for q in 0..n {
         c.h(q);
     }
@@ -683,7 +798,7 @@ where
             c.rz(angle, q);
         }
         for q in 0..n {
-            c.rx(2.0 * *beta, q);
+            c.rx(beta.scaled(2.0), q);
         }
     }
     if spec.measure() {

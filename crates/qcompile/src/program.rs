@@ -1,17 +1,25 @@
 use qaoa::{MaxCut, QaoaParams};
+use qcircuit::{Angle, CircuitError, ParamId, ParamTable, ParamValues};
 use qgraph::Graph;
+
+use crate::error::CompileError;
+use crate::pipeline::CompiledCircuit;
 
 /// One commuting cost-layer gate: the paper's "CPHASE" between logical
 /// qubits `a` and `b` with angle `angle` (implemented as
 /// [`qcircuit::Gate::Rzz`]).
+///
+/// The angle is an [`Angle`], so a spec can carry either concrete values
+/// or symbolic parameters (`Sym { param, scale }`) that are bound after
+/// compilation — the mapping/ordering/routing passes never read it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CphaseOp {
     /// First logical operand (the figure's control).
     pub a: usize,
     /// Second logical operand (the figure's target).
     pub b: usize,
-    /// Rotation angle.
-    pub angle: f64,
+    /// Rotation angle, concrete or symbolic.
+    pub angle: Angle,
 }
 
 impl CphaseOp {
@@ -20,9 +28,13 @@ impl CphaseOp {
     /// # Panics
     ///
     /// Panics if `a == b`.
-    pub fn new(a: usize, b: usize, angle: f64) -> Self {
+    pub fn new(a: usize, b: usize, angle: impl Into<Angle>) -> Self {
         assert_ne!(a, b, "CPHASE on duplicate operand {a}");
-        CphaseOp { a, b, angle }
+        CphaseOp {
+            a,
+            b,
+            angle: angle.into(),
+        }
     }
 }
 
@@ -32,14 +44,21 @@ impl CphaseOp {
 /// The structure mirrors what the paper's methodologies actually permute:
 /// only the *order* of each level's CPHASE list is a degree of freedom;
 /// the surrounding Hadamard, mixer and measurement layers are fixed.
+///
+/// A spec may be **parametric**: angles refer to entries of its
+/// [`ParamTable`] instead of carrying numbers (see
+/// [`QaoaSpec::from_maxcut_parametric`]). The compile flow is angle-blind,
+/// so a parametric spec compiles exactly like a bound one and the result
+/// can be rebound per optimizer iteration ([`CompiledArtifact`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QaoaSpec {
     num_qubits: usize,
-    levels: Vec<(Vec<CphaseOp>, f64)>,
+    levels: Vec<(Vec<CphaseOp>, Angle)>,
     /// Per-level longitudinal-field rotations `(qubit, angle)`: diagonal
     /// single-qubit `Rz` gates that commute with the cost layer and need
     /// no routing (general Ising problems, §VI).
-    fields: Vec<Vec<(usize, f64)>>,
+    fields: Vec<Vec<(usize, Angle)>>,
+    params: ParamTable,
     measure: bool,
 }
 
@@ -49,8 +68,16 @@ impl QaoaSpec {
     /// # Panics
     ///
     /// Panics if `levels` is empty or an operand is out of range.
-    pub fn new(num_qubits: usize, levels: Vec<(Vec<CphaseOp>, f64)>, measure: bool) -> Self {
+    pub fn new<B: Into<Angle>>(
+        num_qubits: usize,
+        levels: Vec<(Vec<CphaseOp>, B)>,
+        measure: bool,
+    ) -> Self {
         assert!(!levels.is_empty(), "QAOA spec needs at least one level");
+        let levels: Vec<(Vec<CphaseOp>, Angle)> = levels
+            .into_iter()
+            .map(|(ops, beta)| (ops, beta.into()))
+            .collect();
         for (ops, _) in &levels {
             for op in ops {
                 assert!(
@@ -66,6 +93,7 @@ impl QaoaSpec {
             num_qubits,
             levels,
             fields,
+            params: ParamTable::new(),
             measure,
         }
     }
@@ -77,8 +105,12 @@ impl QaoaSpec {
     ///
     /// Panics if the list count differs from the level count or a field
     /// qubit is out of range.
-    pub fn with_fields(mut self, fields: Vec<Vec<(usize, f64)>>) -> Self {
+    pub fn with_fields<B: Into<Angle>>(mut self, fields: Vec<Vec<(usize, B)>>) -> Self {
         assert_eq!(fields.len(), self.levels.len(), "one field list per level");
+        let fields: Vec<Vec<(usize, Angle)>> = fields
+            .into_iter()
+            .map(|level| level.into_iter().map(|(q, a)| (q, a.into())).collect())
+            .collect();
         for level in &fields {
             for &(q, _) in level {
                 assert!(q < self.num_qubits, "field qubit {q} out of range");
@@ -86,6 +118,31 @@ impl QaoaSpec {
         }
         self.fields = fields;
         self
+    }
+
+    /// Attaches a parameter table describing the symbolic angles the spec
+    /// refers to. Circuits built from the spec inherit this table.
+    pub fn with_params(mut self, params: ParamTable) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The shared `2p` parameter table of a level-`p` parametric QAOA
+    /// spec: `gamma0, beta0, gamma1, beta1, …` — level `k`'s cost angle is
+    /// `ParamId(2k)` and its mixer angle `ParamId(2k + 1)`, matching the
+    /// flat `[γ1, β1, γ2, β2, …]` layout of [`QaoaParams::to_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn parametric_table(p: usize) -> ParamTable {
+        assert!(p > 0, "QAOA needs at least one level");
+        let mut table = ParamTable::new();
+        for k in 0..p {
+            table.declare(format!("gamma{k}"));
+            table.declare(format!("beta{k}"));
+        }
+        table
     }
 
     /// Builds the spec of a general Ising instance (§VI): one weighted
@@ -108,7 +165,7 @@ impl QaoaSpec {
                 (ops, beta)
             })
             .collect();
-        let fields = params
+        let fields: Vec<Vec<(usize, f64)>> = params
             .levels()
             .iter()
             .map(|&(gamma, _)| {
@@ -124,10 +181,49 @@ impl QaoaSpec {
         QaoaSpec::new(problem.num_spins(), levels, measure).with_fields(fields)
     }
 
+    /// The parametric form of [`QaoaSpec::from_ising`]: one spec with `2p`
+    /// shared symbolic parameters instead of one spec per `(γ, β)` point.
+    /// Level `k` uses `Rzz(2J·γ_k)` couplings and `Rz(2h·γ_k)` fields with
+    /// `γ_k = ParamId(2k)` and mixer parameter `β_k = ParamId(2k + 1)`
+    /// (see [`QaoaSpec::parametric_table`]). Bind with the flat
+    /// `[γ1, β1, …]` values of [`QaoaParams::to_flat`].
+    pub fn from_ising_parametric(
+        problem: &qaoa::ising::IsingProblem,
+        p: usize,
+        measure: bool,
+    ) -> Self {
+        let levels: Vec<(Vec<CphaseOp>, Angle)> = (0..p)
+            .map(|k| {
+                let gamma = Angle::sym(ParamId(2 * k as u32));
+                let ops = problem
+                    .couplings()
+                    .iter()
+                    .map(|&(u, v, j)| CphaseOp::new(u, v, gamma.scaled(2.0 * j)))
+                    .collect();
+                (ops, Angle::sym(ParamId(2 * k as u32 + 1)))
+            })
+            .collect();
+        let fields: Vec<Vec<(usize, Angle)>> = (0..p)
+            .map(|k| {
+                let gamma = Angle::sym(ParamId(2 * k as u32));
+                problem
+                    .fields()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &h)| h != 0.0)
+                    .map(|(q, &h)| (q, gamma.scaled(2.0 * h)))
+                    .collect()
+            })
+            .collect();
+        QaoaSpec::new(problem.num_spins(), levels, measure)
+            .with_fields(fields)
+            .with_params(QaoaSpec::parametric_table(p))
+    }
+
     /// Builds the spec of a QAOA-MaxCut instance: one CPHASE per problem
     /// edge per level, with the conventions of [`qaoa::qaoa_circuit`].
     pub fn from_maxcut(problem: &MaxCut, params: &QaoaParams, measure: bool) -> Self {
-        let levels = params
+        let levels: Vec<(Vec<CphaseOp>, f64)> = params
             .levels()
             .iter()
             .map(|&(gamma, beta)| {
@@ -142,24 +238,119 @@ impl QaoaSpec {
         QaoaSpec::new(problem.num_vars(), levels, measure)
     }
 
+    /// The parametric form of [`QaoaSpec::from_maxcut`]: one spec with
+    /// `2p` shared symbolic parameters. Level `k`'s cost gates are
+    /// `Rzz(-γ_k)` with `γ_k = ParamId(2k)` and its mixer parameter is
+    /// `β_k = ParamId(2k + 1)` (see [`QaoaSpec::parametric_table`]). Bind
+    /// with the flat `[γ1, β1, …]` values of [`QaoaParams::to_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn from_maxcut_parametric(problem: &MaxCut, p: usize, measure: bool) -> Self {
+        let levels: Vec<(Vec<CphaseOp>, Angle)> = (0..p)
+            .map(|k| {
+                let gamma = Angle::sym(ParamId(2 * k as u32));
+                let ops = problem
+                    .graph()
+                    .edges()
+                    .map(|e| CphaseOp::new(e.a(), e.b(), gamma.scaled(-1.0)))
+                    .collect();
+                (ops, Angle::sym(ParamId(2 * k as u32 + 1)))
+            })
+            .collect();
+        QaoaSpec::new(problem.num_vars(), levels, measure)
+            .with_params(QaoaSpec::parametric_table(p))
+    }
+
     /// Number of logical qubits.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
     }
 
     /// The levels: `(cost gate list, mixer angle β)` per level.
-    pub fn levels(&self) -> &[(Vec<CphaseOp>, f64)] {
+    pub fn levels(&self) -> &[(Vec<CphaseOp>, Angle)] {
         &self.levels
     }
 
     /// The per-level field rotations `(qubit, angle)`.
-    pub fn field_terms(&self, level: usize) -> &[(usize, f64)] {
+    pub fn field_terms(&self, level: usize) -> &[(usize, Angle)] {
         &self.fields[level]
     }
 
     /// Whether the compiled circuit ends with measurements.
     pub fn measure(&self) -> bool {
         self.measure
+    }
+
+    /// The spec's parameter table (empty for fully bound specs).
+    pub fn param_table(&self) -> &ParamTable {
+        &self.params
+    }
+
+    /// Number of declared symbolic parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether any angle in the spec is symbolic.
+    pub fn is_parametric(&self) -> bool {
+        self.levels
+            .iter()
+            .any(|(ops, beta)| beta.is_sym() || ops.iter().any(|op| op.angle.is_sym()))
+            || self
+                .fields
+                .iter()
+                .any(|level| level.iter().any(|(_, a)| a.is_sym()))
+    }
+
+    /// Substitutes `values` into every symbolic angle, producing a fully
+    /// bound spec (empty parameter table) with identical structure.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `values` does not cover the declared parameters.
+    pub fn bind(&self, values: &ParamValues) -> Result<QaoaSpec, CircuitError> {
+        if !self.params.is_empty() && values.len() != self.params.len() {
+            return Err(CircuitError::ParamCountMismatch {
+                expected: self.params.len(),
+                found: values.len(),
+            });
+        }
+        let levels = self
+            .levels
+            .iter()
+            .map(|(ops, beta)| {
+                let ops = ops
+                    .iter()
+                    .map(|op| {
+                        Ok(CphaseOp {
+                            a: op.a,
+                            b: op.b,
+                            angle: op.angle.bind(values)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, CircuitError>>()?;
+                Ok((ops, beta.bind(values)?))
+            })
+            .collect::<Result<Vec<_>, CircuitError>>()?;
+        let fields = self
+            .fields
+            .iter()
+            .map(|level| {
+                level
+                    .iter()
+                    .map(|&(q, a)| Ok((q, a.bind(values)?)))
+                    .collect::<Result<Vec<_>, CircuitError>>()
+            })
+            .collect::<Result<Vec<_>, CircuitError>>()?;
+        Ok(QaoaSpec {
+            num_qubits: self.num_qubits,
+            levels,
+            fields,
+            params: ParamTable::new(),
+            measure: self.measure,
+        })
     }
 
     /// Total number of cost gates across all levels.
@@ -191,6 +382,70 @@ impl QaoaSpec {
             }
         }
         ProgramProfile { ops_per_qubit }
+    }
+}
+
+/// A compile-once/rebind-many artifact: the full [`CompiledCircuit`] of a
+/// *parametric* spec, reusable across parameter points.
+///
+/// The compile flow (QAIM/GreedyV mapping, IP/IC/VIC ordering, routing,
+/// basis lowering) depends only on the interaction graph and the device —
+/// never on the angles — so one compilation of a parametric spec yields a
+/// template whose [`CompiledArtifact::bind`] is pure per-gate angle
+/// substitution: zero mapping, ordering or routing work, with layouts,
+/// pass trace and explain report carried over verbatim. Each rebind bumps
+/// the `qcompile/rebind` and `qcompile/rebind_gates` qtrace counters so
+/// the compile-vs-rebind economics show up in run manifests.
+///
+/// Build one with [`crate::compile_artifact`] /
+/// [`crate::try_compile_artifact`].
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    template: CompiledCircuit,
+    num_params: usize,
+}
+
+impl CompiledArtifact {
+    pub(crate) fn new(template: CompiledCircuit, num_params: usize) -> Self {
+        CompiledArtifact {
+            template,
+            num_params,
+        }
+    }
+
+    /// The parametric compiled template (symbolic angles intact).
+    pub fn template(&self) -> &CompiledCircuit {
+        &self.template
+    }
+
+    /// Number of parameters a [`CompiledArtifact::bind`] call must supply.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Whether the template still carries symbolic angles. (False for
+    /// artifacts compiled from bound specs; binding is then a clone.)
+    pub fn is_parametric(&self) -> bool {
+        self.template.physical().is_parametric()
+    }
+
+    /// Substitutes `values` into the template, returning a fully bound
+    /// [`CompiledCircuit`] with **bit-identical** structure: same gate
+    /// order, SWAP count, depth, layouts, pass trace and explain report
+    /// as the template — only the angles change.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::UnboundParameters`] when `values` does not cover
+    /// the template's parameters.
+    pub fn bind(&self, values: &ParamValues) -> Result<CompiledCircuit, CompileError> {
+        self.template.bind(values)
+    }
+
+    /// Alias of [`CompiledArtifact::bind`], named for the optimizer-loop
+    /// reading: `compile once, rebind every iteration`.
+    pub fn rebind(&self, values: &ParamValues) -> Result<CompiledCircuit, CompileError> {
+        self.bind(values)
     }
 }
 
@@ -303,12 +558,75 @@ mod tests {
         assert_eq!(spec.num_qubits(), 4);
         assert_eq!(spec.total_cphase_count(), 6);
         assert!(spec.measure());
-        assert_eq!(spec.levels()[0].1, 0.2);
+        assert!(!spec.is_parametric());
+        assert_eq!(spec.levels()[0].1, Angle::Const(0.2));
         assert!(spec.levels()[0]
             .0
             .iter()
-            .all(|op| (op.angle + 0.7).abs() < 1e-12));
+            .all(|op| (op.angle.value() + 0.7).abs() < 1e-12));
         assert_eq!(spec.interaction_graph(), *problem.graph());
+    }
+
+    #[test]
+    fn parametric_maxcut_shares_two_params_per_level() {
+        let problem = MaxCut::new(qgraph::generators::complete(4));
+        let spec = QaoaSpec::from_maxcut_parametric(&problem, 2, true);
+        assert!(spec.is_parametric());
+        assert_eq!(spec.num_params(), 4);
+        assert_eq!(spec.param_table().name(ParamId(0)), Some("gamma0"));
+        assert_eq!(spec.param_table().name(ParamId(3)), Some("beta1"));
+        for (k, (ops, beta)) in spec.levels().iter().enumerate() {
+            assert_eq!(beta.param(), Some(ParamId(2 * k as u32 + 1)));
+            for op in ops {
+                assert_eq!(op.angle.param(), Some(ParamId(2 * k as u32)));
+            }
+        }
+        // The interaction structure matches the bound form: same graph,
+        // same profile, same op count.
+        let bound = QaoaSpec::from_maxcut(&problem, &QaoaParams::new(vec![(0.1, 0.2); 2]), true);
+        assert_eq!(spec.interaction_graph(), bound.interaction_graph());
+        assert_eq!(spec.profile(), bound.profile());
+    }
+
+    #[test]
+    fn binding_a_parametric_spec_matches_the_direct_construction() {
+        let problem = MaxCut::new(qgraph::generators::cycle(5));
+        let params = QaoaParams::new(vec![(0.7, 0.2), (0.4, 0.9)]);
+        let spec = QaoaSpec::from_maxcut_parametric(&problem, 2, true);
+        let values = ParamValues::new(params.to_flat());
+        let bound = spec.bind(&values).unwrap();
+        assert!(!bound.is_parametric());
+        assert_eq!(bound.num_params(), 0);
+        assert_eq!(bound, QaoaSpec::from_maxcut(&problem, &params, true));
+    }
+
+    #[test]
+    fn binding_validates_value_count() {
+        let problem = MaxCut::new(qgraph::generators::cycle(4));
+        let spec = QaoaSpec::from_maxcut_parametric(&problem, 2, false);
+        let err = spec.bind(&ParamValues::new(vec![0.1, 0.2])).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::ParamCountMismatch {
+                expected: 4,
+                found: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn parametric_ising_scales_by_coupling_and_field() {
+        let problem = qaoa::ising::IsingProblem::new(
+            3,
+            vec![(0, 1, 0.5), (1, 2, -0.75)],
+            vec![0.3, 0.0, -0.8],
+        );
+        let spec = QaoaSpec::from_ising_parametric(&problem, 1, false);
+        assert!(spec.is_parametric());
+        assert_eq!(spec.field_terms(0).len(), 2); // zero fields compile away
+        let params = QaoaParams::p1(0.6, 0.3);
+        let bound = spec.bind(&ParamValues::new(params.to_flat())).unwrap();
+        assert_eq!(bound, QaoaSpec::from_ising(&problem, &params, false));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub fn reverse_traversal_refine(
 fn spec_circuit(spec: &QaoaSpec) -> Circuit {
     let n = spec.num_qubits();
     let mut c = Circuit::new(n);
+    c.set_param_table(spec.param_table().clone());
     for q in 0..n {
         c.h(q);
     }
@@ -59,7 +60,7 @@ fn spec_circuit(spec: &QaoaSpec) -> Circuit {
             c.rzz(op.angle, op.a, op.b);
         }
         for q in 0..n {
-            c.rx(2.0 * beta, q);
+            c.rx(beta.scaled(2.0), q);
         }
     }
     c

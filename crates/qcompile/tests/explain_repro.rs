@@ -62,6 +62,52 @@ fn explain_is_independent_of_batch_worker_count() {
 }
 
 #[test]
+fn explain_is_byte_identical_across_rebinds() {
+    // Rebinding a compiled artifact substitutes angles only; the explain
+    // report (and the trace it derives from) must carry over verbatim,
+    // so its JSON and text renderings stay byte-identical however many
+    // times and with whatever values the template is rebound.
+    use qcompile::try_compile_artifact_with_context;
+
+    let context = HardwareContext::new(Topology::ibmq_20_tokyo());
+    let graph = qgraph::Graph::from_edges(8, (0..8).map(|i| (i, (i + 1) % 8))).unwrap();
+    let problem = qaoa::MaxCut::without_optimum(graph);
+    let spec = QaoaSpec::from_maxcut_parametric(&problem, 2, true);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let artifact =
+        try_compile_artifact_with_context(&spec, &context, &CompileOptions::ic(), &mut rng)
+            .unwrap();
+
+    let template_json = artifact.template().explain().to_json();
+    let template_text = artifact.template().explain().render_text();
+    for (i, values) in [
+        vec![0.9, 0.35, 0.7, 0.2],
+        vec![0.1, 0.2, 0.3, 0.4],
+        vec![2.8, 1.5, 0.0, 1.0],
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let bound = artifact.bind(&qcircuit::ParamValues::new(values)).unwrap();
+        assert_eq!(
+            bound.explain().to_json(),
+            template_json,
+            "rebind {i} changed the explain JSON"
+        );
+        assert_eq!(
+            bound.explain().render_text(),
+            template_text,
+            "rebind {i} changed the explain text"
+        );
+        assert_eq!(
+            bound.trace().records().len(),
+            artifact.template().trace().records().len(),
+            "rebind {i} changed the pass trace"
+        );
+    }
+}
+
+#[test]
 fn explain_json_has_no_wall_clock_fields() {
     let context = HardwareContext::new(Topology::ibmq_20_tokyo());
     let mut rng = StdRng::seed_from_u64(7);

@@ -75,6 +75,7 @@ fn field_and_coupling_gates_are_preserved() {
         .iter()
         .filter(|i| i.gate().name() == "rzz")
         .flat_map(|i| i.gate().params())
+        .map(|a| a.value())
         .collect();
     for j in [0.5, -0.75, 1.25] {
         let want = 2.0 * 0.6 * j;

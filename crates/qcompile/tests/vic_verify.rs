@@ -32,7 +32,7 @@ fn logical_reference(spec: &QaoaSpec) -> qcircuit::Circuit {
             c.rz(angle, q);
         }
         for q in 0..n {
-            c.rx(2.0 * *beta, q);
+            c.rx(beta.scaled(2.0), q);
         }
     }
     if spec.measure() {

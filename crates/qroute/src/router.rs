@@ -104,6 +104,9 @@ pub fn try_route(
 
     let mut layout = initial_layout;
     let mut out = Circuit::new(topology.num_qubits());
+    // Routing only permutes qubits; symbolic angles (and the table that
+    // names them) pass through untouched.
+    out.set_param_table(circuit.param_table().clone());
     let mut swap_count = 0usize;
     let mut layer_stats: Vec<RouteLayerStat> = Vec::new();
     let mut layer_marks: Vec<u64> = Vec::new();

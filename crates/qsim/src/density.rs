@@ -581,13 +581,13 @@ mod tests {
     #[test]
     fn conjugation_fast_paths_match_generic_product() {
         let gates = [
-            Instruction::one(Gate::Rz(0.7), 1),
-            Instruction::one(Gate::U1(-0.4), 0),
+            Instruction::one(Gate::Rz((0.7).into()), 1),
+            Instruction::one(Gate::U1((-0.4).into()), 0),
             Instruction::one(Gate::Z, 2),
             Instruction::one(Gate::X, 1),
             Instruction::one(Gate::Y, 0),
-            Instruction::two(Gate::Rzz(0.6), 0, 2),
-            Instruction::two(Gate::CPhase(1.2), 2, 1),
+            Instruction::two(Gate::Rzz((0.6).into()), 0, 2),
+            Instruction::two(Gate::CPhase((1.2).into()), 2, 1),
             Instruction::two(Gate::Cz, 0, 1),
             Instruction::two(Gate::Cnot, 2, 0),
             Instruction::two(Gate::Swap, 1, 2),

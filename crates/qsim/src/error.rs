@@ -18,6 +18,22 @@ pub enum SimError {
         /// (`"statevector"` or `"density matrix"`).
         representation: &'static str,
     },
+    /// The circuit still carries symbolic (unbound) parameters; the
+    /// simulator only executes concrete amplitudes. Bind first, or use
+    /// [`crate::StateVector::bind_and_simulate`].
+    UnboundCircuit {
+        /// Mnemonic of the first parametric gate encountered.
+        gate: &'static str,
+    },
+    /// Parameter binding failed before simulation: the supplied values do
+    /// not cover the circuit's parameters.
+    ParamMismatch {
+        /// Parameters the circuit requires (declared count, or the
+        /// 1-based index of the first uncovered parameter).
+        expected: usize,
+        /// Values supplied.
+        found: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -30,6 +46,14 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "{representation} over {qubits} qubits exceeds the {limit}-qubit dense limit"
+            ),
+            SimError::UnboundCircuit { gate } => write!(
+                f,
+                "circuit is parametric (first symbolic gate: {gate}); bind parameter values before simulating"
+            ),
+            SimError::ParamMismatch { expected, found } => write!(
+                f,
+                "parameter values do not cover the circuit: need {expected}, got {found}"
             ),
         }
     }

@@ -191,16 +191,22 @@ impl Op {
             // Structured dense gates the Kernel classification keeps as
             // Dense1: lower them to cheaper real-arithmetic rules here.
             Gate::H => Op::Hadamard { bit: b0() },
-            Gate::Rx(t) => Op::RotX {
-                bit: b0(),
-                c: (t / 2.0).cos(),
-                s: (t / 2.0).sin(),
-            },
-            Gate::Ry(t) => Op::RotY {
-                bit: b0(),
-                c: (t / 2.0).cos(),
-                s: (t / 2.0).sin(),
-            },
+            Gate::Rx(t) => {
+                let t = t.value();
+                Op::RotX {
+                    bit: b0(),
+                    c: (t / 2.0).cos(),
+                    s: (t / 2.0).sin(),
+                }
+            }
+            Gate::Ry(t) => {
+                let t = t.value();
+                Op::RotY {
+                    bit: b0(),
+                    c: (t / 2.0).cos(),
+                    s: (t / 2.0).sin(),
+                }
+            }
             g => match g.kernel() {
                 Kernel::Identity => Op::Identity,
                 Kernel::Phase1 { z0, z1 } => Op::Phase1 { bit: b0(), z0, z1 },

@@ -1,7 +1,7 @@
 use crate::kernels::{FusedApplier, Op};
 use crate::{SimError, SimOptions};
 use qcircuit::math::{Complex, Matrix2, Matrix4, ONE, ZERO};
-use qcircuit::{Circuit, Instruction};
+use qcircuit::{Circuit, CircuitError, Instruction, ParamValues};
 
 /// Hard cap on the dense statevector width: `2^28` amplitudes is 4 GiB,
 /// the largest register the representation supports at all.
@@ -75,6 +75,67 @@ impl StateVector {
         let mut sv = StateVector::new(circuit.num_qubits());
         sv.apply_circuit_with(circuit, opts);
         sv
+    }
+
+    /// [`StateVector::from_circuit`] that *rejects* parametric circuits
+    /// with a structured error instead of panicking mid-kernel: the
+    /// bound-only entry of the compile-once/rebind-many flow.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnboundCircuit`] if any instruction carries a symbolic
+    /// angle, [`SimError::RegisterTooLarge`] if the register does not fit.
+    pub fn try_from_bound(circuit: &Circuit) -> Result<Self, SimError> {
+        Self::try_from_bound_with(circuit, &SimOptions::default())
+    }
+
+    /// [`StateVector::try_from_bound`] with explicit engine options.
+    pub fn try_from_bound_with(circuit: &Circuit, opts: &SimOptions) -> Result<Self, SimError> {
+        if let Some(instr) = circuit.iter().find(|i| i.gate().is_parametric()) {
+            return Err(SimError::UnboundCircuit {
+                gate: instr.gate().name(),
+            });
+        }
+        let mut sv = StateVector::try_new(circuit.num_qubits())?;
+        sv.apply_circuit_with(circuit, opts);
+        Ok(sv)
+    }
+
+    /// Binds parameter values into a parametric circuit and simulates the
+    /// bound result in one call. The binding is a per-gate angle
+    /// substitution; the simulation then runs entirely on the bound fast
+    /// path (fused-diagonal kernels included).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ParamMismatch`] when `values` does not cover the
+    /// circuit's parameters, [`SimError::RegisterTooLarge`] if the
+    /// register does not fit.
+    pub fn bind_and_simulate(circuit: &Circuit, values: &ParamValues) -> Result<Self, SimError> {
+        Self::bind_and_simulate_with(circuit, values, &SimOptions::default())
+    }
+
+    /// [`StateVector::bind_and_simulate`] with explicit engine options.
+    pub fn bind_and_simulate_with(
+        circuit: &Circuit,
+        values: &ParamValues,
+        opts: &SimOptions,
+    ) -> Result<Self, SimError> {
+        let bound = circuit.bind(values).map_err(|e| match e {
+            CircuitError::UnboundParameter { param, provided } => SimError::ParamMismatch {
+                expected: param as usize + 1,
+                found: provided,
+            },
+            CircuitError::ParamCountMismatch { expected, found } => {
+                SimError::ParamMismatch { expected, found }
+            }
+            // bind only emits the two parameter errors above
+            _ => SimError::ParamMismatch {
+                expected: circuit.num_params(),
+                found: values.len(),
+            },
+        })?;
+        Self::try_from_bound_with(&bound, opts)
     }
 
     /// Number of qubits.
@@ -318,6 +379,50 @@ mod tests {
     }
 
     #[test]
+    fn try_from_bound_rejects_parametric_circuits() {
+        let mut c = Circuit::new(2);
+        let gamma = c.declare_param("gamma");
+        c.h(0);
+        c.rzz(qcircuit::Angle::sym(gamma), 0, 1);
+        assert_eq!(
+            StateVector::try_from_bound(&c).unwrap_err(),
+            SimError::UnboundCircuit { gate: "rzz" }
+        );
+        // the bound form is accepted
+        let bound = c.bind(&ParamValues::new(vec![0.4])).unwrap();
+        assert!(StateVector::try_from_bound(&bound).is_ok());
+    }
+
+    #[test]
+    fn bind_and_simulate_matches_manual_binding() {
+        let mut c = Circuit::new(3);
+        let gamma = c.declare_param("gamma");
+        let beta = c.declare_param("beta");
+        for q in 0..3 {
+            c.h(q);
+        }
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            c.rzz(qcircuit::Angle::sym(gamma).neg(), a, b);
+        }
+        for q in 0..3 {
+            c.rx(qcircuit::Angle::sym(beta).scaled(2.0), q);
+        }
+        let values = ParamValues::new(vec![0.7, 0.4]);
+        let via_entry = StateVector::bind_and_simulate(&c, &values).unwrap();
+        let via_manual = StateVector::from_circuit(&c.bind(&values).unwrap());
+        assert_eq!(via_entry, via_manual);
+
+        // wrong arity surfaces as a structured error
+        assert_eq!(
+            StateVector::bind_and_simulate(&c, &ParamValues::new(vec![0.7])).unwrap_err(),
+            SimError::ParamMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
     fn reset_reuses_allocation() {
         let mut c = Circuit::new(3);
         c.h(0);
@@ -365,17 +470,17 @@ mod tests {
         // Apply each fast-path gate via `apply` and via the generic
         // matrix application; states must agree.
         let gates = [
-            Instruction::two(Gate::Rzz(0.73), 0, 2),
-            Instruction::two(Gate::CPhase(1.1), 2, 1),
+            Instruction::two(Gate::Rzz((0.73).into()), 0, 2),
+            Instruction::two(Gate::CPhase((1.1).into()), 2, 1),
             Instruction::two(Gate::Cz, 1, 0),
             Instruction::two(Gate::Cnot, 2, 0),
             Instruction::two(Gate::Swap, 0, 1),
-            Instruction::one(Gate::Rz(0.41), 1),
-            Instruction::one(Gate::U1(-0.9), 2),
+            Instruction::one(Gate::Rz((0.41).into()), 1),
+            Instruction::one(Gate::U1((-0.9).into()), 2),
             Instruction::one(Gate::Z, 0),
             Instruction::one(Gate::H, 2),
-            Instruction::one(Gate::Rx(0.77), 0),
-            Instruction::one(Gate::Ry(-1.3), 1),
+            Instruction::one(Gate::Rx((0.77).into()), 0),
+            Instruction::one(Gate::Ry((-1.3).into()), 1),
             Instruction::one(Gate::Y, 2),
         ];
         // Prepare a non-trivial state first.

@@ -17,21 +17,21 @@ fn arb_unitary_instruction(n: usize) -> impl Strategy<Value = Instruction> {
         (0..n).prop_map(|q| Instruction::one(Gate::Y, q)),
         (0..n).prop_map(|q| Instruction::one(Gate::Z, q)),
         (0..n).prop_map(|q| Instruction::one(Gate::T, q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rx(t), q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Ry(t), q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rz(t), q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::U1(t), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rx(t.into()), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Ry(t.into()), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rz(t.into()), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::U1(t.into()), q)),
         (0..n, angle.clone(), angle.clone(), angle.clone())
-            .prop_map(|(q, t, p, l)| Instruction::one(Gate::U3(t, p, l), q)),
+            .prop_map(|(q, t, p, l)| Instruction::one(Gate::U3(t.into(), p.into(), l.into()), q)),
         (0..n, 1..n).prop_map(move |(a, d)| Instruction::two(Gate::Cnot, a, (a + d) % n)),
         (0..n, 1..n).prop_map(move |(a, d)| Instruction::two(Gate::Cz, a, (a + d) % n)),
         (0..n, 1..n, angle.clone()).prop_map(move |(a, d, t)| Instruction::two(
-            Gate::Rzz(t),
+            Gate::Rzz(t.into()),
             a,
             (a + d) % n
         )),
         (0..n, 1..n, angle).prop_map(move |(a, d, t)| Instruction::two(
-            Gate::CPhase(t),
+            Gate::CPhase(t.into()),
             a,
             (a + d) % n
         )),

@@ -10,17 +10,17 @@ fn arb_unitary_instruction(n: usize) -> impl Strategy<Value = Instruction> {
     let angle = -6.0f64..6.0;
     prop_oneof![
         (0..n).prop_map(|q| Instruction::one(Gate::H, q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rx(t), q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Ry(t), q)),
-        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rz(t), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rx(t.into()), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Ry(t.into()), q)),
+        (0..n, angle.clone()).prop_map(|(q, t)| Instruction::one(Gate::Rz(t.into()), q)),
         (0..n, 1..n).prop_map(move |(a, d)| Instruction::two(Gate::Cnot, a, (a + d) % n)),
         (0..n, 1..n, angle.clone()).prop_map(move |(a, d, t)| Instruction::two(
-            Gate::Rzz(t),
+            Gate::Rzz(t.into()),
             a,
             (a + d) % n
         )),
         (0..n, 1..n, angle).prop_map(move |(a, d, t)| Instruction::two(
-            Gate::CPhase(t),
+            Gate::CPhase(t.into()),
             a,
             (a + d) % n
         )),
@@ -70,8 +70,8 @@ proptest! {
     ) {
         let base = StateVector::from_circuit(&c);
         let mut phased = base.clone();
-        phased.apply(&Instruction::one(Gate::Rz(theta), q));
-        phased.apply(&Instruction::two(Gate::Rzz(theta), q, (q + 1) % 4));
+        phased.apply(&Instruction::one(Gate::Rz(theta.into()), q));
+        phased.apply(&Instruction::two(Gate::Rzz(theta.into()), q, (q + 1) % 4));
         let pa = base.probabilities();
         let pb = phased.probabilities();
         for (a, b) in pa.iter().zip(&pb) {

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example arg_benchmark [nodes] [shots]`
 
 use qaoa::{approximation_ratio_from_counts, approximation_ratio_gap, qaoa_circuit, MaxCut};
-use qcompile::{compile, CompileOptions, QaoaSpec};
+use qcompile::{compile_artifact, CompileOptions, QaoaSpec};
 use qhw::Calibration;
 use qsim::{Counts, NoiseModel, Sampler, StateVector, TrajectorySimulator};
 use rand::rngs::StdRng;
@@ -49,9 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("r0 (noiseless, {shots} shots) = {r0}");
 
     // 3. Compile for melbourne and "run on hardware" (trajectory noise).
+    //    The compile flow never looks at the angles, so the parametric
+    //    template is compiled once and the optimized parameters are
+    //    bound into it afterwards — re-optimizing (or sweeping p=1
+    //    angles) would reuse the same artifact with fresh `bind` calls.
     let (topo, cal) = Calibration::melbourne_2020_04_08();
-    let spec = QaoaSpec::from_maxcut(&problem, &params, true);
-    let compiled = compile(&spec, &topo, Some(&cal), &CompileOptions::ic(), &mut rng);
+    let spec = QaoaSpec::from_maxcut_parametric(&problem, 1, true);
+    let artifact = compile_artifact(&spec, &topo, Some(&cal), &CompileOptions::ic(), &mut rng);
+    let compiled = artifact.bind(&params.to_values())?;
     println!(
         "compiled with IC(+QAIM): depth {}, {} CNOTs, {} SWAPs",
         compiled.depth(),

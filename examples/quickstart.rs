@@ -14,7 +14,7 @@
 //! bench-regress job).
 
 use qaoa::MaxCut;
-use qcompile::{compile, CompileOptions, QaoaSpec};
+use qcompile::{compile, compile_artifact, CompileOptions, QaoaSpec};
 use qhw::Topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,35 +56,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile for the linearly coupled 4-qubit device of Figure 1(d).
     let device = Topology::linear(4);
-    let spec = QaoaSpec::from_maxcut(&problem, &params, true);
     let mut rng = StdRng::seed_from_u64(1);
-    let mut ic_explain = None;
-    for (name, options) in [
-        (
-            "NAIVE (random mapping + random order)",
-            CompileOptions::naive(),
-        ),
-        ("IC (+QAIM)", CompileOptions::ic()),
-    ] {
-        let compiled = compile(&spec, &device, None, &options, &mut rng);
-        println!("--- {name} ---");
-        println!(
-            "depth {}  gates {}  CNOTs {}  SWAPs {}  compile {:?}",
-            compiled.depth(),
-            compiled.gate_count(),
-            compiled.cx_count(),
-            compiled.swap_count(),
-            compiled.elapsed()
-        );
-        assert!(qroute::satisfies_coupling(compiled.physical(), &device));
-        println!("{}", qcircuit::draw::draw(compiled.physical()));
-        ic_explain = Some(compiled.explain().clone());
-    }
+
+    // NAIVE baseline: compile the bound program directly.
+    let bound_spec = QaoaSpec::from_maxcut(&problem, &params, true);
+    let naive = compile(
+        &bound_spec,
+        &device,
+        None,
+        &CompileOptions::naive(),
+        &mut rng,
+    );
+    println!("--- NAIVE (random mapping + random order) ---");
+    println!(
+        "depth {}  gates {}  CNOTs {}  SWAPs {}  compile {:?}",
+        naive.depth(),
+        naive.gate_count(),
+        naive.cx_count(),
+        naive.swap_count(),
+        naive.elapsed()
+    );
+    assert!(qroute::satisfies_coupling(naive.physical(), &device));
+    println!("{}", qcircuit::draw::draw(naive.physical()));
+
+    // IC (+QAIM), compile-once/rebind-many style: the compile flow never
+    // looks at the angles, so the parametric template is compiled once
+    // and `(γ, β)` values are substituted per use — the hybrid optimizer
+    // loop rebinds this artifact every iteration instead of recompiling.
+    let template_spec = QaoaSpec::from_maxcut_parametric(&problem, 1, true);
+    let artifact = compile_artifact(
+        &template_spec,
+        &device,
+        None,
+        &CompileOptions::ic(),
+        &mut rng,
+    );
+    let compiled = artifact.bind(&params.to_values())?;
+    println!("--- IC (+QAIM), bound from the compiled artifact ---");
+    println!(
+        "depth {}  gates {}  CNOTs {}  SWAPs {}  compile {:?}",
+        compiled.depth(),
+        compiled.gate_count(),
+        compiled.cx_count(),
+        compiled.swap_count(),
+        compiled.elapsed()
+    );
+    assert!(qroute::satisfies_coupling(compiled.physical(), &device));
+    println!("{}", qcircuit::draw::draw(compiled.physical()));
+
+    // Rebinding at different angles is a per-gate substitution, not a
+    // compile: structure, layouts and metrics are unchanged.
+    let probe = artifact.bind(&qcircuit::ParamValues::new(vec![0.5, 0.2]))?;
+    assert_eq!(probe.depth(), compiled.depth());
+    assert_eq!(probe.swap_count(), compiled.swap_count());
+    println!(
+        "(rebinding the artifact at fresh angles keeps depth {} and {} SWAPs)\n",
+        probe.depth(),
+        probe.swap_count()
+    );
 
     // Where did the depth and SWAP cost come from? The explain report
-    // breaks the (last, i.e. IC) compile down pass by pass and layer by
-    // layer; for a fixed seed it is byte-identical across runs.
-    let explain = ic_explain.expect("compiled at least one circuit");
+    // breaks the IC compile down pass by pass and layer by layer; for a
+    // fixed seed it is byte-identical across runs — and across rebinds,
+    // since binding carries it over verbatim.
+    let explain = compiled.explain();
     println!("--- explain (IC run) ---\n{}", explain.render_text());
     if let Some(path) = explain_path {
         explain.save_json(&path)?;

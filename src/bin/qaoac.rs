@@ -218,7 +218,8 @@ fn run() -> Result<(), String> {
         eprintln!("{}", qcircuit::draw::draw(compiled.physical()));
     }
 
-    let qasm = qcircuit::qasm::to_qasm(compiled.basis_circuit());
+    let qasm = qcircuit::qasm::to_qasm(compiled.basis_circuit())
+        .map_err(|e| format!("exporting QASM: {e}"))?;
     match &args.out {
         Some(path) => {
             std::fs::write(path, qasm).map_err(|e| format!("writing {path}: {e}"))?;

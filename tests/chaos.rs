@@ -43,7 +43,7 @@ fn logical_reference(spec: &QaoaSpec) -> qcircuit::Circuit {
             c.rz(angle, q);
         }
         for q in 0..n {
-            c.rx(2.0 * *beta, q);
+            c.rx(beta.scaled(2.0), q);
         }
     }
     if spec.measure() {
@@ -232,7 +232,7 @@ fn poisoned_batches_return_structured_results_per_job() {
     let self_loop = qcompile::CphaseOp {
         a: 1,
         b: 1,
-        angle: 0.2,
+        angle: (0.2).into(),
     };
     let poison = QaoaSpec::new(6, vec![(vec![self_loop], 0.3)], true);
     let mut jobs = Vec::new();

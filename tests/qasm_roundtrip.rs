@@ -22,7 +22,7 @@ fn compiled_circuits_survive_qasm_round_trip() {
         let topo = Topology::ibmq_16_melbourne();
         let compiled = compile(&spec, &topo, None, &strategy, &mut rng);
 
-        let qasm = qcircuit::qasm::to_qasm(compiled.basis_circuit());
+        let qasm = qcircuit::qasm::to_qasm(compiled.basis_circuit()).unwrap();
         let parsed = qcircuit::qasm::parse(&qasm).expect("exported QASM re-parses");
         assert_eq!(&parsed, compiled.basis_circuit(), "{strategy:?}");
         assert_eq!(parsed.depth(), compiled.depth());
@@ -41,7 +41,8 @@ fn qasm_round_trip_preserves_semantics() {
     let topo = Topology::ring(8);
     let compiled = compile(&spec, &topo, None, &CompileOptions::ic(), &mut rng);
 
-    let parsed = qcircuit::qasm::parse(&qcircuit::qasm::to_qasm(compiled.basis_circuit())).unwrap();
+    let parsed =
+        qcircuit::qasm::parse(&qcircuit::qasm::to_qasm(compiled.basis_circuit()).unwrap()).unwrap();
     let a = qsim::StateVector::from_circuit(compiled.basis_circuit());
     let b = qsim::StateVector::from_circuit(&parsed);
     assert!(a.fidelity(&b) > 1.0 - 1e-9);
