@@ -35,7 +35,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Minimum accepted per-iteration speedup of rebind over recompile.
-const SPEEDUP_FLOOR: f64 = 20.0;
+/// The compile-engine rewrite made recompiling ~4x faster, which
+/// narrowed this ratio from ~40x to ~10x; the floor tracks that —
+/// rebinding degenerating into a recompile would read ~1x.
+const SPEEDUP_FLOOR: f64 = 5.0;
 
 /// A deterministic stand-in for an optimizer trajectory: iteration `i`
 /// perturbs every level's `(γ, β)` away from the representative p=1

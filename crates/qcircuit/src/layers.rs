@@ -35,24 +35,81 @@ use crate::{Circuit, Instruction};
 /// assert_eq!(layers[1].len(), 1); // cx
 /// ```
 pub fn asap_layers(c: &Circuit) -> Vec<Vec<Instruction>> {
-    let mut frontier = vec![0usize; c.num_qubits()];
-    let mut layers: Vec<Vec<Instruction>> = Vec::new();
-    for instr in c.iter() {
-        let level = instr
-            .qubit_vec()
-            .iter()
-            .map(|&q| frontier[q])
-            .max()
-            .unwrap_or(0);
-        if level == layers.len() {
-            layers.push(Vec::new());
+    let mut buf = LayerBuffer::new();
+    asap_layers_into(c, 0, &mut buf);
+    buf.layers.truncate(buf.used);
+    buf.layers
+}
+
+/// Reusable scratch for [`asap_layers_into`]: the frontier and the layer
+/// vectors (including each layer's element buffer) survive across calls,
+/// so the per-route-call layer partition allocates nothing in steady
+/// state.
+#[derive(Debug, Default)]
+pub struct LayerBuffer {
+    /// Layer storage; only the first [`LayerBuffer::used`] entries are
+    /// meaningful after a build (later entries are retained, empty, for
+    /// reuse).
+    pub layers: Vec<Vec<Instruction>>,
+    /// Number of layers the last build produced.
+    pub used: usize,
+    frontier: Vec<usize>,
+}
+
+impl LayerBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        LayerBuffer::default()
+    }
+
+    /// The layers of the last [`asap_layers_into`] build.
+    pub fn built(&self) -> &[Vec<Instruction>] {
+        &self.layers[..self.used]
+    }
+
+    fn reset(&mut self, num_qubits: usize) {
+        self.frontier.clear();
+        self.frontier.resize(num_qubits, 0);
+        for layer in &mut self.layers {
+            layer.clear();
         }
-        layers[level].push(*instr);
-        for q in instr.qubit_vec() {
-            frontier[q] = level + 1;
+        self.used = 0;
+    }
+
+    fn place(&mut self, instr: Instruction, level: usize) {
+        if level == self.used {
+            if self.used == self.layers.len() {
+                self.layers.push(Vec::new());
+            }
+            self.used += 1;
+        }
+        self.layers[level].push(instr);
+    }
+}
+
+/// [`asap_layers`] over the instruction suffix starting at `start`,
+/// building into a reusable [`LayerBuffer`] instead of allocating fresh
+/// vectors. Produces exactly the layers `asap_layers` would report for
+/// the suffix as a standalone circuit.
+///
+/// # Panics
+///
+/// Panics if `start > c.len()`.
+pub fn asap_layers_into(c: &Circuit, start: usize, buf: &mut LayerBuffer) {
+    buf.reset(c.num_qubits());
+    for instr in &c.instructions()[start..] {
+        let (q0, arity) = (instr.q0(), instr.gate().arity());
+        let level = if arity == 1 {
+            buf.frontier[q0]
+        } else {
+            buf.frontier[q0].max(buf.frontier[instr.q1()])
+        };
+        buf.place(*instr, level);
+        buf.frontier[q0] = level + 1;
+        if arity == 2 {
+            buf.frontier[instr.q1()] = level + 1;
         }
     }
-    layers
 }
 
 /// Groups only the *two-qubit* gates of `c` into ASAP layers, ignoring
@@ -65,19 +122,14 @@ pub fn two_qubit_layers(c: &Circuit) -> Vec<Vec<Instruction>> {
     let mut frontier = vec![0usize; c.num_qubits()];
     let mut layers: Vec<Vec<Instruction>> = Vec::new();
     for instr in c.iter().filter(|i| i.gate().arity() == 2) {
-        let level = instr
-            .qubit_vec()
-            .iter()
-            .map(|&q| frontier[q])
-            .max()
-            .unwrap_or(0);
+        let (a, b) = (instr.q0(), instr.q1());
+        let level = frontier[a].max(frontier[b]);
         if level == layers.len() {
             layers.push(Vec::new());
         }
         layers[level].push(*instr);
-        for q in instr.qubit_vec() {
-            frontier[q] = level + 1;
-        }
+        frontier[a] = level + 1;
+        frontier[b] = level + 1;
     }
     layers
 }
@@ -179,6 +231,24 @@ mod tests {
         }
         assert!((mean_layer_occupancy(&c) - 4.0).abs() < 1e-12);
         assert_eq!(mean_layer_occupancy(&Circuit::new(3)), 0.0);
+    }
+
+    #[test]
+    fn layer_buffer_reuse_matches_fresh_build() {
+        let mut buf = LayerBuffer::new();
+        let big = qaoa_like(&[(0, 1), (2, 3), (0, 2), (1, 3), (0, 3), (1, 2)]);
+        let small = qaoa_like(&[(0, 1)]);
+        for c in [&big, &small, &big] {
+            asap_layers_into(c, 0, &mut buf);
+            assert_eq!(buf.built(), asap_layers(c).as_slice());
+        }
+        // Suffix build matches the suffix as a standalone circuit.
+        asap_layers_into(&big, 4, &mut buf);
+        let mut suffix = Circuit::new(4);
+        for instr in &big.instructions()[4..] {
+            suffix.push(*instr).unwrap();
+        }
+        assert_eq!(buf.built(), asap_layers(&suffix).as_slice());
     }
 
     #[test]

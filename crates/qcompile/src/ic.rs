@@ -13,9 +13,11 @@
 //! would execute on bad links and the router detours around them —
 //! maximizing the compiled circuit's success probability.
 
+use std::cell::RefCell;
+
 use qcircuit::Circuit;
 use qhw::Topology;
-use qroute::{try_route, Layout, RoutingMetric};
+use qroute::{route_append, Layout, RoutingMetric};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -113,9 +115,144 @@ pub fn compile_incremental_with<R: Rng + ?Sized>(
     }
 }
 
+/// A CPHASE op with its cached current physical distance — the sort key
+/// of IC's Step 1. The cache is maintained incrementally: after each
+/// routed layer, only ops whose operands' physical positions actually
+/// moved are re-scored, instead of re-deriving every gate→distance pair
+/// from the distance matrix per round.
+#[derive(Debug, Clone, Copy)]
+struct ScoredOp {
+    op: CphaseOp,
+    dist: f64,
+}
+
+/// Reusable per-thread scratch for the incremental compiler: every
+/// per-round buffer (remaining/spill/layer op lists, the occupancy
+/// bitset, the dirty-qubit table, the previous-mapping snapshot, the
+/// partial circuit handed to the router and the telemetry marks) is
+/// allocated once per thread and reset per use, so a steady-state compile
+/// performs no per-layer heap allocation on this path.
+struct IcScratch {
+    remaining: Vec<ScoredOp>,
+    spill: Vec<ScoredOp>,
+    layer: Vec<ScoredOp>,
+    dirty: Vec<bool>,
+    prev_mapping: Vec<usize>,
+    /// Logical-qubit occupancy of the layer being packed, one bit per
+    /// qubit in `u64` words.
+    occupied: Vec<u64>,
+    partial: Circuit,
+    layer_marks: Vec<u64>,
+    /// Bucket offsets and the output buffer of the stable hop-key
+    /// counting sort ([`sort_remaining_by_dist`]).
+    sort_counts: Vec<usize>,
+    sort_tmp: Vec<ScoredOp>,
+}
+
+impl Default for IcScratch {
+    fn default() -> Self {
+        IcScratch {
+            remaining: Vec::new(),
+            spill: Vec::new(),
+            layer: Vec::new(),
+            dirty: Vec::new(),
+            prev_mapping: Vec::new(),
+            occupied: Vec::new(),
+            partial: Circuit::new(0),
+            layer_marks: Vec::new(),
+            sort_counts: Vec::new(),
+            sort_tmp: Vec::new(),
+        }
+    }
+}
+
+/// Sorts `ops` ascending by cached distance, preserving the order of
+/// equal keys (the random tie-break order the preceding shuffle chose).
+///
+/// For the unit metric the keys are small non-negative integers (hop
+/// counts, plus `INFINITY` for disconnected pairs), so a stable counting
+/// sort over reusable scratch produces **exactly** the permutation
+/// `sort_by(total_cmp)` would — both are stable and induce the same key
+/// order — without the stable merge sort's per-call buffer allocation.
+/// Weighted (VIC) keys are arbitrary floats and take the comparison sort.
+fn sort_remaining_by_dist(
+    ops: &mut Vec<ScoredOp>,
+    unit_metric: bool,
+    max_hops: usize,
+    counts: &mut Vec<usize>,
+    tmp: &mut Vec<ScoredOp>,
+) {
+    if !unit_metric {
+        ops.sort_by(|x, y| x.dist.total_cmp(&y.dist));
+        return;
+    }
+    if ops.len() <= 1 {
+        return;
+    }
+    // One bucket per finite hop count up to the topology-wide bound the
+    // caller hoisted, plus a trailing one for INFINITY (total_cmp orders
+    // it after every finite key).
+    let inf_bucket = max_hops + 1;
+    counts.clear();
+    counts.resize(inf_bucket + 1, 0);
+    let key = |s: &ScoredOp| {
+        if s.dist.is_finite() {
+            s.dist as usize
+        } else {
+            inf_bucket
+        }
+    };
+    for s in ops.iter() {
+        counts[key(s)] += 1;
+    }
+    let mut start = 0usize;
+    for c in counts.iter_mut() {
+        let bucket = *c;
+        *c = start;
+        start += bucket;
+    }
+    // `resize` without `clear` only touches the grown suffix; the scatter
+    // below overwrites every slot in `[0, ops.len())` anyway.
+    tmp.resize(ops.len(), ops[0]);
+    for s in ops.iter() {
+        let slot = &mut counts[key(s)];
+        tmp[*slot] = *s;
+        *slot += 1;
+    }
+    std::mem::swap(ops, tmp);
+}
+
+thread_local! {
+    static IC_SCRATCH: RefCell<IcScratch> = RefCell::new(IcScratch::default());
+}
+
+/// Capacity floor for the stitched output circuit: the Hadamard wall,
+/// every CPHASE, each level's field rotations and mixer wall, the final
+/// measurements, plus SWAP headroom (fig09-class compiles stay well under
+/// 4 SWAPs per CPHASE; the zero-reallocation test pins the bound).
+fn stitch_reserve(spec: &QaoaSpec) -> usize {
+    let n = spec.num_qubits();
+    let cphase = spec.total_cphase_count();
+    let field: usize = (0..spec.levels().len())
+        .map(|l| spec.field_terms(l).len())
+        .sum();
+    let measures = if spec.measure() { n } else { 0 };
+    n + cphase + field + spec.levels().len() * n + measures + 4 * cphase + 64
+}
+
 /// Fallible form of [`compile_incremental_with`]: returns a structured
 /// [`CompileError`] instead of panicking, so incremental compilation can
 /// cross thread and API boundaries (the batch driver relies on this).
+///
+/// This is the allocation-disciplined engine: op lists, occupancy bitsets
+/// and the per-layer partial circuit live in thread-local scratch; routed
+/// layers are emitted straight into the output via
+/// [`qroute::route_append`] (no intermediate circuit + `append` copy);
+/// and the distance sort keys are maintained incrementally under the
+/// drifting layout. Its observable output is **bit-for-bit identical** to
+/// the frozen pre-rewrite engine in `crate::reference` — the
+/// `compile_equivalence` suite pins that across seeds, topologies and
+/// metrics.
 pub fn try_compile_incremental_with<R: Rng + ?Sized>(
     spec: &QaoaSpec,
     topology: &Topology,
@@ -130,97 +267,162 @@ pub fn try_compile_incremental_with<R: Rng + ?Sized>(
     }
     let n_logical = spec.num_qubits();
     let n_physical = topology.num_qubits();
-    let mut layout = initial_layout;
-    let mut out = Circuit::new(n_physical);
-    // The stitched circuit inherits the spec's parameter table; the
-    // routed partial circuits carry none (their tables are empty), so
-    // appending them below merges cleanly.
-    out.set_param_table(spec.param_table().clone());
-    let mut swap_count = 0usize;
-    let mut cphase_layers = 0usize;
-    let mut layers: Vec<LayerRecord> = Vec::new();
-    let mut layer_marks: Vec<u64> = Vec::new();
     let q = qtrace::global();
 
-    // Initial Hadamard wall.
-    for q in 0..n_logical {
-        out.h(layout.phys(q));
-    }
+    IC_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let IcScratch {
+            remaining,
+            spill,
+            layer,
+            dirty,
+            prev_mapping,
+            occupied,
+            partial,
+            layer_marks,
+            sort_counts,
+            sort_tmp,
+        } = &mut *scratch;
+        layer_marks.clear();
+        if partial.num_qubits() != n_logical {
+            *partial = Circuit::new(n_logical);
+        }
+        dirty.clear();
+        dirty.resize(n_logical, false);
+        let words = n_logical.div_ceil(64);
+        // Hoisted dense metric-distance table for the (re)scoring loops.
+        let dist_flat = metric.dist_flat();
+        let n_table = metric.num_physical();
+        let unit_metric = !metric.is_variation_aware();
+        // Topology-wide hop bound, hoisted so the counting sort skips a
+        // per-call max scan. Unit-metric keys are exactly these hop counts.
+        let max_hops = if unit_metric {
+            metric
+                .hops_flat()
+                .iter()
+                .copied()
+                .filter(|&h| h != usize::MAX)
+                .max()
+                .unwrap_or(0)
+        } else {
+            0
+        };
 
-    for (level, (ops, beta)) in spec.levels().iter().enumerate() {
-        let mut remaining: Vec<CphaseOp> = ops.clone();
-        while !remaining.is_empty() {
-            // Step 1: sort by current physical distance (ties random).
-            remaining.shuffle(rng);
-            if resort {
-                remaining.sort_by(|x, y| {
-                    let dx = metric.dist(layout.phys(x.a), layout.phys(x.b));
-                    let dy = metric.dist(layout.phys(y.a), layout.phys(y.b));
-                    dx.total_cmp(&dy)
+        let mut layout = initial_layout;
+        let mut out = Circuit::new(n_physical);
+        // The stitched circuit inherits the spec's parameter table; the
+        // router only permutes qubits, so direct emission merges cleanly.
+        out.set_param_table(spec.param_table().clone());
+        out.reserve(stitch_reserve(spec));
+        let mut swap_count = 0usize;
+        let mut cphase_layers = 0usize;
+        let mut layers: Vec<LayerRecord> = Vec::new();
+
+        // Initial Hadamard wall.
+        for q in 0..n_logical {
+            out.h(layout.phys(q));
+        }
+
+        for (level, (ops, beta)) in spec.levels().iter().enumerate() {
+            remaining.clear();
+            remaining.extend(ops.iter().map(|&op| ScoredOp {
+                dist: dist_flat[layout.phys(op.a) * n_table + layout.phys(op.b)],
+                op,
+            }));
+            while !remaining.is_empty() {
+                // Step 1: sort by current physical distance (ties random).
+                // The shuffle consumes randomness as a function of length
+                // alone and the cached keys equal what the old comparator
+                // recomputed, so seed-for-seed the order is unchanged.
+                remaining.shuffle(rng);
+                if resort {
+                    sort_remaining_by_dist(remaining, unit_metric, max_hops, sort_counts, sort_tmp);
+                }
+                // Greedily pack a single layer of qubit bins.
+                occupied.clear();
+                occupied.resize(words, 0);
+                layer.clear();
+                spill.clear();
+                for s in remaining.drain(..) {
+                    let (wa, ba) = (s.op.a / 64, 1u64 << (s.op.a % 64));
+                    let (wb, bb) = (s.op.b / 64, 1u64 << (s.op.b % 64));
+                    let fits = (occupied[wa] & ba) == 0
+                        && (occupied[wb] & bb) == 0
+                        && packing_limit.is_none_or(|lim| layer.len() < lim);
+                    if fits {
+                        occupied[wa] |= ba;
+                        occupied[wb] |= bb;
+                        layer.push(s);
+                    } else {
+                        spill.push(s);
+                    }
+                }
+                std::mem::swap(remaining, spill);
+                cphase_layers += 1;
+                // Route the partial circuit holding just this layer,
+                // emitting straight into the stitched output.
+                partial.clear();
+                for s in layer.iter() {
+                    partial.rzz(s.op.angle, s.op.a, s.op.b);
+                }
+                prev_mapping.clear();
+                prev_mapping.extend_from_slice(layout.as_mapping());
+                let routed = route_append(partial, topology, layout, metric, &mut out)?;
+                // Timeline marker per packed layer; timestamps buffer
+                // locally and flush in one batch after the level loop.
+                if q.events_enabled() {
+                    layer_marks.push(qtrace::event::now_ns());
+                }
+                layers.push(LayerRecord {
+                    level,
+                    gates: layer.iter().map(|s| (s.op.a, s.op.b)).collect(),
+                    swaps: routed.swap_count,
+                    routed_depth: routed.routed_depth,
                 });
-            }
-            // Greedily pack a single layer of qubit bins.
-            let mut occupied = vec![false; n_logical];
-            let mut layer = Vec::new();
-            let mut spill = Vec::new();
-            for op in remaining.drain(..) {
-                let fits = !occupied[op.a]
-                    && !occupied[op.b]
-                    && packing_limit.is_none_or(|lim| layer.len() < lim);
-                if fits {
-                    occupied[op.a] = true;
-                    occupied[op.b] = true;
-                    layer.push(op);
-                } else {
-                    spill.push(op);
+                layout = routed.final_layout;
+                swap_count += routed.swap_count;
+                // Re-score only the ops whose operands the router moved.
+                if resort && !remaining.is_empty() {
+                    let mut any_moved = false;
+                    for (l, &was) in prev_mapping.iter().enumerate().take(n_logical) {
+                        let moved = layout.phys(l) != was;
+                        dirty[l] = moved;
+                        any_moved |= moved;
+                    }
+                    if any_moved {
+                        for s in remaining.iter_mut() {
+                            if dirty[s.op.a] || dirty[s.op.b] {
+                                s.dist =
+                                    dist_flat[layout.phys(s.op.a) * n_table + layout.phys(s.op.b)];
+                            }
+                        }
+                    }
                 }
             }
-            remaining = spill;
-            cphase_layers += 1;
-            // Compile the partial circuit holding just this layer.
-            let mut partial = Circuit::new(n_logical);
-            for op in &layer {
-                partial.rzz(op.angle, op.a, op.b);
+            // Field rotations (diagonal; commute with the cost layer) and
+            // the mixer wall for this level.
+            for &(q, angle) in spec.field_terms(level) {
+                out.rz(angle, layout.phys(q));
             }
-            let routed = try_route(&partial, topology, layout, metric)?;
-            // Timeline marker per packed layer; timestamps buffer locally
-            // and flush in one batch after the level loop.
-            if q.events_enabled() {
-                layer_marks.push(qtrace::event::now_ns());
+            for q in 0..n_logical {
+                out.rx(beta.scaled(2.0), layout.phys(q));
             }
-            layers.push(LayerRecord {
-                level,
-                gates: layer.iter().map(|op| (op.a, op.b)).collect(),
-                swaps: routed.swap_count,
-                routed_depth: routed.circuit.depth(),
-            });
-            out.append(&routed.circuit).expect("same physical width");
-            layout = routed.final_layout;
-            swap_count += routed.swap_count;
         }
-        // Field rotations (diagonal; commute with the cost layer) and the
-        // mixer wall for this level.
-        for &(q, angle) in spec.field_terms(level) {
-            out.rz(angle, layout.phys(q));
-        }
-        for q in 0..n_logical {
-            out.rx(beta.scaled(2.0), layout.phys(q));
-        }
-    }
 
-    if spec.measure() {
-        for q in 0..n_logical {
-            out.measure(layout.phys(q));
+        if spec.measure() {
+            for q in 0..n_logical {
+                out.measure(layout.phys(q));
+            }
         }
-    }
-    q.instants_at("qcompile/ic/layer", &layer_marks);
+        q.instants_at("qcompile/ic/layer", layer_marks);
 
-    Ok(IncrementalResult {
-        circuit: out,
-        final_layout: layout,
-        swap_count,
-        cphase_layers,
-        layers,
+        Ok(IncrementalResult {
+            circuit: out,
+            final_layout: layout,
+            swap_count,
+            cphase_layers,
+            layers,
+        })
     })
 }
 
@@ -367,5 +569,30 @@ mod tests {
         let metric = RoutingMetric::hops(&topo);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = compile_incremental(&spec, &topo, layout, &metric, Some(0), &mut rng);
+    }
+
+    #[test]
+    fn stitching_never_reallocates_on_fig09_class() {
+        // The up-front reserve must cover the whole stitched circuit:
+        // an untouched capacity proves zero mid-compile reallocation
+        // (any overflow would grow the buffer past the initial reserve).
+        let topo = Topology::ibmq_20_tokyo();
+        let metric = RoutingMetric::hops(&topo);
+        let mut rng = StdRng::seed_from_u64(0xF19);
+        for seed in 0..6 {
+            let mut g_rng = StdRng::seed_from_u64(7000 + seed);
+            let g = qgraph::generators::connected_erdos_renyi(20, 0.5, 1000, &mut g_rng).unwrap();
+            let problem = qaoa::MaxCut::without_optimum(g);
+            let spec = QaoaSpec::from_maxcut(&problem, &qaoa::QaoaParams::p1(0.4, 0.3), true);
+            let layout = crate::mapping::qaim(&spec, &topo);
+            let r = compile_incremental(&spec, &topo, layout, &metric, None, &mut rng);
+            assert_eq!(
+                r.circuit.capacity(),
+                super::stitch_reserve(&spec),
+                "stitch buffer reallocated mid-compile (len {})",
+                r.circuit.len()
+            );
+            assert!(r.circuit.len() <= super::stitch_reserve(&spec));
+        }
     }
 }

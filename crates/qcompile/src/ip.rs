@@ -51,19 +51,25 @@ pub fn pack_layers<R: Rng + ?Sized>(
         let moq = profile.moq();
         let base = layers.len();
         layers.extend(std::iter::repeat_with(Vec::new).take(moq));
-        let mut occupied: Vec<Vec<bool>> = vec![vec![false; num_qubits]; moq];
+        // Per-layer qubit occupancy as bitset rows (one bit per qubit in
+        // u64 words): the first-fit probe reads two words per layer
+        // instead of chasing a Vec<Vec<bool>> row per candidate.
+        let words = num_qubits.div_ceil(64);
+        let mut occupied = vec![0u64; moq * words];
         // Step 3: first-fit assignment.
         let mut spill = Vec::new();
         for op in remaining.drain(..) {
+            let (wa, ba) = (op.a / 64, 1u64 << (op.a % 64));
+            let (wb, bb) = (op.b / 64, 1u64 << (op.b % 64));
             let slot = (0..moq).find(|&l| {
-                !occupied[l][op.a]
-                    && !occupied[l][op.b]
+                (occupied[l * words + wa] & ba) == 0
+                    && (occupied[l * words + wb] & bb) == 0
                     && packing_limit.is_none_or(|lim| layers[base + l].len() < lim)
             });
             match slot {
                 Some(l) => {
-                    occupied[l][op.a] = true;
-                    occupied[l][op.b] = true;
+                    occupied[l * words + wa] |= ba;
+                    occupied[l * words + wb] |= bb;
                     layers[base + l].push(op);
                 }
                 None => spill.push(op),

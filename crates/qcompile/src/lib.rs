@@ -51,6 +51,8 @@ pub mod mapping;
 pub mod passes;
 pub mod pipeline;
 mod program;
+#[doc(hidden)]
+pub mod reference;
 pub mod reverse;
 mod trace;
 

@@ -122,7 +122,50 @@ fn qaim_core(
     let n_logical = spec.num_qubits();
     let n_physical = topology.num_qubits();
     let program = spec.profile();
-    let interactions = spec.interaction_graph();
+
+    // Flat deduplicated interaction adjacency (CSR), replacing the
+    // BTree-backed `spec.interaction_graph()` build on every compile.
+    // Neighbors appear in program order rather than sorted — placement
+    // decisions cannot observe the difference: the candidate list derived
+    // from them is sorted and deduplicated before use, and the
+    // cumulative-distance score is a commutative integer sum.
+    let mut scatter = vec![0usize; n_logical + 1];
+    for (ops, _) in spec.levels() {
+        for op in ops {
+            scatter[op.a + 1] += 1;
+            scatter[op.b + 1] += 1;
+        }
+    }
+    for i in 0..n_logical {
+        scatter[i + 1] += scatter[i];
+    }
+    let mut raw = vec![0usize; scatter[n_logical]];
+    {
+        let mut cursor = scatter.clone();
+        for (ops, _) in spec.levels() {
+            for op in ops {
+                raw[cursor[op.a]] = op.b;
+                cursor[op.a] += 1;
+                raw[cursor[op.b]] = op.a;
+                cursor[op.b] += 1;
+            }
+        }
+    }
+    // Per-bucket dedup via version stamps (multi-level specs repeat ops;
+    // a duplicate neighbor would double-count its distance).
+    let mut stamp = vec![usize::MAX; n_logical];
+    let mut adj = Vec::with_capacity(raw.len());
+    let mut adj_offsets = vec![0usize; n_logical + 1];
+    for a in 0..n_logical {
+        for &b in &raw[scatter[a]..scatter[a + 1]] {
+            if stamp[b] != a {
+                stamp[b] = a;
+                adj.push(b);
+            }
+        }
+        adj_offsets[a + 1] = adj.len();
+    }
+    let neighbors_of = |l: usize| &adj[adj_offsets[l]..adj_offsets[l + 1]];
 
     let mut assignment = vec![usize::MAX; n_logical];
     let mut allocated = vec![false; n_physical];
@@ -139,27 +182,35 @@ fn qaim_core(
             .expect("at least one free physical qubit")
     };
 
+    // Hoisted per-placement buffers: the loop below runs once per logical
+    // qubit and previously allocated both vectors afresh each round.
+    let mut placed_neighbors: Vec<usize> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
     for logical in program.ranked_qubits() {
-        let placed_neighbors: Vec<usize> = interactions
-            .neighbors(logical)
-            .filter(|&m| assignment[m] != usize::MAX)
-            .map(|m| assignment[m])
-            .collect();
+        placed_neighbors.clear();
+        placed_neighbors.extend(
+            neighbors_of(logical)
+                .iter()
+                .filter(|&&m| assignment[m] != usize::MAX)
+                .map(|&m| assignment[m]),
+        );
         let choice = if placed_neighbors.is_empty() {
             strongest_free(&allocated)
         } else {
             // Candidates: unallocated physical neighbors of the placed
             // neighbors' homes; fall back to all unallocated qubits when
             // the neighborhood is saturated.
-            let mut candidates: Vec<usize> = placed_neighbors
-                .iter()
-                .flat_map(|&p| topology.graph().neighbors(p))
-                .filter(|&p| !allocated[p])
-                .collect();
+            candidates.clear();
+            candidates.extend(
+                placed_neighbors
+                    .iter()
+                    .flat_map(|&p| topology.neighbors(p).iter().copied())
+                    .filter(|&p| !allocated[p]),
+            );
             candidates.sort_unstable();
             candidates.dedup();
             if candidates.is_empty() {
-                candidates = (0..n_physical).filter(|&p| !allocated[p]).collect();
+                candidates.extend((0..n_physical).filter(|&p| !allocated[p]));
             }
             best_by_cost(&candidates, &placed_neighbors, profile, distances, variant)?
         };
@@ -178,13 +229,17 @@ fn best_by_cost(
     distances: &DistanceMatrix,
     variant: QaimVariant,
 ) -> Result<usize, CompileError> {
+    let flat = distances.flat();
+    let n = distances.node_count();
     let mut best: Option<(f64, usize)> = None;
     for &p in candidates {
         let mut cum = 0usize;
         for &q in placed {
-            cum += distances
-                .get(p, q)
-                .ok_or(CompileError::Disconnected { a: p, b: q })?;
+            let d = flat[p * n + q];
+            if d == usize::MAX {
+                return Err(CompileError::Disconnected { a: p, b: q });
+            }
+            cum += d;
         }
         let strength = profile.connectivity_strength(p) as f64;
         let cost = match variant {

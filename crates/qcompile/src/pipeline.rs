@@ -353,9 +353,11 @@ impl CompiledCircuit {
 /// `calibration` is required for [`Compilation::IncrementalReliability`]
 /// and otherwise unused.
 ///
-/// Builds a fresh [`HardwareContext`] per call; amortize that cost with
-/// [`try_compile_with_context`] (or [`crate::compile_batch`]) when
-/// compiling many programs for one target.
+/// Resolves the [`HardwareContext`] through the process-wide
+/// [`HardwareContext::shared`] cache, so repeated calls against the same
+/// `(topology, calibration epoch)` pair pay Floyd–Warshall once; hold a
+/// context yourself with [`try_compile_with_context`] (or use
+/// [`crate::compile_batch`]) to skip even the cache probe.
 ///
 /// # Panics
 ///
@@ -383,7 +385,10 @@ pub fn try_compile<R: Rng + ?Sized>(
     options: &CompileOptions,
     rng: &mut R,
 ) -> Result<CompiledCircuit, CompileError> {
-    let context = HardwareContext::from_parts(topology.clone(), calibration.cloned());
+    // The shared cache means repeated per-call compiles against the same
+    // (topology, calibration epoch) — retry loops, ladders, scripts that
+    // never build a context — pay Floyd–Warshall once, not per call.
+    let context = HardwareContext::shared(topology, calibration);
     try_compile_with_context(spec, &context, options, rng)
 }
 
@@ -438,7 +443,7 @@ pub fn try_compile_artifact<R: Rng + ?Sized>(
     options: &CompileOptions,
     rng: &mut R,
 ) -> Result<CompiledArtifact, CompileError> {
-    let context = HardwareContext::from_parts(topology.clone(), calibration.cloned());
+    let context = HardwareContext::shared(topology, calibration);
     try_compile_artifact_with_context(spec, &context, options, rng)
 }
 
@@ -661,13 +666,14 @@ fn compile_once(
             check_pass_budget(options, enforce_budgets, "route", elapsed)?;
             // ASAP layers of the full circuit may span QAOA levels and
             // interleave with mixer walls, so level and per-layer depth
-            // are not attributable here.
+            // are not attributable here. The stats are consumed — the
+            // per-layer gate lists move into the report without copies.
             let layers = routed
                 .layer_stats
-                .iter()
+                .into_iter()
                 .map(|l| ExplainLayer {
                     level: None,
-                    gates: l.gates.clone(),
+                    gates: l.gates,
                     swaps: l.swaps,
                     routed_depth: None,
                 })
@@ -707,12 +713,14 @@ fn compile_once(
             let elapsed = pass.finish();
             trace.push(name, elapsed, r.swap_count, Some(r.circuit.depth()));
             check_pass_budget(options, enforce_budgets, name, elapsed)?;
+            // The result is consumed here, so the per-layer gate lists
+            // move into the report without copies.
             let layers = r
                 .layers
-                .iter()
+                .into_iter()
                 .map(|l| ExplainLayer {
                     level: Some(l.level),
-                    gates: l.gates.clone(),
+                    gates: l.gates,
                     swaps: l.swaps,
                     routed_depth: Some(l.routed_depth),
                 })

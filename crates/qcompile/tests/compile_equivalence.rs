@@ -1,0 +1,265 @@
+//! Pins the allocation-disciplined compile engines **bit-for-bit
+//! identical** to the frozen pre-rewrite references in
+//! `qcompile::reference`.
+//!
+//! The engine rewrite (thread-local scratch, direct-emission routing,
+//! incremental distance keys, bitset packing) is pure mechanism: for any
+//! seed it must take exactly the decisions the old code took and emit
+//! exactly the instruction stream the old code emitted. These properties
+//! are the contract — a divergence on any seed × topology × density ×
+//! metric × packing-limit combination is a bug in the rewrite, not a
+//! "small quality difference".
+//!
+//! The plain tests at the bottom pin the same property one level up:
+//! whole-pipeline runs (including the degradation ladder, the shared
+//! context cache and multi-worker batches) are byte-identical across
+//! repetition, entry point and worker count, down to the Explain JSON.
+
+use proptest::prelude::*;
+use qcompile::reference;
+use qcompile::{
+    compile_batch, ic, ip, mapping, try_compile, try_compile_with_context, BatchJob,
+    CompileOptions, CphaseOp, QaoaSpec,
+};
+use qhw::{Calibration, HardwareContext, Topology};
+use qroute::{route_append, try_route, Layout, RoutingMetric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A MaxCut QAOA spec over a connected ER instance — the paper's workload
+/// shape.
+fn er_spec(n: usize, p: f64, seed: u64, measure: bool) -> QaoaSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = qgraph::generators::connected_erdos_renyi(n, p, 1000, &mut rng).unwrap();
+    let problem = qaoa::MaxCut::without_optimum(g);
+    QaoaSpec::from_maxcut(&problem, &qaoa::QaoaParams::p1(0.4, 0.3), measure)
+}
+
+fn pick_topology(idx: usize) -> Topology {
+    match idx {
+        0 => Topology::ibmq_20_tokyo(),
+        1 => Topology::ibmq_16_melbourne(),
+        _ => Topology::heavy_hex(2, 2),
+    }
+}
+
+/// Full structural equality of two incremental-compilation results.
+fn assert_incremental_eq(live: &ic::IncrementalResult, frozen: &ic::IncrementalResult) {
+    assert_eq!(
+        live.circuit.instructions(),
+        frozen.circuit.instructions(),
+        "instruction streams diverged"
+    );
+    assert_eq!(live.circuit.depth(), frozen.circuit.depth());
+    assert_eq!(live.final_layout, frozen.final_layout);
+    assert_eq!(live.swap_count, frozen.swap_count);
+    assert_eq!(live.cphase_layers, frozen.cphase_layers);
+    assert_eq!(live.layers, frozen.layers, "per-layer records diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// IC (and its no-resort ablation) against the frozen engine, across
+    /// seeds, topologies, ER densities and packing limits.
+    #[test]
+    fn ic_engine_matches_frozen_reference(
+        seed in 0u64..10_000,
+        topo_idx in 0usize..3,
+        density_idx in 0usize..3,
+        limit in proptest::option::of(1usize..5),
+        resort_idx in 0usize..2,
+    ) {
+        let topo = pick_topology(topo_idx);
+        let n = topo.num_qubits().min(14);
+        let p = [0.2, 0.4, 0.6][density_idx];
+        let spec = er_spec(n, p, seed, true);
+        let metric = RoutingMetric::hops(&topo);
+        let layout = mapping::qaim(&spec, &topo);
+        let resort = resort_idx == 0;
+        let live = ic::try_compile_incremental_with(
+            &spec, &topo, layout.clone(), &metric, limit, resort,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        let frozen = reference::try_compile_incremental_with(
+            &spec, &topo, layout, &metric, limit, resort,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        assert_incremental_eq(&live, &frozen);
+    }
+
+    /// VIC (reliability metric) against the frozen engine on the real
+    /// melbourne calibration: the weighted tie-breaks must also replay
+    /// bit-for-bit (float-sum order is part of the contract).
+    #[test]
+    fn vic_engine_matches_frozen_reference(
+        seed in 0u64..10_000,
+        density_idx in 0usize..3,
+        limit in proptest::option::of(2usize..6),
+    ) {
+        let (topo, cal) = Calibration::melbourne_2020_04_08();
+        let p = [0.2, 0.4, 0.6][density_idx];
+        let spec = er_spec(12, p, seed, true);
+        let metric = RoutingMetric::reliability(&topo, &cal);
+        let layout = mapping::qaim(&spec, &topo);
+        let live = ic::try_compile_incremental_with(
+            &spec, &topo, layout.clone(), &metric, limit, true,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        let frozen = reference::try_compile_incremental_with(
+            &spec, &topo, layout, &metric, limit, true,
+            &mut StdRng::seed_from_u64(seed),
+        ).unwrap();
+        assert_incremental_eq(&live, &frozen);
+    }
+
+    /// The scratch-buffer router against the frozen router on random
+    /// multi-layer circuits and random layouts (both metrics).
+    #[test]
+    fn router_matches_frozen_reference(
+        seed in 0u64..10_000,
+        topo_idx in 0usize..3,
+        density_idx in 0usize..2,
+        vic in 0usize..2,
+    ) {
+        let (topo, cal) = if topo_idx == 1 {
+            Calibration::melbourne_2020_04_08()
+        } else {
+            let t = pick_topology(topo_idx);
+            let c = Calibration::uniform(&t, 0.02, 0.001, 0.02);
+            (t, c)
+        };
+        let metric = if vic == 0 {
+            RoutingMetric::hops(&topo)
+        } else {
+            RoutingMetric::reliability(&topo, &cal)
+        };
+        let n = topo.num_qubits().min(14);
+        let p = [0.3, 0.6][density_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = qgraph::generators::connected_erdos_renyi(n, p, 1000, &mut rng).unwrap();
+        let mut c = qcircuit::Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        for e in g.edges() {
+            c.rzz(0.37, e.a(), e.b());
+        }
+        for q in 0..n {
+            c.rx(0.9, q);
+            c.measure(q);
+        }
+        let layout = Layout::random(n, topo.num_qubits(), &mut rng);
+        let live = try_route(&c, &topo, layout.clone(), &metric).unwrap();
+        let frozen = reference::try_route(&c, &topo, layout.clone(), &metric).unwrap();
+        prop_assert_eq!(live.circuit.instructions(), frozen.circuit.instructions());
+        prop_assert_eq!(&live.final_layout, &frozen.final_layout);
+        prop_assert_eq!(live.swap_count, frozen.swap_count);
+        prop_assert_eq!(live.layer_stats, frozen.layer_stats);
+
+        // The direct-emission append path is the same byte stream again.
+        let mut direct = qcircuit::Circuit::new(topo.num_qubits());
+        direct.set_param_table(c.param_table().clone());
+        let stats = route_append(&c, &topo, layout, &metric, &mut direct).unwrap();
+        prop_assert_eq!(direct.instructions(), frozen.circuit.instructions());
+        prop_assert_eq!(stats.final_layout, frozen.final_layout);
+        prop_assert_eq!(stats.swap_count, frozen.swap_count);
+        prop_assert_eq!(stats.routed_depth, frozen.circuit.depth());
+    }
+
+    /// The bitset bin-packer against the frozen `Vec<Vec<bool>>` packer.
+    #[test]
+    fn ip_packer_matches_frozen_reference(
+        seed in 0u64..10_000,
+        density_idx in 0usize..3,
+        limit in proptest::option::of(1usize..6),
+    ) {
+        let p = [0.2, 0.4, 0.7][density_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = qgraph::generators::connected_erdos_renyi(13, p, 1000, &mut rng).unwrap();
+        let ops: Vec<CphaseOp> = g.edges().map(|e| CphaseOp::new(e.a(), e.b(), 0.2)).collect();
+        let live = ip::pack_layers(13, &ops, limit, &mut StdRng::seed_from_u64(seed));
+        let frozen = reference::pack_layers(13, &ops, limit, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(live, frozen);
+    }
+}
+
+/// One compiled result's full observable surface, for equality checks.
+fn fingerprint(c: &qcompile::CompiledCircuit) -> (Vec<u8>, String) {
+    let mut bytes = Vec::new();
+    for i in c.physical().instructions() {
+        bytes.extend_from_slice(format!("{i};").as_bytes());
+    }
+    for i in c.basis_circuit().instructions() {
+        bytes.extend_from_slice(format!("{i};").as_bytes());
+    }
+    (bytes, c.explain().to_json())
+}
+
+/// Whole-pipeline byte-identity: repeated runs, the legacy shared-cache
+/// entry point and a prebuilt context must all produce the same circuit
+/// and the same Explain JSON — including when the degradation ladder
+/// rewrites the configuration.
+#[test]
+fn pipeline_runs_are_byte_identical_across_entry_points_and_ladder() {
+    let topo = Topology::ibmq_20_tokyo();
+    let context = HardwareContext::new(topo.clone());
+    let spec = er_spec(14, 0.4, 99, true);
+    let configs = [
+        ("qaim", CompileOptions::qaim_only()),
+        ("ip", CompileOptions::ip()),
+        ("ic", CompileOptions::ic()),
+        // VIC without calibration + fallback: exercises the ladder
+        // (degrades to IC) — its narrative must replay identically too.
+        ("vic-ladder", CompileOptions::vic().with_fallback()),
+    ];
+    for (name, options) in &configs {
+        let a = try_compile_with_context(&spec, &context, options, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let b = try_compile_with_context(&spec, &context, options, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let c = try_compile(&spec, &topo, None, options, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{name}: rerun diverged");
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&c),
+            "{name}: shared-cache entry point diverged"
+        );
+        assert_eq!(a.explain(), b.explain());
+        assert_eq!(a.initial_layout(), c.initial_layout());
+        assert_eq!(a.final_layout(), c.final_layout());
+    }
+}
+
+/// Batch compiles must not depend on worker count (work stealing changes
+/// execution order, never results).
+#[test]
+fn batch_results_are_worker_count_invariant() {
+    let topo = Topology::ibmq_20_tokyo();
+    let context = HardwareContext::new(topo);
+    let jobs: Vec<BatchJob> = (0..10)
+        .map(|i| {
+            let options = match i % 3 {
+                0 => CompileOptions::ic(),
+                1 => CompileOptions::ip(),
+                _ => CompileOptions::qaim_only(),
+            };
+            BatchJob::new(
+                er_spec(11 + i % 4, 0.4, 300 + i as u64, true),
+                options,
+                i as u64,
+            )
+        })
+        .collect();
+    let single: Vec<_> = compile_batch(&context, &jobs, 1)
+        .into_iter()
+        .map(|r| fingerprint(&r.unwrap()))
+        .collect();
+    for workers in [2, 4] {
+        let multi: Vec<_> = compile_batch(&context, &jobs, workers)
+            .into_iter()
+            .map(|r| fingerprint(&r.unwrap()))
+            .collect();
+        assert_eq!(single, multi, "{workers}-worker batch diverged");
+    }
+}

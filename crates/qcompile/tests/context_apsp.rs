@@ -63,8 +63,9 @@ fn floyd_warshall_runs_once_per_context() {
     }
     assert_eq!(apsp_invocations(), before);
 
-    // The legacy per-call entry point pays one context per call — the
-    // bound the refactor amortizes away (2 runs here: calibrated compile).
+    // The legacy per-call entry point resolves through the process-wide
+    // shared-context cache: the first call for a (topology, calibration
+    // epoch) pair pays the construction (2 runs: calibrated compile) ...
     let before = apsp_invocations();
     let _ = compile(
         &ring_spec(8),
@@ -74,4 +75,38 @@ fn floyd_warshall_runs_once_per_context() {
         &mut rng,
     );
     assert_eq!(apsp_invocations() - before, 2);
+
+    // ... and every later call — same pair, any strategy — pays zero.
+    // This is what keeps ladder/retry/scripted per-call compile loops off
+    // the O(n^3) Floyd–Warshall path.
+    let before = apsp_invocations();
+    for options in [CompileOptions::vic(), CompileOptions::ic()] {
+        let _ = compile(&ring_spec(8), &topo, Some(&cal), &options, &mut rng);
+    }
+    assert_eq!(
+        apsp_invocations(),
+        before,
+        "repeat legacy compiles must hit the shared context cache"
+    );
+
+    // A fresh calibration epoch is a different cache entry: paid once.
+    let cal2 = Calibration::random_normal(&topo, 1e-2, 5e-3, &mut rng);
+    let before = apsp_invocations();
+    let _ = compile(
+        &ring_spec(8),
+        &topo,
+        Some(&cal2),
+        &CompileOptions::vic(),
+        &mut rng,
+    );
+    assert_eq!(apsp_invocations() - before, 2);
+    let before = apsp_invocations();
+    let _ = compile(
+        &ring_spec(8),
+        &topo,
+        Some(&cal2),
+        &CompileOptions::vic(),
+        &mut rng,
+    );
+    assert_eq!(apsp_invocations(), before);
 }

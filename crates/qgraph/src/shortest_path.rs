@@ -58,6 +58,30 @@ impl DistanceMatrix {
         self.n
     }
 
+    /// The raw row-major distance table (`usize::MAX` = unreachable).
+    ///
+    /// Routing hot loops index this directly — one slice read per lookup
+    /// instead of the `Option` round-trip of [`DistanceMatrix::get`].
+    pub fn flat(&self) -> &[usize] {
+        &self.dist
+    }
+
+    /// The table as dense `f64` distances (`f64::INFINITY` = unreachable,
+    /// finite hops converted exactly) — built once so per-lookup
+    /// integer→float conversion stays out of routing hot loops.
+    pub fn to_f64_flat(&self) -> Vec<f64> {
+        self.dist
+            .iter()
+            .map(|&d| {
+                if d == usize::MAX {
+                    f64::INFINITY
+                } else {
+                    d as f64
+                }
+            })
+            .collect()
+    }
+
     /// The largest finite pairwise distance (graph diameter), or `None` for
     /// graphs with fewer than two mutually reachable nodes.
     pub fn diameter(&self) -> Option<usize> {
@@ -87,6 +111,11 @@ impl WeightedDistanceMatrix {
     pub fn get(&self, u: usize, v: usize) -> Option<f64> {
         let d = self.dist[u * self.n + v];
         d.is_finite().then_some(d)
+    }
+
+    /// The raw row-major distance table (`f64::INFINITY` = unreachable).
+    pub fn flat(&self) -> &[f64] {
+        &self.dist
     }
 
     /// Number of nodes the matrix covers.

@@ -11,7 +11,9 @@
 //! construction and shared from then on (the matrices behind [`Arc`], so
 //! metrics and parallel batch workers clone pointers, not `O(n^2)` data).
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use qgraph::shortest_path::{DistanceMatrix, WeightedDistanceMatrix};
 
@@ -41,9 +43,66 @@ pub struct HardwareContext {
     calibration: Option<Calibration>,
     calibration_issue: Option<CalibrationError>,
     distances: Arc<DistanceMatrix>,
+    /// The hop matrix as dense `f64` (`INFINITY` = unreachable): the form
+    /// the routing hot loops index, converted once per context instead of
+    /// once per lookup.
+    distances_f64: Arc<Vec<f64>>,
     weighted: Option<Arc<WeightedDistanceMatrix>>,
+    edge_weight: Option<Arc<Vec<f64>>>,
     profile: HardwareProfile,
     components: usize,
+}
+
+/// Builds the dense `1 / success` per-edge weight table the
+/// variation-aware routing metric reads for local SWAP-step costs
+/// (`f64::INFINITY` off the coupling edges).
+fn edge_weights(topology: &Topology, calibration: &Calibration) -> Vec<f64> {
+    let n = topology.num_qubits();
+    let mut edge_weight = vec![f64::INFINITY; n * n];
+    for e in topology.graph().edges() {
+        let w = 1.0 / calibration.cnot_success(e.a(), e.b());
+        edge_weight[e.a() * n + e.b()] = w;
+        edge_weight[e.b() * n + e.a()] = w;
+    }
+    edge_weight
+}
+
+/// Process-wide cache behind [`HardwareContext::shared`], keyed by a
+/// fingerprint of the `(topology, calibration)` pair. Entries verify
+/// full equality on hit, so a fingerprint collision degrades to a
+/// rebuild, never to a wrong context.
+static SHARED_CONTEXTS: OnceLock<Mutex<HashMap<u64, Vec<Arc<HardwareContext>>>>> = OnceLock::new();
+
+/// Largest number of distinct `(topology, calibration)` pairs the shared
+/// cache retains before it is cleared wholesale (a drifting-calibration
+/// workload would otherwise grow it without bound).
+const SHARED_CACHE_CAP: usize = 64;
+
+/// Stable fingerprint of a `(topology, calibration)` pair — the
+/// "calibration epoch" key of the shared context cache. Two epochs of
+/// the same device differ in their error-rate bits, so they hash apart.
+fn context_fingerprint(topology: &Topology, calibration: Option<&Calibration>) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    topology.name().hash(&mut h);
+    topology.num_qubits().hash(&mut h);
+    for e in topology.graph().edges() {
+        (e.a(), e.b()).hash(&mut h);
+    }
+    match calibration {
+        None => 0u8.hash(&mut h),
+        Some(cal) => {
+            1u8.hash(&mut h);
+            cal.num_qubits().hash(&mut h);
+            for (e, rate) in cal.cnot_errors() {
+                (e.a(), e.b(), rate.to_bits()).hash(&mut h);
+            }
+            for q in 0..cal.num_qubits() {
+                cal.single_qubit_error(q).to_bits().hash(&mut h);
+                cal.readout_error(q).to_bits().hash(&mut h);
+            }
+        }
+    }
+    h.finish()
 }
 
 impl HardwareContext {
@@ -51,6 +110,7 @@ impl HardwareContext {
     /// the connectivity profile are computed here; no weighted matrix.
     pub fn new(topology: Topology) -> Self {
         let distances = Arc::new(topology.distances());
+        let distances_f64 = Arc::new(distances.to_f64_flat());
         let profile = topology.profile();
         let components = topology.graph().connected_components().len();
         HardwareContext {
@@ -58,7 +118,9 @@ impl HardwareContext {
             calibration: None,
             calibration_issue: None,
             distances,
+            distances_f64,
             weighted: None,
+            edge_weight: None,
             profile,
             components,
         }
@@ -77,20 +139,26 @@ impl HardwareContext {
     /// poisoning reliability weights or panicking.
     pub fn with_calibration(topology: Topology, calibration: Calibration) -> Self {
         let distances = Arc::new(topology.distances());
+        let distances_f64 = Arc::new(distances.to_f64_flat());
         let profile = topology.profile();
         let components = topology.graph().connected_components().len();
         let calibration_issue = calibration.validate(&topology).err();
-        let weighted = if calibration_issue.is_none() {
-            Some(Arc::new(topology.weighted_distances(&calibration)))
+        let (weighted, edge_weight) = if calibration_issue.is_none() {
+            (
+                Some(Arc::new(topology.weighted_distances(&calibration))),
+                Some(Arc::new(edge_weights(&topology, &calibration))),
+            )
         } else {
-            None
+            (None, None)
         };
         HardwareContext {
             topology,
             calibration: Some(calibration),
             calibration_issue,
             distances,
+            distances_f64,
             weighted,
+            edge_weight,
             profile,
             components,
         }
@@ -102,6 +170,45 @@ impl HardwareContext {
             Some(cal) => HardwareContext::with_calibration(topology, cal),
             None => HardwareContext::new(topology),
         }
+    }
+
+    /// A context from the process-wide cache, keyed by the
+    /// `(topology, calibration epoch)` fingerprint: the first request for
+    /// a pair pays the Floyd–Warshall construction, every later request
+    /// clones an [`Arc`]. This is what keeps legacy per-call compile
+    /// entry points (and ladder/retry loops built on them) from
+    /// rebuilding `O(n^2)` distance matrices per invocation.
+    ///
+    /// Entries are compared for full equality after the fingerprint
+    /// match, so hash collisions fall back to a correct rebuild. The
+    /// cache holds at most [`SHARED_CACHE_CAP`] distinct pairs and is
+    /// cleared wholesale beyond that (unbounded growth under drifting
+    /// calibrations would be a leak).
+    pub fn shared(topology: &Topology, calibration: Option<&Calibration>) -> Arc<HardwareContext> {
+        let key = context_fingerprint(topology, calibration);
+        let cache = SHARED_CONTEXTS.get_or_init(|| Mutex::new(HashMap::new()));
+        {
+            let map = cache.lock().expect("shared context cache poisoned");
+            if let Some(entries) = map.get(&key) {
+                for entry in entries {
+                    if entry.topology() == topology && entry.calibration() == calibration {
+                        return Arc::clone(entry);
+                    }
+                }
+            }
+        }
+        // Built outside the lock: Floyd–Warshall on a large device is
+        // milliseconds, and batch workers must not serialize on it.
+        let built = Arc::new(HardwareContext::from_parts(
+            topology.clone(),
+            calibration.cloned(),
+        ));
+        let mut map = cache.lock().expect("shared context cache poisoned");
+        if map.len() >= SHARED_CACHE_CAP {
+            map.clear();
+        }
+        map.entry(key).or_default().push(Arc::clone(&built));
+        built
     }
 
     /// The hardware target.
@@ -148,10 +255,26 @@ impl HardwareContext {
         &self.distances
     }
 
+    /// The hop matrix as a dense row-major `f64` table (`INFINITY` =
+    /// unreachable) — the exact values `DistanceMatrix::to_f64_flat`
+    /// produces, cached so routing metrics built from this context share
+    /// one conversion instead of paying `O(n^2)` per compile.
+    pub fn distances_f64(&self) -> &Arc<Vec<f64>> {
+        &self.distances_f64
+    }
+
     /// The cached reliability-weighted distance matrix (Figure 6(d));
     /// `None` without calibration.
     pub fn weighted_distances(&self) -> Option<&Arc<WeightedDistanceMatrix>> {
         self.weighted.as_ref()
+    }
+
+    /// The cached dense `1 / success` per-edge weight table (row-major
+    /// `n x n`, `f64::INFINITY` off the coupling edges) the
+    /// variation-aware routing metric reads for local SWAP-step costs;
+    /// `None` without usable calibration.
+    pub fn edge_weights(&self) -> Option<&Arc<Vec<f64>>> {
+        self.edge_weight.as_ref()
     }
 
     /// The cached connectivity-strength profile (Figure 3(b)).
@@ -264,6 +387,45 @@ mod tests {
         let ctx = HardwareContext::new(split);
         assert!(!ctx.is_connected());
         assert!(ctx.component_count() >= 2);
+    }
+
+    #[test]
+    fn shared_cache_returns_same_arc_for_same_pair() {
+        // A topology no other test constructs, so the first call is a
+        // genuine miss and the second a hit on the same entry.
+        let topo = Topology::grid(3, 7);
+        let cal = Calibration::uniform(&topo, 0.017, 0.001, 0.02);
+        let a = HardwareContext::shared(&topo, Some(&cal));
+        let b = HardwareContext::shared(&topo, Some(&cal));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.weighted_distances().is_some());
+
+        // A different calibration epoch of the same device is a distinct
+        // entry; the uncalibrated flavor is yet another.
+        let cal2 = Calibration::uniform(&topo, 0.019, 0.001, 0.02);
+        let c = HardwareContext::shared(&topo, Some(&cal2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = HardwareContext::shared(&topo, None);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert!(d.calibration().is_none());
+        assert!(Arc::ptr_eq(&d, &HardwareContext::shared(&topo, None)));
+    }
+
+    #[test]
+    fn edge_weights_follow_usable_calibration() {
+        let topo = Topology::ring(5);
+        let cal = Calibration::uniform(&topo, 0.02, 0.001, 0.02);
+        let ctx = HardwareContext::with_calibration(topo.clone(), cal.clone());
+        let w = ctx.edge_weights().expect("usable calibration");
+        let n = topo.num_qubits();
+        assert_eq!(w.len(), n * n);
+        for e in topo.graph().edges() {
+            let expect = 1.0 / cal.cnot_success(e.a(), e.b());
+            assert_eq!(w[e.a() * n + e.b()], expect);
+            assert_eq!(w[e.b() * n + e.a()], expect);
+        }
+        assert!(w[2 * n].is_infinite()); // d(2, 0): non-edge in a 5-ring
+        assert!(HardwareContext::new(topo).edge_weights().is_none());
     }
 
     #[test]

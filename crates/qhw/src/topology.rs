@@ -15,14 +15,56 @@ use crate::{Calibration, HardwareProfile};
 pub struct Topology {
     name: String,
     graph: Graph,
+    coupling: CouplingTable,
+}
+
+/// Flat views of the coupling graph for the routing hot loops: an
+/// adjacency bitset answering [`Topology::are_coupled`] in one word read,
+/// and a CSR neighbor table whose per-qubit rows are sorted ascending —
+/// the exact order the graph's `BTreeSet` adjacency iterates, so
+/// swapping a hot loop onto [`Topology::neighbors`] cannot change any
+/// tie-break. Derived from the graph at construction; topologies are
+/// immutable afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CouplingTable {
+    words: usize,
+    bits: Vec<u64>,
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+}
+
+impl CouplingTable {
+    fn build(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let words = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * words];
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for u in 0..n {
+            for v in graph.neighbors(u) {
+                bits[u * words + v / 64] |= 1u64 << (v % 64);
+                neighbors.push(v);
+            }
+            offsets.push(neighbors.len());
+        }
+        CouplingTable {
+            words,
+            bits,
+            offsets,
+            neighbors,
+        }
+    }
 }
 
 impl Topology {
     /// Wraps an arbitrary coupling graph under a display name.
     pub fn from_graph(name: impl Into<String>, graph: Graph) -> Self {
+        let coupling = CouplingTable::build(&graph);
         Topology {
             name: name.into(),
             graph,
+            coupling,
         }
     }
 
@@ -84,10 +126,7 @@ impl Topology {
         ];
         let graph = Graph::from_edges(20, rows.into_iter().chain(cols).chain(diagonals))
             .expect("static edge list is valid");
-        Topology {
-            name: "ibmq_20_tokyo".to_owned(),
-            graph,
-        }
+        Topology::from_graph("ibmq_20_tokyo".to_owned(), graph)
     }
 
     /// The IBM 15-qubit *Melbourne* device (`ibmq_16_melbourne`,
@@ -122,44 +161,29 @@ impl Topology {
             (7, 8),
         ];
         let graph = Graph::from_edges(15, edges).expect("static edge list is valid");
-        Topology {
-            name: "ibmq_16_melbourne".to_owned(),
-            graph,
-        }
+        Topology::from_graph("ibmq_16_melbourne".to_owned(), graph)
     }
 
     /// The hypothetical `rows × cols` grid device (the paper uses 6×6).
     pub fn grid(rows: usize, cols: usize) -> Self {
-        Topology {
-            name: format!("grid_{rows}x{cols}"),
-            graph: generators::grid(rows, cols),
-        }
+        Topology::from_graph(format!("grid_{rows}x{cols}"), generators::grid(rows, cols))
     }
 
     /// A linear (path) architecture, like Figure 1(d)'s 4-qubit device.
     pub fn linear(n: usize) -> Self {
-        Topology {
-            name: format!("linear_{n}"),
-            graph: generators::path(n),
-        }
+        Topology::from_graph(format!("linear_{n}"), generators::path(n))
     }
 
     /// A ring (cyclic) architecture, used by the §VI comparison against the
     /// temporal-planner baseline (8-qubit cyclic hardware).
     pub fn ring(n: usize) -> Self {
-        Topology {
-            name: format!("ring_{n}"),
-            graph: generators::cycle(n),
-        }
+        Topology::from_graph(format!("ring_{n}"), generators::cycle(n))
     }
 
     /// A fully connected architecture (no routing ever needed) — useful as
     /// an experimental control.
     pub fn fully_connected(n: usize) -> Self {
-        Topology {
-            name: format!("full_{n}"),
-            graph: generators::complete(n),
-        }
+        Topology::from_graph(format!("full_{n}"), generators::complete(n))
     }
 
     /// A heavy-hexagon lattice of `rows × cols` unit cells — the coupling
@@ -213,10 +237,7 @@ impl Topology {
         }
         let graph = Graph::from_edges(next, edges.into_iter().map(|(a, b)| (dense[a], dense[b])))
             .expect("heavy-hex construction yields valid edges");
-        Topology {
-            name: format!("heavy_hex_{rows}x{cols}"),
-            graph,
-        }
+        Topology::from_graph(format!("heavy_hex_{rows}x{cols}"), graph)
     }
 
     /// The display name.
@@ -235,8 +256,28 @@ impl Topology {
     }
 
     /// Whether a two-qubit gate may execute directly between `a` and `b`.
+    ///
+    /// One adjacency-bitset word read — the router asks this for every
+    /// gate of every descent step, so it must not cost a set lookup.
+    #[inline]
     pub fn are_coupled(&self, a: usize, b: usize) -> bool {
-        self.graph.has_edge(a, b)
+        let n = self.graph.node_count();
+        a != b
+            && a < n
+            && b < n
+            && (self.coupling.bits[a * self.coupling.words + b / 64] >> (b % 64)) & 1 == 1
+    }
+
+    /// The coupled neighbors of physical qubit `p`, sorted ascending —
+    /// the same order `self.graph().neighbors(p)` iterates, as a flat
+    /// slice for the routing hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn neighbors(&self, p: usize) -> &[usize] {
+        &self.coupling.neighbors[self.coupling.offsets[p]..self.coupling.offsets[p + 1]]
     }
 
     /// All-pairs hop distances (computed fresh; callers cache).

@@ -24,6 +24,13 @@ use qhw::{Calibration, HardwareContext, Topology};
 #[derive(Debug, Clone)]
 pub struct RoutingMetric {
     hops: Arc<DistanceMatrix>,
+    /// The hop matrix pre-converted to dense `f64` (`INFINITY` =
+    /// unreachable): [`RoutingMetric::dist`] for the unit metric is one
+    /// slice read from this table instead of an `Option` round-trip plus
+    /// an integer→float conversion per lookup — the difference dominates
+    /// the router's candidate-evaluation loop.
+    hops_f64: Arc<Vec<f64>>,
+    n: usize,
     weighted: Option<Weighted>,
 }
 
@@ -54,8 +61,12 @@ impl RoutingMetric {
     /// Runs Floyd–Warshall afresh; prefer [`RoutingMetric::from_context`]
     /// when a [`HardwareContext`] is available.
     pub fn hops(topology: &Topology) -> Self {
+        let hops = Arc::new(topology.distances());
+        let hops_f64 = Arc::new(hops.to_f64_flat());
         RoutingMetric {
-            hops: Arc::new(topology.distances()),
+            hops,
+            hops_f64,
+            n: topology.num_qubits(),
             weighted: None,
         }
     }
@@ -67,8 +78,12 @@ impl RoutingMetric {
     /// available.
     pub fn reliability(topology: &Topology, calibration: &Calibration) -> Self {
         let n = topology.num_qubits();
+        let hops = Arc::new(topology.distances());
+        let hops_f64 = Arc::new(hops.to_f64_flat());
         RoutingMetric {
-            hops: Arc::new(topology.distances()),
+            hops,
+            hops_f64,
+            n,
             weighted: Some(Weighted {
                 distances: Arc::new(topology.weighted_distances(calibration)),
                 edge_weight: Arc::new(edge_weights(topology, calibration)),
@@ -84,11 +99,12 @@ impl RoutingMetric {
     /// data (and therefore a weighted matrix); returns `None` otherwise.
     pub fn from_context(context: &HardwareContext, variation_aware: bool) -> Option<Self> {
         let weighted = if variation_aware {
-            let distances = Arc::clone(context.weighted_distances()?);
-            let calibration = context.calibration()?;
             Some(Weighted {
-                distances,
-                edge_weight: Arc::new(edge_weights(context.topology(), calibration)),
+                distances: Arc::clone(context.weighted_distances()?),
+                // The context caches the dense edge-weight table alongside
+                // the weighted matrix, so metric construction in the batch
+                // and retry hot paths allocates nothing O(n^2).
+                edge_weight: Arc::clone(context.edge_weights()?),
                 n: context.num_qubits(),
             })
         } else {
@@ -96,6 +112,8 @@ impl RoutingMetric {
         };
         Some(RoutingMetric {
             hops: Arc::clone(context.distances()),
+            hops_f64: Arc::clone(context.distances_f64()),
+            n: context.num_qubits(),
             weighted,
         })
     }
@@ -104,16 +122,36 @@ impl RoutingMetric {
     /// when variation-aware, hop count otherwise); `f64::INFINITY` when
     /// disconnected.
     pub fn dist(&self, a: usize, b: usize) -> f64 {
+        self.dist_flat()[a * self.n + b]
+    }
+
+    /// The dense row-major metric-distance table [`RoutingMetric::dist`]
+    /// reads (`f64::INFINITY` = disconnected): the weighted matrix when
+    /// variation-aware, the pre-converted hop table otherwise. Hot loops
+    /// hoist this once and index it directly.
+    pub fn dist_flat(&self) -> &[f64] {
         match &self.weighted {
-            Some(w) => w.distances.get(a, b).unwrap_or(f64::INFINITY),
-            None => self.hops.get(a, b).map_or(f64::INFINITY, |h| h as f64),
+            Some(w) => w.distances.flat(),
+            None => &self.hops_f64,
         }
+    }
+
+    /// The dense row-major hop-distance table (`usize::MAX` =
+    /// disconnected) behind [`RoutingMetric::hop_dist`].
+    pub fn hops_flat(&self) -> &[usize] {
+        self.hops.flat()
+    }
+
+    /// Row stride of [`RoutingMetric::dist_flat`] / `hops_flat`: the
+    /// physical qubit count.
+    pub fn num_physical(&self) -> usize {
+        self.n
     }
 
     /// The hop distance between physical qubits `a` and `b`, regardless of
     /// variation awareness. `usize::MAX` when disconnected.
     pub fn hop_dist(&self, a: usize, b: usize) -> usize {
-        self.hops.get(a, b).unwrap_or(usize::MAX)
+        self.hops.flat()[a * self.n + b]
     }
 
     /// The cost of traversing the single coupling edge `(a, b)` (1 for

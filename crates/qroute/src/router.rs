@@ -1,4 +1,6 @@
-use qcircuit::layers::asap_layers;
+use std::cell::RefCell;
+
+use qcircuit::layers::{asap_layers_into, LayerBuffer};
 use qcircuit::{Circuit, Instruction};
 use qhw::Topology;
 
@@ -30,6 +32,64 @@ pub struct RouteLayerStat {
     pub gates: Vec<(usize, usize)>,
     /// SWAPs inserted to make this layer executable.
     pub swaps: usize,
+}
+
+/// What [`route_append`] reports about the fragment it emitted: the
+/// stitched instructions live in the caller's output circuit, so only the
+/// mapping state and the fragment's cost figures come back.
+#[derive(Debug, Clone)]
+pub struct AppendStats {
+    /// The logical→physical layout after the fragment's SWAPs.
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted for the fragment.
+    pub swap_count: usize,
+    /// Depth of the emitted fragment, measured as if it were a standalone
+    /// circuit (what [`RouteResult::circuit`]`.depth()` would report).
+    pub routed_depth: usize,
+}
+
+/// Reusable per-thread routing scratch: the ASAP layer partition, the
+/// per-layer two-qubit staging buffer, every buffer the layer router and
+/// its Dijkstra need, and the telemetry staging vectors. One routing call
+/// in steady state allocates nothing — the pre-rewrite router allocated
+/// `O(layers · descent-steps)` vectors per call, which dominated the
+/// compile hot path's allocator traffic.
+#[derive(Default)]
+struct RouteScratch {
+    layers: LayerBuffer,
+    two_qubit: Vec<Instruction>,
+    bufs: LayerRouteBufs,
+    layer_swaps: Vec<u64>,
+    layer_marks: Vec<u64>,
+    depth_frontier: Vec<usize>,
+}
+
+/// Buffers for one layer-routing descent, reused across layers and calls.
+#[derive(Default)]
+struct LayerRouteBufs {
+    /// Physical qubit → index of the layer gate with an endpoint there
+    /// (`usize::MAX` when none). Gates within one ASAP layer act on
+    /// pairwise-disjoint qubits and the layout is injective, so each
+    /// physical qubit hosts at most one endpoint — the flat array replaces
+    /// the old `Vec<Vec<usize>>` gates-on table.
+    gate_at: Vec<usize>,
+    /// Per-gate current physical endpoints, refreshed each descent step.
+    pairs: Vec<(usize, usize)>,
+    /// Per-gate current metric distances (hop and weighted), refreshed
+    /// with `pairs`: candidate deltas subtract these instead of looking
+    /// the unchanged "before" distance up again per candidate.
+    cur_hops: Vec<i64>,
+    cur_dist: Vec<f64>,
+    unsat: Vec<(usize, usize)>,
+    dist: Vec<f64>,
+    prev: Vec<usize>,
+    visited: Vec<bool>,
+    path: Vec<usize>,
+    serial: Vec<Instruction>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::default());
 }
 
 /// Routes a logical circuit onto `topology`, inserting SWAPs so every
@@ -82,6 +142,75 @@ pub fn try_route(
     initial_layout: Layout,
     metric: &RoutingMetric,
 ) -> Result<RouteResult, RouteError> {
+    let mut out = Circuit::new(topology.num_qubits());
+    // Routing only permutes qubits; symbolic angles (and the table that
+    // names them) pass through untouched.
+    out.set_param_table(circuit.param_table().clone());
+    let mut layer_stats: Vec<RouteLayerStat> = Vec::new();
+    let (final_layout, swap_count, _) = route_core(
+        circuit,
+        topology,
+        initial_layout,
+        metric,
+        &mut out,
+        Some(&mut layer_stats),
+    )?;
+    Ok(RouteResult {
+        circuit: out,
+        final_layout,
+        swap_count,
+        layer_stats,
+    })
+}
+
+/// [`try_route`], emitting the routed fragment **directly into `out`**
+/// instead of materializing an intermediate circuit — the incremental
+/// compiler's per-layer stitch path, which previously paid a fresh
+/// circuit allocation plus an `append` copy per formed CPHASE layer.
+///
+/// The emitted instruction stream is exactly what [`try_route`] would
+/// have produced (and what `out.append` of that result would have
+/// stitched); per-layer [`RouteLayerStat`]s are skipped, which is what
+/// makes the call allocation-free in steady state. `out` must have
+/// `topology.num_qubits()` qubits; the caller's parameter table is left
+/// untouched (routing never introduces parameters).
+///
+/// # Errors
+///
+/// Same conditions as [`try_route`]. On error, instructions already
+/// emitted for earlier layers of the fragment remain in `out` — callers
+/// that continue after an error must truncate to their own checkpoint
+/// (the compile pipeline treats every [`RouteError`] as fatal for the
+/// attempt, so it never observes the partial fragment).
+pub fn route_append(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial_layout: Layout,
+    metric: &RoutingMetric,
+    out: &mut Circuit,
+) -> Result<AppendStats, RouteError> {
+    debug_assert_eq!(out.num_qubits(), topology.num_qubits());
+    let (final_layout, swap_count, routed_depth) =
+        route_core(circuit, topology, initial_layout, metric, out, None)?;
+    Ok(AppendStats {
+        final_layout,
+        swap_count,
+        routed_depth,
+    })
+}
+
+/// The shared routing engine behind [`try_route`] and [`route_append`]:
+/// validates, partitions into ASAP layers, routes layer by layer into
+/// `out` and flushes telemetry in one batch. Per-layer gate lists are
+/// recorded only when `stats` is supplied.
+fn route_core(
+    circuit: &Circuit,
+    topology: &Topology,
+    initial_layout: Layout,
+    metric: &RoutingMetric,
+    out: &mut Circuit,
+    mut stats: Option<&mut Vec<RouteLayerStat>>,
+) -> Result<(Layout, usize, usize), RouteError> {
     if circuit.num_qubits() > topology.num_qubits() {
         return Err(RouteError::CircuitTooLarge {
             needed: circuit.num_qubits(),
@@ -102,61 +231,78 @@ pub fn try_route(
         });
     }
 
+    let start = out.len();
+    // Every input gate is emitted exactly once; SWAPs come on top, so the
+    // reserve is a floor, not an exact fit.
+    out.reserve(circuit.len());
     let mut layout = initial_layout;
-    let mut out = Circuit::new(topology.num_qubits());
-    // Routing only permutes qubits; symbolic angles (and the table that
-    // names them) pass through untouched.
-    out.set_param_table(circuit.param_table().clone());
     let mut swap_count = 0usize;
-    let mut layer_stats: Vec<RouteLayerStat> = Vec::new();
-    let mut layer_marks: Vec<u64> = Vec::new();
 
     let q = qtrace::global();
-    let span = q.span("qroute/route");
-    for layer in asap_layers(circuit) {
-        // Single-qubit work never constrains routing: emit it first.
-        let mut two_qubit: Vec<&Instruction> = Vec::new();
-        for instr in &layer {
-            if instr.gate().arity() == 1 {
-                emit(&mut out, instr.remap(|l| layout.phys(l)));
-            } else {
-                two_qubit.push(instr);
+    // Nothing reads this span's elapsed time when the recorder is off, so
+    // skip even its two clock reads — route_core runs once per formed
+    // CPHASE layer, and disabled-path cost is compile throughput.
+    let span = q.is_enabled().then(|| q.span("qroute/route"));
+    let routed_depth = SCRATCH.with(|cell| -> Result<usize, RouteError> {
+        let mut scratch = cell.borrow_mut();
+        let RouteScratch {
+            layers,
+            two_qubit,
+            bufs,
+            layer_swaps,
+            layer_marks,
+            depth_frontier,
+        } = &mut *scratch;
+        layer_swaps.clear();
+        layer_marks.clear();
+        asap_layers_into(circuit, 0, layers);
+        for layer in layers.built() {
+            // Single-qubit work never constrains routing: emit it first.
+            two_qubit.clear();
+            for instr in layer {
+                if instr.gate().arity() == 1 {
+                    emit(out, instr.remap(|l| layout.phys(l)));
+                } else {
+                    two_qubit.push(*instr);
+                }
             }
-        }
-        let layer_swaps = route_layer(&two_qubit, topology, metric, &mut layout, &mut out)?;
-        if !two_qubit.is_empty() {
-            // One timeline marker per routed layer lets a trace show
-            // where inside a route call the SWAP cost accrued. Only the
-            // timestamp is captured here; the events flush in one batch
-            // below so the loop stays off the recorder lock.
-            if q.events_enabled() {
-                layer_marks.push(qtrace::event::now_ns());
+            let swaps = route_layer(two_qubit, topology, metric, &mut layout, out, bufs)?;
+            if !two_qubit.is_empty() {
+                // One timeline marker per routed layer lets a trace show
+                // where inside a route call the SWAP cost accrued. Only the
+                // timestamp is captured here; the events flush in one batch
+                // below so the loop stays off the recorder lock.
+                if q.events_enabled() {
+                    layer_marks.push(qtrace::event::now_ns());
+                }
+                layer_swaps.push(swaps as u64);
+                if let Some(stats) = stats.as_deref_mut() {
+                    stats.push(RouteLayerStat {
+                        gates: two_qubit.iter().map(|i| (i.q0(), i.q1())).collect(),
+                        swaps,
+                    });
+                }
             }
-            layer_stats.push(RouteLayerStat {
-                gates: two_qubit.iter().map(|i| (i.q0(), i.q1())).collect(),
-                swaps: layer_swaps,
-            });
+            swap_count += swaps;
         }
-        swap_count += layer_swaps;
+        let routed_depth = out.depth_from_with(start, depth_frontier);
+        if q.is_enabled() {
+            // Per-layer numbers flush in one batch — taking the recorder
+            // lock inside the layer loop shows up in the tracing-overhead
+            // budget.
+            q.add("qroute/layers", layer_swaps.len() as u64);
+            q.observe_many("qroute/layer_swaps", layer_swaps);
+            q.add("qroute/swaps", swap_count as u64);
+            q.gauge_max("qroute/routed_depth", routed_depth as u64);
+            q.instants_at("qroute/layer", layer_marks);
+        }
+        Ok(routed_depth)
+    })?;
+    if let Some(span) = span {
+        span.finish();
     }
-    if q.is_enabled() {
-        // Per-layer numbers flush in one batch — taking the recorder lock
-        // inside the layer loop shows up in the tracing-overhead budget.
-        q.add("qroute/layers", layer_stats.len() as u64);
-        let layer_swaps: Vec<u64> = layer_stats.iter().map(|l| l.swaps as u64).collect();
-        q.observe_many("qroute/layer_swaps", &layer_swaps);
-        q.add("qroute/swaps", swap_count as u64);
-        q.gauge_max("qroute/routed_depth", out.depth() as u64);
-        q.instants_at("qroute/layer", &layer_marks);
-    }
-    span.finish();
 
-    Ok(RouteResult {
-        circuit: out,
-        final_layout: layout,
-        swap_count,
-        layer_stats,
-    })
+    Ok((layout, swap_count, routed_depth))
 }
 
 /// Routes one layer of two-qubit gates (disjoint qubits), emitting both
@@ -178,100 +324,152 @@ pub fn try_route(
 /// moves are budgeted; if the budget runs out the layer finishes with a
 /// serial emit-on-adjacency walk, which terminates unconditionally.
 fn route_layer(
-    layer: &[&Instruction],
+    layer: &[Instruction],
     topology: &Topology,
     metric: &RoutingMetric,
     layout: &mut Layout,
     out: &mut Circuit,
+    bufs: &mut LayerRouteBufs,
 ) -> Result<usize, RouteError> {
     let mut swap_count = 0usize;
     if layer.is_empty() {
         return Ok(0);
     }
     let n = topology.num_qubits();
+    // Hoisted dense distance tables: the candidate loop below is lookup
+    // bound, and a flat slice read per lookup is what keeps it so.
+    let hops_flat = metric.hops_flat();
+    let dist_flat = metric.dist_flat();
+    debug_assert_eq!(metric.num_physical(), n);
     // Plateau moves are forced swaps that the next improving step can
     // undo; a small budget keeps descent from thrashing on sparse devices
     // where simultaneous adjacency of a dense layer is very expensive —
     // past it, the serial emit-on-adjacency fallback is cheaper.
     let mut stalls_left = 4;
-    let _ = n;
+    // First pass: current operand homes plus the initially unsatisfied
+    // gates, both in layer order. Layers that are already simultaneously
+    // adjacent — common late in IC's distance-ordered packing — emit
+    // without touching the rest of the descent state.
+    bufs.pairs.clear();
+    bufs.unsat.clear();
+    for i in layer.iter() {
+        let (pa, pb) = (layout.phys(i.q0()), layout.phys(i.q1()));
+        bufs.pairs.push((pa, pb));
+        if !topology.are_coupled(pa, pb) {
+            bufs.unsat.push((pa, pb));
+        }
+    }
+    if bufs.unsat.is_empty() {
+        for (gate, &(pa, pb)) in layer.iter().zip(bufs.pairs.iter()) {
+            emit(out, Instruction::two(gate.gate(), pa, pb));
+        }
+        return Ok(0);
+    }
+    // Per-gate descent state, maintained incrementally: a swap moves
+    // exactly two physical qubits, so only the (at most two) gates with
+    // an operand on them change — the disjointness invariant means at
+    // most one gate per endpoint. `pairs`/`cur_hops`/`cur_dist` hold each
+    // gate's current operand homes and their table distances (the same
+    // table reads a full per-step rebuild would perform, so the values —
+    // including the VIC floats — are bit-identical to recomputing).
+    bufs.gate_at.clear();
+    bufs.gate_at.resize(n, usize::MAX);
+    bufs.cur_hops.clear();
+    bufs.cur_dist.clear();
+    for gi in 0..bufs.pairs.len() {
+        let (pa, pb) = bufs.pairs[gi];
+        bufs.gate_at[pa] = gi;
+        bufs.gate_at[pb] = gi;
+        bufs.cur_hops.push(hops_flat[pa * n + pb] as i64);
+        bufs.cur_dist.push(dist_flat[pa * n + pb]);
+    }
     // The descent potential is measured in hops: each improving swap
     // decreases the summed hop distance by at least 1, so the descent
     // terminates within the initial total hop distance. Weighted distances
     // only break ties, steering equal-hop choices toward reliable
     // couplings for the variation-aware metric.
     loop {
-        let unsat: Vec<(usize, usize)> = layer
-            .iter()
-            .map(|i| (layout.phys(i.q0()), layout.phys(i.q1())))
-            .filter(|&(pa, pb)| !topology.are_coupled(pa, pb))
-            .collect();
-        if unsat.is_empty() {
-            // Simultaneously adjacent: emit the parallel block.
-            for gate in layer {
-                let pa = layout.phys(gate.q0());
-                let pb = layout.phys(gate.q1());
-                emit(out, Instruction::two(gate.gate(), pa, pb));
-            }
-            return Ok(swap_count);
-        }
-        // Best candidate swap by potential descent. Deltas are computed
-        // incrementally: only gates touching the swapped pair change.
-        let mut gates_on: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (gi, i) in layer.iter().enumerate() {
-            gates_on[layout.phys(i.q0())].push(gi);
-            gates_on[layout.phys(i.q1())].push(gi);
-        }
+        // For the unit metric, `dist` IS the hop count as `f64`: every
+        // weighted delta is an exact small integer, so the reference
+        // comparison (`dw' < dw - 1e-12`, `|dw' - dw| <= 1e-12`) is
+        // *exactly* the integer comparison on `delta_hops` — the epsilons
+        // can never flip an outcome when all differences are 0 or >= 1.
+        // The specialized loop below therefore takes identical decisions
+        // while skipping the float accumulation entirely (half the table
+        // lookups of the general form); the variation-aware branch keeps
+        // the float sums, in the reference's accumulation order, so VIC
+        // tie-breaks replay bit-for-bit.
+        let unit_metric = !metric.is_variation_aware();
         let mut best: Option<(i64, f64, usize, usize)> = None;
-        let mut seen = vec![false; n];
-        for &(pa, pb) in &unsat {
+        for &(pa, pb) in &bufs.unsat {
             for endpoint in [pa, pb] {
-                if seen[endpoint] {
-                    continue;
-                }
-                seen[endpoint] = true;
-                for w in topology.graph().neighbors(endpoint) {
-                    let reloc = |p: usize| -> usize {
-                        if p == endpoint {
-                            w
-                        } else if p == w {
-                            endpoint
-                        } else {
-                            p
-                        }
-                    };
+                for &w in topology.neighbors(endpoint) {
                     let mut delta_hops: i64 = 0;
                     let mut delta_weighted = 0.0;
-                    let mut counted = [usize::MAX; 8];
-                    let mut ncounted = 0;
-                    for &gi in gates_on[endpoint].iter().chain(&gates_on[w]) {
-                        if counted[..ncounted].contains(&gi) {
-                            continue;
+                    // Accumulation order matches the old gates-on chain
+                    // (endpoint's gate, then w's distinct gate), and each
+                    // branch indexes the exact matrix cell the reference's
+                    // operand-relocation form reads, so the float sums —
+                    // and therefore VIC tie-breaks — are bit-identical.
+                    // The "before" distances are the maintained per-gate
+                    // values: the same table reads the reference performs,
+                    // just not repeated per candidate.
+                    let g0 = bufs.gate_at[endpoint];
+                    let g1 = bufs.gate_at[w];
+                    if g0 != usize::MAX {
+                        let (a0, b0) = bufs.pairs[g0];
+                        // A gate on (endpoint, w) itself keeps its distance
+                        // under the swap (the matrix is symmetric), adding
+                        // exactly zero — skip it.
+                        let cell = if a0 == endpoint {
+                            if b0 == w {
+                                usize::MAX
+                            } else {
+                                w * n + b0
+                            }
+                        } else if a0 == w {
+                            usize::MAX
+                        } else {
+                            a0 * n + w
+                        };
+                        if cell != usize::MAX {
+                            delta_hops += hops_flat[cell] as i64 - bufs.cur_hops[g0];
+                            if !unit_metric {
+                                delta_weighted += dist_flat[cell] - bufs.cur_dist[g0];
+                            }
                         }
-                        if ncounted < counted.len() {
-                            counted[ncounted] = gi;
-                            ncounted += 1;
-                        }
-                        let i = layer[gi];
-                        let (a0, b0) = (layout.phys(i.q0()), layout.phys(i.q1()));
-                        let (a1, b1) = (reloc(a0), reloc(b0));
-                        delta_hops +=
-                            metric.hop_dist(a1, b1) as i64 - metric.hop_dist(a0, b0) as i64;
-                        delta_weighted += metric.dist(a1, b1) - metric.dist(a0, b0);
                     }
-                    let candidate = (delta_hops, delta_weighted, endpoint, w);
+                    if g1 != usize::MAX && g1 != g0 {
+                        // `w`'s gate: its other operand is neither endpoint
+                        // nor `w` (distinct disjoint gates), so only the
+                        // `w` operand relocates.
+                        let (a1, b1) = bufs.pairs[g1];
+                        let cell = if a1 == w {
+                            endpoint * n + b1
+                        } else {
+                            a1 * n + endpoint
+                        };
+                        delta_hops += hops_flat[cell] as i64 - bufs.cur_hops[g1];
+                        if !unit_metric {
+                            delta_weighted += dist_flat[cell] - bufs.cur_dist[g1];
+                        }
+                    }
                     let better = match best {
                         Some((dh, dw, be, bw)) => {
-                            delta_hops < dh
-                                || (delta_hops == dh
-                                    && (delta_weighted < dw - 1e-12
-                                        || ((delta_weighted - dw).abs() <= 1e-12
-                                            && (endpoint, w) < (be, bw))))
+                            if unit_metric {
+                                (delta_hops, endpoint, w) < (dh, be, bw)
+                            } else {
+                                delta_hops < dh
+                                    || (delta_hops == dh
+                                        && (delta_weighted < dw - 1e-12
+                                            || ((delta_weighted - dw).abs() <= 1e-12
+                                                && (endpoint, w) < (be, bw))))
+                            }
                         }
                         None => true,
                     };
                     if better {
-                        best = Some(candidate);
+                        best = Some((delta_hops, delta_weighted, endpoint, w));
                     }
                 }
             }
@@ -280,38 +478,60 @@ fn route_layer(
             Some((delta_hops, _, e, w)) if delta_hops < 0 => {
                 emit(out, Instruction::two(qcircuit::Gate::Swap, e, w));
                 layout.swap_physical(e, w);
+                apply_swap_to_gates(bufs, hops_flat, dist_flat, n, e, w);
                 swap_count += 1;
             }
             _ if stalls_left > 0 => {
                 stalls_left -= 1;
                 // Plateau: walk the farthest unsatisfied gate one step
                 // closer along its cheapest path.
-                let &(pa, pb) = unsat
+                let (pa, pb) = *bufs
+                    .unsat
                     .iter()
-                    .max_by(|x, y| metric.dist(x.0, x.1).total_cmp(&metric.dist(y.0, y.1)))
+                    .max_by(|x, y| dist_flat[x.0 * n + x.1].total_cmp(&dist_flat[y.0 * n + y.1]))
                     .expect("unsat is non-empty");
-                let path = cheapest_path(topology, metric, pa, pb, None).ok_or_else(|| {
-                    RouteError::Disconnected {
+                if !cheapest_path_into(topology, metric, pa, pb, None, bufs) {
+                    return Err(RouteError::Disconnected {
                         a: pa,
                         b: pb,
                         topology: topology.name().to_owned(),
-                    }
-                })?;
+                    });
+                }
                 emit(
                     out,
-                    Instruction::two(qcircuit::Gate::Swap, path[0], path[1]),
+                    Instruction::two(qcircuit::Gate::Swap, bufs.path[0], bufs.path[1]),
                 );
-                layout.swap_physical(path[0], path[1]);
+                let (e, w) = (bufs.path[0], bufs.path[1]);
+                layout.swap_physical(e, w);
+                apply_swap_to_gates(bufs, hops_flat, dist_flat, n, e, w);
                 swap_count += 1;
             }
             _ => break, // plateau budget exhausted: go serial
         }
+        // Reflect the swap in the unsatisfied list; `pairs` is in layer
+        // order, so this reproduces the gate order a scan over `layer` +
+        // `layout` would yield.
+        bufs.unsat.clear();
+        bufs.unsat.extend(
+            bufs.pairs
+                .iter()
+                .copied()
+                .filter(|&(pa, pb)| !topology.are_coupled(pa, pb)),
+        );
+        if bufs.unsat.is_empty() {
+            // Simultaneously adjacent: emit the parallel block.
+            for (gate, &(pa, pb)) in layer.iter().zip(bufs.pairs.iter()) {
+                emit(out, Instruction::two(gate.gate(), pa, pb));
+            }
+            return Ok(swap_count);
+        }
     }
     // Serial fallback: emit each gate as soon as it becomes adjacent
     // (abandoning simultaneity for this pathological layer).
-    let mut remaining: Vec<&&Instruction> = layer.iter().collect();
-    while !remaining.is_empty() {
-        remaining.retain(|gate| {
+    bufs.serial.clear();
+    bufs.serial.extend_from_slice(layer);
+    while !bufs.serial.is_empty() {
+        bufs.serial.retain(|gate| {
             let pa = layout.phys(gate.q0());
             let pb = layout.phys(gate.q1());
             if topology.are_coupled(pa, pb) {
@@ -321,21 +541,62 @@ fn route_layer(
                 true
             }
         });
-        let Some(gate) = remaining.first().copied() else {
+        let Some(&gate) = bufs.serial.first() else {
             break;
         };
         let pa = layout.phys(gate.q0());
         let pb = layout.phys(gate.q1());
-        let path = cheapest_path(topology, metric, pa, pb, None).ok_or_else(|| {
-            RouteError::Disconnected {
+        if !cheapest_path_into(topology, metric, pa, pb, None, bufs) {
+            return Err(RouteError::Disconnected {
                 a: pa,
                 b: pb,
                 topology: topology.name().to_owned(),
-            }
-        })?;
-        swap_count += walk_path(&path, layout, out);
+            });
+        }
+        swap_count += walk_path(&bufs.path, layout, out);
     }
     Ok(swap_count)
+}
+
+/// Applies the physical swap `(e, w)` to [`route_layer`]'s per-gate
+/// descent state: rewrites the operand pairs of the (at most two) gates
+/// touching `e` or `w`, refreshes their cached distances with the same
+/// table reads a full per-step rebuild would perform, and swaps the
+/// occupancy entries. Every other gate's state is untouched — a swap
+/// moves exactly two physical qubits.
+fn apply_swap_to_gates(
+    bufs: &mut LayerRouteBufs,
+    hops_flat: &[usize],
+    dist_flat: &[f64],
+    n: usize,
+    e: usize,
+    w: usize,
+) {
+    let g0 = bufs.gate_at[e];
+    let g1 = bufs.gate_at[w];
+    let mut update = |gi: usize| {
+        let (a0, b0) = bufs.pairs[gi];
+        let reloc = |p: usize| {
+            if p == e {
+                w
+            } else if p == w {
+                e
+            } else {
+                p
+            }
+        };
+        let (a1, b1) = (reloc(a0), reloc(b0));
+        bufs.pairs[gi] = (a1, b1);
+        bufs.cur_hops[gi] = hops_flat[a1 * n + b1] as i64;
+        bufs.cur_dist[gi] = dist_flat[a1 * n + b1];
+    };
+    if g0 != usize::MAX {
+        update(g0);
+    }
+    if g1 != usize::MAX && g1 != g0 {
+        update(g1);
+    }
+    bufs.gate_at.swap(e, w);
 }
 
 /// Walks the occupant of `path\[0\]` along `path`, stopping one hop short of
@@ -356,55 +617,66 @@ fn walk_path(path: &[usize], layout: &mut Layout, out: &mut Circuit) -> usize {
 /// Dijkstra over the coupling graph with `metric.swap_cost` edge weights
 /// (hop count for the unit metric; 3·(−ln success) — the log-infidelity of
 /// one SWAP — for the variation-aware metric), optionally excluding frozen
-/// qubits (the endpoints are always allowed). Returns the node sequence
-/// from `from` to `to`, or `None` if disconnected under the exclusions.
-fn cheapest_path(
+/// qubits (the endpoints are always allowed). On success, leaves the node
+/// sequence from `from` to `to` in `bufs.path` and returns `true`; returns
+/// `false` if disconnected under the exclusions. All working storage
+/// (distance, predecessor and visited tables plus the path itself) lives
+/// in `bufs`, so repeated calls allocate nothing.
+fn cheapest_path_into(
     topology: &Topology,
     metric: &RoutingMetric,
     from: usize,
     to: usize,
     frozen: Option<&[bool]>,
-) -> Option<Vec<usize>> {
+    bufs: &mut LayerRouteBufs,
+) -> bool {
     let n = topology.num_qubits();
     let blocked =
         |p: usize| -> bool { p != from && p != to && frozen.map(|f| f[p]).unwrap_or(false) };
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev = vec![usize::MAX; n];
-    let mut visited = vec![false; n];
-    dist[from] = 0.0;
+    bufs.dist.clear();
+    bufs.dist.resize(n, f64::INFINITY);
+    bufs.prev.clear();
+    bufs.prev.resize(n, usize::MAX);
+    bufs.visited.clear();
+    bufs.visited.resize(n, false);
+    bufs.dist[from] = 0.0;
     for _ in 0..n {
-        let u = (0..n)
-            .filter(|&u| !visited[u] && dist[u].is_finite())
-            .min_by(|&a, &b| dist[a].total_cmp(&dist[b]))?;
+        let Some(u) = (0..n)
+            .filter(|&u| !bufs.visited[u] && bufs.dist[u].is_finite())
+            .min_by(|&a, &b| bufs.dist[a].total_cmp(&bufs.dist[b]))
+        else {
+            return false;
+        };
         if u == to {
             break;
         }
-        visited[u] = true;
-        for w in topology.graph().neighbors(u) {
-            if visited[w] || blocked(w) {
+        bufs.visited[u] = true;
+        for &w in topology.neighbors(u) {
+            if bufs.visited[w] || blocked(w) {
                 continue;
             }
-            let cost = dist[u] + metric.swap_cost(u, w);
-            if cost < dist[w] - 1e-9 {
-                dist[w] = cost;
-                prev[w] = u;
+            let cost = bufs.dist[u] + metric.swap_cost(u, w);
+            if cost < bufs.dist[w] - 1e-9 {
+                bufs.dist[w] = cost;
+                bufs.prev[w] = u;
             }
         }
     }
-    if !dist[to].is_finite() {
-        return None;
+    if !bufs.dist[to].is_finite() {
+        return false;
     }
-    let mut path = vec![to];
+    bufs.path.clear();
+    bufs.path.push(to);
     let mut cur = to;
     while cur != from {
-        cur = prev[cur];
+        cur = bufs.prev[cur];
         if cur == usize::MAX {
-            return None;
+            return false;
         }
-        path.push(cur);
+        bufs.path.push(cur);
     }
-    path.reverse();
-    Some(path)
+    bufs.path.reverse();
+    true
 }
 
 fn emit(out: &mut Circuit, instr: Instruction) {
@@ -568,6 +840,34 @@ mod tests {
             .unwrap();
         let r2 = route(&part2, &topo, r1.final_layout.clone(), &metric);
         assert_eq!(r2.swap_count, 0);
+    }
+
+    #[test]
+    fn route_append_matches_try_route_stitching() {
+        // The direct-emission path must produce the byte stream that
+        // try_route + append would have: same instructions, same layout,
+        // same counts, same fragment depth.
+        let topo = Topology::ibmq_20_tokyo();
+        let metric = RoutingMetric::hops(&topo);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layout = Layout::random(12, 20, &mut rng);
+        let mut stitched = Circuit::new(20);
+        let mut direct = Circuit::new(20);
+        for round in 0..4 {
+            let g = qgraph::generators::connected_erdos_renyi(12, 0.4, 100, &mut rng).unwrap();
+            let mut frag = Circuit::new(12);
+            for e in g.edges() {
+                frag.rzz(0.1 + round as f64, e.a(), e.b());
+            }
+            let r = try_route(&frag, &topo, layout.clone(), &metric).unwrap();
+            stitched.append(&r.circuit).unwrap();
+            let a = route_append(&frag, &topo, layout.clone(), &metric, &mut direct).unwrap();
+            assert_eq!(a.final_layout, r.final_layout);
+            assert_eq!(a.swap_count, r.swap_count);
+            assert_eq!(a.routed_depth, r.circuit.depth());
+            layout = a.final_layout;
+        }
+        assert_eq!(stitched.instructions(), direct.instructions());
     }
 
     #[test]
