@@ -25,6 +25,9 @@ pub struct Cli {
     positional: Vec<String>,
     manifest: Option<PathBuf>,
     trace: Option<PathBuf>,
+    /// Driver-specific boolean flags that were present, stored without
+    /// the `--` prefix (see [`Cli::parse_with_flags`]).
+    flags: Vec<String>,
 }
 
 /// The unified usage string every driver prints (`--help` on stdout,
@@ -51,7 +54,14 @@ impl Cli {
     /// status 2 on a malformed flag (missing value or unknown `--`
     /// option), printing the usage hint to stderr.
     pub fn parse(figure: &str) -> Cli {
-        match Cli::from_args(figure, std::env::args().skip(1).collect()) {
+        Cli::parse_with_flags(figure, &[])
+    }
+
+    /// Like [`Cli::parse`], additionally accepting the listed boolean
+    /// flags (named without the `--` prefix). A present flag is readable
+    /// through [`Cli::flag`]; any other `--` option still errors.
+    pub fn parse_with_flags(figure: &str, allowed_flags: &[&str]) -> Cli {
+        match Cli::from_args_with(figure, std::env::args().skip(1).collect(), allowed_flags) {
             Ok(None) => {
                 println!("{}", usage(figure));
                 std::process::exit(0);
@@ -76,13 +86,30 @@ impl Cli {
     /// Flag-parsing core, separated from process concerns for testing.
     /// `Ok(None)` means `--help` was requested.
     pub fn from_args(figure: &str, args: Vec<String>) -> Result<Option<Cli>, String> {
+        Cli::from_args_with(figure, args, &[])
+    }
+
+    /// [`Cli::from_args`] with driver-specific boolean flags allowed.
+    pub fn from_args_with(
+        figure: &str,
+        args: Vec<String>,
+        allowed_flags: &[&str],
+    ) -> Result<Option<Cli>, String> {
         let mut positional = Vec::new();
         let mut manifest = None;
         let mut trace = None;
+        let mut flags = Vec::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if arg == "--help" || arg == "-h" {
                 return Ok(None);
+            } else if let Some(name) = arg
+                .strip_prefix("--")
+                .filter(|name| allowed_flags.contains(name))
+            {
+                if !flags.iter().any(|f| f == name) {
+                    flags.push(name.to_owned());
+                }
             } else if arg == "--manifest" {
                 let path = iter
                     .next()
@@ -108,7 +135,14 @@ impl Cli {
             positional,
             manifest,
             trace,
+            flags,
         }))
+    }
+
+    /// Whether the boolean flag `name` (without `--`) was present. Only
+    /// flags listed in [`Cli::parse_with_flags`] can ever be present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
     }
 
     /// The `idx`-th positional argument parsed as `usize`, or `default`
@@ -245,6 +279,32 @@ mod tests {
         assert!(Cli::from_args("fig", args(&["--manifest"])).is_err());
         assert!(Cli::from_args("fig", args(&["--trace"])).is_err());
         assert!(Cli::from_args("fig", args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_are_opt_in_per_driver() {
+        // Without an allowance the flag is still an error.
+        assert!(Cli::from_args("fig", args(&["--quick"])).is_err());
+
+        let cli = Cli::from_args_with(
+            "fig",
+            args(&["--quick", "7", "--manifest=m.json"]),
+            &["quick"],
+        )
+        .expect("well-formed")
+        .expect("not help");
+        assert!(cli.flag("quick"));
+        assert!(!cli.flag("deep"));
+        assert_eq!(cli.pos_usize(0, 0), 7);
+        assert_eq!(cli.manifest_path(), Some(Path::new("m.json")));
+
+        // Absent flag reads false; unknown flags still error even with
+        // an allowance in place.
+        let cli = Cli::from_args_with("fig", args(&["7"]), &["quick"])
+            .expect("well-formed")
+            .expect("not help");
+        assert!(!cli.flag("quick"));
+        assert!(Cli::from_args_with("fig", args(&["--bogus"]), &["quick"]).is_err());
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //! by more than the tolerance *and* the confidence intervals do not
 //! overlap (`cur.ci_lo > base.ci_hi`). **Improved** is the mirror image;
 //! everything else is **Flat**. Comparing two files with no common series
-//! is an error, not a pass — a silently vacuous gate is worse than none.
+//! is an error, not a pass — a silently vacuous gate is worse than none —
+//! with one carve-out: when every unmatched series is an *addition* on
+//! the current side (new instrumentation the committed baseline
+//! predates), the additions are reported as warnings instead of failing
+//! the gate, so the PR that introduces a counter family can land before
+//! its baseline is regenerated.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -305,7 +310,9 @@ pub fn gate_spans(set: &mut SeriesSet) {
 }
 
 /// Compares `current` against `baseline`: see the module docs for the
-/// verdict rule. Errors when the two artifacts share no series.
+/// verdict rule. Errors when the two artifacts share no series, unless
+/// every unmatched label is an addition on the current side (a baseline
+/// that merely *predates* new series must not fail the gate).
 pub fn diff(
     baseline: &SeriesSet,
     current: &SeriesSet,
@@ -340,11 +347,22 @@ pub fn diff(
             unmatched.push(format!("{label} (current only)"));
         }
     }
+    // An empty intersection is an error only when the *baseline* has
+    // series the current run dropped (or both sides are empty): that is
+    // a vacuous gate. When every unmatched label is a current-only
+    // addition — instrumentation gained a counter family the committed
+    // baseline predates — gating on nothing real would block exactly
+    // the PR that adds telemetry, so report the additions as warnings
+    // instead.
     if rows.is_empty() {
-        return Err(format!(
-            "no common series between '{}' and '{}' — nothing to gate on",
-            baseline.name, current.name
-        ));
+        let only_additions =
+            !unmatched.is_empty() && unmatched.iter().all(|l| l.ends_with("(current only)"));
+        if !only_additions {
+            return Err(format!(
+                "no common series between '{}' and '{}' — nothing to gate on",
+                baseline.name, current.name
+            ));
+        }
     }
     Ok(DiffReport {
         baseline: baseline.name.clone(),
@@ -425,6 +443,27 @@ mod tests {
         let base = report_set("fig", &[("a/ms", &[1.0])]);
         let cur = report_set("fig", &[("b/ms", &[1.0])]);
         assert!(diff(&base, &cur, 0.15).is_err());
+    }
+
+    #[test]
+    fn added_series_alone_do_not_error() {
+        // A baseline that predates newly-added counter families: the
+        // current side is a strict superset growth with no overlap at
+        // all (e.g. an old empty-manifest baseline). Warn, don't fail.
+        let base = report_set("fig", &[]);
+        let cur = report_set("fig", &[("new/a", &[1.0]), ("new/b", &[2.0])]);
+        let d = diff(&base, &cur, 0.15).unwrap();
+        assert!(!d.has_regression());
+        assert!(d.rows.is_empty());
+        assert_eq!(d.unmatched.len(), 2);
+        assert!(d.unmatched.iter().all(|l| l.ends_with("(current only)")));
+
+        // Both sides empty is still a vacuous gate: error.
+        let empty = report_set("fig", &[]);
+        assert!(diff(&empty, &report_set("fig", &[]), 0.15).is_err());
+        // Dropping every baseline series is too: error.
+        let dropped = report_set("fig", &[("old/a", &[1.0])]);
+        assert!(diff(&dropped, &report_set("fig", &[]), 0.15).is_err());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Seeded load generator for the `qserve` compile service.
+//!
+//! Drives a [`qserve::Service`] with a replayable fig09-class request
+//! stream: 20-node Erdős–Rényi and 3-regular MaxCut instances on
+//! ibmq_20_tokyo, parametric specs, all four paper configurations
+//! (QAIM/IP/IC/VIC), skewed 80/20 key popularity, multi-tenant request
+//! tagging, and one mid-run calibration hot-reload. Every admission
+//! decision the service makes is deterministic for a fixed
+//! [`LoadConfig`] (see the `qserve` crate docs), so the counter side of
+//! the run — hits, misses, evictions, sheds, invalidations, the
+//! admission-sequence fingerprint — is byte-reproducible across machines
+//! *and worker counts*; only wall-clock throughput and latency vary.
+//!
+//! The cache is sized **below** the key universe on purpose
+//! ([`LoadConfig::cache_slack`] entries short), so the cold tail
+//! continuously exercises LRU eviction while the hot set stays resident
+//! — a cached-serving workload, not a no-op loop.
+
+use std::time::Instant;
+
+use qaoa::MaxCut;
+use qcompile::{CompileOptions, QaoaSpec};
+use qhw::{Calibration, Topology};
+use qserve::{Outcome, Request, Service, ServiceConfig, ServiceStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workloads::{instances, Family};
+
+/// One load-generator run, fully determined by its field values.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Requests in the main (measured) phase.
+    pub requests: usize,
+    /// Problem instances per family (key universe scale).
+    pub instances_per_family: usize,
+    /// QAOA levels 1..=max_p per instance.
+    pub max_p: usize,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Tenant queues; requests tag tenants round-robin-randomly.
+    pub tenants: usize,
+    /// How many entries *fewer* than the key universe the cache holds
+    /// (forces deterministic LRU churn on the cold tail).
+    pub cache_slack: usize,
+    /// Master seed of the request schedule and calibrations.
+    pub seed: u64,
+    /// Request index at which the calibration hot-reload fires (`None`
+    /// skips the reload phase).
+    pub reload_at: Option<usize>,
+    /// Pre-compile the whole key universe before the measured phase.
+    pub warm: bool,
+}
+
+impl LoadConfig {
+    /// The CI-gated quick configuration (32-key universe).
+    pub fn quick() -> LoadConfig {
+        LoadConfig {
+            requests: 4_000,
+            instances_per_family: 2,
+            max_p: 2,
+            workers: 4,
+            tenants: 4,
+            cache_slack: 4,
+            seed: 0x5EED_1009,
+            reload_at: Some(2_000),
+            warm: true,
+        }
+    }
+
+    /// The full committed-baseline configuration (48-key universe).
+    pub fn full() -> LoadConfig {
+        LoadConfig {
+            requests: 40_000,
+            instances_per_family: 3,
+            max_p: 2,
+            workers: 4,
+            tenants: 4,
+            cache_slack: 6,
+            seed: 0x5EED_1009,
+            reload_at: Some(20_000),
+            warm: true,
+        }
+    }
+}
+
+/// What one run produced: the deterministic counter side (gated in CI)
+/// plus the wall-clock side (reported, never gated).
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// Snapshot of the service counters after the run.
+    pub stats: ServiceStats,
+    /// Distinct keys in the request universe.
+    pub keys: usize,
+    /// Requests in the measured phase (excludes warm-up).
+    pub measured_requests: usize,
+    /// `hits / measured requests` of the measured phase.
+    pub hit_rate: f64,
+    /// Measured-phase requests per second.
+    pub throughput_rps: f64,
+    /// Measured-phase wall time, seconds.
+    pub wall_s: f64,
+    /// Exact latency quantiles over every measured request, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Requests whose artifact arrived via shedding.
+    pub outcome_shed: u64,
+}
+
+fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    // Nearest-rank, matching qtrace's manifest quantiles.
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e3
+}
+
+/// Runs one seeded load-generation campaign against a fresh service.
+pub fn run_load(cfg: &LoadConfig) -> LoadOutcome {
+    let topo = Topology::ibmq_20_tokyo();
+    let mut cal_rng = StdRng::seed_from_u64(cfg.seed ^ 0xCA11_B8A7E);
+    let calibration = Calibration::random_normal(&topo, 2e-2, 8e-3, &mut cal_rng);
+    let reload_calibration = calibration.drifted(0.5, &mut cal_rng);
+
+    // The fig09-class key universe: every (instance, p, configuration)
+    // combination is one cacheable compile product.
+    let mut keys: Vec<(QaoaSpec, CompileOptions)> = Vec::new();
+    for family in [Family::ErdosRenyi(0.3), Family::Regular(3)] {
+        for graph in instances(family, 20, cfg.instances_per_family, 9301) {
+            let problem = MaxCut::without_optimum(graph);
+            for p in 1..=cfg.max_p {
+                let spec = QaoaSpec::from_maxcut_parametric(&problem, p, true);
+                for options in [
+                    CompileOptions::qaim_only(),
+                    CompileOptions::ip(),
+                    CompileOptions::ic(),
+                    CompileOptions::vic(),
+                ] {
+                    keys.push((spec.clone(), options));
+                }
+            }
+        }
+    }
+
+    let service = Service::new(
+        topo,
+        Some(calibration),
+        ServiceConfig {
+            workers: cfg.workers,
+            cache_capacity: keys.len().saturating_sub(cfg.cache_slack).max(1),
+            queue_capacity: 4096,
+            tenants: cfg.tenants,
+        },
+    );
+
+    if cfg.warm {
+        for (i, (spec, options)) in keys.iter().enumerate() {
+            service.warm(Request::new(
+                (i % cfg.tenants) as u32,
+                spec.clone(),
+                *options,
+                cfg.seed.wrapping_add(i as u64),
+            ));
+        }
+    }
+
+    // 80/20 popularity: a fifth of the keys take 80% of the traffic.
+    let hot = (keys.len() / 5).max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(cfg.requests);
+    for i in 0..cfg.requests {
+        if cfg.reload_at == Some(i) {
+            service.reload_calibration(Some(reload_calibration.clone()));
+        }
+        let key_idx = if rng.gen_bool(0.8) {
+            rng.gen_range(0..hot)
+        } else {
+            rng.gen_range(0..keys.len())
+        };
+        let (spec, options) = &keys[key_idx];
+        let request = Request::new(
+            rng.gen_range(0..cfg.tenants as u32),
+            spec.clone(),
+            *options,
+            cfg.seed.wrapping_add(key_idx as u64),
+        );
+        tickets.push(service.submit(request));
+    }
+
+    let mut shed = 0u64;
+    let mut latencies_ns: Vec<u64> = tickets
+        .into_iter()
+        .map(|ticket| {
+            let response = ticket.wait();
+            if let Outcome::Shed { .. } = response.outcome {
+                shed += 1;
+            }
+            response
+                .result
+                .expect("load-generator workload always compiles");
+            u64::try_from(response.latency.as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    let wall_s = start.elapsed().as_secs_f64();
+
+    // One lock acquisition for all request latencies, then the service's
+    // deterministic gauges, so a `--manifest` run carries the full
+    // serving picture.
+    qtrace::global().record_spans("qserve/request", &latencies_ns);
+    service.flush_telemetry();
+
+    latencies_ns.sort_unstable();
+    let stats = service.stats();
+    let warm_requests = stats.requests - cfg.requests as u64;
+    let measured_hits = stats.hits; // warm-up requests never hit: all distinct
+    debug_assert_eq!(warm_requests, if cfg.warm { keys.len() as u64 } else { 0 });
+    LoadOutcome {
+        stats,
+        keys: keys.len(),
+        measured_requests: cfg.requests,
+        hit_rate: measured_hits as f64 / cfg.requests as f64,
+        throughput_rps: cfg.requests as f64 / wall_s,
+        wall_s,
+        p50_us: quantile_us(&latencies_ns, 0.50),
+        p90_us: quantile_us(&latencies_ns, 0.90),
+        p99_us: quantile_us(&latencies_ns, 0.99),
+        outcome_shed: shed,
+    }
+}

@@ -1,0 +1,58 @@
+//! Worker-count invariance of the serve_load campaign.
+//!
+//! The `qserve` determinism contract says every admission decision —
+//! hit/miss classification, LRU recency, evictions, sheds, the
+//! admission-sequence fingerprint — is made at `submit()` time in
+//! arrival order, so worker threads only affect *when* artifacts become
+//! ready, never *what* the counters say. This test pins that contract
+//! end to end: the same seeded load campaign run with 1, 2, and 8
+//! service workers must produce byte-identical normalized run
+//! manifests, including every `qserve/*` counter and the sequence
+//! fingerprint gauge.
+//!
+//! One `#[test]` only: the global `qtrace` recorder is process-wide
+//! state, and a second concurrent test would interleave its telemetry.
+
+use bench::serveload::{run_load, LoadConfig};
+use proptest::prelude::*;
+
+fn campaign(seed: u64, workers: usize) -> (String, u64, u64) {
+    qtrace::enable();
+    let outcome = run_load(&LoadConfig {
+        requests: 300,
+        instances_per_family: 1,
+        max_p: 1,
+        workers,
+        tenants: 3,
+        cache_slack: 2,
+        seed,
+        reload_at: Some(150),
+        warm: true,
+    });
+    qtrace::disable();
+    let manifest = qtrace::take("serve_determinism").normalized();
+    (
+        manifest.to_json(),
+        outcome.stats.sequence_fp,
+        outcome.stats.hits,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The normalized manifest (counters, gauges, span counts) and the
+    /// admission-sequence fingerprint are invariant across service
+    /// worker counts for any campaign seed.
+    #[test]
+    fn manifest_is_invariant_across_worker_counts(seed in 0u64..1_000_000) {
+        let (base_json, base_fp, base_hits) = campaign(seed, 1);
+        prop_assert_ne!(base_fp, 0);
+        prop_assert!(base_hits > 0);
+        for workers in [2usize, 8] {
+            let (json, fp, _) = campaign(seed, workers);
+            prop_assert_eq!(&json, &base_json, "workers={} diverged", workers);
+            prop_assert_eq!(fp, base_fp);
+        }
+    }
+}

@@ -172,6 +172,16 @@ impl CompileOptions {
         self
     }
 
+    /// The graceful-degradation ladder for these options, starting with
+    /// the options themselves: VIC → IC → NAIVE; IC and IP step straight
+    /// to NAIVE; QAIM-only drops its mapping; NAIVE is terminal. This is
+    /// exactly the rung sequence the fallback pipeline walks — serving
+    /// layers reuse it to shed an overloaded request to a cheaper
+    /// (possibly already-cached) configuration before rejecting.
+    pub fn ladder(&self) -> Vec<CompileOptions> {
+        degradation_rungs(self)
+    }
+
     /// The paper configuration name without resilience decorations, used
     /// for fallback records (`"VIC"`, `"IC"`, `"NAIVE"`, …).
     fn config_name(&self) -> String {
@@ -828,6 +838,21 @@ mod tests {
         let g = qgraph::generators::connected_erdos_renyi(16, p_edge, 1000, &mut rng).unwrap();
         let problem = MaxCut::without_optimum(g);
         QaoaSpec::from_maxcut(&problem, &QaoaParams::p1(0.5, 0.3), true)
+    }
+
+    #[test]
+    fn public_ladder_matches_fallback_rungs() {
+        // The serving layer keys shed decisions off this exact sequence.
+        let vic = CompileOptions::vic().with_fallback();
+        assert_eq!(vic.ladder(), degradation_rungs(&vic));
+        let names: Vec<String> = vic.ladder().iter().map(|o| o.config_name()).collect();
+        assert_eq!(names, ["VIC", "IC", "NAIVE"]);
+        assert_eq!(CompileOptions::ic().ladder().len(), 2);
+        assert_eq!(CompileOptions::ip().ladder().len(), 2);
+        assert_eq!(CompileOptions::qaim_only().ladder().len(), 2);
+        assert_eq!(CompileOptions::naive().ladder(), [CompileOptions::naive()]);
+        // Resilience policy rides along unchanged on every rung.
+        assert!(vic.ladder().iter().all(|o| o.resilience.fallback));
     }
 
     #[test]

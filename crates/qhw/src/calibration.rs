@@ -443,6 +443,25 @@ impl Calibration {
     pub fn worst_coupling(&self) -> Option<(Edge, f64)> {
         self.cnot_errors().max_by(|a, b| a.1.total_cmp(&b.1))
     }
+
+    /// Stable fingerprint of this calibration epoch: every CNOT,
+    /// single-qubit and readout error rate hashed bit-exactly (via
+    /// `f64::to_bits`, so even a one-ULP drift reads as a new epoch).
+    /// Combined with [`crate::Topology::fingerprint`] this keys the
+    /// shared-context and compiled-artifact caches.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.num_qubits().hash(&mut h);
+        for (e, rate) in self.cnot_errors() {
+            (e.a(), e.b(), rate.to_bits()).hash(&mut h);
+        }
+        for q in 0..self.num_qubits() {
+            self.single_qubit_error(q).to_bits().hash(&mut h);
+            self.readout_error(q).to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

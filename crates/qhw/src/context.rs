@@ -83,23 +83,12 @@ const SHARED_CACHE_CAP: usize = 64;
 /// the same device differ in their error-rate bits, so they hash apart.
 fn context_fingerprint(topology: &Topology, calibration: Option<&Calibration>) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    topology.name().hash(&mut h);
-    topology.num_qubits().hash(&mut h);
-    for e in topology.graph().edges() {
-        (e.a(), e.b()).hash(&mut h);
-    }
+    topology.fingerprint().hash(&mut h);
     match calibration {
         None => 0u8.hash(&mut h),
         Some(cal) => {
             1u8.hash(&mut h);
-            cal.num_qubits().hash(&mut h);
-            for (e, rate) in cal.cnot_errors() {
-                (e.a(), e.b(), rate.to_bits()).hash(&mut h);
-            }
-            for q in 0..cal.num_qubits() {
-                cal.single_qubit_error(q).to_bits().hash(&mut h);
-                cal.readout_error(q).to_bits().hash(&mut h);
-            }
+            cal.fingerprint().hash(&mut h);
         }
     }
     h.finish()
@@ -409,6 +398,37 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &d));
         assert!(d.calibration().is_none());
         assert!(Arc::ptr_eq(&d, &HardwareContext::shared(&topo, None)));
+    }
+
+    #[test]
+    fn fingerprints_separate_structures_and_epochs() {
+        // Same structure → same fingerprint; different structure → apart.
+        let ring = Topology::ring(6);
+        assert_eq!(ring.fingerprint(), Topology::ring(6).fingerprint());
+        assert_ne!(ring.fingerprint(), Topology::ring(7).fingerprint());
+        assert_ne!(ring.fingerprint(), Topology::linear(6).fingerprint());
+
+        // Calibration epochs hash bit-exactly: even a one-ULP rate drift
+        // is a new epoch.
+        let cal = Calibration::uniform(&ring, 0.02, 0.001, 0.02);
+        assert_eq!(
+            cal.fingerprint(),
+            Calibration::uniform(&ring, 0.02, 0.001, 0.02).fingerprint()
+        );
+        let nudged = f64::from_bits(0.02f64.to_bits() + 1);
+        let drifted = Calibration::uniform(&ring, nudged, 0.001, 0.02);
+        assert_ne!(cal.fingerprint(), drifted.fingerprint());
+
+        // The context fingerprint separates calibrated from uncalibrated
+        // and tracks both components.
+        assert_ne!(
+            context_fingerprint(&ring, None),
+            context_fingerprint(&ring, Some(&cal))
+        );
+        assert_ne!(
+            context_fingerprint(&ring, Some(&cal)),
+            context_fingerprint(&ring, Some(&drifted))
+        );
     }
 
     #[test]

@@ -255,6 +255,23 @@ impl Topology {
         &self.graph
     }
 
+    /// Stable structural fingerprint of this target: the name, qubit
+    /// count and full coupling edge list in canonical order. Two
+    /// topologies with equal structure hash equal; serving caches use
+    /// this as the topology component of a compiled-artifact key (with
+    /// full equality verified on hit, so a collision can only cost a
+    /// rebuild, never correctness).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        self.num_qubits().hash(&mut h);
+        for e in self.graph.edges() {
+            (e.a(), e.b()).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Whether a two-qubit gate may execute directly between `a` and `b`.
     ///
     /// One adjacency-bitset word read — the router asks this for every

@@ -1,0 +1,432 @@
+//! Content-addressed compiled-artifact cache.
+//!
+//! Entries are located by a 64-bit structural fingerprint of the full
+//! [`CacheKey`], but a fingerprint match alone never serves an artifact:
+//! every bucket keeps the complete owned key and verifies **full
+//! equality** on hit (the same discipline as
+//! [`qhw::HardwareContext::shared`]). A hash collision between distinct
+//! specs therefore degrades to an ordinary miss-and-compile — wrong
+//! artifacts are impossible by construction, which is what the
+//! cache-correctness suite pins down by forcing two distinct keys into
+//! one bucket.
+//!
+//! Recency, eviction and state transitions are all driven by the caller
+//! (the service's admission path) under one lock, so the hit/miss/
+//! eviction sequence is deterministic for a given request stream.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use qcircuit::Angle;
+use qcompile::{
+    Compilation, CompileOptions, CompiledArtifact, InitialMapping, QaoaSpec, Resilience,
+};
+
+use crate::service::ServeError;
+
+/// Full identity of one cached compile product. Two requests share an
+/// artifact iff their keys are equal — structurally equal program, equal
+/// options, same topology, and (for calibration-consuming
+/// configurations) the same calibration epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheKey {
+    /// The program being compiled, compared structurally.
+    pub spec: QaoaSpec,
+    /// The requested configuration (mapping, compilation mode, packing,
+    /// resilience policy — all of it shapes the artifact).
+    pub options: CompileOptions,
+    /// [`qhw::Topology::fingerprint`] of the service's target.
+    pub topology_fp: u64,
+    /// `Some(epoch)` iff `options` consume calibration (VIC). Hop-metric
+    /// and naive artifacts carry `None` and survive calibration
+    /// hot-reloads untouched.
+    pub calibration_epoch: Option<u64>,
+}
+
+impl CacheKey {
+    /// Builds the key for a request against the service's current
+    /// topology and calibration epoch. Only
+    /// [`Compilation::IncrementalReliability`] reads calibration, so only
+    /// it bakes the epoch into its identity.
+    pub fn new(spec: QaoaSpec, options: CompileOptions, topology_fp: u64, epoch: u64) -> CacheKey {
+        let calibration_epoch =
+            matches!(options.compilation, Compilation::IncrementalReliability).then_some(epoch);
+        CacheKey {
+            spec,
+            options,
+            topology_fp,
+            calibration_epoch,
+        }
+    }
+
+    /// The 64-bit structural fingerprint locating this key's bucket.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        spec_fingerprint(&self.spec).hash(&mut h);
+        hash_options(&self.options, &mut h);
+        self.topology_fp.hash(&mut h);
+        self.calibration_epoch.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Structural fingerprint of a [`QaoaSpec`]: qubit count, measurement
+/// flag, every level's CPHASE list and mixer angle, every field term,
+/// and the parameter table — all angle values hashed bit-exactly via
+/// `f64::to_bits`. Specs that compare equal hash equal; the proptest
+/// suite checks the converse over generated program pairs.
+pub fn spec_fingerprint(spec: &QaoaSpec) -> u64 {
+    let mut h = DefaultHasher::new();
+    spec.num_qubits().hash(&mut h);
+    spec.measure().hash(&mut h);
+    spec.levels().len().hash(&mut h);
+    for (level, (ops, mixer)) in spec.levels().iter().enumerate() {
+        ops.len().hash(&mut h);
+        for op in ops {
+            op.a.hash(&mut h);
+            op.b.hash(&mut h);
+            hash_angle(&op.angle, &mut h);
+        }
+        hash_angle(mixer, &mut h);
+        let fields = spec.field_terms(level);
+        fields.len().hash(&mut h);
+        for (q, angle) in fields {
+            q.hash(&mut h);
+            hash_angle(angle, &mut h);
+        }
+    }
+    spec.param_table().len().hash(&mut h);
+    for (_, name) in spec.param_table().iter() {
+        name.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn hash_angle<H: Hasher>(angle: &Angle, h: &mut H) {
+    match angle {
+        Angle::Const(v) => {
+            0u8.hash(h);
+            v.to_bits().hash(h);
+        }
+        Angle::Sym { param, scale } => {
+            1u8.hash(h);
+            param.0.hash(h);
+            scale.to_bits().hash(h);
+        }
+    }
+}
+
+fn hash_options<H: Hasher>(options: &CompileOptions, h: &mut H) {
+    let mapping: u8 = match options.mapping {
+        InitialMapping::Naive => 0,
+        InitialMapping::GreedyV => 1,
+        InitialMapping::Dense => 2,
+        InitialMapping::Qaim => 3,
+    };
+    let compilation: u8 = match options.compilation {
+        Compilation::RandomOrder => 0,
+        Compilation::Ip => 1,
+        Compilation::IncrementalHops => 2,
+        Compilation::IncrementalReliability => 3,
+    };
+    mapping.hash(h);
+    compilation.hash(h);
+    options.packing_limit.hash(h);
+    let Resilience {
+        fallback,
+        pass_budget,
+        swap_budget,
+        max_retries,
+    } = options.resilience;
+    fallback.hash(h);
+    pass_budget.map(|d| d.as_nanos()).hash(h);
+    swap_budget.hash(h);
+    max_retries.hash(h);
+}
+
+/// `(result, served_order, resolved_at)` of a finished compile.
+pub(crate) type Resolution = (Result<Arc<CompiledArtifact>, ServeError>, u64, Instant);
+
+/// The completion slot admission hands to every requester of an
+/// in-flight compile. The worker (or an inline drain) fills it exactly
+/// once; waiters block on the condvar.
+#[derive(Debug, Default)]
+pub(crate) struct Completion {
+    pub slot: Mutex<Option<Resolution>>,
+    pub ready: Condvar,
+}
+
+/// What a cache bucket entry currently holds.
+#[derive(Debug, Clone)]
+pub(crate) enum SlotState {
+    /// Reserved at admission; the compile is queued or running. Later
+    /// requests for the same key coalesce onto the shared completion.
+    Pending(Arc<Completion>),
+    /// A finished artifact, served by `Arc` clone.
+    Ready(Arc<CompiledArtifact>),
+    /// The compile failed; the error is served to later requests too
+    /// (negative caching keeps the outcome sequence deterministic and
+    /// stops a poisoned key from hammering the workers).
+    Failed(ServeError),
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Unique per reservation: a worker completing an evicted-and-
+    /// re-reserved key must not overwrite the newer entry.
+    id: u64,
+    key: CacheKey,
+    state: SlotState,
+    /// Admission tick of the last lookup/reserve touching this entry —
+    /// the LRU ordinate.
+    last_used: u64,
+}
+
+/// Capacity-bounded LRU over compiled artifacts. Not internally
+/// synchronized: the service wraps it in its admission lock.
+#[derive(Debug)]
+pub(crate) struct ArtifactCache {
+    capacity: usize,
+    /// Fingerprint → entries (more than one only on a fingerprint
+    /// collision, where equality verification keeps them apart).
+    buckets: HashMap<u64, Vec<Entry>>,
+    /// `last_used` tick → `(fingerprint, id)`, the eviction order.
+    recency: BTreeMap<u64, (u64, u64)>,
+    len: usize,
+    tick: u64,
+    next_id: u64,
+}
+
+impl ArtifactCache {
+    pub fn new(capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            capacity: capacity.max(1),
+            buckets: HashMap::new(),
+            recency: BTreeMap::new(),
+            len: 0,
+            tick: 0,
+            next_id: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Looks up `key` in bucket `fp`, verifying full key equality, and
+    /// touches its recency on hit.
+    pub fn lookup(&mut self, fp: u64, key: &CacheKey) -> Option<SlotState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self
+            .buckets
+            .get_mut(&fp)?
+            .iter_mut()
+            .find(|e| e.key == *key)?;
+        self.recency.remove(&entry.last_used);
+        entry.last_used = tick;
+        self.recency.insert(tick, (fp, entry.id));
+        Some(entry.state.clone())
+    }
+
+    /// Reserves a pending entry for `key` in bucket `fp`, evicting the
+    /// least-recently-used entries first if at capacity. Returns the
+    /// reservation id and how many entries were evicted.
+    ///
+    /// Pending entries are evictable like any other: their waiters hold
+    /// the completion `Arc` directly, so eviction only forgets the cache
+    /// slot, it never strands a requester.
+    pub fn reserve(&mut self, fp: u64, key: CacheKey, completion: Arc<Completion>) -> (u64, usize) {
+        let mut evicted = 0;
+        while self.len >= self.capacity {
+            let (&tick, &(victim_fp, victim_id)) =
+                self.recency.iter().next().expect("len > 0 implies recency");
+            self.recency.remove(&tick);
+            self.remove_entry(victim_fp, victim_id);
+            evicted += 1;
+        }
+        self.tick += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buckets.entry(fp).or_default().push(Entry {
+            id,
+            key,
+            state: SlotState::Pending(completion),
+            last_used: self.tick,
+        });
+        self.recency.insert(self.tick, (fp, id));
+        self.len += 1;
+        (id, evicted)
+    }
+
+    /// Flips the reservation `(fp, id)` to its terminal state. A no-op
+    /// when the entry was evicted (or invalidated) while the compile ran.
+    pub fn complete(
+        &mut self,
+        fp: u64,
+        id: u64,
+        result: &Result<Arc<CompiledArtifact>, ServeError>,
+    ) {
+        if let Some(bucket) = self.buckets.get_mut(&fp) {
+            if let Some(entry) = bucket.iter_mut().find(|e| e.id == id) {
+                entry.state = match result {
+                    Ok(artifact) => SlotState::Ready(Arc::clone(artifact)),
+                    Err(error) => SlotState::Failed(error.clone()),
+                };
+            }
+        }
+    }
+
+    /// Drops every entry whose key consumed calibration (the epoch-`Some`
+    /// keys) — the hot-reload invalidation. Calibration-independent
+    /// artifacts are untouched. Returns how many entries were dropped.
+    pub fn invalidate_calibration_dependent(&mut self) -> usize {
+        let mut dropped = 0;
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|e| {
+                if e.key.calibration_epoch.is_some() {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            !bucket.is_empty()
+        });
+        let buckets = &self.buckets;
+        self.recency.retain(|_, (fp, id)| {
+            buckets
+                .get(fp)
+                .is_some_and(|b| b.iter().any(|e| e.id == *id))
+        });
+        self.len -= dropped;
+        dropped
+    }
+
+    fn remove_entry(&mut self, fp: u64, id: u64) {
+        if let Some(bucket) = self.buckets.get_mut(&fp) {
+            let before = bucket.len();
+            bucket.retain(|e| e.id != id);
+            self.len -= before - bucket.len();
+            if bucket.is_empty() {
+                self.buckets.remove(&fp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcompile::CphaseOp;
+
+    fn spec(n: usize, edges: &[(usize, usize)]) -> QaoaSpec {
+        let ops: Vec<CphaseOp> = edges
+            .iter()
+            .map(|&(a, b)| CphaseOp::new(a, b, 0.5))
+            .collect();
+        QaoaSpec::new(n, vec![(ops, 0.3)], true)
+    }
+
+    fn key(edges: &[(usize, usize)]) -> CacheKey {
+        CacheKey::new(spec(4, edges), CompileOptions::ic(), 11, 0)
+    }
+
+    fn dummy_artifact(marker: usize) -> Arc<CompiledArtifact> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let context = qhw::HardwareContext::new(qhw::Topology::linear(4));
+        let spec = spec(4, &[(0, 1), (marker % 2 + 1, marker % 2 + 2)]);
+        Arc::new(
+            qcompile::try_compile_artifact_with_context(
+                &spec,
+                &context,
+                &CompileOptions::naive(),
+                &mut StdRng::seed_from_u64(1),
+            )
+            .expect("linear chain compiles"),
+        )
+    }
+
+    /// Two *distinct* keys forced into the same fingerprint bucket must
+    /// keep their identities apart: equality verification makes a
+    /// collision cost a rebuild, never a wrong artifact.
+    #[test]
+    fn forced_fingerprint_collision_cannot_cross_serve() {
+        let mut cache = ArtifactCache::new(8);
+        let ka = key(&[(0, 1), (1, 2)]);
+        let kb = key(&[(0, 1), (2, 3)]);
+        assert_ne!(ka, kb);
+        let forced_fp = 42u64;
+
+        let (ida, _) = cache.reserve(forced_fp, ka.clone(), Arc::default());
+        let (idb, _) = cache.reserve(forced_fp, kb.clone(), Arc::default());
+        let (a, b) = (dummy_artifact(0), dummy_artifact(1));
+        cache.complete(forced_fp, ida, &Ok(Arc::clone(&a)));
+        cache.complete(forced_fp, idb, &Ok(Arc::clone(&b)));
+
+        match cache.lookup(forced_fp, &ka) {
+            Some(SlotState::Ready(got)) => assert!(Arc::ptr_eq(&got, &a)),
+            other => panic!("expected ka's artifact, got {other:?}"),
+        }
+        match cache.lookup(forced_fp, &kb) {
+            Some(SlotState::Ready(got)) => assert!(Arc::ptr_eq(&got, &b)),
+            other => panic!("expected kb's artifact, got {other:?}"),
+        }
+        // A third distinct key landing in the bucket is a clean miss.
+        assert!(cache.lookup(forced_fp, &key(&[(1, 2), (2, 3)])).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut cache = ArtifactCache::new(2);
+        let (k1, k2, k3) = (key(&[(0, 1)]), key(&[(1, 2)]), key(&[(2, 3)]));
+        cache.reserve(k1.fingerprint(), k1.clone(), Arc::default());
+        cache.reserve(k2.fingerprint(), k2.clone(), Arc::default());
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.lookup(k1.fingerprint(), &k1).is_some());
+        let (_, evicted) = cache.reserve(k3.fingerprint(), k3.clone(), Arc::default());
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(k2.fingerprint(), &k2).is_none(), "k2 evicted");
+        assert!(cache.lookup(k1.fingerprint(), &k1).is_some());
+        assert!(cache.lookup(k3.fingerprint(), &k3).is_some());
+    }
+
+    #[test]
+    fn completing_an_evicted_reservation_is_a_no_op() {
+        let mut cache = ArtifactCache::new(1);
+        let (k1, k2) = (key(&[(0, 1)]), key(&[(1, 2)]));
+        let (id1, _) = cache.reserve(k1.fingerprint(), k1.clone(), Arc::default());
+        let (_, evicted) = cache.reserve(k2.fingerprint(), k2.clone(), Arc::default());
+        assert_eq!(evicted, 1);
+        // The worker of the evicted reservation reports in late.
+        cache.complete(k1.fingerprint(), id1, &Ok(dummy_artifact(0)));
+        assert!(cache.lookup(k1.fingerprint(), &k1).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidation_touches_only_calibration_consumers() {
+        let mut cache = ArtifactCache::new(8);
+        let vic = CacheKey::new(spec(4, &[(0, 1)]), CompileOptions::vic(), 11, 3);
+        let ic = CacheKey::new(spec(4, &[(0, 1)]), CompileOptions::ic(), 11, 3);
+        assert!(vic.calibration_epoch.is_some());
+        assert!(ic.calibration_epoch.is_none());
+        cache.reserve(vic.fingerprint(), vic.clone(), Arc::default());
+        cache.reserve(ic.fingerprint(), ic.clone(), Arc::default());
+        assert_eq!(cache.invalidate_calibration_dependent(), 1);
+        assert!(cache.lookup(vic.fingerprint(), &vic).is_none());
+        assert!(cache.lookup(ic.fingerprint(), &ic).is_some());
+        // Recency bookkeeping stays consistent: filling back up evicts
+        // cleanly rather than panicking on stale locators.
+        for i in 0..20 {
+            let k = key(&[(0, 1), (1, 2), (2, 3), (i % 3, 3 - i % 3)]);
+            cache.reserve(k.fingerprint(), k, Arc::default());
+        }
+        assert!(cache.len() <= 8);
+    }
+}

@@ -1,0 +1,632 @@
+//! The compile service: admission, per-tenant fair queuing, worker
+//! pool, overload shedding and calibration hot-reload.
+//!
+//! ## Admission-time determinism
+//!
+//! `submit` classifies every request — hit, miss, shed or reject —
+//! under one lock, in arrival order, before any worker touches it.
+//! Workers never make cache decisions; they compile the job admission
+//! reserved and fill its completion slot. The outcome sequence (and
+//! every `qserve/*` counter) is therefore a pure function of the
+//! request stream, whatever the worker count — the property the CI
+//! manifest gate and the cross-worker determinism proptest pin.
+//!
+//! ## Fairness and overload
+//!
+//! Each tenant owns a FIFO; workers pop round-robin across tenants, so
+//! one tenant's backlog cannot starve another's single request. When
+//! the shared queue is at capacity, a miss walks its
+//! [`CompileOptions::ladder`] looking for an already-cached cheaper
+//! rung (VIC → IC → NAIVE) to serve instead — degraded service beats no
+//! service — and only rejects with [`ServeError::Overloaded`] when no
+//! rung is cached.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qcompile::{
+    try_compile_artifact_with_context, CompileError, CompileOptions, CompiledArtifact, QaoaSpec,
+};
+use qhw::{Calibration, HardwareContext, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cache::{ArtifactCache, CacheKey, Completion, SlotState};
+
+/// Why the service could not produce an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The queue was full and no ladder rung of the request was cached.
+    Overloaded {
+        /// Jobs queued at admission time.
+        queued: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The compile itself failed (shared verbatim with every request
+    /// coalesced onto the same cache entry).
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, capacity } => {
+                write!(f, "service overloaded ({queued}/{capacity} jobs queued)")
+            }
+            ServeError::Compile(e) => write!(f, "compile failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How admission classified a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from the cache (ready, or coalesced onto an in-flight
+    /// compile of the same key).
+    Hit,
+    /// Admitted for compilation.
+    Miss,
+    /// Queue full; served from a cached lower ladder rung (`rungs` steps
+    /// below the requested configuration).
+    Shed {
+        /// Ladder steps taken below the requested rung.
+        rungs: u8,
+    },
+    /// Queue full and no ladder rung was cached.
+    Rejected,
+}
+
+/// One compile request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Fair-queuing identity; mapped onto a tenant queue modulo
+    /// [`ServiceConfig::tenants`].
+    pub tenant: u32,
+    /// The program to compile.
+    pub spec: QaoaSpec,
+    /// The requested configuration.
+    pub options: CompileOptions,
+    /// RNG seed a compile of this request uses. Coalescing note: the
+    /// *first* requester of a key wins the compile, so the seed of later
+    /// coalesced requests is ignored — key identity deliberately excludes
+    /// the seed.
+    pub seed: u64,
+}
+
+impl Request {
+    /// Builds a request.
+    pub fn new(tenant: u32, spec: QaoaSpec, options: CompileOptions, seed: u64) -> Request {
+        Request {
+            tenant,
+            spec,
+            options,
+            seed,
+        }
+    }
+}
+
+/// A finished request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The artifact (shared, never copied) or the structured failure.
+    pub result: Result<Arc<CompiledArtifact>, ServeError>,
+    /// Admission's classification.
+    pub outcome: Outcome,
+    /// Position in the service's completion order (1-based); cache hits
+    /// take theirs at admission, compiles when the worker finishes.
+    pub served_order: u64,
+    /// Submit-to-resolution wall time for this request.
+    pub latency: Duration,
+}
+
+/// A submitted request: already resolved (hit / shed / reject) or
+/// pending on an in-flight compile. Borrows the service, so tickets
+/// cannot outlive it.
+pub struct Ticket<'a> {
+    _service: &'a Service,
+    state: TicketState,
+}
+
+#[derive(Debug)]
+enum TicketState {
+    Ready(Response),
+    Pending {
+        completion: Arc<Completion>,
+        outcome: Outcome,
+        submitted: Instant,
+    },
+}
+
+impl Ticket<'_> {
+    /// Whether the response is already available without blocking.
+    pub fn is_ready(&self) -> bool {
+        match &self.state {
+            TicketState::Ready(_) => true,
+            TicketState::Pending { completion, .. } => {
+                completion.slot.lock().expect("completion lock").is_some()
+            }
+        }
+    }
+
+    /// Admission's classification of this request.
+    pub fn outcome(&self) -> Outcome {
+        match &self.state {
+            TicketState::Ready(r) => r.outcome,
+            TicketState::Pending { outcome, .. } => *outcome,
+        }
+    }
+
+    /// Blocks until the response is available.
+    pub fn wait(self) -> Response {
+        match self.state {
+            TicketState::Ready(response) => response,
+            TicketState::Pending {
+                completion,
+                outcome,
+                submitted,
+            } => {
+                let mut slot = completion.slot.lock().expect("completion lock");
+                while slot.is_none() {
+                    slot = completion.ready.wait(slot).expect("completion lock");
+                }
+                let (result, served_order, resolved_at) =
+                    slot.as_ref().expect("loop exits on Some").clone();
+                Response {
+                    result,
+                    outcome,
+                    served_order,
+                    latency: resolved_at.saturating_duration_since(submitted),
+                }
+            }
+        }
+    }
+}
+
+/// Service sizing and policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads compiling queued jobs. `0` is valid and means no
+    /// background compilation: jobs queue until [`Service::drain_one`]
+    /// runs them inline (deterministic tests drive the queue this way).
+    pub workers: usize,
+    /// Artifact-cache capacity in entries (min 1).
+    pub cache_capacity: usize,
+    /// Queued-job bound across all tenants; admission beyond it sheds
+    /// down the ladder, then rejects.
+    pub queue_capacity: usize,
+    /// Number of tenant FIFOs (min 1); request tenants map in modulo.
+    pub tenants: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: qcompile::default_workers().min(4),
+            cache_capacity: 256,
+            queue_capacity: 4096,
+            tenants: 4,
+        }
+    }
+}
+
+/// Deterministic counters mirrored from the `qserve/*` qtrace series,
+/// readable without draining the recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted (including warm calls).
+    pub requests: u64,
+    /// Cache hits (ready or coalesced).
+    pub hits: u64,
+    /// Admitted compiles.
+    pub misses: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Requests served from a cached lower ladder rung under overload.
+    pub shed: u64,
+    /// Requests rejected under overload.
+    pub rejected: u64,
+    /// Entries dropped by calibration hot-reloads.
+    pub invalidated: u64,
+    /// Calibration hot-reloads performed.
+    pub epoch_bumps: u64,
+    /// Current calibration epoch.
+    pub epoch: u64,
+    /// Artifacts (and reservations) currently cached.
+    pub cached_entries: usize,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Order-sensitive fingerprint folded over every admission outcome
+    /// `(key fingerprint, classification)` — two runs with identical
+    /// values served identical sequences.
+    pub sequence_fp: u64,
+}
+
+struct Job {
+    fp: u64,
+    id: u64,
+    spec: QaoaSpec,
+    options: CompileOptions,
+    seed: u64,
+    context: Arc<HardwareContext>,
+    completion: Arc<Completion>,
+}
+
+struct Inner {
+    cache: ArtifactCache,
+    queues: Vec<std::collections::VecDeque<Job>>,
+    queued: usize,
+    rr_cursor: usize,
+    context: Arc<HardwareContext>,
+    epoch: u64,
+    topology_fp: u64,
+    stats: ServiceStats,
+    shutdown: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    served: AtomicU64,
+}
+
+/// The in-process compile service. See the crate docs for the example
+/// and the module docs for the serving policy.
+pub struct Service {
+    shared: Arc<Shared>,
+    config: ServiceConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service for one hardware target, spawning
+    /// [`ServiceConfig::workers`] compile threads.
+    pub fn new(
+        topology: Topology,
+        calibration: Option<Calibration>,
+        config: ServiceConfig,
+    ) -> Self {
+        let topology_fp = topology.fingerprint();
+        let context = Arc::new(HardwareContext::from_parts(topology, calibration));
+        let tenants = config.tenants.max(1);
+        let inner = Inner {
+            cache: ArtifactCache::new(config.cache_capacity),
+            queues: (0..tenants).map(|_| Default::default()).collect(),
+            queued: 0,
+            rr_cursor: 0,
+            context,
+            epoch: 0,
+            topology_fp,
+            stats: ServiceStats::default(),
+            shutdown: false,
+        };
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(inner),
+            work: Condvar::new(),
+            served: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qserve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn qserve worker")
+            })
+            .collect();
+        Service {
+            shared,
+            config,
+            workers,
+        }
+    }
+
+    /// Submits a request, classifying it immediately; the returned
+    /// ticket is resolved for hits/sheds/rejects and pending for misses.
+    pub fn submit(&self, request: Request) -> Ticket<'_> {
+        self.admit(request, AdmitMode::Queue)
+    }
+
+    /// `submit` + `wait`.
+    pub fn call(&self, request: Request) -> Response {
+        self.submit(request).wait()
+    }
+
+    /// Like [`Service::call`], but a miss compiles inline on the calling
+    /// thread, bypassing the queue and its capacity (so it can never
+    /// shed or reject). Deterministic cache warming uses this.
+    pub fn warm(&self, request: Request) -> Response {
+        self.admit(request, AdmitMode::Inline).wait()
+    }
+
+    fn admit(&self, request: Request, mode: AdmitMode) -> Ticket<'_> {
+        let submitted = Instant::now();
+        let q = qtrace::global();
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.stats.requests += 1;
+        q.add("qserve/requests", 1);
+
+        let key = CacheKey::new(
+            request.spec,
+            request.options,
+            inner.topology_fp,
+            inner.epoch,
+        );
+        let fp = key.fingerprint();
+        if let Some(state) = inner.cache.lookup(fp, &key) {
+            inner.stats.hits += 1;
+            inner.note(fp, 2);
+            q.add("qserve/cache/hits", 1);
+            return self.resolve(state, Outcome::Hit, submitted);
+        }
+
+        if matches!(mode, AdmitMode::Queue) && inner.queued >= self.config.queue_capacity {
+            // Shed: serve any cached cheaper rung before rejecting.
+            for (steps, rung) in key.options.ladder().into_iter().enumerate().skip(1) {
+                let alt = CacheKey::new(key.spec.clone(), rung, inner.topology_fp, inner.epoch);
+                let alt_fp = alt.fingerprint();
+                if let Some(state) = inner.cache.lookup(alt_fp, &alt) {
+                    inner.stats.shed += 1;
+                    inner.note(alt_fp, 3);
+                    q.add("qserve/shed", 1);
+                    let outcome = Outcome::Shed { rungs: steps as u8 };
+                    return self.resolve(state, outcome, submitted);
+                }
+            }
+            inner.stats.rejected += 1;
+            inner.note(fp, 4);
+            q.add("qserve/rejected", 1);
+            let error = ServeError::Overloaded {
+                queued: inner.queued,
+                capacity: self.config.queue_capacity,
+            };
+            let served_order = self.shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+            return Ticket {
+                _service: self,
+                state: TicketState::Ready(Response {
+                    result: Err(error),
+                    outcome: Outcome::Rejected,
+                    served_order,
+                    latency: submitted.elapsed(),
+                }),
+            };
+        }
+
+        inner.stats.misses += 1;
+        inner.note(fp, 1);
+        q.add("qserve/cache/misses", 1);
+        let completion = Arc::new(Completion::default());
+        let job_spec = key.spec.clone();
+        let options = key.options;
+        let (id, evicted) = inner.cache.reserve(fp, key, Arc::clone(&completion));
+        if evicted > 0 {
+            inner.stats.evictions += evicted as u64;
+            q.add("qserve/cache/evictions", evicted as u64);
+        }
+        let job = Job {
+            fp,
+            id,
+            spec: job_spec,
+            options,
+            seed: request.seed,
+            context: Arc::clone(&inner.context),
+            completion: Arc::clone(&completion),
+        };
+        let ticket = Ticket {
+            _service: self,
+            state: TicketState::Pending {
+                completion,
+                outcome: Outcome::Miss,
+                submitted,
+            },
+        };
+        match mode {
+            AdmitMode::Queue => {
+                let queue = request.tenant as usize % inner.queues.len();
+                inner.queues[queue].push_back(job);
+                inner.queued += 1;
+                drop(inner);
+                self.shared.work.notify_one();
+            }
+            AdmitMode::Inline => {
+                drop(inner);
+                execute(&self.shared, job);
+            }
+        }
+        ticket
+    }
+
+    fn resolve(&self, state: SlotState, outcome: Outcome, submitted: Instant) -> Ticket<'_> {
+        let state = match state {
+            SlotState::Ready(artifact) => {
+                let served_order = self.shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+                TicketState::Ready(Response {
+                    result: Ok(artifact),
+                    outcome,
+                    served_order,
+                    latency: submitted.elapsed(),
+                })
+            }
+            SlotState::Failed(error) => {
+                let served_order = self.shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+                TicketState::Ready(Response {
+                    result: Err(error),
+                    outcome,
+                    served_order,
+                    latency: submitted.elapsed(),
+                })
+            }
+            SlotState::Pending(completion) => TicketState::Pending {
+                completion,
+                outcome,
+                submitted,
+            },
+        };
+        Ticket {
+            _service: self,
+            state,
+        }
+    }
+
+    /// Swaps in a new calibration table (or removes it), bumps the
+    /// epoch, and invalidates exactly the cached entries that consumed
+    /// calibration. In-flight compiles of invalidated keys complete
+    /// against the context their requesters saw at admission — their
+    /// waiters get the pre-reload artifact they asked for — but the
+    /// cache forgets them, so post-reload requests always recompile.
+    /// Returns the number of invalidated entries.
+    pub fn reload_calibration(&self, calibration: Option<Calibration>) -> usize {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        let topology = inner.context.topology().clone();
+        inner.context = Arc::new(HardwareContext::from_parts(topology, calibration));
+        inner.epoch += 1;
+        inner.stats.epoch_bumps += 1;
+        let dropped = inner.cache.invalidate_calibration_dependent();
+        inner.stats.invalidated += dropped as u64;
+        let q = qtrace::global();
+        q.add("qserve/epoch_bumps", 1);
+        q.add("qserve/cache/invalidated", dropped as u64);
+        dropped
+    }
+
+    /// The current calibration epoch (starts at 0, +1 per reload).
+    pub fn epoch(&self) -> u64 {
+        self.shared.inner.lock().expect("service lock").epoch
+    }
+
+    /// A snapshot of the deterministic service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.shared.inner.lock().expect("service lock");
+        let mut stats = inner.stats;
+        stats.epoch = inner.epoch;
+        stats.cached_entries = inner.cache.len();
+        stats.queued = inner.queued;
+        stats
+    }
+
+    /// Runs one queued job inline on the calling thread, if any. With
+    /// `workers: 0` this is the only way jobs execute, which gives tests
+    /// full control over completion order.
+    pub fn drain_one(&self) -> bool {
+        let job = {
+            let mut inner = self.shared.inner.lock().expect("service lock");
+            pop_job(&mut inner)
+        };
+        match job {
+            Some(job) => {
+                execute(&self.shared, job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Emits the admission-sequence fingerprint and cache occupancy as
+    /// qtrace gauges. Call once before draining a manifest: two runs
+    /// with equal `qserve/cache/sequence_fp` gauges served identical
+    /// outcome sequences. The gauge carries the 32-bit xor-fold of
+    /// [`ServiceStats::sequence_fp`] — manifest numbers must stay
+    /// exactly representable as f64 (`qtrace::json` rejects integers
+    /// beyond 2^53 on read-back), and the fold preserves sensitivity to
+    /// every admission in the sequence.
+    pub fn flush_telemetry(&self) {
+        let inner = self.shared.inner.lock().expect("service lock");
+        let fp = inner.stats.sequence_fp;
+        let q = qtrace::global();
+        q.gauge_max("qserve/cache/sequence_fp", (fp >> 32) ^ (fp & 0xffff_ffff));
+        q.gauge_max("qserve/cache/entries", inner.cache.len() as u64);
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.inner.lock().expect("service lock");
+            inner.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum AdmitMode {
+    Queue,
+    Inline,
+}
+
+impl Inner {
+    /// Folds one admission outcome into the order-sensitive sequence
+    /// fingerprint (FNV-style).
+    fn note(&mut self, fp: u64, code: u8) {
+        let fold = fp.rotate_left(u32::from(code) * 8) ^ u64::from(code);
+        self.stats.sequence_fp = (self.stats.sequence_fp ^ fold).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Round-robin pop across tenant queues, resuming after the last-served
+/// tenant so a busy tenant cannot starve the others.
+fn pop_job(inner: &mut Inner) -> Option<Job> {
+    let tenants = inner.queues.len();
+    for offset in 0..tenants {
+        let idx = (inner.rr_cursor + offset) % tenants;
+        if let Some(job) = inner.queues[idx].pop_front() {
+            inner.rr_cursor = (idx + 1) % tenants;
+            inner.queued -= 1;
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut inner = shared.inner.lock().expect("service lock");
+            loop {
+                if let Some(job) = pop_job(&mut inner) {
+                    break Some(job);
+                }
+                if inner.shutdown {
+                    break None;
+                }
+                inner = shared.work.wait(inner).expect("service lock");
+            }
+        };
+        match job {
+            Some(job) => execute(shared, job),
+            None => return,
+        }
+    }
+}
+
+/// Compiles one reserved job and publishes the result: cache state
+/// first (so later admissions see `Ready`/`Failed` directly), then the
+/// completion slot for the waiters. Panics are contained exactly like
+/// `qcompile::compile_batch` does it.
+fn execute(shared: &Shared, job: Job) {
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        let mut rng = StdRng::seed_from_u64(job.seed);
+        try_compile_artifact_with_context(&job.spec, &job.context, &job.options, &mut rng)
+    }))
+    .unwrap_or_else(|_| Err(CompileError::Internal("compile worker panicked".to_owned())));
+    let result: Result<Arc<CompiledArtifact>, ServeError> =
+        attempt.map(Arc::new).map_err(ServeError::Compile);
+    let served_order = shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+    {
+        let mut inner = shared.inner.lock().expect("service lock");
+        inner.cache.complete(job.fp, job.id, &result);
+    }
+    let resolved_at = Instant::now();
+    let mut slot = job.completion.slot.lock().expect("completion lock");
+    *slot = Some((result, served_order, resolved_at));
+    drop(slot);
+    job.completion.ready.notify_all();
+}

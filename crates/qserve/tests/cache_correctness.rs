@@ -1,0 +1,168 @@
+//! Cache-correctness suite: structural hashing over generated programs
+//! and calibration-epoch invalidation.
+//!
+//! The service trusts [`qserve::spec_fingerprint`] only as a bucket
+//! locator — full key equality is verified on every hit (see the
+//! forced-collision unit test inside `qserve::cache`) — but the
+//! fingerprint should still separate distinct programs essentially
+//! always, and must be a pure function of program structure. The epoch
+//! tests pin the invalidation contract: a calibration reload never lets
+//! a VIC artifact compiled under the old epoch be served again, and
+//! never touches calibration-independent entries.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qcompile::{CompileOptions, CphaseOp, QaoaSpec};
+use qhw::{Calibration, Topology};
+use qserve::{spec_fingerprint, CacheKey, Outcome, Request, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec_from(n: usize, edges: &[(usize, usize)], levels: usize, angle: f64) -> QaoaSpec {
+    let per_level: Vec<(Vec<CphaseOp>, f64)> = (0..levels)
+        .map(|k| {
+            let ops = edges
+                .iter()
+                .map(|&(a, b)| CphaseOp::new(a, b, angle + k as f64))
+                .collect();
+            (ops, 0.3 + k as f64 * 0.1)
+        })
+        .collect();
+    QaoaSpec::new(n, per_level, true)
+}
+
+fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect()
+}
+
+/// Strategy: a qubit count and a non-empty edge subset of its complete
+/// graph.
+fn arb_program() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (4usize..=8).prop_flat_map(|n| {
+        let universe = all_pairs(n);
+        let edges = proptest::sample::subsequence(universe.clone(), 1..=universe.len());
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural hashing: rebuilding a spec from the same parts gives
+    /// the same fingerprint, and any structural difference — edge set,
+    /// level count, angle bits, qubit count — moves it.
+    #[test]
+    fn fingerprint_is_structural(
+        problem in arb_program(),
+        levels in 1usize..=2,
+    ) {
+        let (n, edges) = problem;
+        let spec = spec_from(n, &edges, levels, 0.5);
+
+        // Pure function of structure.
+        prop_assert_eq!(spec_fingerprint(&spec), spec_fingerprint(&spec_from(n, &edges, levels, 0.5)));
+
+        // Distinct structures hash apart (64-bit hash over tiny
+        // generated sets: a collision here means the hash ignores the
+        // mutated component, not bad luck).
+        let mut fewer = edges.clone();
+        if fewer.len() > 1 {
+            fewer.pop();
+            prop_assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&spec_from(n, &fewer, levels, 0.5)));
+        }
+        prop_assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&spec_from(n, &edges, levels + 1, 0.5)));
+        prop_assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&spec_from(n, &edges, levels, 0.5000001)));
+        prop_assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&spec_from(n + 1, &edges, levels, 0.5)));
+
+        // Key fingerprints additionally separate options, topology and
+        // (for VIC only) the calibration epoch.
+        let base = CacheKey::new(spec.clone(), CompileOptions::ic(), 7, 0);
+        prop_assert_ne!(
+            base.fingerprint(),
+            CacheKey::new(spec.clone(), CompileOptions::ip(), 7, 0).fingerprint()
+        );
+        prop_assert_ne!(
+            base.fingerprint(),
+            CacheKey::new(spec.clone(), CompileOptions::ic(), 8, 0).fingerprint()
+        );
+        // IC ignores the epoch; VIC bakes it in.
+        prop_assert_eq!(
+            base.fingerprint(),
+            CacheKey::new(spec.clone(), CompileOptions::ic(), 7, 5).fingerprint()
+        );
+        prop_assert_ne!(
+            CacheKey::new(spec.clone(), CompileOptions::vic(), 7, 0).fingerprint(),
+            CacheKey::new(spec, CompileOptions::vic(), 7, 5).fingerprint()
+        );
+    }
+}
+
+/// A calibration hot-reload must never serve a VIC artifact compiled
+/// under the previous epoch, and must leave hop-metric artifacts alone.
+#[test]
+fn epoch_bump_never_serves_stale_vic() {
+    let topo = Topology::ibmq_20_tokyo();
+    let cal_a = Calibration::random_normal(&topo, 2e-2, 8e-3, &mut StdRng::seed_from_u64(11));
+    let cal_b = Calibration::random_normal(&topo, 2e-2, 8e-3, &mut StdRng::seed_from_u64(99));
+    assert_ne!(cal_a.fingerprint(), cal_b.fingerprint());
+
+    let service = Service::new(
+        topo.clone(),
+        Some(cal_a),
+        ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = qgraph::generators::connected_erdos_renyi(12, 0.3, 1000, &mut rng).unwrap();
+    let problem = qaoa::MaxCut::without_optimum(g);
+    let spec = QaoaSpec::from_maxcut_parametric(&problem, 1, true);
+
+    let vic = Request::new(0, spec.clone(), CompileOptions::vic(), 7);
+    let ic = Request::new(0, spec.clone(), CompileOptions::ic(), 7);
+    let vic_before = service.warm(vic.clone());
+    let ic_before = service.warm(ic.clone());
+    assert_eq!(vic_before.outcome, Outcome::Miss);
+    assert_eq!(service.warm(vic.clone()).outcome, Outcome::Hit);
+
+    let invalidated = service.reload_calibration(Some(cal_b.clone()));
+    assert_eq!(invalidated, 1, "exactly the VIC entry drops");
+    assert_eq!(service.epoch(), 1);
+
+    // The VIC key re-misses and recompiles against the new epoch…
+    let vic_after = service.warm(vic);
+    assert_eq!(vic_after.outcome, Outcome::Miss);
+    let (old, new) = (
+        vic_before.result.as_ref().unwrap(),
+        vic_after.result.as_ref().unwrap(),
+    );
+    assert!(!Arc::ptr_eq(old, new), "stale artifact must not be served");
+    // …and the recompile matches a fresh compile under the new tables.
+    let fresh_context = qhw::HardwareContext::with_calibration(topo, cal_b);
+    let fresh = qcompile::try_compile_artifact_with_context(
+        &spec,
+        &fresh_context,
+        &CompileOptions::vic(),
+        &mut StdRng::seed_from_u64(7),
+    )
+    .unwrap();
+    assert_eq!(new.template().physical(), fresh.template().physical());
+
+    // The IC entry survived: same Arc, no recompile.
+    let ic_after = service.warm(ic);
+    assert_eq!(ic_after.outcome, Outcome::Hit);
+    assert!(Arc::ptr_eq(
+        ic_before.result.as_ref().unwrap(),
+        ic_after.result.as_ref().unwrap(),
+    ));
+
+    let stats = service.stats();
+    assert_eq!(stats.invalidated, 1);
+    assert_eq!(stats.epoch_bumps, 1);
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 3);
+}

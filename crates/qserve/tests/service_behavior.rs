@@ -1,0 +1,157 @@
+//! Serving-policy behavior: request coalescing, tenant fairness,
+//! overload shedding down the ladder, rejection, and negative caching
+//! of failed compiles. Every test runs with `workers: 0` and drives the
+//! queue through `drain_one`, so completion order is fully under test
+//! control and nothing here can flake on scheduling.
+
+use std::sync::Arc;
+
+use qcompile::{CompileError, CompileOptions, CphaseOp, QaoaSpec};
+use qhw::Topology;
+use qserve::{Outcome, Request, ServeError, Service, ServiceConfig};
+
+fn line_spec(n: usize, shift: usize) -> QaoaSpec {
+    let ops = (0..n - 1)
+        .map(|i| CphaseOp::new(i, i + 1, 0.4 + shift as f64 * 0.01))
+        .collect();
+    QaoaSpec::new(n, vec![(ops, 0.3)], true)
+}
+
+fn inline_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 0,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_requests_for_one_key_coalesce() {
+    let service = Service::new(Topology::grid(2, 3), None, inline_config());
+    let request = Request::new(0, line_spec(6, 0), CompileOptions::ic(), 3);
+    let first = service.submit(request.clone());
+    let second = service.submit(request);
+    assert_eq!(first.outcome(), Outcome::Miss);
+    assert_eq!(
+        second.outcome(),
+        Outcome::Hit,
+        "a request for an in-flight key is a (coalesced) hit"
+    );
+    assert!(!first.is_ready());
+
+    assert!(service.drain_one(), "exactly one compile was admitted");
+    assert!(!service.drain_one(), "coalescing queued no second job");
+
+    let (a, b) = (first.wait(), second.wait());
+    assert!(Arc::ptr_eq(
+        a.result.as_ref().unwrap(),
+        b.result.as_ref().unwrap()
+    ));
+    let stats = service.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+}
+
+#[test]
+fn tenant_backlog_cannot_starve_another_tenant() {
+    let service = Service::new(Topology::grid(2, 3), None, inline_config());
+    // Tenant 0 floods four distinct jobs, then tenant 1 submits one.
+    let flood: Vec<_> = (0..4)
+        .map(|i| service.submit(Request::new(0, line_spec(6, i), CompileOptions::ic(), 3)))
+        .collect();
+    let single = service.submit(Request::new(1, line_spec(6, 99), CompileOptions::ic(), 3));
+
+    while service.drain_one() {}
+
+    // Round-robin pop: one job of tenant 0, then tenant 1's job — the
+    // late single request is served second, not fifth.
+    let responses: Vec<_> = flood.into_iter().map(|t| t.wait()).collect();
+    let single = single.wait();
+    assert_eq!(responses[0].served_order, 1);
+    assert_eq!(single.served_order, 2, "fair queuing served tenant 1 early");
+    assert!(responses[1..].iter().all(|r| r.served_order > 2));
+}
+
+#[test]
+fn overload_sheds_down_the_ladder_then_rejects() {
+    let config = ServiceConfig {
+        workers: 0,
+        queue_capacity: 0, // every miss is overload
+        ..ServiceConfig::default()
+    };
+    let service = Service::new(Topology::grid(2, 3), None, config);
+    let spec = line_spec(6, 0);
+
+    // Warm the NAIVE rung inline (warm bypasses admission control).
+    let naive = service.warm(Request::new(0, spec.clone(), CompileOptions::naive(), 3));
+    assert_eq!(naive.outcome, Outcome::Miss);
+
+    // A VIC request cannot queue; the ladder probe VIC → IC → NAIVE
+    // finds the cached NAIVE artifact two rungs down.
+    let shed = service.call(Request::new(0, spec.clone(), CompileOptions::vic(), 3));
+    assert_eq!(shed.outcome, Outcome::Shed { rungs: 2 });
+    assert!(Arc::ptr_eq(
+        shed.result.as_ref().unwrap(),
+        naive.result.as_ref().unwrap(),
+    ));
+
+    // A different program has no cached rung anywhere: rejected.
+    let rejected = service.call(Request::new(0, line_spec(6, 5), CompileOptions::ic(), 3));
+    assert_eq!(rejected.outcome, Outcome::Rejected);
+    assert_eq!(
+        rejected.result.unwrap_err(),
+        ServeError::Overloaded {
+            queued: 0,
+            capacity: 0
+        }
+    );
+
+    let stats = service.stats();
+    assert_eq!((stats.shed, stats.rejected), (1, 1));
+}
+
+#[test]
+fn failed_compiles_are_negatively_cached() {
+    // Two disconnected components: every compile fails structurally.
+    let graph = qgraph::Graph::from_edges(4, vec![(0, 1), (2, 3)]).unwrap();
+    let topo = Topology::from_graph("split", graph);
+    let service = Service::new(topo, None, inline_config());
+
+    let request = Request::new(0, line_spec(4, 0), CompileOptions::ic(), 3);
+    let first = service.submit(request.clone());
+    assert!(service.drain_one());
+    let first = first.wait();
+    let err = first.result.unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::Compile(CompileError::DisconnectedTopology { components: 2 })
+    );
+
+    // The failure is served from cache: no new compile job.
+    let second = service.submit(request);
+    assert_eq!(second.outcome(), Outcome::Hit);
+    assert!(second.is_ready());
+    assert!(!service.drain_one());
+    assert_eq!(second.wait().result.unwrap_err(), err);
+}
+
+#[test]
+fn identical_streams_produce_identical_stats() {
+    let run = || {
+        let service = Service::new(Topology::grid(2, 3), None, inline_config());
+        for i in 0..20 {
+            let shift = i % 3;
+            let t = service.submit(Request::new(
+                i as u32,
+                line_spec(6, shift),
+                CompileOptions::ic(),
+                3,
+            ));
+            while service.drain_one() {}
+            t.wait();
+        }
+        service.stats()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b);
+    assert_eq!((a.hits, a.misses), (17, 3));
+    assert_ne!(a.sequence_fp, 0);
+}

@@ -325,6 +325,22 @@ impl Recorder {
         state.spans.entry_or_default(path).merge(ns);
     }
 
+    /// Records many completed span occurrences at `path` (durations in
+    /// nanoseconds) under a single lock acquisition — the span analogue
+    /// of [`Recorder::observe_many`]. Serving loops that collect
+    /// thousands of per-request latencies should buffer locally and
+    /// flush once instead of paying a lock round-trip per request.
+    pub fn record_spans(&self, path: &str, elapsed_ns: &[u64]) {
+        if elapsed_ns.is_empty() || !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state_shard().lock().expect("recorder lock");
+        let agg = state.spans.entry_or_default(path);
+        for &ns in elapsed_ns {
+            agg.merge(ns);
+        }
+    }
+
     /// Adds `delta` to counter `name`.
     pub fn add(&self, name: &str, delta: u64) {
         if !self.is_enabled() {
@@ -598,6 +614,34 @@ mod tests {
         assert!(m.gauges.is_empty());
         assert!(m.histograms.is_empty());
         assert!(m.events.is_empty());
+    }
+
+    #[test]
+    fn record_spans_batch_matches_per_call_recording() {
+        let one = Recorder::new();
+        one.enable();
+        for ns in [100u64, 2500, 7, 900_000] {
+            one.record_span("serve/req", Duration::from_nanos(ns));
+        }
+        let batch = Recorder::new();
+        batch.enable();
+        batch.record_spans("serve/req", &[100, 2500, 7, 900_000]);
+        batch.record_spans("serve/req", &[]); // no-op
+
+        let am = one.take_manifest("m");
+        let bm = batch.take_manifest("m");
+        let (a, b) = (&am.spans["serve/req"], &bm.spans["serve/req"]);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.total_ns, b.total_ns);
+        assert_eq!(a.min_ns, b.min_ns);
+        assert_eq!(a.max_ns, b.max_ns);
+        assert_eq!(a.p50_ns, b.p50_ns);
+        assert_eq!(a.p99_ns, b.p99_ns);
+
+        let disabled = Recorder::new();
+        disabled.record_spans("serve/req", &[1, 2, 3]);
+        disabled.enable();
+        assert!(disabled.take_manifest("m").spans.is_empty());
     }
 
     #[test]
