@@ -13,6 +13,7 @@ pub mod cli;
 pub mod quality;
 pub mod regress;
 pub mod report;
+pub mod servechaos;
 pub mod serveload;
 pub mod simbench;
 pub mod stats;

@@ -151,6 +151,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadOutcome {
             cache_capacity: keys.len().saturating_sub(cfg.cache_slack).max(1),
             queue_capacity: 4096,
             tenants: cfg.tenants,
+            ..ServiceConfig::default()
         },
     );
 

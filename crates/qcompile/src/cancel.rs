@@ -1,0 +1,82 @@
+//! Cooperative cancellation for in-flight compilations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag a caller (typically a
+//! serving layer enforcing request deadlines) can trip while a compile
+//! runs on another thread. The pipeline polls the token at every pass
+//! boundary — the same places per-pass budgets are checked — and aborts
+//! with [`CompileError::Cancelled`](crate::CompileError::Cancelled) at
+//! the first boundary after the trip. Cancellation is *cooperative*:
+//! a pass already running completes its own work before the check, so
+//! the latency to observe a cancel is bounded by one pass, never by the
+//! whole ladder.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::error::CompileError;
+
+/// A shared cancellation flag polled by the compile pipeline at pass
+/// boundaries. Clones observe the same flag; tripping it is one-way.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Every clone observes the trip; compiles polling
+    /// it abort with `CompileError::Cancelled` at their next pass
+    /// boundary. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// `Err(Cancelled)` once tripped — the pipeline's boundary check.
+    pub(crate) fn check(&self) -> Result<(), CompileError> {
+        if self.is_cancelled() {
+            Err(CompileError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The shared never-cancelled token the non-cancellable entry points
+    /// thread through the pipeline, so the hot path allocates nothing.
+    pub(crate) fn never() -> &'static CancelToken {
+        static NEVER: OnceLock<CancelToken> = OnceLock::new();
+        NEVER.get_or_init(CancelToken::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag_and_trip_once() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        assert!(!observer.is_cancelled());
+        assert!(token.check().is_ok());
+        token.cancel();
+        assert!(observer.is_cancelled());
+        assert_eq!(observer.check(), Err(CompileError::Cancelled));
+        // Idempotent.
+        observer.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn the_never_token_stays_untripped() {
+        assert!(!CancelToken::never().is_cancelled());
+    }
+}

@@ -75,6 +75,9 @@ pub enum CompileError {
     /// boundary and converted into this structured error so one poisoned
     /// job cannot abort its batch.
     Internal(String),
+    /// The caller tripped the run's [`crate::CancelToken`] (deadline
+    /// expiry, shutdown); the pipeline aborted at the next pass boundary.
+    Cancelled,
 }
 
 impl fmt::Display for CompileError {
@@ -111,6 +114,7 @@ impl fmt::Display for CompileError {
                 "parameter values do not cover the compiled template: need {expected}, got {found}"
             ),
             CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
+            CompileError::Cancelled => write!(f, "compilation cancelled by caller"),
         }
     }
 }
@@ -121,13 +125,16 @@ impl CompileError {
     /// ([`CompileError::ProgramTooLarge`], [`CompileError::ZeroPackingLimit`])
     /// and structurally unroutable targets
     /// ([`CompileError::DisconnectedTopology`]) fail every rung the same
-    /// way, so falling back would only waste the budget.
+    /// way, so falling back would only waste the budget. A cancelled run
+    /// ([`CompileError::Cancelled`]) must stop immediately — the caller
+    /// that tripped the token no longer wants *any* rung's answer.
     pub fn recoverable(&self) -> bool {
         !matches!(
             self,
             CompileError::ProgramTooLarge { .. }
                 | CompileError::ZeroPackingLimit
                 | CompileError::DisconnectedTopology { .. }
+                | CompileError::Cancelled
         )
     }
 }
@@ -193,6 +200,11 @@ mod tests {
         assert!(CompileError::MissingCalibration.recoverable());
         assert!(CompileError::BudgetExceeded { pass: "qaim" }.recoverable());
         assert!(CompileError::Internal("boom".into()).recoverable());
+        assert!(!CompileError::Cancelled.recoverable());
+        assert_eq!(
+            CompileError::Cancelled.to_string(),
+            "compilation cancelled by caller"
+        );
         assert!(!CompileError::DisconnectedTopology { components: 2 }.recoverable());
         assert!(!CompileError::ZeroPackingLimit.recoverable());
         assert!(!CompileError::ProgramTooLarge {

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cancel;
 pub mod crosstalk;
 mod error;
 pub mod explain;
@@ -57,11 +58,13 @@ pub mod reverse;
 mod trace;
 
 pub use batch::{compile_batch, default_workers, BatchJob};
+pub use cancel::CancelToken;
 pub use error::CompileError;
 pub use explain::{Explain, ExplainLayer, ExplainPass, EXPLAIN_VERSION};
 pub use pipeline::{
     compile, compile_artifact, try_compile, try_compile_artifact,
-    try_compile_artifact_with_context, try_compile_with_context, Compilation, CompileOptions,
+    try_compile_artifact_with_context, try_compile_artifact_with_context_cancellable,
+    try_compile_with_context, try_compile_with_context_cancellable, Compilation, CompileOptions,
     CompiledCircuit, InitialMapping, Resilience, FULL_VERIFY_MAX_QUBITS,
 };
 pub use program::{CompiledArtifact, CphaseOp, ProgramProfile, QaoaSpec};

@@ -20,6 +20,7 @@ use qhw::{Calibration, HardwareContext, Topology};
 use qroute::{try_route, Layout, RoutingMetric};
 use rand::{Rng, RngCore};
 
+use crate::cancel::CancelToken;
 use crate::error::CompileError;
 use crate::explain::{Explain, ExplainLayer};
 use crate::passes::{CompileContext, RoutingStage};
@@ -239,6 +240,54 @@ pub struct CompiledCircuit {
 }
 
 impl CompiledCircuit {
+    /// Reassembles a compiled circuit from externally persisted parts —
+    /// the constructor an artifact store (disk spill, warm-start
+    /// recovery) uses after deserializing what [`CompiledCircuit`]
+    /// accessors expose. The per-run [`PassTrace`] is not persisted
+    /// (wall-clock data is meaningless across restarts), so the
+    /// recovered circuit carries an empty trace and a minimal
+    /// [`Explain`] report whose `config` is `"RECOVERED"`; circuit
+    /// content, layouts, swap count and parametric-gate behavior are
+    /// identical to the original.
+    pub fn from_recovered_parts(
+        physical: Circuit,
+        basis: Circuit,
+        initial_layout: Layout,
+        final_layout: Layout,
+        swap_count: usize,
+    ) -> CompiledCircuit {
+        let trace = PassTrace::new();
+        let basis_depth = basis.depth();
+        let explain = Explain::from_parts(
+            "RECOVERED".to_owned(),
+            initial_layout.num_logical(),
+            initial_layout.num_physical(),
+            initial_layout.as_mapping().to_vec(),
+            final_layout.as_mapping().to_vec(),
+            &trace,
+            Vec::new(),
+            swap_count,
+            basis_depth,
+            basis.gate_count(),
+            basis.count_gate("cx"),
+        );
+        let parametric_gates = physical
+            .iter()
+            .chain(basis.iter())
+            .filter(|i| i.gate().is_parametric())
+            .count();
+        CompiledCircuit {
+            physical,
+            basis,
+            initial_layout,
+            final_layout,
+            swap_count,
+            parametric_gates,
+            trace: Arc::new(trace),
+            explain: Arc::new(explain),
+        }
+    }
+
     /// The hardware-compliant circuit in IR gates (Rzz/SWAP preserved).
     pub fn physical(&self) -> &Circuit {
         &self.physical
@@ -418,10 +467,29 @@ pub fn try_compile_with_context<R: Rng + ?Sized>(
     options: &CompileOptions,
     rng: &mut R,
 ) -> Result<CompiledCircuit, CompileError> {
+    try_compile_with_context_cancellable(spec, context, options, rng, CancelToken::never())
+}
+
+/// [`try_compile_with_context`] with a cooperative [`CancelToken`].
+///
+/// The pipeline polls `cancel` at every pass boundary (the same points
+/// the per-pass budgets are checked) and before each degradation-ladder
+/// rung; a tripped token aborts the run with
+/// [`CompileError::Cancelled`] without attempting further rungs. This
+/// is how a serving layer bounds a wedged or slow compile: trip the
+/// token from the admission thread and the worker returns within one
+/// pass.
+pub fn try_compile_with_context_cancellable<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    options: &CompileOptions,
+    rng: &mut R,
+    cancel: &CancelToken,
+) -> Result<CompiledCircuit, CompileError> {
     // Erase the caller's RNG type once so trait-object passes can share it.
     let mut reborrow: &mut R = rng;
     let rng: &mut dyn RngCore = &mut reborrow;
-    compile_with_ladder(spec, context, options, rng)
+    compile_with_ladder(spec, context, options, rng, cancel)
 }
 
 /// Compiles a (typically parametric) QAOA program into a reusable
@@ -465,6 +533,20 @@ pub fn try_compile_artifact_with_context<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<CompiledArtifact, CompileError> {
     let template = try_compile_with_context(spec, context, options, rng)?;
+    Ok(CompiledArtifact::new(template, spec.num_params()))
+}
+
+/// [`try_compile_artifact_with_context`] with a cooperative
+/// [`CancelToken`] — see
+/// [`try_compile_with_context_cancellable`] for the polling contract.
+pub fn try_compile_artifact_with_context_cancellable<R: Rng + ?Sized>(
+    spec: &QaoaSpec,
+    context: &HardwareContext,
+    options: &CompileOptions,
+    rng: &mut R,
+    cancel: &CancelToken,
+) -> Result<CompiledArtifact, CompileError> {
+    let template = try_compile_with_context_cancellable(spec, context, options, rng, cancel)?;
     Ok(CompiledArtifact::new(template, spec.num_params()))
 }
 
@@ -548,6 +630,7 @@ fn compile_with_ladder(
     context: &HardwareContext,
     options: &CompileOptions,
     rng: &mut dyn RngCore,
+    cancel: &CancelToken,
 ) -> Result<CompiledCircuit, CompileError> {
     if !context.is_connected() {
         return Err(CompileError::DisconnectedTopology {
@@ -559,19 +642,23 @@ fn compile_with_ladder(
     let mut steps: Vec<FallbackRecord> = Vec::new();
     let mut rung = 0usize;
     loop {
+        // A tripped token stops the ladder between rungs as well as
+        // inside them: a cancelled caller wants no rung's answer.
+        cancel.check()?;
         let opts = &rungs[rung];
         let last = rung + 1 == rungs.len();
         // Budgets are enforced wherever a lower rung remains; the final
         // rung of an enabled ladder is best-effort (a late circuit beats
         // no circuit). Without the ladder, budgets are hard errors.
         let enforce_budgets = !(allow && last);
-        let attempt = compile_once(spec, context, opts, rng, enforce_budgets).and_then(|c| {
-            if rung > 0 {
-                verify_fallback(spec, context, c)
-            } else {
-                Ok(c)
-            }
-        });
+        let attempt =
+            compile_once(spec, context, opts, rng, enforce_budgets, cancel).and_then(|c| {
+                if rung > 0 {
+                    verify_fallback(spec, context, c)
+                } else {
+                    Ok(c)
+                }
+            });
         match attempt {
             Ok(mut compiled) => {
                 if !steps.is_empty() {
@@ -618,13 +705,15 @@ fn check_pass_budget(
 }
 
 /// One compilation attempt on exactly the given configuration — no
-/// ladder, no verification; budget checks when `enforce_budgets`.
+/// ladder, no verification; budget checks when `enforce_budgets`,
+/// cancellation polled at every pass boundary.
 fn compile_once(
     spec: &QaoaSpec,
     context: &HardwareContext,
     options: &CompileOptions,
     rng: &mut dyn RngCore,
     enforce_budgets: bool,
+    cancel: &CancelToken,
 ) -> Result<CompiledCircuit, CompileError> {
     let cx = CompileContext {
         spec,
@@ -644,6 +733,7 @@ fn compile_once(
     let elapsed = pass.finish();
     trace.push(mapping_pass.name(), elapsed, 0, None);
     check_pass_budget(options, enforce_budgets, mapping_pass.name(), elapsed)?;
+    cancel.check()?;
 
     let (physical, final_layout, swap_count, layers) = match options.compilation.routing_stage() {
         RoutingStage::Full => {
@@ -656,6 +746,7 @@ fn compile_once(
             let elapsed = pass.finish();
             trace.push(ordering.name(), elapsed, 0, None);
             check_pass_budget(options, enforce_budgets, ordering.name(), elapsed)?;
+            cancel.check()?;
 
             let pass = run.child("route");
             let metric = RoutingMetric::from_context(context, false)
@@ -746,6 +837,7 @@ fn compile_once(
             }
         }
     }
+    cancel.check()?;
 
     let pass = run.child("lower-to-basis");
     let basis = to_basis(&physical, BasisSet::Ibm)

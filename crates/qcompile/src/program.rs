@@ -413,6 +413,18 @@ impl CompiledArtifact {
         }
     }
 
+    /// Rebuilds an artifact around a template recovered from persistent
+    /// storage (see [`CompiledCircuit::from_recovered_parts`]).
+    /// `num_params` must match the spec the template was compiled from;
+    /// [`CompiledArtifact::bind`] enforces it against the supplied
+    /// values exactly as for a freshly compiled artifact.
+    pub fn from_recovered_template(template: CompiledCircuit, num_params: usize) -> Self {
+        CompiledArtifact {
+            template,
+            num_params,
+        }
+    }
+
     /// The parametric compiled template (symbolic angles intact).
     pub fn template(&self) -> &CompiledCircuit {
         &self.template

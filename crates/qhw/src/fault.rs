@@ -280,6 +280,149 @@ impl FaultInjector {
     }
 }
 
+/// A service-level fault applied to one compile job by the serving
+/// layer's worker (the third injection surface, targeting the *service*
+/// rather than the device: worker crashes and wedged compiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// The worker panics mid-compile; the service must contain it,
+    /// attribute it, and eventually quarantine the offending spec.
+    WorkerPanic,
+    /// The compile stalls for this many logical ticks before finishing;
+    /// a deadline-bearing request must observe cancellation instead of
+    /// wedging the worker.
+    SlowCompile {
+        /// Stall length in the service's logical clock ticks.
+        ticks: u64,
+    },
+}
+
+impl ServiceFault {
+    /// A short stable label for reports and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceFault::WorkerPanic => "worker-panic",
+            ServiceFault::SlowCompile { .. } => "slow-compile",
+        }
+    }
+}
+
+/// How to corrupt a spilled artifact file on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillCorruption {
+    /// Truncate the file to a seeded fraction of its length — the torn
+    /// write of a crash mid-spill.
+    Truncate,
+    /// Flip one seeded bit in place — silent media corruption.
+    BitFlip,
+}
+
+/// A precomputed, seeded schedule of [`ServiceFault`]s, one slot per
+/// admitted compile job. The serving layer consults
+/// [`ServiceFaultPlane::fault_for`] with the job's admission sequence
+/// number; because the schedule is fixed at construction, the injected
+/// fault stream is a pure function of `(seed, rates)` — independent of
+/// worker count or thread schedule, which is what lets a chaos campaign
+/// gate its counters byte-exactly in CI.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceFaultPlane {
+    schedule: Vec<Option<ServiceFault>>,
+}
+
+impl ServiceFaultPlane {
+    /// Plans `jobs` slots from `seed`: each slot independently panics
+    /// with probability `panic_rate`, else stalls `stall_ticks` with
+    /// probability `stall_rate`, else is fault-free. Jobs beyond the
+    /// planned horizon are fault-free.
+    pub fn plan(
+        seed: u64,
+        jobs: usize,
+        panic_rate: f64,
+        stall_rate: f64,
+        stall_ticks: u64,
+    ) -> ServiceFaultPlane {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedule = (0..jobs)
+            .map(|_| {
+                let roll: f64 = rng.gen_range(0.0..1.0);
+                if roll < panic_rate {
+                    Some(ServiceFault::WorkerPanic)
+                } else if roll < panic_rate + stall_rate {
+                    Some(ServiceFault::SlowCompile { ticks: stall_ticks })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        ServiceFaultPlane { schedule }
+    }
+
+    /// The fault scheduled for the job with admission sequence number
+    /// `job_seq`, if any.
+    pub fn fault_for(&self, job_seq: u64) -> Option<ServiceFault> {
+        usize::try_from(job_seq)
+            .ok()
+            .and_then(|i| self.schedule.get(i).copied())
+            .flatten()
+    }
+
+    /// Number of planned slots.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether the plane schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Seeded request indices (sorted, distinct) at which a campaign
+    /// fires calibration reloads — the reload-storm schedule.
+    pub fn reload_points(seed: u64, total_requests: usize, storms: usize) -> Vec<usize> {
+        if total_requests == 0 || storms == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1f_5704_a11e_57ed);
+        let mut points: Vec<usize> = (0..total_requests).collect();
+        points.shuffle(&mut rng);
+        points.truncate(storms.min(total_requests));
+        points.sort_unstable();
+        points
+    }
+}
+
+impl FaultInjector {
+    /// Corrupts the file at `path` in place with one `kind` fault, using
+    /// the injector's seeded RNG to pick the truncation point or the
+    /// flipped bit. Returns the byte offset affected. A checksummed
+    /// spill store must detect either corruption and skip the file.
+    pub fn corrupt_spill_file(
+        &mut self,
+        path: &std::path::Path,
+        kind: SpillCorruption,
+    ) -> std::io::Result<u64> {
+        let mut bytes = std::fs::read(path)?;
+        if bytes.is_empty() {
+            return Ok(0);
+        }
+        let offset = match kind {
+            SpillCorruption::Truncate => {
+                let keep = self.rng.gen_range(0..bytes.len());
+                bytes.truncate(keep);
+                keep as u64
+            }
+            SpillCorruption::BitFlip => {
+                let at = self.rng.gen_range(0..bytes.len());
+                let bit = self.rng.gen_range(0..8u8);
+                bytes[at] ^= 1 << bit;
+                at as u64
+            }
+        };
+        std::fs::write(path, bytes)?;
+        Ok(offset)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,5 +511,65 @@ mod tests {
     fn topology_fault_on_calibration_surface_panics() {
         let (topo, cal) = base();
         let _ = FaultInjector::new(0).corrupt_calibration(&topo, &cal, FaultKind::DroppedCoupling);
+    }
+
+    #[test]
+    fn service_fault_plane_is_a_pure_function_of_its_seed() {
+        let a = ServiceFaultPlane::plan(21, 200, 0.1, 0.2, 7);
+        let b = ServiceFaultPlane::plan(21, 200, 0.1, 0.2, 7);
+        assert_eq!(a.len(), 200);
+        assert!(!a.is_empty());
+        let faults_a: Vec<_> = (0..200).map(|i| a.fault_for(i)).collect();
+        let faults_b: Vec<_> = (0..200).map(|i| b.fault_for(i)).collect();
+        assert_eq!(faults_a, faults_b);
+        // Both classes occur at these rates, stalls carry the ticks.
+        assert!(faults_a.contains(&Some(ServiceFault::WorkerPanic)));
+        assert!(faults_a.contains(&Some(ServiceFault::SlowCompile { ticks: 7 })));
+        // Beyond the horizon: fault-free.
+        assert_eq!(a.fault_for(10_000), None);
+        assert_eq!(ServiceFault::WorkerPanic.label(), "worker-panic");
+        assert_eq!(
+            ServiceFault::SlowCompile { ticks: 1 }.label(),
+            "slow-compile"
+        );
+    }
+
+    #[test]
+    fn reload_points_are_sorted_distinct_and_seeded() {
+        let a = ServiceFaultPlane::reload_points(5, 100, 8);
+        let b = ServiceFaultPlane::reload_points(5, 100, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&p| p < 100));
+        assert!(ServiceFaultPlane::reload_points(5, 0, 8).is_empty());
+        assert_eq!(ServiceFaultPlane::reload_points(5, 3, 10).len(), 3);
+    }
+
+    #[test]
+    fn spill_corruption_is_detectable_and_seeded() {
+        let dir = std::env::temp_dir().join(format!("qhw-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill.bin");
+        let payload: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
+
+        std::fs::write(&path, &payload).unwrap();
+        let off = FaultInjector::new(13)
+            .corrupt_spill_file(&path, SpillCorruption::Truncate)
+            .unwrap();
+        let truncated = std::fs::read(&path).unwrap();
+        assert_eq!(truncated.len() as u64, off);
+        assert!(truncated.len() < payload.len());
+
+        std::fs::write(&path, &payload).unwrap();
+        let off = FaultInjector::new(13)
+            .corrupt_spill_file(&path, SpillCorruption::BitFlip)
+            .unwrap();
+        let flipped = std::fs::read(&path).unwrap();
+        assert_eq!(flipped.len(), payload.len());
+        assert_ne!(flipped, payload);
+        assert_ne!(flipped[off as usize], payload[off as usize]);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,275 @@
+//! Per-tenant admission control: a token-bucket rate limiter and a
+//! circuit breaker, layered above the round-robin tenant FIFOs.
+//!
+//! Both run on the service's **logical clock** (one tick per admission,
+//! plus explicit [`crate::Service::advance`] steps), never wall time, so
+//! every open/close/refill transition is a pure function of the request
+//! stream — the property the chaos campaign's byte-identical manifests
+//! rest on. Both are consulted and updated only under the service's
+//! admission lock.
+//!
+//! The breaker watches *compile completions* (failures trip it, a
+//! success closes it); the bucket charges *admitted compiles* (cache
+//! hits are free — serving an `Arc` clone costs nothing worth
+//! protecting). An abusive tenant therefore trips open or runs dry
+//! without touching other tenants' state.
+
+/// Token-bucket policy: `capacity` tokens, one token back per
+/// `refill_ticks` logical ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketConfig {
+    /// Maximum (and initial) token count.
+    pub capacity: u64,
+    /// Logical ticks per regained token (min 1).
+    pub refill_ticks: u64,
+}
+
+impl Default for BucketConfig {
+    fn default() -> Self {
+        BucketConfig {
+            capacity: 64,
+            refill_ticks: 1,
+        }
+    }
+}
+
+/// Circuit-breaker policy. `failure_threshold: 0` disables the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive compile failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Logical ticks the breaker stays open before admitting one
+    /// half-open probe.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 8,
+            cooldown_ticks: 64,
+        }
+    }
+}
+
+/// Lazily refilled token bucket on the logical clock.
+#[derive(Debug, Clone)]
+pub(crate) struct TokenBucket {
+    config: BucketConfig,
+    tokens: u64,
+    last_refill: u64,
+}
+
+impl TokenBucket {
+    pub fn new(config: BucketConfig) -> TokenBucket {
+        TokenBucket {
+            config,
+            tokens: config.capacity,
+            last_refill: 0,
+        }
+    }
+
+    fn refill(&mut self, now: u64) {
+        let per = self.config.refill_ticks.max(1);
+        let elapsed = now.saturating_sub(self.last_refill);
+        let earned = elapsed / per;
+        if earned > 0 {
+            self.tokens = (self.tokens + earned).min(self.config.capacity);
+            self.last_refill += earned * per;
+        }
+    }
+
+    /// Takes one token at `now` if available.
+    pub fn try_take(&mut self, now: u64) -> bool {
+        self.refill(now);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal service; counts consecutive failures.
+    Closed { failures: u32 },
+    /// Tripped; misses fail fast until the cooldown elapses.
+    Open { until: u64 },
+    /// Cooldown over; exactly one probe compile is in flight.
+    HalfOpen,
+}
+
+/// Closed → Open → HalfOpen circuit breaker on the logical clock.
+#[derive(Debug, Clone)]
+pub(crate) struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+}
+
+/// What the breaker said about admitting one compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BreakerDecision {
+    /// Admit normally.
+    Admit,
+    /// Admit as the half-open probe (its completion decides the state).
+    Probe,
+    /// Fail fast; the breaker reopens in `retry_in` ticks.
+    Reject {
+        /// Ticks until the next half-open probe is allowed.
+        retry_in: u64,
+    },
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed { failures: 0 },
+        }
+    }
+
+    /// Consults the breaker for one compile admission at `now`.
+    pub fn admit(&mut self, now: u64) -> BreakerDecision {
+        if self.config.failure_threshold == 0 {
+            return BreakerDecision::Admit;
+        }
+        match self.state {
+            BreakerState::Closed { .. } => BreakerDecision::Admit,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                BreakerDecision::Probe
+            }
+            BreakerState::Open { until } => BreakerDecision::Reject {
+                retry_in: until - now,
+            },
+            // A probe is already in flight; its completion decides.
+            BreakerState::HalfOpen => BreakerDecision::Reject { retry_in: 0 },
+        }
+    }
+
+    /// Records one compile completion for this tenant at `now`. Returns
+    /// `true` when this completion tripped the breaker open.
+    pub fn record(&mut self, now: u64, success: bool) -> bool {
+        if self.config.failure_threshold == 0 {
+            return false;
+        }
+        match (&mut self.state, success) {
+            (BreakerState::Closed { .. }, true) => {
+                self.state = BreakerState::Closed { failures: 0 };
+                false
+            }
+            (BreakerState::Closed { failures }, false) => {
+                *failures += 1;
+                if *failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open {
+                        until: now + self.config.cooldown_ticks,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            (BreakerState::HalfOpen, true) => {
+                self.state = BreakerState::Closed { failures: 0 };
+                false
+            }
+            (BreakerState::HalfOpen, false) => {
+                self.state = BreakerState::Open {
+                    until: now + self.config.cooldown_ticks,
+                };
+                true
+            }
+            // A straggler completing while the breaker is open (e.g. a
+            // pre-trip job finishing late) does not move the state.
+            (BreakerState::Open { .. }, _) => false,
+        }
+    }
+
+    /// Whether the breaker is currently open (for stats snapshots).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_charges_and_refills_on_the_logical_clock() {
+        let mut bucket = TokenBucket::new(BucketConfig {
+            capacity: 2,
+            refill_ticks: 10,
+        });
+        assert!(bucket.try_take(0));
+        assert!(bucket.try_take(0));
+        assert!(!bucket.try_take(5), "empty until a refill interval passes");
+        assert!(bucket.try_take(10), "one token back after refill_ticks");
+        assert!(!bucket.try_take(19));
+        // Long idle refills to capacity, never beyond.
+        assert!(bucket.try_take(1000));
+        assert!(bucket.try_take(1000));
+        assert!(!bucket.try_take(1000));
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_recloses() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ticks: 10,
+        });
+        assert_eq!(breaker.admit(1), BreakerDecision::Admit);
+        assert!(!breaker.record(1, false));
+        assert!(breaker.record(2, false), "second failure trips it");
+        assert!(breaker.is_open());
+        assert_eq!(breaker.admit(3), BreakerDecision::Reject { retry_in: 9 });
+        // Cooldown over: exactly one probe; concurrent misses still fail.
+        assert_eq!(breaker.admit(12), BreakerDecision::Probe);
+        assert_eq!(breaker.admit(12), BreakerDecision::Reject { retry_in: 0 });
+        // Failed probe reopens; successful probe closes.
+        assert!(breaker.record(12, false));
+        assert!(breaker.is_open());
+        assert_eq!(breaker.admit(22), BreakerDecision::Probe);
+        assert!(!breaker.record(22, true));
+        assert!(!breaker.is_open());
+        assert_eq!(breaker.admit(23), BreakerDecision::Admit);
+    }
+
+    #[test]
+    fn successes_reset_the_consecutive_failure_count() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ticks: 5,
+        });
+        for t in 0..20 {
+            assert!(!breaker.record(t, t % 2 == 0), "alternation never trips");
+        }
+        assert!(!breaker.is_open());
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0,
+            cooldown_ticks: 5,
+        });
+        for t in 0..100 {
+            assert!(!breaker.record(t, false));
+            assert_eq!(breaker.admit(t), BreakerDecision::Admit);
+        }
+    }
+
+    #[test]
+    fn late_straggler_completion_cannot_close_an_open_breaker() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 100,
+        });
+        assert!(breaker.record(1, false));
+        assert!(breaker.is_open());
+        assert!(!breaker.record(2, true), "straggler success is ignored");
+        assert!(breaker.is_open());
+    }
+}

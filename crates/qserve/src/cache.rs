@@ -167,10 +167,37 @@ pub(crate) enum SlotState {
     Pending(Arc<Completion>),
     /// A finished artifact, served by `Arc` clone.
     Ready(Arc<CompiledArtifact>),
-    /// The compile failed; the error is served to later requests too
+    /// The compile failed; the error is served to later requests
     /// (negative caching keeps the outcome sequence deterministic and
-    /// stops a poisoned key from hammering the workers).
-    Failed(ServeError),
+    /// stops a poisoned key from hammering the workers) until
+    /// `expires_at`, after which the next lookup reaps the entry and the
+    /// service retries the compile with the strike count carried
+    /// forward into the next backoff window.
+    Failed {
+        /// The error served while the entry lives.
+        error: ServeError,
+        /// Logical tick past which the entry expires; `None` caches the
+        /// failure forever (non-recoverable errors).
+        expires_at: Option<u64>,
+        /// Consecutive failures of this key so far (drives backoff).
+        strikes: u32,
+    },
+}
+
+/// Three-way result of a cache probe at a logical instant.
+#[derive(Debug)]
+pub(crate) enum Lookup {
+    /// A live entry (pending, ready, or an unexpired failure).
+    Hit(SlotState),
+    /// A negative entry whose backoff TTL has lapsed: the entry has been
+    /// reaped; the caller should re-admit the compile as a miss and
+    /// carry `strikes` into the next failure's TTL.
+    ExpiredNegative {
+        /// Consecutive failures recorded before expiry.
+        strikes: u32,
+    },
+    /// No entry for this key.
+    Miss,
 }
 
 #[derive(Debug)]
@@ -216,38 +243,57 @@ impl ArtifactCache {
         self.len
     }
 
-    /// Looks up `key` in bucket `fp`, verifying full key equality, and
-    /// touches its recency on hit.
-    pub fn lookup(&mut self, fp: u64, key: &CacheKey) -> Option<SlotState> {
+    /// Probes for `key` in bucket `fp` at logical instant `now`,
+    /// verifying full key equality. A live entry is touched (recency)
+    /// and returned; a negative entry past its backoff TTL is reaped and
+    /// reported as [`Lookup::ExpiredNegative`] so the caller retries the
+    /// compile with the strike history intact.
+    pub fn lookup(&mut self, fp: u64, key: &CacheKey, now: u64) -> Lookup {
         self.tick += 1;
         let tick = self.tick;
-        let entry = self
+        let Some(entry) = self
             .buckets
-            .get_mut(&fp)?
-            .iter_mut()
-            .find(|e| e.key == *key)?;
+            .get_mut(&fp)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.key == *key))
+        else {
+            return Lookup::Miss;
+        };
+        if let SlotState::Failed {
+            expires_at: Some(expires_at),
+            strikes,
+            ..
+        } = entry.state
+        {
+            if now > expires_at {
+                self.recency.remove(&entry.last_used);
+                let id = entry.id;
+                self.remove_entry(fp, id);
+                return Lookup::ExpiredNegative { strikes };
+            }
+        }
         self.recency.remove(&entry.last_used);
         entry.last_used = tick;
-        self.recency.insert(tick, (fp, entry.id));
-        Some(entry.state.clone())
+        let id = entry.id;
+        let state = entry.state.clone();
+        self.recency.insert(tick, (fp, id));
+        Lookup::Hit(state)
     }
 
     /// Reserves a pending entry for `key` in bucket `fp`, evicting the
     /// least-recently-used entries first if at capacity. Returns the
-    /// reservation id and how many entries were evicted.
+    /// reservation id and the fingerprints of the evicted entries (the
+    /// service unlinks their disk spills).
     ///
     /// Pending entries are evictable like any other: their waiters hold
     /// the completion `Arc` directly, so eviction only forgets the cache
     /// slot, it never strands a requester.
-    pub fn reserve(&mut self, fp: u64, key: CacheKey, completion: Arc<Completion>) -> (u64, usize) {
-        let mut evicted = 0;
-        while self.len >= self.capacity {
-            let (&tick, &(victim_fp, victim_id)) =
-                self.recency.iter().next().expect("len > 0 implies recency");
-            self.recency.remove(&tick);
-            self.remove_entry(victim_fp, victim_id);
-            evicted += 1;
-        }
+    pub fn reserve(
+        &mut self,
+        fp: u64,
+        key: CacheKey,
+        completion: Arc<Completion>,
+    ) -> (u64, Vec<u64>) {
+        let evicted = self.evict_to_capacity();
         self.tick += 1;
         let id = self.next_id;
         self.next_id += 1;
@@ -262,33 +308,94 @@ impl ArtifactCache {
         (id, evicted)
     }
 
-    /// Flips the reservation `(fp, id)` to its terminal state. A no-op
-    /// when the entry was evicted (or invalidated) while the compile ran.
+    /// Inserts an already-compiled artifact (warm-start recovery),
+    /// evicting as needed. Returns the evicted fingerprints.
+    pub fn insert_ready(
+        &mut self,
+        fp: u64,
+        key: CacheKey,
+        artifact: Arc<CompiledArtifact>,
+    ) -> Vec<u64> {
+        let evicted = self.evict_to_capacity();
+        self.tick += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buckets.entry(fp).or_default().push(Entry {
+            id,
+            key,
+            state: SlotState::Ready(artifact),
+            last_used: self.tick,
+        });
+        self.recency.insert(self.tick, (fp, id));
+        self.len += 1;
+        evicted
+    }
+
+    fn evict_to_capacity(&mut self) -> Vec<u64> {
+        let mut evicted = Vec::new();
+        while self.len >= self.capacity {
+            let (&tick, &(victim_fp, victim_id)) =
+                self.recency.iter().next().expect("len > 0 implies recency");
+            self.recency.remove(&tick);
+            self.remove_entry(victim_fp, victim_id);
+            evicted.push(victim_fp);
+        }
+        evicted
+    }
+
+    /// Flips the reservation `(fp, id)` to its terminal state. Failures
+    /// become negative entries expiring at `expires_at` (`None` =
+    /// cached forever) carrying `strikes` consecutive failures for the
+    /// backoff ladder. Returns whether the entry was still live — a
+    /// no-op `false` when it was evicted (or invalidated) while the
+    /// compile ran.
     pub fn complete(
         &mut self,
         fp: u64,
         id: u64,
         result: &Result<Arc<CompiledArtifact>, ServeError>,
-    ) {
+        expires_at: Option<u64>,
+        strikes: u32,
+    ) -> bool {
         if let Some(bucket) = self.buckets.get_mut(&fp) {
             if let Some(entry) = bucket.iter_mut().find(|e| e.id == id) {
                 entry.state = match result {
                     Ok(artifact) => SlotState::Ready(Arc::clone(artifact)),
-                    Err(error) => SlotState::Failed(error.clone()),
+                    Err(error) => SlotState::Failed {
+                        error: error.clone(),
+                        expires_at,
+                        strikes,
+                    },
                 };
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Unconditionally removes the reservation `(fp, id)` and its
+    /// recency locator. Used when admission reaps an expired queued job:
+    /// a deadline lapse says nothing about the key's compilability, so
+    /// it must not leave a negative entry behind.
+    pub fn forget(&mut self, fp: u64, id: u64) {
+        if let Some(bucket) = self.buckets.get(&fp) {
+            if let Some(entry) = bucket.iter().find(|e| e.id == id) {
+                self.recency.remove(&entry.last_used);
+                self.remove_entry(fp, id);
             }
         }
     }
 
     /// Drops every entry whose key consumed calibration (the epoch-`Some`
     /// keys) — the hot-reload invalidation. Calibration-independent
-    /// artifacts are untouched. Returns how many entries were dropped.
-    pub fn invalidate_calibration_dependent(&mut self) -> usize {
-        let mut dropped = 0;
-        self.buckets.retain(|_, bucket| {
+    /// artifacts are untouched. Returns the dropped fingerprints (the
+    /// service unlinks their disk spills; the count is the stat).
+    pub fn invalidate_calibration_dependent(&mut self) -> Vec<u64> {
+        let mut dropped = Vec::new();
+        self.buckets.retain(|&fp, bucket| {
             bucket.retain(|e| {
                 if e.key.calibration_epoch.is_some() {
-                    dropped += 1;
+                    dropped.push(fp);
                     false
                 } else {
                     true
@@ -302,7 +409,7 @@ impl ArtifactCache {
                 .get(fp)
                 .is_some_and(|b| b.iter().any(|e| e.id == *id))
         });
-        self.len -= dropped;
+        self.len -= dropped.len();
         dropped
     }
 
@@ -351,6 +458,17 @@ mod tests {
         )
     }
 
+    fn hit(lookup: Lookup) -> Option<SlotState> {
+        match lookup {
+            Lookup::Hit(state) => Some(state),
+            _ => None,
+        }
+    }
+
+    fn is_miss(lookup: Lookup) -> bool {
+        matches!(lookup, Lookup::Miss)
+    }
+
     /// Two *distinct* keys forced into the same fingerprint bucket must
     /// keep their identities apart: equality verification makes a
     /// collision cost a rebuild, never a wrong artifact.
@@ -365,19 +483,19 @@ mod tests {
         let (ida, _) = cache.reserve(forced_fp, ka.clone(), Arc::default());
         let (idb, _) = cache.reserve(forced_fp, kb.clone(), Arc::default());
         let (a, b) = (dummy_artifact(0), dummy_artifact(1));
-        cache.complete(forced_fp, ida, &Ok(Arc::clone(&a)));
-        cache.complete(forced_fp, idb, &Ok(Arc::clone(&b)));
+        cache.complete(forced_fp, ida, &Ok(Arc::clone(&a)), None, 0);
+        cache.complete(forced_fp, idb, &Ok(Arc::clone(&b)), None, 0);
 
-        match cache.lookup(forced_fp, &ka) {
+        match hit(cache.lookup(forced_fp, &ka, 0)) {
             Some(SlotState::Ready(got)) => assert!(Arc::ptr_eq(&got, &a)),
             other => panic!("expected ka's artifact, got {other:?}"),
         }
-        match cache.lookup(forced_fp, &kb) {
+        match hit(cache.lookup(forced_fp, &kb, 0)) {
             Some(SlotState::Ready(got)) => assert!(Arc::ptr_eq(&got, &b)),
             other => panic!("expected kb's artifact, got {other:?}"),
         }
         // A third distinct key landing in the bucket is a clean miss.
-        assert!(cache.lookup(forced_fp, &key(&[(1, 2), (2, 3)])).is_none());
+        assert!(is_miss(cache.lookup(forced_fp, &key(&[(1, 2), (2, 3)]), 0)));
     }
 
     #[test]
@@ -387,13 +505,13 @@ mod tests {
         cache.reserve(k1.fingerprint(), k1.clone(), Arc::default());
         cache.reserve(k2.fingerprint(), k2.clone(), Arc::default());
         // Touch k1 so k2 becomes the LRU victim.
-        assert!(cache.lookup(k1.fingerprint(), &k1).is_some());
+        assert!(hit(cache.lookup(k1.fingerprint(), &k1, 0)).is_some());
         let (_, evicted) = cache.reserve(k3.fingerprint(), k3.clone(), Arc::default());
-        assert_eq!(evicted, 1);
+        assert_eq!(evicted, vec![k2.fingerprint()], "evicted fps surfaced");
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup(k2.fingerprint(), &k2).is_none(), "k2 evicted");
-        assert!(cache.lookup(k1.fingerprint(), &k1).is_some());
-        assert!(cache.lookup(k3.fingerprint(), &k3).is_some());
+        assert!(is_miss(cache.lookup(k2.fingerprint(), &k2, 0)), "k2 gone");
+        assert!(hit(cache.lookup(k1.fingerprint(), &k1, 0)).is_some());
+        assert!(hit(cache.lookup(k3.fingerprint(), &k3, 0)).is_some());
     }
 
     #[test]
@@ -402,10 +520,10 @@ mod tests {
         let (k1, k2) = (key(&[(0, 1)]), key(&[(1, 2)]));
         let (id1, _) = cache.reserve(k1.fingerprint(), k1.clone(), Arc::default());
         let (_, evicted) = cache.reserve(k2.fingerprint(), k2.clone(), Arc::default());
-        assert_eq!(evicted, 1);
+        assert_eq!(evicted.len(), 1);
         // The worker of the evicted reservation reports in late.
-        cache.complete(k1.fingerprint(), id1, &Ok(dummy_artifact(0)));
-        assert!(cache.lookup(k1.fingerprint(), &k1).is_none());
+        cache.complete(k1.fingerprint(), id1, &Ok(dummy_artifact(0)), None, 0);
+        assert!(is_miss(cache.lookup(k1.fingerprint(), &k1, 0)));
         assert_eq!(cache.len(), 1);
     }
 
@@ -418,9 +536,12 @@ mod tests {
         assert!(ic.calibration_epoch.is_none());
         cache.reserve(vic.fingerprint(), vic.clone(), Arc::default());
         cache.reserve(ic.fingerprint(), ic.clone(), Arc::default());
-        assert_eq!(cache.invalidate_calibration_dependent(), 1);
-        assert!(cache.lookup(vic.fingerprint(), &vic).is_none());
-        assert!(cache.lookup(ic.fingerprint(), &ic).is_some());
+        assert_eq!(
+            cache.invalidate_calibration_dependent(),
+            vec![vic.fingerprint()]
+        );
+        assert!(is_miss(cache.lookup(vic.fingerprint(), &vic, 0)));
+        assert!(hit(cache.lookup(ic.fingerprint(), &ic, 0)).is_some());
         // Recency bookkeeping stays consistent: filling back up evicts
         // cleanly rather than panicking on stale locators.
         for i in 0..20 {
@@ -428,5 +549,79 @@ mod tests {
             cache.reserve(k.fingerprint(), k, Arc::default());
         }
         assert!(cache.len() <= 8);
+    }
+
+    /// Satellite regression (PR 9): a negatively cached key must stop
+    /// serving its error once the backoff TTL lapses — the entry is
+    /// reaped at lookup and the strike history is handed back.
+    #[test]
+    fn negative_entries_expire_and_surface_their_strikes() {
+        let mut cache = ArtifactCache::new(8);
+        let k = key(&[(0, 1)]);
+        let fp = k.fingerprint();
+        let (id, _) = cache.reserve(fp, k.clone(), Arc::default());
+        let error = ServeError::Overloaded {
+            queued: 0,
+            capacity: 0,
+        };
+        cache.complete(fp, id, &Err(error), Some(10), 2);
+        // Live through the deadline tick itself...
+        match hit(cache.lookup(fp, &k, 10)) {
+            Some(SlotState::Failed { strikes, .. }) => assert_eq!(strikes, 2),
+            other => panic!("expected live negative entry, got {other:?}"),
+        }
+        // ...reaped one tick later, strikes carried out.
+        match cache.lookup(fp, &k, 11) {
+            Lookup::ExpiredNegative { strikes } => assert_eq!(strikes, 2),
+            other => panic!("expected expiry, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 0);
+        assert!(is_miss(cache.lookup(fp, &k, 11)), "expiry reaped it");
+
+        // `expires_at: None` (non-recoverable) never expires.
+        let (id, _) = cache.reserve(fp, k.clone(), Arc::default());
+        let error = ServeError::Overloaded {
+            queued: 1,
+            capacity: 1,
+        };
+        cache.complete(fp, id, &Err(error), None, 1);
+        assert!(hit(cache.lookup(fp, &k, u64::MAX)).is_some());
+    }
+
+    #[test]
+    fn forget_removes_the_reservation_and_its_recency() {
+        let mut cache = ArtifactCache::new(2);
+        let (k1, k2) = (key(&[(0, 1)]), key(&[(1, 2)]));
+        let (id1, _) = cache.reserve(k1.fingerprint(), k1.clone(), Arc::default());
+        cache.reserve(k2.fingerprint(), k2.clone(), Arc::default());
+        cache.forget(k1.fingerprint(), id1);
+        assert_eq!(cache.len(), 1);
+        assert!(is_miss(cache.lookup(k1.fingerprint(), &k1, 0)));
+        // The recency locator went with it: churning past capacity keeps
+        // the books straight instead of panicking on a stale locator.
+        for i in 0..10 {
+            let k = key(&[(0, 1), (i % 3, 3 - i % 3)]);
+            cache.reserve(k.fingerprint(), k, Arc::default());
+        }
+        assert!(cache.len() <= 2);
+        // Forgetting a second time (or an unknown id) is a no-op.
+        cache.forget(k1.fingerprint(), id1);
+    }
+
+    #[test]
+    fn insert_ready_serves_immediately_and_respects_capacity() {
+        let mut cache = ArtifactCache::new(1);
+        let (k1, k2) = (key(&[(0, 1)]), key(&[(1, 2)]));
+        let a = dummy_artifact(0);
+        assert!(cache
+            .insert_ready(k1.fingerprint(), k1.clone(), Arc::clone(&a))
+            .is_empty());
+        match hit(cache.lookup(k1.fingerprint(), &k1, 0)) {
+            Some(SlotState::Ready(got)) => assert!(Arc::ptr_eq(&got, &a)),
+            other => panic!("expected recovered artifact, got {other:?}"),
+        }
+        let evicted = cache.insert_ready(k2.fingerprint(), k2.clone(), dummy_artifact(1));
+        assert_eq!(evicted, vec![k1.fingerprint()]);
+        assert_eq!(cache.len(), 1);
     }
 }

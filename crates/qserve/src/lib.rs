@@ -51,10 +51,15 @@
 //! ));
 //! ```
 
+mod breaker;
 mod cache;
+mod deadline;
 mod service;
+mod spill;
 
+pub use breaker::{BreakerConfig, BucketConfig};
 pub use cache::{spec_fingerprint, CacheKey};
+pub use deadline::{BackoffConfig, QuarantineReason};
 pub use service::{
     Outcome, Request, Response, ServeError, Service, ServiceConfig, ServiceStats, Ticket,
 };

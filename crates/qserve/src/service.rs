@@ -1,15 +1,34 @@
 //! The compile service: admission, per-tenant fair queuing, worker
-//! pool, overload shedding and calibration hot-reload.
+//! pool, overload shedding, fault tolerance and calibration hot-reload.
 //!
 //! ## Admission-time determinism
 //!
-//! `submit` classifies every request — hit, miss, shed or reject —
-//! under one lock, in arrival order, before any worker touches it.
-//! Workers never make cache decisions; they compile the job admission
-//! reserved and fill its completion slot. The outcome sequence (and
-//! every `qserve/*` counter) is therefore a pure function of the
-//! request stream, whatever the worker count — the property the CI
-//! manifest gate and the cross-worker determinism proptest pin.
+//! `submit` classifies every request — hit, miss, shed, reject, or a
+//! fail-fast (quarantine / breaker / throttle) — under one lock, in
+//! arrival order, before any worker touches it. Workers never make
+//! cache decisions; they compile the job admission reserved and fill
+//! its completion slot. The outcome sequence (and every `qserve/*`
+//! counter) is therefore a pure function of the request stream,
+//! whatever the worker count — the property the CI manifest gate and
+//! the cross-worker determinism proptest pin.
+//!
+//! Failure-driven state (negative-cache TTLs, quarantine strikes,
+//! breaker trips) transitions at compile *completion*. For submitters
+//! that wait for each response before the next submit (the chaos
+//! campaign's discipline), those transitions interleave with admissions
+//! in one deterministic order, so even the fault-plane counters gate
+//! byte-identical across worker counts.
+//!
+//! ## The logical clock
+//!
+//! Deadlines, negative-cache backoff, breaker cooldowns and token
+//! buckets all run on a logical `u64` tick count: +1 per admission,
+//! plus explicit [`Service::advance`] steps. Wall time never feeds a
+//! policy decision. Every clock movement sweeps the deadline plane:
+//! expired queued jobs are reaped before dispatch (their waiters get
+//! [`ServeError::DeadlineExceeded`]), and expired in-flight compiles
+//! have their [`qcompile::CancelToken`] tripped so the pipeline aborts
+//! at its next pass boundary.
 //!
 //! ## Fairness and overload
 //!
@@ -19,22 +38,52 @@
 //! [`CompileOptions::ladder`] looking for an already-cached cheaper
 //! rung (VIC → IC → NAIVE) to serve instead — degraded service beats no
 //! service — and only rejects with [`ServeError::Overloaded`] when no
-//! rung is cached.
+//! rung holds a servable (non-failed) entry.
+//!
+//! ## Fault tolerance
+//!
+//! - **Retry with backoff** — a failed compile is negatively cached
+//!   with a seeded, jittered exponential TTL ([`BackoffConfig`]); once
+//!   it lapses the next request retries the compile, carrying the
+//!   strike count into the next window. Non-recoverable program errors
+//!   cache forever (retrying cannot fix an invalid spec).
+//! - **Poison-pill quarantine** — a spec fingerprint whose compiles
+//!   panic or blow their deadline `quarantine_threshold` times is
+//!   quarantined: all further requests for that *program* (any option
+//!   set) fail fast with [`ServeError::Quarantined`] until
+//!   [`Service::release_quarantine`].
+//! - **Per-tenant circuit breaker + token bucket** — consecutive
+//!   compile failures trip a tenant's breaker open
+//!   ([`ServeError::CircuitOpen`] until the cooldown admits a single
+//!   probe); an optional bucket bounds a tenant's compile admission
+//!   rate ([`ServeError::Throttled`]). Cache hits bypass both: serving
+//!   an `Arc` clone needs no protection.
+//! - **Crash-safe warm start** — with [`ServiceConfig::spill_dir`] set,
+//!   every compiled artifact is spilled to disk content-addressed by
+//!   its cache fingerprint; a restarted service recovers every
+//!   checksum-verified entry and drops stale-epoch VIC spills exactly
+//!   like a hot reload would (see [`crate::spill`]).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qcompile::{
-    try_compile_artifact_with_context, CompileError, CompileOptions, CompiledArtifact, QaoaSpec,
+    try_compile_artifact_with_context_cancellable, CancelToken, CompileError, CompileOptions,
+    CompiledArtifact, QaoaSpec,
 };
+use qhw::fault::{ServiceFault, ServiceFaultPlane};
 use qhw::{Calibration, HardwareContext, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cache::{ArtifactCache, CacheKey, Completion, SlotState};
+use crate::breaker::{BreakerConfig, BreakerDecision, BucketConfig, CircuitBreaker, TokenBucket};
+use crate::cache::{spec_fingerprint, ArtifactCache, CacheKey, Completion, Lookup, SlotState};
+use crate::deadline::{BackoffConfig, InflightDeadlines, PoisonLedger, QuarantineReason};
+use crate::spill::SpillStore;
 
 /// Why the service could not produce an artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +98,37 @@ pub enum ServeError {
     /// The compile itself failed (shared verbatim with every request
     /// coalesced onto the same cache entry).
     Compile(CompileError),
+    /// The request's deadline lapsed before a worker finished it: either
+    /// reaped from the queue, or cancelled in flight at a pass boundary.
+    DeadlineExceeded {
+        /// The absolute logical-tick deadline that lapsed.
+        deadline: u64,
+        /// The logical clock when the service gave up on it.
+        now: u64,
+    },
+    /// The program is quarantined: its compiles crashed or timed out
+    /// repeatedly, so the service fails fast instead of re-detonating a
+    /// worker. [`Service::release_quarantine`] lifts it.
+    Quarantined {
+        /// [`spec_fingerprint`] of the quarantined program.
+        spec_fp: u64,
+        /// What the program did to earn it.
+        reason: QuarantineReason,
+    },
+    /// The tenant's circuit breaker is open after repeated compile
+    /// failures; misses fail fast until the cooldown admits a probe.
+    CircuitOpen {
+        /// The tenant whose breaker is open.
+        tenant: u32,
+        /// Logical ticks until the next half-open probe is admitted.
+        retry_in: u64,
+    },
+    /// The tenant's token bucket is empty: its compile admission rate
+    /// exceeded the configured budget.
+    Throttled {
+        /// The tenant that ran dry.
+        tenant: u32,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -58,6 +138,21 @@ impl std::fmt::Display for ServeError {
                 write!(f, "service overloaded ({queued}/{capacity} jobs queued)")
             }
             ServeError::Compile(e) => write!(f, "compile failed: {e}"),
+            ServeError::DeadlineExceeded { deadline, now } => {
+                write!(f, "deadline exceeded (deadline tick {deadline}, now {now})")
+            }
+            ServeError::Quarantined { spec_fp, reason } => write!(
+                f,
+                "spec {spec_fp:#018x} is quarantined ({})",
+                reason.label()
+            ),
+            ServeError::CircuitOpen { tenant, retry_in } => write!(
+                f,
+                "tenant {tenant} circuit breaker open (next probe in {retry_in} ticks)"
+            ),
+            ServeError::Throttled { tenant } => {
+                write!(f, "tenant {tenant} throttled (token bucket empty)")
+            }
         }
     }
 }
@@ -67,8 +162,8 @@ impl std::error::Error for ServeError {}
 /// How admission classified a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
-    /// Served from the cache (ready, or coalesced onto an in-flight
-    /// compile of the same key).
+    /// Served from the cache (ready, coalesced onto an in-flight compile
+    /// of the same key, or a live negative entry).
     Hit,
     /// Admitted for compilation.
     Miss,
@@ -80,6 +175,12 @@ pub enum Outcome {
     },
     /// Queue full and no ladder rung was cached.
     Rejected,
+    /// Failed fast: the program is quarantined.
+    Quarantined,
+    /// Failed fast: the tenant's circuit breaker is open.
+    BreakerOpen,
+    /// Failed fast: the tenant's token bucket is empty.
+    Throttled,
 }
 
 /// One compile request.
@@ -97,17 +198,29 @@ pub struct Request {
     /// coalesced requests is ignored — key identity deliberately excludes
     /// the seed.
     pub seed: u64,
+    /// Deadline in logical ticks **relative to admission**; `None`
+    /// waits forever. On a miss, the compile must finish within this
+    /// many clock movements or its waiters get
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline: Option<u64>,
 }
 
 impl Request {
-    /// Builds a request.
+    /// Builds a request with no deadline.
     pub fn new(tenant: u32, spec: QaoaSpec, options: CompileOptions, seed: u64) -> Request {
         Request {
             tenant,
             spec,
             options,
             seed,
+            deadline: None,
         }
+    }
+
+    /// Attaches a deadline `ticks` logical clock steps after admission.
+    pub fn with_deadline(mut self, ticks: u64) -> Request {
+        self.deadline = Some(ticks);
+        self
     }
 }
 
@@ -125,9 +238,9 @@ pub struct Response {
     pub latency: Duration,
 }
 
-/// A submitted request: already resolved (hit / shed / reject) or
-/// pending on an in-flight compile. Borrows the service, so tickets
-/// cannot outlive it.
+/// A submitted request: already resolved (hit / shed / reject /
+/// fail-fast) or pending on an in-flight compile. Borrows the service,
+/// so tickets cannot outlive it.
 pub struct Ticket<'a> {
     _service: &'a Service,
     state: TicketState,
@@ -189,7 +302,7 @@ impl Ticket<'_> {
 }
 
 /// Service sizing and policy.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads compiling queued jobs. `0` is valid and means no
     /// background compilation: jobs queue until [`Service::drain_one`]
@@ -202,6 +315,24 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Number of tenant FIFOs (min 1); request tenants map in modulo.
     pub tenants: usize,
+    /// Panics/timeouts of one spec fingerprint before it is quarantined
+    /// (0 disables quarantine).
+    pub quarantine_threshold: u32,
+    /// Negative-cache TTL policy for failed compiles.
+    pub backoff: BackoffConfig,
+    /// Per-tenant circuit-breaker policy (`failure_threshold: 0`
+    /// disables it).
+    pub breaker: BreakerConfig,
+    /// Per-tenant compile-admission token bucket; `None` = unlimited.
+    pub bucket: Option<BucketConfig>,
+    /// Directory for crash-safe artifact spill; `None` disables
+    /// persistence. A restarted service pointed at the same directory
+    /// warm-starts from every verifiable spilled artifact.
+    pub spill_dir: Option<PathBuf>,
+    /// Seeded fault-injection schedule for chaos testing; faults key on
+    /// the compile admission sequence number, so the injected behavior
+    /// is independent of worker count.
+    pub fault_plane: Option<Arc<ServiceFaultPlane>>,
 }
 
 impl Default for ServiceConfig {
@@ -211,6 +342,12 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             queue_capacity: 4096,
             tenants: 4,
+            quarantine_threshold: 3,
+            backoff: BackoffConfig::default(),
+            breaker: BreakerConfig::default(),
+            bucket: None,
+            spill_dir: None,
+            fault_plane: None,
         }
     }
 }
@@ -221,7 +358,7 @@ impl Default for ServiceConfig {
 pub struct ServiceStats {
     /// Requests admitted (including warm calls).
     pub requests: u64,
-    /// Cache hits (ready or coalesced).
+    /// Cache hits (ready, coalesced, or live negative).
     pub hits: u64,
     /// Admitted compiles.
     pub misses: u64,
@@ -245,14 +382,53 @@ pub struct ServiceStats {
     /// `(key fingerprint, classification)` — two runs with identical
     /// values served identical sequences.
     pub sequence_fp: u64,
+    /// Queued jobs reaped because their deadline lapsed before dispatch.
+    pub deadline_reaped: u64,
+    /// In-flight compiles cancelled by a deadline sweep.
+    pub cancelled: u64,
+    /// Negative-cache entries that lapsed and were reaped at lookup
+    /// (each one re-admits the compile — the retry count).
+    pub negative_expired: u64,
+    /// Requests failed fast because their program is quarantined.
+    pub quarantine_rejects: u64,
+    /// Programs currently quarantined.
+    pub quarantined_specs: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_trips: u64,
+    /// Requests failed fast on an open breaker.
+    pub breaker_rejects: u64,
+    /// Tenant breakers currently open (snapshot).
+    pub breakers_open: u64,
+    /// Requests failed fast on an empty token bucket.
+    pub throttled: u64,
+    /// Artifacts spilled to disk.
+    pub spill_saved: u64,
+    /// Artifacts recovered from disk at startup.
+    pub spill_recovered: u64,
+    /// Spill files rejected at recovery (checksum/parse/fingerprint).
+    pub spill_corrupt: u64,
+    /// Spill files dropped at recovery as stale (epoch or topology).
+    pub spill_stale: u64,
+    /// The logical clock (admissions + explicit advances).
+    pub now_tick: u64,
 }
 
 struct Job {
     fp: u64,
     id: u64,
-    spec: QaoaSpec,
-    options: CompileOptions,
+    key: CacheKey,
+    spec_fp: u64,
+    tenant: u32,
     seed: u64,
+    /// Absolute logical-tick deadline, if any.
+    deadline: Option<u64>,
+    admit_tick: u64,
+    /// Compile admission ordinal — the fault plane's key.
+    fault_seq: u64,
+    /// Consecutive prior failures of this key (from an expired negative
+    /// entry); the next failure's backoff builds on it.
+    strikes: u32,
+    token: CancelToken,
     context: Arc<HardwareContext>,
     completion: Arc<Completion>,
 }
@@ -267,12 +443,22 @@ struct Inner {
     topology_fp: u64,
     stats: ServiceStats,
     shutdown: bool,
+    /// The logical clock: +1 per admission plus explicit advances.
+    now: u64,
+    backoff: BackoffConfig,
+    inflight: InflightDeadlines,
+    poison: PoisonLedger,
+    breakers: Vec<CircuitBreaker>,
+    buckets: Option<Vec<TokenBucket>>,
+    next_fault_seq: u64,
 }
 
 struct Shared {
     inner: Mutex<Inner>,
     work: Condvar,
     served: AtomicU64,
+    spill: Option<SpillStore>,
+    fault_plane: Option<Arc<ServiceFaultPlane>>,
 }
 
 /// The in-process compile service. See the crate docs for the example
@@ -285,30 +471,93 @@ pub struct Service {
 
 impl Service {
     /// Starts a service for one hardware target, spawning
-    /// [`ServiceConfig::workers`] compile threads.
+    /// [`ServiceConfig::workers`] compile threads. With
+    /// [`ServiceConfig::spill_dir`] set, warm-starts from every
+    /// verifiable spilled artifact: entries are checksum- and
+    /// fingerprint-verified before they serve, and VIC spills from a
+    /// different calibration (per the spill directory's epoch sidecar)
+    /// are dropped as stale.
     pub fn new(
         topology: Topology,
         calibration: Option<Calibration>,
         config: ServiceConfig,
     ) -> Self {
         let topology_fp = topology.fingerprint();
+        let calibration_fp = calibration.as_ref().map(Calibration::fingerprint);
         let context = Arc::new(HardwareContext::from_parts(topology, calibration));
         let tenants = config.tenants.max(1);
+        let q = qtrace::global();
+
+        // Warm-start recovery before the service goes live.
+        let mut cache = ArtifactCache::new(config.cache_capacity);
+        let mut stats = ServiceStats::default();
+        let mut epoch = 0;
+        let spill = config.spill_dir.clone().and_then(|dir| {
+            let store = SpillStore::new(dir).ok()?;
+            // VIC spills are only trusted when the sidecar proves the
+            // calibration is the one they were compiled against.
+            let vic_epoch = match store.read_meta() {
+                Some((saved, saved_cal)) if saved_cal == calibration_fp => {
+                    epoch = saved;
+                    Some(saved)
+                }
+                Some((saved, _)) => {
+                    epoch = saved + 1;
+                    None
+                }
+                None => None,
+            };
+            let report = store.recover(topology_fp, vic_epoch);
+            for (fp, key, artifact) in report.entries {
+                for victim in cache.insert_ready(fp, key, artifact) {
+                    store.unlink(victim);
+                    stats.evictions += 1;
+                }
+                stats.spill_recovered += 1;
+            }
+            stats.spill_corrupt = report.corrupt;
+            stats.spill_stale = report.stale;
+            if stats.spill_recovered > 0 {
+                q.add("qserve/spill/recovered", stats.spill_recovered);
+            }
+            if report.corrupt > 0 {
+                q.add("qserve/spill/corrupt", report.corrupt);
+            }
+            if report.stale > 0 {
+                q.add("qserve/spill/stale", report.stale);
+            }
+            let _ = store.write_meta(epoch, calibration_fp);
+            Some(store)
+        });
+
         let inner = Inner {
-            cache: ArtifactCache::new(config.cache_capacity),
+            cache,
             queues: (0..tenants).map(|_| Default::default()).collect(),
             queued: 0,
             rr_cursor: 0,
             context,
-            epoch: 0,
+            epoch,
             topology_fp,
-            stats: ServiceStats::default(),
+            stats,
             shutdown: false,
+            now: 0,
+            backoff: config.backoff,
+            inflight: InflightDeadlines::default(),
+            poison: PoisonLedger::new(config.quarantine_threshold),
+            breakers: (0..tenants)
+                .map(|_| CircuitBreaker::new(config.breaker))
+                .collect(),
+            buckets: config
+                .bucket
+                .map(|b| (0..tenants).map(|_| TokenBucket::new(b)).collect()),
+            next_fault_seq: 0,
         };
         let shared = Arc::new(Shared {
             inner: Mutex::new(inner),
             work: Condvar::new(),
             served: AtomicU64::new(0),
+            spill,
+            fault_plane: config.fault_plane.clone(),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -327,7 +576,8 @@ impl Service {
     }
 
     /// Submits a request, classifying it immediately; the returned
-    /// ticket is resolved for hits/sheds/rejects and pending for misses.
+    /// ticket is resolved for hits/sheds/rejects/fail-fasts and pending
+    /// for misses.
     pub fn submit(&self, request: Request) -> Ticket<'_> {
         self.admit(request, AdmitMode::Queue)
     }
@@ -338,16 +588,32 @@ impl Service {
     }
 
     /// Like [`Service::call`], but a miss compiles inline on the calling
-    /// thread, bypassing the queue and its capacity (so it can never
-    /// shed or reject). Deterministic cache warming uses this.
+    /// thread, bypassing the queue, its capacity, and the fail-fast
+    /// admission gates (so it can never shed, reject, or be throttled).
+    /// Deterministic cache warming uses this.
     pub fn warm(&self, request: Request) -> Response {
         self.admit(request, AdmitMode::Inline).wait()
+    }
+
+    /// Advances the logical clock by `ticks` and sweeps the deadline
+    /// plane: queued jobs past their deadline are reaped (waiters get
+    /// [`ServeError::DeadlineExceeded`]) and expired in-flight compiles
+    /// are cancelled at their next pass boundary. Admissions advance
+    /// the clock by one implicitly; tests and long-poll loops advance
+    /// it explicitly.
+    pub fn advance(&self, ticks: u64) {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.now += ticks;
+        sweep_deadlines(&mut inner, &self.shared.served);
     }
 
     fn admit(&self, request: Request, mode: AdmitMode) -> Ticket<'_> {
         let submitted = Instant::now();
         let q = qtrace::global();
         let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.now += 1;
+        sweep_deadlines(&mut inner, &self.shared.served);
+        let now = inner.now;
         inner.stats.requests += 1;
         q.add("qserve/requests", 1);
 
@@ -358,62 +624,127 @@ impl Service {
             inner.epoch,
         );
         let fp = key.fingerprint();
-        if let Some(state) = inner.cache.lookup(fp, &key) {
-            inner.stats.hits += 1;
-            inner.note(fp, 2);
-            q.add("qserve/cache/hits", 1);
-            return self.resolve(state, Outcome::Hit, submitted);
+        let mut strikes = 0;
+        match inner.cache.lookup(fp, &key, now) {
+            Lookup::Hit(state) => {
+                inner.stats.hits += 1;
+                inner.note(fp, 2);
+                q.add("qserve/cache/hits", 1);
+                return self.resolve(state, Outcome::Hit, submitted);
+            }
+            Lookup::ExpiredNegative { strikes: prior } => {
+                // The backoff window lapsed: retry the compile, but keep
+                // the failure history so the next TTL keeps growing.
+                strikes = prior;
+                inner.stats.negative_expired += 1;
+                q.add("qserve/negative/expired", 1);
+            }
+            Lookup::Miss => {}
         }
 
-        if matches!(mode, AdmitMode::Queue) && inner.queued >= self.config.queue_capacity {
-            // Shed: serve any cached cheaper rung before rejecting.
-            for (steps, rung) in key.options.ladder().into_iter().enumerate().skip(1) {
-                let alt = CacheKey::new(key.spec.clone(), rung, inner.topology_fp, inner.epoch);
-                let alt_fp = alt.fingerprint();
-                if let Some(state) = inner.cache.lookup(alt_fp, &alt) {
-                    inner.stats.shed += 1;
-                    inner.note(alt_fp, 3);
-                    q.add("qserve/shed", 1);
-                    let outcome = Outcome::Shed { rungs: steps as u8 };
-                    return self.resolve(state, outcome, submitted);
+        let spec_fp = spec_fingerprint(&key.spec);
+        let tenant_idx = request.tenant as usize % inner.queues.len();
+        if matches!(mode, AdmitMode::Queue) {
+            // Fail-fast gates, cheapest reason first. Cache hits never
+            // reach them: a cached artifact is safe to serve no matter
+            // how sick the program's compiles are.
+            if let Some(reason) = inner.poison.quarantined(spec_fp) {
+                inner.stats.quarantine_rejects += 1;
+                inner.note(fp, 5);
+                q.add("qserve/quarantine/rejects", 1);
+                let error = ServeError::Quarantined { spec_fp, reason };
+                return self.reject_now(error, Outcome::Quarantined, submitted);
+            }
+            match inner.breakers[tenant_idx].admit(now) {
+                BreakerDecision::Admit | BreakerDecision::Probe => {}
+                BreakerDecision::Reject { retry_in } => {
+                    inner.stats.breaker_rejects += 1;
+                    inner.note(fp, 6);
+                    q.add("qserve/breaker/rejects", 1);
+                    let error = ServeError::CircuitOpen {
+                        tenant: request.tenant,
+                        retry_in,
+                    };
+                    return self.reject_now(error, Outcome::BreakerOpen, submitted);
                 }
             }
-            inner.stats.rejected += 1;
-            inner.note(fp, 4);
-            q.add("qserve/rejected", 1);
-            let error = ServeError::Overloaded {
-                queued: inner.queued,
-                capacity: self.config.queue_capacity,
-            };
-            let served_order = self.shared.served.fetch_add(1, Ordering::SeqCst) + 1;
-            return Ticket {
-                _service: self,
-                state: TicketState::Ready(Response {
-                    result: Err(error),
-                    outcome: Outcome::Rejected,
-                    served_order,
-                    latency: submitted.elapsed(),
-                }),
-            };
+            if let Some(buckets) = inner.buckets.as_mut() {
+                if !buckets[tenant_idx].try_take(now) {
+                    inner.stats.throttled += 1;
+                    inner.note(fp, 7);
+                    q.add("qserve/throttled", 1);
+                    let error = ServeError::Throttled {
+                        tenant: request.tenant,
+                    };
+                    return self.reject_now(error, Outcome::Throttled, submitted);
+                }
+            }
+
+            if inner.queued >= self.config.queue_capacity {
+                // Shed: serve a cached cheaper rung before rejecting. A
+                // negatively cached rung is no substitute — serving one
+                // key's error for another key's request helps nobody —
+                // so the probe skips failed entries.
+                for (steps, rung) in key.options.ladder().into_iter().enumerate().skip(1) {
+                    let alt = CacheKey::new(key.spec.clone(), rung, inner.topology_fp, inner.epoch);
+                    let alt_fp = alt.fingerprint();
+                    match inner.cache.lookup(alt_fp, &alt, now) {
+                        Lookup::Hit(SlotState::Failed { .. }) => continue,
+                        Lookup::Hit(state) => {
+                            inner.stats.shed += 1;
+                            inner.note(alt_fp, 3);
+                            q.add("qserve/shed", 1);
+                            let outcome = Outcome::Shed { rungs: steps as u8 };
+                            return self.resolve(state, outcome, submitted);
+                        }
+                        Lookup::ExpiredNegative { .. } => {
+                            inner.stats.negative_expired += 1;
+                            q.add("qserve/negative/expired", 1);
+                        }
+                        Lookup::Miss => {}
+                    }
+                }
+                inner.stats.rejected += 1;
+                inner.note(fp, 4);
+                q.add("qserve/rejected", 1);
+                let error = ServeError::Overloaded {
+                    queued: inner.queued,
+                    capacity: self.config.queue_capacity,
+                };
+                return self.reject_now(error, Outcome::Rejected, submitted);
+            }
         }
 
         inner.stats.misses += 1;
         inner.note(fp, 1);
         q.add("qserve/cache/misses", 1);
         let completion = Arc::new(Completion::default());
-        let job_spec = key.spec.clone();
-        let options = key.options;
-        let (id, evicted) = inner.cache.reserve(fp, key, Arc::clone(&completion));
-        if evicted > 0 {
-            inner.stats.evictions += evicted as u64;
-            q.add("qserve/cache/evictions", evicted as u64);
+        let (id, evicted) = inner
+            .cache
+            .reserve(fp, key.clone(), Arc::clone(&completion));
+        if !evicted.is_empty() {
+            inner.stats.evictions += evicted.len() as u64;
+            q.add("qserve/cache/evictions", evicted.len() as u64);
+            if let Some(store) = &self.shared.spill {
+                for victim in evicted {
+                    store.unlink(victim);
+                }
+            }
         }
+        let fault_seq = inner.next_fault_seq;
+        inner.next_fault_seq += 1;
         let job = Job {
             fp,
             id,
-            spec: job_spec,
-            options,
+            key,
+            spec_fp,
+            tenant: request.tenant,
             seed: request.seed,
+            deadline: request.deadline.map(|d| now + d),
+            admit_tick: now,
+            fault_seq,
+            strikes,
+            token: CancelToken::new(),
             context: Arc::clone(&inner.context),
             completion: Arc::clone(&completion),
         };
@@ -427,8 +758,7 @@ impl Service {
         };
         match mode {
             AdmitMode::Queue => {
-                let queue = request.tenant as usize % inner.queues.len();
-                inner.queues[queue].push_back(job);
+                inner.queues[tenant_idx].push_back(job);
                 inner.queued += 1;
                 drop(inner);
                 self.shared.work.notify_one();
@@ -439,6 +769,20 @@ impl Service {
             }
         }
         ticket
+    }
+
+    /// A pre-resolved failure ticket (reject or fail-fast).
+    fn reject_now(&self, error: ServeError, outcome: Outcome, submitted: Instant) -> Ticket<'_> {
+        let served_order = self.shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+        Ticket {
+            _service: self,
+            state: TicketState::Ready(Response {
+                result: Err(error),
+                outcome,
+                served_order,
+                latency: submitted.elapsed(),
+            }),
+        }
     }
 
     fn resolve(&self, state: SlotState, outcome: Outcome, submitted: Instant) -> Ticket<'_> {
@@ -452,7 +796,7 @@ impl Service {
                     latency: submitted.elapsed(),
                 })
             }
-            SlotState::Failed(error) => {
+            SlotState::Failed { error, .. } => {
                 let served_order = self.shared.served.fetch_add(1, Ordering::SeqCst) + 1;
                 TicketState::Ready(Response {
                     result: Err(error),
@@ -475,26 +819,43 @@ impl Service {
 
     /// Swaps in a new calibration table (or removes it), bumps the
     /// epoch, and invalidates exactly the cached entries that consumed
-    /// calibration. In-flight compiles of invalidated keys complete
-    /// against the context their requesters saw at admission — their
-    /// waiters get the pre-reload artifact they asked for — but the
-    /// cache forgets them, so post-reload requests always recompile.
-    /// Returns the number of invalidated entries.
+    /// calibration — including their disk spills, so a later restart
+    /// cannot resurrect a stale-epoch VIC artifact. In-flight compiles
+    /// of invalidated keys complete against the context their
+    /// requesters saw at admission — their waiters get the pre-reload
+    /// artifact they asked for — but the cache forgets them, so
+    /// post-reload requests always recompile. Returns the number of
+    /// invalidated entries.
     pub fn reload_calibration(&self, calibration: Option<Calibration>) -> usize {
+        let calibration_fp = calibration.as_ref().map(Calibration::fingerprint);
         let mut inner = self.shared.inner.lock().expect("service lock");
         let topology = inner.context.topology().clone();
         inner.context = Arc::new(HardwareContext::from_parts(topology, calibration));
         inner.epoch += 1;
         inner.stats.epoch_bumps += 1;
         let dropped = inner.cache.invalidate_calibration_dependent();
-        inner.stats.invalidated += dropped as u64;
+        inner.stats.invalidated += dropped.len() as u64;
         let q = qtrace::global();
         q.add("qserve/epoch_bumps", 1);
-        q.add("qserve/cache/invalidated", dropped as u64);
-        dropped
+        q.add("qserve/cache/invalidated", dropped.len() as u64);
+        if let Some(store) = &self.shared.spill {
+            for victim in &dropped {
+                store.unlink(*victim);
+            }
+            let _ = store.write_meta(inner.epoch, calibration_fp);
+        }
+        dropped.len()
     }
 
-    /// The current calibration epoch (starts at 0, +1 per reload).
+    /// Lifts the quarantine of `spec_fp` (and clears its strikes), e.g.
+    /// after a compiler fix ships. Returns whether it was quarantined.
+    pub fn release_quarantine(&self, spec_fp: u64) -> bool {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.poison.release(spec_fp)
+    }
+
+    /// The current calibration epoch (starts at 0 or the recovered
+    /// spill epoch, +1 per reload).
     pub fn epoch(&self) -> u64 {
         self.shared.inner.lock().expect("service lock").epoch
     }
@@ -506,6 +867,9 @@ impl Service {
         stats.epoch = inner.epoch;
         stats.cached_entries = inner.cache.len();
         stats.queued = inner.queued;
+        stats.quarantined_specs = inner.poison.len() as u64;
+        stats.breakers_open = inner.breakers.iter().filter(|b| b.is_open()).count() as u64;
+        stats.now_tick = inner.now;
         stats
     }
 
@@ -533,13 +897,18 @@ impl Service {
     /// [`ServiceStats::sequence_fp`] — manifest numbers must stay
     /// exactly representable as f64 (`qtrace::json` rejects integers
     /// beyond 2^53 on read-back), and the fold preserves sensitivity to
-    /// every admission in the sequence.
+    /// every admission in the sequence. Fault-plane gauges are emitted
+    /// only when nonzero, so fault-free manifests are byte-identical to
+    /// pre-fault-plane baselines.
     pub fn flush_telemetry(&self) {
         let inner = self.shared.inner.lock().expect("service lock");
         let fp = inner.stats.sequence_fp;
         let q = qtrace::global();
         q.gauge_max("qserve/cache/sequence_fp", (fp >> 32) ^ (fp & 0xffff_ffff));
         q.gauge_max("qserve/cache/entries", inner.cache.len() as u64);
+        if inner.poison.len() > 0 {
+            q.gauge_max("qserve/quarantine/entries", inner.poison.len() as u64);
+        }
     }
 }
 
@@ -571,8 +940,52 @@ impl Inner {
     }
 }
 
+/// Sweeps the deadline plane at the current clock: reaps expired queued
+/// jobs (their waiters get [`ServeError::DeadlineExceeded`], their
+/// reservations are forgotten — a deadline lapse is not a negative
+/// verdict on the key) and cancels expired in-flight compiles. Runs
+/// under the admission lock on every clock movement.
+fn sweep_deadlines(inner: &mut Inner, served: &AtomicU64) {
+    let now = inner.now;
+    let mut reaped: Vec<Job> = Vec::new();
+    for queue in &mut inner.queues {
+        for _ in 0..queue.len() {
+            let job = queue.pop_front().expect("iterating queue.len() items");
+            if job.deadline.is_some_and(|d| now > d) {
+                reaped.push(job);
+            } else {
+                queue.push_back(job);
+            }
+        }
+    }
+    if !reaped.is_empty() {
+        inner.queued -= reaped.len();
+        inner.stats.deadline_reaped += reaped.len() as u64;
+        qtrace::global().add("qserve/deadline/reaped", reaped.len() as u64);
+        for job in reaped {
+            inner.cache.forget(job.fp, job.id);
+            let error = ServeError::DeadlineExceeded {
+                deadline: job.deadline.expect("reaped implies a deadline"),
+                now,
+            };
+            let served_order = served.fetch_add(1, Ordering::SeqCst) + 1;
+            let mut slot = job.completion.slot.lock().expect("completion lock");
+            *slot = Some((Err(error), served_order, Instant::now()));
+            drop(slot);
+            job.completion.ready.notify_all();
+        }
+    }
+    let cancelled = inner.inflight.sweep(now);
+    if cancelled > 0 {
+        inner.stats.cancelled += cancelled;
+        qtrace::global().add("qserve/deadline/cancelled", cancelled);
+    }
+}
+
 /// Round-robin pop across tenant queues, resuming after the last-served
-/// tenant so a busy tenant cannot starve the others.
+/// tenant so a busy tenant cannot starve the others. Dispatched
+/// deadline-bearing jobs are registered with the in-flight sweep so a
+/// later clock movement can cancel them mid-compile.
 fn pop_job(inner: &mut Inner) -> Option<Job> {
     let tenants = inner.queues.len();
     for offset in 0..tenants {
@@ -580,6 +993,9 @@ fn pop_job(inner: &mut Inner) -> Option<Job> {
         if let Some(job) = inner.queues[idx].pop_front() {
             inner.rr_cursor = (idx + 1) % tenants;
             inner.queued -= 1;
+            if let Some(deadline) = job.deadline {
+                inner.inflight.register(job.id, deadline, job.token.clone());
+            }
             return Some(job);
         }
     }
@@ -610,20 +1026,132 @@ fn worker_loop(shared: &Shared) {
 /// Compiles one reserved job and publishes the result: cache state
 /// first (so later admissions see `Ready`/`Failed` directly), then the
 /// completion slot for the waiters. Panics are contained exactly like
-/// `qcompile::compile_batch` does it.
+/// `qcompile::compile_batch` does it; injected service faults (worker
+/// panics, virtual stalls) detonate here, keyed by the job's compile
+/// admission ordinal.
 fn execute(shared: &Shared, job: Job) {
-    let attempt = catch_unwind(AssertUnwindSafe(|| {
-        let mut rng = StdRng::seed_from_u64(job.seed);
-        try_compile_artifact_with_context(&job.spec, &job.context, &job.options, &mut rng)
-    }))
-    .unwrap_or_else(|_| Err(CompileError::Internal("compile worker panicked".to_owned())));
-    let result: Result<Arc<CompiledArtifact>, ServeError> =
-        attempt.map(Arc::new).map_err(ServeError::Compile);
-    let served_order = shared.served.fetch_add(1, Ordering::SeqCst) + 1;
-    {
-        let mut inner = shared.inner.lock().expect("service lock");
-        inner.cache.complete(job.fp, job.id, &result);
+    let fault = shared
+        .fault_plane
+        .as_ref()
+        .and_then(|plane| plane.fault_for(job.fault_seq));
+    if let Some(ServiceFault::SlowCompile { ticks }) = fault {
+        // A virtual stall: if losing `ticks` to it would blow the
+        // job's deadline, the compile is cancelled exactly as a real
+        // sweep would — no wall-clock sleeping, so the campaign stays
+        // fast and deterministic.
+        if job
+            .deadline
+            .is_some_and(|deadline| job.admit_tick + ticks > deadline)
+        {
+            job.token.cancel();
+        }
     }
+    let inject_panic = matches!(fault, Some(ServiceFault::WorkerPanic));
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected worker panic (fault plane)");
+        }
+        let mut rng = StdRng::seed_from_u64(job.seed);
+        try_compile_artifact_with_context_cancellable(
+            &job.key.spec,
+            &job.context,
+            &job.key.options,
+            &mut rng,
+            &job.token,
+        )
+    }));
+    let panicked = attempt.is_err();
+    let attempt = attempt.unwrap_or_else(|_| {
+        Err(CompileError::Internal(format!(
+            "compile worker panicked (spec {:#018x}, tenant {})",
+            job.spec_fp, job.tenant
+        )))
+    });
+    let timed_out = matches!(attempt, Err(CompileError::Cancelled));
+    let deadline_error = timed_out.then_some(job.deadline).flatten();
+    let result: Result<Arc<CompiledArtifact>, ServeError> = match attempt {
+        Ok(artifact) => Ok(Arc::new(artifact)),
+        // A deadline cancellation surfaces as the service-level error,
+        // not a compiler internal.
+        Err(CompileError::Cancelled) if deadline_error.is_some() => {
+            Err(ServeError::DeadlineExceeded {
+                deadline: deadline_error.expect("guarded by is_some"),
+                now: 0, // patched to the completion tick under the lock
+            })
+        }
+        Err(e) => Err(ServeError::Compile(e)),
+    };
+    // Spill before publishing: recovery independently verifies bytes,
+    // so an orphaned file (entry evicted mid-compile) is harmless and
+    // unlinked below.
+    let mut spilled = false;
+    if let (Ok(artifact), Some(store)) = (&result, &shared.spill) {
+        spilled = store.save(job.fp, &job.key, artifact).is_ok();
+    }
+    let served_order = shared.served.fetch_add(1, Ordering::SeqCst) + 1;
+    let result = {
+        let mut inner = shared.inner.lock().expect("service lock");
+        let now = inner.now;
+        let q = qtrace::global();
+        inner.inflight.complete(job.id);
+        // Patch the completion tick into a deadline error.
+        let result = match result {
+            Err(ServeError::DeadlineExceeded { deadline, .. }) => {
+                Err(ServeError::DeadlineExceeded { deadline, now })
+            }
+            other => other,
+        };
+        // Negative-cache policy: failures that retrying can plausibly
+        // fix (recoverable errors, timeouts, panics) get a backoff TTL;
+        // structurally invalid programs are cached forever.
+        let (expires_at, strikes) = match &result {
+            Ok(_) => (None, 0),
+            Err(error) => {
+                let strikes = job.strikes + 1;
+                let retryable = panicked
+                    || timed_out
+                    || matches!(
+                        error,
+                        ServeError::Compile(e) if e.recoverable()
+                    );
+                let expires_at = retryable.then(|| now + inner.backoff.ttl(job.fp, strikes));
+                (expires_at, strikes)
+            }
+        };
+        let live = inner
+            .cache
+            .complete(job.fp, job.id, &result, expires_at, strikes);
+        if spilled {
+            if live && result.is_ok() {
+                inner.stats.spill_saved += 1;
+                q.add("qserve/spill/saved", 1);
+            } else if let Some(store) = &shared.spill {
+                // The entry was evicted or invalidated mid-compile; its
+                // spill must not survive it.
+                store.unlink(job.fp);
+            }
+        }
+        // Poison ledger: panics and deadline timeouts strike the
+        // *program*; enough of them quarantine it under every option
+        // set.
+        let verdict = if panicked {
+            inner.poison.strike_panic(job.spec_fp)
+        } else if timed_out {
+            inner.poison.strike_timeout(job.spec_fp)
+        } else {
+            None
+        };
+        if verdict.is_some() {
+            q.add("qserve/quarantine/new", 1);
+        }
+        // The tenant's breaker watches every compile completion.
+        let tenant_idx = job.tenant as usize % inner.breakers.len();
+        if inner.breakers[tenant_idx].record(now, result.is_ok()) {
+            inner.stats.breaker_trips += 1;
+            q.add("qserve/breaker/trips", 1);
+        }
+        result
+    };
     let resolved_at = Instant::now();
     let mut slot = job.completion.slot.lock().expect("completion lock");
     *slot = Some((result, served_order, resolved_at));

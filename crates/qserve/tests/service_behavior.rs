@@ -134,6 +134,62 @@ fn failed_compiles_are_negatively_cached() {
 }
 
 #[test]
+fn coalesced_waiters_receive_the_leaders_failure() {
+    // Two disconnected components: the leader's compile fails.
+    let graph = qgraph::Graph::from_edges(4, vec![(0, 1), (2, 3)]).unwrap();
+    let topo = Topology::from_graph("split", graph);
+    let service = Service::new(topo, None, inline_config());
+
+    let request = Request::new(0, line_spec(4, 0), CompileOptions::ic(), 3);
+    let leader = service.submit(request.clone());
+    let waiter = service.submit(request);
+    assert_eq!(waiter.outcome(), Outcome::Hit, "second request coalesces");
+    assert!(!waiter.is_ready(), "the waiter blocks on the leader's job");
+
+    assert!(service.drain_one());
+    let expected = ServeError::Compile(CompileError::DisconnectedTopology { components: 2 });
+    assert_eq!(leader.wait().result.unwrap_err(), expected);
+    assert_eq!(
+        waiter.wait().result.unwrap_err(),
+        expected,
+        "the coalesced waiter receives the leader's structured error, not a hang"
+    );
+}
+
+#[test]
+fn shed_probe_skips_negatively_cached_rungs() {
+    let graph = qgraph::Graph::from_edges(4, vec![(0, 1), (2, 3)]).unwrap();
+    let topo = Topology::from_graph("split", graph);
+    let config = ServiceConfig {
+        workers: 0,
+        queue_capacity: 0, // every miss is overload
+        ..ServiceConfig::default()
+    };
+    let service = Service::new(topo, None, config);
+    let spec = line_spec(4, 0);
+
+    // Negative-cache the NAIVE rung: its compile fails structurally.
+    let naive = service.warm(Request::new(0, spec.clone(), CompileOptions::naive(), 3));
+    assert!(naive.result.is_err());
+
+    // Queue full: the VIC probe walks VIC → IC → NAIVE and finds only
+    // the failed NAIVE entry. Serving one key's cached error for
+    // another key's request helps nobody — the probe must skip it and
+    // reject, not report a shed "hit".
+    let response = service.call(Request::new(0, spec, CompileOptions::vic(), 3));
+    assert_eq!(response.outcome, Outcome::Rejected);
+    assert!(matches!(
+        response.result.unwrap_err(),
+        ServeError::Overloaded { .. }
+    ));
+    assert_eq!(
+        service.stats().shed,
+        0,
+        "a failed rung is not a shed target"
+    );
+}
+
+#[test]
 fn identical_streams_produce_identical_stats() {
     let run = || {
         let service = Service::new(Topology::grid(2, 3), None, inline_config());
