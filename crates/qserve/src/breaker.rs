@@ -149,6 +149,20 @@ impl CircuitBreaker {
         }
     }
 
+    /// Returns an unused half-open probe slot. The admission that
+    /// consumed the probe never dispatched a compile (a later gate
+    /// rejected it, served it from a shed rung, or the queued job was
+    /// deadline-reaped before a worker took it), so no completion will
+    /// ever [`CircuitBreaker::record`] the probe's verdict. Without
+    /// this, `HalfOpen` — which only exits via `record` — would reject
+    /// the tenant's misses forever. Re-opening with `until: now` makes
+    /// the very next admission eligible to probe again.
+    pub fn abort_probe(&mut self, now: u64) {
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Open { until: now };
+        }
+    }
+
     /// Records one compile completion for this tenant at `now`. Returns
     /// `true` when this completion tripped the breaker open.
     pub fn record(&mut self, now: u64, success: bool) -> bool {
@@ -235,6 +249,26 @@ mod tests {
         assert!(!breaker.record(22, true));
         assert!(!breaker.is_open());
         assert_eq!(breaker.admit(23), BreakerDecision::Admit);
+    }
+
+    #[test]
+    fn aborted_probe_returns_the_slot_instead_of_wedging_half_open() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 10,
+        });
+        assert!(breaker.record(1, false));
+        assert_eq!(breaker.admit(11), BreakerDecision::Probe);
+        // The probe's request was rejected by a later gate: no compile
+        // will ever record a verdict, so the slot must come back.
+        breaker.abort_probe(11);
+        assert_eq!(breaker.admit(11), BreakerDecision::Probe);
+        // A dispatched probe's completion still decides normally.
+        assert!(!breaker.record(12, true));
+        assert_eq!(breaker.admit(13), BreakerDecision::Admit);
+        // Aborting when no probe is outstanding is a no-op.
+        breaker.abort_probe(13);
+        assert_eq!(breaker.admit(13), BreakerDecision::Admit);
     }
 
     #[test]

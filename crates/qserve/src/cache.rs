@@ -279,6 +279,31 @@ impl ArtifactCache {
         Lookup::Hit(state)
     }
 
+    /// Shed-ladder probe: returns a live, servable entry for `key`
+    /// (ready or pending — a shed request can coalesce onto an
+    /// in-flight compile), touching its recency. Failed entries are
+    /// `None` whether their TTL lapsed or not, and an expired negative
+    /// entry is **not** reaped: reaping here would discard the strike
+    /// history [`Lookup::ExpiredNegative`] exists to carry forward, so
+    /// the entry is left for the rung's own next admission to reap.
+    pub fn probe_servable(&mut self, fp: u64, key: &CacheKey) -> Option<SlotState> {
+        let entry = self
+            .buckets
+            .get_mut(&fp)?
+            .iter_mut()
+            .find(|e| e.key == *key)?;
+        if matches!(entry.state, SlotState::Failed { .. }) {
+            return None;
+        }
+        self.tick += 1;
+        self.recency.remove(&entry.last_used);
+        entry.last_used = self.tick;
+        let id = entry.id;
+        let state = entry.state.clone();
+        self.recency.insert(self.tick, (fp, id));
+        Some(state)
+    }
+
     /// Reserves a pending entry for `key` in bucket `fp`, evicting the
     /// least-recently-used entries first if at capacity. Returns the
     /// reservation id and the fingerprints of the evicted entries (the
@@ -586,6 +611,46 @@ mod tests {
         };
         cache.complete(fp, id, &Err(error), None, 1);
         assert!(hit(cache.lookup(fp, &k, u64::MAX)).is_some());
+    }
+
+    /// The shed-ladder probe is read-only with respect to failure
+    /// state: it must neither serve a failed rung nor reap an expired
+    /// negative entry (reaping would lose the strike history the rung's
+    /// own next admission carries into its backoff TTL).
+    #[test]
+    fn probe_servable_skips_failures_and_preserves_expired_strikes() {
+        let mut cache = ArtifactCache::new(8);
+        let k = key(&[(0, 1)]);
+        let fp = k.fingerprint();
+        let (id, _) = cache.reserve(fp, k.clone(), Arc::default());
+        let error = ServeError::Overloaded {
+            queued: 0,
+            capacity: 0,
+        };
+        cache.complete(fp, id, &Err(error), Some(10), 3);
+
+        // Live or expired, a failed entry is never a shed target…
+        assert!(cache.probe_servable(fp, &k).is_none(), "live negative");
+        assert!(hit(cache.lookup(fp, &k, 10)).is_some());
+        // (now 11 > expires_at 10: the negative entry has lapsed)
+        assert!(cache.probe_servable(fp, &k).is_none(), "expired negative");
+
+        // …and the probe left the entry in place: the key's own next
+        // lookup still reaps it with the full strike count.
+        match cache.lookup(fp, &k, 11) {
+            Lookup::ExpiredNegative { strikes } => assert_eq!(strikes, 3),
+            other => panic!("expected expiry with strikes intact, got {other:?}"),
+        }
+
+        // A ready entry probes servable (and a missing key is None).
+        let k2 = key(&[(1, 2)]);
+        let (id2, _) = cache.reserve(k2.fingerprint(), k2.clone(), Arc::default());
+        cache.complete(k2.fingerprint(), id2, &Ok(dummy_artifact(0)), None, 0);
+        assert!(matches!(
+            cache.probe_servable(k2.fingerprint(), &k2),
+            Some(SlotState::Ready(_))
+        ));
+        assert!(cache.probe_servable(fp, &k).is_none(), "reaped above");
     }
 
     #[test]

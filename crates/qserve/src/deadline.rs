@@ -59,18 +59,21 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Why a spec fingerprint was quarantined.
+/// Why a spec fingerprint was quarantined. The variant names the
+/// category of the strike that crossed the threshold; `strikes` is the
+/// **combined** panic + timeout count, because that combined count is
+/// what trips quarantine — reporting only one category would
+/// under-count a mixed history in telemetry and error messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuarantineReason {
-    /// Its compiles panicked the worker `strikes` times.
+    /// The final strike was a worker panic.
     Panicked {
-        /// Panics observed before quarantine.
+        /// Total strikes (panics + timeouts) at quarantine.
         strikes: u32,
     },
-    /// Its compiles blew their deadline (cancelled in flight) `strikes`
-    /// times.
+    /// The final strike was a blown deadline (cancelled in flight).
     TimedOut {
-        /// Timeouts observed before quarantine.
+        /// Total strikes (panics + timeouts) at quarantine.
         strikes: u32,
     },
 }
@@ -133,7 +136,9 @@ impl PoisonLedger {
         let s = self.strikes.entry(spec_fp).or_default();
         s.panics += 1;
         if s.panics + s.timeouts >= self.threshold {
-            let reason = QuarantineReason::Panicked { strikes: s.panics };
+            let reason = QuarantineReason::Panicked {
+                strikes: s.panics + s.timeouts,
+            };
             self.quarantined.insert(spec_fp, reason);
             Some(reason)
         } else {
@@ -151,7 +156,7 @@ impl PoisonLedger {
         s.timeouts += 1;
         if s.panics + s.timeouts >= self.threshold {
             let reason = QuarantineReason::TimedOut {
-                strikes: s.timeouts,
+                strikes: s.panics + s.timeouts,
             };
             self.quarantined.insert(spec_fp, reason);
             Some(reason)
@@ -245,7 +250,9 @@ mod tests {
         assert_eq!(ledger.strike_panic(7), None);
         assert_eq!(ledger.strike_timeout(7), None);
         let verdict = ledger.strike_panic(7);
-        assert_eq!(verdict, Some(QuarantineReason::Panicked { strikes: 2 }));
+        // Quarantine trips on the combined count, so the reason reports
+        // it too: 2 panics + 1 timeout, categorized by the final strike.
+        assert_eq!(verdict, Some(QuarantineReason::Panicked { strikes: 3 }));
         assert_eq!(ledger.quarantined(7), verdict);
         assert_eq!(ledger.len(), 1);
         // Further strikes on a quarantined spec are no-ops.

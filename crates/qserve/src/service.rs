@@ -428,6 +428,11 @@ struct Job {
     /// Consecutive prior failures of this key (from an expired negative
     /// entry); the next failure's backoff builds on it.
     strikes: u32,
+    /// This job is its tenant's half-open breaker probe. If it is
+    /// reaped from the queue before dispatch, the probe slot must be
+    /// returned ([`CircuitBreaker::abort_probe`]); a dispatched probe's
+    /// completion decides the breaker instead.
+    probe: bool,
     token: CancelToken,
     context: Arc<HardwareContext>,
     completion: Arc<Completion>,
@@ -644,10 +649,18 @@ impl Service {
 
         let spec_fp = spec_fingerprint(&key.spec);
         let tenant_idx = request.tenant as usize % inner.queues.len();
+        let mut probe = false;
         if matches!(mode, AdmitMode::Queue) {
-            // Fail-fast gates, cheapest reason first. Cache hits never
-            // reach them: a cached artifact is safe to serve no matter
-            // how sick the program's compiles are.
+            // Fail-fast gates. Cache hits never reach them: a cached
+            // artifact is safe to serve no matter how sick the
+            // program's compiles are. The order matters twice over: the
+            // token bucket comes last so only a request that actually
+            // queues a compile pays a token, and every exit past the
+            // breaker returns a consumed half-open probe slot
+            // (`abort_probe`) — a probe admission that is then shed,
+            // rejected or throttled dispatches no compile, and without
+            // the abort no completion would ever move the breaker out
+            // of half-open again.
             if let Some(reason) = inner.poison.quarantined(spec_fp) {
                 inner.stats.quarantine_rejects += 1;
                 inner.note(fp, 5);
@@ -656,7 +669,8 @@ impl Service {
                 return self.reject_now(error, Outcome::Quarantined, submitted);
             }
             match inner.breakers[tenant_idx].admit(now) {
-                BreakerDecision::Admit | BreakerDecision::Probe => {}
+                BreakerDecision::Admit => {}
+                BreakerDecision::Probe => probe = true,
                 BreakerDecision::Reject { retry_in } => {
                     inner.stats.breaker_rejects += 1;
                     inner.note(fp, 6);
@@ -668,50 +682,53 @@ impl Service {
                     return self.reject_now(error, Outcome::BreakerOpen, submitted);
                 }
             }
-            if let Some(buckets) = inner.buckets.as_mut() {
-                if !buckets[tenant_idx].try_take(now) {
-                    inner.stats.throttled += 1;
-                    inner.note(fp, 7);
-                    q.add("qserve/throttled", 1);
-                    let error = ServeError::Throttled {
-                        tenant: request.tenant,
-                    };
-                    return self.reject_now(error, Outcome::Throttled, submitted);
-                }
-            }
 
             if inner.queued >= self.config.queue_capacity {
                 // Shed: serve a cached cheaper rung before rejecting. A
                 // negatively cached rung is no substitute — serving one
                 // key's error for another key's request helps nobody —
-                // so the probe skips failed entries.
+                // and the probe is read-only: an expired negative rung
+                // keeps its strike history for its own next admission
+                // (see [`ArtifactCache::probe_servable`]).
                 for (steps, rung) in key.options.ladder().into_iter().enumerate().skip(1) {
                     let alt = CacheKey::new(key.spec.clone(), rung, inner.topology_fp, inner.epoch);
                     let alt_fp = alt.fingerprint();
-                    match inner.cache.lookup(alt_fp, &alt, now) {
-                        Lookup::Hit(SlotState::Failed { .. }) => continue,
-                        Lookup::Hit(state) => {
-                            inner.stats.shed += 1;
-                            inner.note(alt_fp, 3);
-                            q.add("qserve/shed", 1);
-                            let outcome = Outcome::Shed { rungs: steps as u8 };
-                            return self.resolve(state, outcome, submitted);
+                    if let Some(state) = inner.cache.probe_servable(alt_fp, &alt) {
+                        inner.stats.shed += 1;
+                        inner.note(alt_fp, 3);
+                        q.add("qserve/shed", 1);
+                        if probe {
+                            inner.breakers[tenant_idx].abort_probe(now);
                         }
-                        Lookup::ExpiredNegative { .. } => {
-                            inner.stats.negative_expired += 1;
-                            q.add("qserve/negative/expired", 1);
-                        }
-                        Lookup::Miss => {}
+                        let outcome = Outcome::Shed { rungs: steps as u8 };
+                        return self.resolve(state, outcome, submitted);
                     }
                 }
                 inner.stats.rejected += 1;
                 inner.note(fp, 4);
                 q.add("qserve/rejected", 1);
+                if probe {
+                    inner.breakers[tenant_idx].abort_probe(now);
+                }
                 let error = ServeError::Overloaded {
                     queued: inner.queued,
                     capacity: self.config.queue_capacity,
                 };
                 return self.reject_now(error, Outcome::Rejected, submitted);
+            }
+            if let Some(buckets) = inner.buckets.as_mut() {
+                if !buckets[tenant_idx].try_take(now) {
+                    inner.stats.throttled += 1;
+                    inner.note(fp, 7);
+                    q.add("qserve/throttled", 1);
+                    if probe {
+                        inner.breakers[tenant_idx].abort_probe(now);
+                    }
+                    let error = ServeError::Throttled {
+                        tenant: request.tenant,
+                    };
+                    return self.reject_now(error, Outcome::Throttled, submitted);
+                }
             }
         }
 
@@ -744,6 +761,7 @@ impl Service {
             admit_tick: now,
             fault_seq,
             strikes,
+            probe,
             token: CancelToken::new(),
             context: Arc::clone(&inner.context),
             completion: Arc::clone(&completion),
@@ -964,6 +982,13 @@ fn sweep_deadlines(inner: &mut Inner, served: &AtomicU64) {
         qtrace::global().add("qserve/deadline/reaped", reaped.len() as u64);
         for job in reaped {
             inner.cache.forget(job.fp, job.id);
+            if job.probe {
+                // The probe never reached a worker, so no completion
+                // will decide it: return the slot instead of leaving
+                // the tenant's breaker wedged in half-open.
+                let tenant_idx = job.tenant as usize % inner.breakers.len();
+                inner.breakers[tenant_idx].abort_probe(now);
+            }
             let error = ServeError::DeadlineExceeded {
                 deadline: job.deadline.expect("reaped implies a deadline"),
                 now,

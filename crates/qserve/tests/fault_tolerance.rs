@@ -234,6 +234,120 @@ fn breaker_trips_on_one_tenant_and_spares_the_others() {
     assert_eq!(stats.breaker_rejects, 1);
 }
 
+/// A half-open probe admission that a *later* gate rejects dispatches
+/// no compile, so no completion can ever resolve the half-open state —
+/// the probe slot must be returned, or the tenant's compile path fails
+/// fast forever (a permanent lockout triggered exactly under the
+/// overload that tripped the breaker).
+#[test]
+fn throttled_probe_returns_the_breaker_slot() {
+    let config = ServiceConfig {
+        quarantine_threshold: 0, // isolate the breaker
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 4,
+        },
+        bucket: Some(BucketConfig {
+            capacity: 1,
+            refill_ticks: 8,
+        }),
+        fault_plane: Some(plane(16, 1.0, 0.0, 0)),
+        ..inline_config()
+    };
+    let service = Service::new(Topology::grid(2, 3), None, config);
+    let request = |shift: usize| Request::new(0, line_spec(6, shift), CompileOptions::ic(), 3);
+
+    // One failure trips the breaker; the miss also spent the token.
+    let ticket = service.submit(request(0));
+    assert!(service.drain_one());
+    assert!(ticket.wait().result.is_err());
+
+    // Cooldown over, but the bucket is dry: the probe admission is
+    // throttled before it can queue.
+    service.advance(5);
+    let throttled = service.call(request(1));
+    assert_eq!(throttled.outcome, Outcome::Throttled);
+
+    // The probe slot came back: once a token refills, the next miss is
+    // admitted as the probe instead of failing fast forever.
+    service.advance(2); // past the 8-tick refill interval
+    let probe = service.submit(request(2));
+    assert_eq!(
+        probe.outcome(),
+        Outcome::Miss,
+        "the throttled probe was aborted, not leaked"
+    );
+    assert!(service.drain_one());
+    assert!(probe.wait().result.is_err(), "the probe compile still fails");
+}
+
+/// Same leak through the deadline plane: a queued probe reaped before
+/// dispatch never completes, so the reap must return the probe slot.
+#[test]
+fn deadline_reaped_probe_returns_the_breaker_slot() {
+    let config = ServiceConfig {
+        quarantine_threshold: 0,
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 4,
+        },
+        fault_plane: Some(plane(16, 1.0, 0.0, 0)),
+        ..inline_config()
+    };
+    let service = Service::new(Topology::grid(2, 3), None, config);
+    let request = |shift: usize| Request::new(0, line_spec(6, shift), CompileOptions::ic(), 3);
+
+    let ticket = service.submit(request(0));
+    assert!(service.drain_one());
+    assert!(ticket.wait().result.is_err(), "one failure trips the breaker");
+
+    // The probe queues with a deadline and nothing dequeues it
+    // (workers: 0): the sweep reaps it before any worker reports.
+    service.advance(5);
+    let reaped = service.submit(request(1).with_deadline(2));
+    assert_eq!(reaped.outcome(), Outcome::Miss, "probe admitted");
+    service.advance(5);
+    assert!(matches!(
+        reaped.wait().result.unwrap_err(),
+        ServeError::DeadlineExceeded { .. }
+    ));
+
+    // The reap returned the slot: the next miss probes again.
+    let probe = service.submit(request(2));
+    assert_eq!(
+        probe.outcome(),
+        Outcome::Miss,
+        "the reaped probe was aborted, not leaked"
+    );
+}
+
+/// The token bucket charges compiles that actually queue: a request
+/// rejected under overload must not drain the tenant's budget (or a
+/// tenant would pay tokens for rejections all through an overload and
+/// then be throttled once capacity frees up).
+#[test]
+fn overload_rejection_does_not_charge_the_bucket() {
+    let config = ServiceConfig {
+        queue_capacity: 0, // every miss is overload
+        bucket: Some(BucketConfig {
+            capacity: 1,
+            refill_ticks: 1_000,
+        }),
+        ..inline_config()
+    };
+    let service = Service::new(Topology::grid(2, 3), None, config);
+    let request = |shift: usize| Request::new(0, line_spec(6, shift), CompileOptions::ic(), 3);
+
+    // Both rejections surface as Overloaded — with the token charged
+    // first, the second would burn the budget and report Throttled.
+    for shift in 0..2 {
+        let rejected = service.call(request(shift));
+        assert_eq!(rejected.outcome, Outcome::Rejected);
+    }
+    let stats = service.stats();
+    assert_eq!((stats.rejected, stats.throttled), (2, 0));
+}
+
 #[test]
 fn token_bucket_charges_misses_only_and_refills_on_the_clock() {
     let config = ServiceConfig {

@@ -7,8 +7,9 @@
 use std::sync::Arc;
 
 use qcompile::{CompileError, CompileOptions, CphaseOp, QaoaSpec};
+use qhw::fault::ServiceFaultPlane;
 use qhw::Topology;
-use qserve::{Outcome, Request, ServeError, Service, ServiceConfig};
+use qserve::{BackoffConfig, Outcome, Request, ServeError, Service, ServiceConfig};
 
 fn line_spec(n: usize, shift: usize) -> QaoaSpec {
     let ops = (0..n - 1)
@@ -187,6 +188,48 @@ fn shed_probe_skips_negatively_cached_rungs() {
         0,
         "a failed rung is not a shed target"
     );
+}
+
+/// The shed probe is read-only over failure state: walking the ladder
+/// past an *expired* negative rung must not reap it (and must not count
+/// a retry) — the rung's strike history belongs to its own next
+/// admission, which carries it into the next backoff TTL.
+#[test]
+fn shed_probe_leaves_expired_negative_rungs_unreaped() {
+    let config = ServiceConfig {
+        workers: 0,
+        queue_capacity: 0, // every miss is overload
+        backoff: BackoffConfig {
+            base_ticks: 4,
+            max_ticks: 64,
+            ..BackoffConfig::default()
+        },
+        // Exactly the first compile panics: the NAIVE rung's failure is
+        // retryable, so it negative-caches with a backoff TTL.
+        fault_plane: Some(Arc::new(ServiceFaultPlane::plan(7, 1, 1.0, 0.0, 0))),
+        ..ServiceConfig::default()
+    };
+    let service = Service::new(Topology::grid(2, 3), None, config);
+    let spec = line_spec(6, 0);
+
+    let naive = service.warm(Request::new(0, spec.clone(), CompileOptions::naive(), 3));
+    assert!(naive.result.is_err(), "the injected panic is contained");
+
+    // Let the rung's backoff TTL lapse, then overload-probe past it.
+    service.advance(10);
+    let response = service.call(Request::new(0, spec.clone(), CompileOptions::vic(), 3));
+    assert_eq!(response.outcome, Outcome::Rejected, "no servable rung");
+    assert_eq!(
+        service.stats().negative_expired,
+        0,
+        "the probe neither reaped the expired rung nor counted a retry"
+    );
+
+    // The entry is still in place: the rung's own next admission is the
+    // one that observes the expiry (and inherits the strike history).
+    let direct = service.submit(Request::new(0, spec, CompileOptions::naive(), 3));
+    assert!(direct.wait().result.is_err());
+    assert_eq!(service.stats().negative_expired, 1);
 }
 
 #[test]
