@@ -11,18 +11,25 @@
 //! clock, so the counter report and the run manifest are byte-stable —
 //! the CI gate diffs them against the committed baselines in `results/`.
 //!
-//! Usage: `serve_chaos [--quick] [--manifest <path>] [--trace <path>]`.
+//! Usage: `serve_chaos [--quick] [--manifest <path>] [--trace <path>]
+//! [--journal <path>]`.
+//!
+//! `--journal <path>` writes the campaign's deterministic ops journal —
+//! every breaker trip/probe/close, quarantine verdict, negative-cache
+//! strike, calibration reload and spill recovery as one JSON line each,
+//! phase-delimited — which the serve-chaos CI job diffs byte-for-byte
+//! against the committed baseline.
 
 use bench::cli::Cli;
 use bench::report::Report;
-use bench::servechaos::{run_chaos, ChaosConfig};
+use bench::servechaos::{run_chaos_full, ChaosConfig};
 
 /// Minimum accepted fraction of spilled artifacts recovered after the
 /// kill-and-restart with a seeded tenth of the files corrupted.
 const RECOVERY_FLOOR: f64 = 0.90;
 
 fn main() {
-    let cli = Cli::parse_with_flags("serve_chaos", &["quick"]);
+    let cli = Cli::parse_with_options("serve_chaos", &["quick"], &["journal"]);
     let quick = cli.flag("quick");
     let cfg = if quick {
         ChaosConfig::quick()
@@ -42,7 +49,7 @@ fn main() {
         if quick { "quick" } else { "full" },
     );
 
-    let out = run_chaos(&cfg);
+    let (out, ops) = run_chaos_full(&cfg);
 
     println!(
         "\n{:<28} {:>12}",
@@ -96,6 +103,16 @@ fn main() {
         "recovered-artifact hits", out.recovered_hits
     );
     println!("{:<28} {:>12}", "stale VIC hits", out.stale_vic_hits);
+    println!(
+        "{:<28} {:>12}",
+        "lifecycle records",
+        format!("{} ({} terminal)", ops.lifecycle_records, ops.lifecycle_terminals)
+    );
+    println!(
+        "{:<28} {:>12}",
+        "journal events",
+        ops.journal.lines().count()
+    );
 
     let mut report = Report::new(if quick {
         "serve_chaos_quick"
@@ -124,6 +141,15 @@ fn main() {
     report.add("chaos/recovered_hits", &[out.recovered_hits as f64]);
     report.add("chaos/stale_vic_hits", &[out.stale_vic_hits as f64]);
     report.add("chaos/recovery_rate_pct", &[out.recovery_rate * 100.0]);
+    report.add("chaos/lifecycle_records", &[ops.lifecycle_records as f64]);
+    report.add(
+        "chaos/lifecycle_terminals",
+        &[ops.lifecycle_terminals as f64],
+    );
+    report.add(
+        "chaos/journal_events",
+        &[ops.journal.lines().count() as f64],
+    );
     report.save_and_announce();
 
     // The fault-tolerance floors. Each one pins a mechanism end to end;
@@ -175,6 +201,39 @@ fn main() {
         out.stale_vic_hits, 0,
         "a stale-epoch VIC artifact was served after restart"
     );
+
+    // Ops-plane floors: the journal must have witnessed every
+    // failure-plane mechanism the campaign detonated, and the lifecycle
+    // log must conserve requests (one terminal each, nothing dropped).
+    for event in [
+        "breaker_trip",
+        "breaker_probe",
+        "breaker_close",
+        "quarantine_add",
+        "negative_strike",
+        "calibration_reload",
+        "spill_recovery",
+    ] {
+        let needle = format!("\"event\":\"{event}\"");
+        assert!(
+            ops.journal.lines().any(|l| l.contains(&needle)),
+            "journal never recorded a {event} event"
+        );
+    }
+    assert_eq!(
+        ops.lifecycle_records, out.requests,
+        "lifecycle log must hold one record per campaign request"
+    );
+    assert_eq!(
+        ops.lifecycle_terminals, ops.lifecycle_records,
+        "every campaign request must reach exactly one terminal stage"
+    );
+    assert_eq!(ops.lifecycle_dropped, 0, "lifecycle capacity overflowed");
+
+    if let Some(path) = cli.opt("journal") {
+        std::fs::write(path, &ops.journal).expect("write journal");
+        println!("[wrote journal {path}]");
+    }
 
     cli.write_manifest();
 }

@@ -8,15 +8,21 @@
 //! full run (48 keys, 40k requests) — so baselines are comparable
 //! across machines.
 //!
-//! Usage: `serve_load [--quick] [--manifest <path>] [--trace <path>]`.
+//! Usage: `serve_load [--quick] [--manifest <path>] [--trace <path>]
+//! [--journal <path>]`.
 //!
 //! `BENCH_serve_load*.json` carries only the deterministic counter
 //! series (requests, hits, misses, evictions, sheds, rejections,
-//! invalidations), so the `regress` gate runs at tolerance 0; wall-clock
-//! throughput and latency go to stdout and — as non-gating spans — into
-//! the run manifest. Two serving-quality floors are asserted in-binary:
+//! invalidations, and the ops-plane lifecycle/journal tallies), so the
+//! `regress` gate runs at tolerance 0; wall-clock throughput and
+//! latency go to stdout and — as non-gating spans — into the run
+//! manifest. Two serving-quality floors are asserted in-binary:
 //! cached throughput of at least [`THROUGHPUT_FLOOR_RPS`] req/s and a
-//! hit rate of at least [`HIT_RATE_FLOOR`].
+//! hit rate of at least [`HIT_RATE_FLOOR`]. The ops plane adds its own
+//! non-vacuity floors: every admitted request has exactly one terminal
+//! lifecycle stage (conservation), no lifecycle record was dropped,
+//! and the journal saw the calibration reload. `--journal <path>`
+//! writes the deterministic ops journal as JSON lines.
 
 use bench::cli::Cli;
 use bench::report::Report;
@@ -29,7 +35,7 @@ const THROUGHPUT_FLOOR_RPS: f64 = 10_000.0;
 const HIT_RATE_FLOOR: f64 = 0.90;
 
 fn main() {
-    let cli = Cli::parse_with_flags("serve_load", &["quick"]);
+    let cli = Cli::parse_with_options("serve_load", &["quick"], &["journal"]);
     let quick = cli.flag("quick");
     let cfg = if quick {
         LoadConfig::quick()
@@ -87,6 +93,14 @@ fn main() {
     );
     println!("{:<26} {:>11.3}s", "wall (measured)", out.wall_s);
 
+    let journal_lines = out.journal.lines().count() as u64;
+    println!(
+        "{:<26} {:>12}",
+        "lifecycle records",
+        format!("{} ({} terminal)", out.lifecycle_records, out.lifecycle_terminals)
+    );
+    println!("{:<26} {:>12}", "journal events", journal_lines);
+
     let mut report = Report::new(if quick {
         "serve_load_quick"
     } else {
@@ -101,6 +115,12 @@ fn main() {
     report.add("serve/rejected", &[s.rejected as f64]);
     report.add("serve/invalidated", &[s.invalidated as f64]);
     report.add("serve/hit_rate_pct", &[out.hit_rate * 100.0]);
+    report.add("serve/lifecycle_records", &[out.lifecycle_records as f64]);
+    report.add(
+        "serve/lifecycle_terminals",
+        &[out.lifecycle_terminals as f64],
+    );
+    report.add("serve/journal_events", &[journal_lines as f64]);
     report.save_and_announce();
 
     assert!(
@@ -114,6 +134,29 @@ fn main() {
          {THROUGHPUT_FLOOR_RPS} req/s floor",
         out.throughput_rps
     );
+
+    // Ops-plane non-vacuity floors: the lifecycle log conserves
+    // requests (every admission reaches exactly one terminal, nothing
+    // dropped) and the journal actually witnessed the failure plane's
+    // one scheduled action, the mid-run calibration reload.
+    assert_eq!(
+        out.lifecycle_records, s.requests,
+        "lifecycle log must hold one record per admitted request"
+    );
+    assert_eq!(
+        out.lifecycle_terminals, out.lifecycle_records,
+        "every admitted request must reach exactly one terminal stage"
+    );
+    assert_eq!(out.lifecycle_dropped, 0, "lifecycle capacity overflowed");
+    assert!(
+        out.journal.lines().any(|l| l.contains("calibration_reload")),
+        "journal must record the mid-run calibration reload"
+    );
+
+    if let Some(path) = cli.opt("journal") {
+        std::fs::write(path, &out.journal).expect("write journal");
+        println!("[wrote journal {path}]");
+    }
 
     cli.write_manifest();
 }

@@ -4,32 +4,37 @@
 //! Usage:
 //!
 //! ```text
-//! xray <artifact.json> [--top 10] [--baseline <artifact.json>]
+//! xray <artifact.json> [--top 10] [--baseline <artifact.json>] [--tenant <id>]
 //! ```
 //!
 //! The artifact may be a qtrace run manifest (`--manifest` output) or a
 //! Chrome Trace Format export (`--trace` output); the kind is sniffed
 //! from the top-level keys. With `--baseline`, counters are shown as
-//! deltas against the other artifact. Exit status: 0 on success, 2 on
-//! usage/parse errors.
+//! deltas against the other artifact. With `--tenant`, both artifacts
+//! are narrowed to that tenant's `qserve/tenant/<id>/...` series before
+//! rendering, so the flamegraph and counter deltas read per-tenant.
+//! Exit status: 0 on success, 2 on usage/parse errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::xray::{parse_input, render, XrayInput};
+use bench::xray::{filter_tenant, parse_input, render, XrayInput};
 
 struct Args {
     artifact: PathBuf,
     top: usize,
     baseline: Option<PathBuf>,
+    tenant: Option<u32>,
 }
 
 fn usage_text() -> String {
-    "usage: xray <artifact.json> [--top 10] [--baseline <artifact.json>]\n\
+    "usage: xray <artifact.json> [--top 10] [--baseline <artifact.json>] \
+     [--tenant <id>]\n\
      \n\
      options:\n\
      \x20 --top <n>              how many hot paths to list (default 10)\n\
      \x20 --baseline <artifact>  show counters as deltas against this artifact\n\
+     \x20 --tenant <id>          narrow to one tenant's qserve/tenant/<id>/ series\n\
      \x20 -h, --help             print this help and exit"
         .to_owned()
 }
@@ -43,6 +48,7 @@ fn parse_args() -> Args {
     let mut positional = Vec::new();
     let mut top = 10;
     let mut baseline = None;
+    let mut tenant = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -60,6 +66,12 @@ fn parse_args() -> Args {
                 let Some(p) = iter.next() else { usage() };
                 baseline = Some(PathBuf::from(p));
             }
+            "--tenant" => {
+                let Some(v) = iter.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                tenant = Some(v);
+            }
             _ if arg.starts_with("--") => usage(),
             _ => positional.push(PathBuf::from(arg)),
         }
@@ -71,6 +83,7 @@ fn parse_args() -> Args {
         artifact: positional.pop().expect("len checked"),
         top,
         baseline,
+        tenant,
     }
 }
 
@@ -93,8 +106,12 @@ fn load(path: &PathBuf) -> XrayInput {
 
 fn main() -> ExitCode {
     let args = parse_args();
-    let input = load(&args.artifact);
-    let baseline = args.baseline.as_ref().map(load);
+    let mut input = load(&args.artifact);
+    let mut baseline = args.baseline.as_ref().map(load);
+    if let Some(tenant) = args.tenant {
+        input = filter_tenant(&input, tenant);
+        baseline = baseline.map(|b| filter_tenant(&b, tenant));
+    }
     print!("{}", render(&input, args.top, baseline.as_ref()));
     ExitCode::SUCCESS
 }

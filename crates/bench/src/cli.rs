@@ -28,6 +28,10 @@ pub struct Cli {
     /// Driver-specific boolean flags that were present, stored without
     /// the `--` prefix (see [`Cli::parse_with_flags`]).
     flags: Vec<String>,
+    /// Driver-specific valued options (`--name <value>` or
+    /// `--name=<value>`), stored without the `--` prefix (see
+    /// [`Cli::parse_with_options`]).
+    options: Vec<(String, String)>,
 }
 
 /// The unified usage string every driver prints (`--help` on stdout,
@@ -61,7 +65,20 @@ impl Cli {
     /// flags (named without the `--` prefix). A present flag is readable
     /// through [`Cli::flag`]; any other `--` option still errors.
     pub fn parse_with_flags(figure: &str, allowed_flags: &[&str]) -> Cli {
-        match Cli::from_args_with(figure, std::env::args().skip(1).collect(), allowed_flags) {
+        Cli::parse_with_options(figure, allowed_flags, &[])
+    }
+
+    /// Like [`Cli::parse_with_flags`], additionally accepting the listed
+    /// valued options (`--name <value>` or `--name=<value>`, named
+    /// without the `--` prefix). A present option's value is readable
+    /// through [`Cli::opt`].
+    pub fn parse_with_options(figure: &str, allowed_flags: &[&str], allowed_opts: &[&str]) -> Cli {
+        match Cli::from_args_full(
+            figure,
+            std::env::args().skip(1).collect(),
+            allowed_flags,
+            allowed_opts,
+        ) {
             Ok(None) => {
                 println!("{}", usage(figure));
                 std::process::exit(0);
@@ -95,10 +112,22 @@ impl Cli {
         args: Vec<String>,
         allowed_flags: &[&str],
     ) -> Result<Option<Cli>, String> {
+        Cli::from_args_full(figure, args, allowed_flags, &[])
+    }
+
+    /// [`Cli::from_args_with`] with driver-specific valued options
+    /// allowed as well.
+    pub fn from_args_full(
+        figure: &str,
+        args: Vec<String>,
+        allowed_flags: &[&str],
+        allowed_opts: &[&str],
+    ) -> Result<Option<Cli>, String> {
         let mut positional = Vec::new();
         let mut manifest = None;
         let mut trace = None;
         let mut flags = Vec::new();
+        let mut options: Vec<(String, String)> = Vec::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             if arg == "--help" || arg == "-h" {
@@ -110,6 +139,22 @@ impl Cli {
                 if !flags.iter().any(|f| f == name) {
                     flags.push(name.to_owned());
                 }
+            } else if let Some(name) = arg
+                .strip_prefix("--")
+                .filter(|name| allowed_opts.contains(name))
+            {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                options.retain(|(n, _)| n != name);
+                options.push((name.to_owned(), value));
+            } else if let Some((name, value)) = arg
+                .strip_prefix("--")
+                .and_then(|rest| rest.split_once('='))
+                .filter(|(name, _)| allowed_opts.contains(name))
+            {
+                options.retain(|(n, _)| n != name);
+                options.push((name.to_owned(), value.to_owned()));
             } else if arg == "--manifest" {
                 let path = iter
                     .next()
@@ -136,6 +181,7 @@ impl Cli {
             manifest,
             trace,
             flags,
+            options,
         }))
     }
 
@@ -143,6 +189,16 @@ impl Cli {
     /// flags listed in [`Cli::parse_with_flags`] can ever be present.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of the valued option `name` (without `--`), if present.
+    /// Only options listed in [`Cli::parse_with_options`] can ever be
+    /// present; the last occurrence wins.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The `idx`-th positional argument parsed as `usize`, or `default`
@@ -311,5 +367,38 @@ mod tests {
     fn unparsable_positionals_fall_back() {
         let cli = parse("fig", &["abc"]);
         assert_eq!(cli.pos_usize(0, 9), 9);
+    }
+
+    #[test]
+    fn valued_options_are_opt_in_per_driver() {
+        // Without an allowance the option is an error.
+        assert!(Cli::from_args("fig", args(&["--journal", "j.jsonl"])).is_err());
+
+        let cli = Cli::from_args_full(
+            "fig",
+            args(&["--quick", "--journal", "j.jsonl", "7"]),
+            &["quick"],
+            &["journal"],
+        )
+        .expect("well-formed")
+        .expect("not help");
+        assert!(cli.flag("quick"));
+        assert_eq!(cli.opt("journal"), Some("j.jsonl"));
+        assert_eq!(cli.opt("absent"), None);
+        assert_eq!(cli.pos_usize(0, 0), 7);
+
+        // Equals form works and the last occurrence wins.
+        let cli = Cli::from_args_full(
+            "fig",
+            args(&["--journal=a.jsonl", "--journal=b.jsonl"]),
+            &[],
+            &["journal"],
+        )
+        .expect("well-formed")
+        .expect("not help");
+        assert_eq!(cli.opt("journal"), Some("b.jsonl"));
+
+        // A missing value is a parse error, not a silent skip.
+        assert!(Cli::from_args_full("fig", args(&["--journal"]), &[], &["journal"]).is_err());
     }
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod qstat;
 pub mod quality;
 pub mod regress;
 pub mod report;

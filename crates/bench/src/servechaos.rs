@@ -43,8 +43,8 @@ use qcompile::{CompileOptions, QaoaSpec};
 use qhw::fault::{FaultInjector, ServiceFaultPlane, SpillCorruption};
 use qhw::{Calibration, Topology};
 use qserve::{
-    BackoffConfig, BreakerConfig, BucketConfig, CacheKey, Outcome, Request, Response, ServeError,
-    Service, ServiceConfig,
+    BackoffConfig, BreakerConfig, BucketConfig, CacheKey, JournalEvent, Outcome, Request, Response,
+    ServeError, Service, ServiceConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -169,6 +169,43 @@ pub struct ChaosOutcome {
     pub stale_vic_hits: u64,
 }
 
+/// The campaign's ops-plane harvest: the concatenated journals of every
+/// phase (each prefixed with a `phase` marker event) plus lifecycle
+/// conservation tallies. Deterministic for a fixed [`ChaosConfig`] —
+/// the serve-chaos CI job diffs the journal bytes against a committed
+/// baseline.
+#[derive(Debug, Clone, Default)]
+pub struct OpsArtifacts {
+    /// Concatenated per-phase journals as deterministic JSON lines.
+    pub journal: String,
+    /// Lifecycle records captured across every phase service.
+    pub lifecycle_records: u64,
+    /// Lifecycle records that reached exactly one terminal stage.
+    pub lifecycle_terminals: u64,
+    /// Lifecycle records lost to the capacity bound (must stay 0).
+    pub lifecycle_dropped: u64,
+}
+
+impl OpsArtifacts {
+    /// Drains one phase service's ops plane into the campaign harvest.
+    /// Called while the phase service is still alive, after its last
+    /// request resolved, so the journal carries every completion-side
+    /// event of the phase.
+    fn harvest(&mut self, phase: &'static str, service: &Service) {
+        let marker = [JournalEvent::new(0, "phase").note(phase)];
+        self.journal.push_str(&qserve::render_journal(&marker));
+        self.journal
+            .push_str(&qserve::render_journal(&service.take_journal()));
+        let traces = service.take_lifecycle();
+        self.lifecycle_records += traces.len() as u64;
+        self.lifecycle_terminals += traces
+            .iter()
+            .filter(|trace| trace.terminal_count() == 1)
+            .count() as u64;
+        self.lifecycle_dropped += service.lifecycle_dropped();
+    }
+}
+
 impl ChaosOutcome {
     /// Folds one response into the campaign tallies (and the
     /// `serve_chaos/*` counter series).
@@ -267,6 +304,7 @@ fn fault_storm(
     calibration: &Calibration,
     keys: &[(QaoaSpec, CompileOptions)],
     out: &mut ChaosOutcome,
+    ops: &mut OpsArtifacts,
 ) {
     qtrace::global().add("serve_chaos/phases", 1);
     let plane = ServiceFaultPlane::plan(
@@ -313,6 +351,7 @@ fn fault_storm(
     out.quarantined_specs += stats.quarantined_specs;
     out.breaker_trips += stats.breaker_trips;
     service.flush_telemetry();
+    ops.harvest("fault_storm", &service);
 }
 
 /// Phase 2: queued jobs past their deadline are reaped before dispatch
@@ -323,6 +362,7 @@ fn queue_reap(
     calibration: &Calibration,
     keys: &[(QaoaSpec, CompileOptions)],
     out: &mut ChaosOutcome,
+    ops: &mut OpsArtifacts,
 ) {
     qtrace::global().add("serve_chaos/phases", 1);
     let service = Service::new(
@@ -358,20 +398,28 @@ fn queue_reap(
     }
     out.deadline_reaped += service.stats().deadline_reaped;
     service.flush_telemetry();
+    ops.harvest("queue_reap", &service);
 }
 
 /// Phase 3: an always-panic plane trips tenant 0's breaker; tenant 1
-/// stays admitted; the post-cooldown probe re-trips.
+/// stays admitted; the post-cooldown probe re-trips; a second cooldown
+/// later the fault horizon is past, so the next probe compiles clean
+/// and re-closes the breaker.
 fn breaker_storm(
     cfg: &ChaosConfig,
     topo: &Topology,
     calibration: &Calibration,
     keys: &[(QaoaSpec, CompileOptions)],
     out: &mut ChaosOutcome,
+    ops: &mut OpsArtifacts,
 ) {
     qtrace::global().add("serve_chaos/phases", 1);
     let cooldown = 16;
-    let plane = ServiceFaultPlane::plan(cfg.seed ^ 0xFA03, 64, 1.0, 0.0, 0);
+    // Horizon 6 covers exactly the compiles meant to panic (four trip
+    // strikes, the innocent tenant's miss, the first probe); compiles
+    // past it succeed, so the recovery probe below re-closes the
+    // breaker.
+    let plane = ServiceFaultPlane::plan(cfg.seed ^ 0xFA03, 6, 1.0, 0.0, 0);
     let service = Service::new(
         topo.clone(),
         Some(calibration.clone()),
@@ -402,8 +450,15 @@ fn breaker_storm(
     service.advance(cooldown + 1);
     out.tally(&service.call(request(9, 0)));
     out.tally(&service.call(request(10, 0)));
+    // Second cooldown: the fault horizon is behind us, the probe
+    // compiles clean and the breaker re-closes; the tenant is served
+    // again.
+    service.advance(cooldown + 1);
+    out.tally(&service.call(request(11, 0)));
+    out.tally(&service.call(request(12, 0)));
     out.breaker_trips += service.stats().breaker_trips;
     service.flush_telemetry();
+    ops.harvest("breaker_storm", &service);
 }
 
 /// Phase 4: a tiny token bucket rejects a compile burst, then refills
@@ -414,6 +469,7 @@ fn throttle_burst(
     calibration: &Calibration,
     keys: &[(QaoaSpec, CompileOptions)],
     out: &mut ChaosOutcome,
+    ops: &mut OpsArtifacts,
 ) {
     qtrace::global().add("serve_chaos/phases", 1);
     let refill = 64;
@@ -436,6 +492,7 @@ fn throttle_burst(
     let (spec, options) = &keys[keys.len().min(9) - 1];
     out.tally(&service.call(Request::new(0, spec.clone(), *options, cfg.seed)));
     service.flush_telemetry();
+    ops.harvest("throttle_burst", &service);
 }
 
 /// Phase 5: seeded calibration hot-reload points invalidate VIC entries
@@ -446,6 +503,7 @@ fn reload_storm(
     calibrations: &[Calibration],
     keys: &[(QaoaSpec, CompileOptions)],
     out: &mut ChaosOutcome,
+    ops: &mut OpsArtifacts,
 ) {
     qtrace::global().add("serve_chaos/phases", 1);
     let points = ServiceFaultPlane::reload_points(cfg.seed, cfg.reload_requests, cfg.reload_storms);
@@ -480,6 +538,7 @@ fn reload_storm(
     out.invalidated += stats.invalidated;
     out.epoch_bumps += stats.epoch_bumps;
     service.flush_telemetry();
+    ops.harvest("reload_storm", &service);
 }
 
 /// Phase 6: warm a spill-backed service, kill it, corrupt a seeded
@@ -492,6 +551,7 @@ fn spill_crash_recovery(
     calibrations: &[Calibration],
     keys: &[(QaoaSpec, CompileOptions)],
     out: &mut ChaosOutcome,
+    ops: &mut OpsArtifacts,
 ) {
     qtrace::global().add("serve_chaos/phases", 1);
     let dir = std::env::temp_dir().join(format!(
@@ -521,6 +581,7 @@ fn spill_crash_recovery(
         }
         out.spill_saved += service.stats().spill_saved;
         service.flush_telemetry();
+        ops.harvest("spill_warm", &service);
     }
 
     // Torn writes and bit rot on a seeded tenth of the spilled files.
@@ -561,6 +622,7 @@ fn spill_crash_recovery(
             out.tally(&response);
         }
         service.flush_telemetry();
+        ops.harvest("spill_recover", &service);
     }
 
     // Changed-calibration restart: VIC spills are stale and must be
@@ -578,6 +640,7 @@ fn spill_crash_recovery(
             out.tally(&response);
         }
         service.flush_telemetry();
+        ops.harvest("spill_stale", &service);
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -586,6 +649,13 @@ fn spill_crash_recovery(
 /// two runs (any worker count ≥ 1) produce equal [`ChaosOutcome`]s and
 /// byte-identical normalized run manifests.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    run_chaos_full(cfg).0
+}
+
+/// [`run_chaos`] plus the ops-plane harvest: the per-phase journals
+/// (byte-identical across runs and worker counts) and the lifecycle
+/// conservation tallies.
+pub fn run_chaos_full(cfg: &ChaosConfig) -> (ChaosOutcome, OpsArtifacts) {
     silence_injected_panics();
     let topo = Topology::grid(2, 3);
     let mut cal_rng = StdRng::seed_from_u64(cfg.seed ^ 0xCA11_FA17);
@@ -599,11 +669,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     }
     let keys = key_universe(cfg);
     let mut out = ChaosOutcome::default();
-    fault_storm(cfg, &topo, &calibrations[0], &keys, &mut out);
-    queue_reap(cfg, &topo, &calibrations[0], &keys, &mut out);
-    breaker_storm(cfg, &topo, &calibrations[0], &keys, &mut out);
-    throttle_burst(cfg, &topo, &calibrations[0], &keys, &mut out);
-    reload_storm(cfg, &topo, &calibrations, &keys, &mut out);
-    spill_crash_recovery(cfg, &topo, &calibrations, &keys, &mut out);
-    out
+    let mut ops = OpsArtifacts::default();
+    fault_storm(cfg, &topo, &calibrations[0], &keys, &mut out, &mut ops);
+    queue_reap(cfg, &topo, &calibrations[0], &keys, &mut out, &mut ops);
+    breaker_storm(cfg, &topo, &calibrations[0], &keys, &mut out, &mut ops);
+    throttle_burst(cfg, &topo, &calibrations[0], &keys, &mut out, &mut ops);
+    reload_storm(cfg, &topo, &calibrations, &keys, &mut out, &mut ops);
+    spill_crash_recovery(cfg, &topo, &calibrations, &keys, &mut out, &mut ops);
+    (out, ops)
 }

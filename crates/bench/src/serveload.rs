@@ -50,6 +50,9 @@ pub struct LoadConfig {
     pub reload_at: Option<usize>,
     /// Pre-compile the whole key universe before the measured phase.
     pub warm: bool,
+    /// Capture the ops plane (lifecycle log + journal). Off only for
+    /// the overhead guard's baseline leg.
+    pub ops_capture: bool,
 }
 
 impl LoadConfig {
@@ -65,6 +68,7 @@ impl LoadConfig {
             seed: 0x5EED_1009,
             reload_at: Some(2_000),
             warm: true,
+            ops_capture: true,
         }
     }
 
@@ -80,6 +84,7 @@ impl LoadConfig {
             seed: 0x5EED_1009,
             reload_at: Some(20_000),
             warm: true,
+            ops_capture: true,
         }
     }
 }
@@ -108,6 +113,18 @@ pub struct LoadOutcome {
     pub p99_us: f64,
     /// Requests whose artifact arrived via shedding.
     pub outcome_shed: u64,
+    /// The rendered ops journal (deterministic JSON lines; empty when
+    /// [`LoadConfig::ops_capture`] is off).
+    pub journal: String,
+    /// The rendered request lifecycle log (deterministic JSON lines).
+    pub lifecycle: String,
+    /// Lifecycle records captured (== admitted requests when capture is
+    /// on and nothing was dropped).
+    pub lifecycle_records: u64,
+    /// Lifecycle records that reached exactly one terminal stage.
+    pub lifecycle_terminals: u64,
+    /// Lifecycle records lost to the capacity bound (0 in baselines).
+    pub lifecycle_dropped: u64,
 }
 
 fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
@@ -151,6 +168,11 @@ pub fn run_load(cfg: &LoadConfig) -> LoadOutcome {
             cache_capacity: keys.len().saturating_sub(cfg.cache_slack).max(1),
             queue_capacity: 4096,
             tenants: cfg.tenants,
+            ops: qserve::OpsConfig {
+                lifecycle: cfg.ops_capture,
+                journal: cfg.ops_capture,
+                ..qserve::OpsConfig::default()
+            },
             ..ServiceConfig::default()
         },
     );
@@ -212,6 +234,21 @@ pub fn run_load(cfg: &LoadConfig) -> LoadOutcome {
     qtrace::global().record_spans("qserve/request", &latencies_ns);
     service.flush_telemetry();
 
+    // Drain the ops plane. Both artifacts are deterministic for a fixed
+    // config: the lifecycle log is keyed by admission ordinal and
+    // stamped with admission-stream ticks, the journal with occurrence
+    // ticks — neither depends on the worker count.
+    let journal_events = service.take_journal();
+    let traces = service.take_lifecycle();
+    let lifecycle_records = traces.len() as u64;
+    let lifecycle_terminals = traces
+        .iter()
+        .filter(|trace| trace.terminal_count() == 1)
+        .count() as u64;
+    let journal = qserve::render_journal(&journal_events);
+    let lifecycle = qserve::render_lifecycle(&traces);
+    let lifecycle_dropped = service.lifecycle_dropped();
+
     latencies_ns.sort_unstable();
     let stats = service.stats();
     let warm_requests = stats.requests - cfg.requests as u64;
@@ -228,5 +265,10 @@ pub fn run_load(cfg: &LoadConfig) -> LoadOutcome {
         p90_us: quantile_us(&latencies_ns, 0.90),
         p99_us: quantile_us(&latencies_ns, 0.99),
         outcome_shed: shed,
+        journal,
+        lifecycle,
+        lifecycle_records,
+        lifecycle_terminals,
+        lifecycle_dropped,
     }
 }

@@ -142,6 +142,30 @@ pub fn from_chrome_trace(json: &Json) -> Result<XrayInput, String> {
     })
 }
 
+/// Narrows an artifact to one tenant's `qserve/tenant/<id>/...` series
+/// (spans and counters alike). Everything else — global `qserve/*`
+/// counters, compiler series, other tenants — is dropped, so the
+/// flamegraph, hot paths and counter deltas all read per-tenant. Backs
+/// the `--tenant` flag.
+pub fn filter_tenant(input: &XrayInput, tenant: u32) -> XrayInput {
+    let prefix = format!("qserve/tenant/{tenant}/");
+    XrayInput {
+        name: format!("{} (tenant {tenant})", input.name),
+        spans: input
+            .spans
+            .iter()
+            .filter(|(path, _)| path.starts_with(&prefix))
+            .map(|(path, stat)| (path.clone(), stat.clone()))
+            .collect(),
+        counters: input
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(&prefix))
+            .map(|(name, value)| (name.clone(), *value))
+            .collect(),
+    }
+}
+
 /// A node of the path hierarchy: wall time attributed to exactly this
 /// path (`self_ns`) plus everything under it.
 #[derive(Debug, Default)]
@@ -367,6 +391,31 @@ mod tests {
         assert!(text.contains("counter deltas"));
         assert!(text.contains("(+8)"), "{text}");
         assert!(text.contains("(+2)"), "{text}");
+    }
+
+    #[test]
+    fn tenant_filter_keeps_only_that_tenants_series() {
+        let rec = qtrace::Recorder::new();
+        rec.enable();
+        rec.add("qserve/tenant/0/requests", 10);
+        rec.add("qserve/tenant/1/requests", 20);
+        rec.add("qserve/requests", 30);
+        rec.record_span("qserve/tenant/1/e2e", Duration::from_micros(5));
+        rec.record_span("qcompile/route", Duration::from_micros(5));
+        let input = from_manifest(&rec.take_manifest("serve_load"));
+
+        let one = filter_tenant(&input, 1);
+        assert_eq!(one.name, "serve_load (tenant 1)");
+        assert_eq!(one.counters.len(), 1);
+        assert_eq!(one.counters["qserve/tenant/1/requests"], 20);
+        assert_eq!(one.spans.len(), 1);
+        assert!(one.spans.contains_key("qserve/tenant/1/e2e"));
+
+        // Deltas against a filtered baseline stay per-tenant.
+        let text = render(&one, 5, Some(&filter_tenant(&input, 1)));
+        assert!(text.contains("counter deltas (vs serve_load (tenant 1))"));
+        assert!(text.contains("(+0)"));
+        assert!(!text.contains("tenant/0"), "{text}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ const BINARIES: &[(&str, &str)] = &[
     ("fig11a_summary", env!("CARGO_BIN_EXE_fig11a_summary")),
     ("fig11b_arg", env!("CARGO_BIN_EXE_fig11b_arg")),
     ("fig12_packing", env!("CARGO_BIN_EXE_fig12_packing")),
+    ("qstat", env!("CARGO_BIN_EXE_qstat")),
     ("regress", env!("CARGO_BIN_EXE_regress")),
     ("xray", env!("CARGO_BIN_EXE_xray")),
 ];

@@ -1,0 +1,83 @@
+//! Ops-plane overhead guard: capturing the request lifecycle log and
+//! the ops journal must cost less than 5% extra wall time on the
+//! serve_load quick campaign versus the same campaign with capture off.
+//!
+//! The ops plane was built to be always-on in production serving, so
+//! its budget is tighter than the compiler tracing guard's: lifecycle
+//! capture is a couple of Vec pushes under locks the admission path
+//! already holds, and the journal only writes on failure-plane events.
+//! The campaign here is dominated by cached hits — the worst case for
+//! relative overhead, since each request does almost no other work.
+//!
+//! Ignored by default because it is a timing assertion; CI runs it
+//! explicitly (`cargo test --release -p bench --test ops_overhead -- --ignored`)
+//! on a quiet runner. Off/on rounds are interleaved so clock and
+//! thermal drift hit both configurations equally, the min-of-N
+//! estimator keeps the least-disturbed run, and a bounded retry absorbs
+//! one-off scheduler noise; a real overhead regression fails every
+//! attempt.
+
+use bench::serveload::{run_load, LoadConfig};
+
+const ROUNDS: usize = 5;
+const ATTEMPTS: usize = 3;
+const BUDGET: f64 = 1.05;
+
+fn campaign(ops_capture: bool) -> LoadConfig {
+    LoadConfig {
+        ops_capture,
+        ..LoadConfig::quick()
+    }
+}
+
+/// One paired measurement: alternate capture-off/capture-on rounds and
+/// keep the minimum measured-phase wall time for each configuration.
+/// `run_load` drains the service's ops plane internally, so rings never
+/// accumulate across rounds.
+fn measure_ratio() -> (f64, f64, u64) {
+    let mut off = f64::MAX;
+    let mut on = f64::MAX;
+    let mut captured = 0;
+    for _ in 0..ROUNDS {
+        off = off.min(run_load(&campaign(false)).wall_s);
+        let outcome = run_load(&campaign(true));
+        on = on.min(outcome.wall_s);
+        captured = outcome.lifecycle_records;
+    }
+    (off, on, captured)
+}
+
+#[test]
+#[ignore = "timing assertion; run explicitly on a quiet machine/CI step"]
+fn lifecycle_capture_costs_less_than_five_percent() {
+    // Warm-up: fault in lazy state (distance matrices, allocator pools).
+    let _ = run_load(&campaign(true));
+
+    let mut best_ratio = f64::MAX;
+    let mut captured = 0;
+    for attempt in 0..ATTEMPTS {
+        let (off, on, records) = measure_ratio();
+        captured = records;
+        let ratio = on / off;
+        best_ratio = best_ratio.min(ratio);
+        eprintln!(
+            "attempt {}: off={off:.4}s on={on:.4}s overhead={:+.2}%",
+            attempt + 1,
+            (ratio - 1.0) * 100.0
+        );
+        if best_ratio < BUDGET {
+            break;
+        }
+    }
+
+    assert!(
+        captured > 0,
+        "capture-on rounds must actually have recorded lifecycles"
+    );
+    assert!(
+        best_ratio < BUDGET,
+        "ops-plane capture overhead {:.2}% exceeds the 5% budget in all \
+         {ATTEMPTS} attempts",
+        (best_ratio - 1.0) * 100.0
+    );
+}

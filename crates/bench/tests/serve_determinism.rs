@@ -7,8 +7,11 @@
 //! ready, never *what* the counters say. This test pins that contract
 //! end to end: the same seeded load campaign run with 1, 2, and 8
 //! service workers must produce byte-identical normalized run
-//! manifests, including every `qserve/*` counter and the sequence
-//! fingerprint gauge.
+//! manifests (every `qserve/*` counter, the ops plane's per-tenant
+//! metric series, and the sequence fingerprint gauge), a byte-identical
+//! ops journal, and a byte-identical rendered lifecycle log — the
+//! ops-plane artifacts are admission-ordered and tick-stamped, so the
+//! worker count must not leak into them either.
 //!
 //! One `#[test]` only: the global `qtrace` recorder is process-wide
 //! state, and a second concurrent test would interleave its telemetry.
@@ -16,7 +19,15 @@
 use bench::serveload::{run_load, LoadConfig};
 use proptest::prelude::*;
 
-fn campaign(seed: u64, workers: usize) -> (String, u64, u64) {
+struct Campaign {
+    manifest_json: String,
+    sequence_fp: u64,
+    hits: u64,
+    journal: String,
+    lifecycle: String,
+}
+
+fn campaign(seed: u64, workers: usize) -> Campaign {
     qtrace::enable();
     let outcome = run_load(&LoadConfig {
         requests: 300,
@@ -28,31 +39,48 @@ fn campaign(seed: u64, workers: usize) -> (String, u64, u64) {
         seed,
         reload_at: Some(150),
         warm: true,
+        ops_capture: true,
     });
     qtrace::disable();
     let manifest = qtrace::take("serve_determinism").normalized();
-    (
-        manifest.to_json(),
-        outcome.stats.sequence_fp,
-        outcome.stats.hits,
-    )
+    Campaign {
+        manifest_json: manifest.to_json(),
+        sequence_fp: outcome.stats.sequence_fp,
+        hits: outcome.stats.hits,
+        journal: outcome.journal,
+        lifecycle: outcome.lifecycle,
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
-    /// The normalized manifest (counters, gauges, span counts) and the
-    /// admission-sequence fingerprint are invariant across service
-    /// worker counts for any campaign seed.
+    /// The normalized manifest (counters, gauges, span counts, ops
+    /// metric series), the rendered ops journal, the rendered lifecycle
+    /// log and the admission-sequence fingerprint are all invariant
+    /// across service worker counts for any campaign seed.
     #[test]
     fn manifest_is_invariant_across_worker_counts(seed in 0u64..1_000_000) {
-        let (base_json, base_fp, base_hits) = campaign(seed, 1);
-        prop_assert_ne!(base_fp, 0);
-        prop_assert!(base_hits > 0);
+        let base = campaign(seed, 1);
+        prop_assert_ne!(base.sequence_fp, 0);
+        prop_assert!(base.hits > 0);
+        prop_assert!(!base.journal.is_empty(), "ops journal captured nothing");
+        prop_assert!(!base.lifecycle.is_empty(), "lifecycle captured nothing");
         for workers in [2usize, 8] {
-            let (json, fp, _) = campaign(seed, workers);
-            prop_assert_eq!(&json, &base_json, "workers={} diverged", workers);
-            prop_assert_eq!(fp, base_fp);
+            let cur = campaign(seed, workers);
+            prop_assert_eq!(
+                &cur.manifest_json, &base.manifest_json,
+                "workers={} manifest diverged", workers
+            );
+            prop_assert_eq!(
+                &cur.journal, &base.journal,
+                "workers={} journal diverged", workers
+            );
+            prop_assert_eq!(
+                &cur.lifecycle, &base.lifecycle,
+                "workers={} lifecycle diverged", workers
+            );
+            prop_assert_eq!(cur.sequence_fp, base.sequence_fp);
         }
     }
 }

@@ -89,6 +89,14 @@ impl TokenBucket {
             false
         }
     }
+
+    /// Tokens that would be available at `now`, without charging or
+    /// mutating the bucket — the ops-plane `bucket_level` gauge.
+    pub fn level(&self, now: u64) -> u64 {
+        let per = self.config.refill_ticks.max(1);
+        let earned = now.saturating_sub(self.last_refill) / per;
+        (self.tokens + earned).min(self.config.capacity)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +128,18 @@ pub(crate) enum BreakerDecision {
         /// Ticks until the next half-open probe is allowed.
         retry_in: u64,
     },
+}
+
+/// What a completion did to the breaker state — the ops journal
+/// distinguishes trips from probe-driven closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BreakerTransition {
+    /// No journal-worthy transition.
+    None,
+    /// This completion tripped the breaker open.
+    Tripped,
+    /// A successful half-open probe closed the breaker.
+    Closed,
 }
 
 impl CircuitBreaker {
@@ -163,16 +183,16 @@ impl CircuitBreaker {
         }
     }
 
-    /// Records one compile completion for this tenant at `now`. Returns
-    /// `true` when this completion tripped the breaker open.
-    pub fn record(&mut self, now: u64, success: bool) -> bool {
+    /// Records one compile completion for this tenant at `now`,
+    /// reporting the state transition it caused (if any).
+    pub fn record(&mut self, now: u64, success: bool) -> BreakerTransition {
         if self.config.failure_threshold == 0 {
-            return false;
+            return BreakerTransition::None;
         }
         match (&mut self.state, success) {
             (BreakerState::Closed { .. }, true) => {
                 self.state = BreakerState::Closed { failures: 0 };
-                false
+                BreakerTransition::None
             }
             (BreakerState::Closed { failures }, false) => {
                 *failures += 1;
@@ -180,30 +200,40 @@ impl CircuitBreaker {
                     self.state = BreakerState::Open {
                         until: now + self.config.cooldown_ticks,
                     };
-                    true
+                    BreakerTransition::Tripped
                 } else {
-                    false
+                    BreakerTransition::None
                 }
             }
             (BreakerState::HalfOpen, true) => {
                 self.state = BreakerState::Closed { failures: 0 };
-                false
+                BreakerTransition::Closed
             }
             (BreakerState::HalfOpen, false) => {
                 self.state = BreakerState::Open {
                     until: now + self.config.cooldown_ticks,
                 };
-                true
+                BreakerTransition::Tripped
             }
             // A straggler completing while the breaker is open (e.g. a
             // pre-trip job finishing late) does not move the state.
-            (BreakerState::Open { .. }, _) => false,
+            (BreakerState::Open { .. }, _) => BreakerTransition::None,
         }
     }
 
     /// Whether the breaker is currently open (for stats snapshots).
     pub fn is_open(&self) -> bool {
         matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// State encoded for the ops-plane gauge: 0 closed, 1 half-open,
+    /// 2 open.
+    pub fn state_code(&self) -> u64 {
+        match self.state {
+            BreakerState::Closed { .. } => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open { .. } => 2,
+        }
     }
 }
 
@@ -217,9 +247,12 @@ mod tests {
             capacity: 2,
             refill_ticks: 10,
         });
+        assert_eq!(bucket.level(0), 2);
         assert!(bucket.try_take(0));
         assert!(bucket.try_take(0));
+        assert_eq!(bucket.level(5), 0, "level previews without charging");
         assert!(!bucket.try_take(5), "empty until a refill interval passes");
+        assert_eq!(bucket.level(10), 1);
         assert!(bucket.try_take(10), "one token back after refill_ticks");
         assert!(!bucket.try_take(19));
         // Long idle refills to capacity, never beyond.
@@ -235,19 +268,27 @@ mod tests {
             cooldown_ticks: 10,
         });
         assert_eq!(breaker.admit(1), BreakerDecision::Admit);
-        assert!(!breaker.record(1, false));
-        assert!(breaker.record(2, false), "second failure trips it");
+        assert_eq!(breaker.state_code(), 0);
+        assert_eq!(breaker.record(1, false), BreakerTransition::None);
+        assert_eq!(
+            breaker.record(2, false),
+            BreakerTransition::Tripped,
+            "second failure trips it"
+        );
         assert!(breaker.is_open());
+        assert_eq!(breaker.state_code(), 2);
         assert_eq!(breaker.admit(3), BreakerDecision::Reject { retry_in: 9 });
         // Cooldown over: exactly one probe; concurrent misses still fail.
         assert_eq!(breaker.admit(12), BreakerDecision::Probe);
+        assert_eq!(breaker.state_code(), 1);
         assert_eq!(breaker.admit(12), BreakerDecision::Reject { retry_in: 0 });
         // Failed probe reopens; successful probe closes.
-        assert!(breaker.record(12, false));
+        assert_eq!(breaker.record(12, false), BreakerTransition::Tripped);
         assert!(breaker.is_open());
         assert_eq!(breaker.admit(22), BreakerDecision::Probe);
-        assert!(!breaker.record(22, true));
+        assert_eq!(breaker.record(22, true), BreakerTransition::Closed);
         assert!(!breaker.is_open());
+        assert_eq!(breaker.state_code(), 0);
         assert_eq!(breaker.admit(23), BreakerDecision::Admit);
     }
 
@@ -257,14 +298,14 @@ mod tests {
             failure_threshold: 1,
             cooldown_ticks: 10,
         });
-        assert!(breaker.record(1, false));
+        assert_eq!(breaker.record(1, false), BreakerTransition::Tripped);
         assert_eq!(breaker.admit(11), BreakerDecision::Probe);
         // The probe's request was rejected by a later gate: no compile
         // will ever record a verdict, so the slot must come back.
         breaker.abort_probe(11);
         assert_eq!(breaker.admit(11), BreakerDecision::Probe);
         // A dispatched probe's completion still decides normally.
-        assert!(!breaker.record(12, true));
+        assert_eq!(breaker.record(12, true), BreakerTransition::Closed);
         assert_eq!(breaker.admit(13), BreakerDecision::Admit);
         // Aborting when no probe is outstanding is a no-op.
         breaker.abort_probe(13);
@@ -278,7 +319,11 @@ mod tests {
             cooldown_ticks: 5,
         });
         for t in 0..20 {
-            assert!(!breaker.record(t, t % 2 == 0), "alternation never trips");
+            assert_eq!(
+                breaker.record(t, t % 2 == 0),
+                BreakerTransition::None,
+                "alternation never trips"
+            );
         }
         assert!(!breaker.is_open());
     }
@@ -290,7 +335,7 @@ mod tests {
             cooldown_ticks: 5,
         });
         for t in 0..100 {
-            assert!(!breaker.record(t, false));
+            assert_eq!(breaker.record(t, false), BreakerTransition::None);
             assert_eq!(breaker.admit(t), BreakerDecision::Admit);
         }
     }
@@ -301,9 +346,13 @@ mod tests {
             failure_threshold: 1,
             cooldown_ticks: 100,
         });
-        assert!(breaker.record(1, false));
+        assert_eq!(breaker.record(1, false), BreakerTransition::Tripped);
         assert!(breaker.is_open());
-        assert!(!breaker.record(2, true), "straggler success is ignored");
+        assert_eq!(
+            breaker.record(2, true),
+            BreakerTransition::None,
+            "straggler success is ignored"
+        );
         assert!(breaker.is_open());
     }
 }

@@ -188,7 +188,14 @@ pub(crate) enum SlotState {
 #[derive(Debug)]
 pub(crate) enum Lookup {
     /// A live entry (pending, ready, or an unexpired failure).
-    Hit(SlotState),
+    Hit {
+        state: SlotState,
+        /// Reservation id of the entry (== the producing job's id). A
+        /// pending hit parks its lifecycle settlement on this id so the
+        /// fill drains exactly the waiters of *this* reservation, even
+        /// if the key is later evicted and re-reserved.
+        entry_id: u64,
+    },
     /// A negative entry whose backoff TTL has lapsed: the entry has been
     /// reaped; the caller should re-admit the compile as a miss and
     /// carry `strikes` into the next failure's TTL.
@@ -276,7 +283,10 @@ impl ArtifactCache {
         let id = entry.id;
         let state = entry.state.clone();
         self.recency.insert(tick, (fp, id));
-        Lookup::Hit(state)
+        Lookup::Hit {
+            state,
+            entry_id: id,
+        }
     }
 
     /// Shed-ladder probe: returns a live, servable entry for `key`
@@ -485,7 +495,7 @@ mod tests {
 
     fn hit(lookup: Lookup) -> Option<SlotState> {
         match lookup {
-            Lookup::Hit(state) => Some(state),
+            Lookup::Hit { state, .. } => Some(state),
             _ => None,
         }
     }

@@ -80,9 +80,12 @@ use qhw::{Calibration, HardwareContext, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::breaker::{BreakerConfig, BreakerDecision, BucketConfig, CircuitBreaker, TokenBucket};
+use crate::breaker::{
+    BreakerConfig, BreakerDecision, BreakerTransition, BucketConfig, CircuitBreaker, TokenBucket,
+};
 use crate::cache::{spec_fingerprint, ArtifactCache, CacheKey, Completion, Lookup, SlotState};
 use crate::deadline::{BackoffConfig, InflightDeadlines, PoisonLedger, QuarantineReason};
+use crate::ops::{JournalEvent, OpsConfig, OpsState, RequestTrace, Stage, Waiter};
 use crate::spill::SpillStore;
 
 /// Why the service could not produce an artifact.
@@ -129,6 +132,23 @@ pub enum ServeError {
         /// The tenant that ran dry.
         tenant: u32,
     },
+}
+
+impl ServeError {
+    /// Stable machine-readable code, the label every ops-plane metric
+    /// and journal line carries. The set is pinned by test — renaming a
+    /// code forks every dashboard series keyed on it, so a rename must
+    /// be a deliberate, test-visible decision.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Compile(_) => "compile_failed",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Quarantined { .. } => "quarantined",
+            ServeError::CircuitOpen { .. } => "circuit_open",
+            ServeError::Throttled { .. } => "throttled",
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -333,6 +353,9 @@ pub struct ServiceConfig {
     /// the compile admission sequence number, so the injected behavior
     /// is independent of worker count.
     pub fault_plane: Option<Arc<ServiceFaultPlane>>,
+    /// Ops-plane switches: per-request lifecycle tracing and the
+    /// failure-plane journal (both on by default; see [`OpsConfig`]).
+    pub ops: OpsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -348,6 +371,7 @@ impl Default for ServiceConfig {
             bucket: None,
             spill_dir: None,
             fault_plane: None,
+            ops: OpsConfig::default(),
         }
     }
 }
@@ -423,6 +447,10 @@ struct Job {
     /// Absolute logical-tick deadline, if any.
     deadline: Option<u64>,
     admit_tick: u64,
+    /// Stable request id (admission ordinal) — the lifecycle-log key.
+    req_id: u64,
+    /// Admission wall instant, for the ops-plane latency histograms.
+    admit_at: Instant,
     /// Compile admission ordinal — the fault plane's key.
     fault_seq: u64,
     /// Consecutive prior failures of this key (from an expired negative
@@ -456,6 +484,7 @@ struct Inner {
     breakers: Vec<CircuitBreaker>,
     buckets: Option<Vec<TokenBucket>>,
     next_fault_seq: u64,
+    ops: OpsState,
 }
 
 struct Shared {
@@ -496,6 +525,7 @@ impl Service {
         // Warm-start recovery before the service goes live.
         let mut cache = ArtifactCache::new(config.cache_capacity);
         let mut stats = ServiceStats::default();
+        let mut ops = OpsState::new(&config.ops, tenants);
         let mut epoch = 0;
         let spill = config.spill_dir.clone().and_then(|dir| {
             let store = SpillStore::new(dir).ok()?;
@@ -531,6 +561,13 @@ impl Service {
             if report.stale > 0 {
                 q.add("qserve/spill/stale", report.stale);
             }
+            ops.journal.push(
+                JournalEvent::new(0, "spill_recovery")
+                    .field("recovered", stats.spill_recovered)
+                    .field("corrupt", report.corrupt)
+                    .field("stale", report.stale)
+                    .field("epoch", epoch),
+            );
             let _ = store.write_meta(epoch, calibration_fp);
             Some(store)
         });
@@ -556,6 +593,7 @@ impl Service {
                 .bucket
                 .map(|b| (0..tenants).map(|_| TokenBucket::new(b)).collect()),
             next_fault_seq: 0,
+            ops,
         };
         let shared = Arc::new(Shared {
             inner: Mutex::new(inner),
@@ -620,6 +658,10 @@ impl Service {
         sweep_deadlines(&mut inner, &self.shared.served);
         let now = inner.now;
         inner.stats.requests += 1;
+        // Stable request id: the admission ordinal, assigned under the
+        // submit lock — the key every lifecycle transition and journal
+        // line refers back to.
+        let req_id = inner.stats.requests;
         q.add("qserve/requests", 1);
 
         let key = CacheKey::new(
@@ -629,12 +671,59 @@ impl Service {
             inner.epoch,
         );
         let fp = key.fingerprint();
+        let spec_fp = spec_fingerprint(&key.spec);
+        let tenant_idx = request.tenant as usize % inner.queues.len();
+        inner.ops.on_admit(req_id, tenant_idx, spec_fp, fp, now);
         let mut strikes = 0;
         match inner.cache.lookup(fp, &key, now) {
-            Lookup::Hit(state) => {
+            Lookup::Hit { state, entry_id } => {
                 inner.stats.hits += 1;
                 inner.note(fp, 2);
                 q.add("qserve/cache/hits", 1);
+                inner.ops.tenants[tenant_idx].hits += 1;
+                match &state {
+                    SlotState::Ready(_) => {
+                        inner.ops.finish(
+                            req_id,
+                            tenant_idx,
+                            Stage::Completed,
+                            now,
+                            now,
+                            None,
+                            submitted.elapsed(),
+                        );
+                    }
+                    SlotState::Failed { error, .. } => {
+                        let code = error.code();
+                        inner.ops.finish(
+                            req_id,
+                            tenant_idx,
+                            Stage::Failed,
+                            now,
+                            now,
+                            Some(code),
+                            submitted.elapsed(),
+                        );
+                    }
+                    SlotState::Pending(_) => {
+                        // Whether the reservation is still pending or
+                        // already filled at this instant is a wall-clock
+                        // race against the workers, so the terminal is
+                        // *deferred*: the waiter parks on the producing
+                        // reservation and settles with that compile's
+                        // deterministic outcome, stamped at this admit
+                        // tick — identical bytes either way.
+                        inner.ops.park(
+                            entry_id,
+                            Waiter {
+                                req_id,
+                                tenant: tenant_idx,
+                                admit_tick: now,
+                                admit_at: submitted,
+                            },
+                        );
+                    }
+                }
                 return self.resolve(state, Outcome::Hit, submitted);
             }
             Lookup::ExpiredNegative { strikes: prior } => {
@@ -643,12 +732,17 @@ impl Service {
                 strikes = prior;
                 inner.stats.negative_expired += 1;
                 q.add("qserve/negative/expired", 1);
+                inner.ops.journal.push(
+                    JournalEvent::new(now, "negative_expire")
+                        .tenant(tenant_idx as u32)
+                        .spec(spec_fp)
+                        .request(req_id)
+                        .field("strikes", u64::from(prior)),
+                );
             }
             Lookup::Miss => {}
         }
 
-        let spec_fp = spec_fingerprint(&key.spec);
-        let tenant_idx = request.tenant as usize % inner.queues.len();
         let mut probe = false;
         if matches!(mode, AdmitMode::Queue) {
             // Fail-fast gates. Cache hits never reach them: a cached
@@ -666,11 +760,27 @@ impl Service {
                 inner.note(fp, 5);
                 q.add("qserve/quarantine/rejects", 1);
                 let error = ServeError::Quarantined { spec_fp, reason };
+                inner.ops.finish(
+                    req_id,
+                    tenant_idx,
+                    Stage::Quarantined,
+                    now,
+                    now,
+                    Some(error.code()),
+                    submitted.elapsed(),
+                );
                 return self.reject_now(error, Outcome::Quarantined, submitted);
             }
             match inner.breakers[tenant_idx].admit(now) {
                 BreakerDecision::Admit => {}
-                BreakerDecision::Probe => probe = true,
+                BreakerDecision::Probe => {
+                    probe = true;
+                    inner.ops.journal.push(
+                        JournalEvent::new(now, "breaker_probe")
+                            .tenant(tenant_idx as u32)
+                            .request(req_id),
+                    );
+                }
                 BreakerDecision::Reject { retry_in } => {
                     inner.stats.breaker_rejects += 1;
                     inner.note(fp, 6);
@@ -679,6 +789,15 @@ impl Service {
                         tenant: request.tenant,
                         retry_in,
                     };
+                    inner.ops.finish(
+                        req_id,
+                        tenant_idx,
+                        Stage::CircuitOpen,
+                        now,
+                        now,
+                        Some(error.code()),
+                        submitted.elapsed(),
+                    );
                     return self.reject_now(error, Outcome::BreakerOpen, submitted);
                 }
             }
@@ -698,8 +817,17 @@ impl Service {
                         inner.note(alt_fp, 3);
                         q.add("qserve/shed", 1);
                         if probe {
-                            inner.breakers[tenant_idx].abort_probe(now);
+                            abort_probe(&mut inner, tenant_idx, now, req_id);
                         }
+                        inner.ops.finish(
+                            req_id,
+                            tenant_idx,
+                            Stage::Shed,
+                            now,
+                            now,
+                            None,
+                            submitted.elapsed(),
+                        );
                         let outcome = Outcome::Shed { rungs: steps as u8 };
                         return self.resolve(state, outcome, submitted);
                     }
@@ -708,12 +836,21 @@ impl Service {
                 inner.note(fp, 4);
                 q.add("qserve/rejected", 1);
                 if probe {
-                    inner.breakers[tenant_idx].abort_probe(now);
+                    abort_probe(&mut inner, tenant_idx, now, req_id);
                 }
                 let error = ServeError::Overloaded {
                     queued: inner.queued,
                     capacity: self.config.queue_capacity,
                 };
+                inner.ops.finish(
+                    req_id,
+                    tenant_idx,
+                    Stage::Rejected,
+                    now,
+                    now,
+                    Some(error.code()),
+                    submitted.elapsed(),
+                );
                 return self.reject_now(error, Outcome::Rejected, submitted);
             }
             if let Some(buckets) = inner.buckets.as_mut() {
@@ -722,17 +859,27 @@ impl Service {
                     inner.note(fp, 7);
                     q.add("qserve/throttled", 1);
                     if probe {
-                        inner.breakers[tenant_idx].abort_probe(now);
+                        abort_probe(&mut inner, tenant_idx, now, req_id);
                     }
                     let error = ServeError::Throttled {
                         tenant: request.tenant,
                     };
+                    inner.ops.finish(
+                        req_id,
+                        tenant_idx,
+                        Stage::Throttled,
+                        now,
+                        now,
+                        Some(error.code()),
+                        submitted.elapsed(),
+                    );
                     return self.reject_now(error, Outcome::Throttled, submitted);
                 }
             }
         }
 
         inner.stats.misses += 1;
+        inner.ops.tenants[tenant_idx].misses += 1;
         inner.note(fp, 1);
         q.add("qserve/cache/misses", 1);
         let completion = Arc::new(Completion::default());
@@ -753,12 +900,14 @@ impl Service {
         let job = Job {
             fp,
             id,
+            req_id,
             key,
             spec_fp,
             tenant: request.tenant,
             seed: request.seed,
             deadline: request.deadline.map(|d| now + d),
             admit_tick: now,
+            admit_at: submitted,
             fault_seq,
             strikes,
             probe,
@@ -776,12 +925,14 @@ impl Service {
         };
         match mode {
             AdmitMode::Queue => {
+                inner.ops.lifecycle.push(req_id, Stage::Queued, now);
                 inner.queues[tenant_idx].push_back(job);
                 inner.queued += 1;
                 drop(inner);
                 self.shared.work.notify_one();
             }
             AdmitMode::Inline => {
+                inner.ops.lifecycle.push(req_id, Stage::Dispatched, now);
                 drop(inner);
                 execute(&self.shared, job);
             }
@@ -853,6 +1004,10 @@ impl Service {
         inner.stats.epoch_bumps += 1;
         let dropped = inner.cache.invalidate_calibration_dependent();
         inner.stats.invalidated += dropped.len() as u64;
+        let reload_event = JournalEvent::new(inner.now, "calibration_reload")
+            .field("epoch", inner.epoch)
+            .field("invalidated", dropped.len() as u64);
+        inner.ops.journal.push(reload_event);
         let q = qtrace::global();
         q.add("qserve/epoch_bumps", 1);
         q.add("qserve/cache/invalidated", dropped.len() as u64);
@@ -869,7 +1024,12 @@ impl Service {
     /// after a compiler fix ships. Returns whether it was quarantined.
     pub fn release_quarantine(&self, spec_fp: u64) -> bool {
         let mut inner = self.shared.inner.lock().expect("service lock");
-        inner.poison.release(spec_fp)
+        let released = inner.poison.release(spec_fp);
+        if released {
+            let event = JournalEvent::new(inner.now, "quarantine_release").spec(spec_fp);
+            inner.ops.journal.push(event);
+        }
+        released
     }
 
     /// The current calibration epoch (starts at 0 or the recovered
@@ -927,6 +1087,49 @@ impl Service {
         if inner.poison.len() > 0 {
             q.gauge_max("qserve/quarantine/entries", inner.poison.len() as u64);
         }
+        inner.ops.flush_metrics(q);
+        for (idx, breaker) in inner.breakers.iter().enumerate() {
+            let code = breaker.state_code();
+            if code > 0 {
+                q.gauge_max(&format!("qserve/tenant/{idx}/breaker_state"), code);
+            }
+        }
+        if let Some(buckets) = inner.buckets.as_ref() {
+            for (idx, bucket) in buckets.iter().enumerate() {
+                q.gauge_max(
+                    &format!("qserve/tenant/{idx}/bucket_level"),
+                    bucket.level(inner.now),
+                );
+            }
+        }
+        let dropped = inner.ops.lifecycle.dropped();
+        if dropped > 0 {
+            q.gauge_max("qserve/ops/lifecycle_dropped", dropped);
+        }
+    }
+
+    /// Drains the ops journal: every failure-plane action since the last
+    /// drain, in deterministic occurrence order. Render with
+    /// [`crate::ops::render_journal`].
+    pub fn take_journal(&self) -> Vec<JournalEvent> {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.ops.journal.take()
+    }
+
+    /// Drains the request lifecycle log: one trace per admitted request,
+    /// in admission (request-id) order. Render with
+    /// [`crate::ops::render_lifecycle`] or export via
+    /// [`crate::ops::lifecycle_manifest`].
+    pub fn take_lifecycle(&self) -> Vec<RequestTrace> {
+        let mut inner = self.shared.inner.lock().expect("service lock");
+        inner.ops.lifecycle.take()
+    }
+
+    /// How many lifecycle records were dropped to the capacity bound
+    /// since startup. Zero in every deterministic-campaign baseline.
+    pub fn lifecycle_dropped(&self) -> u64 {
+        let inner = self.shared.inner.lock().expect("service lock");
+        inner.ops.lifecycle.dropped()
     }
 }
 
@@ -958,6 +1161,18 @@ impl Inner {
     }
 }
 
+/// Returns an undispatched probe slot to the tenant's breaker and
+/// journals the abort, so a half-open breaker is never left wedged by
+/// an admission that terminated before reaching a worker.
+fn abort_probe(inner: &mut Inner, tenant_idx: usize, now: u64, req_id: u64) {
+    inner.breakers[tenant_idx].abort_probe(now);
+    inner.ops.journal.push(
+        JournalEvent::new(now, "breaker_probe_abort")
+            .tenant(tenant_idx as u32)
+            .request(req_id),
+    );
+}
+
 /// Sweeps the deadline plane at the current clock: reaps expired queued
 /// jobs (their waiters get [`ServeError::DeadlineExceeded`], their
 /// reservations are forgotten — a deadline lapse is not a negative
@@ -982,17 +1197,41 @@ fn sweep_deadlines(inner: &mut Inner, served: &AtomicU64) {
         qtrace::global().add("qserve/deadline/reaped", reaped.len() as u64);
         for job in reaped {
             inner.cache.forget(job.fp, job.id);
+            let tenant_idx = job.tenant as usize % inner.breakers.len();
             if job.probe {
                 // The probe never reached a worker, so no completion
                 // will decide it: return the slot instead of leaving
                 // the tenant's breaker wedged in half-open.
-                let tenant_idx = job.tenant as usize % inner.breakers.len();
-                inner.breakers[tenant_idx].abort_probe(now);
+                abort_probe(inner, tenant_idx, now, job.req_id);
             }
             let error = ServeError::DeadlineExceeded {
                 deadline: job.deadline.expect("reaped implies a deadline"),
                 now,
             };
+            inner.ops.finish(
+                job.req_id,
+                tenant_idx,
+                Stage::Reaped,
+                job.admit_tick,
+                now,
+                Some(error.code()),
+                job.admit_at.elapsed(),
+            );
+            // Pending-hit waiters parked on this reservation share its
+            // fate: the completion below resolves them all with the
+            // same DeadlineExceeded, so their lifecycle terminal is the
+            // same reap at the same sweep tick.
+            for waiter in inner.ops.take_waiters(job.id) {
+                inner.ops.finish(
+                    waiter.req_id,
+                    waiter.tenant,
+                    Stage::Reaped,
+                    waiter.admit_tick,
+                    now,
+                    Some(error.code()),
+                    waiter.admit_at.elapsed(),
+                );
+            }
             let served_order = served.fetch_add(1, Ordering::SeqCst) + 1;
             let mut slot = job.completion.slot.lock().expect("completion lock");
             *slot = Some((Err(error), served_order, Instant::now()));
@@ -1021,6 +1260,13 @@ fn pop_job(inner: &mut Inner) -> Option<Job> {
             if let Some(deadline) = job.deadline {
                 inner.inflight.register(job.id, deadline, job.token.clone());
             }
+            // Dispatch is scheduler-dependent, so it is stamped with the
+            // admit tick: the lifecycle log stays a pure function of the
+            // request stream regardless of worker count.
+            inner
+                .ops
+                .lifecycle
+                .push(job.req_id, Stage::Dispatched, job.admit_tick);
             return Some(job);
         }
     }
@@ -1055,6 +1301,7 @@ fn worker_loop(shared: &Shared) {
 /// panics, virtual stalls) detonate here, keyed by the job's compile
 /// admission ordinal.
 fn execute(shared: &Shared, job: Job) {
+    let dispatched_at = Instant::now();
     let fault = shared
         .fault_plane
         .as_ref()
@@ -1072,6 +1319,7 @@ fn execute(shared: &Shared, job: Job) {
         }
     }
     let inject_panic = matches!(fault, Some(ServiceFault::WorkerPanic));
+    let compile_start = Instant::now();
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         if inject_panic {
             panic!("injected worker panic (fault plane)");
@@ -1085,6 +1333,7 @@ fn execute(shared: &Shared, job: Job) {
             &job.token,
         )
     }));
+    let compile_elapsed = compile_start.elapsed();
     let panicked = attempt.is_err();
     let attempt = attempt.unwrap_or_else(|_| {
         Err(CompileError::Internal(format!(
@@ -1143,6 +1392,17 @@ fn execute(shared: &Shared, job: Job) {
                 (expires_at, strikes)
             }
         };
+        if let Some(expiry) = expires_at {
+            let tenant_idx = job.tenant as usize % inner.breakers.len();
+            inner.ops.journal.push(
+                JournalEvent::new(now, "negative_strike")
+                    .tenant(tenant_idx as u32)
+                    .spec(job.spec_fp)
+                    .request(job.req_id)
+                    .field("strikes", u64::from(strikes))
+                    .field("ttl", expiry.saturating_sub(now)),
+            );
+        }
         let live = inner
             .cache
             .complete(job.fp, job.id, &result, expires_at, strikes);
@@ -1166,15 +1426,91 @@ fn execute(shared: &Shared, job: Job) {
         } else {
             None
         };
-        if verdict.is_some() {
+        let tenant_idx = job.tenant as usize % inner.breakers.len();
+        if let Some(reason) = verdict {
             q.add("qserve/quarantine/new", 1);
+            let total = match reason {
+                QuarantineReason::Panicked { strikes } | QuarantineReason::TimedOut { strikes } => {
+                    strikes
+                }
+            };
+            inner.ops.journal.push(
+                JournalEvent::new(now, "quarantine_add")
+                    .tenant(tenant_idx as u32)
+                    .spec(job.spec_fp)
+                    .request(job.req_id)
+                    .note(reason.label())
+                    .field("strikes", u64::from(total)),
+            );
         }
         // The tenant's breaker watches every compile completion.
-        let tenant_idx = job.tenant as usize % inner.breakers.len();
-        if inner.breakers[tenant_idx].record(now, result.is_ok()) {
-            inner.stats.breaker_trips += 1;
-            q.add("qserve/breaker/trips", 1);
+        match inner.breakers[tenant_idx].record(now, result.is_ok()) {
+            BreakerTransition::Tripped => {
+                inner.stats.breaker_trips += 1;
+                q.add("qserve/breaker/trips", 1);
+                inner.ops.journal.push(
+                    JournalEvent::new(now, "breaker_trip")
+                        .tenant(tenant_idx as u32)
+                        .request(job.req_id),
+                );
+            }
+            BreakerTransition::Closed => {
+                inner.ops.journal.push(
+                    JournalEvent::new(now, "breaker_close")
+                        .tenant(tenant_idx as u32)
+                        .request(job.req_id),
+                );
+            }
+            BreakerTransition::None => {}
         }
+        // Terminal lifecycle stamp. Completion/failure order across
+        // workers is scheduler-dependent, so scheduler-reached
+        // terminals are stamped with the admit tick; a deadline
+        // cancellation is stamped with the deadline itself. Either way
+        // the stamp is a pure function of the request stream.
+        let (stage, stamp, err) = match &result {
+            Ok(_) => (Stage::Completed, job.admit_tick, None),
+            Err(e @ ServeError::DeadlineExceeded { deadline, .. }) => {
+                (Stage::Cancelled, *deadline, Some(e.code()))
+            }
+            Err(e) => (Stage::Failed, job.admit_tick, Some(e.code())),
+        };
+        inner.ops.finish(
+            job.req_id,
+            tenant_idx,
+            stage,
+            job.admit_tick,
+            stamp,
+            err,
+            job.admit_at.elapsed(),
+        );
+        // Settle the pending-hit waiters parked on this reservation:
+        // the completion below hands them this exact result, so each
+        // gets the same terminal stage and error code, stamped at its
+        // own admit tick (or the shared deadline for cancellations).
+        for waiter in inner.ops.take_waiters(job.id) {
+            let (stage, stamp, err) = match &result {
+                Ok(_) => (Stage::Completed, waiter.admit_tick, None),
+                Err(e @ ServeError::DeadlineExceeded { deadline, .. }) => {
+                    (Stage::Cancelled, *deadline, Some(e.code()))
+                }
+                Err(e) => (Stage::Failed, waiter.admit_tick, Some(e.code())),
+            };
+            inner.ops.finish(
+                waiter.req_id,
+                waiter.tenant,
+                stage,
+                waiter.admit_tick,
+                stamp,
+                err,
+                waiter.admit_at.elapsed(),
+            );
+        }
+        inner.ops.observe_execution(
+            tenant_idx,
+            dispatched_at.saturating_duration_since(job.admit_at),
+            compile_elapsed,
+        );
         result
     };
     let resolved_at = Instant::now();

@@ -385,6 +385,20 @@ impl Recorder {
         }
     }
 
+    /// Absorbs an externally accumulated [`Histogram`] into histogram
+    /// `name` under one lock acquisition (bucket-wise add). The drain
+    /// path for subsystems that keep their own histograms — e.g. the
+    /// qserve ops plane's per-tenant latency histograms — instead of
+    /// calling [`Recorder::observe`] per sample. Empty histograms are
+    /// skipped so a no-op drain leaves the manifest untouched.
+    pub fn observe_histogram(&self, name: &str, hist: &Histogram) {
+        if hist.count() == 0 || !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state_shard().lock().expect("recorder lock");
+        state.histograms.entry_or_default(name).absorb(hist);
+    }
+
     /// Drains everything recorded so far into a [`Manifest`] named
     /// `name`, leaving the recorder empty (but keeping its enabled
     /// state). Spans created before the drain stop recording (the drain

@@ -32,12 +32,14 @@
 //!
 //! Every aggregate section is sorted by key and always present, so two
 //! manifests from identical runs differ only in the wall-time fields
-//! (`created_unix_ms`, the span timing fields, and event
-//! timestamps/thread ids) — [`Manifest::normalized`] zeroes exactly
-//! those (re-sorting events by path once timestamps are gone), giving a
-//! byte-exact determinism comparison. Histogram buckets are log2: the pair
-//! `[lo, count]` counts observations in `[lo, 2·lo)` (`[0, 2)` for the
-//! first bucket).
+//! (`created_unix_ms`, the span timing fields, event timestamps/thread
+//! ids, and the contents of `_ns`-suffixed histograms) —
+//! [`Manifest::normalized`] zeroes exactly those (re-sorting events by
+//! path once timestamps are gone, and keeping the `_ns` histograms'
+//! deterministic sample counts), giving a byte-exact determinism
+//! comparison. Histogram buckets are log2: the pair `[lo, count]`
+//! counts observations in `[lo, 2·lo)` (`[0, 2)` for the first
+//! bucket).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -277,11 +279,15 @@ impl Manifest {
     }
 
     /// A copy with every wall-time field zeroed: `created_unix_ms`, the
-    /// span `total_ns`/`min_ns`/`max_ns`/`p50_ns`/`p90_ns`/`p99_ns`, and
+    /// span `total_ns`/`min_ns`/`max_ns`/`p50_ns`/`p90_ns`/`p99_ns`,
     /// event `ts_ns`/`tid` (events are then re-sorted by path and kind,
-    /// since their timestamp order is scheduling-dependent). Two
-    /// identical runs produce byte-identical `normalized().to_json()`
-    /// output regardless of machine speed or thread interleaving.
+    /// since their timestamp order is scheduling-dependent), and the
+    /// `sum`/bucket contents of every histogram whose name ends in
+    /// `_ns` (wall-time distributions by convention — e.g. the qserve
+    /// ops plane's `queue_wait_ns`; their sample *count* is a pure
+    /// function of the workload and is kept). Two identical runs
+    /// produce byte-identical `normalized().to_json()` output
+    /// regardless of machine speed or thread interleaving.
     pub fn normalized(&self) -> Manifest {
         let mut m = self.clone();
         m.created_unix_ms = 0;
@@ -292,6 +298,12 @@ impl Manifest {
             stat.p50_ns = 0;
             stat.p90_ns = 0;
             stat.p99_ns = 0;
+        }
+        for (name, hist) in m.histograms.iter_mut() {
+            if name.ends_with("_ns") {
+                hist.counts = [0; HISTOGRAM_BUCKETS];
+                hist.sum = 0;
+            }
         }
         for ev in &mut m.events {
             ev.ts_ns = 0;
@@ -644,6 +656,48 @@ mod tests {
         let mut c = sample();
         c.events.pop();
         assert_ne!(sample().normalized().to_json(), c.normalized().to_json());
+    }
+
+    #[test]
+    fn normalized_zeroes_ns_histogram_contents_but_keeps_counts() {
+        let mut a = sample();
+        let mut b = sample();
+        // Same sample count, machine-speed-dependent values.
+        let mut fast = Histogram::default();
+        fast.record(10);
+        fast.record(20);
+        let mut slow = Histogram::default();
+        slow.record(100_000);
+        slow.record(200_000);
+        a.histograms.insert("q/wait_ns".into(), fast);
+        b.histograms.insert("q/wait_ns".into(), slow);
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(a.normalized().to_json(), b.normalized().to_json());
+        // The deterministic sample count survives normalization...
+        let norm = a.normalized();
+        assert_eq!(norm.histograms["q/wait_ns"].count(), 2);
+        assert!(norm.histograms["q/wait_ns"].buckets().is_empty());
+        // ...and a count mismatch still breaks byte-identity.
+        b.histograms.get_mut("q/wait_ns").unwrap().record(1);
+        assert_ne!(a.normalized().to_json(), b.normalized().to_json());
+        // Histograms without the `_ns` suffix are untouched.
+        assert_eq!(
+            norm.histograms["lens"].buckets(),
+            sample().histograms["lens"].buckets()
+        );
+    }
+
+    #[test]
+    fn normalized_ns_histograms_round_trip() {
+        let mut m = sample();
+        let mut h = Histogram::default();
+        h.record(5);
+        h.record(5000);
+        m.histograms.insert("tenant/0/e2e_ns".into(), h);
+        let norm = m.normalized();
+        let parsed = Manifest::from_json(&norm.to_json()).unwrap();
+        assert_eq!(parsed, norm);
+        assert_eq!(parsed.to_json(), norm.to_json());
     }
 
     #[test]
